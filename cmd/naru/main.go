@@ -1,0 +1,177 @@
+// Command naru trains, saves, and queries Naru estimators from the shell.
+//
+// Usage:
+//
+//	naru train -csv data.csv -out model.naru [-epochs N] [-hidden 128,128]
+//	naru estimate -csv data.csv -model model.naru -where "col<=value AND ..."
+//	naru entropy -csv data.csv -model model.naru
+//
+// The -where grammar accepts conjunctions of <col> <op> <literal> with ops
+// =, !=, <, <=, >, >=; literals are matched against the column's observed
+// domain (numeric or string). The true selectivity is printed alongside the
+// estimate when the CSV is supplied, making the tool a self-contained demo.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	naru "repro"
+	"repro/internal/query"
+	"repro/internal/table"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "train":
+		cmdTrain(os.Args[2:])
+	case "estimate":
+		cmdEstimate(os.Args[2:])
+	case "entropy":
+		cmdEntropy(os.Args[2:])
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  naru train    -csv data.csv -out model.naru [-epochs N] [-hidden 128,128,128,128] [-samples S]
+  naru estimate -csv data.csv -model model.naru -where "a<=5 AND b=x"
+  naru entropy  -csv data.csv -model model.naru`)
+	os.Exit(2)
+}
+
+func loadTable(path string) *table.Table {
+	f, err := os.Open(path)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	t, err := naru.LoadCSV(f, path)
+	if err != nil {
+		fatal(err)
+	}
+	return t
+}
+
+func cmdTrain(args []string) {
+	fs := flag.NewFlagSet("train", flag.ExitOnError)
+	csvPath := fs.String("csv", "", "input CSV with header")
+	outPath := fs.String("out", "model.naru", "output model path")
+	epochs := fs.Int("epochs", 10, "training epochs")
+	hidden := fs.String("hidden", "128,128,128,128", "hidden layer widths")
+	samples := fs.Int("samples", 2000, "progressive samples per query")
+	seed := fs.Int64("seed", 1, "random seed")
+	fs.Parse(args)
+	if *csvPath == "" {
+		fatal(fmt.Errorf("train: -csv is required"))
+	}
+	t := loadTable(*csvPath)
+	cfg := naru.DefaultConfig()
+	cfg.Epochs = *epochs
+	cfg.Samples = *samples
+	cfg.Seed = *seed
+	cfg.HiddenSizes = parseInts(*hidden)
+	fmt.Printf("training on %q: %d rows × %d cols (joint %.3g)\n",
+		t.Name, t.NumRows(), t.NumCols(), t.JointSize())
+	est, err := naru.Build(t, cfg)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("model: %.2f MB, entropy gap %.2f bits\n",
+		float64(est.SizeBytes())/1e6, est.EntropyGapBits(t))
+	f, err := os.Create(*outPath)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	if err := est.Save(f); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("saved to %s\n", *outPath)
+}
+
+func cmdEstimate(args []string) {
+	fs := flag.NewFlagSet("estimate", flag.ExitOnError)
+	csvPath := fs.String("csv", "", "input CSV (for schema + ground truth)")
+	modelPath := fs.String("model", "model.naru", "trained model path")
+	where := fs.String("where", "", "conjunction, e.g. \"a<=5 AND b=x\"")
+	samples := fs.Int("samples", 2000, "progressive samples")
+	fs.Parse(args)
+	if *csvPath == "" || *where == "" {
+		fatal(fmt.Errorf("estimate: -csv and -where are required"))
+	}
+	t := loadTable(*csvPath)
+	f, err := os.Open(*modelPath)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	cfg := naru.DefaultConfig()
+	cfg.Samples = *samples
+	est, err := naru.LoadEstimator(f, cfg)
+	if err != nil {
+		fatal(err)
+	}
+	q, err := query.ParseWhere(*where, t)
+	if err != nil {
+		fatal(err)
+	}
+	sel, err := est.Selectivity(q)
+	if err != nil {
+		fatal(err)
+	}
+	card, _ := est.Cardinality(q)
+	truth, err := naru.TrueSelectivity(q, t)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("query: %s\n", q.String(t))
+	fmt.Printf("estimate: sel=%.6g card=%.1f\n", sel, card)
+	fmt.Printf("truth:    sel=%.6g card=%d\n", truth, int64(truth*float64(t.NumRows())))
+}
+
+func cmdEntropy(args []string) {
+	fs := flag.NewFlagSet("entropy", flag.ExitOnError)
+	csvPath := fs.String("csv", "", "input CSV")
+	modelPath := fs.String("model", "model.naru", "trained model path")
+	fs.Parse(args)
+	if *csvPath == "" {
+		fatal(fmt.Errorf("entropy: -csv is required"))
+	}
+	t := loadTable(*csvPath)
+	f, err := os.Open(*modelPath)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	est, err := naru.LoadEstimator(f, naru.DefaultConfig())
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("entropy gap vs %q: %.3f bits\n", t.Name, est.EntropyGapBits(t))
+}
+
+func parseInts(s string) []int {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || v <= 0 {
+			fatal(fmt.Errorf("bad hidden sizes %q", s))
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "naru:", err)
+	os.Exit(1)
+}

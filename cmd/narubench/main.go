@@ -1,0 +1,92 @@
+// Command narubench regenerates the paper's evaluation: one subcommand per
+// table or figure of "Selectivity Estimation with Deep Likelihood Models"
+// (Yang et al., 2019).
+//
+// Usage:
+//
+//	narubench [flags] <experiment>...
+//
+// Experiments: fig4, table3 (includes fig6a), table4 (includes fig6b),
+// table5, fig5, table6, table7, fig7, fig8, table8, all.
+//
+// Defaults are scaled down so every experiment finishes in CPU minutes; use
+// the flags to approach paper scale (-dmv-rows 11500000 -queries 2000 ...).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	var cfg bench.Config
+	flag.IntVar(&cfg.DMVRows, "dmv-rows", 0, "synthetic DMV rows (default 60000; paper 11.5M)")
+	flag.IntVar(&cfg.ConvivaRows, "conviva-rows", 0, "synthetic Conviva-A rows (default 50000; paper 4.1M)")
+	flag.IntVar(&cfg.NumQueries, "queries", 0, "queries per workload (default 160; paper 2000)")
+	flag.IntVar(&cfg.Epochs, "epochs", 0, "Naru training epochs (default 6)")
+	flag.Int64Var(&cfg.Seed, "seed", 1, "random seed")
+	flag.BoolVar(&cfg.Quiet, "quiet", false, "suppress progress lines")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: narubench [flags] <experiment>...\n")
+		fmt.Fprintf(os.Stderr, "experiments: fig4 table3 table4 table5 fig5 table6 table7 fig7 fig8 table8 arch uniform all\n\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	out := os.Stdout
+	run := func(name string) {
+		start := time.Now()
+		switch name {
+		case "fig4":
+			bench.Fig4(out, cfg)
+		case "table3", "fig6a":
+			bench.Table3(out, cfg)
+		case "table4", "fig6b":
+			bench.Table4(out, cfg)
+		case "fig6":
+			bench.Table3(out, cfg)
+			bench.Table4(out, cfg)
+		case "table5":
+			bench.Table5(out, cfg)
+		case "fig5":
+			bench.Fig5(out, cfg)
+		case "table6":
+			bench.Table6(out, cfg)
+		case "table7":
+			bench.Table7(out, cfg)
+		case "fig7":
+			bench.Fig7(out, cfg)
+		case "fig8":
+			bench.Fig8(out, cfg)
+		case "table8":
+			bench.Table8(out, cfg)
+		case "arch":
+			bench.ArchComparison(out, cfg)
+		case "uniform":
+			bench.UniformVsProgressive(out, cfg)
+		default:
+			fmt.Fprintf(os.Stderr, "narubench: unknown experiment %q\n", name)
+			os.Exit(2)
+		}
+		if !cfg.Quiet {
+			fmt.Fprintf(out, "# %s finished in %v\n", name, time.Since(start).Round(time.Second))
+		}
+	}
+	for _, name := range args {
+		if name == "all" {
+			for _, n := range []string{"fig4", "table3", "table4", "table5", "fig5", "table6", "table7", "fig7", "fig8", "table8", "arch", "uniform"} {
+				run(n)
+			}
+			continue
+		}
+		run(name)
+	}
+}

@@ -1,0 +1,76 @@
+package naru_test
+
+import (
+	"fmt"
+	"log"
+	"strconv"
+	"strings"
+
+	naru "repro"
+	"repro/internal/table"
+)
+
+// Example shows the complete flow: ingest, train, estimate. The output is
+// data-dependent, so it is not asserted; see examples/quickstart for a
+// runnable variant with assertions.
+func Example() {
+	// Ingest a small CSV.
+	csv := "city,stars\nsf,5\nsf,4\nla,2\nla,2\nsf,5\n"
+	tbl, err := naru.LoadCSV(strings.NewReader(csv), "checkins")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Train the unsupervised likelihood model.
+	cfg := naru.DefaultConfig()
+	cfg.HiddenSizes = []int{16}
+	cfg.Epochs = 1
+	cfg.BatchSize = 4
+	est, err := naru.Build(tbl, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Estimate the selectivity of city = 'sf'.
+	sfCode, _ := tbl.Cols[0].CodeOfString("sf")
+	sel, err := est.Selectivity(naru.Query{Preds: []naru.Predicate{
+		{Col: 0, Op: naru.OpEq, Code: sfCode},
+	}})
+	if err != nil {
+		log.Fatal(err)
+	}
+	_ = sel // data-dependent; true value is 3/5
+}
+
+// ExampleEstimator_SelectivityDisjunction demonstrates OR queries via
+// inclusion–exclusion.
+func ExampleEstimator_SelectivityDisjunction() {
+	b := table.NewBuilder("t", []string{"x"})
+	for i := 0; i < 100; i++ {
+		if err := b.AppendRow([]string{strconv.Itoa(i % 4)}); err != nil {
+			log.Fatal(err)
+		}
+	}
+	tbl, err := b.Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := naru.DefaultConfig()
+	cfg.HiddenSizes = []int{16}
+	cfg.Epochs = 20
+	cfg.BatchSize = 16
+	est, err := naru.Build(tbl, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// P(x=0 ∨ x=1) — each branch is 1/4, disjoint, so ≈ 1/2.
+	sel, err := est.SelectivityDisjunction([]naru.Query{
+		{Preds: []naru.Predicate{{Col: 0, Op: naru.OpEq, Code: 0}}},
+		{Preds: []naru.Predicate{{Col: 0, Op: naru.OpEq, Code: 1}}},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("roughly a half: %v\n", sel > 0.35 && sel < 0.65)
+	// Output: roughly a half: true
+}

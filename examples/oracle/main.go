@@ -1,0 +1,58 @@
+// Oracle microbenchmark: separate the two error sources in Naru — density
+// model quality vs progressive-sampling variance — by querying an emulated
+// perfect model on a 100-column table (the paper's §6.7 methodology).
+//
+//	go run ./examples/oracle
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/datagen"
+	"repro/internal/metrics"
+	"repro/internal/query"
+)
+
+func main() {
+	tbl := datagen.ConvivaB(1).Project(30)
+	fmt.Printf("Conviva-B projection: %d rows × %d cols, joint %.2g\n",
+		tbl.NumRows(), tbl.NumCols(), tbl.JointSize())
+
+	oracle := core.NewOracle(tbl)
+	w, err := query.GenerateWorkload(tbl,
+		query.GeneratorConfig{MinFilters: 5, MaxFilters: 12, SmallDomainThreshold: 10}, 3, 40)
+	if err != nil {
+		panic(err)
+	}
+	n := float64(tbl.NumRows())
+
+	fmt.Println("\nSampling variance with a PERFECT model (errors are pure sampler variance):")
+	fmt.Printf("%-12s %8s %8s\n", "paths", "median", "max")
+	for _, s := range []int{50, 250, 1000, 5000} {
+		est := core.NewEstimator(oracle, s, 7)
+		errs := make([]float64, len(w.Regions))
+		for i, reg := range w.Regions {
+			errs[i] = metrics.QError(est.EstimateRegion(reg)*n, float64(w.TrueCard[i]))
+		}
+		fmt.Printf("Naru-%-7d %8.2f %8.2f\n", s,
+			metrics.Quantile(errs, 0.5), metrics.Quantile(errs, 1))
+	}
+
+	fmt.Println("\nModel-error sensitivity (Naru-1000 on noisy oracles):")
+	fmt.Printf("%-12s %8s %8s %8s\n", "gap(bits)", "eps", "median", "max")
+	for _, gap := range []float64{0, 2, 10} {
+		eps := oracle.CalibrateNoise(gap)
+		var model core.Model = oracle
+		if eps > 0 {
+			model = core.NewNoisyOracle(oracle, eps)
+		}
+		est := core.NewEstimator(model, 1000, 7)
+		errs := make([]float64, len(w.Regions))
+		for i, reg := range w.Regions {
+			errs[i] = metrics.QError(est.EstimateRegion(reg)*n, float64(w.TrueCard[i]))
+		}
+		fmt.Printf("%-12.1f %8.4f %8.2f %8.2f\n", gap, eps,
+			metrics.Quantile(errs, 0.5), metrics.Quantile(errs, 1))
+	}
+}

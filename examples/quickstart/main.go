@@ -1,0 +1,83 @@
+// Quickstart: build a Naru estimator on a small synthetic table and compare
+// its estimates against ground truth for a handful of queries.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"strconv"
+
+	naru "repro"
+	"repro/internal/table"
+)
+
+func main() {
+	// A toy "travel checkins" table like the paper's running example
+	// (§3.2): city, year, stars — with city↔stars correlation baked in.
+	rng := rand.New(rand.NewSource(42))
+	cities := []string{"Portland", "SF", "Waikiki", "NYC"}
+	b := table.NewBuilder("checkins", []string{"city", "year", "stars"})
+	for i := 0; i < 50000; i++ {
+		ci := rng.Intn(len(cities))
+		year := 2015 + rng.Intn(5)
+		stars := 2*ci + rng.Intn(4) // stars correlate with city
+		err := b.AppendRow([]string{cities[ci], strconv.Itoa(year), strconv.Itoa(stars)})
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+	tbl, err := b.Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("table %q: %d rows, %d cols, joint size %.0f\n",
+		tbl.Name, tbl.NumRows(), tbl.NumCols(), tbl.JointSize())
+
+	// Train: unsupervised, from the data alone.
+	cfg := naru.DefaultConfig()
+	cfg.HiddenSizes = []int{64, 64}
+	cfg.Epochs = 6
+	est, err := naru.Build(tbl, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("model: %.1f KB, entropy gap %.2f bits\n\n",
+		float64(est.SizeBytes())/1024, est.EntropyGapBits(tbl))
+
+	// Query it. Literals are dictionary codes; look them up via the table.
+	sfCode, _ := tbl.Cols[0].CodeOfString("SF")
+	y2017, _ := tbl.Cols[1].CodeOfInt(2017)
+	queries := []naru.Query{
+		{Preds: []naru.Predicate{{Col: 0, Op: naru.OpEq, Code: sfCode}}},
+		{Preds: []naru.Predicate{
+			{Col: 0, Op: naru.OpEq, Code: sfCode},
+			{Col: 1, Op: naru.OpGe, Code: y2017},
+		}},
+		{Preds: []naru.Predicate{
+			{Col: 0, Op: naru.OpEq, Code: sfCode},
+			{Col: 2, Op: naru.OpLe, Code: tbl.Cols[2].LowerBoundInt(3)},
+		}},
+	}
+	for _, q := range queries {
+		sel, err := est.Selectivity(q)
+		if err != nil {
+			log.Fatal(err)
+		}
+		truth, _ := naru.TrueSelectivity(q, tbl)
+		fmt.Printf("WHERE %-40s est=%8.5f true=%8.5f\n", q.String(tbl), sel, truth)
+	}
+
+	// Disjunctions via inclusion–exclusion.
+	pdx, _ := tbl.Cols[0].CodeOfString("Portland")
+	dis, err := est.SelectivityDisjunction([]naru.Query{
+		{Preds: []naru.Predicate{{Col: 0, Op: naru.OpEq, Code: sfCode}}},
+		{Preds: []naru.Predicate{{Col: 0, Op: naru.OpEq, Code: pdx}}},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nWHERE city=SF OR city=Portland: est=%.5f\n", dis)
+}

@@ -1,0 +1,128 @@
+package naru
+
+// Integration tests that guard the paper's headline claims end-to-end on
+// small synthetic datasets. They are skipped in -short mode: each trains a
+// real model.
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/datagen"
+	"repro/internal/estimator"
+	"repro/internal/metrics"
+	"repro/internal/query"
+)
+
+// TestHeadlineNaruBeatsClassicalAtTail is Table 3 in miniature: on a
+// correlated, skewed DMV-like table, Naru's worst-case q-error must beat the
+// independence-based estimator's by a wide margin.
+func TestHeadlineNaruBeatsClassicalAtTail(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains a model; skipped in -short")
+	}
+	tbl := datagen.DMV(20000, 3)
+	w, err := query.GenerateWorkload(tbl, query.DefaultGeneratorConfig(), 11, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.HiddenSizes = []int{128, 128}
+	cfg.Epochs = 4
+	cfg.Samples = 1000
+	cfg.Seed = 2
+	naruEst, err := Build(tbl, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pg := estimator.NewPostgres(tbl, 100, 10000)
+
+	n := float64(tbl.NumRows())
+	var naruMax, pgMax float64
+	for i, reg := range w.Regions {
+		truth := float64(w.TrueCard[i])
+		if e := metrics.QError(naruEst.EstimateRegion(reg)*n, truth); e > naruMax {
+			naruMax = e
+		}
+		if e := metrics.QError(pg.EstimateRegion(reg)*n, truth); e > pgMax {
+			pgMax = e
+		}
+	}
+	t.Logf("max q-error: naru=%.2f postgres=%.2f", naruMax, pgMax)
+	if naruMax*2 >= pgMax {
+		t.Fatalf("Naru (max %.2f) should beat Postgres (max %.2f) by >2x at the tail", naruMax, pgMax)
+	}
+	if naruMax > 15 {
+		t.Fatalf("Naru max q-error %.2f too high on an easy synthetic table", naruMax)
+	}
+}
+
+// TestHeadlineOODRobustness is Table 5 in miniature: on out-of-distribution
+// queries (mostly empty), the data-driven Naru must stay near-exact.
+func TestHeadlineOODRobustness(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains a model; skipped in -short")
+	}
+	tbl := datagen.DMV(20000, 4)
+	gc := query.DefaultGeneratorConfig()
+	gc.OOD = true
+	w, err := query.GenerateWorkload(tbl, gc, 13, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.HiddenSizes = []int{128, 128}
+	cfg.Epochs = 4
+	cfg.Samples = 1000
+	cfg.Seed = 2
+	est, err := Build(tbl, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := float64(tbl.NumRows())
+	errs := make([]float64, len(w.Regions))
+	for i, reg := range w.Regions {
+		errs[i] = metrics.QError(est.EstimateRegion(reg)*n, float64(w.TrueCard[i]))
+	}
+	if med := metrics.Quantile(errs, 0.5); med > 2 {
+		t.Fatalf("OOD median q-error %.2f; Naru should be near-exact on empty queries", med)
+	}
+}
+
+// TestHeadlineOracleSamplerScales is Figure 8 in miniature: progressive
+// sampling with a perfect model stays accurate as columns scale, with more
+// sample paths strictly reducing worst-case error.
+func TestHeadlineOracleSamplerScales(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds oracles; skipped in -short")
+	}
+	full := datagen.ConvivaB(2)
+	for _, nc := range []int{10, 40} {
+		tbl := full.Project(nc)
+		oracle := core.NewOracle(tbl)
+		gc := query.GeneratorConfig{MinFilters: 5, MaxFilters: 10, SmallDomainThreshold: 10}
+		w, err := query.GenerateWorkload(tbl, gc, 17, 25)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := float64(tbl.NumRows())
+		maxAt := func(samples int) float64 {
+			est := core.NewEstimator(oracle, samples, 19)
+			var mx float64
+			for i, reg := range w.Regions {
+				if e := metrics.QError(est.EstimateRegion(reg)*n, float64(w.TrueCard[i])); e > mx {
+					mx = e
+				}
+			}
+			return mx
+		}
+		low, high := maxAt(100), maxAt(2000)
+		t.Logf("cols=%d: max q-error naru-100=%.2f naru-2000=%.2f", nc, low, high)
+		if high > low {
+			t.Fatalf("cols=%d: more sample paths worsened the tail (%.2f -> %.2f)", nc, low, high)
+		}
+		if high > 40 {
+			t.Fatalf("cols=%d: naru-2000 max q-error %.2f too high with a perfect model", nc, high)
+		}
+	}
+}

@@ -1,0 +1,384 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/datagen"
+	"repro/internal/estimator"
+	"repro/internal/made"
+	"repro/internal/metrics"
+	"repro/internal/query"
+	"repro/internal/table"
+)
+
+// Fig4 prints the distribution of true query selectivities on DMV and
+// Conviva-A (Figure 4): a text CDF over the generated workload.
+func Fig4(out io.Writer, cfg Config) {
+	cfg = cfg.withDefaults()
+	fmt.Fprintln(out, "Figure 4: distribution of query selectivity")
+	for _, ds := range []struct {
+		name string
+		tbl  *table.Table
+	}{
+		{"DMV", datagen.DMV(cfg.DMVRows, cfg.Seed)},
+		{"Conviva-A", datagen.ConvivaA(cfg.ConvivaRows, cfg.Seed)},
+	} {
+		w := mustWorkload(ds.tbl, query.DefaultGeneratorConfig(), cfg.Seed+100, cfg.NumQueries)
+		sels := trueSels(w)
+		fmt.Fprintf(out, "\n%s (%d queries):\n", ds.name, len(sels))
+		for _, edge := range []float64{1e-5, 1e-4, 1e-3, 5e-3, 2e-2, 1e-1, 1} {
+			var frac float64
+			for _, s := range sels {
+				if s <= edge {
+					frac++
+				}
+			}
+			frac /= float64(len(sels))
+			fmt.Fprintf(out, "  sel <= %-7.0e: %5.1f%%\n", edge, 100*frac)
+		}
+		counts := map[metrics.SelectivityBucket]int{}
+		for _, s := range sels {
+			counts[metrics.Bucket(s)]++
+		}
+		fmt.Fprintf(out, "  bands: high=%d medium=%d low=%d\n",
+			counts[metrics.High], counts[metrics.Medium], counts[metrics.Low])
+	}
+}
+
+// Table3 runs the full estimator roster on the DMV analogue and prints the
+// paper-style error table. It returns the suite so callers (Fig 6, Table 6)
+// can reuse the trained model.
+func Table3(out io.Writer, cfg Config) *Suite {
+	cfg = cfg.withDefaults()
+	s := NewDMVSuite(cfg, out)
+	results := make([]*Result, 0, len(s.Estimators))
+	for _, e := range s.Estimators {
+		start := time.Now()
+		results = append(results, RunWorkload(e, s.Workload))
+		progress(out, cfg.Quiet, "table3: %s done in %v", e.Name(), time.Since(start).Round(time.Millisecond))
+	}
+	PrintErrorTable(out, "Table 3: estimation errors on DMV (q-error quantiles)", results, s.Workload)
+	printLatencies(out, "Figure 6a: estimator latency on DMV (ms)", results)
+	return s
+}
+
+// Table4 is Table3 for the Conviva-A analogue with the reduced roster.
+func Table4(out io.Writer, cfg Config) *Suite {
+	cfg = cfg.withDefaults()
+	s := NewConvivaASuite(cfg, out)
+	results := make([]*Result, 0, len(s.Estimators))
+	for _, e := range s.Estimators {
+		start := time.Now()
+		results = append(results, RunWorkload(e, s.Workload))
+		progress(out, cfg.Quiet, "table4: %s done in %v", e.Name(), time.Since(start).Round(time.Millisecond))
+	}
+	PrintErrorTable(out, "Table 4: estimation errors on Conviva-A (q-error quantiles)", results, s.Workload)
+	printLatencies(out, "Figure 6b: estimator latency on Conviva-A (ms)", results)
+	return s
+}
+
+// Table5 evaluates robustness to out-of-distribution queries (§6.3): literals
+// drawn from the whole joint domain, so most queries match nothing.
+func Table5(out io.Writer, cfg Config) {
+	cfg = cfg.withDefaults()
+	t := datagen.DMV(cfg.DMVRows, cfg.Seed)
+	oodCfg := query.DefaultGeneratorConfig()
+	oodCfg.OOD = true
+	w := mustWorkload(t, oodCfg, cfg.Seed+400, cfg.NumQueries)
+	var empty int
+	for _, c := range w.TrueCard {
+		if c == 0 {
+			empty++
+		}
+	}
+	fmt.Fprintf(out, "\nTable 5: OOD robustness on DMV (%d/%d queries are empty)\n",
+		empty, len(w.Queries))
+
+	naru := TrainNaru(t, DMVModelConfig(cfg.Seed), cfg.Epochs, cfg.Seed+200)
+	trainW := mustWorkload(t, query.DefaultGeneratorConfig(), cfg.Seed+300, trainQueryCount(cfg))
+	mscn := trainMSCN(t, trainW, estimator.MSCNConfig{Name: "MSCN-10K", SampleRows: 10000, Seed: cfg.Seed + 4})
+	kdeSup := estimator.NewKDE(t, 2000, cfg.Seed+1)
+	kdeSup.TuneBandwidths(trainW.Regions[:minInt(200, len(trainW.Regions))], trueSels(trainW)[:minInt(200, len(trainW.Regions))], 2)
+	ests := []estimator.Interface{
+		mscn,
+		kdeSup,
+		estimator.NewSample(t, 0.013, cfg.Seed+5),
+		core.NewEstimator(naru, 2000, cfg.Seed+7),
+	}
+	var rows []NamedErrors
+	for _, e := range ests {
+		r := RunWorkload(e, w)
+		rows = append(rows, NamedErrors{e.Name(), r.Errors(w)})
+	}
+	PrintQuantileTable(out, "errors on 100%-OOD workload", rows)
+}
+
+// Fig5 tracks entropy gap and worst-case q-error per training epoch (§6.4)
+// for both datasets.
+func Fig5(out io.Writer, cfg Config) {
+	cfg = cfg.withDefaults()
+	fmt.Fprintln(out, "\nFigure 5: training time vs quality")
+	fig5One(out, cfg, "DMV", datagen.DMV(cfg.DMVRows, cfg.Seed), DMVModelConfig(cfg.Seed), 1000)
+	fig5One(out, cfg, "Conviva-A", datagen.ConvivaA(cfg.ConvivaRows, cfg.Seed), ConvivaModelConfig(cfg.Seed), 2000)
+}
+
+func fig5One(out io.Writer, cfg Config, name string, t *table.Table, mc made.Config, samples int) {
+	// The evaluation workload runs after *every* epoch, so keep it small.
+	nq := maxInt(cfg.NumQueries/4, 20)
+	w := mustWorkload(t, query.DefaultGeneratorConfig(), cfg.Seed+100, nq)
+	dataH := core.DataEntropy(t)
+	m := made.New(t.DomainSizes(), mc)
+	fmt.Fprintf(out, "\n%s (H(P) = %.2f bits, %d rows, %d eval queries):\n",
+		name, dataH, t.NumRows(), len(w.Queries))
+	fmt.Fprintf(out, "%6s %14s %14s %12s\n", "epoch", "train-nll(bits)", "entropy-gap", "max-qerror")
+	core.Train(m, t, core.TrainConfig{
+		Epochs: cfg.Epochs, BatchSize: 512, LR: 2e-3, Seed: cfg.Seed + 200,
+		OnEpoch: func(epoch int, nll float64) bool {
+			gap := core.CrossEntropy(m, t, 20000) - dataH
+			est := core.NewEstimator(m, samples, cfg.Seed+7)
+			r := RunWorkload(est, w)
+			errs := r.Errors(w)
+			fmt.Fprintf(out, "%6d %14.2f %14.2f %12s\n",
+				epoch+1, nll/math.Ln2, gap, fmtErr(metrics.Quantile(errs, 1)))
+			return true
+		},
+	})
+}
+
+// printLatencies renders latency quantiles per estimator (Figure 6).
+func printLatencies(out io.Writer, title string, results []*Result) {
+	fmt.Fprintf(out, "\n%s\n%-12s %10s %10s %10s\n", title, "Estimator", "p50", "p99", "max")
+	for _, r := range results {
+		p50, p99, mx := LatencySummary(r.Latencies)
+		fmt.Fprintf(out, "%-12s %9.2fms %9.2fms %9.2fms\n", r.Estimator, p50, p99, mx)
+	}
+}
+
+// Table6 compares query-region sizes with the cost of naive enumeration and
+// the measured progressive-sampling latency at the 99th percentile.
+func Table6(out io.Writer, cfg Config) {
+	cfg = cfg.withDefaults()
+	fmt.Fprintln(out, "\nTable 6: query region sizes vs enumeration vs progressive sampling (99th percentile)")
+	for _, ds := range []struct {
+		name    string
+		tbl     *table.Table
+		mc      made.Config
+		samples int
+	}{
+		{"DMV", datagen.DMV(cfg.DMVRows, cfg.Seed), DMVModelConfig(cfg.Seed), 1000},
+		{"Conviva-A", datagen.ConvivaA(cfg.ConvivaRows, cfg.Seed), ConvivaModelConfig(cfg.Seed), 2000},
+	} {
+		w := mustWorkload(ds.tbl, query.DefaultGeneratorConfig(), cfg.Seed+100, minInt(cfg.NumQueries, 100))
+		sizes := make([]float64, len(w.Regions))
+		for i, reg := range w.Regions {
+			sizes[i] = reg.Size()
+		}
+		regionP99 := metrics.Quantile(sizes, 0.99)
+
+		m := TrainNaru(ds.tbl, ds.mc, maxInt(cfg.Epochs/2, 2), cfg.Seed+200)
+		est := core.NewEstimator(m, ds.samples, cfg.Seed+7)
+		r := RunWorkload(est, w)
+		_, latP99, _ := LatencySummary(r.Latencies)
+
+		// Enumeration cost model: one model forward per point per column at
+		// the measured per-point throughput of progressive sampling.
+		perPointSec := (latP99 / 1000) / float64(ds.samples)
+		enumHours := regionP99 * perPointSec / 3600
+
+		fmt.Fprintf(out, "%-10s region=%8.2g points  enum(est.)=%10.3g hr  naru(%d samples)=%6.2f ms\n",
+			ds.name, regionP99, enumHours, ds.samples, latP99)
+	}
+}
+
+// Table7 sweeps the hidden width of the Conviva-A model and reports model
+// size vs entropy gap after a fixed number of epochs (§6.6).
+func Table7(out io.Writer, cfg Config) {
+	cfg = cfg.withDefaults()
+	t := datagen.ConvivaA(cfg.ConvivaRows, cfg.Seed)
+	dataH := core.DataEntropy(t)
+	fmt.Fprintf(out, "\nTable 7: model size vs entropy gap on Conviva-A (%d epochs, H(P)=%.2f bits)\n",
+		cfg.Epochs, dataH)
+	fmt.Fprintf(out, "%-22s %10s %14s\n", "Architecture", "Size(MB)", "EntropyGap")
+	for _, width := range []int{32, 64, 128, 256} {
+		mc := made.Config{
+			HiddenSizes:    []int{width, width, width, width},
+			EmbedThreshold: 64, EmbedDim: 64, Seed: cfg.Seed,
+		}
+		m := TrainNaru(t, mc, cfg.Epochs, cfg.Seed+200)
+		gap := core.CrossEntropy(m, t, 20000) - dataH
+		fmt.Fprintf(out, "%dx%dx%dx%d%*s %10.2f %11.2f bits\n",
+			width, width, width, width, 22-len(fmt.Sprintf("%dx%dx%dx%d", width, width, width, width)), "",
+			float64(m.SizeBytes())/1e6, gap)
+	}
+}
+
+// Fig7 reproduces the oracle-noise sweep on Conviva-B projected to 15
+// columns: accuracy of Naru-{50,250,1000} vs Indep and Sample(1%) as the
+// model's entropy gap grows artificially.
+func Fig7(out io.Writer, cfg Config) {
+	cfg = cfg.withDefaults()
+	full := datagen.ConvivaB(cfg.Seed)
+	t := full.Project(15)
+	w := fig78Workload(t, cfg, minInt(cfg.NumQueries, 40))
+	oracle := core.NewOracle(t)
+	indep := estimator.NewIndep(t)
+	sample := estimator.NewSample(t, 0.01, cfg.Seed+5)
+
+	fmt.Fprintln(out, "\nFigure 7: max q-error vs artificial entropy gap (Conviva-B, first 15 cols, oracle model)")
+	fmt.Fprintf(out, "%8s %10s", "gap(bits)", "eps")
+	for _, s := range []int{50, 250, 1000} {
+		fmt.Fprintf(out, " %10s", fmt.Sprintf("Naru-%d", s))
+	}
+	fmt.Fprintf(out, " %10s %10s\n", "Indep", "Sample(1%)")
+	for _, gap := range []float64{0, 0.5, 2, 5, 10, 20} {
+		eps := oracle.CalibrateNoise(gap)
+		var model core.Model = oracle
+		if eps > 0 {
+			model = core.NewNoisyOracle(oracle, eps)
+		}
+		fmt.Fprintf(out, "%8.1f %10.4f", gap, eps)
+		for _, s := range []int{50, 250, 1000} {
+			est := core.NewEstimator(model, s, cfg.Seed+int64(s))
+			r := RunWorkload(est, w)
+			fmt.Fprintf(out, " %10s", fmtErr(metrics.Quantile(r.Errors(w), 1)))
+		}
+		ri := RunWorkload(indep, w)
+		rs := RunWorkload(sample, w)
+		fmt.Fprintf(out, " %10s %10s\n",
+			fmtErr(metrics.Quantile(ri.Errors(w), 1)), fmtErr(metrics.Quantile(rs.Errors(w), 1)))
+	}
+}
+
+// Fig8 reproduces the column-count sweep: oracle-model accuracy as Conviva-B
+// is widened from 5 to 100 columns, for Naru-{100,1000,10000}.
+func Fig8(out io.Writer, cfg Config) {
+	cfg = cfg.withDefaults()
+	full := datagen.ConvivaB(cfg.Seed)
+	fmt.Fprintln(out, "\nFigure 8: max q-error vs number of columns (Conviva-B, oracle model)")
+	fmt.Fprintf(out, "%8s", "cols")
+	for _, s := range []int{100, 1000, 10000} {
+		fmt.Fprintf(out, " %11s", fmt.Sprintf("Naru-%d", s))
+	}
+	fmt.Fprintf(out, " %11s %11s\n", "Indep", "Sample(1%)")
+	for _, nc := range []int{5, 15, 30, 50, 75, 100} {
+		t := full.Project(nc)
+		w := fig78Workload(t, cfg, minInt(cfg.NumQueries, 30))
+		oracle := core.NewOracle(t)
+		fmt.Fprintf(out, "%8d", nc)
+		for _, s := range []int{100, 1000, 10000} {
+			est := core.NewEstimator(oracle, s, cfg.Seed+int64(s))
+			r := RunWorkload(est, w)
+			fmt.Fprintf(out, " %11s", fmtErr(metrics.Quantile(r.Errors(w), 1)))
+		}
+		ri := RunWorkload(estimator.NewIndep(t), w)
+		rs := RunWorkload(estimator.NewSample(t, 0.01, cfg.Seed+5), w)
+		fmt.Fprintf(out, " %11s %11s\n",
+			fmtErr(metrics.Quantile(ri.Errors(w), 1)), fmtErr(metrics.Quantile(rs.Errors(w), 1)))
+	}
+}
+
+// fig78Workload draws the §6.7 microbenchmark workload: up to 12 filtered
+// columns, literals from the data.
+func fig78Workload(t *table.Table, cfg Config, n int) *query.Workload {
+	gc := query.GeneratorConfig{MinFilters: 5, MaxFilters: 12, SmallDomainThreshold: 10}
+	if t.NumCols() < gc.MinFilters {
+		gc.MinFilters = t.NumCols()
+	}
+	return mustWorkload(t, gc, cfg.Seed+500, n)
+}
+
+// Table8 reproduces the data-shift experiment (§6.7.3): DMV is partitioned
+// by valid_date into 5 ingests; a stale model (built on partition 1) is
+// compared against a model fine-tuned after each ingest.
+func Table8(out io.Writer, cfg Config) {
+	cfg = cfg.withDefaults()
+	t := datagen.DMV(cfg.DMVRows, cfg.Seed).SortByColumn(6) // valid_date
+	nParts := 5
+	partRows := t.NumRows() / nParts
+
+	fmt.Fprintln(out, "\nTable 8: robustness to data shifts (DMV partitioned by valid_date)")
+	fmt.Fprintf(out, "%-24s", "Partitions ingested")
+	for p := 1; p <= nParts; p++ {
+		fmt.Fprintf(out, " %8d", p)
+	}
+	fmt.Fprintln(out)
+
+	mc := DMVModelConfig(cfg.Seed)
+	first := t.SliceRows(0, partRows)
+	stale := made.New(t.DomainSizes(), mc)
+	core.Train(stale, first, core.TrainConfig{Epochs: cfg.Epochs, BatchSize: 512, LR: 2e-3, Seed: cfg.Seed + 200})
+	refreshed := made.New(t.DomainSizes(), mc)
+	core.Train(refreshed, first, core.TrainConfig{Epochs: cfg.Epochs, BatchSize: 512, LR: 2e-3, Seed: cfg.Seed + 200})
+
+	// The query generator draws literals from tuples of the first partition
+	// (as in the paper); true selectivities use all ingested data.
+	nq := minInt(cfg.NumQueries, 200)
+	queries := make([]query.Query, nq)
+	gen := query.NewGenerator(first, query.DefaultGeneratorConfig(), cfg.Seed+600)
+	for i := range queries {
+		queries[i] = gen.Next()
+	}
+
+	type row struct{ max, p90 []float64 }
+	staleRow, freshRow := row{}, row{}
+	for p := 1; p <= nParts; p++ {
+		hi := p * partRows
+		if p == nParts {
+			hi = t.NumRows()
+		}
+		ingested := t.SliceRows(0, hi)
+		if p > 1 {
+			// Fine-tune the refreshed model on a recent window of the data
+			// (gradient updates on each new ingest, §6.7.3).
+			core.Train(refreshed, ingested, core.TrainConfig{
+				Epochs: maxInt(cfg.Epochs/2, 1), BatchSize: 512, LR: 1e-3, Seed: cfg.Seed + int64(700+p)})
+		}
+		w := labelQueries(queries, ingested)
+		for _, mr := range []struct {
+			m *made.Model
+			r *row
+		}{{stale, &staleRow}, {refreshed, &freshRow}} {
+			est := core.NewEstimator(mr.m, 1000, cfg.Seed+7)
+			res := RunWorkload(est, w)
+			errs := res.Errors(w)
+			mr.r.max = append(mr.r.max, metrics.Quantile(errs, 1))
+			mr.r.p90 = append(mr.r.p90, metrics.Quantile(errs, 0.9))
+		}
+		progress(out, cfg.Quiet, "table8: partition %d/%d done", p, nParts)
+	}
+	printShiftRow(out, "Naru, refreshed: max", freshRow.max)
+	printShiftRow(out, "  90%-tile", freshRow.p90)
+	printShiftRow(out, "Naru, stale: max", staleRow.max)
+	printShiftRow(out, "  90%-tile", staleRow.p90)
+}
+
+func printShiftRow(out io.Writer, label string, vals []float64) {
+	fmt.Fprintf(out, "%-24s", label)
+	for _, v := range vals {
+		fmt.Fprintf(out, " %8s", fmtErr(v))
+	}
+	fmt.Fprintln(out)
+}
+
+// labelQueries compiles and executes fixed queries against a (grown) table.
+func labelQueries(qs []query.Query, t *table.Table) *query.Workload {
+	w := &query.Workload{
+		Queries:  qs,
+		Regions:  make([]*query.Region, len(qs)),
+		TrueCard: make([]int64, len(qs)),
+		NumRows:  int64(t.NumRows()),
+	}
+	for i, q := range qs {
+		reg, err := query.Compile(q, t)
+		if err != nil {
+			panic(fmt.Sprintf("bench: labelQueries: %v", err))
+		}
+		w.Regions[i] = reg
+		w.TrueCard[i] = query.Execute(reg, t)
+	}
+	return w
+}

@@ -1,0 +1,196 @@
+package colnet
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/made"
+	"repro/internal/nn"
+	"repro/internal/query"
+	"repro/internal/table"
+)
+
+func tinyConfig(seed int64) Config {
+	return Config{Hidden: 32, Layers: 2, EmbedThreshold: 64, EmbedDim: 8, Seed: seed}
+}
+
+func TestShapes(t *testing.T) {
+	m := New([]int{4, 100, 7}, tinyConfig(1))
+	if m.NumCols() != 3 {
+		t.Fatalf("NumCols = %d", m.NumCols())
+	}
+	ds := m.DomainSizes()
+	if ds[0] != 4 || ds[1] != 100 || ds[2] != 7 {
+		t.Fatalf("DomainSizes = %v", ds)
+	}
+	if !m.codecs[1].embedded || m.codecs[0].embedded {
+		t.Fatal("embedding assignment wrong")
+	}
+	if m.SizeBytes() <= 0 || m.NumParams() <= 0 {
+		t.Fatal("size accounting")
+	}
+}
+
+func TestCondBatchNormalized(t *testing.T) {
+	m := New([]int{5, 80, 3}, tinyConfig(2))
+	codes := []int32{0, 10, 1, 4, 79, 0}
+	for col := 0; col < 3; col++ {
+		out := [][]float64{make([]float64, m.domains[col]), make([]float64, m.domains[col])}
+		m.CondBatch(codes, 2, col, out)
+		for r := range out {
+			var s float64
+			for _, p := range out[r] {
+				s += p
+			}
+			if math.Abs(s-1) > 1e-9 {
+				t.Fatalf("col %d row %d: sum %v", col, r, s)
+			}
+		}
+	}
+}
+
+// The structural guarantee: column i's conditional cannot see columns >= i.
+func TestAutoregressiveByConstruction(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	domains := []int{6, 70, 4, 9}
+	m := New(domains, tinyConfig(4))
+	batch := make([]int32, 8*4)
+	for i := range batch {
+		batch[i] = int32(rng.Intn(domains[i%4]))
+	}
+	m.TrainStep(batch, 8, nn.NewAdam(1e-3))
+	for col := 0; col < 4; col++ {
+		base := []int32{3, 17, 2, 5}
+		out1 := [][]float64{make([]float64, domains[col])}
+		m.CondBatch(base, 1, col, out1)
+		got := append([]float64(nil), out1[0]...)
+		mutated := append([]int32(nil), base...)
+		for j := col; j < 4; j++ {
+			mutated[j] = (mutated[j] + 1) % int32(domains[j])
+		}
+		out2 := [][]float64{make([]float64, domains[col])}
+		m.CondBatch(mutated, 1, col, out2)
+		for v := range got {
+			if got[v] != out2[0][v] {
+				t.Fatalf("col %d: depends on later columns", col)
+			}
+		}
+	}
+}
+
+func TestLogProbMatchesChain(t *testing.T) {
+	m := New([]int{5, 90, 3}, tinyConfig(5))
+	codes := []int32{2, 40, 1}
+	var lp [1]float64
+	m.LogProbBatch(codes, 1, lp[:])
+	var chain float64
+	for col := 0; col < 3; col++ {
+		out := [][]float64{make([]float64, m.domains[col])}
+		m.CondBatch(codes, 1, col, out)
+		chain += math.Log(out[0][codes[col]])
+	}
+	if math.Abs(lp[0]-chain) > 1e-9 {
+		t.Fatalf("LogProb %v vs chain %v", lp[0], chain)
+	}
+}
+
+func TestTrainingConverges(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	const n = 256
+	codes := make([]int32, n*3)
+	for r := 0; r < n; r++ {
+		x := int32(rng.Intn(8))
+		codes[r*3], codes[r*3+1], codes[r*3+2] = x, x*12, x%5
+	}
+	m := New([]int{8, 120, 5}, tinyConfig(7))
+	opt := nn.NewAdam(3e-3)
+	first := m.TrainStep(codes, n, opt)
+	var last float64
+	for i := 0; i < 80; i++ {
+		last = m.TrainStep(codes, n, opt)
+	}
+	if last >= first*0.7 {
+		t.Fatalf("not converging: %.3f → %.3f", first, last)
+	}
+}
+
+// Architecture A should plug into the Naru estimator unchanged.
+func TestWorksWithProgressiveSampling(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	const rows = 4000
+	colsCodes := make([][]int32, 3)
+	for c := range colsCodes {
+		colsCodes[c] = make([]int32, rows)
+	}
+	for r := 0; r < rows; r++ {
+		x := int32(rng.Intn(6))
+		colsCodes[0][r] = x
+		colsCodes[1][r] = (x*2 + int32(rng.Intn(2))) % 10
+		colsCodes[2][r] = (x + colsCodes[1][r]) % 4
+	}
+	tbl, err := table.FromCodes("c", []string{"a", "b", "c"}, []int{6, 10, 4}, colsCodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := New(tbl.DomainSizes(), tinyConfig(9))
+	core.Train(m, tbl, core.TrainConfig{Epochs: 12, BatchSize: 256, LR: 5e-3, Seed: 10})
+	est := core.NewEstimator(m, 1500, 11)
+	gen := query.NewGenerator(tbl, query.GeneratorConfig{MinFilters: 1, MaxFilters: 2, SmallDomainThreshold: 5}, 12)
+	worst := 1.0
+	for i := 0; i < 15; i++ {
+		reg, err := query.Compile(gen.Next(), tbl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		truth := query.Selectivity(reg, tbl)
+		got := est.EstimateRegion(reg)
+		e := qerr(math.Max(got, 1.0/rows), math.Max(truth, 1.0/rows))
+		if e > worst {
+			worst = e
+		}
+	}
+	if worst > 6 {
+		t.Fatalf("worst q-error %.2f with trained colnet", worst)
+	}
+}
+
+// §4.3: at matched parameter counts, compare entropy achieved by A and B.
+// This is an ablation smoke test — both must learn; we don't assert a winner
+// on this tiny problem, just sane gaps for both.
+func TestArchComparisonBothLearn(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	const rows = 3000
+	colsCodes := make([][]int32, 4)
+	for c := range colsCodes {
+		colsCodes[c] = make([]int32, rows)
+	}
+	for r := 0; r < rows; r++ {
+		x := int32(rng.Intn(5))
+		colsCodes[0][r] = x
+		colsCodes[1][r] = (x * 3) % 11
+		colsCodes[2][r] = (x + int32(rng.Intn(2))) % 7
+		colsCodes[3][r] = (colsCodes[1][r] + colsCodes[2][r]) % 6
+	}
+	tbl, err := table.FromCodes("cmp", []string{"a", "b", "c", "d"}, []int{5, 11, 7, 6}, colsCodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := New(tbl.DomainSizes(), tinyConfig(14))
+	bm := made.New(tbl.DomainSizes(), made.Config{HiddenSizes: []int{64, 64}, EmbedThreshold: 64, EmbedDim: 8, Seed: 14})
+	core.Train(a, tbl, core.TrainConfig{Epochs: 10, BatchSize: 256, LR: 5e-3, Seed: 15})
+	core.Train(bm, tbl, core.TrainConfig{Epochs: 10, BatchSize: 256, LR: 5e-3, Seed: 15})
+	gapA := core.EntropyGap(a, tbl, 0)
+	gapB := core.EntropyGap(bm, tbl, 0)
+	if gapA > 2.5 || gapB > 2.5 {
+		t.Fatalf("gaps too large: A=%.2f B=%.2f bits", gapA, gapB)
+	}
+}
+
+func qerr(a, b float64) float64 {
+	if a > b {
+		return a / b
+	}
+	return b / a
+}

@@ -1,0 +1,125 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/made"
+	"repro/internal/nn"
+	"repro/internal/query"
+	"repro/internal/table"
+)
+
+func benchTable(b *testing.B, rows int) *table.Table {
+	b.Helper()
+	rng := rand.New(rand.NewSource(1))
+	domains := []int{8, 75, 150, 10, 40}
+	codes := make([][]int32, len(domains))
+	for c := range codes {
+		codes[c] = make([]int32, rows)
+	}
+	for r := 0; r < rows; r++ {
+		x := int32(rng.Intn(8))
+		codes[0][r] = x
+		codes[1][r] = (x*9 + int32(rng.Intn(3))) % 75
+		codes[2][r] = (codes[1][r]*2 + int32(rng.Intn(4))) % 150
+		codes[3][r] = x % 10
+		codes[4][r] = (x + codes[3][r]) % 40
+	}
+	t, err := table.FromCodes("bench", []string{"a", "b", "c", "d", "e"}, domains, codes)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return t
+}
+
+func benchModel(b *testing.B, t *table.Table) *made.Model {
+	b.Helper()
+	m := made.New(t.DomainSizes(), made.Config{
+		HiddenSizes: []int{64, 64}, EmbedThreshold: 64, EmbedDim: 16, Seed: 1})
+	// One cheap epoch so conditionals aren't uniform.
+	codes := make([]int32, 256*t.NumCols())
+	for r := 0; r < 256; r++ {
+		row := make([]int32, t.NumCols())
+		t.Row(r, row)
+		copy(codes[r*t.NumCols():], row)
+	}
+	m.TrainStep(codes, 256, nn.NewAdam(1e-3))
+	return m
+}
+
+func benchRegion(b *testing.B, t *table.Table) *query.Region {
+	b.Helper()
+	reg, err := query.Compile(query.Query{Preds: []query.Predicate{
+		{Col: 1, Op: query.OpLe, Code: 50},
+		{Col: 2, Op: query.OpGe, Code: 20},
+		{Col: 4, Op: query.OpLe, Code: 30},
+	}}, t)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return reg
+}
+
+func BenchmarkProgressiveSample1000(b *testing.B) {
+	t := benchTable(b, 10000)
+	est := NewEstimator(benchModel(b, t), 1000, 1)
+	reg := benchRegion(b, t)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		est.ProgressiveSample(reg, 1000)
+	}
+}
+
+func BenchmarkEnumerateSmallRegion(b *testing.B) {
+	t := benchTable(b, 10000)
+	est := NewEstimator(benchModel(b, t), 100, 1)
+	reg, err := query.Compile(query.Query{Preds: []query.Predicate{
+		{Col: 0, Op: query.OpEq, Code: 2},
+		{Col: 1, Op: query.OpLe, Code: 10},
+	}}, t)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		est.Enumerate(reg)
+	}
+}
+
+func BenchmarkOracleProgressiveSample(b *testing.B) {
+	t := benchTable(b, 10000)
+	est := NewEstimator(NewOracle(t), 1000, 1)
+	reg := benchRegion(b, t)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		est.ProgressiveSample(reg, 1000)
+	}
+}
+
+func BenchmarkDataEntropy(b *testing.B) {
+	t := benchTable(b, 20000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		DataEntropy(t)
+	}
+}
+
+func BenchmarkCrossEntropy(b *testing.B) {
+	t := benchTable(b, 5000)
+	m := benchModel(b, t)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		CrossEntropy(m, t, 2000)
+	}
+}
+
+func BenchmarkTrainEpoch(b *testing.B) {
+	t := benchTable(b, 10000)
+	m := made.New(t.DomainSizes(), made.Config{
+		HiddenSizes: []int{64, 64}, EmbedThreshold: 64, EmbedDim: 16, Seed: 1})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Train(m, t, TrainConfig{Epochs: 1, BatchSize: 512, LR: 2e-3, Seed: int64(i)})
+	}
+}

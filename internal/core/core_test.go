@@ -1,0 +1,396 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/made"
+	"repro/internal/query"
+	"repro/internal/table"
+)
+
+// corrTable builds a correlated 4-column table for sampler tests.
+func corrTable(t *testing.T, rows int, seed int64) *table.Table {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	codes := make([][]int32, 4)
+	domains := []int{8, 12, 6, 10}
+	for c := range codes {
+		codes[c] = make([]int32, rows)
+	}
+	for r := 0; r < rows; r++ {
+		x0 := int32(rng.Intn(8))
+		if rng.Float64() < 0.7 {
+			x0 = int32(rng.Intn(2)) // skew
+		}
+		x1 := (x0 + int32(rng.Intn(3))) % 12
+		x2 := (x0 * x1) % 6
+		x3 := (x1 + int32(rng.Intn(2))) % 10
+		codes[0][r], codes[1][r], codes[2][r], codes[3][r] = x0, x1, x2, x3
+	}
+	tbl, err := table.FromCodes("corr", []string{"a", "b", "c", "d"}, domains, codes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tbl
+}
+
+func mustRegion(t *testing.T, q query.Query, tbl *table.Table) *query.Region {
+	t.Helper()
+	reg, err := query.Compile(q, tbl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return reg
+}
+
+func TestOracleMarginalAndConditional(t *testing.T) {
+	tbl := corrTable(t, 2000, 1)
+	o := NewOracle(tbl)
+	if o.NumCols() != 4 {
+		t.Fatalf("NumCols = %d", o.NumCols())
+	}
+	// Column 0 conditional with no prefix = empirical marginal.
+	out := [][]float64{make([]float64, 8)}
+	o.CondBatch(make([]int32, 4), 1, 0, out)
+	counts := make([]float64, 8)
+	for _, c := range tbl.Cols[0].Codes {
+		counts[c]++
+	}
+	for v := 0; v < 8; v++ {
+		want := counts[v] / 2000
+		if math.Abs(out[0][v]-want) > 1e-12 {
+			t.Fatalf("marginal[%d] = %v, want %v", v, out[0][v], want)
+		}
+	}
+	// Conditional of column 1 given x0=0 equals the filtered empirical.
+	codes := []int32{0, 0, 0, 0}
+	o.BeginSampling(1)
+	out0 := [][]float64{make([]float64, 8)}
+	o.CondBatch(codes, 1, 0, out0)
+	out1 := [][]float64{make([]float64, 12)}
+	o.CondBatch(codes, 1, 1, out1)
+	var n0 float64
+	cond := make([]float64, 12)
+	for r := 0; r < 2000; r++ {
+		if tbl.Cols[0].Codes[r] == 0 {
+			n0++
+			cond[tbl.Cols[1].Codes[r]]++
+		}
+	}
+	for v := 0; v < 12; v++ {
+		if math.Abs(out1[0][v]-cond[v]/n0) > 1e-12 {
+			t.Fatalf("cond[%d] = %v, want %v", v, out1[0][v], cond[v]/n0)
+		}
+	}
+}
+
+func TestOracleLogProbIsEmpiricalJoint(t *testing.T) {
+	tbl := corrTable(t, 500, 2)
+	o := NewOracle(tbl)
+	// Count a specific tuple by scan.
+	probe := make([]int32, 4)
+	tbl.Row(7, probe)
+	var cnt float64
+	row := make([]int32, 4)
+	for r := 0; r < 500; r++ {
+		tbl.Row(r, row)
+		if row[0] == probe[0] && row[1] == probe[1] && row[2] == probe[2] && row[3] == probe[3] {
+			cnt++
+		}
+	}
+	var lp [1]float64
+	o.LogProbBatch(probe, 1, lp[:])
+	if math.Abs(lp[0]-math.Log(cnt/500)) > 1e-12 {
+		t.Fatalf("LogProb = %v, want %v", lp[0], math.Log(cnt/500))
+	}
+	// A tuple outside the data has -Inf.
+	bad := []int32{7, 11, 5, 9}
+	o.LogProbBatch(bad, 1, lp[:])
+	if !math.IsInf(lp[0], -1) {
+		// It might coincidentally exist; verify by scan before failing.
+		exists := false
+		for r := 0; r < 500; r++ {
+			tbl.Row(r, row)
+			if row[0] == 7 && row[1] == 11 && row[2] == 5 && row[3] == 9 {
+				exists = true
+			}
+		}
+		if !exists {
+			t.Fatalf("unsupported tuple got log-prob %v", lp[0])
+		}
+	}
+}
+
+func TestEnumerateExactWithOracle(t *testing.T) {
+	tbl := corrTable(t, 1500, 3)
+	o := NewOracle(tbl)
+	est := NewEstimator(o, 100, 1)
+	queries := []query.Query{
+		{Preds: []query.Predicate{{Col: 0, Op: query.OpEq, Code: 0}}},
+		{Preds: []query.Predicate{{Col: 0, Op: query.OpLe, Code: 3}, {Col: 2, Op: query.OpGe, Code: 2}}},
+		{Preds: []query.Predicate{{Col: 1, Op: query.OpBetween, Code: 2, Code2: 8}, {Col: 3, Op: query.OpNe, Code: 0}}},
+		{Preds: []query.Predicate{{Col: 0, Op: query.OpEq, Code: 1}, {Col: 1, Op: query.OpEq, Code: 2}, {Col: 2, Op: query.OpEq, Code: 2}, {Col: 3, Op: query.OpEq, Code: 3}}},
+	}
+	for i, q := range queries {
+		reg := mustRegion(t, q, tbl)
+		truth := query.Selectivity(reg, tbl)
+		got := est.Enumerate(reg)
+		if math.Abs(got-truth) > 1e-9 {
+			t.Fatalf("query %d: Enumerate = %v, truth = %v", i, got, truth)
+		}
+	}
+}
+
+func TestEnumerateTrailingWildcards(t *testing.T) {
+	// Only column 0 restricted: enumeration must stop there and still be
+	// exact (trailing conditionals sum to 1).
+	tbl := corrTable(t, 800, 4)
+	o := NewOracle(tbl)
+	est := NewEstimator(o, 50, 1)
+	reg := mustRegion(t, query.Query{Preds: []query.Predicate{{Col: 0, Op: query.OpLe, Code: 2}}}, tbl)
+	truth := query.Selectivity(reg, tbl)
+	if got := est.Enumerate(reg); math.Abs(got-truth) > 1e-9 {
+		t.Fatalf("Enumerate = %v, truth = %v", got, truth)
+	}
+}
+
+func TestProgressiveSamplingUnbiasedWithOracle(t *testing.T) {
+	// Theorem 1: with the true conditionals, the progressive-sampling
+	// estimate converges to the true selectivity.
+	tbl := corrTable(t, 3000, 5)
+	o := NewOracle(tbl)
+	est := NewEstimator(o, 4000, 42)
+	gen := query.NewGenerator(tbl, query.GeneratorConfig{MinFilters: 2, MaxFilters: 4, SmallDomainThreshold: 5}, 7)
+	for i := 0; i < 15; i++ {
+		q := gen.Next()
+		reg := mustRegion(t, q, tbl)
+		truth := query.Selectivity(reg, tbl)
+		got := est.ProgressiveSample(reg, 4000)
+		if truth == 0 {
+			if got > 1e-6 {
+				t.Fatalf("query %d: truth 0, estimate %v", i, got)
+			}
+			continue
+		}
+		ratio := got / truth
+		if ratio < 0.8 || ratio > 1.25 {
+			t.Fatalf("query %d (%s): estimate %v vs truth %v (ratio %.3f)",
+				i, q.String(tbl), got, truth, ratio)
+		}
+	}
+}
+
+func TestProgressiveSamplingEmptyRegionZero(t *testing.T) {
+	tbl := corrTable(t, 500, 6)
+	o := NewOracle(tbl)
+	est := NewEstimator(o, 200, 1)
+	// x0 = 5 AND x0 = 6 is unsatisfiable.
+	reg := mustRegion(t, query.Query{Preds: []query.Predicate{
+		{Col: 0, Op: query.OpEq, Code: 5}, {Col: 0, Op: query.OpEq, Code: 6}}}, tbl)
+	if got := est.EstimateRegion(reg); got != 0 {
+		t.Fatalf("empty region estimate = %v", got)
+	}
+}
+
+func TestEstimateRegionDispatch(t *testing.T) {
+	tbl := corrTable(t, 1000, 7)
+	o := NewOracle(tbl)
+	est := NewEstimator(o, 500, 1)
+	est.EnumThreshold = 10
+	// Tiny region (1 point in restricted prefix) → enumeration (exact).
+	reg := mustRegion(t, query.Query{Preds: []query.Predicate{
+		{Col: 0, Op: query.OpEq, Code: 0}, {Col: 1, Op: query.OpEq, Code: 1}}}, tbl)
+	truth := query.Selectivity(reg, tbl)
+	if got := est.EstimateRegion(reg); math.Abs(got-truth) > 1e-9 {
+		t.Fatalf("small-region estimate %v, truth %v", got, truth)
+	}
+	// Large region → sampling path still produces sane output.
+	reg2 := mustRegion(t, query.Query{Preds: []query.Predicate{
+		{Col: 0, Op: query.OpGe, Code: 0}, {Col: 1, Op: query.OpGe, Code: 2},
+		{Col: 3, Op: query.OpLe, Code: 8}}}, tbl)
+	got := est.EstimateRegion(reg2)
+	if got < 0 || got > 1 {
+		t.Fatalf("estimate out of range: %v", got)
+	}
+}
+
+func TestNoisyOracleGapAccounting(t *testing.T) {
+	tbl := corrTable(t, 1000, 8)
+	o := NewOracle(tbl)
+	if g := o.NoisyGapBits(0); math.Abs(g) > 1e-9 {
+		t.Fatalf("gap at eps=0 is %v", g)
+	}
+	g1, g2 := o.NoisyGapBits(0.1), o.NoisyGapBits(0.5)
+	if !(g2 > g1 && g1 > 0) {
+		t.Fatalf("gap not monotone: %v %v", g1, g2)
+	}
+	for _, target := range []float64{0.5, 2, 5} {
+		eps := o.CalibrateNoise(target)
+		got := o.NoisyGapBits(eps)
+		if math.Abs(got-target) > 0.05 && eps < 1 {
+			t.Fatalf("calibrated gap %v for target %v (eps %v)", got, target, eps)
+		}
+	}
+	if o.CalibrateNoise(0) != 0 {
+		t.Fatal("CalibrateNoise(0) != 0")
+	}
+}
+
+func TestNoisyOracleCondNormalized(t *testing.T) {
+	tbl := corrTable(t, 600, 9)
+	no := NewNoisyOracle(NewOracle(tbl), 0.3)
+	codes := []int32{0, 1, 0, 0}
+	for col := 0; col < 4; col++ {
+		out := [][]float64{make([]float64, no.domains[col])}
+		no.CondBatch(codes, 1, col, out)
+		var s float64
+		for _, p := range out[0] {
+			s += p
+		}
+		if math.Abs(s-1) > 1e-9 {
+			t.Fatalf("col %d: noisy conditional sums to %v", col, s)
+		}
+	}
+}
+
+func TestNoisyOracleDegradesEstimates(t *testing.T) {
+	tbl := corrTable(t, 2000, 10)
+	o := NewOracle(tbl)
+	gen := query.NewGenerator(tbl, query.GeneratorConfig{MinFilters: 2, MaxFilters: 3, SmallDomainThreshold: 5}, 3)
+	var exactErr, noisyErr float64
+	exact := NewEstimator(o, 2000, 1)
+	noisy := NewEstimator(NewNoisyOracle(o, 0.95), 2000, 1)
+	for i := 0; i < 10; i++ {
+		q := gen.Next()
+		reg := mustRegion(t, q, tbl)
+		truth := query.Selectivity(reg, tbl)
+		if truth == 0 {
+			continue
+		}
+		exactErr += qerr(exact.ProgressiveSample(reg, 2000), truth)
+		noisyErr += qerr(noisy.ProgressiveSample(reg, 2000), truth)
+	}
+	if noisyErr <= exactErr {
+		t.Fatalf("heavy noise did not degrade accuracy: exact %v noisy %v", exactErr, noisyErr)
+	}
+}
+
+func qerr(est, truth float64) float64 {
+	const eps = 1e-9
+	if est < eps {
+		est = eps
+	}
+	if truth < eps {
+		truth = eps
+	}
+	if est > truth {
+		return est / truth
+	}
+	return truth / est
+}
+
+func TestDataEntropyKnownDistribution(t *testing.T) {
+	// 4 equally frequent distinct tuples → H = 2 bits.
+	codes := [][]int32{{0, 0, 1, 1, 0, 0, 1, 1}, {0, 1, 0, 1, 0, 1, 0, 1}}
+	tbl, err := table.FromCodes("h", []string{"a", "b"}, []int{2, 2}, codes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h := DataEntropy(tbl); math.Abs(h-2) > 1e-12 {
+		t.Fatalf("entropy = %v, want 2", h)
+	}
+}
+
+func TestOracleEntropyGapIsZero(t *testing.T) {
+	tbl := corrTable(t, 1200, 11)
+	o := NewOracle(tbl)
+	if gap := EntropyGap(o, tbl, 0); math.Abs(gap) > 1e-9 {
+		t.Fatalf("oracle entropy gap = %v, want 0", gap)
+	}
+}
+
+func TestTrainReducesEntropyGap(t *testing.T) {
+	tbl := corrTable(t, 4000, 12)
+	m := made.New(tbl.DomainSizes(), made.Config{
+		HiddenSizes: []int{64, 64}, EmbedThreshold: 64, EmbedDim: 8, Seed: 1})
+	before := EntropyGap(m, tbl, 1000)
+	hist := Train(m, tbl, TrainConfig{Epochs: 8, BatchSize: 256, LR: 5e-3, Seed: 2})
+	after := EntropyGap(m, tbl, 1000)
+	if len(hist) != 8 {
+		t.Fatalf("history length %d", len(hist))
+	}
+	if hist[7] >= hist[0] {
+		t.Fatalf("training NLL not decreasing: %v", hist)
+	}
+	if after >= before {
+		t.Fatalf("entropy gap did not shrink: %v → %v", before, after)
+	}
+	if after > 3 {
+		t.Fatalf("entropy gap still %v bits after training", after)
+	}
+}
+
+func TestTrainOnEpochEarlyStop(t *testing.T) {
+	tbl := corrTable(t, 1000, 13)
+	m := made.New(tbl.DomainSizes(), made.Config{
+		HiddenSizes: []int{32}, EmbedThreshold: 64, EmbedDim: 8, Seed: 1})
+	calls := 0
+	hist := Train(m, tbl, TrainConfig{Epochs: 10, BatchSize: 128, LR: 1e-3, Seed: 1,
+		OnEpoch: func(epoch int, nll float64) bool {
+			calls++
+			return epoch < 2
+		}})
+	if calls != 3 || len(hist) != 3 {
+		t.Fatalf("early stop failed: calls=%d len=%d", calls, len(hist))
+	}
+}
+
+func TestMADEEndToEndSelectivity(t *testing.T) {
+	// Full pipeline: train MADE on a correlated table, wrap in the Naru
+	// estimator, and require decent accuracy on non-trivial range queries.
+	tbl := corrTable(t, 6000, 14)
+	m := made.New(tbl.DomainSizes(), made.Config{
+		HiddenSizes: []int{64, 64}, EmbedThreshold: 64, EmbedDim: 8, Seed: 3})
+	Train(m, tbl, TrainConfig{Epochs: 12, BatchSize: 256, LR: 5e-3, Seed: 4})
+	est := NewEstimator(m, 2000, 5)
+	gen := query.NewGenerator(tbl, query.GeneratorConfig{MinFilters: 2, MaxFilters: 3, SmallDomainThreshold: 5}, 6)
+	var worst float64
+	for i := 0; i < 20; i++ {
+		reg := mustRegion(t, gen.Next(), tbl)
+		truth := query.Selectivity(reg, tbl)
+		got := est.EstimateRegion(reg)
+		// q-error with cardinality floor of 1 tuple, as in the paper.
+		e := qerr(math.Max(got, 1.0/6000), math.Max(truth, 1.0/6000))
+		if e > worst {
+			worst = e
+		}
+	}
+	if worst > 8 {
+		t.Fatalf("worst q-error %v too high for a trained model on an easy table", worst)
+	}
+}
+
+func TestUniformRegionSampleBounds(t *testing.T) {
+	tbl := corrTable(t, 1000, 15)
+	o := NewOracle(tbl)
+	est := NewEstimator(o, 500, 1)
+	reg := mustRegion(t, query.Query{Preds: []query.Predicate{
+		{Col: 0, Op: query.OpLe, Code: 6}, {Col: 1, Op: query.OpGe, Code: 1}}}, tbl)
+	got := est.UniformRegionSample(reg, 500)
+	if got < 0 || got > 1 || math.IsNaN(got) {
+		t.Fatalf("uniform MC estimate %v out of bounds", got)
+	}
+}
+
+func TestEstimatorName(t *testing.T) {
+	tbl := corrTable(t, 100, 16)
+	est := NewEstimator(NewOracle(tbl), 1000, 1)
+	if est.Name() != "Naru-1000" {
+		t.Fatalf("Name = %q", est.Name())
+	}
+	if est.Samples() != 1000 {
+		t.Fatalf("Samples = %d", est.Samples())
+	}
+}

@@ -1,0 +1,78 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/table"
+)
+
+// DataEntropy computes H(P) in bits: the Shannon entropy of the empirical
+// joint data distribution (tuple frequency / |T|). For a static relation this
+// is the paper's reference point for the entropy-gap goodness-of-fit (§3.3).
+func DataEntropy(t *table.Table) float64 {
+	counts := make(map[string]int, t.NumRows())
+	nc := t.NumCols()
+	key := make([]byte, nc*4)
+	for r := 0; r < t.NumRows(); r++ {
+		for c := 0; c < nc; c++ {
+			v := t.Cols[c].Codes[r]
+			key[c*4] = byte(v)
+			key[c*4+1] = byte(v >> 8)
+			key[c*4+2] = byte(v >> 16)
+			key[c*4+3] = byte(v >> 24)
+		}
+		counts[string(key)]++
+	}
+	n := float64(t.NumRows())
+	var h float64
+	for _, c := range counts {
+		p := float64(c) / n
+		h -= p * math.Log2(p)
+	}
+	return h
+}
+
+// CrossEntropy computes H(P, P̂) in bits: the mean negative log2-likelihood
+// of the model over the relation's tuples (Eq. 2 converted to bits). If
+// sampleRows > 0 and smaller than the table, a deterministic uniform sample
+// of that many rows is used instead of the full table.
+func CrossEntropy(m Model, t *table.Table, sampleRows int) float64 {
+	rows := t.NumRows()
+	var pick []int
+	if sampleRows > 0 && sampleRows < rows {
+		rng := rand.New(rand.NewSource(7))
+		pick = rng.Perm(rows)[:sampleRows]
+	} else {
+		pick = make([]int, rows)
+		for i := range pick {
+			pick[i] = i
+		}
+	}
+	nc := t.NumCols()
+	const batch = 1024
+	codes := make([]int32, batch*nc)
+	lp := make([]float64, batch)
+	var sum float64
+	for off := 0; off < len(pick); off += batch {
+		n := min(batch, len(pick)-off)
+		for bi := 0; bi < n; bi++ {
+			row := pick[off+bi]
+			for c := 0; c < nc; c++ {
+				codes[bi*nc+c] = t.Cols[c].Codes[row]
+			}
+		}
+		m.LogProbBatch(codes, n, lp[:n])
+		for _, v := range lp[:n] {
+			sum += v
+		}
+	}
+	return -sum / (float64(len(pick)) * math.Ln2)
+}
+
+// EntropyGap returns H(P, P̂) − H(P) in bits, the KL divergence
+// DKL(P ‖ P̂) of §3.3: non-negative (up to sampling noise), zero iff the
+// model matches the data distribution exactly.
+func EntropyGap(m Model, t *table.Table, sampleRows int) float64 {
+	return CrossEntropy(m, t, sampleRows) - DataEntropy(t)
+}

@@ -1,0 +1,47 @@
+// Package core implements the paper's primary contribution: the Naru
+// selectivity estimator. It defines the autoregressive-model interface
+// (Eq. 1), the unsupervised maximum-likelihood trainer (Eq. 2), entropy-gap
+// goodness-of-fit accounting (§3.3), exact enumeration for small query
+// regions, and — the heart of the paper — the progressive-sampling Monte
+// Carlo integrator for range queries (§5.1, Algorithm 1).
+//
+// Any model exposing the interface below can be plugged in: the MADE masked
+// MLP (internal/made, the paper's architecture B and its default), the
+// per-column network (internal/colnet, architecture A), and the emulated
+// oracle models used by the §6.7 microbenchmarks.
+package core
+
+// Model is the pluggable autoregressive density model of §3.2: one tuple
+// goes in, the list of conditional distributions P̂(X_i | x_<i) comes out.
+type Model interface {
+	// NumCols returns the number of modeled attributes.
+	NumCols() int
+
+	// DomainSizes returns the per-column domain sizes |Ai|.
+	DomainSizes() []int
+
+	// CondBatch computes P̂(X_col | x_<col) for each of the n tuples in
+	// codes (row-major with stride NumCols), writing one probability vector
+	// of length DomainSizes()[col] per tuple into out. Implementations must
+	// read only columns < col of each tuple.
+	CondBatch(codes []int32, n int, col int, out [][]float64)
+
+	// LogProbBatch writes log P̂(x) in nats for each of n full tuples.
+	LogProbBatch(codes []int32, n int, dst []float64)
+
+	// SizeBytes reports the uncompressed storage footprint of the model,
+	// the quantity the paper's budgets constrain (Table 1).
+	SizeBytes() int64
+}
+
+// SequentialModel is an optional extension for models that exploit the
+// strictly sequential column order of progressive sampling (CondBatch called
+// with col = 0, 1, 2, ... over one fixed batch). The oracle models implement
+// it to narrow their matching-row sets incrementally instead of re-scanning.
+type SequentialModel interface {
+	Model
+
+	// BeginSampling announces that the next CondBatch calls will walk
+	// columns 0..NumCols()-1 in order over a batch of n tuples.
+	BeginSampling(n int)
+}

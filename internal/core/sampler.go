@@ -1,0 +1,388 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/query"
+)
+
+// Estimator is the queryable Naru estimator: a trained (or emulated)
+// autoregressive model plus the two querying algorithms of §5 — exact
+// enumeration for small regions and progressive sampling for everything else.
+type Estimator struct {
+	model   Model
+	samples int
+	rng     *rand.Rand
+
+	// EnumThreshold is the query-region size (number of discrete points)
+	// up to which exact enumeration is used instead of sampling.
+	EnumThreshold float64
+
+	// order, when non-nil, maps model positions to original column indices
+	// for models trained under a column permutation (see
+	// NewEstimatorWithOrder).
+	order []int
+
+	// lastStdErr is the Monte Carlo standard error of the most recent
+	// ProgressiveSample call; see LastStdErr.
+	lastStdErr float64
+
+	// scratch reused across queries
+	codes   []int32
+	weights []float64
+	probs   [][]float64
+}
+
+// NewEstimator wraps a model with S progressive-sampling paths. Naru-1000,
+// Naru-2000, etc. in the paper's tables are this estimator with S = 1000,
+// 2000, ...
+func NewEstimator(m Model, samples int, seed int64) *Estimator {
+	if samples <= 0 {
+		panic("core: non-positive sample count")
+	}
+	maxDom := 0
+	for _, d := range m.DomainSizes() {
+		if d > maxDom {
+			maxDom = d
+		}
+	}
+	probs := make([][]float64, samples)
+	for i := range probs {
+		probs[i] = make([]float64, maxDom)
+	}
+	return &Estimator{
+		model:         m,
+		samples:       samples,
+		rng:           rand.New(rand.NewSource(seed)),
+		EnumThreshold: 3000,
+		codes:         make([]int32, samples*m.NumCols()),
+		weights:       make([]float64, samples),
+		probs:         probs,
+	}
+}
+
+// Name identifies the estimator in result tables (e.g. "Naru-2000").
+func (e *Estimator) Name() string { return fmt.Sprintf("Naru-%d", e.samples) }
+
+// Samples returns the number of progressive sample paths S.
+func (e *Estimator) Samples() int { return e.samples }
+
+// SizeBytes is the model's storage footprint.
+func (e *Estimator) SizeBytes() int64 { return e.model.SizeBytes() }
+
+// EstimateRegion returns the estimated selectivity (a fraction in [0, 1]) of
+// the compiled query region, dispatching between enumeration and progressive
+// sampling exactly as §5 prescribes.
+func (e *Estimator) EstimateRegion(reg *query.Region) float64 {
+	if len(reg.Cols) != e.model.NumCols() {
+		panic(fmt.Sprintf("core: region over %d columns, model has %d",
+			len(reg.Cols), e.model.NumCols()))
+	}
+	if reg.IsEmpty() {
+		return 0
+	}
+	if size := e.regionSizeRestricted(reg); size <= e.EnumThreshold {
+		return e.Enumerate(reg)
+	}
+	return e.ProgressiveSample(reg, e.samples)
+}
+
+// regionSizeRestricted is the number of model evaluations enumeration would
+// need: the product of |Ri| over model positions up to the last restricted
+// one — trailing wildcards integrate to exactly 1 under the chain rule (the
+// product of conditionals over a full domain sums out), so enumeration may
+// stop at the last restricted column in the model's order.
+func (e *Estimator) regionSizeRestricted(reg *query.Region) float64 {
+	last := -1
+	for i := range reg.Cols {
+		if !reg.Cols[e.colAt(i)].IsAll() {
+			last = i
+		}
+	}
+	size := 1.0
+	for i := 0; i <= last; i++ {
+		size *= float64(reg.Cols[e.colAt(i)].Count)
+	}
+	return size
+}
+
+// regionSizeRestricted reports the enumeration workload of a region in
+// natural column order (the common case, kept as a free function for tests
+// and callers without an Estimator).
+func regionSizeRestricted(reg *query.Region) float64 {
+	last := -1
+	for i := range reg.Cols {
+		if !reg.Cols[i].IsAll() {
+			last = i
+		}
+	}
+	size := 1.0
+	for i := 0; i <= last; i++ {
+		size *= float64(reg.Cols[i].Count)
+	}
+	return size
+}
+
+// Enumerate sums model point densities over every discrete point of the
+// query region (§5, "Enumeration"): exact with respect to the model. Columns
+// after the last restricted one are wildcards and marginalize to 1, so the
+// walk covers codes of columns [0, last] and sums chain-rule conditionals.
+func (e *Estimator) Enumerate(reg *query.Region) float64 {
+	last := -1
+	for i := range reg.Cols {
+		if !reg.Cols[e.colAt(i)].IsAll() {
+			last = i
+		}
+	}
+	if last == -1 {
+		return 1 // no restrictions at all
+	}
+
+	// Materialize the valid codes per model position up to last.
+	valid := make([][]int32, last+1)
+	for i := 0; i <= last; i++ {
+		cr := &reg.Cols[e.colAt(i)]
+		vs := make([]int32, 0, cr.Count)
+		for c, ok := range cr.Valid {
+			if ok {
+				vs = append(vs, int32(c))
+			}
+		}
+		valid[i] = vs
+	}
+
+	// Walk the cross product in batches; for each point, accumulate the
+	// product of conditionals P̂(x_i | x_<i) for i ≤ last via one CondBatch
+	// pass per column over the batch.
+	n := e.model.NumCols()
+	total := 0.0
+	points := make([]int32, 0, enumBatch*n)
+	idx := make([]int, last+1)
+	done := false
+	for !done {
+		points = points[:0]
+		for len(points)/n < enumBatch && !done {
+			row := make([]int32, n)
+			for i := 0; i <= last; i++ {
+				row[i] = valid[i][idx[i]]
+			}
+			points = append(points, row...)
+			// Odometer increment.
+			k := last
+			for k >= 0 {
+				idx[k]++
+				if idx[k] < len(valid[k]) {
+					break
+				}
+				idx[k] = 0
+				k--
+			}
+			if k < 0 {
+				done = true
+			}
+		}
+		total += e.sumDensityPrefix(points, len(points)/n, last)
+	}
+	return clampProb(total)
+}
+
+const enumBatch = 512
+
+// sumDensityPrefix returns Σ over the batch of Π_{i≤last} P̂(x_i | x_<i).
+func (e *Estimator) sumDensityPrefix(codes []int32, n, last int) float64 {
+	if n == 0 {
+		return 0
+	}
+	lp := make([]float64, n)
+	if beg, ok := e.model.(SequentialModel); ok {
+		beg.BeginSampling(n)
+	}
+	probs := e.probs
+	if n > len(probs) {
+		probs = make([][]float64, n)
+		maxDom := 0
+		for _, d := range e.model.DomainSizes() {
+			if d > maxDom {
+				maxDom = d
+			}
+		}
+		for i := range probs {
+			probs[i] = make([]float64, maxDom)
+		}
+	}
+	nc := e.model.NumCols()
+	for col := 0; col <= last; col++ {
+		e.model.CondBatch(codes, n, col, probs[:n])
+		for r := 0; r < n; r++ {
+			lp[r] += math.Log(probs[r][codes[r*nc+col]])
+		}
+	}
+	var s float64
+	for r := 0; r < n; r++ {
+		s += math.Exp(lp[r])
+	}
+	return s
+}
+
+// ProgressiveSample implements Algorithm 1 with S sample paths, batched: all
+// S partial tuples advance one column per model pass. The model's conditional
+// steers each path into the high-mass part of the query region; the product
+// of the per-column masses P̂(X_i ∈ Ri | x_<i) is the unbiased density
+// estimate (Theorem 1).
+func (e *Estimator) ProgressiveSample(reg *query.Region, s int) float64 {
+	if reg.IsEmpty() {
+		return 0 // an empty range has no valid code to steer toward
+	}
+	if s > e.samples {
+		s = e.samples
+	}
+	n := e.model.NumCols()
+	codes := e.codes[:s*n]
+	for i := range codes {
+		codes[i] = 0
+	}
+	weights := e.weights[:s]
+	for i := range weights {
+		weights[i] = 1
+	}
+	if beg, ok := e.model.(SequentialModel); ok {
+		beg.BeginSampling(s)
+	}
+	for col := 0; col < n; col++ {
+		cr := &reg.Cols[e.colAt(col)]
+		e.model.CondBatch(codes, s, col, e.probs[:s])
+		for r := 0; r < s; r++ {
+			if weights[r] == 0 {
+				// Dead path: keep its codes valid so later CondBatch calls
+				// stay well-defined, but it contributes nothing.
+				codes[r*n+col] = cr.Lo
+				continue
+			}
+			p := e.probs[r]
+			var mass float64
+			if cr.IsAll() {
+				mass = 1
+			} else {
+				for v := int(cr.Lo); v < int(cr.Hi); v++ {
+					if cr.Valid[v] {
+						mass += p[v]
+					}
+				}
+			}
+			if mass <= 0 || math.IsNaN(mass) {
+				weights[r] = 0
+				codes[r*n+col] = cr.Lo
+				continue
+			}
+			weights[r] *= mass
+			// Draw x_col ~ P̂(X_col | X_col ∈ R_col, x_<col): inverse-CDF
+			// over the re-normalized in-range slice (Alg. 1 lines 12-15).
+			u := e.rng.Float64() * mass
+			var cum float64
+			pick := int32(-1)
+			for v := int(cr.Lo); v < int(cr.Hi); v++ {
+				if !cr.Valid[v] {
+					continue
+				}
+				cum += p[v]
+				if cum >= u {
+					pick = int32(v)
+					break
+				}
+			}
+			if pick < 0 {
+				// Numerical slack: fall back to the last valid code.
+				for v := int(cr.Hi) - 1; v >= int(cr.Lo); v-- {
+					if cr.Valid[v] {
+						pick = int32(v)
+						break
+					}
+				}
+			}
+			codes[r*n+col] = pick
+		}
+	}
+	var sum float64
+	for _, w := range weights {
+		sum += w
+	}
+	// Record the spread of the per-path density estimates so callers can ask
+	// for a standard error (the w_i are i.i.d. unbiased estimates).
+	mean := sum / float64(s)
+	var sq float64
+	for _, w := range weights {
+		d := w - mean
+		sq += d * d
+	}
+	if s > 1 {
+		e.lastStdErr = math.Sqrt(sq / float64(s-1) / float64(s))
+	} else {
+		e.lastStdErr = 0
+	}
+	return clampProb(mean)
+}
+
+// LastStdErr returns the Monte Carlo standard error of the most recent
+// ProgressiveSample call: the sample standard deviation of the per-path
+// importance-weighted densities divided by √S. Zero after enumeration (which
+// is exact with respect to the model) or before any call.
+func (e *Estimator) LastStdErr() float64 { return e.lastStdErr }
+
+// EstimateWithError runs EstimateRegion and returns the estimate together
+// with its Monte Carlo standard error (0 when the enumeration path ran).
+func (e *Estimator) EstimateWithError(reg *query.Region) (sel, stderr float64) {
+	e.lastStdErr = 0
+	sel = e.EstimateRegion(reg)
+	return sel, e.lastStdErr
+}
+
+// UniformRegionSample is the §5.1 "first attempt" baseline: draw points
+// uniformly from the query region and average |R|·P̂(x)/|joint|... precisely,
+// the naive Monte Carlo estimate |R|/S · Σ P̂(x^(i)). It collapses on skewed
+// data and exists to reproduce that failure mode (Figure 3, left).
+func (e *Estimator) UniformRegionSample(reg *query.Region, s int) float64 {
+	if reg.IsEmpty() {
+		return 0
+	}
+	n := e.model.NumCols()
+	if s > e.samples {
+		s = e.samples
+	}
+	codes := e.codes[:s*n]
+	// Materialize valid code lists once, in model order.
+	valid := make([][]int32, n)
+	for i := range valid {
+		cr := &reg.Cols[e.colAt(i)]
+		vs := make([]int32, 0, cr.Count)
+		for c, ok := range cr.Valid {
+			if ok {
+				vs = append(vs, int32(c))
+			}
+		}
+		valid[i] = vs
+	}
+	for r := 0; r < s; r++ {
+		for i := 0; i < n; i++ {
+			codes[r*n+i] = valid[i][e.rng.Intn(len(valid[i]))]
+		}
+	}
+	lp := make([]float64, s)
+	e.model.LogProbBatch(codes, s, lp)
+	var sum float64
+	for _, v := range lp {
+		sum += math.Exp(v)
+	}
+	return clampProb(reg.Size() * sum / float64(s))
+}
+
+func clampProb(p float64) float64 {
+	if p < 0 || math.IsNaN(p) {
+		return 0
+	}
+	if p > 1 {
+		return 1
+	}
+	return p
+}

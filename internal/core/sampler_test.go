@@ -1,0 +1,220 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/query"
+	"repro/internal/table"
+)
+
+func TestClampProb(t *testing.T) {
+	cases := []struct{ in, want float64 }{
+		{0.5, 0.5}, {0, 0}, {1, 1}, {-0.1, 0}, {1.3, 1}, {math.NaN(), 0},
+	}
+	for _, c := range cases {
+		if got := clampProb(c.in); got != c.want {
+			t.Fatalf("clampProb(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestRegionSizeRestrictedTrailingWildcards(t *testing.T) {
+	domains := []int{10, 20, 30}
+	reg, err := query.CompileDomains(query.Query{Preds: []query.Predicate{
+		{Col: 0, Op: query.OpLe, Code: 4}, // 5 values
+	}}, domains)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Only column 0 restricted; trailing wildcards marginalize out.
+	if got := regionSizeRestricted(reg); got != 5 {
+		t.Fatalf("size = %v, want 5", got)
+	}
+	// Restriction on the last column forces the full prefix.
+	reg2, err := query.CompileDomains(query.Query{Preds: []query.Predicate{
+		{Col: 2, Op: query.OpEq, Code: 7},
+	}}, domains)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := regionSizeRestricted(reg2); got != 10*20*1 {
+		t.Fatalf("size = %v, want 200", got)
+	}
+}
+
+// TestUniformSamplingCollapsesProgressiveDoesNot reproduces the §5.1 failure
+// mode: on skewed, correlated data, uniform region sampling returns ~zero
+// density while progressive sampling stays accurate — the motivating result
+// for the paper's technique (Figure 3).
+func TestUniformSamplingCollapsesProgressiveDoesNot(t *testing.T) {
+	// 6 columns; 99% of mass in the top ~1% of each domain, columns
+	// perfectly correlated (all equal), domain 200.
+	const rows = 20000
+	const nc = 6
+	const dom = 200
+	codes := make([][]int32, nc)
+	for c := range codes {
+		codes[c] = make([]int32, rows)
+	}
+	for r := 0; r < rows; r++ {
+		v := int32(r % 2) // 2 hot values out of 200
+		if r%100 == 99 {
+			v = int32(r/100) % dom // 1% spread over the domain
+		}
+		for c := 0; c < nc; c++ {
+			codes[c][r] = v
+		}
+	}
+	names := make([]string, nc)
+	domains := make([]int, nc)
+	for c := range names {
+		names[c] = string(rune('a' + c))
+		domains[c] = dom
+	}
+	tbl, err := table.FromCodes("skew", names, domains, codes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Query: top 50% of each domain... predicates selecting codes <= 99,
+	// which includes the hot values 0 and 1.
+	var preds []query.Predicate
+	for c := 0; c < nc; c++ {
+		preds = append(preds, query.Predicate{Col: c, Op: query.OpLe, Code: 99})
+	}
+	reg, err := query.Compile(query.Query{Preds: preds}, tbl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := query.Selectivity(reg, tbl)
+	if truth < 0.9 {
+		t.Fatalf("setup: truth %v, want ~0.99", truth)
+	}
+	oracle := NewOracle(tbl)
+	est := NewEstimator(oracle, 1000, 7)
+
+	prog := est.ProgressiveSample(reg, 1000)
+	if ratio := prog / truth; ratio < 0.9 || ratio > 1.1 {
+		t.Fatalf("progressive sampling off: %v vs %v", prog, truth)
+	}
+	unif := est.UniformRegionSample(reg, 1000)
+	// 1000 uniform samples over a 100^6 region containing ~2 hot points:
+	// essentially certain to miss all mass.
+	if unif > truth/10 {
+		t.Fatalf("uniform sampling unexpectedly accurate: %v vs truth %v", unif, truth)
+	}
+}
+
+func TestEstimatorPanicsOnWrongRegionWidth(t *testing.T) {
+	tbl := corrTable(t, 200, 20)
+	est := NewEstimator(NewOracle(tbl), 10, 1)
+	reg, err := query.CompileDomains(query.Query{}, []int{5, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for mismatched region width")
+		}
+	}()
+	est.EstimateRegion(reg)
+}
+
+func TestNewEstimatorRejectsZeroSamples(t *testing.T) {
+	tbl := corrTable(t, 100, 21)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewEstimator(NewOracle(tbl), 0, 1)
+}
+
+func TestProgressiveSampleClampsOversizedRequest(t *testing.T) {
+	tbl := corrTable(t, 500, 22)
+	est := NewEstimator(NewOracle(tbl), 50, 1)
+	reg, err := query.Compile(query.Query{Preds: []query.Predicate{
+		{Col: 0, Op: query.OpLe, Code: 5}}}, tbl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Asking for more paths than allocated must not crash; it clamps to 50.
+	got := est.ProgressiveSample(reg, 5000)
+	if got < 0 || got > 1 {
+		t.Fatalf("estimate %v", got)
+	}
+}
+
+func TestWildcardOnlyQueryIsOne(t *testing.T) {
+	tbl := corrTable(t, 300, 23)
+	est := NewEstimator(NewOracle(tbl), 100, 1)
+	reg, err := query.Compile(query.Query{}, tbl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := est.Enumerate(reg); got != 1 {
+		t.Fatalf("all-wildcard enumeration = %v, want 1", got)
+	}
+	if got := est.ProgressiveSample(reg, 100); math.Abs(got-1) > 1e-9 {
+		t.Fatalf("all-wildcard sampling = %v, want 1", got)
+	}
+}
+
+func TestEstimateWithErrorStderrShrinksWithSamples(t *testing.T) {
+	tbl := corrTable(t, 4000, 60)
+	o := NewOracle(tbl)
+	reg, err := query.Compile(query.Query{Preds: []query.Predicate{
+		{Col: 0, Op: query.OpLe, Code: 5},
+		{Col: 1, Op: query.OpGe, Code: 3},
+		{Col: 3, Op: query.OpLe, Code: 7},
+	}}, tbl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	small := NewEstimator(o, 100, 1)
+	small.EnumThreshold = 0 // force the sampling path
+	big := NewEstimator(o, 5000, 1)
+	big.EnumThreshold = 0
+	selS, errS := small.EstimateWithError(reg)
+	selB, errB := big.EstimateWithError(reg)
+	if errS <= 0 || errB <= 0 {
+		t.Fatalf("stderr should be positive: %v %v", errS, errB)
+	}
+	if errB >= errS {
+		t.Fatalf("stderr did not shrink with samples: %v -> %v", errS, errB)
+	}
+	// The estimate should lie within a few stderr of truth.
+	truth := query.Selectivity(reg, tbl)
+	if d := math.Abs(selB - truth); d > 6*errB+1e-9 {
+		t.Fatalf("estimate %v truth %v beyond 6 stderr (%v)", selB, truth, errB)
+	}
+	_ = selS
+}
+
+func TestEstimateWithErrorZeroForEnumeration(t *testing.T) {
+	tbl := corrTable(t, 500, 61)
+	est := NewEstimator(NewOracle(tbl), 100, 1)
+	reg, err := query.Compile(query.Query{Preds: []query.Predicate{
+		{Col: 0, Op: query.OpEq, Code: 1}}}, tbl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, stderr := est.EstimateWithError(reg) // tiny region → enumeration
+	if stderr != 0 {
+		t.Fatalf("enumeration stderr = %v, want 0", stderr)
+	}
+}
+
+func TestProgressiveSampleDirectOnEmptyRegion(t *testing.T) {
+	tbl := corrTable(t, 300, 62)
+	est := NewEstimator(NewOracle(tbl), 50, 1)
+	reg, err := query.Compile(query.Query{Preds: []query.Predicate{
+		{Col: 0, Op: query.OpEq, Code: 5}, {Col: 0, Op: query.OpEq, Code: 6}}}, tbl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Calling the sampler directly (not via EstimateRegion) must not panic.
+	if got := est.ProgressiveSample(reg, 50); got != 0 {
+		t.Fatalf("empty region sampled to %v", got)
+	}
+}

@@ -1,0 +1,115 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/query"
+)
+
+func TestSampleTuplesMatchesMarginals(t *testing.T) {
+	tbl := corrTable(t, 5000, 30)
+	o := NewOracle(tbl)
+	const n = 8000
+	codes := SampleTuples(o, nil, n, 7)
+	if len(codes) != n*4 {
+		t.Fatalf("got %d codes", len(codes))
+	}
+	// Synthetic marginal of column 0 should match the data marginal.
+	var synth [8]float64
+	for r := 0; r < n; r++ {
+		synth[codes[r*4]]++
+	}
+	var data [8]float64
+	for _, c := range tbl.Cols[0].Codes {
+		data[c]++
+	}
+	for v := 0; v < 8; v++ {
+		s, d := synth[v]/n, data[v]/5000
+		if math.Abs(s-d) > 0.03 {
+			t.Fatalf("marginal[%d]: synthetic %.3f vs data %.3f", v, s, d)
+		}
+	}
+}
+
+func TestSampleTuplesPreservesCorrelation(t *testing.T) {
+	// corrTable has x2 = (x0*x1) mod 6 deterministically; oracle-sampled
+	// tuples must satisfy the same identity.
+	tbl := corrTable(t, 3000, 31)
+	o := NewOracle(tbl)
+	codes := SampleTuples(o, nil, 500, 8)
+	for r := 0; r < 500; r++ {
+		x0, x1, x2 := codes[r*4], codes[r*4+1], codes[r*4+2]
+		if (x0*x1)%6 != x2 {
+			t.Fatalf("tuple %d violates the data's functional dependency", r)
+		}
+	}
+}
+
+func TestSampleTuplesRespectsRegion(t *testing.T) {
+	tbl := corrTable(t, 3000, 32)
+	o := NewOracle(tbl)
+	reg, err := query.Compile(query.Query{Preds: []query.Predicate{
+		{Col: 0, Op: query.OpLe, Code: 2},
+		{Col: 3, Op: query.OpGe, Code: 4},
+	}}, tbl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	codes := SampleTuples(o, reg, 300, 9)
+	for r := 0; r < 300; r++ {
+		if codes[r*4] > 2 {
+			t.Fatalf("tuple %d violates col-0 range", r)
+		}
+		if codes[r*4+3] < 4 {
+			t.Fatalf("tuple %d violates col-3 range", r)
+		}
+	}
+}
+
+func TestOutlierScoresSeparateInFromOut(t *testing.T) {
+	tbl := corrTable(t, 4000, 33)
+	o := NewOracle(tbl)
+	// In-distribution tuple: a real row. Out: a row violating the
+	// deterministic dependency (x2 wrong).
+	in := make([]int32, 4)
+	tbl.Row(0, in)
+	out := append([]int32(nil), in...)
+	out[2] = (out[2] + 1) % 6
+	scores := OutlierScores(o, append(in, out...), 2)
+	if !(scores[1] > scores[0]) {
+		t.Fatalf("outlier not scored higher: in=%.2f out=%.2f", scores[0], scores[1])
+	}
+	if !math.IsInf(scores[1], 1) {
+		t.Fatalf("oracle should give impossible tuples infinite score, got %v", scores[1])
+	}
+}
+
+func TestDrawFromFallbacks(t *testing.T) {
+	rng := newTestRNG()
+	// All-zero distribution with a region: falls back to first valid code.
+	reg, err := query.CompileDomains(query.Query{Preds: []query.Predicate{
+		{Col: 0, Op: query.OpGe, Code: 3},
+	}}, []int{6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := make([]float64, 6)
+	if got := drawFrom(p, &reg.Cols[0], rng); got != 3 {
+		t.Fatalf("fallback draw = %d, want 3", got)
+	}
+	// Unrestricted all-zero: first index.
+	if got := drawFrom(p, nil, rng); got != 0 {
+		t.Fatalf("unrestricted fallback = %d", got)
+	}
+	// Point mass draws that point.
+	p[4] = 1
+	for i := 0; i < 20; i++ {
+		if got := drawFrom(p, nil, rng); got != 4 {
+			t.Fatalf("point-mass draw = %d", got)
+		}
+	}
+}
+
+func newTestRNG() *rand.Rand { return rand.New(rand.NewSource(1)) }

@@ -1,0 +1,87 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/nn"
+	"repro/internal/table"
+)
+
+// Trainable is a Model that supports maximum-likelihood gradient training
+// (both MADE and the per-column architecture implement it).
+type Trainable interface {
+	Model
+	// TrainStep runs one gradient step over a batch of n full tuples
+	// (row-major codes) and returns the batch's mean negative
+	// log-likelihood in nats. A nil optimizer accumulates gradients only.
+	TrainStep(codes []int32, n int, opt *nn.Adam) float64
+	Params() []*nn.Param
+}
+
+// TrainConfig controls the unsupervised training loop of §4.1: batches of
+// random tuples are read from the table and used for gradient updates, with
+// no supervised queries or feedback anywhere.
+type TrainConfig struct {
+	Epochs    int     // passes over the data (paper: 1 pass already useful, §6.4)
+	BatchSize int     // tuples per gradient step
+	LR        float64 // Adam learning rate
+	Seed      int64   // shuffling seed
+
+	// OnEpoch, when non-nil, is invoked after each epoch with the epoch
+	// index (0-based) and that epoch's mean NLL in nats; returning false
+	// stops training early. Figure 5 hooks its per-epoch quality
+	// measurements in here.
+	OnEpoch func(epoch int, nll float64) bool
+}
+
+// DefaultTrainConfig matches the scaled-down evaluation defaults.
+func DefaultTrainConfig() TrainConfig {
+	return TrainConfig{Epochs: 10, BatchSize: 512, LR: 2e-3, Seed: 1}
+}
+
+// Train fits the model to the relation by maximum likelihood (Eq. 2),
+// returning the per-epoch mean NLL in nats per tuple. The same routine also
+// serves fine-tuning on new data for the §6.7.3 staleness experiments: call
+// it again with the updated table.
+func Train(m Trainable, t *table.Table, cfg TrainConfig) []float64 {
+	if cfg.Epochs <= 0 {
+		cfg.Epochs = 1
+	}
+	if cfg.BatchSize <= 0 {
+		cfg.BatchSize = 512
+	}
+	if cfg.LR <= 0 {
+		cfg.LR = 2e-3
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	opt := nn.NewAdam(cfg.LR)
+	n := t.NumRows()
+	nc := t.NumCols()
+	order := rng.Perm(n)
+	batch := make([]int32, cfg.BatchSize*nc)
+	var history []float64
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		// Fresh shuffle each epoch: the paper trains on "batches of random
+		// tuples" (§4.1).
+		rng.Shuffle(n, func(i, j int) { order[i], order[j] = order[j], order[i] })
+		var sum float64
+		var steps int
+		for off := 0; off+cfg.BatchSize <= n; off += cfg.BatchSize {
+			for bi := 0; bi < cfg.BatchSize; bi++ {
+				row := order[off+bi]
+				for c := 0; c < nc; c++ {
+					batch[bi*nc+c] = t.Cols[c].Codes[row]
+				}
+			}
+			sum += m.TrainStep(batch, cfg.BatchSize, opt)
+			steps++
+		}
+		nll := sum / math.Max(1, float64(steps))
+		history = append(history, nll)
+		if cfg.OnEpoch != nil && !cfg.OnEpoch(epoch, nll) {
+			break
+		}
+	}
+	return history
+}

@@ -1,0 +1,223 @@
+package datagen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/table"
+)
+
+// ConvivaADefaultRows is the default row count for the synthetic Conviva-A
+// table (original: 4.1M rows; scaled down for CPU training).
+const ConvivaADefaultRows = 200_000
+
+// ConvivaA generates a synthetic analogue of the paper's Conviva-A dataset:
+// 3 days of video-session logs with 15 columns mixing small-domain
+// categorical flags and large-domain numeric quantities (bandwidths in kbps,
+// buffering counters), per-column domains spanning 2–1.9K so the joint space
+// reaches the paper's ~10^23 scale.
+//
+// Correlation structure: sessions are driven by a latent quality tier
+// (device/CDN/connection class). Error flags fire when bandwidth is low;
+// join time, buffering and bitrate are noisy functions of bandwidth; the
+// several bandwidth aggregates are mutually consistent (avg ≤ peak, etc.).
+func ConvivaA(n int, seed int64) *table.Table {
+	if n <= 0 {
+		n = ConvivaADefaultRows
+	}
+	rng := rand.New(rand.NewSource(seed))
+	cdnZ := zipf(rng, 1.7, 12, seed+11)
+	deviceZ := zipf(rng, 1.5, 40, seed+12)
+	cityZ := zipf(rng, 1.9, 950, seed+13)
+	bwZ := zipf(rng, 1.25, 1900, seed+14)
+
+	const (
+		cDay = iota
+		cHour
+		cConn
+		cCDN
+		cDevice
+		cCity
+		cErrFlag
+		cJoinFail
+		cBwPeak
+		cBwAvg
+		cBitrate
+		cBufCnt
+		cBufSec
+		cJoinMS
+		cPlayMin
+	)
+	specs := []colSpec{
+		{"day", 3, func(_ int, _ []int32, r *rand.Rand) int32 { return int32(r.Intn(3)) }},
+		{"hour", 24, func(_ int, _ []int32, r *rand.Rand) int32 {
+			// Prime-time skew: evening hours dominate.
+			h := int32(18+r.Intn(6)) % 24
+			if r.Float64() < 0.35 {
+				h = int32(r.Intn(24))
+			}
+			return h
+		}},
+		{"conn_type", 6, func(_ int, _ []int32, r *rand.Rand) int32 {
+			// wifi ≫ lte > ethernet > ...
+			x := r.Float64()
+			switch {
+			case x < 0.55:
+				return 0
+			case x < 0.8:
+				return 1
+			case x < 0.92:
+				return 2
+			default:
+				return int32(3 + r.Intn(3))
+			}
+		}},
+		{"cdn", 12, func(_ int, _ []int32, _ *rand.Rand) int32 { return cdnZ() }},
+		{"device", 40, func(_ int, prev []int32, r *rand.Rand) int32 {
+			if prev[cConn] >= 2 { // wired connections skew to TVs/consoles
+				return int32(r.Intn(8))
+			}
+			return deviceZ()
+		}},
+		{"city", 950, func(_ int, _ []int32, _ *rand.Rand) int32 { return cityZ() }},
+		{"error_flag", 2, func(_ int, prev []int32, r *rand.Rand) int32 {
+			p := 0.02 + 0.03*float64(prev[cConn])
+			if r.Float64() < p {
+				return 1
+			}
+			return 0
+		}},
+		{"join_failed", 2, func(_ int, prev []int32, r *rand.Rand) int32 {
+			p := 0.01
+			if prev[cErrFlag] == 1 {
+				p = 0.6
+			}
+			if r.Float64() < p {
+				return 1
+			}
+			return 0
+		}},
+		{"bw_peak_kbps", 1900, func(_ int, prev []int32, r *rand.Rand) int32 {
+			bw := bwZ()
+			// Wired connections see systematically higher bandwidth.
+			if prev[cConn] >= 2 {
+				bw = jitter(bw+600, 100, 1900, r)
+			}
+			return bw
+		}},
+		{"bw_avg_kbps", 1900, func(_ int, prev []int32, r *rand.Rand) int32 {
+			// Average is a noisy fraction of peak — never above it.
+			frac := 0.4 + 0.5*r.Float64()
+			avg := int32(float64(prev[cBwPeak]) * frac)
+			return jitter(avg, 20, int(prev[cBwPeak])+1, r)
+		}},
+		{"bitrate_kbps", 1200, func(_ int, prev []int32, r *rand.Rand) int32 {
+			// Player picks a bitrate ladder rung below average bandwidth.
+			rung := prev[cBwAvg] / 2
+			if rung >= 1200 {
+				rung = 1199
+			}
+			return jitter(rung, 30, 1200, r)
+		}},
+		{"buffering_count", 50, func(_ int, prev []int32, r *rand.Rand) int32 {
+			// Low bandwidth and errors drive rebuffering.
+			base := int32(0)
+			if prev[cBwAvg] < 200 {
+				base = int32(10 + r.Intn(30))
+			} else if prev[cBwAvg] < 600 {
+				base = int32(r.Intn(10))
+			} else {
+				base = int32(r.Intn(3))
+			}
+			if prev[cErrFlag] == 1 {
+				base += int32(r.Intn(15))
+			}
+			if base >= 50 {
+				base = 49
+			}
+			return base
+		}},
+		{"buffering_sec", 600, func(_ int, prev []int32, r *rand.Rand) int32 {
+			sec := int(prev[cBufCnt]) * (2 + r.Intn(10))
+			if sec >= 600 {
+				sec = 599
+			}
+			return int32(sec)
+		}},
+		{"join_time_ms", 1500, func(_ int, prev []int32, r *rand.Rand) int32 {
+			if prev[cJoinFail] == 1 {
+				return 1499 // timeout sentinel
+			}
+			base := 1200 - prev[cBwAvg]/2
+			if base < 20 {
+				base = 20
+			}
+			return jitter(base, 150, 1500, r)
+		}},
+		{"play_minutes", 720, func(_ int, prev []int32, r *rand.Rand) int32 {
+			if prev[cJoinFail] == 1 {
+				return 0
+			}
+			// Engagement drops with rebuffering.
+			mean := 200 - int(prev[cBufCnt])*3
+			if mean < 5 {
+				mean = 5
+			}
+			v := int(r.ExpFloat64() * float64(mean))
+			if v >= 720 {
+				v = 719
+			}
+			return int32(v)
+		}},
+	}
+	return generate("conviva_a", specs, n, seed)
+}
+
+// ConvivaBRows and ConvivaBCols match the original exactly: the paper's
+// Conviva-B is deliberately tiny (10K rows) so an emulated oracle model can
+// be computed by scanning (§6.7).
+const (
+	ConvivaBRows = 10_000
+	ConvivaBCols = 100
+)
+
+// ConvivaB generates a synthetic analogue of Conviva-B: 10K rows × 100
+// columns with per-column domains from 2 to 10K, arranged in correlated
+// blocks of 10 columns each driven by a shared latent, for a joint space
+// above 10^190.
+func ConvivaB(seed int64) *table.Table {
+	rng := rand.New(rand.NewSource(seed))
+	specs := make([]colSpec, 0, ConvivaBCols)
+	// Domains cycle through a spread of sizes; each block of 10 columns
+	// shares a latent driver (its first column).
+	domainCycle := []int{2, 4, 10, 25, 60, 150, 400, 1000, 4000, 10000}
+	for b := 0; b < 10; b++ {
+		block := b
+		for j := 0; j < 10; j++ {
+			idx := b*10 + j
+			domain := domainCycle[(b+j)%len(domainCycle)]
+			name := fmt.Sprintf("c%02d", idx)
+			if j == 0 {
+				z := zipf(rng, 1.4, domain, seed+int64(100+idx))
+				specs = append(specs, colSpec{name, domain, func(_ int, _ []int32, _ *rand.Rand) int32 {
+					return z()
+				}})
+				continue
+			}
+			jj := j
+			specs = append(specs, colSpec{name, domain, func(_ int, prev []int32, r *rand.Rand) int32 {
+				driver := prev[block*10] // block latent
+				spread := 1 + domain/20
+				if jj%3 == 0 {
+					// Every third column also couples to the previous
+					// block, chaining correlations across blocks.
+					if block > 0 {
+						driver += prev[(block-1)*10]
+					}
+				}
+				return derive(driver, 0, domain, spread, r)
+			}})
+		}
+	}
+	return generate("conviva_b", specs, ConvivaBRows, seed)
+}

@@ -1,0 +1,260 @@
+package datagen
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/query"
+)
+
+func TestDMVShape(t *testing.T) {
+	tbl := DMV(5000, 1)
+	if tbl.NumRows() != 5000 {
+		t.Fatalf("rows = %d", tbl.NumRows())
+	}
+	wantDomains := []int{4, 75, 89, 63, 59, 9, 2101, 225, 2, 2, 2}
+	got := tbl.DomainSizes()
+	for i, d := range wantDomains {
+		if got[i] != d {
+			t.Fatalf("column %d domain = %d, want %d", i, got[i], d)
+		}
+	}
+	// Paper: exact joint size 3.4×10^15.
+	if js := tbl.JointSize(); js < 3e15 || js > 4e15 {
+		t.Fatalf("joint size = %g", js)
+	}
+}
+
+func TestDMVDeterministic(t *testing.T) {
+	a, b := DMV(500, 7), DMV(500, 7)
+	for c := range a.Cols {
+		for r := 0; r < 500; r++ {
+			if a.Cols[c].Codes[r] != b.Cols[c].Codes[r] {
+				t.Fatalf("row %d col %d differs across same-seed runs", r, c)
+			}
+		}
+	}
+	c := DMV(500, 8)
+	same := true
+	for r := 0; r < 500 && same; r++ {
+		same = a.Cols[6].Codes[r] == c.Cols[6].Codes[r]
+	}
+	if same {
+		t.Fatal("different seeds produced identical valid_date column")
+	}
+}
+
+func TestDMVCorrelations(t *testing.T) {
+	tbl := DMV(20000, 1)
+	// The flags must be rare overall but much more common on old dates.
+	sus := tbl.ColumnIndex("sus_ind")
+	date := tbl.ColumnIndex("valid_date")
+	var oldSus, oldN, newSus, newN float64
+	for r := 0; r < tbl.NumRows(); r++ {
+		isOld := tbl.Cols[date].Codes[r] < 700
+		flag := float64(tbl.Cols[sus].Codes[r])
+		if isOld {
+			oldSus += flag
+			oldN++
+		} else {
+			newSus += flag
+			newN++
+		}
+	}
+	if oldN == 0 || newN == 0 {
+		t.Skip("date split degenerate for this seed")
+	}
+	if oldSus/oldN <= newSus/newN {
+		t.Fatalf("sus_ind not correlated with old dates: old=%.4f new=%.4f",
+			oldSus/oldN, newSus/newN)
+	}
+}
+
+// mutualInformationProxy measures dependence between two columns via the
+// G-test statistic normalized per row; independent columns give ~0.
+func mutualInformationProxy(codesA, codesB []int32, domA, domB int) float64 {
+	n := float64(len(codesA))
+	joint := make(map[[2]int32]float64)
+	ma := make([]float64, domA)
+	mb := make([]float64, domB)
+	for i := range codesA {
+		joint[[2]int32{codesA[i], codesB[i]}]++
+		ma[codesA[i]]++
+		mb[codesB[i]]++
+	}
+	var mi float64
+	for k, c := range joint {
+		pxy := c / n
+		px, py := ma[k[0]]/n, mb[k[1]]/n
+		mi += pxy * math.Log(pxy/(px*py))
+	}
+	return mi
+}
+
+func TestDMVBodyTypeDependsOnRegClass(t *testing.T) {
+	tbl := DMV(30000, 1)
+	mi := mutualInformationProxy(tbl.Cols[1].Codes, tbl.Cols[4].Codes, 75, 59)
+	if mi < 0.5 {
+		t.Fatalf("body_type/reg_class mutual information %.3f too low; correlation machinery broken", mi)
+	}
+	// Sanity floor: two independent columns should be near zero.
+	rng := rand.New(rand.NewSource(9))
+	a := make([]int32, 30000)
+	b := make([]int32, 30000)
+	for i := range a {
+		a[i], b[i] = int32(rng.Intn(75)), int32(rng.Intn(59))
+	}
+	if bg := mutualInformationProxy(a, b, 75, 59); bg > 0.2 {
+		t.Fatalf("independence baseline MI %.3f unexpectedly high", bg)
+	}
+}
+
+func TestConvivaAShape(t *testing.T) {
+	tbl := ConvivaA(5000, 1)
+	if tbl.NumRows() != 5000 || tbl.NumCols() != 15 {
+		t.Fatalf("%d×%d", tbl.NumRows(), tbl.NumCols())
+	}
+	// Joint size should be enormous (paper: ~10^23).
+	if js := tbl.JointSize(); js < 1e20 {
+		t.Fatalf("joint size = %g, want ≥1e20", js)
+	}
+	// Domain range 2–1.9K like the paper.
+	doms := tbl.DomainSizes()
+	minD, maxD := doms[0], doms[0]
+	for _, d := range doms {
+		if d < minD {
+			minD = d
+		}
+		if d > maxD {
+			maxD = d
+		}
+	}
+	if minD != 2 || maxD != 1900 {
+		t.Fatalf("domain range [%d,%d], want [2,1900]", minD, maxD)
+	}
+}
+
+func TestConvivaAInvariantAvgLEPeak(t *testing.T) {
+	tbl := ConvivaA(8000, 2)
+	peak := tbl.ColumnIndex("bw_peak_kbps")
+	avg := tbl.ColumnIndex("bw_avg_kbps")
+	for r := 0; r < tbl.NumRows(); r++ {
+		if tbl.Cols[avg].Codes[r] > tbl.Cols[peak].Codes[r] {
+			t.Fatalf("row %d: avg bandwidth %d above peak %d",
+				r, tbl.Cols[avg].Codes[r], tbl.Cols[peak].Codes[r])
+		}
+	}
+}
+
+func TestConvivaAJoinFailZeroPlay(t *testing.T) {
+	tbl := ConvivaA(8000, 3)
+	jf := tbl.ColumnIndex("join_failed")
+	pm := tbl.ColumnIndex("play_minutes")
+	for r := 0; r < tbl.NumRows(); r++ {
+		if tbl.Cols[jf].Codes[r] == 1 && tbl.Cols[pm].Codes[r] != 0 {
+			t.Fatalf("row %d: failed join but %d play minutes", r, tbl.Cols[pm].Codes[r])
+		}
+	}
+}
+
+func TestConvivaBShape(t *testing.T) {
+	tbl := ConvivaB(1)
+	if tbl.NumRows() != 10000 || tbl.NumCols() != 100 {
+		t.Fatalf("%d×%d", tbl.NumRows(), tbl.NumCols())
+	}
+	// Joint space over 10^190 (paper Table 1).
+	var logJoint float64
+	for _, d := range tbl.DomainSizes() {
+		logJoint += math.Log10(float64(d))
+	}
+	if logJoint < 190 {
+		t.Fatalf("log10 joint = %.1f, want ≥190", logJoint)
+	}
+}
+
+func TestConvivaBBlockCorrelation(t *testing.T) {
+	tbl := ConvivaB(1)
+	// Columns within a block correlate with the block driver.
+	mi := mutualInformationProxy(tbl.Cols[10].Codes, tbl.Cols[11].Codes,
+		tbl.Cols[10].DomainSize(), tbl.Cols[11].DomainSize())
+	if mi < 0.3 {
+		t.Fatalf("within-block MI %.3f too low", mi)
+	}
+}
+
+func TestWorkloadSelectivitySpread(t *testing.T) {
+	// The §6.1.3 generator over synthetic DMV must produce the wide
+	// selectivity spectrum of Figure 4: some high (>2%), some low (≤0.5%).
+	tbl := DMV(30000, 1)
+	w, err := query.GenerateWorkload(tbl, query.DefaultGeneratorConfig(), 5, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var high, low, zero int
+	for i := range w.Queries {
+		s := w.TrueSelectivity(i)
+		switch {
+		case s > 0.02:
+			high++
+		case s <= 0.005:
+			low++
+		}
+		if w.TrueCard[i] == 0 {
+			zero++
+		}
+	}
+	if high == 0 || low == 0 {
+		t.Fatalf("selectivity spectrum collapsed: high=%d low=%d of 200", high, low)
+	}
+	if zero == 200 {
+		t.Fatal("every in-distribution query is empty; generator broken")
+	}
+}
+
+func TestJitterClamps(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 1000; i++ {
+		v := jitter(int32(rng.Intn(100)), 50, 100, rng)
+		if v < 0 || v >= 100 {
+			t.Fatalf("jitter out of range: %d", v)
+		}
+	}
+	if v := jitter(0, 0, 10, rng); v != 0 {
+		t.Fatalf("zero-spread jitter moved: %d", v)
+	}
+}
+
+func TestDeriveDeterministicBase(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	a := derive(13, 0, 59, 0, rng)
+	b := derive(13, 0, 59, 0, rng)
+	if a != b {
+		t.Fatalf("zero-spread derive not deterministic: %d vs %d", a, b)
+	}
+	if a < 0 || a >= 59 {
+		t.Fatalf("derive out of range: %d", a)
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	z := zipf(rng, 2.0, 100, 42)
+	counts := make(map[int32]int)
+	for i := 0; i < 10000; i++ {
+		counts[z()]++
+	}
+	// Top value should hold a large share under s=2.
+	var maxC int
+	for _, c := range counts {
+		if c > maxC {
+			maxC = c
+		}
+	}
+	if maxC < 4000 {
+		t.Fatalf("zipf(2.0) top mass %d/10000; not skewed enough", maxC)
+	}
+	if len(counts) < 5 {
+		t.Fatalf("zipf support %d too small", len(counts))
+	}
+}

@@ -1,0 +1,96 @@
+package estimator
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/query"
+	"repro/internal/table"
+)
+
+func benchFixture(b *testing.B) (*table.Table, []*query.Region) {
+	b.Helper()
+	rng := rand.New(rand.NewSource(1))
+	domains := []int{4, 75, 89, 63, 59, 9, 800, 225, 2, 2, 2}
+	rows := 50000
+	codes := make([][]int32, len(domains))
+	names := make([]string, len(domains))
+	for c := range codes {
+		names[c] = string(rune('a' + c))
+		codes[c] = make([]int32, rows)
+		for r := range codes[c] {
+			codes[c][r] = int32(rng.Intn(domains[c]))
+		}
+	}
+	t, err := table.FromCodes("bench", names, domains, codes)
+	if err != nil {
+		b.Fatal(err)
+	}
+	gen := query.NewGenerator(t, query.DefaultGeneratorConfig(), 2)
+	regs := make([]*query.Region, 32)
+	for i := range regs {
+		regs[i], err = query.Compile(gen.Next(), t)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	return t, regs
+}
+
+func benchOne(b *testing.B, e Interface, regs []*query.Region) {
+	b.Helper()
+	b.ResetTimer()
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink += e.EstimateRegion(regs[i%len(regs)])
+	}
+	_ = sink
+}
+
+func BenchmarkIndepEstimate(b *testing.B) {
+	t, regs := benchFixture(b)
+	benchOne(b, NewIndep(t), regs)
+}
+
+func BenchmarkPostgresEstimate(b *testing.B) {
+	t, regs := benchFixture(b)
+	benchOne(b, NewPostgres(t, 100, 10000), regs)
+}
+
+func BenchmarkDBMS1Estimate(b *testing.B) {
+	t, regs := benchFixture(b)
+	benchOne(b, NewDBMS1(t, 100, 200), regs)
+}
+
+func BenchmarkHistEstimate(b *testing.B) {
+	t, regs := benchFixture(b)
+	benchOne(b, NewHist(t, 64<<10), regs)
+}
+
+func BenchmarkSampleEstimate(b *testing.B) {
+	t, regs := benchFixture(b)
+	benchOne(b, NewSample(t, 0.013, 1), regs)
+}
+
+func BenchmarkKDEEstimate(b *testing.B) {
+	t, regs := benchFixture(b)
+	benchOne(b, NewKDE(t, 1500, 1), regs)
+}
+
+func BenchmarkMSCNEstimate(b *testing.B) {
+	t, regs := benchFixture(b)
+	benchOne(b, NewMSCN(t, MSCNConfig{SampleRows: 1000, Seed: 1}), regs)
+}
+
+func BenchmarkMSCNTrainStep(b *testing.B) {
+	t, regs := benchFixture(b)
+	m := NewMSCN(t, MSCNConfig{SampleRows: 1000, Seed: 1})
+	sels := make([]float64, len(regs))
+	for i := range sels {
+		sels[i] = 0.01
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.TrainOn(regs, sels, 1, 1e-3, int64(i))
+	}
+}

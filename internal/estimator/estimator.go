@@ -1,0 +1,83 @@
+// Package estimator implements every baseline family the paper evaluates
+// against (Table 2): the Indep heuristic, an N-dimensional histogram, a
+// Postgres-style 1D-statistics estimator, a commercial-style estimator with
+// cross-column correction (DBMS-1), uniform sampling, kernel density
+// estimation with and without query-feedback bandwidth tuning, and the
+// supervised MSCN deep regression net.
+//
+// All estimators consume compiled query regions (internal/query) and return
+// selectivity fractions, so they are interchangeable in the benchmark
+// harness; each also reports its storage footprint for the Table 1 budgets.
+package estimator
+
+import (
+	"repro/internal/query"
+	"repro/internal/table"
+)
+
+// Interface is the common estimator contract. internal/core.Estimator (Naru)
+// satisfies it too.
+type Interface interface {
+	// Name identifies the estimator in result tables.
+	Name() string
+	// EstimateRegion returns the estimated selectivity fraction in [0, 1].
+	EstimateRegion(reg *query.Region) float64
+	// SizeBytes reports the storage the estimator occupies.
+	SizeBytes() int64
+}
+
+// Indep is the heuristic baseline of Table 2: it scans the table once to
+// obtain perfect per-column selectivities and combines them by
+// multiplication. Its error isolates the damage done by the attribute-value
+// independence assumption alone.
+type Indep struct {
+	freqs [][]float64 // exact per-column marginals
+}
+
+// NewIndep builds the estimator with one exact marginal per column.
+func NewIndep(t *table.Table) *Indep {
+	freqs := make([][]float64, t.NumCols())
+	inv := 1 / float64(t.NumRows())
+	for c, col := range t.Cols {
+		f := make([]float64, col.DomainSize())
+		for _, code := range col.Codes {
+			f[code] += inv
+		}
+		freqs[c] = f
+	}
+	return &Indep{freqs: freqs}
+}
+
+// Name implements Interface.
+func (e *Indep) Name() string { return "Indep" }
+
+// SizeBytes counts the marginal vectors (float64 each).
+func (e *Indep) SizeBytes() int64 {
+	var n int64
+	for _, f := range e.freqs {
+		n += int64(len(f)) * 8
+	}
+	return n
+}
+
+// EstimateRegion multiplies exact per-column selectivities.
+func (e *Indep) EstimateRegion(reg *query.Region) float64 {
+	sel := 1.0
+	for i := range reg.Cols {
+		cr := &reg.Cols[i]
+		if cr.IsAll() {
+			continue
+		}
+		var s float64
+		for v := int(cr.Lo); v < int(cr.Hi); v++ {
+			if cr.Valid[v] {
+				s += e.freqs[i][v]
+			}
+		}
+		sel *= s
+		if sel == 0 {
+			return 0
+		}
+	}
+	return sel
+}

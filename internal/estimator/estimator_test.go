@@ -1,0 +1,394 @@
+package estimator
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/metrics"
+	"repro/internal/query"
+	"repro/internal/table"
+)
+
+// indepTable builds a table whose columns are genuinely independent, so
+// independence-assuming estimators should be near-exact on it.
+func indepTable(t *testing.T, rows int) *table.Table {
+	t.Helper()
+	rng := rand.New(rand.NewSource(1))
+	domains := []int{5, 20, 3, 40}
+	codes := make([][]int32, 4)
+	for c := range codes {
+		codes[c] = make([]int32, rows)
+		for r := range codes[c] {
+			codes[c][r] = int32(rng.Intn(domains[c]))
+		}
+	}
+	tbl, err := table.FromCodes("indep", []string{"a", "b", "c", "d"}, domains, codes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tbl
+}
+
+// corrTable builds a strongly correlated table where independence fails.
+func corrTable(t *testing.T, rows int) *table.Table {
+	t.Helper()
+	rng := rand.New(rand.NewSource(2))
+	domains := []int{10, 10, 10}
+	codes := make([][]int32, 3)
+	for c := range codes {
+		codes[c] = make([]int32, rows)
+	}
+	for r := 0; r < rows; r++ {
+		x := int32(rng.Intn(10))
+		codes[0][r] = x
+		codes[1][r] = x // perfect correlation
+		codes[2][r] = (x + int32(rng.Intn(2))) % 10
+	}
+	tbl, err := table.FromCodes("corr", []string{"x", "y", "z"}, domains, codes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tbl
+}
+
+func region(t *testing.T, tbl *table.Table, preds ...query.Predicate) *query.Region {
+	t.Helper()
+	reg, err := query.Compile(query.Query{Preds: preds}, tbl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return reg
+}
+
+func TestIndepExactOnIndependentData(t *testing.T) {
+	tbl := indepTable(t, 20000)
+	e := NewIndep(tbl)
+	reg := region(t, tbl,
+		query.Predicate{Col: 0, Op: query.OpLe, Code: 2},
+		query.Predicate{Col: 1, Op: query.OpGe, Code: 10})
+	got := e.EstimateRegion(reg)
+	truth := query.Selectivity(reg, tbl)
+	if metrics.QError(got*20000, truth*20000) > 1.15 {
+		t.Fatalf("Indep on independent data: est %v truth %v", got, truth)
+	}
+	if e.SizeBytes() <= 0 {
+		t.Fatal("SizeBytes")
+	}
+	if e.Name() != "Indep" {
+		t.Fatal("Name")
+	}
+}
+
+func TestIndepSingleColumnExact(t *testing.T) {
+	tbl := corrTable(t, 5000)
+	e := NewIndep(tbl)
+	reg := region(t, tbl, query.Predicate{Col: 0, Op: query.OpEq, Code: 3})
+	got := e.EstimateRegion(reg)
+	truth := query.Selectivity(reg, tbl)
+	if math.Abs(got-truth) > 1e-12 {
+		t.Fatalf("single-column Indep must be exact: %v vs %v", got, truth)
+	}
+}
+
+func TestIndepFailsOnCorrelatedData(t *testing.T) {
+	tbl := corrTable(t, 5000)
+	e := NewIndep(tbl)
+	// x = 3 AND y = 3 has true selectivity ≈ P(x=3) but Indep squares it.
+	reg := region(t, tbl,
+		query.Predicate{Col: 0, Op: query.OpEq, Code: 3},
+		query.Predicate{Col: 1, Op: query.OpEq, Code: 3})
+	got := e.EstimateRegion(reg)
+	truth := query.Selectivity(reg, tbl)
+	if metrics.QError(got*5000, truth*5000) < 3 {
+		t.Fatalf("Indep should err on correlated equality pair: est %v truth %v", got, truth)
+	}
+}
+
+func TestHistConvergesToExactWithBudget(t *testing.T) {
+	tbl := corrTable(t, 3000)
+	// Budget large enough for full resolution (10×10×10 cells).
+	h := NewHist(tbl, 1<<20)
+	reg := region(t, tbl,
+		query.Predicate{Col: 0, Op: query.OpLe, Code: 4},
+		query.Predicate{Col: 1, Op: query.OpGe, Code: 2})
+	got := h.EstimateRegion(reg)
+	truth := query.Selectivity(reg, tbl)
+	if math.Abs(got-truth) > 1e-9 {
+		t.Fatalf("full-resolution Hist must be exact: %v vs %v", got, truth)
+	}
+}
+
+func TestHistRespectsBudget(t *testing.T) {
+	tbl := indepTable(t, 5000)
+	budget := int64(4096)
+	h := NewHist(tbl, budget)
+	if h.SizeBytes() > budget+128 {
+		t.Fatalf("Hist size %d exceeds budget %d", h.SizeBytes(), budget)
+	}
+	reg := region(t, tbl, query.Predicate{Col: 3, Op: query.OpLe, Code: 20})
+	got := h.EstimateRegion(reg)
+	if got < 0 || got > 1 {
+		t.Fatalf("estimate %v out of range", got)
+	}
+}
+
+func TestPostgresSingleColumnAccuracy(t *testing.T) {
+	tbl := corrTable(t, 8000)
+	p := NewPostgres(tbl, 100, 1000)
+	for code := int32(0); code < 10; code++ {
+		reg := region(t, tbl, query.Predicate{Col: 0, Op: query.OpEq, Code: code})
+		got := p.EstimateRegion(reg)
+		truth := query.Selectivity(reg, tbl)
+		// With 100 MCVs on a 10-value domain, every value is an MCV: exact.
+		if math.Abs(got-truth) > 1e-9 {
+			t.Fatalf("code %d: %v vs %v", code, got, truth)
+		}
+	}
+}
+
+func TestPostgresRangeWithHistogram(t *testing.T) {
+	// Large domain with few MCVs exercises the equi-depth histogram path.
+	rng := rand.New(rand.NewSource(3))
+	rows := 20000
+	codes := [][]int32{make([]int32, rows)}
+	for r := range codes[0] {
+		codes[0][r] = int32(rng.Intn(1000))
+	}
+	tbl, err := table.FromCodes("hist1d", []string{"v"}, []int{1000}, codes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := NewPostgres(tbl, 10, 100)
+	reg := region(t, tbl, query.Predicate{Col: 0, Op: query.OpLe, Code: 250})
+	got := p.EstimateRegion(reg)
+	truth := query.Selectivity(reg, tbl)
+	if metrics.QError(got*float64(rows), truth*float64(rows)) > 1.3 {
+		t.Fatalf("range estimate %v vs truth %v", got, truth)
+	}
+}
+
+func TestDBMS1PairCorrection(t *testing.T) {
+	tbl := corrTable(t, 5000)
+	d := NewDBMS1(tbl, 100, 100)
+	p := NewPostgres(tbl, 100, 100)
+	reg := region(t, tbl,
+		query.Predicate{Col: 0, Op: query.OpEq, Code: 3},
+		query.Predicate{Col: 1, Op: query.OpEq, Code: 3})
+	truth := query.Selectivity(reg, tbl)
+	dErr := metrics.QError(d.EstimateRegion(reg)*5000, truth*5000)
+	pErr := metrics.QError(p.EstimateRegion(reg)*5000, truth*5000)
+	if dErr >= pErr {
+		t.Fatalf("DBMS-1 (%.2f) should beat Postgres (%.2f) on a correlated equality pair", dErr, pErr)
+	}
+	if d.Name() != "DBMS-1" {
+		t.Fatal("Name")
+	}
+}
+
+func TestSampleEstimator(t *testing.T) {
+	tbl := corrTable(t, 10000)
+	s := NewSample(tbl, 0.05, 7)
+	if got := s.NumKept(); got != 500 {
+		t.Fatalf("kept %d", got)
+	}
+	reg := region(t, tbl, query.Predicate{Col: 0, Op: query.OpLe, Code: 4})
+	got := s.EstimateRegion(reg)
+	truth := query.Selectivity(reg, tbl)
+	if math.Abs(got-truth) > 0.08 {
+		t.Fatalf("sample estimate %v vs truth %v", got, truth)
+	}
+	// Bitmap agrees with per-row matching.
+	bm := make([]float32, s.NumKept())
+	s.Bitmap(reg, bm)
+	var ones float64
+	for _, b := range bm {
+		ones += float64(b)
+	}
+	if math.Abs(ones/float64(len(bm))-got) > 1e-9 {
+		t.Fatal("Bitmap inconsistent with EstimateRegion")
+	}
+}
+
+func TestSampleMissesRareValues(t *testing.T) {
+	// A value occurring once in 10K rows is usually absent from a 1%
+	// sample → estimate 0. This is the failure mode Table 3 shows for
+	// low-selectivity queries.
+	rows := 10000
+	codes := [][]int32{make([]int32, rows)}
+	for r := range codes[0] {
+		codes[0][r] = int32(r % 2)
+	}
+	codes[0][0] = 2 // singleton value
+	tbl, err := table.FromCodes("rare", []string{"v"}, []int{3}, codes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewSample(tbl, 0.01, 3)
+	reg := region(t, tbl, query.Predicate{Col: 0, Op: query.OpEq, Code: 2})
+	if got := s.EstimateRegion(reg); got != 0 {
+		t.Skipf("sample happened to include the singleton (est %v)", got)
+	}
+}
+
+func TestKDESingleColumnRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	rows := 20000
+	codes := [][]int32{make([]int32, rows)}
+	for r := range codes[0] {
+		codes[0][r] = int32(rng.Intn(500))
+	}
+	tbl, err := table.FromCodes("kde1", []string{"v"}, []int{500}, codes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := NewKDE(tbl, 2000, 5)
+	reg := region(t, tbl, query.Predicate{Col: 0, Op: query.OpLe, Code: 100})
+	got := k.EstimateRegion(reg)
+	truth := query.Selectivity(reg, tbl)
+	if metrics.QError(got*float64(rows), truth*float64(rows)) > 1.5 {
+		t.Fatalf("KDE range: %v vs %v", got, truth)
+	}
+	// Wildcard region integrates to 1.
+	all := region(t, tbl)
+	if math.Abs(k.EstimateRegion(all)-1) > 1e-9 {
+		t.Fatal("wildcard should be exactly 1 after renormalization")
+	}
+}
+
+func TestKDETuningImproves(t *testing.T) {
+	tbl := corrTable(t, 8000)
+	k := NewKDE(tbl, 400, 6)
+	// Degrade bandwidths badly, then let feedback fix them.
+	for c := range k.bw {
+		k.bw[c] *= 40
+	}
+	gen := query.NewGenerator(tbl, query.GeneratorConfig{MinFilters: 1, MaxFilters: 2, SmallDomainThreshold: 3}, 8)
+	var regions []*query.Region
+	var sels []float64
+	for i := 0; i < 40; i++ {
+		reg, err := query.Compile(gen.Next(), tbl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		regions = append(regions, reg)
+		sels = append(sels, query.Selectivity(reg, tbl))
+	}
+	loss := func() float64 {
+		var s float64
+		for i, reg := range regions {
+			s += math.Abs(math.Log(math.Max(k.EstimateRegion(reg), 1e-9)) - math.Log(math.Max(sels[i], 1e-9)))
+		}
+		return s
+	}
+	before := loss()
+	k.TuneBandwidths(regions, sels, 2)
+	after := loss()
+	if after >= before {
+		t.Fatalf("bandwidth tuning did not improve: %v → %v", before, after)
+	}
+	if k.Name() != "KDE-superv" {
+		t.Fatal("tuned KDE should rename itself")
+	}
+}
+
+func TestMSCNLearnsWorkload(t *testing.T) {
+	tbl := corrTable(t, 6000)
+	gen := query.NewGenerator(tbl, query.GeneratorConfig{MinFilters: 1, MaxFilters: 3, SmallDomainThreshold: 3}, 9)
+	var regions []*query.Region
+	var sels []float64
+	for i := 0; i < 300; i++ {
+		reg, err := query.Compile(gen.Next(), tbl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		regions = append(regions, reg)
+		sels = append(sels, query.Selectivity(reg, tbl))
+	}
+	m := NewMSCN(tbl, MSCNConfig{Name: "MSCN-base", SampleRows: 200, Hidden: 32, Seed: 10})
+	m.TrainOn(regions[:250], sels[:250], 40, 2e-3, 11)
+	// In-distribution test queries: decent median error expected.
+	var errs []float64
+	for i := 250; i < 300; i++ {
+		est := m.EstimateRegion(regions[i])
+		errs = append(errs, metrics.QError(est*6000, sels[i]*6000))
+	}
+	med := metrics.Quantile(errs, 0.5)
+	if med > 4 {
+		t.Fatalf("MSCN median q-error %v too high after training", med)
+	}
+	if m.Name() != "MSCN-base" {
+		t.Fatal("Name")
+	}
+	if m.SizeBytes() <= 0 {
+		t.Fatal("SizeBytes")
+	}
+}
+
+func TestMSCNZeroVariantHasNoSample(t *testing.T) {
+	tbl := corrTable(t, 2000)
+	m := NewMSCN(tbl, MSCNConfig{Name: "MSCN-0", SampleRows: 0, Hidden: 16, Seed: 12})
+	if m.sample != nil || m.bmNet != nil {
+		t.Fatal("MSCN-0 must not materialize a sample")
+	}
+	reg := region(t, tbl, query.Predicate{Col: 0, Op: query.OpEq, Code: 1})
+	got := m.EstimateRegion(reg)
+	if got < 0 || got > 1 {
+		t.Fatalf("estimate %v out of range", got)
+	}
+}
+
+func TestMSCNBitmapHelpsOnSampledValues(t *testing.T) {
+	// With a sample bitmap, MSCN can distinguish matching vs empty regions
+	// even before heavy training; check the bitmap branch is wired by
+	// verifying the two variants differ in output.
+	tbl := corrTable(t, 4000)
+	withBM := NewMSCN(tbl, MSCNConfig{SampleRows: 500, Hidden: 16, Seed: 13})
+	reg1 := region(t, tbl, query.Predicate{Col: 0, Op: query.OpLe, Code: 8})
+	reg2 := region(t, tbl,
+		query.Predicate{Col: 0, Op: query.OpEq, Code: 0},
+		query.Predicate{Col: 1, Op: query.OpEq, Code: 9}) // correlated ⇒ empty
+	a, _ := withBM.forward(reg1)
+	b, _ := withBM.forward(reg2)
+	if a == b {
+		t.Fatal("bitmap branch has no effect on the prediction")
+	}
+}
+
+func TestInterfaceConformance(t *testing.T) {
+	tbl := corrTable(t, 1000)
+	var ests []Interface = []Interface{
+		NewIndep(tbl),
+		NewHist(tbl, 8192),
+		NewPostgres(tbl, 50, 100),
+		NewDBMS1(tbl, 50, 100),
+		NewSample(tbl, 0.05, 1),
+		NewKDE(tbl, 100, 1),
+		NewMSCN(tbl, MSCNConfig{SampleRows: 50, Hidden: 8, Seed: 1}),
+	}
+	reg := region(t, tbl, query.Predicate{Col: 0, Op: query.OpGe, Code: 5})
+	for _, e := range ests {
+		got := e.EstimateRegion(reg)
+		if got < 0 || got > 1 || math.IsNaN(got) {
+			t.Fatalf("%s: estimate %v out of range", e.Name(), got)
+		}
+		if e.SizeBytes() <= 0 {
+			t.Fatalf("%s: non-positive size", e.Name())
+		}
+	}
+}
+
+func TestEstimatorsOnEmptyRegion(t *testing.T) {
+	tbl := corrTable(t, 1000)
+	reg := region(t, tbl,
+		query.Predicate{Col: 0, Op: query.OpEq, Code: 1},
+		query.Predicate{Col: 0, Op: query.OpEq, Code: 2}) // unsatisfiable
+	for _, e := range []Interface{
+		NewIndep(tbl), NewHist(tbl, 8192), NewPostgres(tbl, 50, 100),
+		NewDBMS1(tbl, 50, 100), NewSample(tbl, 0.05, 1), NewKDE(tbl, 100, 1),
+	} {
+		if got := e.EstimateRegion(reg); got != 0 {
+			t.Fatalf("%s: empty region estimate %v", e.Name(), got)
+		}
+	}
+}

@@ -1,0 +1,153 @@
+package estimator
+
+import (
+	"repro/internal/query"
+	"repro/internal/table"
+)
+
+// Hist is the N-dimensional histogram of Table 2: the joint is gridded into
+// equal-width buckets per dimension and a dense count array is materialized.
+// Per-column bucket counts are chosen as large as the storage budget permits
+// (the paper: "We increase per-column bin sizes as much as possible...
+// otherwise it achieves perfect accuracy given unlimited space").
+type Hist struct {
+	buckets []int // buckets per column
+	width   []int // codes per bucket (ceil(domain/buckets))
+	counts  []float64
+	strides []int
+	rows    float64
+}
+
+// NewHist grids the table into at most budgetBytes of float64 cells, growing
+// every column's bucket count in round-robin until the budget is exhausted.
+func NewHist(t *table.Table, budgetBytes int64) *Hist {
+	nc := t.NumCols()
+	doms := t.DomainSizes()
+	buckets := make([]int, nc)
+	for i := range buckets {
+		buckets[i] = 1
+	}
+	cells := func() int64 {
+		p := int64(1)
+		for _, b := range buckets {
+			p *= int64(b)
+			if p > 1<<40 {
+				return p
+			}
+		}
+		return p
+	}
+	// Grow greedily: double the column whose bucket count is furthest below
+	// its domain, while the cell array still fits.
+	for {
+		best := -1
+		for i := range buckets {
+			if buckets[i] >= doms[i] {
+				continue
+			}
+			if best == -1 || float64(buckets[i])/float64(doms[i]) < float64(buckets[best])/float64(doms[best]) {
+				best = i
+			}
+		}
+		if best == -1 {
+			break
+		}
+		old := buckets[best]
+		buckets[best] = min(old*2, doms[best])
+		if cells()*8 > budgetBytes {
+			buckets[best] = old
+			break
+		}
+	}
+	h := &Hist{buckets: buckets, rows: float64(t.NumRows())}
+	h.width = make([]int, nc)
+	for i := range h.width {
+		h.width[i] = (doms[i] + buckets[i] - 1) / buckets[i]
+	}
+	h.strides = make([]int, nc)
+	stride := 1
+	for i := nc - 1; i >= 0; i-- {
+		h.strides[i] = stride
+		stride *= buckets[i]
+	}
+	h.counts = make([]float64, stride)
+	for r := 0; r < t.NumRows(); r++ {
+		idx := 0
+		for c := 0; c < nc; c++ {
+			idx += (int(t.Cols[c].Codes[r]) / h.width[c]) * h.strides[c]
+		}
+		h.counts[idx]++
+	}
+	return h
+}
+
+// Name implements Interface.
+func (h *Hist) Name() string { return "Hist" }
+
+// SizeBytes counts the dense cell array.
+func (h *Hist) SizeBytes() int64 { return int64(len(h.counts))*8 + int64(len(h.buckets))*16 }
+
+// EstimateRegion sums bucket masses scaled by the per-dimension overlap
+// fraction of the query region with each bucket (uniform spread within
+// buckets — the classical histogram assumption).
+func (h *Hist) EstimateRegion(reg *query.Region) float64 {
+	nc := len(h.buckets)
+	// Per column, per bucket: fraction of the bucket's codes that are valid.
+	overlap := make([][]float64, nc)
+	for c := 0; c < nc; c++ {
+		cr := &reg.Cols[c]
+		ov := make([]float64, h.buckets[c])
+		d := len(cr.Valid)
+		for b := 0; b < h.buckets[c]; b++ {
+			lo := b * h.width[c]
+			hi := min(lo+h.width[c], d)
+			if lo >= d {
+				break
+			}
+			if cr.IsAll() {
+				ov[b] = 1
+				continue
+			}
+			var hit int
+			for v := lo; v < hi; v++ {
+				if cr.Valid[v] {
+					hit++
+				}
+			}
+			ov[b] = float64(hit) / float64(hi-lo)
+		}
+		overlap[c] = ov
+	}
+	// Walk all cells with an odometer, accumulating count × Πoverlap.
+	idx := make([]int, nc)
+	var total float64
+	for {
+		frac := 1.0
+		for c := 0; c < nc; c++ {
+			frac *= overlap[c][idx[c]]
+			if frac == 0 {
+				break
+			}
+		}
+		if frac > 0 {
+			cell := 0
+			for c := 0; c < nc; c++ {
+				cell += idx[c] * h.strides[c]
+			}
+			total += h.counts[cell] * frac
+		}
+		k := nc - 1
+		for k >= 0 {
+			idx[k]++
+			if idx[k] < h.buckets[k] {
+				break
+			}
+			idx[k] = 0
+			k--
+		}
+		if k < 0 {
+			break
+		}
+	}
+	return clamp01(total / h.rows)
+}

@@ -1,0 +1,70 @@
+package estimator
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/query"
+	"repro/internal/table"
+)
+
+// Sample is the uniform-sampling estimator of Table 2: keep p% of all tuples
+// in memory and estimate each query by evaluating it over the kept tuples.
+type Sample struct {
+	rows  [][]int32 // kept tuples (codes)
+	nCols int
+	frac  float64
+}
+
+// NewSample retains a uniform random fraction frac of the table's rows.
+func NewSample(t *table.Table, frac float64, seed int64) *Sample {
+	if frac <= 0 || frac > 1 {
+		panic(fmt.Sprintf("estimator: sample fraction %v outside (0,1]", frac))
+	}
+	rng := rand.New(rand.NewSource(seed))
+	n := t.NumRows()
+	k := int(float64(n) * frac)
+	if k < 1 {
+		k = 1
+	}
+	pick := rng.Perm(n)[:k]
+	s := &Sample{rows: make([][]int32, k), nCols: t.NumCols(), frac: frac}
+	for i, r := range pick {
+		row := make([]int32, t.NumCols())
+		t.Row(r, row)
+		s.rows[i] = row
+	}
+	return s
+}
+
+// Name implements Interface.
+func (s *Sample) Name() string { return "Sample" }
+
+// SizeBytes counts the kept tuples (4 bytes per code).
+func (s *Sample) SizeBytes() int64 { return int64(len(s.rows)) * int64(s.nCols) * 4 }
+
+// NumKept returns the number of retained tuples.
+func (s *Sample) NumKept() int { return len(s.rows) }
+
+// EstimateRegion counts qualifying sample tuples.
+func (s *Sample) EstimateRegion(reg *query.Region) float64 {
+	var hits int
+	for _, row := range s.rows {
+		if reg.Matches(row) {
+			hits++
+		}
+	}
+	return float64(hits) / float64(len(s.rows))
+}
+
+// Bitmap returns the per-sample-row qualification bitmap for a region. MSCN
+// consumes this as its materialized-sample input feature.
+func (s *Sample) Bitmap(reg *query.Region, dst []float32) {
+	for i, row := range s.rows {
+		if reg.Matches(row) {
+			dst[i] = 1
+		} else {
+			dst[i] = 0
+		}
+	}
+}

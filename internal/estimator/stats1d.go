@@ -1,0 +1,195 @@
+package estimator
+
+import (
+	"sort"
+
+	"repro/internal/query"
+	"repro/internal/table"
+)
+
+// colStats is the classical single-column summary real systems keep: a
+// most-common-values (MCV) list with exact frequencies, an equi-depth
+// histogram over the remaining values, and the column's distinct count.
+// It is shared by the Postgres-style and DBMS-1-style estimators.
+type colStats struct {
+	domain    int
+	nDistinct int
+
+	mcvCode []int32
+	mcvFreq []float64 // fraction of rows
+
+	// Equi-depth histogram over non-MCV rows: bounds are bucket upper
+	// edges in code space (inclusive); each bucket holds bucketFrac of the
+	// non-MCV row mass. restFrac is the total non-MCV fraction and
+	// restDistinct the non-MCV distinct count.
+	bounds       []int32
+	bucketFrac   float64
+	restFrac     float64
+	restDistinct int
+}
+
+// buildColStats summarizes one column with at most mcvLimit MCV entries and
+// histBuckets equi-depth buckets.
+func buildColStats(col *table.Column, rows int, mcvLimit, histBuckets int) *colStats {
+	d := col.DomainSize()
+	counts := make([]int64, d)
+	for _, code := range col.Codes {
+		counts[code]++
+	}
+	type vc struct {
+		code int32
+		n    int64
+	}
+	present := make([]vc, 0, d)
+	for code, n := range counts {
+		if n > 0 {
+			present = append(present, vc{int32(code), n})
+		}
+	}
+	s := &colStats{domain: d, nDistinct: len(present)}
+	// MCVs: highest counts first (ties by code for determinism).
+	sort.Slice(present, func(i, j int) bool {
+		if present[i].n != present[j].n {
+			return present[i].n > present[j].n
+		}
+		return present[i].code < present[j].code
+	})
+	k := mcvLimit
+	if k > len(present) {
+		k = len(present)
+	}
+	total := float64(rows)
+	for _, p := range present[:k] {
+		s.mcvCode = append(s.mcvCode, p.code)
+		s.mcvFreq = append(s.mcvFreq, float64(p.n)/total)
+	}
+	rest := present[k:]
+	s.restDistinct = len(rest)
+	var restRows int64
+	for _, p := range rest {
+		restRows += p.n
+	}
+	s.restFrac = float64(restRows) / total
+	if len(rest) == 0 || histBuckets <= 0 || restRows == 0 {
+		return s
+	}
+	// Equi-depth: walk rest values in code order, cutting when cumulative
+	// count passes each depth threshold.
+	sort.Slice(rest, func(i, j int) bool { return rest[i].code < rest[j].code })
+	if histBuckets > len(rest) {
+		histBuckets = len(rest)
+	}
+	depth := float64(restRows) / float64(histBuckets)
+	var cum float64
+	next := depth
+	for _, p := range rest {
+		cum += float64(p.n)
+		if cum >= next {
+			s.bounds = append(s.bounds, p.code)
+			for cum >= next {
+				next += depth
+			}
+		}
+	}
+	if len(s.bounds) == 0 || s.bounds[len(s.bounds)-1] != rest[len(rest)-1].code {
+		s.bounds = append(s.bounds, rest[len(rest)-1].code)
+	}
+	s.bucketFrac = s.restFrac / float64(len(s.bounds))
+	return s
+}
+
+// sizeBytes reports the summary footprint: 4 bytes per MCV code and bound,
+// 8 per MCV frequency, plus fixed fields.
+func (s *colStats) sizeBytes() int64 {
+	return int64(len(s.mcvCode))*4 + int64(len(s.mcvFreq))*8 + int64(len(s.bounds))*4 + 32
+}
+
+// selectivity estimates the fraction of rows whose column value lies in the
+// range, using MCV hits plus uniform-within-bucket histogram interpolation —
+// the classical single-column estimation formula.
+func (s *colStats) selectivity(cr *query.ColumnRange) float64 {
+	if cr.IsAll() {
+		return 1
+	}
+	if cr.IsEmpty() {
+		return 0
+	}
+	var sel float64
+	for i, code := range s.mcvCode {
+		if cr.Valid[code] {
+			sel += s.mcvFreq[i]
+		}
+	}
+	if len(s.bounds) == 0 {
+		if s.restDistinct > 0 {
+			// No histogram: assume uniform across the non-MCV distincts.
+			sel += s.restFrac * float64(countValidNonMCV(cr, s.mcvCode)) / float64(s.restDistinct)
+		}
+		return clamp01(sel)
+	}
+	// Histogram walk over contiguous valid runs: each bucket spans codes
+	// (prevBound, bound]; within a bucket assume uniform spread over codes.
+	prev := int32(-1)
+	for bi, bound := range s.bounds {
+		_ = bi
+		lo, hi := prev+1, bound // inclusive code span of this bucket
+		prev = bound
+		width := float64(hi-lo) + 1
+		if width <= 0 {
+			continue
+		}
+		// Overlap of the valid set with [lo, hi].
+		a, b := lo, hi
+		if a < cr.Lo {
+			a = cr.Lo
+		}
+		if b >= cr.Hi {
+			b = cr.Hi - 1
+		}
+		if a > b {
+			continue
+		}
+		var overlap float64
+		for v := a; v <= b; v++ {
+			if cr.Valid[v] {
+				overlap++
+			}
+		}
+		sel += s.bucketFrac * overlap / width
+	}
+	return clamp01(sel)
+}
+
+// equalitySelectivity is the classical point formula: MCV frequency if
+// listed, otherwise the non-MCV mass spread evenly over non-MCV distincts.
+func (s *colStats) equalitySelectivity(code int32) float64 {
+	for i, c := range s.mcvCode {
+		if c == code {
+			return s.mcvFreq[i]
+		}
+	}
+	if s.restDistinct == 0 {
+		return 0
+	}
+	return s.restFrac / float64(s.restDistinct)
+}
+
+func countValidNonMCV(cr *query.ColumnRange, mcv []int32) int {
+	n := cr.Count
+	for _, code := range mcv {
+		if cr.Valid[code] {
+			n--
+		}
+	}
+	return n
+}
+
+func clamp01(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x > 1 {
+		return 1
+	}
+	return x
+}

@@ -1,0 +1,151 @@
+package estimator
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/query"
+	"repro/internal/table"
+)
+
+// buildColumn creates a single-column table from explicit codes.
+func buildColumn(t *testing.T, domain int, codes []int32) *table.Column {
+	t.Helper()
+	tbl, err := table.FromCodes("one", []string{"v"}, []int{domain}, [][]int32{codes})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tbl.Cols[0]
+}
+
+func crFor(t *testing.T, domain int, pred query.Predicate) *query.ColumnRange {
+	t.Helper()
+	reg, err := query.CompileDomains(query.Query{Preds: []query.Predicate{pred}}, []int{domain})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &reg.Cols[0]
+}
+
+func TestColStatsMCVExact(t *testing.T) {
+	// Value 0 dominates; with 2 MCV slots its frequency must be exact.
+	codes := make([]int32, 1000)
+	for i := 400; i < 700; i++ {
+		codes[i] = 1
+	}
+	for i := 700; i < 1000; i++ {
+		codes[i] = int32(2 + i%8)
+	}
+	col := buildColumn(t, 10, codes)
+	s := buildColStats(col, 1000, 2, 4)
+	if got := s.equalitySelectivity(0); math.Abs(got-0.4) > 1e-12 {
+		t.Fatalf("MCV freq of 0 = %v, want 0.4", got)
+	}
+	if got := s.equalitySelectivity(1); math.Abs(got-0.3) > 1e-12 {
+		t.Fatalf("MCV freq of 1 = %v, want 0.3", got)
+	}
+	// Non-MCV equality: rest mass spread over rest distincts.
+	got := s.equalitySelectivity(5)
+	want := 0.3 / float64(s.restDistinct)
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("non-MCV equality = %v, want %v", got, want)
+	}
+}
+
+func TestColStatsHistogramRange(t *testing.T) {
+	// Uniform over 200 values, no MCV dominance: range selectivity should
+	// track the true fraction closely.
+	rng := rand.New(rand.NewSource(1))
+	codes := make([]int32, 20000)
+	for i := range codes {
+		codes[i] = int32(rng.Intn(200))
+	}
+	col := buildColumn(t, 200, codes)
+	s := buildColStats(col, 20000, 5, 50)
+	cr := crFor(t, 200, query.Predicate{Col: 0, Op: query.OpLe, Code: 49})
+	got := s.selectivity(cr)
+	if math.Abs(got-0.25) > 0.05 {
+		t.Fatalf("range sel = %v, want ≈0.25", got)
+	}
+}
+
+func TestColStatsWildcardAndEmpty(t *testing.T) {
+	codes := []int32{0, 1, 2, 3}
+	col := buildColumn(t, 4, codes)
+	s := buildColStats(col, 4, 2, 2)
+	all := crFor(t, 4, query.Predicate{Col: 0, Op: query.OpGe, Code: 0})
+	if got := s.selectivity(all); got != 1 {
+		t.Fatalf("wildcard-equivalent sel = %v", got)
+	}
+	reg, err := query.CompileDomains(query.Query{Preds: []query.Predicate{
+		{Col: 0, Op: query.OpLt, Code: 2}, {Col: 0, Op: query.OpGt, Code: 2}}}, []int{4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.selectivity(&reg.Cols[0]); got != 0 {
+		t.Fatalf("empty range sel = %v", got)
+	}
+}
+
+func TestColStatsSelectivitySumsToOne(t *testing.T) {
+	// Σ over all codes of equalitySelectivity ≈ 1 when every present value
+	// is either an MCV or in the rest pool.
+	rng := rand.New(rand.NewSource(2))
+	codes := make([]int32, 5000)
+	for i := range codes {
+		codes[i] = int32(rng.Intn(50))
+	}
+	col := buildColumn(t, 50, codes)
+	s := buildColStats(col, 5000, 10, 8)
+	var sum float64
+	for v := int32(0); v < 50; v++ {
+		sum += s.equalitySelectivity(v)
+	}
+	if math.Abs(sum-1) > 0.02 {
+		t.Fatalf("equality selectivities sum to %v", sum)
+	}
+}
+
+func TestColStatsFewDistinct(t *testing.T) {
+	// Fewer distinct values than MCV slots: everything is an MCV, and the
+	// histogram is empty.
+	codes := []int32{0, 0, 1, 1, 1, 1}
+	col := buildColumn(t, 2, codes)
+	s := buildColStats(col, 6, 100, 50)
+	if len(s.bounds) != 0 {
+		t.Fatal("histogram should be empty when MCVs cover everything")
+	}
+	if got := s.equalitySelectivity(1); math.Abs(got-4.0/6) > 1e-12 {
+		t.Fatalf("sel(1) = %v", got)
+	}
+	if got := s.equalitySelectivity(0); math.Abs(got-2.0/6) > 1e-12 {
+		t.Fatalf("sel(0) = %v", got)
+	}
+}
+
+// Property: selectivity is always within [0, 1] and monotone under widening.
+func TestQuickColStatsBounded(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	z := rand.NewZipf(rng, 1.5, 1, 99)
+	codes := make([]int32, 3000)
+	for i := range codes {
+		codes[i] = int32(z.Uint64())
+	}
+	col := buildColumn(t, 100, codes)
+	s := buildColStats(col, 3000, 8, 16)
+	f := func(aRaw, bRaw uint8) bool {
+		a, b := int32(aRaw%100), int32(bRaw%100)
+		if a > b {
+			a, b = b, a
+		}
+		narrow := crFor(t, 100, query.Predicate{Col: 0, Op: query.OpBetween, Code: a, Code2: b})
+		wide := crFor(t, 100, query.Predicate{Col: 0, Op: query.OpBetween, Code: 0, Code2: 99})
+		sn, sw := s.selectivity(narrow), s.selectivity(wide)
+		return sn >= 0 && sn <= 1 && sw >= sn-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,218 @@
+// Package join provides the joined-relation substrate of §4.1: a Naru
+// estimator "does not distinguish between the type of table it is built on —
+// either the entire joined relation can be pre-computed and materialized, or
+// join samplers can be used to produce batches of tuples on-the-fly."
+//
+// Both options are implemented for two-way equi-joins: Materialize produces
+// the full join result as an ordinary dictionary-encoded table (estimators
+// then work unchanged), and Sampler draws exactly-uniform tuples from the
+// join result without materializing it, which is what a production system
+// would feed the trainer for large joins.
+package join
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/table"
+)
+
+// codeMap translates left-table codes of the join column into right-table
+// codes of the join column (or -1 when the value has no match), by matching
+// dictionary values.
+func codeMap(lc, rc *table.Column) ([]int32, error) {
+	if lc.Kind != rc.Kind {
+		return nil, fmt.Errorf("join: column kinds differ (%v vs %v)", lc.Kind, rc.Kind)
+	}
+	m := make([]int32, lc.DomainSize())
+	for code := range m {
+		m[code] = -1
+		switch lc.Kind {
+		case table.KindInt:
+			if rcode, ok := rc.CodeOfInt(lc.Ints[code]); ok {
+				m[code] = rcode
+			}
+		case table.KindFloat:
+			if rcode, ok := rc.CodeOfFloat(lc.Floats[code]); ok {
+				m[code] = rcode
+			}
+		case table.KindString:
+			if rcode, ok := rc.CodeOfString(lc.Strs[code]); ok {
+				m[code] = rcode
+			}
+		}
+	}
+	return m, nil
+}
+
+// rightIndex lists, per right-table code of the join column, the matching
+// right row numbers.
+func rightIndex(rc *table.Column) [][]int32 {
+	idx := make([][]int32, rc.DomainSize())
+	for r, code := range rc.Codes {
+		idx[code] = append(idx[code], int32(r))
+	}
+	return idx
+}
+
+// Materialize computes the inner equi-join left ⋈ right on
+// left.Cols[leftCol] = right.Cols[rightCol] and returns it as a table whose
+// columns are the left columns followed by the right columns (the join
+// column appears once, from the left). Column dictionaries are shared with
+// the inputs; only code vectors are allocated.
+func Materialize(name string, left, right *table.Table, leftCol, rightCol int) (*table.Table, error) {
+	if leftCol < 0 || leftCol >= left.NumCols() || rightCol < 0 || rightCol >= right.NumCols() {
+		return nil, fmt.Errorf("join: column out of range")
+	}
+	cmap, err := codeMap(left.Cols[leftCol], right.Cols[rightCol])
+	if err != nil {
+		return nil, err
+	}
+	ridx := rightIndex(right.Cols[rightCol])
+
+	// First pass: output size.
+	var outRows int64
+	for _, lcode := range left.Cols[leftCol].Codes {
+		if rcode := cmap[lcode]; rcode >= 0 {
+			outRows += int64(len(ridx[rcode]))
+		}
+	}
+	if outRows == 0 {
+		return nil, fmt.Errorf("join: empty result")
+	}
+
+	// Output schema: all left columns, then right columns minus the join
+	// column.
+	var cols []*table.Column
+	appendCol := func(src *table.Column, prefix string) *table.Column {
+		cc := *src
+		cc.Name = prefix + src.Name
+		cc.Codes = make([]int32, outRows)
+		cols = append(cols, &cc)
+		return cols[len(cols)-1]
+	}
+	leftOut := make([]*table.Column, left.NumCols())
+	for i, c := range left.Cols {
+		leftOut[i] = appendCol(c, "l.")
+	}
+	rightOut := make([]*table.Column, 0, right.NumCols()-1)
+	rightSrc := make([]*table.Column, 0, right.NumCols()-1)
+	for i, c := range right.Cols {
+		if i == rightCol {
+			continue
+		}
+		rightOut = append(rightOut, appendCol(c, "r."))
+		rightSrc = append(rightSrc, c)
+	}
+
+	out := 0
+	for lr := 0; lr < left.NumRows(); lr++ {
+		rcode := cmap[left.Cols[leftCol].Codes[lr]]
+		if rcode < 0 {
+			continue
+		}
+		for _, rr := range ridx[rcode] {
+			for i, c := range left.Cols {
+				leftOut[i].Codes[out] = c.Codes[lr]
+			}
+			for i, c := range rightSrc {
+				rightOut[i].Codes[out] = c.Codes[rr]
+			}
+			out++
+		}
+	}
+	return table.New(name, cols)
+}
+
+// Sampler draws uniformly random tuples from the (unmaterialized) join
+// result. Construction is O(|left| + |right|); each draw is O(log |left| +
+// cols) via binary search over the cumulative match counts.
+type Sampler struct {
+	left, right        *table.Table
+	leftCol, rightCol  int
+	cmap               []int32
+	ridx               [][]int32
+	cum                []int64 // cumulative join contributions per left row
+	total              int64
+	rightColsExceptKey []int
+}
+
+// NewSampler prepares a uniform join sampler for left ⋈ right.
+func NewSampler(left, right *table.Table, leftCol, rightCol int) (*Sampler, error) {
+	cmap, err := codeMap(left.Cols[leftCol], right.Cols[rightCol])
+	if err != nil {
+		return nil, err
+	}
+	s := &Sampler{
+		left: left, right: right, leftCol: leftCol, rightCol: rightCol,
+		cmap: cmap, ridx: rightIndex(right.Cols[rightCol]),
+	}
+	s.cum = make([]int64, left.NumRows()+1)
+	for lr := 0; lr < left.NumRows(); lr++ {
+		n := int64(0)
+		if rcode := cmap[left.Cols[leftCol].Codes[lr]]; rcode >= 0 {
+			n = int64(len(s.ridx[rcode]))
+		}
+		s.cum[lr+1] = s.cum[lr] + n
+	}
+	s.total = s.cum[left.NumRows()]
+	if s.total == 0 {
+		return nil, fmt.Errorf("join: empty result")
+	}
+	for i := range right.Cols {
+		if i != rightCol {
+			s.rightColsExceptKey = append(s.rightColsExceptKey, i)
+		}
+	}
+	return s, nil
+}
+
+// JoinSize returns the exact cardinality of the join result.
+func (s *Sampler) JoinSize() int64 { return s.total }
+
+// NumCols returns the width of a joined tuple (left columns + right columns
+// minus the join key).
+func (s *Sampler) NumCols() int {
+	return s.left.NumCols() + len(s.rightColsExceptKey)
+}
+
+// DomainSizes returns the joined schema's per-column domain sizes.
+func (s *Sampler) DomainSizes() []int {
+	out := make([]int, 0, s.NumCols())
+	for _, c := range s.left.Cols {
+		out = append(out, c.DomainSize())
+	}
+	for _, i := range s.rightColsExceptKey {
+		out = append(out, s.right.Cols[i].DomainSize())
+	}
+	return out
+}
+
+// Draw fills dst (NumCols wide) with one uniformly random joined tuple.
+func (s *Sampler) Draw(rng *rand.Rand, dst []int32) {
+	target := rng.Int63n(s.total)
+	// First left row whose cumulative count exceeds target.
+	lr := sort.Search(s.left.NumRows(), func(i int) bool { return s.cum[i+1] > target }) //nolint:gosec
+	matches := s.ridx[s.cmap[s.left.Cols[s.leftCol].Codes[lr]]]
+	rr := matches[rng.Intn(len(matches))]
+	k := 0
+	for _, c := range s.left.Cols {
+		dst[k] = c.Codes[lr]
+		k++
+	}
+	for _, i := range s.rightColsExceptKey {
+		dst[k] = s.right.Cols[i].Codes[rr]
+		k++
+	}
+}
+
+// Batch draws n uniform joined tuples row-major into a fresh slice.
+func (s *Sampler) Batch(rng *rand.Rand, n int) []int32 {
+	nc := s.NumCols()
+	out := make([]int32, n*nc)
+	for r := 0; r < n; r++ {
+		s.Draw(rng, out[r*nc:(r+1)*nc])
+	}
+	return out
+}

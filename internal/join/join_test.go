@@ -1,0 +1,211 @@
+package join
+
+import (
+	"math"
+	"math/rand"
+	"strconv"
+	"testing"
+
+	"repro/internal/table"
+)
+
+// ordersAndCustomers builds two small joinable tables:
+// customers(cid, region), orders(cid, amount).
+func ordersAndCustomers(t *testing.T) (orders, customers *table.Table) {
+	t.Helper()
+	cb := table.NewBuilder("customers", []string{"cid", "region"})
+	for cid := 0; cid < 20; cid++ {
+		region := "east"
+		if cid%3 == 0 {
+			region = "west"
+		}
+		if err := cb.AppendRow([]string{strconv.Itoa(cid), region}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var err error
+	customers, err = cb.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ob := table.NewBuilder("orders", []string{"cid", "amount"})
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 500; i++ {
+		cid := rng.Intn(25) // cids 20..24 dangle (no customer)
+		amount := 10 * (1 + rng.Intn(9))
+		if err := ob.AppendRow([]string{strconv.Itoa(cid), strconv.Itoa(amount)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	orders, err = ob.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return orders, customers
+}
+
+// nestedLoopCount is the reference join cardinality.
+func nestedLoopCount(t *testing.T, orders, customers *table.Table) int64 {
+	t.Helper()
+	var n int64
+	oc, cc := orders.Cols[0], customers.Cols[0]
+	for i := 0; i < orders.NumRows(); i++ {
+		ov := oc.Ints[oc.Codes[i]]
+		for j := 0; j < customers.NumRows(); j++ {
+			if cc.Ints[cc.Codes[j]] == ov {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+func TestMaterializeMatchesNestedLoop(t *testing.T) {
+	orders, customers := ordersAndCustomers(t)
+	want := nestedLoopCount(t, orders, customers)
+	j, err := Materialize("oj", orders, customers, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int64(j.NumRows()) != want {
+		t.Fatalf("join rows = %d, want %d", j.NumRows(), want)
+	}
+	// Schema: l.cid, l.amount, r.region.
+	if j.NumCols() != 3 {
+		t.Fatalf("join cols = %d", j.NumCols())
+	}
+	if j.ColumnIndex("l.cid") != 0 || j.ColumnIndex("l.amount") != 1 || j.ColumnIndex("r.region") != 2 {
+		t.Fatalf("schema: %v %v %v", j.Cols[0].Name, j.Cols[1].Name, j.Cols[2].Name)
+	}
+	// Every joined row satisfies the join predicate semantically: the
+	// region of the row equals the region of its cid in customers.
+	ccid, creg := customers.Cols[0], customers.Cols[1]
+	regionOf := map[int64]string{}
+	for r := 0; r < customers.NumRows(); r++ {
+		regionOf[ccid.Ints[ccid.Codes[r]]] = creg.ValueString(creg.Codes[r])
+	}
+	jcid, jreg := j.Cols[0], j.Cols[2]
+	for r := 0; r < j.NumRows(); r++ {
+		cid := jcid.Ints[jcid.Codes[r]]
+		if regionOf[cid] != jreg.ValueString(jreg.Codes[r]) {
+			t.Fatalf("row %d: region mismatch for cid %d", r, cid)
+		}
+	}
+}
+
+func TestMaterializeRejectsKindMismatch(t *testing.T) {
+	orders, customers := ordersAndCustomers(t)
+	// orders.cid (int) vs customers.region (string)
+	if _, err := Materialize("bad", orders, customers, 0, 1); err == nil {
+		t.Fatal("want kind-mismatch error")
+	}
+}
+
+func TestMaterializeEmptyJoinErrors(t *testing.T) {
+	b1 := table.NewBuilder("a", []string{"k"})
+	b2 := table.NewBuilder("b", []string{"k"})
+	_ = b1.AppendRow([]string{"1"})
+	_ = b2.AppendRow([]string{"2"})
+	t1, _ := b1.Build()
+	t2, _ := b2.Build()
+	if _, err := Materialize("e", t1, t2, 0, 0); err == nil {
+		t.Fatal("want empty-join error")
+	}
+}
+
+func TestSamplerSizeMatchesMaterialized(t *testing.T) {
+	orders, customers := ordersAndCustomers(t)
+	j, err := Materialize("oj", orders, customers, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewSampler(orders, customers, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.JoinSize() != int64(j.NumRows()) {
+		t.Fatalf("sampler size %d vs materialized %d", s.JoinSize(), j.NumRows())
+	}
+	if s.NumCols() != j.NumCols() {
+		t.Fatalf("sampler cols %d vs %d", s.NumCols(), j.NumCols())
+	}
+	doms := s.DomainSizes()
+	for i, d := range j.DomainSizes() {
+		if doms[i] != d {
+			t.Fatalf("domain %d: %d vs %d", i, doms[i], d)
+		}
+	}
+}
+
+func TestSamplerIsUniformOverJoin(t *testing.T) {
+	orders, customers := ordersAndCustomers(t)
+	j, err := Materialize("oj", orders, customers, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewSampler(orders, customers, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Compare the sampled marginal of l.cid against the true join marginal.
+	trueMarg := make([]float64, j.Cols[0].DomainSize())
+	for _, c := range j.Cols[0].Codes {
+		trueMarg[c]++
+	}
+	for i := range trueMarg {
+		trueMarg[i] /= float64(j.NumRows())
+	}
+	rng := rand.New(rand.NewSource(2))
+	const draws = 30000
+	got := make([]float64, len(trueMarg))
+	dst := make([]int32, s.NumCols())
+	for i := 0; i < draws; i++ {
+		s.Draw(rng, dst)
+		got[dst[0]]++
+	}
+	for i := range got {
+		got[i] /= draws
+		if math.Abs(got[i]-trueMarg[i]) > 0.015 {
+			t.Fatalf("cid code %d: sampled %.4f vs true %.4f", i, got[i], trueMarg[i])
+		}
+	}
+}
+
+func TestSamplerBatch(t *testing.T) {
+	orders, customers := ordersAndCustomers(t)
+	s, err := NewSampler(orders, customers, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	batch := s.Batch(rng, 100)
+	if len(batch) != 100*s.NumCols() {
+		t.Fatalf("batch len %d", len(batch))
+	}
+	doms := s.DomainSizes()
+	for r := 0; r < 100; r++ {
+		for c := 0; c < s.NumCols(); c++ {
+			v := batch[r*s.NumCols()+c]
+			if v < 0 || int(v) >= doms[c] {
+				t.Fatalf("code out of domain at (%d,%d)", r, c)
+			}
+		}
+	}
+}
+
+func TestSamplerDanglingTuplesNeverDrawn(t *testing.T) {
+	orders, customers := ordersAndCustomers(t)
+	s, err := NewSampler(orders, customers, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oc := orders.Cols[0]
+	rng := rand.New(rand.NewSource(4))
+	dst := make([]int32, s.NumCols())
+	for i := 0; i < 2000; i++ {
+		s.Draw(rng, dst)
+		if v := oc.Ints[dst[0]]; v >= 20 {
+			t.Fatalf("drew dangling cid %d", v)
+		}
+	}
+}

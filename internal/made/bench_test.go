@@ -1,0 +1,56 @@
+package made
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/nn"
+)
+
+// dmvLikeDomains mirrors the paper's DMV schema.
+var dmvLikeDomains = []int{4, 75, 89, 63, 59, 9, 2101, 225, 2, 2, 2}
+
+func benchBatch(domains []int, n int, seed int64) []int32 {
+	rng := rand.New(rand.NewSource(seed))
+	codes := make([]int32, n*len(domains))
+	for r := 0; r < n; r++ {
+		for c, d := range domains {
+			codes[r*len(domains)+c] = int32(rng.Intn(d))
+		}
+	}
+	return codes
+}
+
+func BenchmarkTrainStep512(b *testing.B) {
+	m := New(dmvLikeDomains, Config{HiddenSizes: []int{256, 128, 256}, EmbedThreshold: 64, EmbedDim: 64, Seed: 1})
+	codes := benchBatch(dmvLikeDomains, 512, 2)
+	opt := nn.NewAdam(2e-3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.TrainStep(codes, 512, opt)
+	}
+}
+
+func BenchmarkCondBatch1000(b *testing.B) {
+	m := New(dmvLikeDomains, Config{HiddenSizes: []int{256, 128, 256}, EmbedThreshold: 64, EmbedDim: 64, Seed: 1})
+	codes := benchBatch(dmvLikeDomains, 1000, 3)
+	out := make([][]float64, 1000)
+	for i := range out {
+		out[i] = make([]float64, 2101)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// Cycle through columns like one progressive-sampling pass.
+		m.CondBatch(codes, 1000, i%len(dmvLikeDomains), out)
+	}
+}
+
+func BenchmarkLogProbBatch(b *testing.B) {
+	m := New(dmvLikeDomains, Config{HiddenSizes: []int{256, 128, 256}, EmbedThreshold: 64, EmbedDim: 64, Seed: 1})
+	codes := benchBatch(dmvLikeDomains, 512, 4)
+	dst := make([]float64, 512)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.LogProbBatch(codes, 512, dst)
+	}
+}

@@ -1,0 +1,62 @@
+package made
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/nn"
+)
+
+// The model reuses scratch buffers; interleaving different batch sizes
+// across TrainStep / CondBatch / LogProbBatch must stay correct.
+func TestVariableBatchSizes(t *testing.T) {
+	domains := []int{5, 70, 4}
+	m := New(domains, tinyConfig(20))
+	rng := rand.New(rand.NewSource(21))
+	opt := nn.NewAdam(1e-3)
+	mkBatch := func(n int) []int32 {
+		codes := make([]int32, n*3)
+		for i := range codes {
+			codes[i] = int32(rng.Intn(domains[i%3]))
+		}
+		return codes
+	}
+	for _, n := range []int{16, 64, 4, 64, 1} {
+		nll := m.TrainStep(mkBatch(n), n, opt)
+		if math.IsNaN(nll) || nll <= 0 {
+			t.Fatalf("n=%d: nll %v", n, nll)
+		}
+	}
+	// Reference conditional at batch size 1.
+	probe := []int32{2, 33, 1}
+	ref := [][]float64{make([]float64, 70)}
+	m.CondBatch(probe, 1, 1, ref)
+	// The same tuple inside a bigger batch must get the identical result.
+	big := append(append([]int32{}, mkBatch(5)...), probe...)
+	out := make([][]float64, 6)
+	for i := range out {
+		out[i] = make([]float64, 70)
+	}
+	m.CondBatch(big, 6, 1, out)
+	for v := range ref[0] {
+		if math.Abs(out[5][v]-ref[0][v]) > 1e-6 {
+			t.Fatalf("batched conditional differs at %d: %v vs %v", v, out[5][v], ref[0][v])
+		}
+	}
+	// LogProbBatch across sizes agrees with itself.
+	var a [1]float64
+	m.LogProbBatch(probe, 1, a[:])
+	dst := make([]float64, 6)
+	m.LogProbBatch(big, 6, dst)
+	if math.Abs(dst[5]-a[0]) > 1e-6 {
+		t.Fatalf("batched log-prob %v vs single %v", dst[5], a[0])
+	}
+}
+
+func TestTrainStepZeroBatchNoop(t *testing.T) {
+	m := New([]int{4, 5}, tinyConfig(22))
+	if nll := m.TrainStep(nil, 0, nn.NewAdam(1e-3)); nll != 0 {
+		t.Fatalf("zero batch nll = %v", nll)
+	}
+}

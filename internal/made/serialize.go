@@ -1,0 +1,54 @@
+package made
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+)
+
+// savedModel is the gob wire format: the architecture plus flat parameter
+// payloads in registration order.
+type savedModel struct {
+	Cfg     Config
+	Domains []int
+	Names   []string
+	Shapes  [][2]int
+	Data    [][]float32
+}
+
+// Save serializes the model (architecture + weights) to w. The format is
+// self-describing: Load rebuilds the identical network and copies weights in.
+func (m *Model) Save(w io.Writer) error {
+	sm := savedModel{Cfg: m.cfg, Domains: m.domains}
+	for _, p := range m.params {
+		sm.Names = append(sm.Names, p.Name)
+		sm.Shapes = append(sm.Shapes, [2]int{p.Val.Rows, p.Val.Cols})
+		sm.Data = append(sm.Data, p.Val.Data)
+	}
+	if err := gob.NewEncoder(w).Encode(&sm); err != nil {
+		return fmt.Errorf("made: encoding model: %w", err)
+	}
+	return nil
+}
+
+// Load reconstructs a model previously written by Save.
+func Load(r io.Reader) (*Model, error) {
+	var sm savedModel
+	if err := gob.NewDecoder(r).Decode(&sm); err != nil {
+		return nil, fmt.Errorf("made: decoding model: %w", err)
+	}
+	m := New(sm.Domains, sm.Cfg)
+	if len(sm.Names) != len(m.params) {
+		return nil, fmt.Errorf("made: saved model has %d parameters, architecture builds %d",
+			len(sm.Names), len(m.params))
+	}
+	for i, p := range m.params {
+		if sm.Names[i] != p.Name || sm.Shapes[i] != [2]int{p.Val.Rows, p.Val.Cols} {
+			return nil, fmt.Errorf("made: parameter %d mismatch: saved %s %v, built %s %d×%d",
+				i, sm.Names[i], sm.Shapes[i], p.Name, p.Val.Rows, p.Val.Cols)
+		}
+		copy(p.Val.Data, sm.Data[i])
+		p.ApplyMask()
+	}
+	return m, nil
+}

@@ -1,0 +1,83 @@
+package made
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/nn"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	domains := []int{6, 120, 4}
+	m := New(domains, tinyConfig(1))
+	// Train a little so weights are non-trivial.
+	rng := rand.New(rand.NewSource(2))
+	codes := make([]int32, 64*3)
+	for i := range codes {
+		codes[i] = int32(rng.Intn(domains[i%3]))
+	}
+	opt := nn.NewAdam(1e-3)
+	for i := 0; i < 5; i++ {
+		m.TrainStep(codes, 64, opt)
+	}
+
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.NumCols() != 3 || loaded.SizeBytes() != m.SizeBytes() {
+		t.Fatal("loaded model shape mismatch")
+	}
+	// Identical point densities.
+	probe := []int32{3, 77, 2}
+	var a, b [1]float64
+	m.LogProbBatch(probe, 1, a[:])
+	loaded.LogProbBatch(probe, 1, b[:])
+	if math.Abs(a[0]-b[0]) > 1e-12 {
+		t.Fatalf("log-prob differs after load: %v vs %v", a[0], b[0])
+	}
+	// Identical conditionals.
+	outA := [][]float64{make([]float64, 120)}
+	outB := [][]float64{make([]float64, 120)}
+	m.CondBatch(probe, 1, 1, outA)
+	loaded.CondBatch(probe, 1, 1, outB)
+	for v := range outA[0] {
+		if outA[0][v] != outB[0][v] {
+			t.Fatal("conditional differs after load")
+		}
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	if _, err := Load(bytes.NewReader([]byte("not a model"))); err == nil {
+		t.Fatal("want error for garbage input")
+	}
+}
+
+func TestSaveLoadPreservesMaskInvariant(t *testing.T) {
+	m := New([]int{4, 5, 6}, tinyConfig(3))
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range loaded.Params() {
+		if p.Mask == nil {
+			continue
+		}
+		for i, mk := range p.Mask.Data {
+			if mk == 0 && p.Val.Data[i] != 0 {
+				t.Fatalf("%s: masked weight nonzero after load", p.Name)
+			}
+		}
+	}
+}

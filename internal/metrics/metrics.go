@@ -1,0 +1,109 @@
+// Package metrics implements the accuracy and latency metrics of §6.1.3: the
+// multiplicative q-error with a one-tuple floor, quantile summaries, and the
+// selectivity bucketing (high/medium/low) the paper's result tables group by.
+package metrics
+
+import (
+	"math"
+	"sort"
+)
+
+// QError returns the multiplicative error between an estimated and a true
+// cardinality: max(e, a)/min(e, a) with both sides floored at 1 tuple, the
+// paper's guard against division by zero.
+func QError(estCard, trueCard float64) float64 {
+	if estCard < 1 {
+		estCard = 1
+	}
+	if trueCard < 1 {
+		trueCard = 1
+	}
+	if estCard > trueCard {
+		return estCard / trueCard
+	}
+	return trueCard / estCard
+}
+
+// SelectivityBucket classifies a true selectivity into the paper's groups.
+type SelectivityBucket int
+
+// The paper's three bands: high (>2%), medium (0.5%–2%], low (≤0.5%).
+const (
+	High SelectivityBucket = iota
+	Medium
+	Low
+)
+
+func (b SelectivityBucket) String() string {
+	switch b {
+	case High:
+		return "High ((2%, 100%])"
+	case Medium:
+		return "Medium ((0.5%, 2%])"
+	case Low:
+		return "Low (<=0.5%)"
+	}
+	return "?"
+}
+
+// Bucket classifies a true selectivity fraction.
+func Bucket(sel float64) SelectivityBucket {
+	switch {
+	case sel > 0.02:
+		return High
+	case sel > 0.005:
+		return Medium
+	default:
+		return Low
+	}
+}
+
+// Quantile returns the q-th quantile (0 ≤ q ≤ 1) of xs using nearest-rank on
+// a sorted copy. Returns NaN for an empty slice.
+func Quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	if q <= 0 {
+		return s[0]
+	}
+	if q >= 1 {
+		return s[len(s)-1]
+	}
+	idx := int(math.Ceil(q*float64(len(s)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	return s[idx]
+}
+
+// Summary is the paper's per-bucket row: median, 95th, 99th, and max.
+type Summary struct {
+	Count                 int
+	Median, P95, P99, Max float64
+}
+
+// Summarize computes the standard quantile row over errors.
+func Summarize(errs []float64) Summary {
+	return Summary{
+		Count:  len(errs),
+		Median: Quantile(errs, 0.5),
+		P95:    Quantile(errs, 0.95),
+		P99:    Quantile(errs, 0.99),
+		Max:    Quantile(errs, 1.0),
+	}
+}
+
+// Mean returns the arithmetic mean, or NaN for empty input.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}

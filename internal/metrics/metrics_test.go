@@ -1,0 +1,135 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestQErrorBasics(t *testing.T) {
+	cases := []struct {
+		est, truth, want float64
+	}{
+		{100, 100, 1},
+		{200, 100, 2},
+		{100, 200, 2},
+		{0, 100, 100},  // floored at 1
+		{100, 0, 100},  // floored at 1
+		{0, 0, 1},      // both floored
+		{0.5, 0.25, 1}, // sub-tuple estimates both floor to 1
+		{1000, 1, 1000},
+	}
+	for _, c := range cases {
+		if got := QError(c.est, c.truth); math.Abs(got-c.want) > 1e-12 {
+			t.Fatalf("QError(%v, %v) = %v, want %v", c.est, c.truth, got, c.want)
+		}
+	}
+}
+
+func TestQErrorProperties(t *testing.T) {
+	f := func(a, b uint32) bool {
+		x, y := float64(a%100000), float64(b%100000)
+		e := QError(x, y)
+		// Symmetric, ≥ 1, and 1 on equality (after flooring).
+		if e < 1 {
+			return false
+		}
+		if QError(y, x) != e {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBucketBoundaries(t *testing.T) {
+	cases := []struct {
+		sel  float64
+		want SelectivityBucket
+	}{
+		{0.5, High},
+		{0.021, High},
+		{0.02, Medium},
+		{0.006, Medium},
+		{0.005, Low},
+		{0.0001, Low},
+		{0, Low},
+	}
+	for _, c := range cases {
+		if got := Bucket(c.sel); got != c.want {
+			t.Fatalf("Bucket(%v) = %v, want %v", c.sel, got, c.want)
+		}
+	}
+	for _, b := range []SelectivityBucket{High, Medium, Low} {
+		if b.String() == "?" {
+			t.Fatal("missing String for bucket")
+		}
+	}
+}
+
+func TestQuantileNearestRank(t *testing.T) {
+	xs := []float64{5, 1, 4, 2, 3}
+	if got := Quantile(xs, 0.5); got != 3 {
+		t.Fatalf("median = %v", got)
+	}
+	if got := Quantile(xs, 0); got != 1 {
+		t.Fatalf("min = %v", got)
+	}
+	if got := Quantile(xs, 1); got != 5 {
+		t.Fatalf("max = %v", got)
+	}
+	if got := Quantile(xs, 0.95); got != 5 {
+		t.Fatalf("p95 of 5 elems = %v", got)
+	}
+	if !math.IsNaN(Quantile(nil, 0.5)) {
+		t.Fatal("empty quantile should be NaN")
+	}
+	// Input must not be mutated.
+	if xs[0] != 5 {
+		t.Fatal("Quantile sorted the caller's slice")
+	}
+}
+
+func TestQuantileMonotone(t *testing.T) {
+	f := func(raw []float64, qa, qb uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		for _, v := range raw {
+			if math.IsNaN(v) {
+				return true
+			}
+		}
+		a := float64(qa%101) / 100
+		b := float64(qb%101) / 100
+		if a > b {
+			a, b = b, a
+		}
+		return Quantile(raw, a) <= Quantile(raw, b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	errs := make([]float64, 100)
+	for i := range errs {
+		errs[i] = float64(i + 1)
+	}
+	s := Summarize(errs)
+	if s.Count != 100 || s.Median != 50 || s.P95 != 95 || s.P99 != 99 || s.Max != 100 {
+		t.Fatalf("Summarize = %+v", s)
+	}
+}
+
+func TestMean(t *testing.T) {
+	if got := Mean([]float64{1, 2, 3}); got != 2 {
+		t.Fatalf("Mean = %v", got)
+	}
+	if !math.IsNaN(Mean(nil)) {
+		t.Fatal("Mean(nil) should be NaN")
+	}
+}

@@ -1,0 +1,196 @@
+package nn
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/tensor"
+)
+
+// Layer is a differentiable module. Forward consumes a batch (rows are
+// examples) and returns the batch of outputs; Backward consumes the gradient
+// with respect to the outputs, accumulates parameter gradients, and returns
+// the gradient with respect to the inputs. Backward must be called after the
+// matching Forward: layers cache activations between the two.
+type Layer interface {
+	Forward(x *tensor.Matrix) *tensor.Matrix
+	Backward(dOut *tensor.Matrix) *tensor.Matrix
+	Params() []*Param
+}
+
+// Linear is a fully connected layer: Y = X·W + b, with W stored in×out.
+type Linear struct {
+	W, B *Param
+
+	x    *tensor.Matrix // cached input
+	out  *tensor.Matrix
+	dIn  *tensor.Matrix
+	name string
+}
+
+// NewLinear allocates a Linear layer with Kaiming-uniform weights.
+func NewLinear(name string, in, out int, rng *rand.Rand) *Linear {
+	l := &Linear{
+		W:    NewParam(name+".W", in, out),
+		B:    NewParam(name+".b", 1, out),
+		name: name,
+	}
+	l.W.InitKaiming(rng, in)
+	return l
+}
+
+// NewMaskedLinear allocates a Linear layer whose weight matrix is constrained
+// by a binary in×out mask. The mask is what enforces MADE's autoregressive
+// information flow.
+func NewMaskedLinear(name string, in, out int, mask *tensor.Matrix, rng *rand.Rand) *Linear {
+	if mask.Rows != in || mask.Cols != out {
+		panic(fmt.Sprintf("nn: mask shape %d×%d for %d×%d layer", mask.Rows, mask.Cols, in, out))
+	}
+	l := NewLinear(name, in, out, rng)
+	l.W.Mask = mask
+	l.W.ApplyMask()
+	return l
+}
+
+// Forward computes Y = X·W + b.
+func (l *Linear) Forward(x *tensor.Matrix) *tensor.Matrix {
+	l.x = x
+	if l.out == nil || l.out.Rows != x.Rows {
+		l.out = tensor.New(x.Rows, l.W.Val.Cols)
+	}
+	tensor.MatMul(l.out, x, l.W.Val, false)
+	b := l.B.Val.Data
+	tensor.ParallelFor(x.Rows, func(s, e int) {
+		for r := s; r < e; r++ {
+			tensor.Axpy(1, b, l.out.Row(r))
+		}
+	})
+	return l.out
+}
+
+// Backward accumulates dW = Xᵀ·dY and db = Σ_rows dY, and returns dX = dY·Wᵀ.
+func (l *Linear) Backward(dOut *tensor.Matrix) *tensor.Matrix {
+	tensor.MatMulTransA(l.W.Grad, l.x, dOut, true)
+	l.W.ApplyMask() // masked entries carry no gradient
+	db := l.B.Grad.Data
+	for r := 0; r < dOut.Rows; r++ {
+		tensor.Axpy(1, dOut.Row(r), db)
+	}
+	if l.dIn == nil || l.dIn.Rows != dOut.Rows {
+		l.dIn = tensor.New(dOut.Rows, l.W.Val.Rows)
+	}
+	tensor.MatMulTransB(l.dIn, dOut, l.W.Val, false)
+	return l.dIn
+}
+
+// Params returns the layer's weight and bias.
+func (l *Linear) Params() []*Param { return []*Param{l.W, l.B} }
+
+// ReLU is the rectified-linear activation.
+type ReLU struct {
+	out *tensor.Matrix
+}
+
+// Forward computes max(x, 0) element-wise.
+func (r *ReLU) Forward(x *tensor.Matrix) *tensor.Matrix {
+	if r.out == nil || r.out.Rows != x.Rows || r.out.Cols != x.Cols {
+		r.out = tensor.New(x.Rows, x.Cols)
+	}
+	for i, v := range x.Data {
+		if v > 0 {
+			r.out.Data[i] = v
+		} else {
+			r.out.Data[i] = 0
+		}
+	}
+	return r.out
+}
+
+// Backward zeroes gradients where the forward input was non-positive. It
+// mutates and returns dOut (safe: the upstream layer is done with it).
+func (r *ReLU) Backward(dOut *tensor.Matrix) *tensor.Matrix {
+	for i, v := range r.out.Data {
+		if v <= 0 {
+			dOut.Data[i] = 0
+		}
+	}
+	return dOut
+}
+
+// Params returns nil; ReLU has no parameters.
+func (r *ReLU) Params() []*Param { return nil }
+
+// Sequential chains layers, feeding each one's output to the next.
+type Sequential struct {
+	Layers []Layer
+}
+
+// Forward runs the layers in order.
+func (s *Sequential) Forward(x *tensor.Matrix) *tensor.Matrix {
+	for _, l := range s.Layers {
+		x = l.Forward(x)
+	}
+	return x
+}
+
+// Backward runs the layers in reverse order.
+func (s *Sequential) Backward(dOut *tensor.Matrix) *tensor.Matrix {
+	for i := len(s.Layers) - 1; i >= 0; i-- {
+		dOut = s.Layers[i].Backward(dOut)
+	}
+	return dOut
+}
+
+// Params concatenates the parameters of every layer.
+func (s *Sequential) Params() []*Param {
+	var ps []*Param
+	for _, l := range s.Layers {
+		ps = append(ps, l.Params()...)
+	}
+	return ps
+}
+
+// Embedding is a learnable lookup table of Num rows × Dim columns (§4.2,
+// "embedding encoding"). Rows are gathered by integer id; gradients scatter
+// back into the same rows.
+type Embedding struct {
+	W   *Param
+	ids []int32 // cached ids from the last ForwardRows
+}
+
+// NewEmbedding allocates an embedding table initialised to N(0, 1/sqrt(dim)).
+func NewEmbedding(name string, num, dim int, rng *rand.Rand) *Embedding {
+	e := &Embedding{W: NewParam(name, num, dim)}
+	e.W.InitNormal(rng, 1.0/float64(dim))
+	return e
+}
+
+// Dim returns the embedding width.
+func (e *Embedding) Dim() int { return e.W.Val.Cols }
+
+// Lookup copies the embedding row for id into dst.
+func (e *Embedding) Lookup(id int32, dst []float32) {
+	copy(dst, e.W.Val.Row(int(id)))
+}
+
+// ForwardRows gathers rows for each id into consecutive rows of out starting
+// at column colOff. It records the ids so BackwardRows can scatter gradients.
+func (e *Embedding) ForwardRows(ids []int32, out *tensor.Matrix, colOff int) {
+	dim := e.Dim()
+	for r, id := range ids {
+		copy(out.Row(r)[colOff:colOff+dim], e.W.Val.Row(int(id)))
+	}
+	e.ids = append(e.ids[:0], ids...)
+}
+
+// BackwardRows scatters the gradient slice [colOff, colOff+dim) of each row of
+// dOut back into the embedding gradient rows recorded by ForwardRows.
+func (e *Embedding) BackwardRows(dOut *tensor.Matrix, colOff int) {
+	dim := e.Dim()
+	for r, id := range e.ids {
+		tensor.Axpy(1, dOut.Row(r)[colOff:colOff+dim], e.W.Grad.Row(int(id)))
+	}
+}
+
+// Params returns the embedding table.
+func (e *Embedding) Params() []*Param { return []*Param{e.W} }

@@ -1,0 +1,74 @@
+package nn
+
+import "math"
+
+// Softmax writes the softmax of logits into out (float64, since downstream
+// probability arithmetic in progressive sampling accumulates in float64) and
+// returns the log of the normalizer (logsumexp). It is numerically stable
+// under large positive or negative logits.
+func Softmax(logits []float32, out []float64) float64 {
+	if len(logits) != len(out) {
+		panic("nn: Softmax length mismatch")
+	}
+	mx := float64(logits[0])
+	for _, v := range logits[1:] {
+		if fv := float64(v); fv > mx {
+			mx = fv
+		}
+	}
+	var sum float64
+	for i, v := range logits {
+		e := math.Exp(float64(v) - mx)
+		out[i] = e
+		sum += e
+	}
+	inv := 1 / sum
+	for i := range out {
+		out[i] *= inv
+	}
+	return mx + math.Log(sum)
+}
+
+// SoftmaxCE computes the cross-entropy loss -log softmax(logits)[target] and
+// writes the gradient (softmax - onehot(target)) into dLogits. logits and
+// dLogits may alias. The returned loss is in nats.
+func SoftmaxCE(logits []float32, target int, dLogits []float32) float64 {
+	if target < 0 || target >= len(logits) {
+		panic("nn: SoftmaxCE target out of range")
+	}
+	mx := float64(logits[0])
+	for _, v := range logits[1:] {
+		if fv := float64(v); fv > mx {
+			mx = fv
+		}
+	}
+	var sum float64
+	for _, v := range logits {
+		sum += math.Exp(float64(v) - mx)
+	}
+	logZ := mx + math.Log(sum)
+	loss := logZ - float64(logits[target])
+	invSum := 1 / sum
+	for i, v := range logits {
+		p := math.Exp(float64(v)-mx) * invSum
+		dLogits[i] = float32(p)
+	}
+	dLogits[target] -= 1
+	return loss
+}
+
+// LogProb returns log softmax(logits)[target] in nats without computing
+// gradients. Used for point-density evaluation and entropy-gap accounting.
+func LogProb(logits []float32, target int) float64 {
+	mx := float64(logits[0])
+	for _, v := range logits[1:] {
+		if fv := float64(v); fv > mx {
+			mx = fv
+		}
+	}
+	var sum float64
+	for _, v := range logits {
+		sum += math.Exp(float64(v) - mx)
+	}
+	return float64(logits[target]) - mx - math.Log(sum)
+}

@@ -1,0 +1,159 @@
+// Package nn is a from-scratch neural-network substrate: parameterised layers
+// with hand-derived backward passes, masked linear layers (the building block
+// of MADE), embeddings, softmax cross-entropy, and the Adam optimizer.
+//
+// There is no autograd tape. Each layer caches what its backward pass needs
+// during Forward and produces input gradients plus parameter gradients during
+// Backward. This keeps the hot path allocation-light and easy to audit, which
+// matters because progressive sampling calls Forward once per column per
+// query (§5.1 of the paper).
+package nn
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/tensor"
+)
+
+// Param is one trainable tensor together with its gradient and Adam moments.
+type Param struct {
+	Name string
+	Val  *tensor.Matrix
+	Grad *tensor.Matrix
+
+	// Mask, when non-nil, is a binary matrix the same shape as Val. Masked
+	// (zero) entries are structurally absent: they are zeroed after init and
+	// after every optimizer step, and their gradients are discarded. MADE's
+	// autoregressive property rests on this invariant.
+	Mask *tensor.Matrix
+
+	m, v *tensor.Matrix // Adam first/second moments, allocated lazily
+}
+
+// NewParam allocates a parameter and its gradient.
+func NewParam(name string, rows, cols int) *Param {
+	return &Param{
+		Name: name,
+		Val:  tensor.New(rows, cols),
+		Grad: tensor.New(rows, cols),
+	}
+}
+
+// ApplyMask zeroes masked entries of both value and gradient. No-op when the
+// parameter has no mask.
+func (p *Param) ApplyMask() {
+	if p.Mask == nil {
+		return
+	}
+	for i, m := range p.Mask.Data {
+		if m == 0 {
+			p.Val.Data[i] = 0
+			p.Grad.Data[i] = 0
+		}
+	}
+}
+
+// ZeroGrad clears the accumulated gradient.
+func (p *Param) ZeroGrad() { p.Grad.Zero() }
+
+// NumParams returns the number of scalar parameters, counting only unmasked
+// entries so that masked architectures report their effective capacity.
+func (p *Param) NumParams() int {
+	if p.Mask == nil {
+		return len(p.Val.Data)
+	}
+	n := 0
+	for _, m := range p.Mask.Data {
+		if m != 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// SizeBytes reports the storage footprint of the parameter values (float32),
+// which is what the paper's storage budgets count (Table 1: "sizes are
+// reported without any compression of network weights").
+func (p *Param) SizeBytes() int64 { return int64(len(p.Val.Data)) * 4 }
+
+// InitKaiming fills the parameter with the He-uniform distribution used for
+// ReLU networks: U(-limit, limit) with limit = sqrt(6/fanIn).
+func (p *Param) InitKaiming(rng *rand.Rand, fanIn int) {
+	limit := math.Sqrt(6.0 / float64(fanIn))
+	p.Val.Uniform(rng, -limit, limit)
+	p.ApplyMask()
+}
+
+// InitNormal fills the parameter with N(0, std²).
+func (p *Param) InitNormal(rng *rand.Rand, std float64) {
+	p.Val.Randn(rng, std)
+	p.ApplyMask()
+}
+
+// Adam implements the Adam optimizer (Kingma & Ba, 2015), the optimizer the
+// paper trains Naru with (§3.2).
+type Adam struct {
+	LR      float64
+	Beta1   float64
+	Beta2   float64
+	Epsilon float64
+	t       int
+}
+
+// NewAdam returns an Adam optimizer with the standard defaults and the given
+// learning rate.
+func NewAdam(lr float64) *Adam {
+	return &Adam{LR: lr, Beta1: 0.9, Beta2: 0.999, Epsilon: 1e-8}
+}
+
+// Step applies one Adam update to every parameter and re-applies masks so
+// masked entries stay structurally zero.
+func (a *Adam) Step(params []*Param) {
+	a.t++
+	biasC1 := 1 - math.Pow(a.Beta1, float64(a.t))
+	biasC2 := 1 - math.Pow(a.Beta2, float64(a.t))
+	lr := float32(a.LR * math.Sqrt(biasC2) / biasC1)
+	b1, b2 := float32(a.Beta1), float32(a.Beta2)
+	eps := float32(a.Epsilon * math.Sqrt(biasC2))
+	for _, p := range params {
+		if p.m == nil {
+			p.m = tensor.New(p.Val.Rows, p.Val.Cols)
+			p.v = tensor.New(p.Val.Rows, p.Val.Cols)
+		}
+		val, grad, m, v := p.Val.Data, p.Grad.Data, p.m.Data, p.v.Data
+		tensor.ParallelFor(len(val), func(s, e int) {
+			for i := s; i < e; i++ {
+				g := grad[i]
+				m[i] = b1*m[i] + (1-b1)*g
+				v[i] = b2*v[i] + (1-b2)*g*g
+				val[i] -= lr * m[i] / (sqrt32(v[i]) + eps)
+			}
+		})
+		p.ApplyMask()
+	}
+}
+
+// Reset clears the optimizer's step counter and drops all moment state, so a
+// fresh fine-tuning run (§6.7.3) can start from scratch.
+func (a *Adam) Reset(params []*Param) {
+	a.t = 0
+	for _, p := range params {
+		p.m, p.v = nil, nil
+	}
+}
+
+func sqrt32(x float32) float32 { return float32(math.Sqrt(float64(x))) }
+
+// SGD is a plain stochastic-gradient-descent optimizer, kept as a simple
+// baseline optimizer for tests and ablations.
+type SGD struct{ LR float64 }
+
+// Step applies val -= lr*grad to every parameter.
+func (s *SGD) Step(params []*Param) {
+	lr := float32(s.LR)
+	for _, p := range params {
+		p.Val.AddScaled(p.Grad, -lr)
+		p.ApplyMask()
+	}
+}

@@ -1,0 +1,70 @@
+package nn
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+// Layers reuse their output buffers; changing the batch size between calls
+// must transparently reallocate and stay correct.
+func TestLinearBatchSizeChange(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	l := NewLinear("l", 4, 3, rng)
+	for _, batch := range []int{1, 8, 3, 8, 1} {
+		x := tensor.New(batch, 4)
+		x.Randn(rng, 1)
+		y := l.Forward(x)
+		if y.Rows != batch || y.Cols != 3 {
+			t.Fatalf("batch %d: output %d×%d", batch, y.Rows, y.Cols)
+		}
+		// Verify row 0 against a manual dot product.
+		var want float64
+		for k := 0; k < 4; k++ {
+			want += float64(x.At(0, k)) * float64(l.W.Val.At(k, 0))
+		}
+		want += float64(l.B.Val.At(0, 0))
+		if diff := float64(y.At(0, 0)) - want; diff > 1e-5 || diff < -1e-5 {
+			t.Fatalf("batch %d: y[0,0] = %v, want %v", batch, y.At(0, 0), want)
+		}
+		// Backward must match the batch too.
+		d := tensor.New(batch, 3)
+		d.Fill(1)
+		dIn := l.Backward(d)
+		if dIn.Rows != batch || dIn.Cols != 4 {
+			t.Fatalf("batch %d: dIn %d×%d", batch, dIn.Rows, dIn.Cols)
+		}
+	}
+}
+
+func TestReLUBatchSizeChange(t *testing.T) {
+	r := &ReLU{}
+	for _, batch := range []int{2, 5, 1} {
+		x := tensor.New(batch, 3)
+		x.Fill(-1)
+		x.Set(0, 0, 2)
+		y := r.Forward(x)
+		if y.Rows != batch {
+			t.Fatalf("batch %d: rows %d", batch, y.Rows)
+		}
+		if y.At(0, 0) != 2 || y.At(0, 1) != 0 {
+			t.Fatalf("batch %d: wrong values", batch)
+		}
+	}
+}
+
+func TestSequentialEmpty(t *testing.T) {
+	s := &Sequential{}
+	x := tensor.New(2, 3)
+	x.Fill(7)
+	if y := s.Forward(x); y != x {
+		t.Fatal("empty Sequential should be identity")
+	}
+	if d := s.Backward(x); d != x {
+		t.Fatal("empty Sequential backward should be identity")
+	}
+	if s.Params() != nil {
+		t.Fatal("empty Sequential has no params")
+	}
+}

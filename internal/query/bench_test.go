@@ -1,0 +1,69 @@
+package query
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/table"
+)
+
+func benchTable(b *testing.B, rows int) *table.Table {
+	b.Helper()
+	rng := rand.New(rand.NewSource(1))
+	domains := []int{4, 75, 89, 63, 59, 9, 2101, 225, 2, 2, 2}
+	codes := make([][]int32, len(domains))
+	names := make([]string, len(domains))
+	for c := range codes {
+		names[c] = string(rune('a' + c))
+		codes[c] = make([]int32, rows)
+		for r := range codes[c] {
+			codes[c][r] = int32(rng.Intn(domains[c]))
+		}
+	}
+	t, err := table.FromCodes("bench", names, domains, codes)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return t
+}
+
+func BenchmarkExecute(b *testing.B) {
+	t := benchTable(b, 100000)
+	gen := NewGenerator(t, DefaultGeneratorConfig(), 2)
+	regs := make([]*Region, 32)
+	for i := range regs {
+		var err error
+		regs[i], err = Compile(gen.Next(), t)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Execute(regs[i%len(regs)], t)
+	}
+}
+
+func BenchmarkCompile(b *testing.B) {
+	t := benchTable(b, 1000)
+	gen := NewGenerator(t, DefaultGeneratorConfig(), 3)
+	qs := make([]Query, 64)
+	for i := range qs {
+		qs[i] = gen.Next()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Compile(qs[i%len(qs)], t); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGeneratorNext(b *testing.B) {
+	t := benchTable(b, 10000)
+	gen := NewGenerator(t, DefaultGeneratorConfig(), 4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		gen.Next()
+	}
+}

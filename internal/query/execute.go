@@ -1,0 +1,82 @@
+package query
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/table"
+)
+
+// Execute counts the tuples of t inside the region exactly, scanning
+// column-wise in parallel. It is the ground truth every estimator is scored
+// against (the paper obtains true selectivities by executing queries on
+// Postgres; here the substrate is our own column store, so the scan is exact
+// by construction).
+func Execute(reg *Region, t *table.Table) int64 {
+	if reg.IsEmpty() {
+		return 0
+	}
+	// Probe the most selective column first so most rows short-circuit
+	// after one lookup.
+	order := columnOrderBySelectivity(reg)
+	if len(order) == 0 {
+		return int64(t.NumRows()) // every column is a wildcard
+	}
+	rows := t.NumRows()
+	var total int64
+	var wg sync.WaitGroup
+	const chunk = 1 << 15
+	for lo := 0; lo < rows; lo += chunk {
+		hi := min(lo+chunk, rows)
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			var n int64
+		row:
+			for r := lo; r < hi; r++ {
+				for _, ci := range order {
+					if !reg.Cols[ci].Valid[t.Cols[ci].Codes[r]] {
+						continue row
+					}
+				}
+				n++
+			}
+			atomic.AddInt64(&total, n)
+		}(lo, hi)
+	}
+	wg.Wait()
+	return total
+}
+
+// Selectivity executes the region and returns the matching fraction of t.
+func Selectivity(reg *Region, t *table.Table) float64 {
+	return float64(Execute(reg, t)) / float64(t.NumRows())
+}
+
+// columnOrderBySelectivity orders restricted columns tightest-range first and
+// drops wildcards, which never reject a row.
+func columnOrderBySelectivity(reg *Region) []int {
+	type cs struct {
+		idx  int
+		frac float64
+	}
+	cands := make([]cs, 0, len(reg.Cols))
+	for i := range reg.Cols {
+		c := &reg.Cols[i]
+		if c.IsAll() {
+			continue
+		}
+		cands = append(cands, cs{i, float64(c.Count) / float64(len(c.Valid))})
+	}
+	// Insertion sort: the list is at most a dozen entries.
+	for i := 1; i < len(cands); i++ {
+		for j := i; j > 0 && cands[j].frac < cands[j-1].frac; j-- {
+			cands[j], cands[j-1] = cands[j-1], cands[j]
+		}
+	}
+	out := make([]int, len(cands))
+	for i, c := range cands {
+		out[i] = c.idx
+	}
+	return out
+}

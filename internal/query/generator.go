@@ -1,0 +1,175 @@
+package query
+
+import (
+	"math/rand"
+
+	"repro/internal/table"
+)
+
+// GeneratorConfig controls the §6.1.3 workload generator.
+type GeneratorConfig struct {
+	// MinFilters and MaxFilters bound the number of filtered columns f,
+	// drawn uniformly. The paper uses 5 ≤ f ≤ 11 ("we always include at
+	// least five filters to avoid queries with very high selectivity").
+	// Both are clamped to the table's column count.
+	MinFilters, MaxFilters int
+
+	// SmallDomainThreshold: columns with a domain smaller than this always
+	// receive an equality filter; larger domains draw uniformly from
+	// {=, ≤, ≥} (paper: threshold 10, "avoid placing a range predicate on
+	// categoricals").
+	SmallDomainThreshold int
+
+	// OOD draws literals uniformly from the whole domain instead of from a
+	// sampled data tuple, producing the out-of-distribution workload of
+	// §6.3 (≈98% of such queries on DMV match nothing).
+	OOD bool
+
+	// AllowInBetween extends the operator pool on large domains with IN
+	// (random small set) and BETWEEN (random interval). Off in the paper's
+	// generator; exposed for the extended workloads.
+	AllowInBetween bool
+}
+
+// DefaultGeneratorConfig returns the paper's macrobenchmark settings.
+func DefaultGeneratorConfig() GeneratorConfig {
+	return GeneratorConfig{MinFilters: 5, MaxFilters: 11, SmallDomainThreshold: 10}
+}
+
+// Generator produces random conjunctive queries over a table, following the
+// procedure of §6.1.3: pick f, pick f distinct columns, pick operators by
+// domain size, and take literals from a uniformly sampled data tuple (so the
+// literals follow the data distribution) or from the full domain (OOD).
+type Generator struct {
+	t   *table.Table
+	cfg GeneratorConfig
+	rng *rand.Rand
+
+	tuple []int32
+	cols  []int
+}
+
+// NewGenerator builds a deterministic generator seeded with seed.
+func NewGenerator(t *table.Table, cfg GeneratorConfig, seed int64) *Generator {
+	if cfg.MinFilters < 1 {
+		cfg.MinFilters = 1
+	}
+	if cfg.MaxFilters < cfg.MinFilters {
+		cfg.MaxFilters = cfg.MinFilters
+	}
+	if cfg.MaxFilters > t.NumCols() {
+		cfg.MaxFilters = t.NumCols()
+	}
+	if cfg.MinFilters > cfg.MaxFilters {
+		cfg.MinFilters = cfg.MaxFilters
+	}
+	if cfg.SmallDomainThreshold <= 0 {
+		cfg.SmallDomainThreshold = 10
+	}
+	g := &Generator{
+		t:     t,
+		cfg:   cfg,
+		rng:   rand.New(rand.NewSource(seed)),
+		tuple: make([]int32, t.NumCols()),
+		cols:  make([]int, t.NumCols()),
+	}
+	for i := range g.cols {
+		g.cols[i] = i
+	}
+	return g
+}
+
+// Next returns the next random query.
+func (g *Generator) Next() Query {
+	f := g.cfg.MinFilters + g.rng.Intn(g.cfg.MaxFilters-g.cfg.MinFilters+1)
+	// Partial Fisher–Yates: the first f entries become the filtered columns.
+	for i := 0; i < f; i++ {
+		j := i + g.rng.Intn(len(g.cols)-i)
+		g.cols[i], g.cols[j] = g.cols[j], g.cols[i]
+	}
+	g.t.SampleRow(g.rng, g.tuple)
+
+	preds := make([]Predicate, 0, f)
+	for _, ci := range g.cols[:f] {
+		d := g.t.Cols[ci].DomainSize()
+		var lit int32
+		if g.cfg.OOD {
+			lit = int32(g.rng.Intn(d))
+		} else {
+			lit = g.tuple[ci]
+		}
+		preds = append(preds, g.pickPredicate(ci, d, lit))
+	}
+	return Query{Preds: preds}
+}
+
+func (g *Generator) pickPredicate(col, domain int, lit int32) Predicate {
+	if domain < g.cfg.SmallDomainThreshold {
+		return Predicate{Col: col, Op: OpEq, Code: lit}
+	}
+	pool := 3
+	if g.cfg.AllowInBetween {
+		pool = 5
+	}
+	switch g.rng.Intn(pool) {
+	case 0:
+		return Predicate{Col: col, Op: OpEq, Code: lit}
+	case 1:
+		return Predicate{Col: col, Op: OpLe, Code: lit}
+	case 2:
+		return Predicate{Col: col, Op: OpGe, Code: lit}
+	case 3: // BETWEEN a random interval around the literal
+		span := int32(1 + g.rng.Intn(domain/4+1))
+		lo, hi := lit-span, lit+span
+		if lo < 0 {
+			lo = 0
+		}
+		if hi >= int32(domain) {
+			hi = int32(domain) - 1
+		}
+		return Predicate{Col: col, Op: OpBetween, Code: lo, Code2: hi}
+	default: // IN: the literal plus a few random co-members
+		k := 1 + g.rng.Intn(4)
+		set := make([]int32, 0, k+1)
+		set = append(set, lit)
+		for i := 0; i < k; i++ {
+			set = append(set, int32(g.rng.Intn(domain)))
+		}
+		return Predicate{Col: col, Op: OpIn, Set: set}
+	}
+}
+
+// Workload is a batch of queries with their compiled regions and true
+// cardinalities, ready for estimator evaluation.
+type Workload struct {
+	Queries  []Query
+	Regions  []*Region
+	TrueCard []int64
+	NumRows  int64
+}
+
+// GenerateWorkload draws n queries and executes each one for ground truth.
+func GenerateWorkload(t *table.Table, cfg GeneratorConfig, seed int64, n int) (*Workload, error) {
+	g := NewGenerator(t, cfg, seed)
+	w := &Workload{
+		Queries:  make([]Query, n),
+		Regions:  make([]*Region, n),
+		TrueCard: make([]int64, n),
+		NumRows:  int64(t.NumRows()),
+	}
+	for i := 0; i < n; i++ {
+		w.Queries[i] = g.Next()
+		reg, err := Compile(w.Queries[i], t)
+		if err != nil {
+			return nil, err
+		}
+		w.Regions[i] = reg
+		w.TrueCard[i] = Execute(reg, t)
+	}
+	return w, nil
+}
+
+// TrueSelectivity returns the ground-truth selectivity of query i.
+func (w *Workload) TrueSelectivity(i int) float64 {
+	return float64(w.TrueCard[i]) / float64(w.NumRows)
+}

@@ -1,0 +1,117 @@
+package query
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/table"
+)
+
+// ParseWhere lowers a SQL-ish conjunction such as
+//
+//	"price<=100 AND state=NY AND year>2015"
+//
+// onto a code-space Query against t. Supported operators: =, !=, <>, <, <=,
+// >, >=. Literals are resolved against the column's dictionary: equality
+// operators require an exact domain hit; range operators accept any literal
+// and bind to the dictionary's lower bound (code order equals value order,
+// so the comparison semantics are preserved).
+func ParseWhere(s string, t *table.Table) (Query, error) {
+	var q Query
+	for _, clause := range strings.Split(s, " AND ") {
+		clause = strings.TrimSpace(clause)
+		if clause == "" {
+			continue
+		}
+		p, err := parseClause(clause, t)
+		if err != nil {
+			return Query{}, err
+		}
+		q.Preds = append(q.Preds, p)
+	}
+	if len(q.Preds) == 0 {
+		return Query{}, fmt.Errorf("query: no predicates in %q", s)
+	}
+	return q, nil
+}
+
+// opTokens is ordered longest-first so "<=" matches before "<".
+var opTokens = []struct {
+	tok string
+	op  Op
+}{
+	{"<=", OpLe}, {">=", OpGe}, {"!=", OpNe}, {"<>", OpNe},
+	{"<", OpLt}, {">", OpGt}, {"=", OpEq},
+}
+
+func parseClause(clause string, t *table.Table) (Predicate, error) {
+	for _, o := range opTokens {
+		i := strings.Index(clause, o.tok)
+		if i < 0 {
+			continue
+		}
+		colName := strings.TrimSpace(clause[:i])
+		lit := strings.TrimSpace(clause[i+len(o.tok):])
+		if colName == "" || lit == "" {
+			return Predicate{}, fmt.Errorf("query: malformed clause %q", clause)
+		}
+		ci := t.ColumnIndex(colName)
+		if ci < 0 {
+			return Predicate{}, fmt.Errorf("query: unknown column %q", colName)
+		}
+		code, err := literalCode(t.Cols[ci], lit, o.op)
+		if err != nil {
+			return Predicate{}, err
+		}
+		return Predicate{Col: ci, Op: o.op, Code: code}, nil
+	}
+	return Predicate{}, fmt.Errorf("query: cannot parse clause %q", clause)
+}
+
+// literalCode maps a rendered literal onto the column's code space.
+func literalCode(col *table.Column, lit string, op Op) (int32, error) {
+	exact := op == OpEq || op == OpNe
+	switch col.Kind {
+	case table.KindInt:
+		v, err := strconv.ParseInt(strings.Trim(lit, `'"`), 10, 64)
+		if err != nil {
+			return 0, fmt.Errorf("query: column %q wants an integer literal, got %q", col.Name, lit)
+		}
+		if code, ok := col.CodeOfInt(v); ok {
+			return code, nil
+		}
+		if exact {
+			return 0, fmt.Errorf("query: value %q not in the domain of %q", lit, col.Name)
+		}
+		return clampBound(col.LowerBoundInt(v), col.DomainSize()), nil
+	case table.KindFloat:
+		v, err := strconv.ParseFloat(strings.Trim(lit, `'"`), 64)
+		if err != nil {
+			return 0, fmt.Errorf("query: column %q wants a numeric literal, got %q", col.Name, lit)
+		}
+		if code, ok := col.CodeOfFloat(v); ok {
+			return code, nil
+		}
+		if exact {
+			return 0, fmt.Errorf("query: value %q not in the domain of %q", lit, col.Name)
+		}
+		return clampBound(col.LowerBoundFloat(v), col.DomainSize()), nil
+	default:
+		v := strings.Trim(lit, `'"`)
+		if code, ok := col.CodeOfString(v); ok {
+			return code, nil
+		}
+		if exact {
+			return 0, fmt.Errorf("query: value %q not in the domain of %q", lit, col.Name)
+		}
+		return clampBound(col.LowerBoundString(v), col.DomainSize()), nil
+	}
+}
+
+func clampBound(lb int32, domain int) int32 {
+	if lb >= int32(domain) {
+		return int32(domain) - 1
+	}
+	return lb
+}

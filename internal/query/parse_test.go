@@ -1,0 +1,160 @@
+package query
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/table"
+)
+
+func parseTable(t testing.TB) *table.Table {
+	t.Helper()
+	b := table.NewBuilder("orders", []string{"price", "weight", "state"})
+	rows := [][]string{
+		{"10", "1.5", "NY"},
+		{"100", "2.5", "CA"},
+		{"50", "1.5", "NY"},
+		{"200", "9.0", "WA"},
+	}
+	for _, r := range rows {
+		if err := b.AppendRow(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tbl, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tbl
+}
+
+func TestParseWhereBasic(t *testing.T) {
+	tbl := parseTable(t)
+	q, err := ParseWhere("price<=100 AND state=NY", tbl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Preds) != 2 {
+		t.Fatalf("got %d predicates", len(q.Preds))
+	}
+	if q.Preds[0].Op != OpLe || q.Preds[0].Col != 0 {
+		t.Fatalf("pred 0: %+v", q.Preds[0])
+	}
+	// price domain is {10,50,100,200}; 100 is code 2.
+	if q.Preds[0].Code != 2 {
+		t.Fatalf("price<=100 code = %d", q.Preds[0].Code)
+	}
+	if q.Preds[1].Op != OpEq || q.Preds[1].Col != 2 {
+		t.Fatalf("pred 1: %+v", q.Preds[1])
+	}
+	reg, err := Compile(q, tbl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := Execute(reg, tbl); got != 2 {
+		t.Fatalf("Execute = %d, want 2", got)
+	}
+}
+
+func TestParseWhereAllOperators(t *testing.T) {
+	tbl := parseTable(t)
+	for _, s := range []string{
+		"price=50", "price!=50", "price<>50", "price<100", "price>10",
+		"price>=50", "price<=200", "weight<=2.5", "state>=CA",
+	} {
+		q, err := ParseWhere(s, tbl)
+		if err != nil {
+			t.Fatalf("%q: %v", s, err)
+		}
+		if len(q.Preds) != 1 {
+			t.Fatalf("%q: %d preds", s, len(q.Preds))
+		}
+		if _, err := Compile(q, tbl); err != nil {
+			t.Fatalf("%q: compile: %v", s, err)
+		}
+	}
+}
+
+func TestParseWhereRangeLiteralNotInDomain(t *testing.T) {
+	tbl := parseTable(t)
+	// 75 is not a domain value; <= must bind to the lower bound so that
+	// price<=75 matches prices {10, 50}.
+	q, err := ParseWhere("price<75", tbl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg, err := Compile(q, tbl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := Execute(reg, tbl); got != 2 {
+		t.Fatalf("price<75 matched %d rows, want 2", got)
+	}
+}
+
+func TestParseWhereErrors(t *testing.T) {
+	tbl := parseTable(t)
+	for _, s := range []string{
+		"",          // no predicates
+		"bogus=1",   // unknown column
+		"price=75",  // equality literal not in domain
+		"price~5",   // unknown operator
+		"price=abc", // non-numeric literal for int column
+		"=5",        // missing column
+		"price=",    // missing literal
+		"state=TX",  // string equality miss
+	} {
+		if _, err := ParseWhere(s, tbl); err == nil {
+			t.Fatalf("%q: expected error", s)
+		}
+	}
+}
+
+func TestParseWhereQuotedStrings(t *testing.T) {
+	tbl := parseTable(t)
+	q, err := ParseWhere(`state='NY'`, tbl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg, err := Compile(q, tbl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := Execute(reg, tbl); got != 2 {
+		t.Fatalf("quoted literal matched %d", got)
+	}
+}
+
+func TestParseWhereRoundTripsThroughString(t *testing.T) {
+	tbl := parseTable(t)
+	q, err := ParseWhere("price>=50 AND state=CA", tbl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := q.String(tbl)
+	if !strings.Contains(s, "price >= 50") || !strings.Contains(s, "state = CA") {
+		t.Fatalf("rendered: %q", s)
+	}
+}
+
+// FuzzParseWhere checks the parser never panics and that every accepted
+// query compiles against the schema it was parsed for.
+func FuzzParseWhere(f *testing.F) {
+	for _, seed := range []string{
+		"price<=100 AND state=NY", "price>10", "weight<=2.5",
+		"price=50 AND price=50", "a=b AND =", "price<", "<=5",
+		"state='NY'", "price!=200 AND weight>=9.0", " AND ", "≤≥",
+	} {
+		f.Add(seed)
+	}
+	tbl := parseTable(f)
+	f.Fuzz(func(t *testing.T, s string) {
+		q, err := ParseWhere(s, tbl)
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		if _, err := Compile(q, tbl); err != nil {
+			t.Fatalf("accepted query does not compile: %q: %v", s, err)
+		}
+	})
+}

@@ -1,0 +1,340 @@
+package query
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/table"
+)
+
+// smallTable returns a 2-column table with known contents:
+// x ∈ {0..4} with codes equal to values, y ∈ {0..2}.
+func smallTable(t *testing.T) *table.Table {
+	t.Helper()
+	codesX := []int32{0, 1, 2, 3, 4, 0, 1, 2, 0, 0}
+	codesY := []int32{0, 0, 1, 1, 2, 2, 0, 1, 0, 2}
+	tbl, err := table.FromCodes("small", []string{"x", "y"}, []int{5, 3},
+		[][]int32{codesX, codesY})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tbl
+}
+
+func mustCompile(t *testing.T, q Query, tbl *table.Table) *Region {
+	t.Helper()
+	reg, err := Compile(q, tbl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return reg
+}
+
+func TestCompileWildcards(t *testing.T) {
+	tbl := smallTable(t)
+	reg := mustCompile(t, Query{}, tbl)
+	if !reg.Cols[0].IsAll() || !reg.Cols[1].IsAll() {
+		t.Fatal("empty query should compile to all-wildcard region")
+	}
+	if reg.Size() != 15 {
+		t.Fatalf("Size = %v, want 15", reg.Size())
+	}
+	if Execute(reg, tbl) != 10 {
+		t.Fatal("wildcard query should match every row")
+	}
+}
+
+func TestCompileOperators(t *testing.T) {
+	tbl := smallTable(t)
+	cases := []struct {
+		pred Predicate
+		want []bool // valid over x's domain {0..4}
+	}{
+		{Predicate{Col: 0, Op: OpEq, Code: 2}, []bool{false, false, true, false, false}},
+		{Predicate{Col: 0, Op: OpNe, Code: 2}, []bool{true, true, false, true, true}},
+		{Predicate{Col: 0, Op: OpLt, Code: 2}, []bool{true, true, false, false, false}},
+		{Predicate{Col: 0, Op: OpLe, Code: 2}, []bool{true, true, true, false, false}},
+		{Predicate{Col: 0, Op: OpGt, Code: 2}, []bool{false, false, false, true, true}},
+		{Predicate{Col: 0, Op: OpGe, Code: 2}, []bool{false, false, true, true, true}},
+		{Predicate{Col: 0, Op: OpBetween, Code: 1, Code2: 3}, []bool{false, true, true, true, false}},
+		{Predicate{Col: 0, Op: OpIn, Set: []int32{0, 4}}, []bool{true, false, false, false, true}},
+	}
+	for _, c := range cases {
+		reg := mustCompile(t, Query{Preds: []Predicate{c.pred}}, tbl)
+		for code, want := range c.want {
+			if reg.Cols[0].Valid[code] != want {
+				t.Fatalf("%v: code %d valid=%v want %v", c.pred.Op, code, reg.Cols[0].Valid[code], want)
+			}
+		}
+	}
+}
+
+func TestCompileConjunctionIntersects(t *testing.T) {
+	tbl := smallTable(t)
+	q := Query{Preds: []Predicate{
+		{Col: 0, Op: OpGe, Code: 1},
+		{Col: 0, Op: OpLe, Code: 3},
+		{Col: 0, Op: OpNe, Code: 2},
+	}}
+	reg := mustCompile(t, q, tbl)
+	want := []bool{false, true, false, true, false}
+	for code, w := range want {
+		if reg.Cols[0].Valid[code] != w {
+			t.Fatalf("conjunction: code %d = %v", code, reg.Cols[0].Valid[code])
+		}
+	}
+	if reg.Cols[0].Count != 2 || reg.Cols[0].Lo != 1 || reg.Cols[0].Hi != 4 {
+		t.Fatalf("bounds: count=%d lo=%d hi=%d", reg.Cols[0].Count, reg.Cols[0].Lo, reg.Cols[0].Hi)
+	}
+}
+
+func TestCompileRejectsBadColumnAndLiteral(t *testing.T) {
+	tbl := smallTable(t)
+	if _, err := Compile(Query{Preds: []Predicate{{Col: 7, Op: OpEq}}}, tbl); err == nil {
+		t.Fatal("want error for bad column")
+	}
+	if _, err := Compile(Query{Preds: []Predicate{{Col: 0, Op: OpEq, Code: 99}}}, tbl); err == nil {
+		t.Fatal("want error for out-of-domain literal")
+	}
+	if _, err := Compile(Query{Preds: []Predicate{{Col: 0, Op: OpIn, Set: []int32{-1}}}}, tbl); err == nil {
+		t.Fatal("want error for out-of-domain IN literal")
+	}
+}
+
+func TestExecuteCounts(t *testing.T) {
+	tbl := smallTable(t)
+	cases := []struct {
+		q    Query
+		want int64
+	}{
+		{Query{Preds: []Predicate{{Col: 0, Op: OpEq, Code: 0}}}, 4},
+		{Query{Preds: []Predicate{{Col: 1, Op: OpEq, Code: 2}}}, 3},
+		{Query{Preds: []Predicate{{Col: 0, Op: OpEq, Code: 0}, {Col: 1, Op: OpEq, Code: 2}}}, 2},
+		{Query{Preds: []Predicate{{Col: 0, Op: OpLe, Code: 1}, {Col: 1, Op: OpGe, Code: 1}}}, 2},
+		{Query{Preds: []Predicate{{Col: 0, Op: OpEq, Code: 4}, {Col: 1, Op: OpEq, Code: 0}}}, 0},
+	}
+	for i, c := range cases {
+		reg := mustCompile(t, c.q, tbl)
+		if got := Execute(reg, tbl); got != c.want {
+			t.Fatalf("case %d: Execute = %d, want %d", i, got, c.want)
+		}
+	}
+}
+
+func TestSelectivity(t *testing.T) {
+	tbl := smallTable(t)
+	reg := mustCompile(t, Query{Preds: []Predicate{{Col: 0, Op: OpEq, Code: 0}}}, tbl)
+	if got := Selectivity(reg, tbl); got != 0.4 {
+		t.Fatalf("Selectivity = %v", got)
+	}
+}
+
+func TestRegionIntersect(t *testing.T) {
+	tbl := smallTable(t)
+	a := mustCompile(t, Query{Preds: []Predicate{{Col: 0, Op: OpLe, Code: 2}}}, tbl)
+	b := mustCompile(t, Query{Preds: []Predicate{{Col: 0, Op: OpGe, Code: 2}}}, tbl)
+	c := a.Intersect(b)
+	if c.Cols[0].Count != 1 || !c.Cols[0].Valid[2] {
+		t.Fatalf("intersect wrong: %+v", c.Cols[0])
+	}
+	if c.Cols[1].Count != 3 {
+		t.Fatal("wildcard column should survive intersection")
+	}
+}
+
+func TestRegionMatches(t *testing.T) {
+	tbl := smallTable(t)
+	reg := mustCompile(t, Query{Preds: []Predicate{{Col: 0, Op: OpGe, Code: 3}}}, tbl)
+	if reg.Matches([]int32{2, 0}) {
+		t.Fatal("row outside region matched")
+	}
+	if !reg.Matches([]int32{3, 1}) {
+		t.Fatal("row inside region rejected")
+	}
+}
+
+func TestQueryString(t *testing.T) {
+	tbl := smallTable(t)
+	q := Query{Preds: []Predicate{
+		{Col: 0, Op: OpLe, Code: 3},
+		{Col: 1, Op: OpIn, Set: []int32{0, 2}},
+	}}
+	got := q.String(tbl)
+	want := "x <= 3 AND y IN (0, 2)"
+	if got != want {
+		t.Fatalf("String = %q, want %q", got, want)
+	}
+	if (Query{}).String(tbl) != "TRUE" {
+		t.Fatal("empty query should render TRUE")
+	}
+}
+
+func TestGeneratorRespectsConfig(t *testing.T) {
+	tbl := randomTable(t, 8, 2000, []int{4, 50, 9, 100, 3, 30, 2, 500})
+	cfg := GeneratorConfig{MinFilters: 3, MaxFilters: 6, SmallDomainThreshold: 10}
+	g := NewGenerator(tbl, cfg, 42)
+	for i := 0; i < 200; i++ {
+		q := g.Next()
+		f := q.NumFilters()
+		if f < 3 || f > 6 {
+			t.Fatalf("query %d: %d filters", i, f)
+		}
+		if len(q.Preds) != f {
+			t.Fatalf("query %d: duplicate column filters", i)
+		}
+		for _, p := range q.Preds {
+			d := tbl.Cols[p.Col].DomainSize()
+			if d < 10 && p.Op != OpEq {
+				t.Fatalf("query %d: op %v on small domain %d", i, p.Op, d)
+			}
+			if p.Op != OpIn && (p.Code < 0 || int(p.Code) >= d) {
+				t.Fatalf("query %d: literal out of domain", i)
+			}
+		}
+	}
+}
+
+func TestGeneratorInDistributionLiteralsHit(t *testing.T) {
+	// Equality-only queries with literals from data tuples must sometimes
+	// match rows; spot-check that not everything is empty.
+	tbl := randomTable(t, 5, 3000, []int{4, 6, 8, 5, 3})
+	cfg := GeneratorConfig{MinFilters: 2, MaxFilters: 3, SmallDomainThreshold: 100}
+	// Threshold 100 forces... actually forces equality on every column.
+	g := NewGenerator(tbl, cfg, 7)
+	nonEmpty := 0
+	for i := 0; i < 100; i++ {
+		q := g.Next()
+		reg := mustCompile(t, q, tbl)
+		if Execute(reg, tbl) > 0 {
+			nonEmpty++
+		}
+	}
+	// Literals come from sampled tuples, but a conjunction of equalities on
+	// different columns of *one* tuple always matches at least that tuple.
+	if nonEmpty != 100 {
+		t.Fatalf("only %d/100 in-distribution equality queries matched", nonEmpty)
+	}
+}
+
+func TestGeneratorOODMostlyEmptyOnSparseTable(t *testing.T) {
+	// A table occupying a tiny corner of a huge joint space: OOD literals
+	// should mostly miss.
+	nRows := 500
+	codes := make([][]int32, 6)
+	for c := range codes {
+		codes[c] = make([]int32, nRows)
+		for r := range codes[c] {
+			codes[c][r] = int32(r % 7) // only 7 of 1000 values used... domain is 1000
+		}
+	}
+	tbl, err := table.FromCodes("sparse", []string{"a", "b", "c", "d", "e", "f"},
+		[]int{1000, 1000, 1000, 1000, 1000, 1000}, codes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := GeneratorConfig{MinFilters: 4, MaxFilters: 6, SmallDomainThreshold: 10, OOD: true}
+	g := NewGenerator(tbl, cfg, 3)
+	empty := 0
+	for i := 0; i < 100; i++ {
+		reg := mustCompile(t, g.Next(), tbl)
+		if Execute(reg, tbl) == 0 {
+			empty++
+		}
+	}
+	if empty < 50 {
+		t.Fatalf("only %d/100 OOD queries empty; want most", empty)
+	}
+}
+
+func TestGenerateWorkload(t *testing.T) {
+	tbl := randomTable(t, 6, 1000, []int{4, 20, 9, 40, 3, 15})
+	w, err := GenerateWorkload(tbl, GeneratorConfig{MinFilters: 2, MaxFilters: 4, SmallDomainThreshold: 10}, 1, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(w.Queries) != 50 || len(w.Regions) != 50 || len(w.TrueCard) != 50 {
+		t.Fatal("workload sizes wrong")
+	}
+	for i := range w.Queries {
+		if w.TrueCard[i] < 0 || w.TrueCard[i] > 1000 {
+			t.Fatalf("query %d: true card %d", i, w.TrueCard[i])
+		}
+		if s := w.TrueSelectivity(i); s != float64(w.TrueCard[i])/1000 {
+			t.Fatalf("TrueSelectivity mismatch at %d", i)
+		}
+	}
+}
+
+func TestGeneratorExtendedOps(t *testing.T) {
+	tbl := randomTable(t, 4, 1000, []int{100, 200, 50, 30})
+	cfg := GeneratorConfig{MinFilters: 2, MaxFilters: 4, SmallDomainThreshold: 10, AllowInBetween: true}
+	g := NewGenerator(tbl, cfg, 11)
+	sawIn, sawBetween := false, false
+	for i := 0; i < 300; i++ {
+		q := g.Next()
+		for _, p := range q.Preds {
+			switch p.Op {
+			case OpIn:
+				sawIn = true
+			case OpBetween:
+				sawBetween = true
+				if p.Code > p.Code2 {
+					t.Fatal("BETWEEN bounds inverted")
+				}
+			}
+		}
+		if _, err := Compile(q, tbl); err != nil {
+			t.Fatalf("query %d does not compile: %v", i, err)
+		}
+	}
+	if !sawIn || !sawBetween {
+		t.Fatalf("extended ops not generated: in=%v between=%v", sawIn, sawBetween)
+	}
+}
+
+// Property: Execute(Compile(q)) equals a naive row-by-row predicate check.
+func TestQuickExecuteMatchesNaive(t *testing.T) {
+	tbl := randomTable(t, 4, 500, []int{6, 11, 4, 17})
+	g := NewGenerator(tbl, GeneratorConfig{MinFilters: 1, MaxFilters: 4, SmallDomainThreshold: 10, AllowInBetween: true}, 99)
+	f := func() bool {
+		q := g.Next()
+		reg, err := Compile(q, tbl)
+		if err != nil {
+			return false
+		}
+		var naive int64
+		row := make([]int32, tbl.NumCols())
+		for r := 0; r < tbl.NumRows(); r++ {
+			tbl.Row(r, row)
+			if reg.Matches(row) {
+				naive++
+			}
+		}
+		return Execute(reg, tbl) == naive
+	}
+	if err := quick.Check(func() bool { return f() }, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// randomTable builds a table with the given per-column domain sizes and
+// uniformly random codes.
+func randomTable(t *testing.T, cols, rows int, domains []int) *table.Table {
+	t.Helper()
+	rng := rand.New(rand.NewSource(123))
+	names := make([]string, cols)
+	codes := make([][]int32, cols)
+	for c := 0; c < cols; c++ {
+		names[c] = string(rune('a' + c))
+		codes[c] = make([]int32, rows)
+		for r := range codes[c] {
+			codes[c][r] = int32(rng.Intn(domains[c]))
+		}
+	}
+	tbl, err := table.FromCodes("rand", names, domains, codes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tbl
+}

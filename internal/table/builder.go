@@ -1,0 +1,171 @@
+package table
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+)
+
+// Builder accumulates raw row values and produces a dictionary-encoded Table.
+// It is the ingest path for CSV files and for synthetic generators that work
+// in value space.
+type Builder struct {
+	name    string
+	colName []string
+	raw     [][]string
+}
+
+// NewBuilder starts a builder for a table with the given column names.
+func NewBuilder(name string, colNames []string) *Builder {
+	return &Builder{name: name, colName: colNames}
+}
+
+// AppendRow records one row of string-rendered values. Values are typed at
+// Build time: a column where every value parses as int64 becomes KindInt,
+// else float64 → KindFloat, else KindString.
+func (b *Builder) AppendRow(values []string) error {
+	if len(values) != len(b.colName) {
+		return fmt.Errorf("table: row has %d values, want %d", len(values), len(b.colName))
+	}
+	row := make([]string, len(values))
+	copy(row, values)
+	b.raw = append(b.raw, row)
+	return nil
+}
+
+// Build dictionary-encodes the accumulated rows into a Table.
+func (b *Builder) Build() (*Table, error) {
+	if len(b.raw) == 0 {
+		return nil, fmt.Errorf("table %q: no rows", b.name)
+	}
+	cols := make([]*Column, len(b.colName))
+	for ci, name := range b.colName {
+		vals := make([]string, len(b.raw))
+		for ri, row := range b.raw {
+			vals[ri] = row[ci]
+		}
+		cols[ci] = encodeColumn(name, vals)
+	}
+	return New(b.name, cols)
+}
+
+func encodeColumn(name string, vals []string) *Column {
+	kind := KindInt
+	for _, v := range vals {
+		if _, err := strconv.ParseInt(v, 10, 64); err == nil {
+			continue
+		}
+		kind = KindFloat
+		if _, err := strconv.ParseFloat(v, 64); err == nil {
+			continue
+		}
+		kind = KindString
+		break
+	}
+	c := &Column{Name: name, Kind: kind, Codes: make([]int32, len(vals))}
+	switch kind {
+	case KindInt:
+		seen := make(map[int64]struct{})
+		parsed := make([]int64, len(vals))
+		for i, v := range vals {
+			parsed[i], _ = strconv.ParseInt(v, 10, 64)
+			seen[parsed[i]] = struct{}{}
+		}
+		c.Ints = make([]int64, 0, len(seen))
+		for v := range seen {
+			c.Ints = append(c.Ints, v)
+		}
+		sort.Slice(c.Ints, func(i, j int) bool { return c.Ints[i] < c.Ints[j] })
+		idx := make(map[int64]int32, len(c.Ints))
+		for i, v := range c.Ints {
+			idx[v] = int32(i)
+		}
+		for i, v := range parsed {
+			c.Codes[i] = idx[v]
+		}
+	case KindFloat:
+		seen := make(map[float64]struct{})
+		parsed := make([]float64, len(vals))
+		for i, v := range vals {
+			parsed[i], _ = strconv.ParseFloat(v, 64)
+			seen[parsed[i]] = struct{}{}
+		}
+		c.Floats = make([]float64, 0, len(seen))
+		for v := range seen {
+			c.Floats = append(c.Floats, v)
+		}
+		sort.Float64s(c.Floats)
+		idx := make(map[float64]int32, len(c.Floats))
+		for i, v := range c.Floats {
+			idx[v] = int32(i)
+		}
+		for i, v := range parsed {
+			c.Codes[i] = idx[v]
+		}
+	case KindString:
+		seen := make(map[string]struct{})
+		for _, v := range vals {
+			seen[v] = struct{}{}
+		}
+		c.Strs = make([]string, 0, len(seen))
+		for v := range seen {
+			c.Strs = append(c.Strs, v)
+		}
+		sort.Strings(c.Strs)
+		idx := make(map[string]int32, len(c.Strs))
+		for i, v := range c.Strs {
+			idx[v] = int32(i)
+		}
+		for i, v := range vals {
+			c.Codes[i] = idx[v]
+		}
+	}
+	return c
+}
+
+// LoadCSV reads a CSV stream (with a header row naming the columns) into a
+// dictionary-encoded Table.
+func LoadCSV(r io.Reader, name string) (*Table, error) {
+	cr := csv.NewReader(r)
+	cr.ReuseRecord = true
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("table: reading CSV header: %w", err)
+	}
+	names := make([]string, len(header))
+	copy(names, header)
+	b := NewBuilder(name, names)
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("table: reading CSV row: %w", err)
+		}
+		if err := b.AppendRow(rec); err != nil {
+			return nil, err
+		}
+	}
+	return b.Build()
+}
+
+// FromCodes assembles a table directly from per-column codes and synthetic
+// integer domains 0..domainSize-1. Generators that work natively in code
+// space (all of internal/datagen) use this fast path.
+func FromCodes(name string, colNames []string, domainSizes []int, codes [][]int32) (*Table, error) {
+	if len(colNames) != len(domainSizes) || len(colNames) != len(codes) {
+		return nil, fmt.Errorf("table: FromCodes argument lengths disagree")
+	}
+	cols := make([]*Column, len(colNames))
+	for i := range colNames {
+		dom := make([]int64, domainSizes[i])
+		for v := range dom {
+			dom[v] = int64(v)
+		}
+		cols[i] = &Column{Name: colNames[i], Kind: KindInt, Ints: dom, Codes: codes[i]}
+	}
+	return New(name, cols)
+}

@@ -1,0 +1,84 @@
+package table
+
+import (
+	"strconv"
+	"testing"
+	"testing/quick"
+)
+
+// Property: dictionary encoding round-trips — for every row and column, the
+// domain value behind the stored code renders back to the original input.
+func TestQuickDictionaryRoundTrip(t *testing.T) {
+	f := func(ints []int16, strs []uint8) bool {
+		if len(ints) == 0 {
+			return true
+		}
+		// Build a 2-column table: an int column from ints, a small-alphabet
+		// string column from strs (cycled to the same length).
+		b := NewBuilder("rt", []string{"i", "s"})
+		sVals := make([]string, len(ints))
+		for r := range ints {
+			var s string
+			if len(strs) > 0 {
+				s = "v" + strconv.Itoa(int(strs[r%len(strs)]%7))
+			} else {
+				s = "v0"
+			}
+			sVals[r] = s
+			if err := b.AppendRow([]string{strconv.Itoa(int(ints[r])), s}); err != nil {
+				return false
+			}
+		}
+		tbl, err := b.Build()
+		if err != nil {
+			return false
+		}
+		for r := range ints {
+			if tbl.Cols[0].Ints[tbl.Cols[0].Codes[r]] != int64(ints[r]) {
+				return false
+			}
+			if tbl.Cols[1].Strs[tbl.Cols[1].Codes[r]] != sVals[r] {
+				return false
+			}
+		}
+		// Codes must respect value order: code a < code b ⇔ value a < value b.
+		prev := int64(-1 << 62)
+		for _, v := range tbl.Cols[0].Ints {
+			if v <= prev {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: SliceRows + SortByColumn preserve multisets of codes.
+func TestQuickSortPreservesMultiset(t *testing.T) {
+	f := func(raw []uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		codes := make([]int32, len(raw))
+		for i, v := range raw {
+			codes[i] = int32(v % 16)
+		}
+		tbl, err := FromCodes("m", []string{"x"}, []int{16}, [][]int32{codes})
+		if err != nil {
+			return false
+		}
+		sorted := tbl.SortByColumn(0)
+		var histA, histB [16]int
+		for i := range codes {
+			histA[tbl.Cols[0].Codes[i]]++
+			histB[sorted.Cols[0].Codes[i]]++
+		}
+		return histA == histB
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

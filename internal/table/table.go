@@ -1,0 +1,288 @@
+// Package table implements the relational substrate the estimators are built
+// on: an in-memory, dictionary-encoded column store.
+//
+// Following §4.2 of the paper, every column's values are dictionary-encoded
+// into integer codes in [0, |Ai|), with the dictionary sorted so code order is
+// consistent with value order. All estimators — Naru, the histograms, the
+// samplers — operate on codes; values only matter at ingest (CSV or synthetic
+// generation) and when rendering queries for humans.
+package table
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// Kind is the logical datatype of a column's domain values.
+type Kind int
+
+// Column datatypes. Continuous values are discretized onto their observed
+// domain exactly as the paper prescribes ("continuous datatypes are
+// discretized the same way", §4.2).
+const (
+	KindInt Kind = iota
+	KindFloat
+	KindString
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindInt:
+		return "int"
+	case KindFloat:
+		return "float"
+	case KindString:
+		return "string"
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Column is one dictionary-encoded attribute. Exactly one of Ints, Floats, or
+// Strs is populated (per Kind) and holds the sorted distinct domain values;
+// Codes holds the per-row dictionary codes.
+type Column struct {
+	Name   string
+	Kind   Kind
+	Ints   []int64
+	Floats []float64
+	Strs   []string
+	Codes  []int32
+}
+
+// DomainSize returns |Ai|, the number of distinct values in the column.
+func (c *Column) DomainSize() int {
+	switch c.Kind {
+	case KindInt:
+		return len(c.Ints)
+	case KindFloat:
+		return len(c.Floats)
+	default:
+		return len(c.Strs)
+	}
+}
+
+// ValueString renders the domain value behind a code for display.
+func (c *Column) ValueString(code int32) string {
+	switch c.Kind {
+	case KindInt:
+		return fmt.Sprintf("%d", c.Ints[code])
+	case KindFloat:
+		return fmt.Sprintf("%g", c.Floats[code])
+	default:
+		return c.Strs[code]
+	}
+}
+
+// CodeOfInt returns the code of an exact int64 domain value.
+func (c *Column) CodeOfInt(v int64) (int32, bool) {
+	i := sort.Search(len(c.Ints), func(i int) bool { return c.Ints[i] >= v })
+	if i < len(c.Ints) && c.Ints[i] == v {
+		return int32(i), true
+	}
+	return 0, false
+}
+
+// CodeOfFloat returns the code of an exact float64 domain value.
+func (c *Column) CodeOfFloat(v float64) (int32, bool) {
+	i := sort.Search(len(c.Floats), func(i int) bool { return c.Floats[i] >= v })
+	if i < len(c.Floats) && c.Floats[i] == v {
+		return int32(i), true
+	}
+	return 0, false
+}
+
+// CodeOfString returns the code of an exact string domain value.
+func (c *Column) CodeOfString(v string) (int32, bool) {
+	i := sort.SearchStrings(c.Strs, v)
+	if i < len(c.Strs) && c.Strs[i] == v {
+		return int32(i), true
+	}
+	return 0, false
+}
+
+// LowerBoundInt returns the first code whose value is >= v (possibly
+// DomainSize() when every value is smaller). Because dictionaries are sorted,
+// this maps value-space range predicates onto half-open code ranges.
+func (c *Column) LowerBoundInt(v int64) int32 {
+	return int32(sort.Search(len(c.Ints), func(i int) bool { return c.Ints[i] >= v }))
+}
+
+// LowerBoundFloat is LowerBoundInt for float domains.
+func (c *Column) LowerBoundFloat(v float64) int32 {
+	return int32(sort.Search(len(c.Floats), func(i int) bool { return c.Floats[i] >= v }))
+}
+
+// LowerBoundString is LowerBoundInt for string domains.
+func (c *Column) LowerBoundString(v string) int32 {
+	return int32(sort.SearchStrings(c.Strs, v))
+}
+
+// Table is a finite relation stored column-wise.
+type Table struct {
+	Name string
+	Cols []*Column
+	rows int
+}
+
+// New assembles a table from columns, validating that they agree on length.
+func New(name string, cols []*Column) (*Table, error) {
+	if len(cols) == 0 {
+		return nil, fmt.Errorf("table %q: no columns", name)
+	}
+	rows := len(cols[0].Codes)
+	for _, c := range cols {
+		if len(c.Codes) != rows {
+			return nil, fmt.Errorf("table %q: column %q has %d rows, want %d",
+				name, c.Name, len(c.Codes), rows)
+		}
+		if err := validateColumn(c); err != nil {
+			return nil, fmt.Errorf("table %q: %w", name, err)
+		}
+	}
+	return &Table{Name: name, Cols: cols, rows: rows}, nil
+}
+
+func validateColumn(c *Column) error {
+	n := c.DomainSize()
+	if n == 0 {
+		return fmt.Errorf("column %q: empty domain", c.Name)
+	}
+	switch c.Kind {
+	case KindInt:
+		if !sort.SliceIsSorted(c.Ints, func(i, j int) bool { return c.Ints[i] < c.Ints[j] }) {
+			return fmt.Errorf("column %q: int domain not sorted", c.Name)
+		}
+	case KindFloat:
+		if !sort.Float64sAreSorted(c.Floats) {
+			return fmt.Errorf("column %q: float domain not sorted", c.Name)
+		}
+	case KindString:
+		if !sort.StringsAreSorted(c.Strs) {
+			return fmt.Errorf("column %q: string domain not sorted", c.Name)
+		}
+	}
+	for i, code := range c.Codes {
+		if code < 0 || int(code) >= n {
+			return fmt.Errorf("column %q: row %d code %d outside domain [0,%d)", c.Name, i, code, n)
+		}
+	}
+	return nil
+}
+
+// NumRows returns the relation's cardinality |T|.
+func (t *Table) NumRows() int { return t.rows }
+
+// NumCols returns the number of attributes.
+func (t *Table) NumCols() int { return len(t.Cols) }
+
+// DomainSizes returns |Ai| for every column.
+func (t *Table) DomainSizes() []int {
+	out := make([]int, len(t.Cols))
+	for i, c := range t.Cols {
+		out[i] = c.DomainSize()
+	}
+	return out
+}
+
+// JointSize returns the number of entries in the exact joint distribution,
+// Π|Ai|, as a float64 since it overflows int64 for the evaluation datasets
+// (10^15–10^190 in the paper's Table 1).
+func (t *Table) JointSize() float64 {
+	p := 1.0
+	for _, c := range t.Cols {
+		p *= float64(c.DomainSize())
+	}
+	return p
+}
+
+// ColumnIndex returns the position of the named column, or -1.
+func (t *Table) ColumnIndex(name string) int {
+	for i, c := range t.Cols {
+		if c.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// Row copies the dictionary codes of row r into dst, which must have
+// NumCols() capacity.
+func (t *Table) Row(r int, dst []int32) {
+	for i, c := range t.Cols {
+		dst[i] = c.Codes[r]
+	}
+}
+
+// SampleRow copies a uniformly random tuple's codes into dst.
+func (t *Table) SampleRow(rng *rand.Rand, dst []int32) {
+	t.Row(rng.Intn(t.rows), dst)
+}
+
+// SizeBytes estimates the in-memory size of the encoded relation: 4 bytes per
+// code plus the dictionary payloads. Storage budgets (Table 1 of the paper)
+// are expressed relative to this number.
+func (t *Table) SizeBytes() int64 {
+	var b int64
+	for _, c := range t.Cols {
+		b += int64(len(c.Codes)) * 4
+		switch c.Kind {
+		case KindInt:
+			b += int64(len(c.Ints)) * 8
+		case KindFloat:
+			b += int64(len(c.Floats)) * 8
+		case KindString:
+			for _, s := range c.Strs {
+				b += int64(len(s))
+			}
+		}
+	}
+	return b
+}
+
+// Project returns a new table containing the first k columns, sharing the
+// underlying storage. The §6.7 microbenchmarks project Conviva-B to its first
+// 15 columns this way.
+func (t *Table) Project(k int) *Table {
+	if k <= 0 || k > len(t.Cols) {
+		panic(fmt.Sprintf("table: Project(%d) on %d columns", k, len(t.Cols)))
+	}
+	return &Table{Name: t.Name, Cols: t.Cols[:k], rows: t.rows}
+}
+
+// SliceRows returns a table over rows [lo, hi), sharing dictionaries with the
+// parent so codes remain comparable across slices. Used to emulate partition
+// ingest for the data-shift experiment (§6.7.3).
+func (t *Table) SliceRows(lo, hi int) *Table {
+	if lo < 0 || hi > t.rows || lo > hi {
+		panic(fmt.Sprintf("table: SliceRows(%d,%d) on %d rows", lo, hi, t.rows))
+	}
+	cols := make([]*Column, len(t.Cols))
+	for i, c := range t.Cols {
+		cc := *c
+		cc.Codes = c.Codes[lo:hi]
+		cols[i] = &cc
+	}
+	return &Table{Name: t.Name, Cols: cols, rows: hi - lo}
+}
+
+// SortByColumn returns a new table whose rows are ordered by the codes of the
+// given column (stable). Dictionaries are shared.
+func (t *Table) SortByColumn(col int) *Table {
+	order := make([]int, t.rows)
+	for i := range order {
+		order[i] = i
+	}
+	codes := t.Cols[col].Codes
+	sort.SliceStable(order, func(a, b int) bool { return codes[order[a]] < codes[order[b]] })
+	cols := make([]*Column, len(t.Cols))
+	for i, c := range t.Cols {
+		cc := *c
+		cc.Codes = make([]int32, t.rows)
+		for r, src := range order {
+			cc.Codes[r] = c.Codes[src]
+		}
+		cols[i] = &cc
+	}
+	return &Table{Name: t.Name, Cols: cols, rows: t.rows}
+}

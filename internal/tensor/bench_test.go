@@ -1,0 +1,94 @@
+package tensor
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func benchMatPair(m, k, n int) (*Matrix, *Matrix, *Matrix) {
+	rng := rand.New(rand.NewSource(1))
+	a, b := New(m, k), New(k, n)
+	a.Randn(rng, 1)
+	b.Randn(rng, 1)
+	return New(m, n), a, b
+}
+
+func BenchmarkMatMul128(b *testing.B) {
+	c, x, y := benchMatPair(128, 128, 128)
+	b.SetBytes(int64(128 * 128 * 128 * 4))
+	for i := 0; i < b.N; i++ {
+		MatMul(c, x, y, false)
+	}
+}
+
+func BenchmarkMatMul512x256(b *testing.B) {
+	c, x, y := benchMatPair(512, 256, 512)
+	for i := 0; i < b.N; i++ {
+		MatMul(c, x, y, false)
+	}
+}
+
+func BenchmarkMatMulOneHotSparse(b *testing.B) {
+	// One-hot-ish input: MatMul skips zero entries; measure the fast path.
+	rng := rand.New(rand.NewSource(2))
+	a := New(256, 530)
+	for r := 0; r < 256; r++ {
+		for j := 0; j < 11; j++ {
+			a.Set(r, rng.Intn(530), 1)
+		}
+	}
+	w := New(530, 256)
+	w.Randn(rng, 1)
+	c := New(256, 256)
+	for i := 0; i < b.N; i++ {
+		MatMul(c, a, w, false)
+	}
+}
+
+func BenchmarkMatMulTransA(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	x := New(512, 256)
+	x.Randn(rng, 1)
+	dy := New(512, 128)
+	dy.Randn(rng, 1)
+	dw := New(256, 128)
+	for i := 0; i < b.N; i++ {
+		MatMulTransA(dw, x, dy, false)
+	}
+}
+
+func BenchmarkMatMulTransB(b *testing.B) {
+	rng := rand.New(rand.NewSource(4))
+	h := New(1000, 64)
+	h.Randn(rng, 1)
+	e := New(1900, 64) // embedding-reuse decode shape
+	e.Randn(rng, 1)
+	lg := New(1000, 1900)
+	for i := 0; i < b.N; i++ {
+		MatMulTransB(lg, h, e, false)
+	}
+}
+
+func BenchmarkDot(b *testing.B) {
+	x := make([]float32, 1024)
+	y := make([]float32, 1024)
+	for i := range x {
+		x[i], y[i] = float32(i), float32(1024-i)
+	}
+	var sink float32
+	for i := 0; i < b.N; i++ {
+		sink += Dot(x, y)
+	}
+	_ = sink
+}
+
+func BenchmarkAxpy(b *testing.B) {
+	x := make([]float32, 1024)
+	y := make([]float32, 1024)
+	for i := range x {
+		x[i] = float32(i)
+	}
+	for i := 0; i < b.N; i++ {
+		Axpy(0.001, x, y)
+	}
+}

@@ -1,0 +1,198 @@
+package tensor
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// parallelThreshold is the approximate number of multiply-adds below which a
+// product runs single-threaded; goroutine fan-out costs more than it saves on
+// tiny matrices.
+const parallelThreshold = 1 << 16
+
+// ParallelFor splits [0, n) into contiguous chunks and runs fn on each chunk
+// concurrently. fn receives half-open index ranges. It is exported so higher
+// layers (batched sampling, workload execution) can reuse the same fan-out.
+func ParallelFor(n int, fn func(start, end int)) {
+	workers := runtime.NumCPU()
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		if n > 0 {
+			fn(0, n)
+		}
+		return
+	}
+	chunk := (n + workers - 1) / workers
+	var wg sync.WaitGroup
+	for start := 0; start < n; start += chunk {
+		end := start + chunk
+		if end > n {
+			end = n
+		}
+		wg.Add(1)
+		go func(s, e int) {
+			defer wg.Done()
+			fn(s, e)
+		}(start, end)
+	}
+	wg.Wait()
+}
+
+// MatMul computes C = A·B, or C += A·B when accumulate is true. A is m×k,
+// B is k×n, C must be m×n. The inner loops use the i-k-j ordering so both B
+// and C are streamed row-wise, and rows of A are processed in parallel.
+func MatMul(c, a, b *Matrix, accumulate bool) {
+	if a.Cols != b.Rows || c.Rows != a.Rows || c.Cols != b.Cols {
+		panic(fmt.Sprintf("tensor: MatMul shape mismatch (%d×%d)·(%d×%d)→(%d×%d)",
+			a.Rows, a.Cols, b.Rows, b.Cols, c.Rows, c.Cols))
+	}
+	body := func(start, end int) {
+		for i := start; i < end; i++ {
+			ci := c.Data[i*c.Cols : (i+1)*c.Cols]
+			if !accumulate {
+				for j := range ci {
+					ci[j] = 0
+				}
+			}
+			ai := a.Data[i*a.Cols : (i+1)*a.Cols]
+			for k, aik := range ai {
+				if aik == 0 {
+					continue // one-hot inputs make A very sparse
+				}
+				bk := b.Data[k*b.Cols : (k+1)*b.Cols]
+				axpy(aik, bk, ci)
+			}
+		}
+	}
+	if a.Rows*a.Cols*b.Cols < parallelThreshold {
+		body(0, a.Rows)
+		return
+	}
+	ParallelFor(a.Rows, body)
+}
+
+// MatMulTransB computes C = A·Bᵀ, or C += A·Bᵀ when accumulate is true.
+// A is m×k, B is n×k, C must be m×n. Used for tied-embedding decoding
+// (H·Eᵀ, §4.2 "embedding reuse") and for input gradients (dX = dY·Wᵀ when W
+// is stored out×in... W here stored as in×out, so dX = dY·Wᵀ uses this).
+func MatMulTransB(c, a, b *Matrix, accumulate bool) {
+	if a.Cols != b.Cols || c.Rows != a.Rows || c.Cols != b.Rows {
+		panic(fmt.Sprintf("tensor: MatMulTransB shape mismatch (%d×%d)·(%d×%d)ᵀ→(%d×%d)",
+			a.Rows, a.Cols, b.Rows, b.Cols, c.Rows, c.Cols))
+	}
+	body := func(start, end int) {
+		for i := start; i < end; i++ {
+			ai := a.Data[i*a.Cols : (i+1)*a.Cols]
+			ci := c.Data[i*c.Cols : (i+1)*c.Cols]
+			for j := 0; j < b.Rows; j++ {
+				bj := b.Data[j*b.Cols : (j+1)*b.Cols]
+				s := dot(ai, bj)
+				if accumulate {
+					ci[j] += s
+				} else {
+					ci[j] = s
+				}
+			}
+		}
+	}
+	if a.Rows*a.Cols*b.Rows < parallelThreshold {
+		body(0, a.Rows)
+		return
+	}
+	ParallelFor(a.Rows, body)
+}
+
+// MatMulTransA computes C = Aᵀ·B, or C += Aᵀ·B when accumulate is true.
+// A is m×k, B is m×n, C must be k×n. This is the weight-gradient product
+// (dW = Xᵀ·dY); it parallelises over row-bands of C so workers never write
+// the same cache line.
+func MatMulTransA(c, a, b *Matrix, accumulate bool) {
+	if a.Rows != b.Rows || c.Rows != a.Cols || c.Cols != b.Cols {
+		panic(fmt.Sprintf("tensor: MatMulTransA shape mismatch (%d×%d)ᵀ·(%d×%d)→(%d×%d)",
+			a.Rows, a.Cols, b.Rows, b.Cols, c.Rows, c.Cols))
+	}
+	body := func(start, end int) {
+		if !accumulate {
+			for k := start; k < end; k++ {
+				ck := c.Data[k*c.Cols : (k+1)*c.Cols]
+				for j := range ck {
+					ck[j] = 0
+				}
+			}
+		}
+		for i := 0; i < a.Rows; i++ {
+			ai := a.Data[i*a.Cols : (i+1)*a.Cols]
+			bi := b.Data[i*b.Cols : (i+1)*b.Cols]
+			for k := start; k < end; k++ {
+				if aik := ai[k]; aik != 0 {
+					axpy(aik, bi, c.Data[k*c.Cols:(k+1)*c.Cols])
+				}
+			}
+		}
+	}
+	if a.Rows*a.Cols*b.Cols < parallelThreshold {
+		body(0, a.Cols)
+		return
+	}
+	ParallelFor(a.Cols, body)
+}
+
+// axpy computes y += a*x for equal-length slices. The four-way unroll gives
+// the compiler independent chains to schedule.
+func axpy(a float32, x, y []float32) {
+	n := len(x)
+	_ = y[n-1]
+	i := 0
+	for ; i+4 <= n; i += 4 {
+		y[i] += a * x[i]
+		y[i+1] += a * x[i+1]
+		y[i+2] += a * x[i+2]
+		y[i+3] += a * x[i+3]
+	}
+	for ; i < n; i++ {
+		y[i] += a * x[i]
+	}
+}
+
+// dot returns the inner product of equal-length slices.
+func dot(x, y []float32) float32 {
+	var s0, s1, s2, s3 float32
+	n := len(x)
+	i := 0
+	for ; i+4 <= n; i += 4 {
+		s0 += x[i] * y[i]
+		s1 += x[i+1] * y[i+1]
+		s2 += x[i+2] * y[i+2]
+		s3 += x[i+3] * y[i+3]
+	}
+	s := s0 + s1 + s2 + s3
+	for ; i < n; i++ {
+		s += x[i] * y[i]
+	}
+	return s
+}
+
+// Dot exposes the unrolled inner product for other packages.
+func Dot(x, y []float32) float32 {
+	if len(x) != len(y) {
+		panic(fmt.Sprintf("tensor: Dot length mismatch %d vs %d", len(x), len(y)))
+	}
+	if len(x) == 0 {
+		return 0
+	}
+	return dot(x, y)
+}
+
+// Axpy exposes y += a*x for other packages.
+func Axpy(a float32, x, y []float32) {
+	if len(x) != len(y) {
+		panic(fmt.Sprintf("tensor: Axpy length mismatch %d vs %d", len(x), len(y)))
+	}
+	if len(x) == 0 {
+		return
+	}
+	axpy(a, x, y)
+}

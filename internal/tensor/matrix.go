@@ -1,0 +1,139 @@
+// Package tensor provides the minimal dense linear-algebra substrate used by
+// the neural-network packages: row-major float32 matrices, a cache-blocked and
+// goroutine-parallel GEMM, and a handful of element-wise kernels.
+//
+// The package is deliberately small. It exists because this module is
+// stdlib-only: there is no BLAS and no deep-learning framework to lean on, so
+// every matrix product executed during Naru training and progressive sampling
+// goes through this code.
+package tensor
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Matrix is a dense row-major float32 matrix. Data has length Rows*Cols and
+// element (r, c) lives at Data[r*Cols+c].
+type Matrix struct {
+	Rows, Cols int
+	Data       []float32
+}
+
+// New returns a zeroed rows×cols matrix.
+func New(rows, cols int) *Matrix {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("tensor: negative dimensions %d×%d", rows, cols))
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]float32, rows*cols)}
+}
+
+// FromSlice wraps data (not copied) as a rows×cols matrix.
+func FromSlice(rows, cols int, data []float32) *Matrix {
+	if len(data) != rows*cols {
+		panic(fmt.Sprintf("tensor: FromSlice got %d elements for %d×%d", len(data), rows, cols))
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: data}
+}
+
+// At returns element (r, c).
+func (m *Matrix) At(r, c int) float32 { return m.Data[r*m.Cols+c] }
+
+// Set assigns element (r, c).
+func (m *Matrix) Set(r, c int, v float32) { m.Data[r*m.Cols+c] = v }
+
+// Row returns the r-th row as a slice aliasing the matrix storage.
+func (m *Matrix) Row(r int) []float32 { return m.Data[r*m.Cols : (r+1)*m.Cols] }
+
+// Clone returns a deep copy.
+func (m *Matrix) Clone() *Matrix {
+	out := New(m.Rows, m.Cols)
+	copy(out.Data, m.Data)
+	return out
+}
+
+// Zero sets every element to 0.
+func (m *Matrix) Zero() {
+	for i := range m.Data {
+		m.Data[i] = 0
+	}
+}
+
+// Fill sets every element to v.
+func (m *Matrix) Fill(v float32) {
+	for i := range m.Data {
+		m.Data[i] = v
+	}
+}
+
+// Randn fills the matrix with N(0, std²) samples drawn from rng.
+func (m *Matrix) Randn(rng *rand.Rand, std float64) {
+	for i := range m.Data {
+		m.Data[i] = float32(rng.NormFloat64() * std)
+	}
+}
+
+// Uniform fills the matrix with Uniform(lo, hi) samples drawn from rng.
+func (m *Matrix) Uniform(rng *rand.Rand, lo, hi float64) {
+	for i := range m.Data {
+		m.Data[i] = float32(lo + rng.Float64()*(hi-lo))
+	}
+}
+
+// Scale multiplies every element by s.
+func (m *Matrix) Scale(s float32) {
+	for i := range m.Data {
+		m.Data[i] *= s
+	}
+}
+
+// Add accumulates other into m element-wise. Panics on shape mismatch.
+func (m *Matrix) Add(other *Matrix) {
+	m.mustMatch(other, "Add")
+	for i, v := range other.Data {
+		m.Data[i] += v
+	}
+}
+
+// AddScaled accumulates s*other into m element-wise.
+func (m *Matrix) AddScaled(other *Matrix, s float32) {
+	m.mustMatch(other, "AddScaled")
+	for i, v := range other.Data {
+		m.Data[i] += s * v
+	}
+}
+
+// Mul multiplies m by other element-wise (Hadamard product).
+func (m *Matrix) Mul(other *Matrix) {
+	m.mustMatch(other, "Mul")
+	for i, v := range other.Data {
+		m.Data[i] *= v
+	}
+}
+
+// MaxAbs returns the largest absolute element, or 0 for an empty matrix.
+func (m *Matrix) MaxAbs() float32 {
+	var mx float32
+	for _, v := range m.Data {
+		if a := float32(math.Abs(float64(v))); a > mx {
+			mx = a
+		}
+	}
+	return mx
+}
+
+// Norm2 returns the Frobenius norm.
+func (m *Matrix) Norm2() float64 {
+	var s float64
+	for _, v := range m.Data {
+		s += float64(v) * float64(v)
+	}
+	return math.Sqrt(s)
+}
+
+func (m *Matrix) mustMatch(other *Matrix, op string) {
+	if m.Rows != other.Rows || m.Cols != other.Cols {
+		panic(fmt.Sprintf("tensor: %s shape mismatch %d×%d vs %d×%d", op, m.Rows, m.Cols, other.Rows, other.Cols))
+	}
+}

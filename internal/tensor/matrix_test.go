@@ -1,0 +1,280 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewZeroed(t *testing.T) {
+	m := New(3, 4)
+	if m.Rows != 3 || m.Cols != 4 || len(m.Data) != 12 {
+		t.Fatalf("New(3,4) = %d×%d len %d", m.Rows, m.Cols, len(m.Data))
+	}
+	for i, v := range m.Data {
+		if v != 0 {
+			t.Fatalf("element %d = %v, want 0", i, v)
+		}
+	}
+}
+
+func TestAtSetRow(t *testing.T) {
+	m := New(2, 3)
+	m.Set(1, 2, 7)
+	if m.At(1, 2) != 7 {
+		t.Fatalf("At(1,2) = %v, want 7", m.At(1, 2))
+	}
+	row := m.Row(1)
+	if len(row) != 3 || row[2] != 7 {
+		t.Fatalf("Row(1) = %v", row)
+	}
+	row[0] = 5 // Row aliases storage
+	if m.At(1, 0) != 5 {
+		t.Fatal("Row does not alias storage")
+	}
+}
+
+func TestFromSlicePanicsOnBadLength(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	FromSlice(2, 2, []float32{1, 2, 3})
+}
+
+func TestCloneIndependent(t *testing.T) {
+	m := New(2, 2)
+	m.Fill(3)
+	c := m.Clone()
+	c.Set(0, 0, 9)
+	if m.At(0, 0) != 3 {
+		t.Fatal("Clone shares storage with original")
+	}
+}
+
+func TestElementwiseOps(t *testing.T) {
+	a := FromSlice(2, 2, []float32{1, 2, 3, 4})
+	b := FromSlice(2, 2, []float32{10, 20, 30, 40})
+	a.Add(b)
+	want := []float32{11, 22, 33, 44}
+	for i := range want {
+		if a.Data[i] != want[i] {
+			t.Fatalf("Add: got %v want %v", a.Data, want)
+		}
+	}
+	a.AddScaled(b, -1)
+	for i, v := range []float32{1, 2, 3, 4} {
+		if a.Data[i] != v {
+			t.Fatalf("AddScaled: got %v", a.Data)
+		}
+	}
+	a.Mul(b)
+	for i, v := range []float32{10, 40, 90, 160} {
+		if a.Data[i] != v {
+			t.Fatalf("Mul: got %v", a.Data)
+		}
+	}
+	a.Scale(0.5)
+	if a.At(1, 1) != 80 {
+		t.Fatalf("Scale: got %v", a.Data)
+	}
+	a.Zero()
+	if a.MaxAbs() != 0 {
+		t.Fatal("Zero did not clear")
+	}
+}
+
+func TestMaxAbsAndNorm(t *testing.T) {
+	m := FromSlice(1, 3, []float32{-5, 2, 3})
+	if m.MaxAbs() != 5 {
+		t.Fatalf("MaxAbs = %v", m.MaxAbs())
+	}
+	want := math.Sqrt(25 + 4 + 9)
+	if got := m.Norm2(); math.Abs(got-want) > 1e-6 {
+		t.Fatalf("Norm2 = %v want %v", got, want)
+	}
+}
+
+// naiveMatMul is the reference O(mnk) triple loop in float64.
+func naiveMatMul(a, b *Matrix, transA, transB bool) *Matrix {
+	ar, ac := a.Rows, a.Cols
+	if transA {
+		ar, ac = ac, ar
+	}
+	br, bc := b.Rows, b.Cols
+	if transB {
+		br, bc = bc, br
+	}
+	if ac != br {
+		panic("naive shape")
+	}
+	at := func(m *Matrix, r, c int, tr bool) float64 {
+		if tr {
+			r, c = c, r
+		}
+		return float64(m.At(r, c))
+	}
+	out := New(ar, bc)
+	for i := 0; i < ar; i++ {
+		for j := 0; j < bc; j++ {
+			var s float64
+			for k := 0; k < ac; k++ {
+				s += at(a, i, k, transA) * at(b, k, j, transB)
+			}
+			out.Set(i, j, float32(s))
+		}
+	}
+	return out
+}
+
+func randMat(rng *rand.Rand, r, c int) *Matrix {
+	m := New(r, c)
+	m.Randn(rng, 1)
+	return m
+}
+
+func matClose(t *testing.T, got, want *Matrix, tol float64) {
+	t.Helper()
+	if got.Rows != want.Rows || got.Cols != want.Cols {
+		t.Fatalf("shape %d×%d vs %d×%d", got.Rows, got.Cols, want.Rows, want.Cols)
+	}
+	for i := range got.Data {
+		if math.Abs(float64(got.Data[i]-want.Data[i])) > tol {
+			t.Fatalf("element %d: got %v want %v", i, got.Data[i], want.Data[i])
+		}
+	}
+}
+
+func TestMatMulMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, dims := range [][3]int{{1, 1, 1}, {2, 3, 4}, {7, 5, 9}, {33, 17, 65}, {128, 64, 200}} {
+		m, k, n := dims[0], dims[1], dims[2]
+		a, b := randMat(rng, m, k), randMat(rng, k, n)
+		c := New(m, n)
+		MatMul(c, a, b, false)
+		matClose(t, c, naiveMatMul(a, b, false, false), 1e-3)
+	}
+}
+
+func TestMatMulAccumulate(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	a, b := randMat(rng, 4, 5), randMat(rng, 5, 6)
+	c := New(4, 6)
+	c.Fill(1)
+	MatMul(c, a, b, true)
+	want := naiveMatMul(a, b, false, false)
+	for i := range want.Data {
+		want.Data[i]++
+	}
+	matClose(t, c, want, 1e-4)
+}
+
+func TestMatMulTransBMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, dims := range [][3]int{{2, 3, 4}, {16, 8, 100}, {65, 33, 7}} {
+		m, k, n := dims[0], dims[1], dims[2]
+		a, b := randMat(rng, m, k), randMat(rng, n, k)
+		c := New(m, n)
+		MatMulTransB(c, a, b, false)
+		matClose(t, c, naiveMatMul(a, b, false, true), 1e-3)
+	}
+}
+
+func TestMatMulTransAMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for _, dims := range [][3]int{{3, 2, 4}, {100, 16, 8}, {7, 65, 33}} {
+		m, k, n := dims[0], dims[1], dims[2]
+		a, b := randMat(rng, m, k), randMat(rng, m, n)
+		c := New(k, n)
+		MatMulTransA(c, a, b, false)
+		matClose(t, c, naiveMatMul(a, b, true, false), 1e-3)
+	}
+}
+
+func TestMatMulTransAAccumulate(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	a, b := randMat(rng, 6, 3), randMat(rng, 6, 4)
+	c := New(3, 4)
+	c.Fill(2)
+	MatMulTransA(c, a, b, true)
+	want := naiveMatMul(a, b, true, false)
+	for i := range want.Data {
+		want.Data[i] += 2
+	}
+	matClose(t, c, want, 1e-4)
+}
+
+func TestMatMulShapePanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on shape mismatch")
+		}
+	}()
+	MatMul(New(2, 2), New(2, 3), New(2, 2), false)
+}
+
+func TestDotAxpy(t *testing.T) {
+	x := []float32{1, 2, 3, 4, 5}
+	y := []float32{5, 4, 3, 2, 1}
+	if got := Dot(x, y); got != 5+8+9+8+5 {
+		t.Fatalf("Dot = %v", got)
+	}
+	Axpy(2, x, y)
+	want := []float32{7, 8, 9, 10, 11}
+	for i := range want {
+		if y[i] != want[i] {
+			t.Fatalf("Axpy: got %v want %v", y, want)
+		}
+	}
+	if Dot(nil, nil) != 0 {
+		t.Fatal("Dot(nil,nil) != 0")
+	}
+}
+
+func TestParallelForCoversRange(t *testing.T) {
+	for _, n := range []int{0, 1, 3, 100, 1000} {
+		seen := make([]int32, n)
+		ParallelFor(n, func(s, e int) {
+			for i := s; i < e; i++ {
+				seen[i]++
+			}
+		})
+		for i, c := range seen {
+			if c != 1 {
+				t.Fatalf("n=%d: index %d visited %d times", n, i, c)
+			}
+		}
+	}
+}
+
+// Property: (A·B)ᵀ computed via MatMulTransB/TransA agrees with MatMul.
+func TestQuickTransposeIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	f := func(mSeed, kSeed, nSeed uint8) bool {
+		m, k, n := int(mSeed%8)+1, int(kSeed%8)+1, int(nSeed%8)+1
+		a, b := randMat(rng, m, k), randMat(rng, k, n)
+		// C1 = A·B
+		c1 := New(m, n)
+		MatMul(c1, a, b, false)
+		// C2 = A·(Bᵀ)ᵀ via MatMulTransB with bt = Bᵀ materialized
+		bt := New(n, k)
+		for i := 0; i < k; i++ {
+			for j := 0; j < n; j++ {
+				bt.Set(j, i, b.At(i, j))
+			}
+		}
+		c2 := New(m, n)
+		MatMulTransB(c2, a, bt, false)
+		for i := range c1.Data {
+			if math.Abs(float64(c1.Data[i]-c2.Data[i])) > 1e-4 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,251 @@
+package transformer
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/nn"
+	"repro/internal/query"
+	"repro/internal/table"
+	"repro/internal/tensor"
+)
+
+func tinyConfig(seed int64) Config {
+	return Config{DModel: 16, Layers: 2, FFN: 32, Seed: seed}
+}
+
+func TestShapes(t *testing.T) {
+	m := New([]int{5, 30, 7}, tinyConfig(1))
+	if m.NumCols() != 3 {
+		t.Fatalf("NumCols = %d", m.NumCols())
+	}
+	if m.SizeBytes() <= 0 {
+		t.Fatal("SizeBytes")
+	}
+	ds := m.DomainSizes()
+	if ds[1] != 30 {
+		t.Fatalf("DomainSizes = %v", ds)
+	}
+}
+
+func TestCondBatchNormalized(t *testing.T) {
+	m := New([]int{5, 30, 7}, tinyConfig(2))
+	codes := []int32{1, 20, 3, 4, 0, 6}
+	for col := 0; col < 3; col++ {
+		out := [][]float64{make([]float64, m.domains[col]), make([]float64, m.domains[col])}
+		m.CondBatch(codes, 2, col, out)
+		for r := range out {
+			var s float64
+			for _, p := range out[r] {
+				if p < 0 || math.IsNaN(p) {
+					t.Fatalf("bad prob %v", p)
+				}
+				s += p
+			}
+			if math.Abs(s-1) > 1e-6 {
+				t.Fatalf("col %d row %d: sum %v", col, r, s)
+			}
+		}
+	}
+}
+
+func TestCausalMaskAutoregressive(t *testing.T) {
+	domains := []int{6, 9, 4, 8}
+	m := New(domains, tinyConfig(3))
+	// A few training steps so weights are non-trivial.
+	rng := rand.New(rand.NewSource(4))
+	batch := make([]int32, 8*4)
+	for i := range batch {
+		batch[i] = int32(rng.Intn(domains[i%4]))
+	}
+	m.TrainStep(batch, 8, nn.NewAdam(1e-3))
+	for col := 0; col < 4; col++ {
+		base := []int32{3, 7, 2, 5}
+		out1 := [][]float64{make([]float64, domains[col])}
+		m.CondBatch(base, 1, col, out1)
+		got := append([]float64(nil), out1[0]...)
+		mutated := append([]int32(nil), base...)
+		for j := col; j < 4; j++ {
+			mutated[j] = (mutated[j] + 1) % int32(domains[j])
+		}
+		out2 := [][]float64{make([]float64, domains[col])}
+		m.CondBatch(mutated, 1, col, out2)
+		for v := range got {
+			if got[v] != out2[0][v] {
+				t.Fatalf("col %d: conditional sees columns >= %d", col, col)
+			}
+		}
+		if col > 0 {
+			mutated2 := append([]int32(nil), base...)
+			mutated2[0] = (mutated2[0] + 1) % int32(domains[0])
+			out3 := [][]float64{make([]float64, domains[col])}
+			m.CondBatch(mutated2, 1, col, out3)
+			same := true
+			for v := range got {
+				if got[v] != out3[0][v] {
+					same = false
+					break
+				}
+			}
+			if same {
+				t.Fatalf("col %d: conditional ignores column 0", col)
+			}
+		}
+	}
+}
+
+func TestLogProbMatchesChain(t *testing.T) {
+	m := New([]int{5, 9, 3}, tinyConfig(5))
+	codes := []int32{2, 4, 1}
+	var lp [1]float64
+	m.LogProbBatch(codes, 1, lp[:])
+	var chain float64
+	for col := 0; col < 3; col++ {
+		out := [][]float64{make([]float64, m.domains[col])}
+		m.CondBatch(codes, 1, col, out)
+		chain += math.Log(out[0][codes[col]])
+	}
+	if math.Abs(lp[0]-chain) > 1e-5 {
+		t.Fatalf("LogProb %v vs chain %v", lp[0], chain)
+	}
+}
+
+// TestGradCheck verifies the full backward stack (attention, layernorm, FFN,
+// tied decoding, embeddings) against central finite differences of the NLL.
+func TestGradCheck(t *testing.T) {
+	domains := []int{4, 5, 3}
+	m := New(domains, Config{DModel: 8, Layers: 1, FFN: 12, Seed: 6})
+	codes := []int32{1, 4, 2, 3, 0, 1}
+	const n = 2
+	loss := func() float64 {
+		lp := make([]float64, n)
+		m.LogProbBatch(codes, n, lp)
+		var s float64
+		for _, v := range lp {
+			s -= v
+		}
+		return s / n
+	}
+	m.TrainStep(codes, n, nil) // accumulate analytic grads, no step
+	const eps = 2e-2
+	rng := rand.New(rand.NewSource(7))
+	for _, p := range m.params {
+		// Check a random subset of entries per parameter to keep runtime sane.
+		checks := 4
+		if len(p.Val.Data) < checks {
+			checks = len(p.Val.Data)
+		}
+		for c := 0; c < checks; c++ {
+			i := rng.Intn(len(p.Val.Data))
+			orig := p.Val.Data[i]
+			p.Val.Data[i] = orig + eps
+			lplus := loss()
+			p.Val.Data[i] = orig - eps
+			lminus := loss()
+			p.Val.Data[i] = orig
+			numeric := (lplus - lminus) / (2 * eps)
+			analytic := float64(p.Grad.Data[i])
+			if math.Abs(numeric-analytic) > 5e-2*(1+math.Abs(numeric)) {
+				t.Fatalf("%s[%d]: analytic %v vs numeric %v", p.Name, i, analytic, numeric)
+			}
+		}
+	}
+}
+
+func TestTrainingConverges(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	domains := []int{6, 10, 4}
+	const n = 128
+	codes := make([]int32, n*3)
+	for r := 0; r < n; r++ {
+		x := int32(rng.Intn(6))
+		codes[r*3], codes[r*3+1], codes[r*3+2] = x, (x*2)%10, x%4
+	}
+	m := New(domains, tinyConfig(9))
+	opt := nn.NewAdam(3e-3)
+	first := m.TrainStep(codes, n, opt)
+	var last float64
+	for i := 0; i < 150; i++ {
+		last = m.TrainStep(codes, n, opt)
+	}
+	if last >= first*0.5 {
+		t.Fatalf("not converging: %.3f → %.3f", first, last)
+	}
+}
+
+func TestPlugsIntoNaruEstimator(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	const rows = 3000
+	colsCodes := make([][]int32, 3)
+	for c := range colsCodes {
+		colsCodes[c] = make([]int32, rows)
+	}
+	for r := 0; r < rows; r++ {
+		x := int32(rng.Intn(5))
+		colsCodes[0][r] = x
+		colsCodes[1][r] = (x*2 + int32(rng.Intn(2))) % 8
+		colsCodes[2][r] = (x + colsCodes[1][r]) % 4
+	}
+	tbl, err := table.FromCodes("t", []string{"a", "b", "c"}, []int{5, 8, 4}, colsCodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := New(tbl.DomainSizes(), tinyConfig(11))
+	core.Train(m, tbl, core.TrainConfig{Epochs: 15, BatchSize: 256, LR: 3e-3, Seed: 12})
+	est := core.NewEstimator(m, 1000, 13)
+	gen := query.NewGenerator(tbl, query.GeneratorConfig{MinFilters: 1, MaxFilters: 2, SmallDomainThreshold: 4}, 14)
+	worst := 1.0
+	for i := 0; i < 10; i++ {
+		reg, err := query.Compile(gen.Next(), tbl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		truth := math.Max(query.Selectivity(reg, tbl), 1.0/rows)
+		got := math.Max(est.EstimateRegion(reg), 1.0/rows)
+		e := got / truth
+		if e < 1 {
+			e = 1 / e
+		}
+		if e > worst {
+			worst = e
+		}
+	}
+	if worst > 8 {
+		t.Fatalf("worst q-error %.2f for trained transformer", worst)
+	}
+}
+
+func TestLayerNormForwardBackward(t *testing.T) {
+	rng := rand.New(rand.NewSource(15))
+	ln := newLayerNorm("ln", 6)
+	// Randomize gain/bias so the test isn't trivial.
+	ln.g.Val.Randn(rng, 1)
+	ln.b.Val.Randn(rng, 1)
+	x := tensor.New(3, 6)
+	x.Randn(rng, 2)
+	loss := func() float64 {
+		y := ln.forward(x)
+		var s float64
+		for _, v := range y.Data {
+			s += 0.5 * float64(v) * float64(v)
+		}
+		return s
+	}
+	y := ln.forward(x)
+	dIn := ln.backward(y.Clone())
+	const eps = 1e-2
+	for i := range x.Data {
+		orig := x.Data[i]
+		x.Data[i] = orig + eps
+		lp := loss()
+		x.Data[i] = orig - eps
+		lm := loss()
+		x.Data[i] = orig
+		numeric := (lp - lm) / (2 * eps)
+		if math.Abs(numeric-float64(dIn.Data[i])) > 2e-2*(1+math.Abs(numeric)) {
+			t.Fatalf("dX[%d]: analytic %v numeric %v", i, dIn.Data[i], numeric)
+		}
+	}
+}

@@ -1,0 +1,150 @@
+package naru
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"repro/internal/metrics"
+)
+
+// buildWith trains a small estimator with the given architecture.
+func buildWith(t *testing.T, tbl *Table, arch Architecture) *Estimator {
+	t.Helper()
+	cfg := DefaultConfig()
+	cfg.Architecture = arch
+	cfg.HiddenSizes = []int{32, 32}
+	cfg.Epochs = 8
+	cfg.Samples = 1000
+	cfg.Seed = 5
+	est, err := Build(tbl, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return est
+}
+
+func TestAllArchitecturesEstimate(t *testing.T) {
+	tbl := facadeTable(t, 3000)
+	q := Query{Preds: []Predicate{
+		{Col: 0, Op: OpLe, Code: 3},
+		{Col: 1, Op: OpGe, Code: 2},
+	}}
+	truth, err := TrueSelectivity(q, tbl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := float64(tbl.NumRows())
+	for _, arch := range []Architecture{ArchMADE, ArchColumnNet, ArchTransformer} {
+		est := buildWith(t, tbl, arch)
+		sel, err := est.Selectivity(q)
+		if err != nil {
+			t.Fatalf("arch %d: %v", arch, err)
+		}
+		if e := metrics.QError(sel*n, truth*n); e > 4 {
+			t.Fatalf("arch %d: q-error %.2f (est %v truth %v)", arch, e, sel, truth)
+		}
+	}
+}
+
+func TestUnknownArchitectureErrors(t *testing.T) {
+	tbl := facadeTable(t, 200)
+	cfg := DefaultConfig()
+	cfg.Architecture = Architecture(99)
+	if _, err := Build(tbl, cfg); err == nil {
+		t.Fatal("want error for unknown architecture")
+	}
+}
+
+func TestSaveTransformerUnsupported(t *testing.T) {
+	tbl := facadeTable(t, 500)
+	est := buildWith(t, tbl, ArchTransformer)
+	var buf bytes.Buffer
+	if err := est.Save(&buf); err == nil {
+		t.Fatal("Transformer Save should error")
+	}
+}
+
+func TestColumnNetSaveLoadRoundTrip(t *testing.T) {
+	tbl := facadeTable(t, 800)
+	est := buildWith(t, tbl, ArchColumnNet)
+	var buf bytes.Buffer
+	if err := est.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.Samples = 1000
+	cfg.Seed = 5
+	loaded, err := LoadEstimator(&buf, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := Query{Preds: []Predicate{{Col: 0, Op: OpEq, Code: 1}}}
+	a, err := est.Selectivity(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := loaded.Selectivity(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatalf("colnet estimate differs after load: %v vs %v", a, b)
+	}
+}
+
+func TestLoadEstimatorRejectsGarbageHeader(t *testing.T) {
+	if _, err := LoadEstimator(bytes.NewReader([]byte("junk")), DefaultConfig()); err == nil {
+		t.Fatal("want header error")
+	}
+}
+
+func TestFacadeSampleTuples(t *testing.T) {
+	tbl := facadeTable(t, 3000)
+	est := buildWith(t, tbl, ArchMADE)
+	codes := est.SampleTuples(nil, 500)
+	if len(codes) != 500*3 {
+		t.Fatalf("got %d codes", len(codes))
+	}
+	doms := tbl.DomainSizes()
+	for r := 0; r < 500; r++ {
+		for c := 0; c < 3; c++ {
+			v := codes[r*3+c]
+			if v < 0 || int(v) >= doms[c] {
+				t.Fatalf("code (%d,%d) out of domain", r, c)
+			}
+		}
+	}
+	// Restricted synthesis respects the region.
+	reg, err := Compile(Query{Preds: []Predicate{{Col: 0, Op: OpLe, Code: 1}}}, tbl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	restricted := est.SampleTuples(reg, 200)
+	for r := 0; r < 200; r++ {
+		if restricted[r*3] > 1 {
+			t.Fatalf("restricted sample violates region at row %d", r)
+		}
+	}
+}
+
+func TestFacadeOutlierScores(t *testing.T) {
+	tbl := facadeTable(t, 4000)
+	est := buildWith(t, tbl, ArchMADE)
+	// facadeTable: c = (a+b) mod 4 deterministically. A real row vs a
+	// corrupted one.
+	in := make([]int32, 3)
+	tbl.Row(0, in)
+	out := append([]int32(nil), in...)
+	out[2] = (out[2] + 2) % 4
+	scores := est.OutlierScores(append(in, out...), 2)
+	if len(scores) != 2 {
+		t.Fatalf("got %d scores", len(scores))
+	}
+	if !(scores[1] > scores[0]) {
+		t.Fatalf("corrupted tuple not flagged: in=%.2f out=%.2f", scores[0], scores[1])
+	}
+	if math.IsNaN(scores[0]) || math.IsInf(scores[0], 0) {
+		t.Fatalf("bad in-distribution score %v", scores[0])
+	}
+}
