@@ -1,0 +1,21 @@
+# Convenience entry points; everything is plain `go` underneath.
+
+.PHONY: build test check bench inference
+
+build:
+	go build ./...
+
+test:
+	go test ./...
+
+# check runs static analysis and the tests under the race detector — the gate
+# for the concurrent query-serving path.
+check:
+	./scripts/check.sh
+
+bench:
+	go test -bench . -benchtime 1x -run xxx .
+
+# inference regenerates BENCH_inference.json (github-action-benchmark format).
+inference:
+	go run ./cmd/narubench -quiet inference

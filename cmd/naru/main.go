@@ -18,6 +18,7 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	naru "repro"
 	"repro/internal/query"
@@ -44,6 +45,7 @@ func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   naru train    -csv data.csv -out model.naru [-epochs N] [-hidden 128,128,128,128] [-samples S]
   naru estimate -csv data.csv -model model.naru -where "a<=5 AND b=x"
+  naru estimate -csv data.csv -model model.naru -queries workload.txt [-workers N]
   naru entropy  -csv data.csv -model model.naru`)
 	os.Exit(2)
 }
@@ -103,10 +105,12 @@ func cmdEstimate(args []string) {
 	csvPath := fs.String("csv", "", "input CSV (for schema + ground truth)")
 	modelPath := fs.String("model", "model.naru", "trained model path")
 	where := fs.String("where", "", "conjunction, e.g. \"a<=5 AND b=x\"")
+	queriesPath := fs.String("queries", "", "file of WHERE conjunctions, one per line")
+	workers := fs.Int("workers", 0, "concurrent query workers for -queries (0 = NumCPU)")
 	samples := fs.Int("samples", 2000, "progressive samples")
 	fs.Parse(args)
-	if *csvPath == "" || *where == "" {
-		fatal(fmt.Errorf("estimate: -csv and -where are required"))
+	if *csvPath == "" || (*where == "") == (*queriesPath == "") {
+		fatal(fmt.Errorf("estimate: -csv and exactly one of -where / -queries are required"))
 	}
 	t := loadTable(*csvPath)
 	f, err := os.Open(*modelPath)
@@ -119,6 +123,10 @@ func cmdEstimate(args []string) {
 	est, err := naru.LoadEstimator(f, cfg)
 	if err != nil {
 		fatal(err)
+	}
+	if *queriesPath != "" {
+		estimateFile(est, t, *queriesPath, *workers)
+		return
 	}
 	q, err := query.ParseWhere(*where, t)
 	if err != nil {
@@ -136,6 +144,49 @@ func cmdEstimate(args []string) {
 	fmt.Printf("query: %s\n", q.String(t))
 	fmt.Printf("estimate: sel=%.6g card=%.1f\n", sel, card)
 	fmt.Printf("truth:    sel=%.6g card=%d\n", truth, int64(truth*float64(t.NumRows())))
+}
+
+// estimateFile serves a whole workload file through the concurrent batch
+// path and reports per-query estimates plus aggregate throughput.
+func estimateFile(est *naru.Estimator, t *table.Table, path string, workers int) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fatal(err)
+	}
+	var qs []naru.Query
+	var lines []string
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		q, err := query.ParseWhere(line, t)
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", line, err))
+		}
+		qs = append(qs, q)
+		lines = append(lines, line)
+	}
+	if len(qs) == 0 {
+		fatal(fmt.Errorf("estimate: no queries in %s", path))
+	}
+	start := time.Now()
+	sels, err := est.SelectivityBatch(qs, workers)
+	if err != nil {
+		fatal(err)
+	}
+	elapsed := time.Since(start)
+	rows := float64(t.NumRows())
+	for i, sel := range sels {
+		truth, err := naru.TrueSelectivity(qs[i], t)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("%-60s est=%.6g true=%.6g card=%.1f\n", lines[i], sel, truth, sel*rows)
+	}
+	fmt.Printf("%d queries in %v (%.1f queries/sec, workers=%d)\n",
+		len(qs), elapsed.Round(time.Millisecond),
+		float64(len(qs))/elapsed.Seconds(), workers)
 }
 
 func cmdEntropy(args []string) {

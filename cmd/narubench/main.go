@@ -30,9 +30,11 @@ func main() {
 	flag.IntVar(&cfg.Epochs, "epochs", 0, "Naru training epochs (default 6)")
 	flag.Int64Var(&cfg.Seed, "seed", 1, "random seed")
 	flag.BoolVar(&cfg.Quiet, "quiet", false, "suppress progress lines")
+	flag.IntVar(&cfg.Workers, "workers", 0, "concurrent query workers for batch serving (0 = NumCPU)")
+	flag.StringVar(&cfg.BenchOut, "bench-out", "", "benchmark JSON output path (default BENCH_inference.json)")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: narubench [flags] <experiment>...\n")
-		fmt.Fprintf(os.Stderr, "experiments: fig4 table3 table4 table5 fig5 table6 table7 fig7 fig8 table8 arch uniform all\n\n")
+		fmt.Fprintf(os.Stderr, "experiments: fig4 table3 table4 table5 fig5 table6 table7 fig7 fig8 table8 arch uniform inference all\n\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -72,6 +74,8 @@ func main() {
 			bench.ArchComparison(out, cfg)
 		case "uniform":
 			bench.UniformVsProgressive(out, cfg)
+		case "inference":
+			bench.Inference(out, cfg)
 		default:
 			fmt.Fprintf(os.Stderr, "narubench: unknown experiment %q\n", name)
 			os.Exit(2)

@@ -1,0 +1,154 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/datagen"
+	"repro/internal/metrics"
+	"repro/internal/query"
+)
+
+// This file benchmarks the inference fast path: delta-forward sampling,
+// packed GEMM kernels, and concurrent serving, against the reference
+// full-forward sequential estimator. Results are printed as a table and
+// written to BenchOut in the github-action-benchmark "customSmallerIsBetter /
+// customBiggerIsBetter" JSON shape: an array of {name, value, unit, extra}.
+
+// BenchEntry is one github-action-benchmark datum.
+type BenchEntry struct {
+	Name  string  `json:"name"`
+	Value float64 `json:"value"`
+	Unit  string  `json:"unit"`
+	Extra string  `json:"extra,omitempty"`
+}
+
+// fullForward hides a model's BeginSampling (and ForkModel) methods, so the
+// estimator serves it sequentially with a full forward pass per column — the
+// seed's behavior, kept as the performance and correctness reference.
+type fullForward struct{ core.Model }
+
+// Inference runs the DMV workload through three serving configurations —
+// reference full-forward sequential, fast-path sequential, and fast-path
+// concurrent batch — and reports throughput, latency quantiles, and the
+// agreement between fast and reference estimates.
+func Inference(out io.Writer, cfg Config) {
+	cfg = cfg.withDefaults()
+	start := time.Now()
+	t := datagen.DMV(cfg.DMVRows, cfg.Seed)
+	progress(out, cfg.Quiet, "inference: generated %d rows in %v", t.NumRows(), time.Since(start).Round(time.Millisecond))
+	w := mustWorkload(t, query.DefaultGeneratorConfig(), cfg.Seed+100, cfg.NumQueries)
+	progress(out, cfg.Quiet, "inference: %d queries labeled", len(w.Queries))
+
+	trainStart := time.Now()
+	model := TrainNaru(t, DMVModelConfig(cfg.Seed), cfg.Epochs, cfg.Seed+200)
+	progress(out, cfg.Quiet, "inference: Naru trained in %v", time.Since(trainStart).Round(time.Millisecond))
+
+	const samples = 1000
+	qseed := cfg.Seed + 6
+
+	// Reference: full forward per column, one query at a time.
+	ref := core.NewEstimator(fullForward{core.Model(model)}, samples, qseed)
+	refRes := RunWorkload(ref, w)
+	refTotal := sumLatency(refRes.Latencies)
+
+	// Fast path, sequential: delta-forward + packed kernels, same seeds.
+	seq := core.NewEstimator(model, samples, qseed)
+	seqRes := RunWorkload(seq, w)
+	seqTotal := sumLatency(seqRes.Latencies)
+
+	// Fast path, concurrent batch on a fresh estimator (same seeds again, so
+	// the batch must reproduce the sequential fast-path answers bitwise).
+	batch := core.NewEstimator(model, samples, qseed)
+	batchRes, batchTotal := RunWorkloadParallel(batch, w, cfg.Workers)
+
+	mismatches := 0
+	for i := range seqRes.Estimates {
+		if batchRes.Estimates[i] != seqRes.Estimates[i] {
+			mismatches++
+		}
+	}
+	maxRel := maxRelDiff(seqRes.Estimates, refRes.Estimates)
+
+	nq := float64(len(w.Regions))
+	refQPS := nq / refTotal.Seconds()
+	seqQPS := nq / seqTotal.Seconds()
+	batchQPS := nq / batchTotal.Seconds()
+	p50, p99, pmax := LatencySummary(seqRes.Latencies)
+	refErr := metrics.Summarize(refRes.Errors(w))
+	seqErr := metrics.Summarize(seqRes.Errors(w))
+
+	fmt.Fprintf(out, "\nInference fast path (DMV %d rows, %d queries, Naru-%d, workers=%d)\n",
+		t.NumRows(), len(w.Regions), samples, cfg.Workers)
+	fmt.Fprintf(out, "%-28s %12s %14s\n", "configuration", "queries/sec", "total")
+	fmt.Fprintf(out, "%-28s %12.2f %14v\n", "reference (full forward)", refQPS, refTotal.Round(time.Millisecond))
+	fmt.Fprintf(out, "%-28s %12.2f %14v\n", "fast path, sequential", seqQPS, seqTotal.Round(time.Millisecond))
+	fmt.Fprintf(out, "%-28s %12.2f %14v\n", "fast path, batch", batchQPS, batchTotal.Round(time.Millisecond))
+	fmt.Fprintf(out, "speedup: sequential %.2fx, batch %.2fx\n", seqQPS/refQPS, batchQPS/refQPS)
+	fmt.Fprintf(out, "fast-path latency ms: p50=%.2f p99=%.2f max=%.2f\n", p50, p99, pmax)
+	fmt.Fprintf(out, "batch vs sequential fast path: %d/%d mismatched estimates (must be 0)\n",
+		mismatches, len(w.Regions))
+	fmt.Fprintf(out, "fast vs reference estimates: max relative diff %.3g (MC re-draws at float-identical boundaries)\n", maxRel)
+	fmt.Fprintf(out, "q-error median/p99: reference %.3f/%.3f, fast %.3f/%.3f\n",
+		refErr.Median, refErr.P99, seqErr.Median, seqErr.P99)
+
+	entries := []BenchEntry{
+		{Name: "dmv_queries_per_sec_reference", Value: refQPS, Unit: "queries/sec",
+			Extra: fmt.Sprintf("full forward, sequential, S=%d", samples)},
+		{Name: "dmv_queries_per_sec_sequential", Value: seqQPS, Unit: "queries/sec",
+			Extra: "delta-forward + packed GEMM, sequential"},
+		{Name: "dmv_queries_per_sec_batch", Value: batchQPS, Unit: "queries/sec",
+			Extra: fmt.Sprintf("delta-forward + packed GEMM, EstimateBatch workers=%d", cfg.Workers)},
+		{Name: "dmv_speedup_vs_full_forward", Value: batchQPS / refQPS, Unit: "x",
+			Extra: fmt.Sprintf("batch fast path over reference; sequential alone %.2fx", seqQPS/refQPS)},
+		{Name: "dmv_latency_p50", Value: p50, Unit: "ms", Extra: "fast path, sequential"},
+		{Name: "dmv_latency_p99", Value: p99, Unit: "ms", Extra: "fast path, sequential"},
+		{Name: "dmv_batch_mismatches", Value: float64(mismatches), Unit: "queries",
+			Extra: "batch vs sequential fast path, bitwise"},
+		{Name: "dmv_max_rel_diff_vs_reference", Value: maxRel, Unit: "fraction",
+			Extra: "fast path vs full forward selectivities"},
+	}
+	if err := writeBenchJSON(cfg.BenchOut, entries); err != nil {
+		fmt.Fprintf(out, "inference: writing %s: %v\n", cfg.BenchOut, err)
+		return
+	}
+	fmt.Fprintf(out, "wrote %s\n", cfg.BenchOut)
+}
+
+func writeBenchJSON(path string, entries []BenchEntry) error {
+	data, err := json.MarshalIndent(entries, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+func sumLatency(lats []time.Duration) time.Duration {
+	var total time.Duration
+	for _, d := range lats {
+		total += d
+	}
+	return total
+}
+
+// maxRelDiff returns max_i |a_i - b_i| / max(|b_i|, floor) with a small floor
+// so empty-region zeros do not blow up the ratio.
+func maxRelDiff(a, b []float64) float64 {
+	const floor = 1e-9
+	var mx float64
+	for i := range a {
+		den := math.Abs(b[i])
+		if den < floor {
+			den = floor
+		}
+		if d := math.Abs(a[i]-b[i]) / den; d > mx {
+			mx = d
+		}
+	}
+	return mx
+}

@@ -10,6 +10,7 @@ package bench
 import (
 	"fmt"
 	"io"
+	"runtime"
 	"time"
 
 	"repro/internal/core"
@@ -27,7 +28,9 @@ type Config struct {
 	NumQueries  int // queries per workload (paper: 2000; default 160)
 	Epochs      int // Naru training epochs (default 6)
 	Seed        int64
-	Quiet       bool // suppress progress logging
+	Quiet       bool   // suppress progress logging
+	Workers     int    // concurrent query workers for batch serving (default NumCPU)
+	BenchOut    string // output path for machine-readable benchmark JSON
 }
 
 // withDefaults fills zero fields.
@@ -46,6 +49,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Seed == 0 {
 		c.Seed = 1
+	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.NumCPU()
+	}
+	if c.BenchOut == "" {
+		c.BenchOut = "BENCH_inference.json"
 	}
 	return c
 }

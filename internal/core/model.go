@@ -34,6 +34,22 @@ type Model interface {
 	SizeBytes() int64
 }
 
+// Forkable is an optional extension for models that can produce replicas
+// sharing their (read-only at inference time) parameters but owning private
+// activation scratch. The concurrent estimator uses it to serve one replica
+// per worker goroutine; models without it are served behind a mutex.
+//
+// ForkModel returns any rather than Model so model packages can implement it
+// without importing core; the estimator asserts the result back to Model.
+type Forkable interface {
+	Model
+
+	// ForkModel returns a replica (implementing Model) safe to use
+	// concurrently with the parent and with other replicas, as long as
+	// nothing trains any of them.
+	ForkModel() any
+}
+
 // SequentialModel is an optional extension for models that exploit the
 // strictly sequential column order of progressive sampling (CondBatch called
 // with col = 0, 1, 2, ... over one fixed batch). The oracle models implement

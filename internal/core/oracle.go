@@ -121,6 +121,23 @@ func (o *Oracle) BeginSampling(n int) {
 	o.lastCol = -1
 }
 
+// Fork implements Forkable: the replica shares the table, indexes, and
+// precomputed conditionals (all read-only after construction) but owns its
+// own matching-row sets, so replicas can run sampling walks concurrently.
+func (o *Oracle) Fork() *Oracle {
+	return &Oracle{
+		t:         o.t,
+		domains:   o.domains,
+		index:     o.index,
+		marginal:  o.marginal,
+		condAtRow: o.condAtRow,
+		lastCol:   -1,
+	}
+}
+
+// ForkModel implements Forkable.
+func (o *Oracle) ForkModel() any { return o.Fork() }
+
 // CondBatch implements Model. Columns must be visited in order 0, 1, 2, ...
 // after BeginSampling (progressive sampling and enumeration both do).
 func (o *Oracle) CondBatch(codes []int32, n int, col int, out [][]float64) {
@@ -237,6 +254,12 @@ func NewNoisyOracle(o *Oracle, eps float64) *NoisyOracle {
 		panic(fmt.Sprintf("core: noise eps %v outside [0,1]", eps))
 	}
 	return &NoisyOracle{Oracle: o, Eps: eps}
+}
+
+// ForkModel implements Forkable. It must shadow the embedded Oracle's method:
+// promoting that one would silently drop the noise mixing from replicas.
+func (no *NoisyOracle) ForkModel() any {
+	return &NoisyOracle{Oracle: no.Oracle.Fork(), Eps: no.Eps}
 }
 
 // CondBatch mixes each oracle conditional with uniform.

@@ -4,6 +4,9 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/query"
 )
@@ -11,10 +14,19 @@ import (
 // Estimator is the queryable Naru estimator: a trained (or emulated)
 // autoregressive model plus the two querying algorithms of §5 — exact
 // enumeration for small regions and progressive sampling for everything else.
+//
+// The estimator is safe for concurrent use. Each query runs against a
+// scratch bundle (model replica + sampling buffers + its own RNG); models
+// implementing Forkable get a pool of replicas so queries proceed in
+// parallel, others are served behind a mutex. Every query draws a global
+// index from an atomic counter and seeds its RNG from (base seed, index), so
+// results are bit-identical however queries are spread across goroutines:
+// EstimateBatch on a fresh estimator returns exactly what sequential
+// EstimateRegion calls on a fresh estimator would.
 type Estimator struct {
 	model   Model
 	samples int
-	rng     *rand.Rand
+	seed    int64
 
 	// EnumThreshold is the query-region size (number of discrete points)
 	// up to which exact enumeration is used instead of sampling.
@@ -25,14 +37,31 @@ type Estimator struct {
 	// NewEstimatorWithOrder).
 	order []int
 
-	// lastStdErr is the Monte Carlo standard error of the most recent
-	// ProgressiveSample call; see LastStdErr.
-	lastStdErr float64
+	// nextQuery numbers queries across all goroutines; the number seeds the
+	// per-query RNG.
+	nextQuery atomic.Uint64
 
-	// scratch reused across queries
+	// lastStdErr is Float64bits of the Monte Carlo standard error of the
+	// most recent ProgressiveSample; see LastStdErr.
+	lastStdErr atomic.Uint64
+
+	forkable bool
+	pool     sync.Pool  // *scratch replicas, used when forkable
+	mu       sync.Mutex // guards primary otherwise
+	primary  *scratch
+}
+
+// scratch bundles everything one in-flight query needs: a model (the shared
+// one, or a Forkable replica), the per-path sampling buffers, and an RNG
+// reseeded deterministically at the start of each query.
+type scratch struct {
+	model   Model
+	rng     *rand.Rand
 	codes   []int32
 	weights []float64
+	lp      []float64
 	probs   [][]float64
+	valid   [][]int32 // per-column valid-code lists for the current query
 }
 
 // NewEstimator wraps a model with S progressive-sampling paths. Naru-1000,
@@ -42,26 +71,83 @@ func NewEstimator(m Model, samples int, seed int64) *Estimator {
 	if samples <= 0 {
 		panic("core: non-positive sample count")
 	}
+	e := &Estimator{
+		model:         m,
+		samples:       samples,
+		seed:          seed,
+		EnumThreshold: 3000,
+	}
+	if f, ok := m.(Forkable); ok {
+		if fm, ok := f.ForkModel().(Model); ok {
+			e.forkable = true
+			e.pool.New = func() any {
+				return e.newScratch(m.(Forkable).ForkModel().(Model))
+			}
+			e.pool.Put(e.newScratch(fm))
+		}
+	}
+	e.primary = e.newScratch(m)
+	if e.forkable {
+		// The primary scratch (wrapping the original model) joins the pool;
+		// Fork replicas and the original are interchangeable at inference.
+		e.pool.Put(e.primary)
+	}
+	return e
+}
+
+// newScratch allocates the per-query buffers around a model instance.
+func (e *Estimator) newScratch(m Model) *scratch {
 	maxDom := 0
 	for _, d := range m.DomainSizes() {
 		if d > maxDom {
 			maxDom = d
 		}
 	}
-	probs := make([][]float64, samples)
+	probs := make([][]float64, e.samples)
 	for i := range probs {
 		probs[i] = make([]float64, maxDom)
 	}
-	return &Estimator{
-		model:         m,
-		samples:       samples,
-		rng:           rand.New(rand.NewSource(seed)),
-		EnumThreshold: 3000,
-		codes:         make([]int32, samples*m.NumCols()),
-		weights:       make([]float64, samples),
-		probs:         probs,
+	return &scratch{
+		model:   m,
+		rng:     rand.New(rand.NewSource(e.seed)),
+		codes:   make([]int32, e.samples*m.NumCols()),
+		weights: make([]float64, e.samples),
+		lp:      make([]float64, e.samples),
+		probs:   probs,
 	}
 }
+
+// acquire checks a scratch out for one query; release returns it.
+func (e *Estimator) acquire() *scratch {
+	if e.forkable {
+		return e.pool.Get().(*scratch)
+	}
+	e.mu.Lock()
+	return e.primary
+}
+
+func (e *Estimator) release(sc *scratch) {
+	if e.forkable {
+		e.pool.Put(sc)
+		return
+	}
+	e.mu.Unlock()
+}
+
+// seedFor derives the RNG seed of query q from the base seed by a splitmix64
+// round, so consecutive queries get well-separated streams and a query's
+// randomness depends only on its global index.
+func (e *Estimator) seedFor(q uint64) int64 {
+	z := uint64(e.seed) + 0x9e3779b97f4a7c15*(q+1)
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	z ^= z >> 31
+	return int64(z)
+}
+
+func (e *Estimator) storeStdErr(v float64) { e.lastStdErr.Store(math.Float64bits(v)) }
 
 // Name identifies the estimator in result tables (e.g. "Naru-2000").
 func (e *Estimator) Name() string { return fmt.Sprintf("Naru-%d", e.samples) }
@@ -76,17 +162,73 @@ func (e *Estimator) SizeBytes() int64 { return e.model.SizeBytes() }
 // the compiled query region, dispatching between enumeration and progressive
 // sampling exactly as §5 prescribes.
 func (e *Estimator) EstimateRegion(reg *query.Region) float64 {
-	if len(reg.Cols) != e.model.NumCols() {
+	q := e.nextQuery.Add(1) - 1
+	sc := e.acquire()
+	defer e.release(sc)
+	return e.estimateAt(sc, reg, q)
+}
+
+// EstimateBatch estimates every region, fanning the queries across up to
+// workers goroutines (NumCPU when workers <= 0). Results are positionally
+// aligned with regions and bit-identical to what sequential EstimateRegion
+// calls on a fresh estimator with the same base seed would return.
+func (e *Estimator) EstimateBatch(regions []*query.Region, workers int) []float64 {
+	out := make([]float64, len(regions))
+	if len(regions) == 0 {
+		return out
+	}
+	base := e.nextQuery.Add(uint64(len(regions))) - uint64(len(regions))
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	if workers > len(regions) {
+		workers = len(regions)
+	}
+	if workers == 1 {
+		sc := e.acquire()
+		defer e.release(sc)
+		for i, reg := range regions {
+			out[i] = e.estimateAt(sc, reg, base+uint64(i))
+		}
+		return out
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(regions) {
+					return
+				}
+				sc := e.acquire()
+				out[i] = e.estimateAt(sc, regions[i], base+uint64(i))
+				e.release(sc)
+			}
+		}()
+	}
+	wg.Wait()
+	return out
+}
+
+// estimateAt runs one query, already assigned global index q, on scratch sc.
+func (e *Estimator) estimateAt(sc *scratch, reg *query.Region, q uint64) float64 {
+	if len(reg.Cols) != sc.model.NumCols() {
 		panic(fmt.Sprintf("core: region over %d columns, model has %d",
-			len(reg.Cols), e.model.NumCols()))
+			len(reg.Cols), sc.model.NumCols()))
 	}
 	if reg.IsEmpty() {
+		e.storeStdErr(0)
 		return 0
 	}
 	if size := e.regionSizeRestricted(reg); size <= e.EnumThreshold {
-		return e.Enumerate(reg)
+		sel := e.enumerate(sc, reg)
+		e.storeStdErr(0) // enumeration is exact with respect to the model
+		return sel
 	}
-	return e.ProgressiveSample(reg, e.samples)
+	return e.progressiveSample(sc, reg, e.samples, q)
 }
 
 // regionSizeRestricted is the number of model evaluations enumeration would
@@ -125,11 +267,39 @@ func regionSizeRestricted(reg *query.Region) float64 {
 	return size
 }
 
+// materializeValid fills sc.valid[i] with the sorted valid codes of model
+// position i for i < upTo, reusing the backing arrays across queries. The
+// per-column lists let the sampling loops touch exactly Count entries instead
+// of re-scanning the Valid bitmap for every sample path.
+func (e *Estimator) materializeValid(sc *scratch, reg *query.Region, upTo int) [][]int32 {
+	if cap(sc.valid) < upTo {
+		sc.valid = append(sc.valid[:cap(sc.valid)], make([][]int32, upTo-cap(sc.valid))...)
+	}
+	sc.valid = sc.valid[:upTo]
+	for i := 0; i < upTo; i++ {
+		cr := &reg.Cols[e.colAt(i)]
+		vs := sc.valid[i][:0]
+		for c, ok := range cr.Valid {
+			if ok {
+				vs = append(vs, int32(c))
+			}
+		}
+		sc.valid[i] = vs
+	}
+	return sc.valid
+}
+
 // Enumerate sums model point densities over every discrete point of the
 // query region (§5, "Enumeration"): exact with respect to the model. Columns
 // after the last restricted one are wildcards and marginalize to 1, so the
 // walk covers codes of columns [0, last] and sums chain-rule conditionals.
 func (e *Estimator) Enumerate(reg *query.Region) float64 {
+	sc := e.acquire()
+	defer e.release(sc)
+	return e.enumerate(sc, reg)
+}
+
+func (e *Estimator) enumerate(sc *scratch, reg *query.Region) float64 {
 	last := -1
 	for i := range reg.Cols {
 		if !reg.Cols[e.colAt(i)].IsAll() {
@@ -139,32 +309,20 @@ func (e *Estimator) Enumerate(reg *query.Region) float64 {
 	if last == -1 {
 		return 1 // no restrictions at all
 	}
-
-	// Materialize the valid codes per model position up to last.
-	valid := make([][]int32, last+1)
-	for i := 0; i <= last; i++ {
-		cr := &reg.Cols[e.colAt(i)]
-		vs := make([]int32, 0, cr.Count)
-		for c, ok := range cr.Valid {
-			if ok {
-				vs = append(vs, int32(c))
-			}
-		}
-		valid[i] = vs
-	}
+	valid := e.materializeValid(sc, reg, last+1)
 
 	// Walk the cross product in batches; for each point, accumulate the
 	// product of conditionals P̂(x_i | x_<i) for i ≤ last via one CondBatch
 	// pass per column over the batch.
-	n := e.model.NumCols()
+	n := sc.model.NumCols()
 	total := 0.0
 	points := make([]int32, 0, enumBatch*n)
+	row := make([]int32, n) // reused: appended by value into points
 	idx := make([]int, last+1)
 	done := false
 	for !done {
 		points = points[:0]
 		for len(points)/n < enumBatch && !done {
-			row := make([]int32, n)
 			for i := 0; i <= last; i++ {
 				row[i] = valid[i][idx[i]]
 			}
@@ -183,7 +341,7 @@ func (e *Estimator) Enumerate(reg *query.Region) float64 {
 				done = true
 			}
 		}
-		total += e.sumDensityPrefix(points, len(points)/n, last)
+		total += e.sumDensityPrefix(sc, points, len(points)/n, last)
 	}
 	return clampProb(total)
 }
@@ -191,19 +349,25 @@ func (e *Estimator) Enumerate(reg *query.Region) float64 {
 const enumBatch = 512
 
 // sumDensityPrefix returns Σ over the batch of Π_{i≤last} P̂(x_i | x_<i).
-func (e *Estimator) sumDensityPrefix(codes []int32, n, last int) float64 {
+func (e *Estimator) sumDensityPrefix(sc *scratch, codes []int32, n, last int) float64 {
 	if n == 0 {
 		return 0
 	}
-	lp := make([]float64, n)
-	if beg, ok := e.model.(SequentialModel); ok {
+	if cap(sc.lp) < n {
+		sc.lp = make([]float64, n)
+	}
+	lp := sc.lp[:n]
+	for i := range lp {
+		lp[i] = 0
+	}
+	if beg, ok := sc.model.(SequentialModel); ok {
 		beg.BeginSampling(n)
 	}
-	probs := e.probs
-	if n > len(probs) {
-		probs = make([][]float64, n)
+	if n > len(sc.probs) {
+		// Grow once and keep: batches above e.samples recur every call.
+		probs := make([][]float64, n)
 		maxDom := 0
-		for _, d := range e.model.DomainSizes() {
+		for _, d := range sc.model.DomainSizes() {
 			if d > maxDom {
 				maxDom = d
 			}
@@ -211,10 +375,12 @@ func (e *Estimator) sumDensityPrefix(codes []int32, n, last int) float64 {
 		for i := range probs {
 			probs[i] = make([]float64, maxDom)
 		}
+		sc.probs = probs
 	}
-	nc := e.model.NumCols()
+	probs := sc.probs
+	nc := sc.model.NumCols()
 	for col := 0; col <= last; col++ {
-		e.model.CondBatch(codes, n, col, probs[:n])
+		sc.model.CondBatch(codes, n, col, probs[:n])
 		for r := 0; r < n; r++ {
 			lp[r] += math.Log(probs[r][codes[r*nc+col]])
 		}
@@ -232,73 +398,83 @@ func (e *Estimator) sumDensityPrefix(codes []int32, n, last int) float64 {
 // of the per-column masses P̂(X_i ∈ Ri | x_<i) is the unbiased density
 // estimate (Theorem 1).
 func (e *Estimator) ProgressiveSample(reg *query.Region, s int) float64 {
+	q := e.nextQuery.Add(1) - 1
+	sc := e.acquire()
+	defer e.release(sc)
+	return e.progressiveSample(sc, reg, s, q)
+}
+
+func (e *Estimator) progressiveSample(sc *scratch, reg *query.Region, s int, q uint64) float64 {
 	if reg.IsEmpty() {
+		e.storeStdErr(0)
 		return 0 // an empty range has no valid code to steer toward
 	}
 	if s > e.samples {
 		s = e.samples
 	}
-	n := e.model.NumCols()
-	codes := e.codes[:s*n]
+	sc.rng.Seed(e.seedFor(q))
+	n := sc.model.NumCols()
+	codes := sc.codes[:s*n]
 	for i := range codes {
 		codes[i] = 0
 	}
-	weights := e.weights[:s]
+	weights := sc.weights[:s]
 	for i := range weights {
 		weights[i] = 1
 	}
-	if beg, ok := e.model.(SequentialModel); ok {
+	// Trailing wildcards integrate to exactly 1 under the chain rule (their
+	// conditionals sum out over the full domain), so the walk stops at the
+	// last restricted model position — the same cutoff enumeration uses. The
+	// skipped columns drew no mass and consumed RNG draws strictly after every
+	// restricted column's, so the estimate is unchanged. A fully wildcarded
+	// region falls straight through to mean weight 1.
+	last := -1
+	for i := 0; i < n; i++ {
+		if !reg.Cols[e.colAt(i)].IsAll() {
+			last = i
+		}
+	}
+	valid := e.materializeValid(sc, reg, last+1)
+	if beg, ok := sc.model.(SequentialModel); ok {
 		beg.BeginSampling(s)
 	}
-	for col := 0; col < n; col++ {
+	for col := 0; col <= last; col++ {
 		cr := &reg.Cols[e.colAt(col)]
-		e.model.CondBatch(codes, s, col, e.probs[:s])
+		vs := valid[col]
+		sc.model.CondBatch(codes, s, col, sc.probs[:s])
 		for r := 0; r < s; r++ {
 			if weights[r] == 0 {
 				// Dead path: keep its codes valid so later CondBatch calls
 				// stay well-defined, but it contributes nothing.
-				codes[r*n+col] = cr.Lo
+				codes[r*n+col] = vs[0]
 				continue
 			}
-			p := e.probs[r]
+			p := sc.probs[r]
 			var mass float64
 			if cr.IsAll() {
 				mass = 1
 			} else {
-				for v := int(cr.Lo); v < int(cr.Hi); v++ {
-					if cr.Valid[v] {
-						mass += p[v]
-					}
+				for _, v := range vs {
+					mass += p[v]
 				}
 			}
 			if mass <= 0 || math.IsNaN(mass) {
 				weights[r] = 0
-				codes[r*n+col] = cr.Lo
+				codes[r*n+col] = vs[0]
 				continue
 			}
 			weights[r] *= mass
 			// Draw x_col ~ P̂(X_col | X_col ∈ R_col, x_<col): inverse-CDF
-			// over the re-normalized in-range slice (Alg. 1 lines 12-15).
-			u := e.rng.Float64() * mass
+			// over the re-normalized in-range slice (Alg. 1 lines 12-15),
+			// falling back to the last valid code on numerical slack.
+			u := sc.rng.Float64() * mass
 			var cum float64
-			pick := int32(-1)
-			for v := int(cr.Lo); v < int(cr.Hi); v++ {
-				if !cr.Valid[v] {
-					continue
-				}
+			pick := vs[len(vs)-1]
+			for _, v := range vs {
 				cum += p[v]
 				if cum >= u {
-					pick = int32(v)
+					pick = v
 					break
-				}
-			}
-			if pick < 0 {
-				// Numerical slack: fall back to the last valid code.
-				for v := int(cr.Hi) - 1; v >= int(cr.Lo); v-- {
-					if cr.Valid[v] {
-						pick = int32(v)
-						break
-					}
 				}
 			}
 			codes[r*n+col] = pick
@@ -317,9 +493,9 @@ func (e *Estimator) ProgressiveSample(reg *query.Region, s int) float64 {
 		sq += d * d
 	}
 	if s > 1 {
-		e.lastStdErr = math.Sqrt(sq / float64(s-1) / float64(s))
+		e.storeStdErr(math.Sqrt(sq / float64(s-1) / float64(s)))
 	} else {
-		e.lastStdErr = 0
+		e.storeStdErr(0)
 	}
 	return clampProb(mean)
 }
@@ -327,15 +503,19 @@ func (e *Estimator) ProgressiveSample(reg *query.Region, s int) float64 {
 // LastStdErr returns the Monte Carlo standard error of the most recent
 // ProgressiveSample call: the sample standard deviation of the per-path
 // importance-weighted densities divided by √S. Zero after enumeration (which
-// is exact with respect to the model) or before any call.
-func (e *Estimator) LastStdErr() float64 { return e.lastStdErr }
+// is exact with respect to the model) or before any call. Under EstimateBatch
+// "most recent" is whichever query finished last; per-query errors need
+// sequential EstimateWithError calls.
+func (e *Estimator) LastStdErr() float64 {
+	return math.Float64frombits(e.lastStdErr.Load())
+}
 
 // EstimateWithError runs EstimateRegion and returns the estimate together
 // with its Monte Carlo standard error (0 when the enumeration path ran).
 func (e *Estimator) EstimateWithError(reg *query.Region) (sel, stderr float64) {
-	e.lastStdErr = 0
+	e.storeStdErr(0)
 	sel = e.EstimateRegion(reg)
-	return sel, e.lastStdErr
+	return sel, e.LastStdErr()
 }
 
 // UniformRegionSample is the §5.1 "first attempt" baseline: draw points
@@ -346,30 +526,26 @@ func (e *Estimator) UniformRegionSample(reg *query.Region, s int) float64 {
 	if reg.IsEmpty() {
 		return 0
 	}
-	n := e.model.NumCols()
+	q := e.nextQuery.Add(1) - 1
+	sc := e.acquire()
+	defer e.release(sc)
+	sc.rng.Seed(e.seedFor(q))
+	n := sc.model.NumCols()
 	if s > e.samples {
 		s = e.samples
 	}
-	codes := e.codes[:s*n]
-	// Materialize valid code lists once, in model order.
-	valid := make([][]int32, n)
-	for i := range valid {
-		cr := &reg.Cols[e.colAt(i)]
-		vs := make([]int32, 0, cr.Count)
-		for c, ok := range cr.Valid {
-			if ok {
-				vs = append(vs, int32(c))
-			}
-		}
-		valid[i] = vs
-	}
+	codes := sc.codes[:s*n]
+	valid := e.materializeValid(sc, reg, n)
 	for r := 0; r < s; r++ {
 		for i := 0; i < n; i++ {
-			codes[r*n+i] = valid[i][e.rng.Intn(len(valid[i]))]
+			codes[r*n+i] = valid[i][sc.rng.Intn(len(valid[i]))]
 		}
 	}
-	lp := make([]float64, s)
-	e.model.LogProbBatch(codes, s, lp)
+	if cap(sc.lp) < s {
+		sc.lp = make([]float64, s)
+	}
+	lp := sc.lp[:s]
+	sc.model.LogProbBatch(codes, s, lp)
 	var sum float64
 	for _, v := range lp {
 		sum += math.Exp(v)

@@ -1,0 +1,219 @@
+package made
+
+import (
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// Inference fast path. Progressive sampling calls CondBatch with col = 0, 1,
+// 2, ... over one fixed batch; between successive calls the only change to
+// the network input is that column col-1's block, previously zero, now holds
+// the freshly sampled codes. The masks bound how far that change can reach:
+// column i's input block has degree i+1, and a unit anywhere in the trunk
+// with degree d only sees inputs of degree <= d, so revealing column col-1
+// leaves every unit with degree < col bit-for-bit unchanged — in every layer.
+// New sorts each layer's degrees ascending, making the changed units a
+// contiguous suffix [hidStart[l][col], width), and the walk maintains the
+// per-layer post-ReLU activations by refreshing only those windows:
+//
+//	h1pre[:, s0:]  += W1[inOff:inOff+inW, s0:] · Δx      (delta, accumulated)
+//	post[0][:, s0:] = relu(h1pre[:, s0:])
+//	post[l][:, sl:] = relu(post[l-1] · Wl[:, sl:] + bl[sl:])   for l >= 1
+//
+// Only layer 1 needs the pre-activation cache (its input changes by a sparse
+// delta worth one Axpy per tuple); deeper layers rerun their window densely
+// through the packed column-sliced kernel, reading the already-current
+// post[l-1]. One-hot columns contribute a single weight row per tuple;
+// embedded columns contribute inW (=EmbedDim) rows scaled by the embedding
+// vector. The column's head slice and decode still run densely. The full
+// forward path is kept verbatim as the reference (and the fallback for
+// out-of-sequence calls); tests assert the two agree.
+
+// sampState tracks one in-flight sequential sampling walk.
+type sampState struct {
+	active  bool
+	n       int // batch size announced by BeginSampling
+	nextCol int // next column the walk must ask for
+
+	h1pre *tensor.Matrix   // n × W1 first-layer pre-activations (bias included)
+	post  []*tensor.Matrix // n × Wl post-ReLU activations, one per hidden layer
+}
+
+// inferScratch holds buffers reused across CondBatch calls. Everything here
+// is per-model state: replicas made with Fork get their own.
+type inferScratch struct {
+	head   *tensor.Matrix // column head-slice output
+	logits *tensor.Matrix // decoded logits for embedded columns
+}
+
+// BeginSampling implements core.SequentialModel: it arms the delta-forward
+// cache for a walk of columns 0..NumCols()-1 over a batch of n tuples.
+func (m *Model) BeginSampling(n int) {
+	L := len(m.trunk.Layers) / 2
+	if len(m.samp.post) != L || (n > 0 && m.samp.post[0].Rows != n) {
+		m.samp.post = make([]*tensor.Matrix, L)
+		for l := 0; l < L; l++ {
+			m.samp.post[l] = tensor.New(n, m.trunk.Layers[2*l].(*nn.Linear).W.Val.Cols)
+		}
+		m.samp.h1pre = tensor.New(n, m.samp.post[0].Cols)
+	}
+	// Column 0 sees an all-zero input, so every row of the batch starts from
+	// identical activations: run the trunk once over a single zero row (views
+	// into row 0 of the caches) and broadcast the result down the batch.
+	if n > 0 {
+		h1 := m.firstLinear()
+		row := m.rowView(m.samp.h1pre)
+		copy(row.Data, h1.B.Val.Data)
+		prev := m.rowView(m.samp.post[0])
+		for j, v := range row.Data {
+			if v > 0 {
+				prev.Data[j] = v
+			} else {
+				prev.Data[j] = 0
+			}
+		}
+		for l := 1; l < L; l++ {
+			lin := m.trunk.Layers[2*l].(*nn.Linear)
+			cur := m.rowView(m.samp.post[l])
+			tensor.LinearReLU(cur, prev, lin.W.Val, lin.B.Val.Data, true)
+			prev = cur
+		}
+		broadcastRow0(m.samp.h1pre)
+		for l := 0; l < L; l++ {
+			broadcastRow0(m.samp.post[l])
+		}
+	}
+	m.samp.active = true
+	m.samp.n = n
+	m.samp.nextCol = 0
+}
+
+// rowView wraps row 0 of mat as a 1×Cols matrix sharing its storage.
+func (m *Model) rowView(mat *tensor.Matrix) *tensor.Matrix {
+	return tensor.FromSlice(1, mat.Cols, mat.Data[:mat.Cols])
+}
+
+// broadcastRow0 copies row 0 of mat into every other row.
+func broadcastRow0(mat *tensor.Matrix) {
+	row0 := mat.Data[:mat.Cols]
+	for r := 1; r < mat.Rows; r++ {
+		copy(mat.Row(r), row0)
+	}
+}
+
+// firstLinear returns the trunk's first masked layer.
+func (m *Model) firstLinear() *nn.Linear { return m.trunk.Layers[0].(*nn.Linear) }
+
+// condIncremental advances the cached walk to col and writes the conditional
+// distributions. Caller guarantees col == m.samp.nextCol and n == m.samp.n.
+func (m *Model) condIncremental(codes []int32, n, col int, out [][]float64) {
+	L := len(m.samp.post)
+	if col > 0 {
+		// Fold the newly visible column col-1 (input degree col) into the
+		// layer-1 cache: only units with degree >= col can change, and the
+		// masked weights below s0 are exactly zero, so the suffix Axpy is
+		// bit-identical to the full-row one.
+		nc := len(m.domains)
+		c := &m.codecs[col-1]
+		w1 := m.firstLinear().W.Val
+		s0 := m.hidStart[0][col]
+		if s0 < m.samp.h1pre.Cols {
+			pre, post0 := m.samp.h1pre, m.samp.post[0]
+			tensor.ParallelFor(n, func(start, end int) {
+				for r := start; r < end; r++ {
+					dst := pre.Row(r)[s0:]
+					code := int(codes[r*nc+col-1])
+					if c.embedded {
+						e := c.emb.W.Val.Row(code)
+						for k := 0; k < c.inW; k++ {
+							if ek := e[k]; ek != 0 {
+								tensor.Axpy(ek, w1.Row(c.inOff+k)[s0:], dst)
+							}
+						}
+					} else {
+						tensor.Axpy(1, w1.Row(c.inOff+code)[s0:], dst)
+					}
+					po := post0.Row(r)[s0:]
+					for j, v := range dst {
+						if v > 0 {
+							po[j] = v
+						} else {
+							po[j] = 0
+						}
+					}
+				}
+			})
+		}
+		// Deeper layers: rerun just the changed window densely from the
+		// (already current) previous layer's activations.
+		for l := 1; l < L; l++ {
+			lin := m.trunk.Layers[2*l].(*nn.Linear)
+			tensor.LinearReLUCols(m.samp.post[l], m.samp.post[l-1],
+				lin.W.Val, lin.B.Val.Data, true, m.hidStart[l][col])
+		}
+	}
+	m.condFromHidden(m.samp.post[L-1], n, col, out)
+	m.samp.nextCol = col + 1
+}
+
+// trunkTail runs trunk layers after the first Linear+ReLU pair with the
+// fused inference kernels.
+func (m *Model) trunkTail(h *tensor.Matrix) *tensor.Matrix {
+	for i := 2; i < len(m.trunk.Layers); i += 2 {
+		h = m.trunk.Layers[i].(*nn.Linear).InferForward(h, true)
+	}
+	return h
+}
+
+// inferTrunk runs the whole trunk with fused kernels (full-forward inference
+// path; training keeps trunk.Forward so activations are cached for backward).
+func (m *Model) inferTrunk(x *tensor.Matrix) *tensor.Matrix {
+	h := m.firstLinear().InferForward(x, true)
+	return m.trunkTail(h)
+}
+
+// condFromHidden decodes column col's conditionals from the final hidden
+// activations: the column's head slice, the embedding-reuse product when the
+// column has one, and a row softmax.
+func (m *Model) condFromHidden(h *tensor.Matrix, n, col int, out [][]float64) {
+	c := &m.codecs[col]
+	block := m.headBlock(h, n, col)
+	if c.dec == nil {
+		for r := 0; r < n; r++ {
+			nn.Softmax(block.Row(r), out[r][:c.domain])
+		}
+		return
+	}
+	// logits = block · Eᵀ  (n×h by h×|Ai|), batched through the packed GEMM
+	// instead of per-row dot products.
+	if m.infer.logits == nil || m.infer.logits.Rows != n || m.infer.logits.Cols != c.domain {
+		m.infer.logits = tensor.New(n, c.domain)
+	}
+	tensor.MatMulTransB(m.infer.logits, block, c.dec.Val, false)
+	for r := 0; r < n; r++ {
+		nn.Softmax(m.infer.logits.Row(r), out[r][:c.domain])
+	}
+}
+
+// Fork returns a replica that shares every parameter with m but owns its own
+// activation scratch and sampling state, so replicas can serve CondBatch and
+// LogProbBatch concurrently (one replica per goroutine). Forks are for
+// inference: training through a fork corrupts the shared gradients.
+func (m *Model) Fork() *Model {
+	f := &Model{
+		cfg:      m.cfg,
+		domains:  m.domains,
+		codecs:   append([]colCodec(nil), m.codecs...),
+		inDim:    m.inDim,
+		headDim:  m.headDim,
+		trunk:    m.trunk.ShareWeights(),
+		head:     m.head.ShareWeights(),
+		params:   m.params,
+		hidStart: m.hidStart,
+	}
+	return f
+}
+
+// ForkModel implements core.Forkable (returning any keeps this package from
+// importing core; the estimator asserts the replica back to core.Model).
+func (m *Model) ForkModel() any { return m.Fork() }

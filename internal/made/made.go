@@ -18,6 +18,7 @@ package made
 import (
 	"fmt"
 	"math/rand"
+	"sort"
 
 	"repro/internal/nn"
 	"repro/internal/tensor"
@@ -74,11 +75,22 @@ type Model struct {
 	trunk *nn.Sequential // masked hidden stack ending in ReLU
 	head  *nn.Linear     // masked projection to the concatenated head blocks
 
+	// hidStart[l][d] is the first unit of hidden layer l whose degree is >= d
+	// (== the layer width when none is). Degrees are sorted ascending within
+	// each layer, so the units column i can influence form the suffix
+	// [hidStart[l][i+1], width) — the delta-forward path recomputes only that
+	// window per layer (infer.go).
+	hidStart [][]int
+
 	params []*nn.Param
 
 	// scratch, reused across calls; Model is not safe for concurrent use.
+	// Use Fork to serve queries from multiple goroutines.
 	x, dx *tensor.Matrix
 	dHead *tensor.Matrix
+
+	samp  sampState    // delta-forward cache for sequential sampling (infer.go)
+	infer inferScratch // inference buffers reused across CondBatch calls
 }
 
 // New builds a MADE model for the given per-column domain sizes.
@@ -128,7 +140,11 @@ func New(domains []int, cfg Config) *Model {
 
 	// Degree assignment. Input block for column i has degree i+1; hidden
 	// units cycle through degrees 1..n-1 (or a single degree for n == 1,
-	// where hidden units can never legally feed any output).
+	// where hidden units can never legally feed any output). Each layer's
+	// degrees are then sorted ascending — a pure permutation of units, so the
+	// expressible functions are unchanged, but the units affected by any
+	// input column become a contiguous suffix, which the delta-forward path
+	// exploits (infer.go).
 	n := len(domains)
 	hiddenDegrees := func(width int) []int {
 		ds := make([]int, width)
@@ -139,6 +155,7 @@ func New(domains []int, cfg Config) *Model {
 		for j := range ds {
 			ds[j] = j%span + 1
 		}
+		sort.Ints(ds)
 		return ds
 	}
 	inDeg := make([]int, m.inDim)
@@ -165,6 +182,11 @@ func New(domains []int, cfg Config) *Model {
 		layers = append(layers,
 			nn.NewMaskedLinear(fmt.Sprintf("h%d", li), prevW, hw, mask, rng),
 			&nn.ReLU{})
+		starts := make([]int, n+2)
+		for d := 0; d <= n+1; d++ {
+			starts[d] = sort.SearchInts(deg, d)
+		}
+		m.hidStart = append(m.hidStart, starts)
 		prevDeg, prevW = deg, hw
 	}
 	m.trunk = &nn.Sequential{Layers: layers}
@@ -288,6 +310,7 @@ func (m *Model) TrainStep(codes []int32, n int, opt *nn.Adam) float64 {
 	if n == 0 {
 		return 0
 	}
+	m.samp.active = false // parameters are about to change; drop the delta cache
 	for _, p := range m.params {
 		p.ZeroGrad()
 	}
@@ -373,23 +396,14 @@ func (m *Model) CondBatch(codes []int32, n int, col int, out [][]float64) {
 	if col < 0 || col >= len(m.domains) {
 		panic(fmt.Sprintf("made: CondBatch column %d of %d", col, len(m.domains)))
 	}
-	m.encode(codes, n, col)
-	h := m.trunk.Forward(m.x)
-	c := &m.codecs[col]
-	block := m.headBlock(h, n, col)
-	if c.dec == nil {
-		for r := 0; r < n; r++ {
-			nn.Softmax(block.Row(r), out[r][:c.domain])
-		}
+	if m.samp.active && n == m.samp.n && col == m.samp.nextCol {
+		m.condIncremental(codes, n, col, out)
 		return
 	}
-	buf := make([]float32, c.domain)
-	for r := 0; r < n; r++ {
-		for v := 0; v < c.domain; v++ {
-			buf[v] = tensor.Dot(block.Row(r), c.dec.Val.Row(v))
-		}
-		nn.Softmax(buf, out[r][:c.domain])
-	}
+	m.samp.active = false // out-of-sequence call: the delta cache is stale
+	m.encode(codes, n, col)
+	h := m.inferTrunk(m.x)
+	m.condFromHidden(h, n, col, out)
 }
 
 // headBlock computes only column col's slice of the head layer over the
@@ -397,7 +411,10 @@ func (m *Model) CondBatch(codes []int32, n int, col int, out [][]float64) {
 func (m *Model) headBlock(h *tensor.Matrix, n, col int) *tensor.Matrix {
 	c := &m.codecs[col]
 	w, off := c.headW, c.headOff
-	out := tensor.New(n, w)
+	if m.infer.head == nil || m.infer.head.Rows != n || m.infer.head.Cols != w {
+		m.infer.head = tensor.New(n, w)
+	}
+	out := m.infer.head
 	wVal := m.head.W.Val
 	bias := m.head.B.Val.Data[off : off+w]
 	tensor.ParallelFor(n, func(s, e int) {
@@ -419,6 +436,7 @@ func (m *Model) headBlock(h *tensor.Matrix, n, col int) *tensor.Matrix {
 // LogProbBatch writes log P̂(x) (nats) for each of n full tuples into dst.
 // One forward pass yields all per-column conditionals (Eq. 1).
 func (m *Model) LogProbBatch(codes []int32, n int, dst []float64) {
+	m.samp.active = false
 	m.encode(codes, n, len(m.domains))
 	headOut := m.forward()
 	nc := len(m.domains)

@@ -22,10 +22,11 @@ type Layer interface {
 type Linear struct {
 	W, B *Param
 
-	x    *tensor.Matrix // cached input
-	out  *tensor.Matrix
-	dIn  *tensor.Matrix
-	name string
+	x        *tensor.Matrix // cached input
+	out      *tensor.Matrix
+	dIn      *tensor.Matrix
+	inferOut *tensor.Matrix // InferForward scratch, separate from the training cache
+	name     string
 }
 
 // NewLinear allocates a Linear layer with Kaiming-uniform weights.
@@ -86,6 +87,27 @@ func (l *Linear) Backward(dOut *tensor.Matrix) *tensor.Matrix {
 // Params returns the layer's weight and bias.
 func (l *Linear) Params() []*Param { return []*Param{l.W, l.B} }
 
+// InferForward is the inference-only forward pass: Y = X·W + b with an
+// optional fused ReLU, computed by the packed GEMM in one sweep over the
+// output instead of Forward's three (product, bias add, activation). It does
+// not cache the input, so Backward must not be called after it; training
+// keeps using Forward.
+func (l *Linear) InferForward(x *tensor.Matrix, relu bool) *tensor.Matrix {
+	if l.inferOut == nil || l.inferOut.Rows != x.Rows {
+		l.inferOut = tensor.New(x.Rows, l.W.Val.Cols)
+	}
+	tensor.LinearReLU(l.inferOut, x, l.W.Val, l.B.Val.Data, relu)
+	return l.inferOut
+}
+
+// ShareWeights returns a Linear sharing l's parameters (weights, bias, mask)
+// with fresh activation scratch, so replicas can run forward passes
+// concurrently. Gradients still accumulate into the shared Param structs:
+// replicas are for inference, not concurrent training.
+func (l *Linear) ShareWeights() *Linear {
+	return &Linear{W: l.W, B: l.B, name: l.name}
+}
+
 // ReLU is the rectified-linear activation.
 type ReLU struct {
 	out *tensor.Matrix
@@ -139,6 +161,25 @@ func (s *Sequential) Backward(dOut *tensor.Matrix) *tensor.Matrix {
 		dOut = s.Layers[i].Backward(dOut)
 	}
 	return dOut
+}
+
+// ShareWeights returns a Sequential whose layers share parameters with s but
+// own fresh activation scratch — the building block for weight-sharing model
+// replicas served concurrently. Only Linear and ReLU layers (the trunk
+// vocabulary) are supported.
+func (s *Sequential) ShareWeights() *Sequential {
+	out := make([]Layer, len(s.Layers))
+	for i, l := range s.Layers {
+		switch l := l.(type) {
+		case *Linear:
+			out[i] = l.ShareWeights()
+		case *ReLU:
+			out[i] = &ReLU{}
+		default:
+			panic(fmt.Sprintf("nn: ShareWeights does not support %T", l))
+		}
+	}
+	return &Sequential{Layers: out}
 }
 
 // Params concatenates the parameters of every layer.

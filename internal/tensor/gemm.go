@@ -41,13 +41,31 @@ func ParallelFor(n int, fn func(start, end int)) {
 	wg.Wait()
 }
 
+// packedMinWork is the multiply-add count above which packing B pays for
+// itself; below it the pack pass dominates the product.
+const packedMinWork = 1 << 15
+
+// packedDensityCutoff is the nonzero fraction of A above which the dense
+// packed kernel beats the sparse-skipping i-k-j kernel. One-hot encoded
+// batches sit far below it; hidden activations sit above.
+const packedDensityCutoff = 0.25
+
 // MatMul computes C = A·B, or C += A·B when accumulate is true. A is m×k,
-// B is k×n, C must be m×n. The inner loops use the i-k-j ordering so both B
-// and C are streamed row-wise, and rows of A are processed in parallel.
+// B is k×n, C must be m×n. Large dense products are routed through the
+// packed register-tiled kernel (packed.go); sparse or tiny ones fall back to
+// the i-k-j ordering, which streams B and C row-wise and skips zero elements
+// of A (one-hot inputs make A very sparse).
 func MatMul(c, a, b *Matrix, accumulate bool) {
 	if a.Cols != b.Rows || c.Rows != a.Rows || c.Cols != b.Cols {
 		panic(fmt.Sprintf("tensor: MatMul shape mismatch (%d×%d)·(%d×%d)→(%d×%d)",
 			a.Rows, a.Cols, b.Rows, b.Cols, c.Rows, c.Cols))
+	}
+	if a.Rows >= packMR && a.Rows*a.Cols*b.Cols >= packedMinWork && density(a) >= packedDensityCutoff {
+		pb := packPool.Get().(*PackedB)
+		pb.Pack(b)
+		MatMulPacked(c, a, pb, nil, false, accumulate)
+		packPool.Put(pb)
+		return
 	}
 	body := func(start, end int) {
 		for i := start; i < end; i++ {
@@ -82,6 +100,16 @@ func MatMulTransB(c, a, b *Matrix, accumulate bool) {
 	if a.Cols != b.Cols || c.Rows != a.Rows || c.Cols != b.Rows {
 		panic(fmt.Sprintf("tensor: MatMulTransB shape mismatch (%d×%d)·(%d×%d)ᵀ→(%d×%d)",
 			a.Rows, a.Cols, b.Rows, b.Cols, c.Rows, c.Cols))
+	}
+	// The naive path cannot skip zeros (it computes full dot products), so
+	// any large product benefits from the packed kernel; packing Bᵀ costs one
+	// strided read of B, amortized over the row count of A.
+	if a.Rows >= 2*packMR && a.Rows*a.Cols*b.Rows >= packedMinWork {
+		pb := packPool.Get().(*PackedB)
+		pb.PackTrans(b)
+		MatMulPacked(c, a, pb, nil, false, accumulate)
+		packPool.Put(pb)
+		return
 	}
 	body := func(start, end int) {
 		for i := start; i < end; i++ {

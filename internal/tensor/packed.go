@@ -1,0 +1,310 @@
+package tensor
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Packed, register-tiled GEMM. The naive i-k-j product in gemm.go streams B
+// row by row and touches C once per (k, j) pair; profitable only when A is
+// very sparse (one-hot encodings). For the dense products that dominate
+// inference — hidden-layer activations times 128×128 weight blocks — the
+// kernels below first pack B into contiguous column panels of width packNR,
+// then drive a packMR×packNR micro-kernel whose accumulators live in
+// registers, so each element of C is written exactly once and each panel of B
+// is read sequentially for every row band of A. An optional epilogue fuses
+// the bias add and ReLU into the same sweep, turning the three memory passes
+// of Linear→bias→ReLU into one.
+
+const (
+	packMR = 4 // rows of A per micro-kernel invocation
+	packNR = 4 // columns of B per panel
+)
+
+// PackedB is matrix B repacked for the micro-kernel: column panels of width
+// packNR, each panel holding its K rows contiguously, zero-padded on the last
+// panel. Packing costs O(K·N) and is amortized over the O(M·K·N) product.
+type PackedB struct {
+	K, N int
+	data []float32
+}
+
+// panels returns the number of packNR-wide column panels.
+func (pb *PackedB) panels() int { return (pb.N + packNR - 1) / packNR }
+
+// reserve sizes the backing array for a K×N source, reusing capacity.
+func (pb *PackedB) reserve(k, n int) {
+	pb.K, pb.N = k, n
+	need := pb.panels() * k * packNR
+	if cap(pb.data) < need {
+		pb.data = make([]float32, need)
+	}
+	pb.data = pb.data[:need]
+}
+
+// Pack fills pb from B (K×N, row-major), reusing pb's storage when possible.
+func (pb *PackedB) Pack(b *Matrix) { pb.PackCols(b, 0) }
+
+// PackCols fills pb from the column suffix B[:, j0:], so a product against pb
+// yields only output columns j0 and up. This is the delta-forward primitive:
+// degree-sorted masked layers change only a suffix of their units per
+// sampling step, and packing just that suffix keeps the per-step GEMM
+// proportional to the changed width.
+func (pb *PackedB) PackCols(b *Matrix, j0 int) {
+	if j0 < 0 || j0 > b.Cols {
+		panic(fmt.Sprintf("tensor: PackCols offset %d of %d columns", j0, b.Cols))
+	}
+	pb.reserve(b.Rows, b.Cols-j0)
+	k, stride, n := b.Rows, b.Cols, pb.N
+	for p := 0; p < pb.panels(); p++ {
+		pj := p * packNR
+		nj := n - pj
+		if nj > packNR {
+			nj = packNR
+		}
+		dst := pb.data[p*k*packNR:]
+		for r := 0; r < k; r++ {
+			src := b.Data[r*stride+j0+pj:]
+			d := dst[r*packNR : r*packNR+packNR]
+			for j := 0; j < nj; j++ {
+				d[j] = src[j]
+			}
+			for j := nj; j < packNR; j++ {
+				d[j] = 0
+			}
+		}
+	}
+}
+
+// PackTrans fills pb with Bᵀ: the logical operand is the transpose of the
+// stored n×k matrix b, so panel column j is row j0+j of b. This is the decode
+// and dX=dY·Wᵀ layout, replacing MatMulTransB's per-element dot products.
+func (pb *PackedB) PackTrans(b *Matrix) {
+	pb.reserve(b.Cols, b.Rows)
+	k, n := b.Cols, b.Rows // logical dims of Bᵀ
+	for p := 0; p < pb.panels(); p++ {
+		j0 := p * packNR
+		nj := n - j0
+		if nj > packNR {
+			nj = packNR
+		}
+		dst := pb.data[p*k*packNR:]
+		for j := 0; j < nj; j++ {
+			src := b.Data[(j0+j)*k : (j0+j+1)*k]
+			for r := 0; r < k; r++ {
+				dst[r*packNR+j] = src[r]
+			}
+		}
+		if nj < packNR {
+			for r := 0; r < k; r++ {
+				for j := nj; j < packNR; j++ {
+					dst[r*packNR+j] = 0
+				}
+			}
+		}
+	}
+}
+
+// packPool recycles pack buffers for the transient packings done inside
+// MatMul/MatMulTransB dispatch, keeping the fast path allocation-free.
+var packPool = sync.Pool{New: func() any { return new(PackedB) }}
+
+// MatMulPacked computes C = A·B from a pre-packed B, with an optional fused
+// epilogue: when bias is non-nil it is broadcast-added to every row, and when
+// relu is true negative results are clamped to zero in the same sweep.
+// accumulate adds into C instead of overwriting; it cannot be combined with
+// the epilogue (no caller needs that, and the combination is ambiguous).
+func MatMulPacked(c, a *Matrix, pb *PackedB, bias []float32, relu, accumulate bool) {
+	if c.Cols != pb.N {
+		panic(fmt.Sprintf("tensor: MatMulPacked C has %d columns, packed B has %d", c.Cols, pb.N))
+	}
+	matMulPackedAt(c, a, pb, bias, relu, accumulate, 0)
+}
+
+// matMulPackedAt writes the product into the column window C[:, cOff:cOff+pb.N],
+// leaving the columns outside the window untouched. bias, when present, covers
+// just the window (pb.N entries).
+func matMulPackedAt(c, a *Matrix, pb *PackedB, bias []float32, relu, accumulate bool, cOff int) {
+	if a.Cols != pb.K || c.Rows != a.Rows || cOff < 0 || cOff+pb.N > c.Cols {
+		panic(fmt.Sprintf("tensor: MatMulPacked shape mismatch (%d×%d)·(%d×%d)→(%d×%d)+%d",
+			a.Rows, a.Cols, pb.K, pb.N, c.Rows, c.Cols, cOff))
+	}
+	if accumulate && (bias != nil || relu) {
+		panic("tensor: MatMulPacked cannot combine accumulate with a bias/ReLU epilogue")
+	}
+	if bias != nil && len(bias) != pb.N {
+		panic(fmt.Sprintf("tensor: MatMulPacked bias length %d for %d columns", len(bias), pb.N))
+	}
+	body := func(start, end int) {
+		packedBody(c, a, pb, bias, relu, accumulate, cOff, start, end)
+	}
+	if a.Rows*a.Cols*pb.N < parallelThreshold {
+		body(0, a.Rows)
+		return
+	}
+	ParallelFor(a.Rows, body)
+}
+
+// packedBody runs the micro-kernel over rows [start, end) of A.
+func packedBody(c, a *Matrix, pb *PackedB, bias []float32, relu, accumulate bool, cOff, start, end int) {
+	k, n := pb.K, pb.N
+	nPanels := pb.panels()
+	i := start
+	for ; i+packMR <= end; i += packMR {
+		a0 := a.Data[i*k : (i+1)*k]
+		a1 := a.Data[(i+1)*k : (i+2)*k]
+		a2 := a.Data[(i+2)*k : (i+3)*k]
+		a3 := a.Data[(i+3)*k : (i+4)*k]
+		for p := 0; p < nPanels; p++ {
+			j0 := p * packNR
+			nj := n - j0
+			if nj > packNR {
+				nj = packNR
+			}
+			panel := pb.data[p*k*packNR : (p*k+k)*packNR]
+			// 4×4 register tile.
+			var c00, c01, c02, c03 float32
+			var c10, c11, c12, c13 float32
+			var c20, c21, c22, c23 float32
+			var c30, c31, c32, c33 float32
+			for kk := 0; kk < k; kk++ {
+				b0 := panel[kk*packNR]
+				b1 := panel[kk*packNR+1]
+				b2 := panel[kk*packNR+2]
+				b3 := panel[kk*packNR+3]
+				v0, v1, v2, v3 := a0[kk], a1[kk], a2[kk], a3[kk]
+				c00 += v0 * b0
+				c01 += v0 * b1
+				c02 += v0 * b2
+				c03 += v0 * b3
+				c10 += v1 * b0
+				c11 += v1 * b1
+				c12 += v1 * b2
+				c13 += v1 * b3
+				c20 += v2 * b0
+				c21 += v2 * b1
+				c22 += v2 * b2
+				c23 += v2 * b3
+				c30 += v3 * b0
+				c31 += v3 * b1
+				c32 += v3 * b2
+				c33 += v3 * b3
+			}
+			var tile [packMR * packNR]float32
+			tile[0], tile[1], tile[2], tile[3] = c00, c01, c02, c03
+			tile[4], tile[5], tile[6], tile[7] = c10, c11, c12, c13
+			tile[8], tile[9], tile[10], tile[11] = c20, c21, c22, c23
+			tile[12], tile[13], tile[14], tile[15] = c30, c31, c32, c33
+			storeTile(c, tile[:], i, packMR, cOff+j0, j0, nj, bias, relu, accumulate)
+		}
+	}
+	// Remainder rows: 1×4 kernel.
+	for ; i < end; i++ {
+		ai := a.Data[i*k : (i+1)*k]
+		for p := 0; p < nPanels; p++ {
+			j0 := p * packNR
+			nj := n - j0
+			if nj > packNR {
+				nj = packNR
+			}
+			panel := pb.data[p*k*packNR : (p*k+k)*packNR]
+			var c0, c1, c2, c3 float32
+			for kk := 0; kk < k; kk++ {
+				v := ai[kk]
+				c0 += v * panel[kk*packNR]
+				c1 += v * panel[kk*packNR+1]
+				c2 += v * panel[kk*packNR+2]
+				c3 += v * panel[kk*packNR+3]
+			}
+			var tile [packNR]float32
+			tile[0], tile[1], tile[2], tile[3] = c0, c1, c2, c3
+			storeTile(c, tile[:], i, 1, cOff+j0, j0, nj, bias, relu, accumulate)
+		}
+	}
+}
+
+// storeTile writes an mr×nj register tile into C at (i0, cj0), applying the
+// epilogue; j0 indexes the tile's columns within the packed operand (and its
+// bias), which differ from C's columns when the product targets a window.
+func storeTile(c *Matrix, tile []float32, i0, mr, cj0, j0, nj int, bias []float32, relu, accumulate bool) {
+	for r := 0; r < mr; r++ {
+		dst := c.Data[(i0+r)*c.Cols+cj0 : (i0+r)*c.Cols+cj0+nj]
+		src := tile[r*packNR : r*packNR+nj]
+		switch {
+		case accumulate:
+			for j := range dst {
+				dst[j] += src[j]
+			}
+		case bias != nil && relu:
+			for j := range dst {
+				v := src[j] + bias[j0+j]
+				if v < 0 {
+					v = 0
+				}
+				dst[j] = v
+			}
+		case bias != nil:
+			for j := range dst {
+				dst[j] = src[j] + bias[j0+j]
+			}
+		case relu:
+			for j := range dst {
+				v := src[j]
+				if v < 0 {
+					v = 0
+				}
+				dst[j] = v
+			}
+		default:
+			copy(dst, src)
+		}
+	}
+}
+
+// LinearReLU computes C = A·B + bias with an optional fused ReLU in a single
+// sweep over C, packing B into a pooled buffer. This is the inference-path
+// primitive behind nn.Linear: one call replaces MatMul + bias Axpy + ReLU.
+func LinearReLU(c, a, b *Matrix, bias []float32, relu bool) {
+	pb := packPool.Get().(*PackedB)
+	pb.Pack(b)
+	MatMulPacked(c, a, pb, bias, relu, false)
+	packPool.Put(pb)
+}
+
+// LinearReLUCols computes only the column window C[:, j0:] = A·B[:, j0:] +
+// bias[j0:] (optionally ReLU-fused), leaving columns below j0 untouched. C and
+// bias span B's full column count; j0 = 0 degenerates to LinearReLU and
+// j0 >= B.Cols is a no-op. Delta-forward sampling uses this to refresh just
+// the suffix of hidden units whose degree admits the newly revealed column.
+func LinearReLUCols(c, a, b *Matrix, bias []float32, relu bool, j0 int) {
+	if j0 <= 0 {
+		LinearReLU(c, a, b, bias, relu)
+		return
+	}
+	if j0 >= b.Cols {
+		return
+	}
+	pb := packPool.Get().(*PackedB)
+	pb.PackCols(b, j0)
+	var bw []float32
+	if bias != nil {
+		bw = bias[j0:]
+	}
+	matMulPackedAt(c, a, pb, bw, relu, false, j0)
+	packPool.Put(pb)
+}
+
+// density returns the fraction of nonzero entries of A, the dispatch signal
+// between the sparse-skipping naive kernel and the packed dense kernel.
+func density(a *Matrix) float64 {
+	if len(a.Data) == 0 {
+		return 0
+	}
+	nz := 0
+	for _, v := range a.Data {
+		if v != 0 {
+			nz++
+		}
+	}
+	return float64(nz) / float64(len(a.Data))
+}

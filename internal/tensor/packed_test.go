@@ -1,0 +1,215 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// refMatMul is the reference product the packed kernel is checked against.
+func refMatMul(c, a, b *Matrix, accumulate bool) {
+	for i := 0; i < a.Rows; i++ {
+		for j := 0; j < b.Cols; j++ {
+			var s float32
+			for k := 0; k < a.Cols; k++ {
+				s += a.At(i, k) * b.At(k, j)
+			}
+			if accumulate {
+				c.Set(i, j, c.At(i, j)+s)
+			} else {
+				c.Set(i, j, s)
+			}
+		}
+	}
+}
+
+func randomMatrix(rng *rand.Rand, rows, cols int) *Matrix {
+	m := New(rows, cols)
+	m.Randn(rng, 1)
+	return m
+}
+
+func maxAbsDiff(a, b *Matrix) float64 {
+	var mx float64
+	for i := range a.Data {
+		if d := math.Abs(float64(a.Data[i] - b.Data[i])); d > mx {
+			mx = d
+		}
+	}
+	return mx
+}
+
+// TestMatMulPackedMatchesNaive sweeps shapes that exercise every remainder
+// path of the micro-kernel (row bands, tail panels, tiny K).
+func TestMatMulPackedMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	shapes := [][3]int{
+		{1, 1, 1}, {3, 5, 7}, {4, 4, 4}, {5, 3, 9}, {8, 128, 128},
+		{13, 17, 19}, {64, 33, 31}, {100, 1, 6}, {2, 64, 65},
+	}
+	for _, sh := range shapes {
+		m, k, n := sh[0], sh[1], sh[2]
+		a := randomMatrix(rng, m, k)
+		b := randomMatrix(rng, k, n)
+		want := New(m, n)
+		refMatMul(want, a, b, false)
+
+		var pb PackedB
+		pb.Pack(b)
+		got := New(m, n)
+		MatMulPacked(got, a, &pb, nil, false, false)
+		if d := maxAbsDiff(got, want); d > 1e-4 {
+			t.Fatalf("%dx%dx%d: packed differs from naive by %g", m, k, n, d)
+		}
+
+		// Accumulate path.
+		got2 := randomMatrix(rng, m, n)
+		want2 := got2.Clone()
+		refMatMul(want2, a, b, true)
+		MatMulPacked(got2, a, &pb, nil, false, true)
+		if d := maxAbsDiff(got2, want2); d > 1e-4 {
+			t.Fatalf("%dx%dx%d: packed accumulate differs by %g", m, k, n, d)
+		}
+	}
+}
+
+// TestMatMulPackedEpilogue checks the fused bias and bias+ReLU epilogues.
+func TestMatMulPackedEpilogue(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for _, sh := range [][3]int{{6, 10, 9}, {17, 32, 30}, {4, 8, 4}} {
+		m, k, n := sh[0], sh[1], sh[2]
+		a := randomMatrix(rng, m, k)
+		b := randomMatrix(rng, k, n)
+		bias := make([]float32, n)
+		for i := range bias {
+			bias[i] = float32(rng.NormFloat64())
+		}
+		want := New(m, n)
+		refMatMul(want, a, b, false)
+		for r := 0; r < m; r++ {
+			row := want.Row(r)
+			for j := range row {
+				row[j] += bias[j]
+			}
+		}
+		got := New(m, n)
+		LinearReLU(got, a, b, bias, false)
+		if d := maxAbsDiff(got, want); d > 1e-4 {
+			t.Fatalf("%v: bias epilogue differs by %g", sh, d)
+		}
+
+		for _, row := range [][]float32{want.Data} {
+			for j, v := range row {
+				if v < 0 {
+					row[j] = 0
+				}
+			}
+		}
+		LinearReLU(got, a, b, bias, true)
+		if d := maxAbsDiff(got, want); d > 1e-4 {
+			t.Fatalf("%v: bias+ReLU epilogue differs by %g", sh, d)
+		}
+	}
+}
+
+// TestPackTransMatchesTransB checks that PackTrans + packed kernel agrees
+// with the definition C = A·Bᵀ.
+func TestPackTransMatchesTransB(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for _, sh := range [][3]int{{5, 7, 3}, {16, 64, 50}, {33, 31, 9}} {
+		m, k, n := sh[0], sh[1], sh[2]
+		a := randomMatrix(rng, m, k)
+		b := randomMatrix(rng, n, k) // stored n×k; logical operand is Bᵀ (k×n)
+		want := New(m, n)
+		for i := 0; i < m; i++ {
+			for j := 0; j < n; j++ {
+				var s float32
+				for kk := 0; kk < k; kk++ {
+					s += a.At(i, kk) * b.At(j, kk)
+				}
+				want.Set(i, j, s)
+			}
+		}
+		var pb PackedB
+		pb.PackTrans(b)
+		got := New(m, n)
+		MatMulPacked(got, a, &pb, nil, false, false)
+		if d := maxAbsDiff(got, want); d > 1e-4 {
+			t.Fatalf("%v: PackTrans product differs by %g", sh, d)
+		}
+	}
+}
+
+// TestMatMulDispatchEquivalence drives the public MatMul/MatMulTransB over
+// sizes straddling the packed-dispatch threshold and checks both routes give
+// the same answer.
+func TestMatMulDispatchEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	for _, sh := range [][3]int{{4, 16, 16}, {64, 64, 64}, {200, 128, 96}} {
+		m, k, n := sh[0], sh[1], sh[2]
+		a := randomMatrix(rng, m, k)
+		b := randomMatrix(rng, k, n)
+		want := New(m, n)
+		refMatMul(want, a, b, false)
+		got := New(m, n)
+		MatMul(got, a, b, false)
+		if d := maxAbsDiff(got, want); d > 1e-3 {
+			t.Fatalf("MatMul %v differs from naive by %g", sh, d)
+		}
+
+		bt := randomMatrix(rng, n, k)
+		wantT := New(m, n)
+		for i := 0; i < m; i++ {
+			for j := 0; j < n; j++ {
+				var s float32
+				for kk := 0; kk < k; kk++ {
+					s += a.At(i, kk) * bt.At(j, kk)
+				}
+				wantT.Set(i, j, s)
+			}
+		}
+		gotT := New(m, n)
+		MatMulTransB(gotT, a, bt, false)
+		if d := maxAbsDiff(gotT, wantT); d > 1e-3 {
+			t.Fatalf("MatMulTransB %v differs from naive by %g", sh, d)
+		}
+	}
+}
+
+// TestLinearReLUCols checks the column-window product against running the
+// full fused kernel and splicing: columns below j0 must be untouched, columns
+// at and above j0 must match the full product bitwise (same kernel, same
+// operand panels).
+func TestLinearReLUCols(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for _, sh := range [][3]int{{5, 12, 11}, {16, 32, 32}, {7, 9, 4}, {3, 6, 1}} {
+		m, k, n := sh[0], sh[1], sh[2]
+		a := randomMatrix(rng, m, k)
+		b := randomMatrix(rng, k, n)
+		bias := make([]float32, n)
+		for i := range bias {
+			bias[i] = float32(rng.NormFloat64())
+		}
+		full := New(m, n)
+		LinearReLU(full, a, b, bias, true)
+		for j0 := 0; j0 <= n+1; j0++ {
+			got := New(m, n)
+			for i := range got.Data {
+				got.Data[i] = -7 // sentinel: columns < j0 must keep it
+			}
+			LinearReLUCols(got, a, b, bias, true, j0)
+			for r := 0; r < m; r++ {
+				row, fullRow := got.Row(r), full.Row(r)
+				for j := 0; j < n; j++ {
+					if j < j0 {
+						if row[j] != -7 {
+							t.Fatalf("%v j0=%d: column %d below window was written", sh, j0, j)
+						}
+					} else if d := math.Abs(float64(row[j] - fullRow[j])); d > 1e-5 {
+						t.Fatalf("%v j0=%d: window column %d differs by %g", sh, j0, j, d)
+					}
+				}
+			}
+		}
+	}
+}

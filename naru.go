@@ -218,6 +218,28 @@ func (e *Estimator) Selectivity(q Query) (float64, error) {
 	return e.sampler.EstimateRegion(reg), nil
 }
 
+// SelectivityBatch estimates every query's selectivity, fanning the work
+// across up to workers goroutines (NumCPU when workers <= 0). Results align
+// positionally with qs and are bit-identical to sequential Selectivity calls
+// on a freshly built estimator with the same seed.
+func (e *Estimator) SelectivityBatch(qs []Query, workers int) ([]float64, error) {
+	regs := make([]*Region, len(qs))
+	for i, q := range qs {
+		reg, err := e.compile(q)
+		if err != nil {
+			return nil, fmt.Errorf("naru: query %d: %w", i, err)
+		}
+		regs[i] = reg
+	}
+	return e.sampler.EstimateBatch(regs, workers), nil
+}
+
+// EstimateBatch estimates pre-compiled regions concurrently; see
+// SelectivityBatch.
+func (e *Estimator) EstimateBatch(regs []*Region, workers int) []float64 {
+	return e.sampler.EstimateBatch(regs, workers)
+}
+
 // Cardinality estimates the number of rows satisfying the conjunction.
 func (e *Estimator) Cardinality(q Query) (float64, error) {
 	sel, err := e.Selectivity(q)

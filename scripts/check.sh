@@ -1,0 +1,20 @@
+#!/bin/sh
+# Repository health gate: static analysis, the full test suite, and the race
+# detector over the concurrency-sensitive paths. The race pass uses -short to
+# skip the training-heavy experiment smoke tests (already covered by the plain
+# pass), which would otherwise exceed the per-package timeout on small boxes;
+# the concurrent serving tests in internal/core run in full either way.
+# Run from the repository root, directly or via `make check`.
+set -eu
+cd "$(dirname "$0")/.."
+
+echo "== go vet ./..."
+go vet ./...
+
+echo "== go test ./..."
+go test ./...
+
+echo "== go test -race -short ./..."
+go test -race -short -timeout 20m ./...
+
+echo "check: OK"
