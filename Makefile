@@ -1,6 +1,6 @@
 # Convenience entry points; everything is plain `go` underneath.
 
-.PHONY: build test check bench inference
+.PHONY: build test check check-fault bench inference
 
 build:
 	go build ./...
@@ -12,6 +12,12 @@ test:
 # for the concurrent query-serving path.
 check:
 	./scripts/check.sh
+
+# check-fault runs the fault-tolerance suite under -race (checkpoint/resume,
+# corruption rejection, divergence rollback, disrupted serving) plus a short
+# fuzz pass over the deserialization and query-parsing fuzz targets.
+check-fault:
+	./scripts/check.sh fault
 
 bench:
 	go test -bench . -benchtime 1x -run xxx .

@@ -10,11 +10,19 @@
 // =, !=, <, <=, >, >=; literals are matched against the column's observed
 // domain (numeric or string). The true selectivity is printed alongside the
 // estimate when the CSV is supplied, making the tool a self-contained demo.
+//
+// Resilience controls: `train -checkpoint ckpt [-checkpoint-every N]
+// [-resume]` checkpoints training atomically and resumes bit-identically
+// after a crash; `estimate -timeout D` bounds each query's latency by
+// degrading its sample budget (anytime estimates, tagged in the output), and
+// `-fallback` answers failed queries from 1D statistics instead of erroring.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
@@ -26,203 +34,336 @@ import (
 )
 
 func main() {
-	if len(os.Args) < 2 {
-		usage()
-	}
-	switch os.Args[1] {
-	case "train":
-		cmdTrain(os.Args[2:])
-	case "estimate":
-		cmdEstimate(os.Args[2:])
-	case "entropy":
-		cmdEntropy(os.Args[2:])
-	default:
-		usage()
-	}
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
-func usage() {
-	fmt.Fprintln(os.Stderr, `usage:
+// run is the testable entry point: it dispatches the subcommand, writes
+// human output to stdout and errors to stderr, and returns the process exit
+// code (0 ok, 1 runtime error, 2 usage error).
+func run(args []string, stdout, stderr io.Writer) int {
+	if len(args) < 1 {
+		usage(stderr)
+		return 2
+	}
+	var err error
+	switch args[0] {
+	case "train":
+		err = cmdTrain(args[1:], stdout, stderr)
+	case "estimate":
+		err = cmdEstimate(args[1:], stdout, stderr)
+	case "entropy":
+		err = cmdEntropy(args[1:], stdout, stderr)
+	default:
+		usage(stderr)
+		return 2
+	}
+	if err != nil {
+		if err == flag.ErrHelp {
+			return 2
+		}
+		fmt.Fprintln(stderr, "naru:", err)
+		return 1
+	}
+	return 0
+}
+
+func usage(w io.Writer) {
+	fmt.Fprintln(w, `usage:
   naru train    -csv data.csv -out model.naru [-epochs N] [-hidden 128,128,128,128] [-samples S]
+                [-checkpoint train.ckpt] [-checkpoint-every N] [-resume]
   naru estimate -csv data.csv -model model.naru -where "a<=5 AND b=x"
   naru estimate -csv data.csv -model model.naru -queries workload.txt [-workers N]
+                [-timeout 50ms] [-fallback]
   naru entropy  -csv data.csv -model model.naru`)
-	os.Exit(2)
 }
 
-func loadTable(path string) *table.Table {
+// loadTable opens and dictionary-encodes the CSV, wrapping failures with the
+// offending path.
+func loadTable(path string) (*table.Table, error) {
 	f, err := os.Open(path)
 	if err != nil {
-		fatal(err)
+		return nil, fmt.Errorf("csv file: %w", err)
 	}
 	defer f.Close()
 	t, err := naru.LoadCSV(f, path)
 	if err != nil {
-		fatal(err)
+		return nil, fmt.Errorf("csv file %q: %w", path, err)
 	}
-	return t
+	return t, nil
 }
 
-func cmdTrain(args []string) {
-	fs := flag.NewFlagSet("train", flag.ExitOnError)
+// openModel loads a saved estimator, distinguishing a missing model file
+// from a present-but-corrupt one: the two need different operator responses
+// (fix the path vs. retrain or restore the artifact).
+func openModel(path string, cfg naru.Config) (*naru.Estimator, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("model file: %w", err)
+	}
+	defer f.Close()
+	est, err := naru.LoadEstimator(f, cfg)
+	if err != nil {
+		return nil, fmt.Errorf("model file %q is corrupt or not a naru model: %w", path, err)
+	}
+	return est, nil
+}
+
+func cmdTrain(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("train", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	csvPath := fs.String("csv", "", "input CSV with header")
 	outPath := fs.String("out", "model.naru", "output model path")
 	epochs := fs.Int("epochs", 10, "training epochs")
 	hidden := fs.String("hidden", "128,128,128,128", "hidden layer widths")
 	samples := fs.Int("samples", 2000, "progressive samples per query")
 	seed := fs.Int64("seed", 1, "random seed")
-	fs.Parse(args)
-	if *csvPath == "" {
-		fatal(fmt.Errorf("train: -csv is required"))
+	ckpt := fs.String("checkpoint", "", "checkpoint file (enables periodic atomic checkpoints)")
+	ckptEvery := fs.Int("checkpoint-every", 100, "steps between checkpoints")
+	resume := fs.Bool("resume", false, "resume from -checkpoint if it exists")
+	if err := fs.Parse(args); err != nil {
+		return err
 	}
-	t := loadTable(*csvPath)
+	if *csvPath == "" {
+		return fmt.Errorf("train: -csv is required")
+	}
+	if *resume && *ckpt == "" {
+		return fmt.Errorf("train: -resume requires -checkpoint")
+	}
+	t, err := loadTable(*csvPath)
+	if err != nil {
+		return err
+	}
 	cfg := naru.DefaultConfig()
 	cfg.Epochs = *epochs
 	cfg.Samples = *samples
 	cfg.Seed = *seed
-	cfg.HiddenSizes = parseInts(*hidden)
-	fmt.Printf("training on %q: %d rows × %d cols (joint %.3g)\n",
+	cfg.HiddenSizes, err = parseInts(*hidden)
+	if err != nil {
+		return err
+	}
+	cfg.CheckpointPath = *ckpt
+	cfg.CheckpointEvery = *ckptEvery
+	cfg.Resume = *resume
+	fmt.Fprintf(stdout, "training on %q: %d rows × %d cols (joint %.3g)\n",
 		t.Name, t.NumRows(), t.NumCols(), t.JointSize())
 	est, err := naru.Build(t, cfg)
 	if err != nil {
-		fatal(err)
+		return err
 	}
-	fmt.Printf("model: %.2f MB, entropy gap %.2f bits\n",
+	fmt.Fprintf(stdout, "model: %.2f MB, entropy gap %.2f bits\n",
 		float64(est.SizeBytes())/1e6, est.EntropyGapBits(t))
 	f, err := os.Create(*outPath)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	defer f.Close()
 	if err := est.Save(f); err != nil {
-		fatal(err)
+		return err
 	}
-	fmt.Printf("saved to %s\n", *outPath)
+	fmt.Fprintf(stdout, "saved to %s\n", *outPath)
+	return nil
 }
 
-func cmdEstimate(args []string) {
-	fs := flag.NewFlagSet("estimate", flag.ExitOnError)
+func cmdEstimate(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("estimate", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	csvPath := fs.String("csv", "", "input CSV (for schema + ground truth)")
 	modelPath := fs.String("model", "model.naru", "trained model path")
 	where := fs.String("where", "", "conjunction, e.g. \"a<=5 AND b=x\"")
 	queriesPath := fs.String("queries", "", "file of WHERE conjunctions, one per line")
 	workers := fs.Int("workers", 0, "concurrent query workers for -queries (0 = NumCPU)")
 	samples := fs.Int("samples", 2000, "progressive samples")
-	fs.Parse(args)
+	timeout := fs.Duration("timeout", 0, "per-query deadline (0 = none); expiring degrades the sample budget")
+	fallback := fs.Bool("fallback", false, "answer failed queries from 1D statistics instead of erroring")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 	if *csvPath == "" || (*where == "") == (*queriesPath == "") {
-		fatal(fmt.Errorf("estimate: -csv and exactly one of -where / -queries are required"))
+		return fmt.Errorf("estimate: -csv and exactly one of -where / -queries are required")
 	}
-	t := loadTable(*csvPath)
-	f, err := os.Open(*modelPath)
+	t, err := loadTable(*csvPath)
 	if err != nil {
-		fatal(err)
+		return err
 	}
-	defer f.Close()
 	cfg := naru.DefaultConfig()
 	cfg.Samples = *samples
-	est, err := naru.LoadEstimator(f, cfg)
+	est, err := openModel(*modelPath, cfg)
 	if err != nil {
-		fatal(err)
+		return err
+	}
+	opts := naru.ServeOptions{Workers: *workers, Deadline: *timeout}
+	if *fallback {
+		opts.Fallback = naru.Fallback(t)
 	}
 	if *queriesPath != "" {
-		estimateFile(est, t, *queriesPath, *workers)
-		return
+		return estimateFile(est, t, *queriesPath, opts, stdout)
 	}
 	q, err := query.ParseWhere(*where, t)
 	if err != nil {
-		fatal(err)
+		return err
+	}
+	if *timeout > 0 || *fallback {
+		opts.Workers = 1
+		results, err := est.SelectivityBatchCtx(context.Background(), []naru.Query{q}, opts)
+		if err != nil {
+			return err
+		}
+		return printServed(q, results[0], t, stdout)
 	}
 	sel, err := est.Selectivity(q)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	card, _ := est.Cardinality(q)
 	truth, err := naru.TrueSelectivity(q, t)
 	if err != nil {
-		fatal(err)
+		return err
 	}
-	fmt.Printf("query: %s\n", q.String(t))
-	fmt.Printf("estimate: sel=%.6g card=%.1f\n", sel, card)
-	fmt.Printf("truth:    sel=%.6g card=%d\n", truth, int64(truth*float64(t.NumRows())))
+	fmt.Fprintf(stdout, "query: %s\n", q.String(t))
+	fmt.Fprintf(stdout, "estimate: sel=%.6g card=%.1f\n", sel, card)
+	fmt.Fprintf(stdout, "truth:    sel=%.6g card=%d\n", truth, int64(truth*float64(t.NumRows())))
+	return nil
 }
 
-// estimateFile serves a whole workload file through the concurrent batch
-// path and reports per-query estimates plus aggregate throughput.
-func estimateFile(est *naru.Estimator, t *table.Table, path string, workers int) {
-	data, err := os.ReadFile(path)
-	if err != nil {
-		fatal(err)
+// printServed reports one fault-tolerant estimate, including its provenance
+// when the model path did not fully answer.
+func printServed(q naru.Query, r naru.Result, t *table.Table, stdout io.Writer) error {
+	if r.Source == naru.SourceFailed {
+		return fmt.Errorf("estimate: query failed: %w", r.Err)
 	}
-	var qs []naru.Query
-	var lines []string
-	for _, line := range strings.Split(string(data), "\n") {
+	truth, err := naru.TrueSelectivity(q, t)
+	if err != nil {
+		return err
+	}
+	rows := float64(t.NumRows())
+	fmt.Fprintf(stdout, "query: %s\n", q.String(t))
+	fmt.Fprintf(stdout, "estimate: sel=%.6g card=%.1f\n", r.Sel, r.Sel*rows)
+	if r.Source != naru.SourceModel {
+		fmt.Fprintf(stdout, "source:   %s (samples=%d stderr=%.3g)\n", r.Source, r.Samples, r.StdErr)
+	}
+	fmt.Fprintf(stdout, "truth:    sel=%.6g card=%d\n", truth, int64(truth*rows))
+	return nil
+}
+
+// parseWorkload lowers a workload file (one WHERE conjunction per line,
+// blank lines and #-comments skipped) into queries, reporting the first
+// malformed line by number and text.
+func parseWorkload(data []byte, path string, t *table.Table) (qs []naru.Query, lines []string, err error) {
+	for n, line := range strings.Split(string(data), "\n") {
 		line = strings.TrimSpace(line)
 		if line == "" || strings.HasPrefix(line, "#") {
 			continue
 		}
 		q, err := query.ParseWhere(line, t)
 		if err != nil {
-			fatal(fmt.Errorf("%s: %w", line, err))
+			return nil, nil, fmt.Errorf("workload %s line %d: %q: %w", path, n+1, line, err)
 		}
 		qs = append(qs, q)
 		lines = append(lines, line)
 	}
 	if len(qs) == 0 {
-		fatal(fmt.Errorf("estimate: no queries in %s", path))
+		return nil, nil, fmt.Errorf("workload %s: no queries", path)
+	}
+	return qs, lines, nil
+}
+
+// estimateFile serves a whole workload file through the fault-tolerant batch
+// path and reports per-query estimates (with provenance tags for anything
+// that did not complete on the model path) plus aggregate throughput.
+func estimateFile(est *naru.Estimator, t *table.Table, path string, opts naru.ServeOptions, stdout io.Writer) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("workload file: %w", err)
+	}
+	qs, lines, err := parseWorkload(data, path, t)
+	if err != nil {
+		return err
 	}
 	start := time.Now()
-	sels, err := est.SelectivityBatch(qs, workers)
-	if err != nil {
-		fatal(err)
+	var results []naru.Result
+	if opts.Deadline == 0 && opts.Fallback == nil {
+		// Without resilience flags, serve through the legacy batch path so
+		// estimates stay bit-identical to sequential -where runs (the anytime
+		// path chunks its sample streams differently).
+		sels, err := est.SelectivityBatch(qs, opts.Workers)
+		if err != nil {
+			return err
+		}
+		results = make([]naru.Result, len(sels))
+		for i, sel := range sels {
+			results[i] = naru.Result{Sel: sel, Source: naru.SourceModel}
+		}
+	} else {
+		results, err = est.SelectivityBatchCtx(context.Background(), qs, opts)
+		if err != nil {
+			return err
+		}
 	}
 	elapsed := time.Since(start)
 	rows := float64(t.NumRows())
-	for i, sel := range sels {
+	var degraded, fellBack, failed int
+	for i, r := range results {
 		truth, err := naru.TrueSelectivity(qs[i], t)
 		if err != nil {
-			fatal(err)
+			return err
 		}
-		fmt.Printf("%-60s est=%.6g true=%.6g card=%.1f\n", lines[i], sel, truth, sel*rows)
+		tag := ""
+		switch r.Source {
+		case naru.SourceDegraded:
+			degraded++
+			tag = fmt.Sprintf("  [degraded: %d samples]", r.Samples)
+		case naru.SourceFallback:
+			fellBack++
+			tag = "  [fallback]"
+		case naru.SourceFailed:
+			failed++
+			tag = fmt.Sprintf("  [FAILED: %v]", r.Err)
+		}
+		fmt.Fprintf(stdout, "%-60s est=%.6g true=%.6g card=%.1f%s\n", lines[i], r.Sel, truth, r.Sel*rows, tag)
 	}
-	fmt.Printf("%d queries in %v (%.1f queries/sec, workers=%d)\n",
+	fmt.Fprintf(stdout, "%d queries in %v (%.1f queries/sec, workers=%d)\n",
 		len(qs), elapsed.Round(time.Millisecond),
-		float64(len(qs))/elapsed.Seconds(), workers)
+		float64(len(qs))/elapsed.Seconds(), opts.Workers)
+	if degraded+fellBack+failed > 0 {
+		fmt.Fprintf(stdout, "degraded=%d fallback=%d failed=%d\n", degraded, fellBack, failed)
+	}
+	if failed > 0 {
+		return fmt.Errorf("estimate: %d of %d queries failed", failed, len(qs))
+	}
+	return nil
 }
 
-func cmdEntropy(args []string) {
-	fs := flag.NewFlagSet("entropy", flag.ExitOnError)
+func cmdEntropy(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("entropy", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	csvPath := fs.String("csv", "", "input CSV")
 	modelPath := fs.String("model", "model.naru", "trained model path")
-	fs.Parse(args)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 	if *csvPath == "" {
-		fatal(fmt.Errorf("entropy: -csv is required"))
+		return fmt.Errorf("entropy: -csv is required")
 	}
-	t := loadTable(*csvPath)
-	f, err := os.Open(*modelPath)
+	t, err := loadTable(*csvPath)
 	if err != nil {
-		fatal(err)
+		return err
 	}
-	defer f.Close()
-	est, err := naru.LoadEstimator(f, naru.DefaultConfig())
+	est, err := openModel(*modelPath, naru.DefaultConfig())
 	if err != nil {
-		fatal(err)
+		return err
 	}
-	fmt.Printf("entropy gap vs %q: %.3f bits\n", t.Name, est.EntropyGapBits(t))
+	fmt.Fprintf(stdout, "entropy gap vs %q: %.3f bits\n", t.Name, est.EntropyGapBits(t))
+	return nil
 }
 
-func parseInts(s string) []int {
+func parseInts(s string) ([]int, error) {
 	var out []int
 	for _, part := range strings.Split(s, ",") {
 		v, err := strconv.Atoi(strings.TrimSpace(part))
 		if err != nil || v <= 0 {
-			fatal(fmt.Errorf("bad hidden sizes %q", s))
+			return nil, fmt.Errorf("bad hidden sizes %q", s)
 		}
 		out = append(out, v)
 	}
-	return out
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "naru:", err)
-	os.Exit(1)
+	return out, nil
 }

@@ -1,9 +1,26 @@
 package colnet
 
 import (
+	"bytes"
 	"encoding/gob"
 	"fmt"
 	"io"
+
+	"repro/internal/envelope"
+)
+
+// Wire-format constants, mirroring internal/made: the gob payload travels
+// inside a CRC32-protected, versioned envelope so corruption is rejected
+// before any byte reaches the gob decoder.
+const (
+	wireMagic   = "narucoln"
+	wireVersion = 1
+
+	maxWireBytes = 1 << 30
+	maxCols      = 1 << 14
+	maxDomain    = 1 << 26
+	maxLayers    = 1 << 8
+	maxLayerSize = 1 << 20
 )
 
 // savedModel is the gob wire format, mirroring internal/made: architecture
@@ -16,6 +33,12 @@ type savedModel struct {
 	Data    [][]float32
 }
 
+// Pin this package's gob wire type ids at init (see internal/made): gob
+// numbers types process-globally in first-use order, and without this a
+// model saved after other gob traffic (e.g. a checkpoint restore) would
+// differ byte-wise from one saved by a fresh process.
+func init() { _ = gob.NewEncoder(io.Discard).Encode(savedModel{}) }
+
 // Save serializes the model (architecture + weights) to w.
 func (m *Model) Save(w io.Writer) error {
 	sm := savedModel{Cfg: m.cfg, Domains: m.domains}
@@ -24,19 +47,41 @@ func (m *Model) Save(w io.Writer) error {
 		sm.Shapes = append(sm.Shapes, [2]int{p.Val.Rows, p.Val.Cols})
 		sm.Data = append(sm.Data, p.Val.Data)
 	}
-	if err := gob.NewEncoder(w).Encode(&sm); err != nil {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&sm); err != nil {
 		return fmt.Errorf("colnet: encoding model: %w", err)
+	}
+	if err := envelope.Write(w, wireMagic, wireVersion, buf.Bytes()); err != nil {
+		return fmt.Errorf("colnet: writing model: %w", err)
 	}
 	return nil
 }
 
-// Load reconstructs a model previously written by Save.
-func Load(r io.Reader) (*Model, error) {
+// Load reconstructs a model previously written by Save. Like made.Load it
+// treats the input as untrusted: checksum first, bounds-check every
+// architecture field, verify payload lengths against the rebuilt shapes
+// before copying, and never panic.
+func Load(r io.Reader) (m *Model, err error) {
+	version, payload, err := envelope.Read(r, wireMagic, maxWireBytes)
+	if err != nil {
+		return nil, fmt.Errorf("colnet: reading model: %w", err)
+	}
+	if version != wireVersion {
+		return nil, fmt.Errorf("colnet: unsupported model format version %d (want %d)", version, wireVersion)
+	}
 	var sm savedModel
-	if err := gob.NewDecoder(r).Decode(&sm); err != nil {
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&sm); err != nil {
 		return nil, fmt.Errorf("colnet: decoding model: %w", err)
 	}
-	m := New(sm.Domains, sm.Cfg)
+	if err := validateSaved(&sm); err != nil {
+		return nil, fmt.Errorf("colnet: invalid saved model: %w", err)
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			m, err = nil, fmt.Errorf("colnet: rebuilding saved architecture: %v", r)
+		}
+	}()
+	m = New(sm.Domains, sm.Cfg)
 	if len(sm.Names) != len(m.params) {
 		return nil, fmt.Errorf("colnet: saved model has %d parameters, architecture builds %d",
 			len(sm.Names), len(m.params))
@@ -46,7 +91,45 @@ func Load(r io.Reader) (*Model, error) {
 			return nil, fmt.Errorf("colnet: parameter %d mismatch: saved %s %v, built %s %d×%d",
 				i, sm.Names[i], sm.Shapes[i], p.Name, p.Val.Rows, p.Val.Cols)
 		}
+		if len(sm.Data[i]) != len(p.Val.Data) {
+			return nil, fmt.Errorf("colnet: parameter %s payload has %d values, shape %v needs %d",
+				p.Name, len(sm.Data[i]), sm.Shapes[i], len(p.Val.Data))
+		}
 		copy(p.Val.Data, sm.Data[i])
 	}
 	return m, nil
+}
+
+// validateSaved bounds every architecture field of an untrusted savedModel.
+func validateSaved(sm *savedModel) error {
+	if n := len(sm.Domains); n == 0 || n > maxCols {
+		return fmt.Errorf("%d columns", n)
+	}
+	for i, d := range sm.Domains {
+		if d <= 0 || d > maxDomain {
+			return fmt.Errorf("column %d has domain %d", i, d)
+		}
+	}
+	if sm.Cfg.Hidden <= 0 || sm.Cfg.Hidden > maxLayerSize {
+		return fmt.Errorf("hidden width %d", sm.Cfg.Hidden)
+	}
+	if sm.Cfg.Layers <= 0 || sm.Cfg.Layers > maxLayers {
+		return fmt.Errorf("%d layers", sm.Cfg.Layers)
+	}
+	if sm.Cfg.EmbedDim < 0 || sm.Cfg.EmbedDim > maxLayerSize {
+		return fmt.Errorf("embedding width %d", sm.Cfg.EmbedDim)
+	}
+	if sm.Cfg.EmbedThreshold < 0 {
+		return fmt.Errorf("embedding threshold %d", sm.Cfg.EmbedThreshold)
+	}
+	if len(sm.Names) != len(sm.Shapes) || len(sm.Names) != len(sm.Data) {
+		return fmt.Errorf("parameter lists disagree: %d names, %d shapes, %d payloads",
+			len(sm.Names), len(sm.Shapes), len(sm.Data))
+	}
+	for i, sh := range sm.Shapes {
+		if sh[0] < 0 || sh[1] < 0 || sh[0] > maxWireBytes || sh[1] > maxWireBytes {
+			return fmt.Errorf("parameter %d has shape %d×%d", i, sh[0], sh[1])
+		}
+	}
+	return nil
 }

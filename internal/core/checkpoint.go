@@ -1,0 +1,189 @@
+package core
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"repro/internal/envelope"
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// Checkpoint wire format: a gob-encoded trainState inside a CRC32-protected,
+// versioned envelope (internal/envelope), written atomically via
+// write-temp + fsync + rename. A process killed at any instant therefore
+// leaves either the previous checkpoint or the new one — never a torn file —
+// and any corruption that does occur (disk fault, manual truncation) is
+// rejected by the envelope before a single byte is deserialized.
+const (
+	ckptMagic    = "naruckpt"
+	ckptVersion  = 1
+	maxCkptBytes = 1 << 30
+)
+
+// trainState is everything needed to continue a training run bit-exactly:
+// position in the epoch/step schedule, the (possibly divergence-halved)
+// learning rate, model parameters, Adam moments and time index, and the
+// partial accumulators of the in-flight epoch.
+type trainState struct {
+	Epoch   int // epoch of the next step to run
+	Step    int // step within Epoch of the next step to run
+	LR      float64
+	Retries int // divergence rollbacks consumed so far
+
+	AdamT int
+
+	History    []float64 // completed epochs' mean NLLs
+	EpochSum   float64   // partial NLL sum of the in-flight epoch
+	EpochSteps int       // steps contributing to EpochSum
+
+	Names  []string
+	Shapes [][2]int
+	Data   [][]float32
+	M, V   [][]float32 // Adam moments per parameter (nil entries allowed)
+}
+
+// Pin this package's gob wire type ids at init (see internal/made): gob
+// numbers types process-globally in first-use order, and pinning keeps
+// checkpoint bytes independent of whatever gob traffic preceded them.
+func init() { _ = gob.NewEncoder(io.Discard).Encode(trainState{}) }
+
+// captureState deep-copies the model parameters and optimizer state.
+func captureState(m Trainable, opt *nn.Adam) *trainState {
+	st := &trainState{AdamT: opt.StepCount(), LR: opt.LR}
+	for _, p := range m.Params() {
+		st.Names = append(st.Names, p.Name)
+		st.Shapes = append(st.Shapes, [2]int{p.Val.Rows, p.Val.Cols})
+		st.Data = append(st.Data, append([]float32(nil), p.Val.Data...))
+		am, av := p.OptState()
+		if am == nil {
+			st.M = append(st.M, nil)
+			st.V = append(st.V, nil)
+		} else {
+			st.M = append(st.M, append([]float32(nil), am.Data...))
+			st.V = append(st.V, append([]float32(nil), av.Data...))
+		}
+	}
+	return st
+}
+
+// restoreState copies a captured state back into the model and optimizer.
+// The state is validated against the live parameter list first, so a
+// checkpoint from a different architecture is rejected instead of corrupting
+// the model.
+func restoreState(st *trainState, m Trainable, opt *nn.Adam) error {
+	params := m.Params()
+	if len(st.Names) != len(params) {
+		return fmt.Errorf("core: checkpoint has %d parameters, model has %d", len(st.Names), len(params))
+	}
+	if len(st.Shapes) != len(params) || len(st.Data) != len(params) ||
+		len(st.M) != len(params) || len(st.V) != len(params) {
+		return fmt.Errorf("core: checkpoint parameter lists disagree")
+	}
+	for i, p := range params {
+		if st.Names[i] != p.Name || st.Shapes[i] != [2]int{p.Val.Rows, p.Val.Cols} {
+			return fmt.Errorf("core: checkpoint parameter %d is %s %v, model wants %s %d×%d",
+				i, st.Names[i], st.Shapes[i], p.Name, p.Val.Rows, p.Val.Cols)
+		}
+		if len(st.Data[i]) != len(p.Val.Data) {
+			return fmt.Errorf("core: checkpoint parameter %s has %d values, want %d",
+				p.Name, len(st.Data[i]), len(p.Val.Data))
+		}
+		if (st.M[i] == nil) != (st.V[i] == nil) ||
+			(st.M[i] != nil && (len(st.M[i]) != len(p.Val.Data) || len(st.V[i]) != len(p.Val.Data))) {
+			return fmt.Errorf("core: checkpoint parameter %s has inconsistent optimizer moments", p.Name)
+		}
+	}
+	for i, p := range params {
+		copy(p.Val.Data, st.Data[i])
+		p.ApplyMask()
+		if st.M[i] == nil {
+			p.SetOptState(nil, nil)
+			continue
+		}
+		am := tensor.New(p.Val.Rows, p.Val.Cols)
+		av := tensor.New(p.Val.Rows, p.Val.Cols)
+		copy(am.Data, st.M[i])
+		copy(av.Data, st.V[i])
+		p.SetOptState(am, av)
+	}
+	opt.SetStepCount(st.AdamT)
+	opt.LR = st.LR
+	return nil
+}
+
+// encodeCheckpoint frames the state for storage; split out so fault-injection
+// tests can aim failing writers at it directly.
+func encodeCheckpoint(w io.Writer, st *trainState) error {
+	var payload bytes.Buffer
+	if err := gob.NewEncoder(&payload).Encode(st); err != nil {
+		return fmt.Errorf("core: encoding checkpoint: %w", err)
+	}
+	return envelope.Write(w, ckptMagic, ckptVersion, payload.Bytes())
+}
+
+// decodeCheckpoint reads one framed state, verifying integrity first.
+func decodeCheckpoint(r io.Reader) (*trainState, error) {
+	version, payload, err := envelope.Read(r, ckptMagic, maxCkptBytes)
+	if err != nil {
+		return nil, fmt.Errorf("core: reading checkpoint: %w", err)
+	}
+	if version != ckptVersion {
+		return nil, fmt.Errorf("core: unsupported checkpoint version %d (want %d)", version, ckptVersion)
+	}
+	var st trainState
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&st); err != nil {
+		return nil, fmt.Errorf("core: decoding checkpoint: %w", err)
+	}
+	if st.Epoch < 0 || st.Step < 0 || st.EpochSteps < 0 {
+		return nil, fmt.Errorf("core: checkpoint has negative schedule position")
+	}
+	return &st, nil
+}
+
+// writeCheckpoint durably stores a training state at path: the frame goes to
+// a temporary sibling file first, is fsynced, then renamed over path, and
+// the directory is fsynced so the rename itself survives a crash.
+func writeCheckpoint(path string, st *trainState) error {
+	tmp, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp*")
+	if err != nil {
+		return fmt.Errorf("core: creating checkpoint temp: %w", err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if err := encodeCheckpoint(tmp, st); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("core: syncing checkpoint: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("core: closing checkpoint temp: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("core: publishing checkpoint: %w", err)
+	}
+	if dir, err := os.Open(filepath.Dir(path)); err == nil {
+		dir.Sync() // best effort: persist the rename
+		dir.Close()
+	}
+	return nil
+}
+
+// loadCheckpoint reads and verifies a checkpoint file written by
+// writeCheckpoint. Corrupt or truncated files are rejected with an error
+// wrapping envelope.ErrCorrupt; a missing file returns an os.IsNotExist
+// error so callers can distinguish "never checkpointed" from damage.
+func loadCheckpoint(path string) (*trainState, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return decodeCheckpoint(f)
+}

@@ -1,0 +1,318 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/faultinject"
+	"repro/internal/made"
+	"repro/internal/nn"
+	"repro/internal/table"
+)
+
+func ckptModel(seed int64, tbl *table.Table) *made.Model {
+	return made.New(tbl.DomainSizes(), made.Config{
+		HiddenSizes: []int{24, 24}, EmbedThreshold: 64, EmbedDim: 8, Seed: seed})
+}
+
+func paramsEqual(a, b Trainable) bool {
+	pa, pb := a.Params(), b.Params()
+	if len(pa) != len(pb) {
+		return false
+	}
+	for i := range pa {
+		if !bytes.Equal(float32Bytes(pa[i].Val.Data), float32Bytes(pb[i].Val.Data)) {
+			return false
+		}
+	}
+	return true
+}
+
+func float32Bytes(xs []float32) []byte {
+	out := make([]byte, 0, len(xs)*4)
+	for _, x := range xs {
+		u := math.Float32bits(x)
+		out = append(out, byte(u), byte(u>>8), byte(u>>16), byte(u>>24))
+	}
+	return out
+}
+
+// TestResumeMatchesUninterrupted kills training at an arbitrary step and
+// resumes from the last periodic checkpoint: because the batch schedule is
+// derived from (Seed, epoch) and the checkpoint restores weights, Adam
+// moments, and the schedule position exactly, the resumed run's final
+// weights and history are bit-identical to an uninterrupted run.
+func TestResumeMatchesUninterrupted(t *testing.T) {
+	tbl := corrTable(t, 1200, 21)
+	cfg := TrainConfig{Epochs: 3, BatchSize: 128, LR: 5e-3, Seed: 9, CheckpointEvery: 3}
+
+	ref := ckptModel(4, tbl)
+	wantHist, err := TrainRun(ref, tbl, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, crashAt := range []int{1, 5, 8, 13, 22} {
+		dir := t.TempDir()
+		ckpt := filepath.Join(dir, "train.ckpt")
+		crashCfg := cfg
+		crashCfg.CheckpointPath = ckpt
+		crashCfg.OnStep = faultinject.CrashAfter(crashAt)
+		m := ckptModel(4, tbl)
+		if _, err := TrainRun(m, tbl, crashCfg); !errors.Is(err, faultinject.ErrCrash) {
+			t.Fatalf("crash at %d: err = %v, want ErrCrash", crashAt, err)
+		}
+
+		resumed := ckptModel(4, tbl)
+		resumeCfg := cfg
+		resumeCfg.CheckpointPath = ckpt
+		resumeCfg.Resume = true
+		gotHist, err := TrainRun(resumed, tbl, resumeCfg)
+		if err != nil {
+			t.Fatalf("crash at %d: resume: %v", crashAt, err)
+		}
+		if len(gotHist) != len(wantHist) {
+			t.Fatalf("crash at %d: history %v, want %v", crashAt, gotHist, wantHist)
+		}
+		for i := range gotHist {
+			if gotHist[i] != wantHist[i] {
+				t.Fatalf("crash at %d: epoch %d NLL %v, want %v (bit-exact)", crashAt, i, gotHist[i], wantHist[i])
+			}
+		}
+		if !paramsEqual(resumed, ref) {
+			t.Fatalf("crash at %d: resumed weights differ from uninterrupted run", crashAt)
+		}
+	}
+}
+
+// TestResumeFreshStartWhenNoCheckpoint: Resume with a missing file is a
+// normal cold start, not an error.
+func TestResumeFreshStartWhenNoCheckpoint(t *testing.T) {
+	tbl := corrTable(t, 400, 22)
+	cfg := TrainConfig{Epochs: 1, BatchSize: 128, LR: 5e-3, Seed: 9,
+		CheckpointPath: filepath.Join(t.TempDir(), "none.ckpt"), Resume: true}
+	if _, err := TrainRun(ckptModel(4, tbl), tbl, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestResumeAfterCompletionIsNoop: resuming a finished run performs zero
+// additional steps and returns the recorded history unchanged.
+func TestResumeAfterCompletionIsNoop(t *testing.T) {
+	tbl := corrTable(t, 400, 23)
+	ckpt := filepath.Join(t.TempDir(), "train.ckpt")
+	cfg := TrainConfig{Epochs: 2, BatchSize: 128, LR: 5e-3, Seed: 9, CheckpointPath: ckpt}
+	m := ckptModel(4, tbl)
+	want, err := TrainRun(m, tbl, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Resume = true
+	cfg.OnStep = func(int, float64) error { return errors.New("no step should run") }
+	got, err := TrainRun(m, tbl, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("history %v, want %v", got, want)
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("epoch %d: %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestCheckpointCorruptionRejected sweeps bit flips and truncations over a
+// real checkpoint file: every corrupted variant must be rejected by the
+// CRC/version envelope with an error — never a panic, never a silent load.
+func TestCheckpointCorruptionRejected(t *testing.T) {
+	tbl := corrTable(t, 400, 24)
+	ckpt := filepath.Join(t.TempDir(), "train.ckpt")
+	cfg := TrainConfig{Epochs: 1, BatchSize: 128, LR: 5e-3, Seed: 9, CheckpointPath: ckpt}
+	if _, err := TrainRun(ckptModel(4, tbl), tbl, cfg); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(ckpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := decodeCheckpoint(bytes.NewReader(data)); err != nil {
+		t.Fatalf("pristine checkpoint rejected: %v", err)
+	}
+	for off := int64(0); off < int64(len(data)); off += 1 + off/48 {
+		bad := faultinject.FlipBit(data, off, uint(off)%8)
+		if _, err := decodeCheckpoint(bytes.NewReader(bad)); err == nil {
+			t.Fatalf("bit flip at %d accepted", off)
+		}
+	}
+	for n := 0; n < len(data); n += 1 + n/48 {
+		if _, err := decodeCheckpoint(bytes.NewReader(data[:n])); err == nil {
+			t.Fatalf("truncation to %d accepted", n)
+		}
+	}
+	// A corrupted checkpoint on disk must fail a Resume run loudly.
+	if err := os.WriteFile(ckpt, data[:len(data)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	resumeCfg := cfg
+	resumeCfg.Resume = true
+	if _, err := TrainRun(ckptModel(4, tbl), tbl, resumeCfg); err == nil {
+		t.Fatal("resume from corrupt checkpoint succeeded silently")
+	}
+}
+
+// TestCheckpointWriteFaultSurfaces aims short-writing writers at the
+// checkpoint encoder: every byte budget must yield an error, not a panic.
+func TestCheckpointWriteFaultSurfaces(t *testing.T) {
+	tbl := corrTable(t, 400, 25)
+	m := ckptModel(4, tbl)
+	st := captureState(m, nn.NewAdam(1e-3))
+	var full bytes.Buffer
+	if err := encodeCheckpoint(&full, st); err != nil {
+		t.Fatal(err)
+	}
+	for limit := 0; limit < full.Len(); limit += 1 + full.Len()/17 {
+		w := &faultinject.Writer{W: new(bytes.Buffer), Limit: limit}
+		if err := encodeCheckpoint(w, st); err == nil {
+			t.Fatalf("limit %d: short write unreported", limit)
+		}
+	}
+}
+
+// TestCheckpointRejectsWrongArchitecture: a checkpoint restored into a
+// different architecture must fail validation, not corrupt the model.
+func TestCheckpointRejectsWrongArchitecture(t *testing.T) {
+	tbl := corrTable(t, 400, 26)
+	st := captureState(ckptModel(4, tbl), nn.NewAdam(1e-3))
+	other := made.New(tbl.DomainSizes(), made.Config{
+		HiddenSizes: []int{16}, EmbedThreshold: 64, EmbedDim: 8, Seed: 4})
+	if err := restoreState(st, other, nn.NewAdam(1e-3)); err == nil {
+		t.Fatal("cross-architecture restore succeeded")
+	}
+}
+
+// nanAtStep wraps a Trainable and forces a NaN loss (with NaN gradients) on
+// one chosen global TrainStep call, then behaves normally — the shape of a
+// transient numerical blow-up.
+type nanAtStep struct {
+	Trainable
+	at    int
+	calls int
+}
+
+func (w *nanAtStep) TrainStep(codes []int32, n int, opt *nn.Adam) float64 {
+	w.calls++
+	if w.calls-1 == w.at {
+		// Poison the gradients too: the guard must discard them unapplied.
+		for _, p := range w.Trainable.Params() {
+			for i := range p.Grad.Data {
+				p.Grad.Data[i] = float32(math.NaN())
+			}
+		}
+		return math.NaN()
+	}
+	return w.Trainable.TrainStep(codes, n, opt)
+}
+
+// TestDivergenceRollbackRecovers: a single injected NaN step rolls training
+// back to the last good state with a halved learning rate and the run still
+// completes every epoch with finite losses.
+func TestDivergenceRollbackRecovers(t *testing.T) {
+	tbl := corrTable(t, 800, 27)
+	m := &nanAtStep{Trainable: ckptModel(4, tbl), at: 7}
+	hist, err := TrainRun(m, tbl, TrainConfig{
+		Epochs: 2, BatchSize: 128, LR: 5e-3, Seed: 9, CheckpointEvery: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hist) != 2 {
+		t.Fatalf("history %v, want 2 epochs", hist)
+	}
+	for i, nll := range hist {
+		if !isFinite(nll) {
+			t.Fatalf("epoch %d NLL %v", i, nll)
+		}
+	}
+}
+
+// alwaysNaN diverges on every step: the guard must exhaust its retries and
+// return ErrDiverged instead of looping forever.
+type alwaysNaN struct{ Trainable }
+
+func (w *alwaysNaN) TrainStep([]int32, int, *nn.Adam) float64 { return math.NaN() }
+
+func TestDivergenceRetriesExhaust(t *testing.T) {
+	tbl := corrTable(t, 400, 28)
+	m := &alwaysNaN{ckptModel(4, tbl)}
+	_, err := TrainRun(m, tbl, TrainConfig{
+		Epochs: 1, BatchSize: 128, LR: 5e-3, Seed: 9, MaxRetries: 2})
+	if !errors.Is(err, ErrDiverged) {
+		t.Fatalf("err = %v, want ErrDiverged", err)
+	}
+}
+
+// TestGradExplosionGuard: an explosion threshold below any real gradient
+// norm trips the guard; the default threshold does not.
+func TestGradExplosionGuard(t *testing.T) {
+	tbl := corrTable(t, 400, 29)
+	_, err := TrainRun(ckptModel(4, tbl), tbl, TrainConfig{
+		Epochs: 1, BatchSize: 128, LR: 5e-3, Seed: 9, MaxRetries: 2, MaxGradNorm: 1e-12})
+	if !errors.Is(err, ErrDiverged) {
+		t.Fatalf("err = %v, want ErrDiverged", err)
+	}
+	if _, err := TrainRun(ckptModel(4, tbl), tbl, TrainConfig{
+		Epochs: 1, BatchSize: 128, LR: 5e-3, Seed: 9}); err != nil {
+		t.Fatalf("default threshold tripped: %v", err)
+	}
+}
+
+// TestResumeMatchesUninterruptedEmbedding repeats the resume bit-identity
+// check with EmbedThreshold low enough that most columns go through the
+// embedding input path, whose parameters (embedding tables, reused decoders)
+// take a different capture/restore route than the dense masked layers.
+func TestResumeMatchesUninterruptedEmbedding(t *testing.T) {
+	tbl := corrTable(t, 1200, 21)
+	cfg := TrainConfig{Epochs: 3, BatchSize: 128, LR: 5e-3, Seed: 9, CheckpointEvery: 3}
+	embedModel := func(seed int64) *made.Model {
+		return made.New(tbl.DomainSizes(), made.Config{
+			HiddenSizes: []int{24, 24}, EmbedThreshold: 4, EmbedDim: 8, Seed: seed})
+	}
+
+	ref := embedModel(4)
+	wantHist, err := TrainRun(ref, tbl, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, crashAt := range []int{5, 13} {
+		dir := t.TempDir()
+		ckpt := filepath.Join(dir, "train.ckpt")
+		crashCfg := cfg
+		crashCfg.CheckpointPath = ckpt
+		crashCfg.OnStep = faultinject.CrashAfter(crashAt)
+		m := embedModel(4)
+		if _, err := TrainRun(m, tbl, crashCfg); !errors.Is(err, faultinject.ErrCrash) {
+			t.Fatalf("crash at %d: err = %v", crashAt, err)
+		}
+		resumed := embedModel(4)
+		resumeCfg := cfg
+		resumeCfg.CheckpointPath = ckpt
+		resumeCfg.Resume = true
+		gotHist, err := TrainRun(resumed, tbl, resumeCfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range gotHist {
+			if gotHist[i] != wantHist[i] {
+				t.Fatalf("crash at %d: epoch %d NLL %v, want %v", crashAt, i, gotHist[i], wantHist[i])
+			}
+		}
+		if !paramsEqual(resumed, ref) {
+			t.Fatalf("crash at %d: resumed weights differ", crashAt)
+		}
+	}
+}

@@ -413,6 +413,51 @@ func (e *Estimator) progressiveSample(sc *scratch, reg *query.Region, s int, q u
 		s = e.samples
 	}
 	sc.rng.Seed(e.seedFor(q))
+	last, valid := e.restrictedPrefix(sc, reg)
+	e.walkPaths(sc, reg, s, last, valid)
+	weights := sc.weights[:s]
+	var sum float64
+	for _, w := range weights {
+		sum += w
+	}
+	// Record the spread of the per-path density estimates so callers can ask
+	// for a standard error (the w_i are i.i.d. unbiased estimates).
+	mean := sum / float64(s)
+	var sq float64
+	for _, w := range weights {
+		d := w - mean
+		sq += d * d
+	}
+	if s > 1 {
+		e.storeStdErr(math.Sqrt(sq / float64(s-1) / float64(s)))
+	} else {
+		e.storeStdErr(0)
+	}
+	return clampProb(mean)
+}
+
+// restrictedPrefix finds the last restricted model position and materializes
+// the per-column valid-code lists up to it. Trailing wildcards integrate to
+// exactly 1 under the chain rule (their conditionals sum out over the full
+// domain), so every sampling walk stops at the last restricted model
+// position — the same cutoff enumeration uses. A fully wildcarded region
+// returns last = -1 and the walk degenerates to mean weight 1.
+func (e *Estimator) restrictedPrefix(sc *scratch, reg *query.Region) (last int, valid [][]int32) {
+	last = -1
+	for i := 0; i < len(reg.Cols); i++ {
+		if !reg.Cols[e.colAt(i)].IsAll() {
+			last = i
+		}
+	}
+	return last, e.materializeValid(sc, reg, last+1)
+}
+
+// walkPaths advances s progressive-sampling paths through model positions
+// 0..last (Algorithm 1), leaving the per-path importance weights in
+// sc.weights[:s]. The caller owns RNG seeding, so one query can run as a
+// single full-budget walk (progressiveSample) or as several independently
+// seeded chunks (the anytime serving path in serve.go).
+func (e *Estimator) walkPaths(sc *scratch, reg *query.Region, s, last int, valid [][]int32) {
 	n := sc.model.NumCols()
 	codes := sc.codes[:s*n]
 	for i := range codes {
@@ -422,19 +467,6 @@ func (e *Estimator) progressiveSample(sc *scratch, reg *query.Region, s int, q u
 	for i := range weights {
 		weights[i] = 1
 	}
-	// Trailing wildcards integrate to exactly 1 under the chain rule (their
-	// conditionals sum out over the full domain), so the walk stops at the
-	// last restricted model position — the same cutoff enumeration uses. The
-	// skipped columns drew no mass and consumed RNG draws strictly after every
-	// restricted column's, so the estimate is unchanged. A fully wildcarded
-	// region falls straight through to mean weight 1.
-	last := -1
-	for i := 0; i < n; i++ {
-		if !reg.Cols[e.colAt(i)].IsAll() {
-			last = i
-		}
-	}
-	valid := e.materializeValid(sc, reg, last+1)
 	if beg, ok := sc.model.(SequentialModel); ok {
 		beg.BeginSampling(s)
 	}
@@ -480,24 +512,6 @@ func (e *Estimator) progressiveSample(sc *scratch, reg *query.Region, s int, q u
 			codes[r*n+col] = pick
 		}
 	}
-	var sum float64
-	for _, w := range weights {
-		sum += w
-	}
-	// Record the spread of the per-path density estimates so callers can ask
-	// for a standard error (the w_i are i.i.d. unbiased estimates).
-	mean := sum / float64(s)
-	var sq float64
-	for _, w := range weights {
-		d := w - mean
-		sq += d * d
-	}
-	if s > 1 {
-		e.storeStdErr(math.Sqrt(sq / float64(s-1) / float64(s)))
-	} else {
-		e.storeStdErr(0)
-	}
-	return clampProb(mean)
 }
 
 // LastStdErr returns the Monte Carlo standard error of the most recent

@@ -1,0 +1,278 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/query"
+)
+
+// Source tags where a served estimate came from, so operators can audit
+// degraded operation instead of discovering it in a quality regression.
+type Source int
+
+const (
+	// SourceModel: the full-budget model estimate (enumeration or all S
+	// progressive-sampling paths).
+	SourceModel Source = iota
+	// SourceDegraded: the model answered, but the per-query deadline cut the
+	// progressive-sample budget short — an anytime Monte Carlo estimate over
+	// the completed paths, with a correspondingly wider standard error.
+	SourceDegraded
+	// SourceFallback: the model failed (panic, non-finite estimate, expired
+	// deadline before any paths completed, cancelled context) and the
+	// configured fallback estimator answered instead.
+	SourceFallback
+	// SourceFailed: the model failed and no fallback was available (or the
+	// fallback itself failed); Sel is zero and Err explains why.
+	SourceFailed
+)
+
+// String implements fmt.Stringer for result provenance tags.
+func (s Source) String() string {
+	switch s {
+	case SourceModel:
+		return "model"
+	case SourceDegraded:
+		return "degraded"
+	case SourceFallback:
+		return "fallback"
+	case SourceFailed:
+		return "failed"
+	}
+	return fmt.Sprintf("Source(%d)", int(s))
+}
+
+// Result is one served estimate with provenance.
+type Result struct {
+	// Sel is the estimated selectivity in [0, 1].
+	Sel float64
+	// StdErr is the Monte Carlo standard error of Sel (0 after enumeration,
+	// which is exact with respect to the model, and for fallback results).
+	StdErr float64
+	// Source tags the estimate's provenance.
+	Source Source
+	// Samples is the number of progressive-sampling paths that contributed
+	// (0 when enumeration answered, or for fallback/failed results).
+	Samples int
+	// Err records why the model path failed. It is non-nil for SourceFailed
+	// and preserved alongside SourceFallback results so callers can log the
+	// original failure.
+	Err error
+}
+
+// ErrBudgetExhausted reports that a query's deadline expired before a single
+// progressive-sampling chunk completed, so not even a degraded model
+// estimate exists.
+var ErrBudgetExhausted = errors.New("core: deadline expired before any sample paths completed")
+
+// ErrNonFinite reports that the model produced a non-finite density
+// estimate (NaN weights from a poisoned model, for example).
+var ErrNonFinite = errors.New("core: model produced a non-finite estimate")
+
+// ServeOptions configures fault-tolerant batch serving.
+type ServeOptions struct {
+	// Workers caps the serving goroutines (NumCPU when <= 0).
+	Workers int
+
+	// Deadline is the per-query wall-clock budget (measured from the moment
+	// the query is picked up; 0 means none). An expiring deadline does not
+	// abort the query: the progressive sampler stops at the next chunk
+	// boundary and returns the anytime estimate over the completed paths,
+	// tagged SourceDegraded. A context deadline composes with it — whichever
+	// is sooner wins.
+	Deadline time.Duration
+
+	// Fallback, when non-nil, answers queries whose model path failed
+	// (panic, cancellation, exhausted budget, non-finite estimate). The
+	// cheap baselines of internal/estimator satisfy this signature via
+	// their EstimateRegion method.
+	Fallback func(reg *query.Region) float64
+
+	// BeforeQuery, when non-nil, runs inside the worker's recover scope just
+	// before query i is served. It exists for fault injection (scheduled
+	// panics, mid-batch cancellation) and lightweight instrumentation.
+	BeforeQuery func(i int)
+}
+
+// anytimeChunk is the progressive-sampling granularity of the serving path:
+// paths run in independently seeded chunks of this many, and deadlines are
+// checked at chunk boundaries. Chunk results depend only on (query index,
+// chunk index), so a query that completes its full budget returns the same
+// value no matter how many workers served the batch or how slowly the clock
+// ran — the determinism the disruption tests pin down.
+const anytimeChunk = 128
+
+// EstimateBatchCtx serves a whole workload with per-query fault containment:
+// each query runs under the context and per-query deadline, a panicking
+// query yields a per-query error (and fallback) rather than a crashed batch,
+// and deadline pressure degrades the sample budget instead of aborting. The
+// result slice aligns positionally with regions and always has an entry for
+// every query. Queries that complete their full model budget return values
+// that are bit-identical to a sequential (Workers: 1) serve of the same
+// batch on a fresh estimator.
+func (e *Estimator) EstimateBatchCtx(ctx context.Context, regions []*query.Region, opts ServeOptions) []Result {
+	out := make([]Result, len(regions))
+	if len(regions) == 0 {
+		return out
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	base := e.nextQuery.Add(uint64(len(regions))) - uint64(len(regions))
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	if workers > len(regions) {
+		workers = len(regions)
+	}
+	serve := func(i int) {
+		res := e.serveOne(ctx, regions[i], base+uint64(i), i, &opts)
+		if res.Err != nil && opts.Fallback != nil {
+			if v, ferr := safeFallback(opts.Fallback, regions[i]); ferr == nil {
+				res = Result{Sel: clampProb(v), Source: SourceFallback, Err: res.Err}
+			} else {
+				res.Source = SourceFailed
+				res.Err = errors.Join(res.Err, ferr)
+			}
+		}
+		out[i] = res
+	}
+	if workers == 1 {
+		for i := range regions {
+			serve(i)
+		}
+		return out
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(regions) {
+					return
+				}
+				serve(i)
+			}
+		}()
+	}
+	wg.Wait()
+	return out
+}
+
+// serveOne runs one query with panic isolation: a panic anywhere in the
+// model, sampler, or injected hooks is converted into a per-query error so
+// the rest of the batch is untouched.
+func (e *Estimator) serveOne(ctx context.Context, reg *query.Region, q uint64, i int, opts *ServeOptions) (res Result) {
+	defer func() {
+		if r := recover(); r != nil {
+			res = Result{Source: SourceFailed, Err: fmt.Errorf("core: query %d panicked: %v", i, r)}
+		}
+	}()
+	if opts.BeforeQuery != nil {
+		opts.BeforeQuery(i)
+	}
+	if err := ctx.Err(); err != nil {
+		return Result{Source: SourceFailed, Err: err}
+	}
+	var deadline time.Time
+	if opts.Deadline > 0 {
+		deadline = time.Now().Add(opts.Deadline)
+	}
+	if dl, ok := ctx.Deadline(); ok && (deadline.IsZero() || dl.Before(deadline)) {
+		deadline = dl
+	}
+	sc := e.acquire()
+	defer e.release(sc)
+	return e.estimateAnytime(ctx, sc, reg, q, deadline)
+}
+
+// estimateAnytime mirrors estimateAt's enumeration/sampling dispatch, but
+// the sampling arm runs in independently seeded chunks with deadline and
+// cancellation checks at chunk boundaries: an expired budget returns the
+// anytime estimate over the chunks that did complete.
+func (e *Estimator) estimateAnytime(ctx context.Context, sc *scratch, reg *query.Region, q uint64, deadline time.Time) Result {
+	if len(reg.Cols) != sc.model.NumCols() {
+		return Result{Source: SourceFailed, Err: fmt.Errorf("core: region over %d columns, model has %d",
+			len(reg.Cols), sc.model.NumCols())}
+	}
+	if reg.IsEmpty() {
+		return Result{Source: SourceModel}
+	}
+	if size := e.regionSizeRestricted(reg); size <= e.EnumThreshold {
+		// Enumeration is exact with respect to the model and its work is
+		// bounded by EnumThreshold model evaluations, so it always runs to
+		// completion.
+		return Result{Sel: e.enumerate(sc, reg), Source: SourceModel}
+	}
+	last, valid := e.restrictedPrefix(sc, reg)
+	var sum, sumsq float64
+	done := 0
+	for done < e.samples {
+		if err := ctx.Err(); err != nil {
+			if done == 0 {
+				return Result{Source: SourceFailed, Err: err}
+			}
+			break
+		}
+		if !deadline.IsZero() && !time.Now().Before(deadline) {
+			break
+		}
+		cn := e.samples - done
+		if cn > anytimeChunk {
+			cn = anytimeChunk
+		}
+		// Each chunk draws from its own deterministic stream keyed by
+		// (query, chunk), so partial completion is still reproducible.
+		sc.rng.Seed(mixSeed(e.seedFor(q), int64(done/anytimeChunk)))
+		e.walkPaths(sc, reg, cn, last, valid)
+		for _, w := range sc.weights[:cn] {
+			sum += w
+			sumsq += w * w
+		}
+		done += cn
+	}
+	if done == 0 {
+		return Result{Source: SourceFailed, Err: ErrBudgetExhausted}
+	}
+	mean := sum / float64(done)
+	if !isFinite(mean) {
+		return Result{Source: SourceFailed, Err: ErrNonFinite}
+	}
+	var stderr float64
+	if done > 1 {
+		if variance := (sumsq - sum*sum/float64(done)) / float64(done-1); variance > 0 {
+			stderr = math.Sqrt(variance / float64(done))
+		}
+	}
+	src := SourceModel
+	if done < e.samples {
+		src = SourceDegraded
+	}
+	return Result{Sel: clampProb(mean), StdErr: stderr, Source: src, Samples: done}
+}
+
+// safeFallback runs the fallback estimator with its own panic isolation: a
+// buggy fallback degrades to SourceFailed instead of taking down the batch.
+func safeFallback(fb func(*query.Region) float64, reg *query.Region) (v float64, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("core: fallback panicked: %v", r)
+		}
+	}()
+	v = fb(reg)
+	if !isFinite(v) {
+		return 0, fmt.Errorf("core: fallback produced non-finite estimate %v", v)
+	}
+	return v, nil
+}

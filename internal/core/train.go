@@ -1,8 +1,11 @@
 package core
 
 import (
+	"errors"
+	"fmt"
 	"math"
 	"math/rand"
+	"os"
 
 	"repro/internal/nn"
 	"repro/internal/table"
@@ -33,6 +36,39 @@ type TrainConfig struct {
 	// stops training early. Figure 5 hooks its per-epoch quality
 	// measurements in here.
 	OnEpoch func(epoch int, nll float64) bool
+
+	// OnStep, when non-nil, is invoked after every successful gradient step
+	// with the global step index (cumulative across epochs) and that step's
+	// loss. A non-nil error aborts training immediately — the fault-injection
+	// suite uses it to simulate the process dying mid-epoch; monitoring
+	// callbacks can use it for step-granular progress.
+	OnStep func(step int, loss float64) error
+
+	// CheckpointPath, when non-empty, enables durable checkpointing: every
+	// CheckpointEvery steps (and at each epoch boundary) the full training
+	// state — weights, Adam moments, schedule position, learning rate — is
+	// written atomically (write-temp + fsync + rename) inside a
+	// CRC32-protected envelope.
+	CheckpointPath  string
+	CheckpointEvery int // steps between checkpoints (default 100)
+
+	// Resume continues a run from CheckpointPath if the file exists: the
+	// epoch/step schedule picks up exactly where the checkpoint stopped and,
+	// because batch order is derived deterministically from (Seed, epoch),
+	// the resumed trajectory is bit-identical to an uninterrupted run. A
+	// corrupt checkpoint is an error; a missing one starts fresh.
+	Resume bool
+
+	// MaxRetries bounds divergence rollbacks: when a step produces a
+	// non-finite loss or a gradient norm above MaxGradNorm, training rolls
+	// back to the last good state, halves the learning rate, and tries
+	// again, at most MaxRetries times (default 3) before giving up.
+	MaxRetries int
+
+	// MaxGradNorm is the global L2 gradient-norm explosion threshold
+	// (default 1e6; <0 disables the norm check — non-finite losses are
+	// always guarded).
+	MaxGradNorm float64
 }
 
 // DefaultTrainConfig matches the scaled-down evaluation defaults.
@@ -40,11 +76,24 @@ func DefaultTrainConfig() TrainConfig {
 	return TrainConfig{Epochs: 10, BatchSize: 512, LR: 2e-3, Seed: 1}
 }
 
+// ErrDiverged is returned (wrapped) when training keeps producing non-finite
+// losses or exploding gradients after exhausting its rollback retries.
+var ErrDiverged = errors.New("core: training diverged")
+
 // Train fits the model to the relation by maximum likelihood (Eq. 2),
 // returning the per-epoch mean NLL in nats per tuple. The same routine also
 // serves fine-tuning on new data for the §6.7.3 staleness experiments: call
-// it again with the updated table.
+// it again with the updated table. Train is the error-free convenience
+// wrapper around TrainRun for configurations without checkpointing.
 func Train(m Trainable, t *table.Table, cfg TrainConfig) []float64 {
+	history, _ := TrainRun(m, t, cfg)
+	return history
+}
+
+// TrainRun is Train with the resilience layer surfaced: checkpoint/resume,
+// the divergence guard, and step hooks all report through the error return.
+// On error the history covers the epochs completed before the failure.
+func TrainRun(m Trainable, t *table.Table, cfg TrainConfig) ([]float64, error) {
 	if cfg.Epochs <= 0 {
 		cfg.Epochs = 1
 	}
@@ -54,34 +103,164 @@ func Train(m Trainable, t *table.Table, cfg TrainConfig) []float64 {
 	if cfg.LR <= 0 {
 		cfg.LR = 2e-3
 	}
-	rng := rand.New(rand.NewSource(cfg.Seed))
+	if cfg.CheckpointEvery <= 0 {
+		cfg.CheckpointEvery = 100
+	}
+	if cfg.MaxRetries <= 0 {
+		cfg.MaxRetries = 3
+	}
+	if cfg.MaxGradNorm == 0 {
+		cfg.MaxGradNorm = 1e6
+	}
 	opt := nn.NewAdam(cfg.LR)
 	n := t.NumRows()
 	nc := t.NumCols()
-	order := rng.Perm(n)
+	stepsPerEpoch := n / cfg.BatchSize
+
+	// good is the rollback target of the divergence guard and the image of
+	// the last durable checkpoint. It always exists (the pre-training state
+	// is good), so a first-step divergence can still roll back.
+	var good *trainState
+	if cfg.Resume && cfg.CheckpointPath != "" {
+		st, err := loadCheckpoint(cfg.CheckpointPath)
+		switch {
+		case err == nil:
+			if err := restoreState(st, m, opt); err != nil {
+				return nil, err
+			}
+			good = st
+		case os.IsNotExist(err):
+			// First run: nothing to resume.
+		default:
+			return nil, err
+		}
+	}
+	if good == nil {
+		good = captureState(m, opt)
+	}
+
+	history := append([]float64(nil), good.History...)
+	epoch, step := good.Epoch, good.Step
+	epochSum, epochSteps := good.EpochSum, good.EpochSteps
+	retries := good.Retries
 	batch := make([]int32, cfg.BatchSize*nc)
-	var history []float64
-	for epoch := 0; epoch < cfg.Epochs; epoch++ {
-		// Fresh shuffle each epoch: the paper trains on "batches of random
-		// tuples" (§4.1).
-		rng.Shuffle(n, func(i, j int) { order[i], order[j] = order[j], order[i] })
-		var sum float64
-		var steps int
-		for off := 0; off+cfg.BatchSize <= n; off += cfg.BatchSize {
+
+	// snapshot records the current position as the new good state and, when
+	// configured, persists it durably.
+	snapshot := func() error {
+		st := captureState(m, opt)
+		st.Epoch, st.Step = epoch, step
+		st.History = append([]float64(nil), history...)
+		st.EpochSum, st.EpochSteps = epochSum, epochSteps
+		st.Retries = retries
+		good = st
+		if cfg.CheckpointPath == "" {
+			return nil
+		}
+		return writeCheckpoint(cfg.CheckpointPath, st)
+	}
+
+	for epoch < cfg.Epochs {
+		// Fresh shuffle each epoch, derived from (Seed, epoch) alone: the
+		// paper trains on "batches of random tuples" (§4.1), and keying the
+		// permutation by epoch lets a resumed run rebuild the exact batch
+		// schedule without replaying earlier epochs.
+		order := rand.New(rand.NewSource(mixSeed(cfg.Seed, int64(epoch)))).Perm(n)
+		for step < stepsPerEpoch {
+			off := step * cfg.BatchSize
 			for bi := 0; bi < cfg.BatchSize; bi++ {
 				row := order[off+bi]
 				for c := 0; c < nc; c++ {
 					batch[bi*nc+c] = t.Cols[c].Codes[row]
 				}
 			}
-			sum += m.TrainStep(batch, cfg.BatchSize, opt)
-			steps++
+			// Accumulate gradients without stepping so a diverged batch can
+			// be discarded before it poisons the weights; the guard inspects
+			// loss and gradient norm, then the optimizer step is applied.
+			loss := m.TrainStep(batch, cfg.BatchSize, nil)
+			if !isFinite(loss) || gradExplodes(m.Params(), cfg.MaxGradNorm) {
+				retries++
+				if retries > cfg.MaxRetries {
+					return history, fmt.Errorf("%w: step %d of epoch %d (loss %v) after %d rollbacks",
+						ErrDiverged, step, epoch, loss, cfg.MaxRetries)
+				}
+				// Roll back to the last good state and halve the learning
+				// rate from there; the halved rate becomes part of the good
+				// state so further rollbacks keep shrinking it.
+				if err := restoreState(good, m, opt); err != nil {
+					return history, err
+				}
+				opt.LR /= 2
+				good.LR = opt.LR
+				good.Retries = retries
+				epoch, step = good.Epoch, good.Step
+				history = append(history[:0], good.History...)
+				epochSum, epochSteps = good.EpochSum, good.EpochSteps
+				if cfg.CheckpointPath != "" {
+					if err := writeCheckpoint(cfg.CheckpointPath, good); err != nil {
+						return history, err
+					}
+				}
+				break // re-derive the epoch's order (epoch may have moved back)
+			}
+			opt.Step(m.Params())
+			epochSum += loss
+			epochSteps++
+			step++
+			if cfg.OnStep != nil {
+				if err := cfg.OnStep(epoch*stepsPerEpoch+step-1, loss); err != nil {
+					return history, err
+				}
+			}
+			if step%cfg.CheckpointEvery == 0 {
+				if err := snapshot(); err != nil {
+					return history, err
+				}
+			}
 		}
-		nll := sum / math.Max(1, float64(steps))
+		if step < stepsPerEpoch {
+			continue // divergence rollback: restart the (possibly earlier) epoch
+		}
+		nll := epochSum / math.Max(1, float64(epochSteps))
 		history = append(history, nll)
-		if cfg.OnEpoch != nil && !cfg.OnEpoch(epoch, nll) {
+		epoch, step = epoch+1, 0
+		epochSum, epochSteps = 0, 0
+		if err := snapshot(); err != nil {
+			return history, err
+		}
+		if cfg.OnEpoch != nil && !cfg.OnEpoch(epoch-1, nll) {
 			break
 		}
 	}
-	return history
+	return history, nil
+}
+
+// mixSeed derives a well-separated stream seed from (seed, k) by a
+// splitmix64 round, mirroring Estimator.seedFor.
+func mixSeed(seed, k int64) int64 {
+	z := uint64(seed) + 0x9e3779b97f4a7c15*uint64(k+1)
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	z ^= z >> 31
+	return int64(z)
+}
+
+func isFinite(x float64) bool { return !math.IsNaN(x) && !math.IsInf(x, 0) }
+
+// gradExplodes reports whether the global L2 gradient norm is non-finite or
+// above the threshold (maxNorm < 0 disables the magnitude check but still
+// catches non-finite gradients).
+func gradExplodes(params []*nn.Param, maxNorm float64) bool {
+	var sq float64
+	for _, p := range params {
+		for _, g := range p.Grad.Data {
+			sq += float64(g) * float64(g)
+		}
+	}
+	if !isFinite(sq) {
+		return true
+	}
+	return maxNorm >= 0 && math.Sqrt(sq) > maxNorm
 }

@@ -1,0 +1,99 @@
+// Package envelope frames binary payloads for durable storage: an 8-byte
+// magic string, a format version, the payload length, and an IEEE CRC32 of
+// the payload, followed by the payload itself. Every persistent artifact in
+// this module (saved models, training checkpoints) travels inside an
+// envelope, so a truncated file, a flipped bit, or a foreign file is
+// rejected with an error *before* any payload bytes reach a decoder.
+//
+// The frame is fixed-size and self-delimiting: Read consumes exactly
+// HeaderSize + length bytes from the stream, which lets envelopes be
+// concatenated with other records in one file (the naru model format puts a
+// text header before and a row-count trailer after the model envelope).
+//
+// Layout (big-endian):
+//
+//	offset  size  field
+//	0       8     magic (ASCII, space-padded)
+//	8       4     version (uint32)
+//	12      8     payload length (uint64)
+//	20      4     CRC32/IEEE over bytes [8, 20) ++ payload
+//	24      n     payload
+//
+// The checksum covers the version and length fields as well as the payload,
+// so any single corrupted bit after the magic is detected.
+package envelope
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+)
+
+// HeaderSize is the fixed byte size of the frame before the payload.
+const HeaderSize = 8 + 4 + 8 + 4
+
+// MagicLen is the exact length every magic string must have.
+const MagicLen = 8
+
+// ErrCorrupt tags every integrity failure (bad magic, impossible length,
+// truncation, CRC mismatch) so callers can distinguish "damaged artifact"
+// from ordinary I/O errors with errors.Is.
+var ErrCorrupt = errors.New("envelope: corrupt or truncated")
+
+// Write frames payload under the given magic and version. magic must be
+// exactly MagicLen bytes.
+func Write(w io.Writer, magic string, version uint32, payload []byte) error {
+	if len(magic) != MagicLen {
+		return fmt.Errorf("envelope: magic %q must be %d bytes", magic, MagicLen)
+	}
+	var hdr [HeaderSize]byte
+	copy(hdr[:8], magic)
+	binary.BigEndian.PutUint32(hdr[8:12], version)
+	binary.BigEndian.PutUint64(hdr[12:20], uint64(len(payload)))
+	sum := crc32.ChecksumIEEE(hdr[8:20])
+	sum = crc32.Update(sum, crc32.IEEETable, payload)
+	binary.BigEndian.PutUint32(hdr[20:24], sum)
+	if _, err := w.Write(hdr[:]); err != nil {
+		return fmt.Errorf("envelope: writing header: %w", err)
+	}
+	if _, err := w.Write(payload); err != nil {
+		return fmt.Errorf("envelope: writing payload: %w", err)
+	}
+	return nil
+}
+
+// Read consumes one envelope from r, verifying magic, length, and checksum.
+// maxSize bounds the payload allocation: a length field above it is rejected
+// as corrupt before any memory is reserved, so a hostile or damaged length
+// cannot trigger an unbounded allocation. Exactly HeaderSize + length bytes
+// are consumed from r on success.
+func Read(r io.Reader, magic string, maxSize uint64) (version uint32, payload []byte, err error) {
+	if len(magic) != MagicLen {
+		return 0, nil, fmt.Errorf("envelope: magic %q must be %d bytes", magic, MagicLen)
+	}
+	var hdr [HeaderSize]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, nil, fmt.Errorf("%w: reading header: %v", ErrCorrupt, err)
+	}
+	if string(hdr[:8]) != magic {
+		return 0, nil, fmt.Errorf("%w: magic %q, want %q", ErrCorrupt, hdr[:8], magic)
+	}
+	version = binary.BigEndian.Uint32(hdr[8:12])
+	length := binary.BigEndian.Uint64(hdr[12:20])
+	sum := binary.BigEndian.Uint32(hdr[20:24])
+	if length > maxSize {
+		return 0, nil, fmt.Errorf("%w: payload of %d bytes exceeds limit %d", ErrCorrupt, length, maxSize)
+	}
+	payload = make([]byte, length)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return 0, nil, fmt.Errorf("%w: payload truncated: %v", ErrCorrupt, err)
+	}
+	got := crc32.ChecksumIEEE(hdr[8:20])
+	got = crc32.Update(got, crc32.IEEETable, payload)
+	if got != sum {
+		return 0, nil, fmt.Errorf("%w: CRC32 %08x, header says %08x", ErrCorrupt, got, sum)
+	}
+	return version, payload, nil
+}

@@ -1,0 +1,108 @@
+package envelope
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+
+	"repro/internal/faultinject"
+)
+
+const testMagic = "narutest"
+
+func frame(t *testing.T, payload []byte) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := Write(&buf, testMagic, 3, payload); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestRoundTrip(t *testing.T) {
+	payload := []byte("the quick brown fox")
+	data := frame(t, payload)
+	if len(data) != HeaderSize+len(payload) {
+		t.Fatalf("frame is %d bytes, want %d", len(data), HeaderSize+len(payload))
+	}
+	v, got, err := Read(bytes.NewReader(data), testMagic, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 3 || !bytes.Equal(got, payload) {
+		t.Fatalf("got version %d payload %q", v, got)
+	}
+}
+
+func TestReadConsumesExactBytes(t *testing.T) {
+	// An envelope followed by trailing data: Read must stop at the frame edge.
+	data := append(frame(t, []byte("abc")), []byte("TRAILER")...)
+	r := bytes.NewReader(data)
+	if _, _, err := Read(r, testMagic, 1<<20); err != nil {
+		t.Fatal(err)
+	}
+	rest, _ := io.ReadAll(r)
+	if string(rest) != "TRAILER" {
+		t.Fatalf("leftover = %q, want TRAILER", rest)
+	}
+}
+
+func TestEveryBitFlipRejected(t *testing.T) {
+	payload := []byte("sensitive model weights")
+	data := frame(t, payload)
+	for off := int64(0); off < int64(len(data)); off++ {
+		bad := faultinject.FlipBit(data, off, uint(off)%8)
+		_, _, err := Read(bytes.NewReader(bad), testMagic, 1<<20)
+		if err == nil {
+			t.Fatalf("bit flip at offset %d accepted", off)
+		}
+		if !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("bit flip at offset %d: error %v is not ErrCorrupt", off, err)
+		}
+	}
+}
+
+func TestEveryTruncationRejected(t *testing.T) {
+	data := frame(t, []byte("abcdefgh"))
+	for n := 0; n < len(data); n++ {
+		if _, _, err := Read(bytes.NewReader(data[:n]), testMagic, 1<<20); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("truncation to %d bytes: err = %v, want ErrCorrupt", n, err)
+		}
+	}
+}
+
+func TestOversizedLengthRejectedBeforeAllocation(t *testing.T) {
+	data := frame(t, bytes.Repeat([]byte{7}, 100))
+	// maxSize below the actual payload: must refuse without reading payload.
+	if _, _, err := Read(bytes.NewReader(data), testMagic, 99); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("err = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestWrongMagicRejected(t *testing.T) {
+	data := frame(t, []byte("x"))
+	if _, _, err := Read(bytes.NewReader(data), "otherfmt", 1<<20); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("err = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestBadMagicLength(t *testing.T) {
+	if err := Write(io.Discard, "short", 1, nil); err == nil {
+		t.Fatal("Write accepted a 5-byte magic")
+	}
+	if _, _, err := Read(bytes.NewReader(nil), "waytoolongmagic", 1); err == nil {
+		t.Fatal("Read accepted a 15-byte magic")
+	}
+}
+
+func TestShortWriteSurfacesError(t *testing.T) {
+	payload := bytes.Repeat([]byte{1}, 64)
+	for limit := 0; limit < HeaderSize+len(payload); limit += 7 {
+		var sink bytes.Buffer
+		w := &faultinject.Writer{W: &sink, Limit: limit}
+		if err := Write(w, testMagic, 1, payload); err == nil {
+			t.Fatalf("limit %d: short write went unreported", limit)
+		}
+	}
+}

@@ -1,0 +1,127 @@
+// Package faultinject supplies deterministic failure machinery for the
+// resilience test suites: writers that fail or short-write after a byte
+// budget, readers that flip bits or truncate, training hooks that "crash"
+// after N steps, and serving hooks that panic on or cancel at chosen query
+// indices. Everything is deterministic and safe under the race detector, so
+// the same disruption schedule reproduces bit-identically across runs.
+//
+// The package is imported only by tests; production code paths expose plain
+// hook points (TrainConfig.OnStep, ServeOptions.BeforeQuery) and stay
+// unaware of it.
+package faultinject
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sync/atomic"
+)
+
+// ErrInjected is returned by the failing writers and readers.
+var ErrInjected = errors.New("faultinject: injected fault")
+
+// ErrCrash is returned by CrashAfter hooks to simulate an abrupt process
+// death during training.
+var ErrCrash = errors.New("faultinject: simulated crash")
+
+// Writer passes bytes through to W until Limit bytes have been written, then
+// fails every subsequent call. A write that straddles the limit is a short
+// write: the prefix reaches W and the call returns ErrInjected, the way a
+// full disk or a killed process truncates a file mid-write.
+type Writer struct {
+	W       io.Writer
+	Limit   int
+	written int
+}
+
+// Write implements io.Writer with the byte budget above.
+func (w *Writer) Write(p []byte) (int, error) {
+	remain := w.Limit - w.written
+	if remain <= 0 {
+		return 0, ErrInjected
+	}
+	if len(p) <= remain {
+		n, err := w.W.Write(p)
+		w.written += n
+		return n, err
+	}
+	n, err := w.W.Write(p[:remain])
+	w.written += n
+	if err != nil {
+		return n, err
+	}
+	return n, ErrInjected
+}
+
+// BitFlipReader passes the stream of R through unchanged except for a single
+// bit: bit Bit (0-7) of the byte at stream offset Offset is inverted. With
+// Offset beyond the stream length it is a plain pass-through.
+type BitFlipReader struct {
+	R      io.Reader
+	Offset int64
+	Bit    uint
+	pos    int64
+}
+
+// Read implements io.Reader with the one-bit corruption above.
+func (r *BitFlipReader) Read(p []byte) (int, error) {
+	n, err := r.R.Read(p)
+	if i := r.Offset - r.pos; i >= 0 && i < int64(n) {
+		p[i] ^= 1 << (r.Bit & 7)
+	}
+	r.pos += int64(n)
+	return n, err
+}
+
+// FlipBit returns a copy of data with bit (0-7) of byte offset inverted; a
+// no-op copy when offset is out of range. Convenient for corpus generation.
+func FlipBit(data []byte, offset int64, bit uint) []byte {
+	out := append([]byte(nil), data...)
+	if offset >= 0 && offset < int64(len(out)) {
+		out[offset] ^= 1 << (bit & 7)
+	}
+	return out
+}
+
+// CrashAfter returns a training OnStep hook that succeeds for the first n
+// calls and returns ErrCrash on call n (0-based global step index is ignored;
+// only the call count matters). It simulates the process dying mid-epoch: the
+// training loop aborts immediately, leaving only the periodic checkpoints
+// behind.
+func CrashAfter(n int) func(step int, loss float64) error {
+	var calls atomic.Int64
+	return func(int, float64) error {
+		if calls.Add(1)-1 >= int64(n) {
+			return ErrCrash
+		}
+		return nil
+	}
+}
+
+// PanicOn returns a serving BeforeQuery hook that panics when invoked for any
+// of the given query indices. The panic fires inside the worker goroutine's
+// recover scope, modeling a query that trips a bug in the model or sampler.
+func PanicOn(indices ...int) func(i int) {
+	set := make(map[int]bool, len(indices))
+	for _, i := range indices {
+		set[i] = true
+	}
+	return func(i int) {
+		if set[i] {
+			panic(fmt.Sprintf("faultinject: scheduled panic on query %d", i))
+		}
+	}
+}
+
+// CancelAt returns a serving BeforeQuery hook that invokes cancel the first
+// time query index i (or any later index) is reached, simulating a client
+// abandoning a batch mid-flight. cancel must be safe to call from any worker
+// goroutine (context.CancelFunc is).
+func CancelAt(i int, cancel func()) func(int) {
+	var done atomic.Bool
+	return func(idx int) {
+		if idx >= i && done.CompareAndSwap(false, true) {
+			cancel()
+		}
+	}
+}

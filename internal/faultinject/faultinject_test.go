@@ -1,0 +1,123 @@
+package faultinject
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"sync"
+	"testing"
+)
+
+func TestWriterShortWrite(t *testing.T) {
+	var sink bytes.Buffer
+	w := &Writer{W: &sink, Limit: 5}
+	n, err := w.Write([]byte("abcdefgh"))
+	if n != 5 || !errors.Is(err, ErrInjected) {
+		t.Fatalf("n=%d err=%v, want 5, ErrInjected", n, err)
+	}
+	if sink.String() != "abcde" {
+		t.Fatalf("sink = %q", sink.String())
+	}
+	if n, err := w.Write([]byte("x")); n != 0 || !errors.Is(err, ErrInjected) {
+		t.Fatalf("post-limit write: n=%d err=%v", n, err)
+	}
+}
+
+func TestWriterExactBudgetPasses(t *testing.T) {
+	var sink bytes.Buffer
+	w := &Writer{W: &sink, Limit: 3}
+	if n, err := w.Write([]byte("abc")); n != 3 || err != nil {
+		t.Fatalf("n=%d err=%v", n, err)
+	}
+}
+
+func TestBitFlipReader(t *testing.T) {
+	src := []byte{0x00, 0x00, 0x00, 0x00}
+	r := &BitFlipReader{R: bytes.NewReader(src), Offset: 2, Bit: 3}
+	got, err := io.ReadAll(iotest(r, 1)) // force 1-byte reads across the flip
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []byte{0x00, 0x00, 0x08, 0x00}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("got % x, want % x", got, want)
+	}
+}
+
+// iotest caps each Read at n bytes so stream-offset bookkeeping is exercised.
+func iotest(r io.Reader, n int) io.Reader { return &capped{r, n} }
+
+type capped struct {
+	r io.Reader
+	n int
+}
+
+func (c *capped) Read(p []byte) (int, error) {
+	if len(p) > c.n {
+		p = p[:c.n]
+	}
+	return c.r.Read(p)
+}
+
+func TestFlipBitCopies(t *testing.T) {
+	orig := []byte{0xFF}
+	flipped := FlipBit(orig, 0, 0)
+	if orig[0] != 0xFF || flipped[0] != 0xFE {
+		t.Fatalf("orig=%x flipped=%x", orig, flipped)
+	}
+	if out := FlipBit(orig, 99, 0); out[0] != 0xFF {
+		t.Fatalf("out-of-range flip changed data: %x", out)
+	}
+}
+
+func TestCrashAfter(t *testing.T) {
+	hook := CrashAfter(3)
+	for i := 0; i < 3; i++ {
+		if err := hook(i, 0); err != nil {
+			t.Fatalf("call %d: %v", i, err)
+		}
+	}
+	if err := hook(3, 0); !errors.Is(err, ErrCrash) {
+		t.Fatalf("call 3: %v, want ErrCrash", err)
+	}
+}
+
+func TestPanicOn(t *testing.T) {
+	hook := PanicOn(2, 4)
+	hook(0)
+	hook(3)
+	for _, i := range []int{2, 4} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("no panic on query %d", i)
+				}
+			}()
+			hook(i)
+		}()
+	}
+}
+
+func TestCancelAtFiresOnce(t *testing.T) {
+	var mu sync.Mutex
+	calls := 0
+	hook := CancelAt(5, func() { mu.Lock(); calls++; mu.Unlock() })
+	var wg sync.WaitGroup
+	for i := 0; i < 20; i++ {
+		wg.Add(1)
+		go func(i int) { defer wg.Done(); hook(i) }(i)
+	}
+	wg.Wait()
+	if calls != 1 {
+		t.Fatalf("cancel fired %d times, want 1", calls)
+	}
+	if calls = 0; calls != 0 {
+		t.Fatal("unreachable")
+	}
+	hook(7)
+	mu.Lock()
+	defer mu.Unlock()
+	if calls != 0 {
+		t.Fatalf("cancel re-fired after first trigger")
+	}
+}

@@ -1,0 +1,120 @@
+package made
+
+import (
+	"bytes"
+	"encoding/gob"
+	"errors"
+	"testing"
+
+	"repro/internal/envelope"
+	"repro/internal/faultinject"
+)
+
+// savedBytes serializes a small trained-shape model for corpus seeding.
+func savedBytes(tb testing.TB) []byte {
+	tb.Helper()
+	m := New([]int{6, 120, 4}, tinyConfig(7))
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		tb.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestLoadRejectsCorruptionCorpus drives Load over a systematic corruption
+// corpus: every truncation length and a sweep of single-bit flips across the
+// file. Every entry must be rejected with an error — zero panics, zero
+// silent loads.
+func TestLoadRejectsCorruptionCorpus(t *testing.T) {
+	data := savedBytes(t)
+	// Truncations (sampled stride to keep the corpus fast; always include
+	// the envelope header region byte-by-byte).
+	for n := 0; n < len(data); n += 1 + n/64 {
+		if _, err := Load(bytes.NewReader(data[:n])); err == nil {
+			t.Fatalf("truncation to %d of %d bytes loaded silently", n, len(data))
+		}
+	}
+	// Bit flips, both via a corrupted buffer and via a corrupting reader.
+	for off := int64(0); off < int64(len(data)); off += 1 + off/64 {
+		bad := faultinject.FlipBit(data, off, uint(off)%8)
+		if _, err := Load(bytes.NewReader(bad)); err == nil {
+			t.Fatalf("bit flip at offset %d loaded silently", off)
+		}
+		r := &faultinject.BitFlipReader{R: bytes.NewReader(data), Offset: off, Bit: uint(off) % 8}
+		if _, err := Load(r); err == nil {
+			t.Fatalf("streamed bit flip at offset %d loaded silently", off)
+		}
+	}
+}
+
+// TestLoadRejectsHostilePayload re-frames syntactically valid gob payloads
+// with correct checksums but hostile architecture fields: the validator must
+// reject them before any unbounded allocation or panic.
+func TestLoadRejectsHostilePayload(t *testing.T) {
+	cases := map[string]savedModel{
+		"no columns":       {Cfg: Config{HiddenSizes: []int{8}}},
+		"negative domain":  {Cfg: Config{HiddenSizes: []int{8}}, Domains: []int{4, -1}},
+		"huge domain":      {Cfg: Config{HiddenSizes: []int{8}}, Domains: []int{1 << 30}},
+		"too many columns": {Cfg: Config{HiddenSizes: []int{8}}, Domains: make([]int, 1<<15)},
+		"no hidden layers": {Domains: []int{4}},
+		"huge layer":       {Cfg: Config{HiddenSizes: []int{1 << 28}}, Domains: []int{4}},
+		"list mismatch": {Cfg: Config{HiddenSizes: []int{8}}, Domains: []int{4, 4},
+			Names: []string{"a"}, Shapes: [][2]int{{1, 1}, {2, 2}}},
+		"short data": {Cfg: Config{HiddenSizes: []int{8}, EmbedThreshold: 64, EmbedDim: 8},
+			Domains: []int{4, 4},
+			Names:   []string{"trunk0.W"}, Shapes: [][2]int{{8, 8}}, Data: [][]float32{{1}}},
+	}
+	for name, sm := range cases {
+		var payload bytes.Buffer
+		if err := gob.NewEncoder(&payload).Encode(&sm); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		var framed bytes.Buffer
+		if err := envelope.Write(&framed, wireMagic, wireVersion, payload.Bytes()); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if _, err := Load(&framed); err == nil {
+			t.Errorf("%s: hostile payload loaded silently", name)
+		}
+	}
+}
+
+func TestLoadRejectsFutureVersion(t *testing.T) {
+	var framed bytes.Buffer
+	if err := envelope.Write(&framed, wireMagic, wireVersion+1, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(&framed); err == nil {
+		t.Fatal("future version loaded silently")
+	}
+}
+
+func TestSaveSurfacesWriteFaults(t *testing.T) {
+	m := New([]int{4, 4}, tinyConfig(1))
+	for limit := 0; limit < 256; limit += 16 {
+		w := &faultinject.Writer{W: new(bytes.Buffer), Limit: limit}
+		if err := m.Save(w); !errors.Is(err, faultinject.ErrInjected) {
+			t.Fatalf("limit %d: err = %v, want ErrInjected", limit, err)
+		}
+	}
+}
+
+// FuzzLoad feeds arbitrary bytes to Load: corrupted or truncated model files
+// must return an error, never panic and never allocate unboundedly. The seed
+// corpus contains a real saved model plus characteristic corruptions of it.
+func FuzzLoad(f *testing.F) {
+	data := savedBytes(f)
+	f.Add(data)
+	f.Add(data[:len(data)/2])
+	f.Add(data[:envelope.HeaderSize])
+	f.Add(faultinject.FlipBit(data, int64(len(data)/3), 2))
+	f.Add(faultinject.FlipBit(data, 9, 0)) // version field
+	f.Add([]byte{})
+	f.Add([]byte("narumade garbage after a valid magic string"))
+	f.Fuzz(func(t *testing.T, b []byte) {
+		m, err := Load(bytes.NewReader(b))
+		if err == nil && m == nil {
+			t.Fatal("nil model with nil error")
+		}
+	})
+}

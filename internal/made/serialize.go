@@ -1,9 +1,34 @@
 package made
 
 import (
+	"bytes"
 	"encoding/gob"
 	"fmt"
 	"io"
+
+	"repro/internal/envelope"
+)
+
+// Wire-format constants. The gob payload travels inside a CRC32-protected,
+// versioned envelope (internal/envelope): a truncated file, a flipped bit,
+// or a foreign format is rejected before any byte reaches the gob decoder.
+const (
+	wireMagic   = "narumade"
+	wireVersion = 1
+
+	// maxWireBytes bounds the payload allocation when loading: larger than
+	// any model this module trains (the paper's budgets top out in the tens
+	// of megabytes), small enough that a hostile length field cannot reserve
+	// unbounded memory.
+	maxWireBytes = 1 << 30
+
+	// Architecture sanity bounds applied before rebuilding a network from
+	// untrusted bytes. They are far above anything the trainer produces but
+	// cap the allocations a crafted file could demand.
+	maxCols      = 1 << 14
+	maxDomain    = 1 << 26
+	maxLayers    = 1 << 8
+	maxLayerSize = 1 << 20
 )
 
 // savedModel is the gob wire format: the architecture plus flat parameter
@@ -16,6 +41,14 @@ type savedModel struct {
 	Data    [][]float32
 }
 
+// gob numbers wire types process-globally in order of first use, so the bytes
+// a stream carries for its type descriptors depend on which other gob types
+// the process happened to touch earlier (a resumed training run decodes a
+// checkpoint before saving its model, a fresh run does not). Claiming this
+// package's ids at init pins them regardless of process history, keeping
+// saved artifacts byte-identical across equivalent runs.
+func init() { _ = gob.NewEncoder(io.Discard).Encode(savedModel{}) }
+
 // Save serializes the model (architecture + weights) to w. The format is
 // self-describing: Load rebuilds the identical network and copies weights in.
 func (m *Model) Save(w io.Writer) error {
@@ -25,19 +58,45 @@ func (m *Model) Save(w io.Writer) error {
 		sm.Shapes = append(sm.Shapes, [2]int{p.Val.Rows, p.Val.Cols})
 		sm.Data = append(sm.Data, p.Val.Data)
 	}
-	if err := gob.NewEncoder(w).Encode(&sm); err != nil {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&sm); err != nil {
 		return fmt.Errorf("made: encoding model: %w", err)
+	}
+	if err := envelope.Write(w, wireMagic, wireVersion, buf.Bytes()); err != nil {
+		return fmt.Errorf("made: writing model: %w", err)
 	}
 	return nil
 }
 
-// Load reconstructs a model previously written by Save.
-func Load(r io.Reader) (*Model, error) {
+// Load reconstructs a model previously written by Save. The input is treated
+// as untrusted: the envelope checksum rejects corruption, every architecture
+// field is bounds-checked before any network is built, and parameter payload
+// lengths are verified against the rebuilt shapes before copying — Load
+// returns an error on damaged or hostile input, never panics, and never
+// allocates more than the declared (bounded) payload size.
+func Load(r io.Reader) (m *Model, err error) {
+	version, payload, err := envelope.Read(r, wireMagic, maxWireBytes)
+	if err != nil {
+		return nil, fmt.Errorf("made: reading model: %w", err)
+	}
+	if version != wireVersion {
+		return nil, fmt.Errorf("made: unsupported model format version %d (want %d)", version, wireVersion)
+	}
 	var sm savedModel
-	if err := gob.NewDecoder(r).Decode(&sm); err != nil {
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&sm); err != nil {
 		return nil, fmt.Errorf("made: decoding model: %w", err)
 	}
-	m := New(sm.Domains, sm.Cfg)
+	if err := validateSaved(&sm); err != nil {
+		return nil, fmt.Errorf("made: invalid saved model: %w", err)
+	}
+	// New panics on inconsistent configs; a checksum-valid but hostile
+	// payload can still reach here, so convert any panic into an error.
+	defer func() {
+		if r := recover(); r != nil {
+			m, err = nil, fmt.Errorf("made: rebuilding saved architecture: %v", r)
+		}
+	}()
+	m = New(sm.Domains, sm.Cfg)
 	if len(sm.Names) != len(m.params) {
 		return nil, fmt.Errorf("made: saved model has %d parameters, architecture builds %d",
 			len(sm.Names), len(m.params))
@@ -47,8 +106,49 @@ func Load(r io.Reader) (*Model, error) {
 			return nil, fmt.Errorf("made: parameter %d mismatch: saved %s %v, built %s %d×%d",
 				i, sm.Names[i], sm.Shapes[i], p.Name, p.Val.Rows, p.Val.Cols)
 		}
+		if len(sm.Data[i]) != len(p.Val.Data) {
+			return nil, fmt.Errorf("made: parameter %s payload has %d values, shape %v needs %d",
+				p.Name, len(sm.Data[i]), sm.Shapes[i], len(p.Val.Data))
+		}
 		copy(p.Val.Data, sm.Data[i])
 		p.ApplyMask()
 	}
 	return m, nil
+}
+
+// validateSaved bounds every architecture field of an untrusted savedModel
+// before any of it is used to size an allocation or rebuild a network.
+func validateSaved(sm *savedModel) error {
+	if n := len(sm.Domains); n == 0 || n > maxCols {
+		return fmt.Errorf("%d columns", n)
+	}
+	for i, d := range sm.Domains {
+		if d <= 0 || d > maxDomain {
+			return fmt.Errorf("column %d has domain %d", i, d)
+		}
+	}
+	if n := len(sm.Cfg.HiddenSizes); n == 0 || n > maxLayers {
+		return fmt.Errorf("%d hidden layers", n)
+	}
+	for i, h := range sm.Cfg.HiddenSizes {
+		if h <= 0 || h > maxLayerSize {
+			return fmt.Errorf("hidden layer %d has width %d", i, h)
+		}
+	}
+	if sm.Cfg.EmbedDim < 0 || sm.Cfg.EmbedDim > maxLayerSize {
+		return fmt.Errorf("embedding width %d", sm.Cfg.EmbedDim)
+	}
+	if sm.Cfg.EmbedThreshold < 0 {
+		return fmt.Errorf("embedding threshold %d", sm.Cfg.EmbedThreshold)
+	}
+	if len(sm.Names) != len(sm.Shapes) || len(sm.Names) != len(sm.Data) {
+		return fmt.Errorf("parameter lists disagree: %d names, %d shapes, %d payloads",
+			len(sm.Names), len(sm.Shapes), len(sm.Data))
+	}
+	for i, sh := range sm.Shapes {
+		if sh[0] < 0 || sh[1] < 0 || sh[0] > maxWireBytes || sh[1] > maxWireBytes {
+			return fmt.Errorf("parameter %d has shape %d×%d", i, sh[0], sh[1])
+		}
+	}
+	return nil
 }

@@ -2,8 +2,12 @@ package made
 
 import (
 	"bytes"
+	"encoding/gob"
+	"io"
 	"math"
 	"math/rand"
+	"os"
+	"os/exec"
 	"testing"
 
 	"repro/internal/nn"
@@ -51,6 +55,53 @@ func TestSaveLoadRoundTrip(t *testing.T) {
 		if outA[0][v] != outB[0][v] {
 			t.Fatal("conditional differs after load")
 		}
+	}
+}
+
+// TestSaveBytesIndependentOfGobHistory re-executes the test binary twice —
+// once saving a model immediately, once after pushing unrelated types through
+// gob first (as a checkpoint restore does) — and requires identical bytes.
+// Gob numbers wire types process-globally in first-use order, so without the
+// id-pinning init in serialize.go the polluted process emits later (longer)
+// type ids and the artifact differs from a fresh process's even though the
+// weights are bit-identical. The helper mode must run in a separate process:
+// within one process the ids are already fixed by the first use.
+func TestSaveBytesIndependentOfGobHistory(t *testing.T) {
+	if mode := os.Getenv("MADE_SAVE_HELPER"); mode != "" {
+		if mode == "pollute" {
+			type unrelatedA struct{ A, B int }
+			type unrelatedB struct {
+				S []string
+				M map[string]float64
+				N unrelatedA
+			}
+			if err := gob.NewEncoder(io.Discard).Encode(unrelatedB{N: unrelatedA{A: 1}}); err != nil {
+				os.Exit(3)
+			}
+		}
+		m := New([]int{6, 120, 4}, tinyConfig(1))
+		if err := m.Save(os.Stdout); err != nil {
+			os.Exit(4)
+		}
+		os.Exit(0)
+	}
+
+	exe, err := os.Executable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	save := func(mode string) []byte {
+		cmd := exec.Command(exe, "-test.run", "TestSaveBytesIndependentOfGobHistory")
+		cmd.Env = append(os.Environ(), "MADE_SAVE_HELPER="+mode)
+		out, err := cmd.Output()
+		if err != nil {
+			t.Fatalf("helper %q: %v", mode, err)
+		}
+		return out
+	}
+	clean, polluted := save("clean"), save("pollute")
+	if !bytes.Equal(clean, polluted) {
+		t.Fatalf("saved bytes depend on prior gob traffic: %d vs %d bytes", len(clean), len(polluted))
 	}
 }
 

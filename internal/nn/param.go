@@ -57,6 +57,15 @@ func (p *Param) ApplyMask() {
 // ZeroGrad clears the accumulated gradient.
 func (p *Param) ZeroGrad() { p.Grad.Zero() }
 
+// OptState returns the parameter's live Adam moment matrices (nil, nil
+// before the first optimizer step). Training checkpoints persist them so a
+// resumed run continues the exact optimizer trajectory.
+func (p *Param) OptState() (m, v *tensor.Matrix) { return p.m, p.v }
+
+// SetOptState installs Adam moments (shapes must match Val; nil clears).
+// Used when restoring a training checkpoint.
+func (p *Param) SetOptState(m, v *tensor.Matrix) { p.m, p.v = m, v }
+
 // NumParams returns the number of scalar parameters, counting only unmasked
 // entries so that masked architectures report their effective capacity.
 func (p *Param) NumParams() int {
@@ -133,6 +142,13 @@ func (a *Adam) Step(params []*Param) {
 		p.ApplyMask()
 	}
 }
+
+// StepCount reports how many Step calls the optimizer has applied (the bias
+// correction time index t). Checkpoints persist it alongside the moments.
+func (a *Adam) StepCount() int { return a.t }
+
+// SetStepCount restores the bias-correction time index from a checkpoint.
+func (a *Adam) SetStepCount(t int) { a.t = t }
 
 // Reset clears the optimizer's step counter and drops all moment state, so a
 // fresh fine-tuning run (§6.7.3) can start from scratch.

@@ -1,0 +1,64 @@
+package query
+
+import (
+	"testing"
+)
+
+// FuzzParseWhere throws arbitrary strings at the WHERE-clause parser. The
+// contract under fuzzing: ParseWhere never panics; every accepted query has
+// at least one predicate, references only real columns with in-domain codes,
+// and compiles into a region without error.
+func FuzzParseWhere(f *testing.F) {
+	for _, s := range []string{
+		"price<=100 AND state=NY",
+		"price=10",
+		"weight>1.5",
+		"state!=CA",
+		"state<>WA",
+		"price>=200 AND weight<9.0 AND state=NY",
+		"price<=100 AND price>=10 AND price!=50",
+		"state='NY'",
+		`state="CA"`,
+		"",
+		" AND ",
+		"price",
+		"price<=",
+		"<=5",
+		"price==10",
+		"nosuch=1",
+		"price=999",
+		"price<abc",
+		"weight=not-a-number",
+		"price<=100 AND",
+		"a<b<c",
+		"state=NY AND state=NY AND state=NY AND state=NY",
+		"price=50 AND price=50",
+		"a=b AND =",
+		"price<",
+		"price!=200 AND weight>=9.0",
+		"≤≥",
+	} {
+		f.Add(s)
+	}
+	tbl := parseTable(f)
+	f.Fuzz(func(t *testing.T, s string) {
+		q, err := ParseWhere(s, tbl)
+		if err != nil {
+			return // rejection is fine; panicking or accepting garbage is not
+		}
+		if len(q.Preds) == 0 {
+			t.Fatalf("ParseWhere(%q) accepted a query with no predicates", s)
+		}
+		for _, p := range q.Preds {
+			if p.Col < 0 || p.Col >= tbl.NumCols() {
+				t.Fatalf("ParseWhere(%q): predicate column %d out of range", s, p.Col)
+			}
+			if d := int32(tbl.Cols[p.Col].DomainSize()); p.Code < 0 || p.Code >= d {
+				t.Fatalf("ParseWhere(%q): code %d outside domain [0,%d)", s, p.Code, d)
+			}
+		}
+		if _, err := Compile(q, tbl); err != nil {
+			t.Fatalf("ParseWhere(%q) accepted a query that does not compile: %v", s, err)
+		}
+	})
+}

@@ -136,25 +136,3 @@ func TestParseWhereRoundTripsThroughString(t *testing.T) {
 		t.Fatalf("rendered: %q", s)
 	}
 }
-
-// FuzzParseWhere checks the parser never panics and that every accepted
-// query compiles against the schema it was parsed for.
-func FuzzParseWhere(f *testing.F) {
-	for _, seed := range []string{
-		"price<=100 AND state=NY", "price>10", "weight<=2.5",
-		"price=50 AND price=50", "a=b AND =", "price<", "<=5",
-		"state='NY'", "price!=200 AND weight>=9.0", " AND ", "≤≥",
-	} {
-		f.Add(seed)
-	}
-	tbl := parseTable(f)
-	f.Fuzz(func(t *testing.T, s string) {
-		q, err := ParseWhere(s, tbl)
-		if err != nil {
-			return // rejection is fine; panics are not
-		}
-		if _, err := Compile(q, tbl); err != nil {
-			t.Fatalf("accepted query does not compile: %q: %v", s, err)
-		}
-	})
-}

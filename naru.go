@@ -26,11 +26,13 @@ package naru
 
 import (
 	"bufio"
+	"context"
 	"fmt"
 	"io"
 
 	"repro/internal/colnet"
 	"repro/internal/core"
+	"repro/internal/estimator"
 	"repro/internal/made"
 	"repro/internal/query"
 	"repro/internal/table"
@@ -52,6 +54,25 @@ type (
 	Op = query.Op
 	// Region is a query compiled to per-column valid-value sets.
 	Region = query.Region
+	// Result is one served estimate with provenance (see EstimateBatchCtx).
+	Result = core.Result
+	// ServeOptions configures fault-tolerant batch serving: worker count,
+	// per-query deadline, fallback estimator, fault-injection hook.
+	ServeOptions = core.ServeOptions
+	// Source tags where a served estimate came from.
+	Source = core.Source
+)
+
+// Result provenance tags, re-exported from internal/core.
+const (
+	// SourceModel: the full-budget model estimate.
+	SourceModel = core.SourceModel
+	// SourceDegraded: an anytime estimate over a deadline-reduced budget.
+	SourceDegraded = core.SourceDegraded
+	// SourceFallback: the model path failed and the fallback answered.
+	SourceFallback = core.SourceFallback
+	// SourceFailed: the model path failed and no fallback was available.
+	SourceFailed = core.SourceFailed
 )
 
 // Predicate operators, re-exported from internal/query.
@@ -109,6 +130,17 @@ type Config struct {
 	LR        float64
 	// Seed makes everything deterministic.
 	Seed int64
+
+	// CheckpointPath, when non-empty, checkpoints training state atomically
+	// every CheckpointEvery steps (default 100) to this file, inside a
+	// CRC32-protected envelope.
+	CheckpointPath  string
+	CheckpointEvery int
+	// Resume continues training from CheckpointPath if the file exists;
+	// because the batch schedule is derived from (Seed, epoch), the resumed
+	// run is bit-identical to an uninterrupted one. A corrupt checkpoint is
+	// an error; a missing one starts fresh.
+	Resume bool
 }
 
 // DefaultConfig returns sensible defaults for medium-size tables.
@@ -193,9 +225,13 @@ func Build(t *Table, cfg Config) (*Estimator, error) {
 	default:
 		return nil, fmt.Errorf("naru: unknown architecture %d", cfg.Architecture)
 	}
-	core.Train(m, t, core.TrainConfig{
+	if _, err := core.TrainRun(m, t, core.TrainConfig{
 		Epochs: cfg.Epochs, BatchSize: cfg.BatchSize, LR: cfg.LR, Seed: cfg.Seed + 1,
-	})
+		CheckpointPath: cfg.CheckpointPath, CheckpointEvery: cfg.CheckpointEvery,
+		Resume: cfg.Resume,
+	}); err != nil {
+		return nil, fmt.Errorf("naru: training: %w", err)
+	}
 	return newEstimator(m, cfg, t), nil
 }
 
@@ -238,6 +274,41 @@ func (e *Estimator) SelectivityBatch(qs []Query, workers int) ([]float64, error)
 // SelectivityBatch.
 func (e *Estimator) EstimateBatch(regs []*Region, workers int) []float64 {
 	return e.sampler.EstimateBatch(regs, workers)
+}
+
+// SelectivityBatchCtx is the fault-tolerant batch entry point: each query
+// runs under the context and the per-query deadline in opts, panics are
+// contained per query, deadline pressure degrades the progressive-sample
+// budget (an anytime estimate with widened standard error) instead of
+// aborting, and failed queries route to opts.Fallback when one is set. Every
+// query gets a Result tagged with its provenance; queries that complete their
+// full model budget are bit-identical to a sequential serve.
+func (e *Estimator) SelectivityBatchCtx(ctx context.Context, qs []Query, opts ServeOptions) ([]Result, error) {
+	regs := make([]*Region, len(qs))
+	for i, q := range qs {
+		reg, err := e.compile(q)
+		if err != nil {
+			return nil, fmt.Errorf("naru: query %d: %w", i, err)
+		}
+		regs[i] = reg
+	}
+	return e.sampler.EstimateBatchCtx(ctx, regs, opts), nil
+}
+
+// EstimateBatchCtx serves pre-compiled regions with per-query fault
+// containment; see SelectivityBatchCtx.
+func (e *Estimator) EstimateBatchCtx(ctx context.Context, regs []*Region, opts ServeOptions) []Result {
+	return e.sampler.EstimateBatchCtx(ctx, regs, opts)
+}
+
+// Fallback builds a degradation target for ServeOptions.Fallback from the
+// table: the Postgres-style 1D-statistics baseline (MCVs + equi-depth
+// histograms under the independence assumption). It is cheap to build, needs
+// no trained model, and cannot diverge — exactly what a failed model query
+// should degrade to.
+func Fallback(t *Table) func(*Region) float64 {
+	pg := estimator.NewPostgres(t, 100, 100)
+	return pg.EstimateRegion
 }
 
 // Cardinality estimates the number of rows satisfying the conjunction.

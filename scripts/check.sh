@@ -5,8 +5,29 @@
 # pass), which would otherwise exceed the per-package timeout on small boxes;
 # the concurrent serving tests in internal/core run in full either way.
 # Run from the repository root, directly or via `make check`.
+#
+# `check.sh fault` runs the fault-tolerance suite instead: the checkpoint/
+# resume, divergence-guard, corruption-rejection, and disrupted-serving tests
+# under the race detector, followed by a short fuzz pass over each fuzz
+# target (model deserialization, envelope framing, WHERE parsing).
 set -eu
 cd "$(dirname "$0")/.."
+
+if [ "${1:-}" = "fault" ]; then
+    echo "== fault suite (-race)"
+    go test -race -count=1 ./internal/envelope ./internal/faultinject
+    go test -race -count=1 \
+        -run 'TestResume|TestCheckpoint|TestDivergence|TestGradExplosion|TestEstimateBatchCtx|TestServeDisruption|TestPanic|TestDeadline|TestNonFinite|TestCancelled|TestFallback|TestLoadRejects|TestSaveSurfaces|TestCLI' \
+        ./internal/core ./internal/made ./internal/colnet ./cmd/naru
+
+    fuzztime="${FUZZTIME:-10s}"
+    echo "== fuzz pass (${fuzztime} per target)"
+    go test -run xxx -fuzz 'FuzzLoad'       -fuzztime "$fuzztime" ./internal/made
+    go test -run xxx -fuzz 'FuzzParseWhere' -fuzztime "$fuzztime" ./internal/query
+
+    echo "check fault: OK"
+    exit 0
+fi
 
 echo "== go vet ./..."
 go vet ./...
