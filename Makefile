@@ -1,6 +1,6 @@
 # Convenience entry points; everything is plain `go` underneath.
 
-.PHONY: build test check check-fault bench inference
+.PHONY: build test check check-fault check-obs bench inference
 
 build:
 	go build ./...
@@ -18,6 +18,12 @@ check:
 # fuzz pass over the deserialization and query-parsing fuzz targets.
 check-fault:
 	./scripts/check.sh fault
+
+# check-obs is the end-to-end observability smoke test: train, serve with
+# -metrics-addr, estimate over HTTP, scrape /metrics, and verify that enabling
+# metrics leaves estimates byte-identical.
+check-obs:
+	./scripts/check.sh obs
 
 bench:
 	go test -bench . -benchtime 1x -run xxx .

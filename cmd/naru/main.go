@@ -51,6 +51,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		err = cmdTrain(args[1:], stdout, stderr)
 	case "estimate":
 		err = cmdEstimate(args[1:], stdout, stderr)
+	case "serve":
+		err = cmdServe(args[1:], stdout, stderr)
 	case "entropy":
 		err = cmdEntropy(args[1:], stdout, stderr)
 	default:
@@ -70,11 +72,33 @@ func run(args []string, stdout, stderr io.Writer) int {
 func usage(w io.Writer) {
 	fmt.Fprintln(w, `usage:
   naru train    -csv data.csv -out model.naru [-epochs N] [-hidden 128,128,128,128] [-samples S]
-                [-checkpoint train.ckpt] [-checkpoint-every N] [-resume]
+                [-checkpoint train.ckpt] [-checkpoint-every N] [-resume] [-metrics-addr :8080]
   naru estimate -csv data.csv -model model.naru -where "a<=5 AND b=x"
   naru estimate -csv data.csv -model model.naru -queries workload.txt [-workers N]
-                [-timeout 50ms] [-fallback]
-  naru entropy  -csv data.csv -model model.naru`)
+                [-timeout 50ms] [-fallback] [-metrics-addr :8080]
+  naru serve    -csv data.csv -model model.naru -addr :8081 [-metrics-addr :8080]
+                [-samples S] [-timeout 50ms] [-fallback]
+  naru entropy  -csv data.csv -model model.naru
+
+The -metrics-addr endpoint exposes /metrics (Prometheus), /metrics.json,
+/traces, and /debug/pprof/ for whatever the command is doing.`)
+}
+
+// startMetrics starts the observability endpoint when addr is non-empty and
+// returns the registry to attach (nil when disabled). The bound address is
+// announced on stderr so stdout stays diffable — estimates must be
+// byte-identical with and without -metrics-addr.
+func startMetrics(addr string, stderr io.Writer) (*naru.Metrics, func(), error) {
+	if addr == "" {
+		return nil, func() {}, nil
+	}
+	m := naru.NewMetrics()
+	bound, shutdown, err := naru.ServeMetrics(addr, m)
+	if err != nil {
+		return nil, nil, fmt.Errorf("metrics endpoint: %w", err)
+	}
+	fmt.Fprintf(stderr, "metrics on http://%s/metrics\n", bound)
+	return m, func() { _ = shutdown() }, nil
 }
 
 // loadTable opens and dictionary-encodes the CSV, wrapping failures with the
@@ -120,6 +144,7 @@ func cmdTrain(args []string, stdout, stderr io.Writer) error {
 	ckpt := fs.String("checkpoint", "", "checkpoint file (enables periodic atomic checkpoints)")
 	ckptEvery := fs.Int("checkpoint-every", 100, "steps between checkpoints")
 	resume := fs.Bool("resume", false, "resume from -checkpoint if it exists")
+	metricsAddr := fs.String("metrics-addr", "", "serve /metrics, /traces, /debug/pprof on this address while training")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -144,6 +169,12 @@ func cmdTrain(args []string, stdout, stderr io.Writer) error {
 	cfg.CheckpointPath = *ckpt
 	cfg.CheckpointEvery = *ckptEvery
 	cfg.Resume = *resume
+	metrics, stopMetrics, err := startMetrics(*metricsAddr, stderr)
+	if err != nil {
+		return err
+	}
+	defer stopMetrics()
+	cfg.Metrics = metrics
 	fmt.Fprintf(stdout, "training on %q: %d rows × %d cols (joint %.3g)\n",
 		t.Name, t.NumRows(), t.NumCols(), t.JointSize())
 	est, err := naru.Build(t, cfg)
@@ -175,6 +206,7 @@ func cmdEstimate(args []string, stdout, stderr io.Writer) error {
 	samples := fs.Int("samples", 2000, "progressive samples")
 	timeout := fs.Duration("timeout", 0, "per-query deadline (0 = none); expiring degrades the sample budget")
 	fallback := fs.Bool("fallback", false, "answer failed queries from 1D statistics instead of erroring")
+	metricsAddr := fs.String("metrics-addr", "", "serve /metrics, /traces, /debug/pprof on this address while estimating")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -187,13 +219,19 @@ func cmdEstimate(args []string, stdout, stderr io.Writer) error {
 	}
 	cfg := naru.DefaultConfig()
 	cfg.Samples = *samples
+	metrics, stopMetrics, err := startMetrics(*metricsAddr, stderr)
+	if err != nil {
+		return err
+	}
+	defer stopMetrics()
+	cfg.Metrics = metrics
 	est, err := openModel(*modelPath, cfg)
 	if err != nil {
 		return err
 	}
 	opts := naru.ServeOptions{Workers: *workers, Deadline: *timeout}
 	if *fallback {
-		opts.Fallback = naru.Fallback(t)
+		opts.Fallback = naru.FallbackObserved(t, metrics)
 	}
 	if *queriesPath != "" {
 		return estimateFile(est, t, *queriesPath, opts, stdout)

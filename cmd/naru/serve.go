@@ -1,0 +1,144 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	naru "repro"
+	"repro/internal/query"
+	"repro/internal/table"
+)
+
+// cmdServe runs a long-lived estimation service: GET /estimate?where=...
+// answers single queries as JSON through the fault-tolerant serving path,
+// and -metrics-addr exposes the observability endpoint alongside it. The
+// process runs until SIGINT/SIGTERM.
+func cmdServe(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("serve", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	csvPath := fs.String("csv", "", "input CSV (for schema + fallback statistics)")
+	modelPath := fs.String("model", "model.naru", "trained model path")
+	addr := fs.String("addr", "127.0.0.1:8081", "estimation service address (use :0 for a free port)")
+	metricsAddr := fs.String("metrics-addr", "", "serve /metrics, /traces, /debug/pprof on this address")
+	samples := fs.Int("samples", 2000, "progressive samples per query")
+	timeout := fs.Duration("timeout", 0, "per-query deadline (0 = none); expiring degrades the sample budget")
+	fallback := fs.Bool("fallback", false, "answer failed queries from 1D statistics")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *csvPath == "" {
+		return fmt.Errorf("serve: -csv is required")
+	}
+	t, err := loadTable(*csvPath)
+	if err != nil {
+		return err
+	}
+	cfg := naru.DefaultConfig()
+	cfg.Samples = *samples
+	metrics, stopMetrics, err := startMetrics(*metricsAddr, stderr)
+	if err != nil {
+		return err
+	}
+	defer stopMetrics()
+	cfg.Metrics = metrics
+	est, err := openModel(*modelPath, cfg)
+	if err != nil {
+		return err
+	}
+	opts := naru.ServeOptions{Deadline: *timeout}
+	if *fallback {
+		opts.Fallback = naru.FallbackObserved(t, metrics)
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return fmt.Errorf("serve: %w", err)
+	}
+	srv := &http.Server{Handler: newEstimateHandler(est, t, opts)}
+	fmt.Fprintf(stdout, "serving on http://%s/estimate\n", ln.Addr())
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	return srv.Shutdown(shutCtx)
+}
+
+// estimateResponse is the JSON shape of one served estimate.
+type estimateResponse struct {
+	Query   string  `json:"query"`
+	Sel     float64 `json:"sel"`
+	Card    float64 `json:"card"`
+	Source  string  `json:"source"`
+	StdErr  float64 `json:"stderr,omitempty"`
+	Samples int     `json:"samples,omitempty"`
+	Err     string  `json:"err,omitempty"`
+}
+
+// newEstimateHandler builds the estimation service mux: /estimate answers
+// ?where= conjunctions, / documents the endpoint. Split from cmdServe so
+// tests can drive it with httptest without binding a port.
+func newEstimateHandler(est *naru.Estimator, t *table.Table, opts naru.ServeOptions) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		fmt.Fprintf(w, "naru estimation service for %q\nGET /estimate?where=a<=5 AND b=x\n", t.Name)
+	})
+	mux.HandleFunc("/estimate", func(w http.ResponseWriter, r *http.Request) {
+		where := r.FormValue("where")
+		if where == "" {
+			http.Error(w, "missing ?where= conjunction", http.StatusBadRequest)
+			return
+		}
+		q, err := query.ParseWhere(where, t)
+		if err != nil {
+			http.Error(w, fmt.Sprintf("bad query %q: %v", where, err), http.StatusBadRequest)
+			return
+		}
+		// One query per request: the per-request deadline and fallback come
+		// from the service options, cancellation from the client connection.
+		perReq := opts
+		perReq.Workers = 1
+		results, err := est.SelectivityBatchCtx(r.Context(), []naru.Query{q}, perReq)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		res := results[0]
+		resp := estimateResponse{
+			Query:   q.String(t),
+			Sel:     res.Sel,
+			Card:    res.Sel * float64(t.NumRows()),
+			Source:  res.Source.String(),
+			StdErr:  res.StdErr,
+			Samples: res.Samples,
+		}
+		if res.Err != nil {
+			resp.Err = res.Err.Error()
+		}
+		w.Header().Set("Content-Type", "application/json")
+		if res.Source == naru.SourceFailed {
+			w.WriteHeader(http.StatusInternalServerError)
+		}
+		_ = json.NewEncoder(w).Encode(resp)
+	})
+	return mux
+}

@@ -1,0 +1,141 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	naru "repro"
+)
+
+// buildServeFixture trains a tiny model and loads it back the way cmdServe
+// does, with a metrics registry attached.
+func buildServeFixture(t *testing.T) (*naru.Estimator, *naru.Table, *naru.Metrics) {
+	t.Helper()
+	dir := t.TempDir()
+	csv := writeTestCSV(t, dir)
+	model := filepath.Join(dir, "model.naru")
+	if code, _, stderr := runCLI("train", "-csv", csv, "-out", model,
+		"-epochs", "1", "-hidden", "8,8", "-samples", "64"); code != 0 {
+		t.Fatalf("train: %s", stderr)
+	}
+	tbl, err := loadTable(csv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := naru.DefaultConfig()
+	cfg.Samples = 64
+	cfg.Metrics = naru.NewMetrics()
+	est, err := openModel(model, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return est, tbl, cfg.Metrics
+}
+
+// TestEstimateHandler drives the serve mux through httptest: good queries
+// come back as JSON with model provenance, bad ones as 400s, and every served
+// query lands in the metrics registry.
+func TestEstimateHandler(t *testing.T) {
+	est, tbl, metrics := buildServeFixture(t)
+	h := newEstimateHandler(est, tbl, naru.ServeOptions{Fallback: naru.FallbackObserved(tbl, metrics)})
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/estimate?where=" + url.QueryEscape("state=NY AND qty<=30"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	var got estimateResponse
+	if err := json.NewDecoder(resp.Body).Decode(&got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Sel < 0 || got.Sel > 1 || got.Source != "model" {
+		t.Fatalf("response %+v", got)
+	}
+	if !strings.Contains(got.Query, "state") {
+		t.Fatalf("echoed query %q", got.Query)
+	}
+
+	for _, bad := range []string{"/estimate", "/estimate?where=nosuchcol=1"} {
+		resp, err := http.Get(srv.URL + bad)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("%s: status %d, want 400", bad, resp.StatusCode)
+		}
+	}
+
+	resp, err = http.Get(srv.URL + "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("index status %d", resp.StatusCode)
+	}
+
+	snap := metrics.Snapshot()
+	if snap.Counters["naru_queries_total"] != 1 {
+		t.Fatalf("naru_queries_total = %d, want 1 (bad queries must not count)",
+			snap.Counters["naru_queries_total"])
+	}
+	if snap.TraceTotal != 1 {
+		t.Fatalf("trace total = %d, want 1", snap.TraceTotal)
+	}
+}
+
+// TestMetricsAddrDeterminism: the estimate subcommand must print
+// byte-identical stdout with and without -metrics-addr — observability can
+// never perturb estimates, and the metrics banner goes to stderr.
+func TestMetricsAddrDeterminism(t *testing.T) {
+	dir := t.TempDir()
+	csv := writeTestCSV(t, dir)
+	model := filepath.Join(dir, "model.naru")
+	if code, _, stderr := runCLI("train", "-csv", csv, "-out", model,
+		"-epochs", "1", "-hidden", "8,8", "-samples", "64"); code != 0 {
+		t.Fatalf("train: %s", stderr)
+	}
+	workload := filepath.Join(dir, "w.txt")
+	if err := os.WriteFile(workload, []byte("state=NY\nqty<=30\nstate=CA AND qty>=20\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	args := []string{"estimate", "-csv", csv, "-model", model, "-queries", workload, "-workers", "2"}
+	code, plain, _ := runCLI(args...)
+	if code != 0 {
+		t.Fatalf("estimate: exit %d", code)
+	}
+	code, observed, stderr := runCLI(append(args, "-metrics-addr", "127.0.0.1:0")...)
+	if code != 0 {
+		t.Fatalf("estimate with metrics: exit %d", code)
+	}
+	if !strings.Contains(stderr, "metrics on http://") {
+		t.Fatalf("stderr %q missing metrics banner", stderr)
+	}
+	// The workload report includes wall-clock throughput; compare only the
+	// per-query estimate lines, which must match byte for byte.
+	stripTiming := func(s string) string {
+		var keep []string
+		for _, line := range strings.Split(s, "\n") {
+			if strings.Contains(line, "queries in") {
+				continue
+			}
+			keep = append(keep, line)
+		}
+		return strings.Join(keep, "\n")
+	}
+	if stripTiming(plain) != stripTiming(observed) {
+		t.Fatalf("stdout diverged with -metrics-addr:\n--- plain ---\n%s\n--- observed ---\n%s", plain, observed)
+	}
+}

@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"repro/internal/bench"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -32,6 +33,7 @@ func main() {
 	flag.BoolVar(&cfg.Quiet, "quiet", false, "suppress progress lines")
 	flag.IntVar(&cfg.Workers, "workers", 0, "concurrent query workers for batch serving (0 = NumCPU)")
 	flag.StringVar(&cfg.BenchOut, "bench-out", "", "benchmark JSON output path (default BENCH_inference.json)")
+	metricsAddr := flag.String("metrics-addr", "", "serve /metrics, /traces, /debug/pprof on this address during the run")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: narubench [flags] <experiment>...\n")
 		fmt.Fprintf(os.Stderr, "experiments: fig4 table3 table4 table5 fig5 table6 table7 fig7 fig8 table8 arch uniform inference all\n\n")
@@ -42,6 +44,16 @@ func main() {
 	if len(args) == 0 {
 		flag.Usage()
 		os.Exit(2)
+	}
+	if *metricsAddr != "" {
+		cfg.Obs = obs.New()
+		bound, shutdown, err := obs.Serve(*metricsAddr, cfg.Obs)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "narubench: metrics endpoint: %v\n", err)
+			os.Exit(1)
+		}
+		defer shutdown()
+		fmt.Fprintf(os.Stderr, "metrics on http://%s/metrics\n", bound)
 	}
 	out := os.Stdout
 	run := func(name string) {

@@ -11,6 +11,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/datagen"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/query"
 )
 
@@ -64,7 +65,10 @@ func Inference(out io.Writer, cfg Config) {
 
 	// Fast path, concurrent batch on a fresh estimator (same seeds again, so
 	// the batch must reproduce the sequential fast-path answers bitwise).
+	// Telemetry, when enabled, watches this configuration — the mismatch
+	// check below doubles as proof that observing it is free of perturbation.
 	batch := core.NewEstimator(model, samples, qseed)
+	batch.SetObserver(cfg.Obs)
 	batchRes, batchTotal := RunWorkloadParallel(batch, w, cfg.Workers)
 
 	mismatches := 0
@@ -113,11 +117,41 @@ func Inference(out io.Writer, cfg Config) {
 		{Name: "dmv_max_rel_diff_vs_reference", Value: maxRel, Unit: "fraction",
 			Extra: "fast path vs full forward selectivities"},
 	}
+	entries = append(entries, obsEntries(cfg.Obs, out)...)
 	if err := writeBenchJSON(cfg.BenchOut, entries); err != nil {
 		fmt.Fprintf(out, "inference: writing %s: %v\n", cfg.BenchOut, err)
 		return
 	}
 	fmt.Fprintf(out, "wrote %s\n", cfg.BenchOut)
+}
+
+// obsEntries folds the observability registry's view of the batch run into
+// the benchmark JSON: the per-query latency histogram quantiles (the numbers
+// an operator would scrape from /metrics) and the path-counter breakdown.
+// Returns nil when telemetry is disabled.
+func obsEntries(reg *obs.Registry, out io.Writer) []BenchEntry {
+	if reg == nil {
+		return nil
+	}
+	snap := reg.Snapshot()
+	h, ok := snap.Histograms["naru_query_latency_seconds"]
+	if !ok || h.Count == 0 {
+		return nil
+	}
+	paths := fmt.Sprintf("enum=%d sample=%d empty=%d",
+		snap.Counters["naru_query_path_enum_total"],
+		snap.Counters["naru_query_path_sample_total"],
+		snap.Counters["naru_query_path_empty_total"])
+	fmt.Fprintf(out, "observed latency ms (histogram): p50=%.2f p99=%.2f over %d queries (%s)\n",
+		h.Quantile(0.50)*1e3, h.Quantile(0.99)*1e3, h.Count, paths)
+	return []BenchEntry{
+		{Name: "dmv_obs_latency_p50", Value: h.Quantile(0.50) * 1e3, Unit: "ms",
+			Extra: "naru_query_latency_seconds histogram, batch fast path"},
+		{Name: "dmv_obs_latency_p99", Value: h.Quantile(0.99) * 1e3, Unit: "ms",
+			Extra: "naru_query_latency_seconds histogram, batch fast path"},
+		{Name: "dmv_obs_queries_observed", Value: float64(snap.Counters["naru_queries_total"]), Unit: "queries",
+			Extra: paths},
+	}
 }
 
 func writeBenchJSON(path string, entries []BenchEntry) error {

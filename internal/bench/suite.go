@@ -17,6 +17,7 @@ import (
 	"repro/internal/datagen"
 	"repro/internal/estimator"
 	"repro/internal/made"
+	"repro/internal/obs"
 	"repro/internal/query"
 	"repro/internal/table"
 )
@@ -31,6 +32,11 @@ type Config struct {
 	Quiet       bool   // suppress progress logging
 	Workers     int    // concurrent query workers for batch serving (default NumCPU)
 	BenchOut    string // output path for machine-readable benchmark JSON
+
+	// Obs, when non-nil, collects serving telemetry from the benchmark's
+	// batch run; Inference folds the observed latency histogram into the
+	// BenchOut JSON so CI tracks the same quantiles an operator would scrape.
+	Obs *obs.Registry
 }
 
 // withDefaults fills zero fields.

@@ -1,0 +1,156 @@
+package core
+
+import (
+	"errors"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/query"
+)
+
+// Serving metric families (Prometheus names). The path counters mirror the
+// obs.Path* trace constants; the budget counters let an operator compute the
+// effective sample completion ratio under deadline pressure.
+const (
+	metricQueries          = "naru_queries_total"
+	metricPathEnum         = "naru_query_path_enum_total"
+	metricPathSample       = "naru_query_path_sample_total"
+	metricPathEmpty        = "naru_query_path_empty_total"
+	metricPathDegraded     = "naru_query_path_degraded_total"
+	metricPathFallback     = "naru_query_path_fallback_total"
+	metricPathFailed       = "naru_query_path_failed_total"
+	metricPanicsRecovered  = "naru_query_panics_recovered_total"
+	metricSamplesRequested = "naru_sample_paths_requested_total"
+	metricSamplesCompleted = "naru_sample_paths_completed_total"
+	metricQueryLatency     = "naru_query_latency_seconds"
+)
+
+// estObs bundles the estimator's pre-resolved metric handles. The zero value
+// (all nil, reg == nil) disables collection: every instrumentation site
+// checks reg once, and the nil handles short-circuit, so the disabled cost
+// is one predictable branch per query — estimates stay bit-identical either
+// way because nothing here touches the seeded RNG streams.
+type estObs struct {
+	reg              *obs.Registry
+	queries          *obs.Counter
+	pathEnum         *obs.Counter
+	pathSample       *obs.Counter
+	pathEmpty        *obs.Counter
+	pathDegraded     *obs.Counter
+	pathFallback     *obs.Counter
+	pathFailed       *obs.Counter
+	panicsRecovered  *obs.Counter
+	samplesRequested *obs.Counter
+	samplesCompleted *obs.Counter
+	latency          *obs.Histogram
+}
+
+// SetObserver attaches a metrics registry to the estimator: every query
+// served afterwards increments the naru_query_* families and leaves a trace
+// record. A nil registry detaches (the default). Attach before serving;
+// concurrent mutation with in-flight queries is not synchronized.
+func (e *Estimator) SetObserver(r *obs.Registry) {
+	if r == nil {
+		e.obs = estObs{}
+		return
+	}
+	e.obs = estObs{
+		reg:              r,
+		queries:          r.Counter(metricQueries),
+		pathEnum:         r.Counter(metricPathEnum),
+		pathSample:       r.Counter(metricPathSample),
+		pathEmpty:        r.Counter(metricPathEmpty),
+		pathDegraded:     r.Counter(metricPathDegraded),
+		pathFallback:     r.Counter(metricPathFallback),
+		pathFailed:       r.Counter(metricPathFailed),
+		panicsRecovered:  r.Counter(metricPanicsRecovered),
+		samplesRequested: r.Counter(metricSamplesRequested),
+		samplesCompleted: r.Counter(metricSamplesCompleted),
+		latency:          r.Histogram(metricQueryLatency, obs.LatencyBuckets),
+	}
+}
+
+// Observer returns the attached registry (nil when observability is off).
+func (e *Estimator) Observer() *obs.Registry { return e.obs.reg }
+
+// observeDirect records one query served by the direct (non-ctx) path:
+// EstimateRegion, EstimateBatch, EstimateWithError.
+func (e *Estimator) observeDirect(path string, sel, stderr float64, completed int, elapsed time.Duration) {
+	o := &e.obs
+	o.queries.Inc()
+	requested := 0
+	switch path {
+	case obs.PathEnum:
+		o.pathEnum.Inc()
+	case obs.PathEmpty:
+		o.pathEmpty.Inc()
+	case obs.PathSample:
+		o.pathSample.Inc()
+		requested = e.samples
+	}
+	o.samplesRequested.Add(uint64(requested))
+	o.samplesCompleted.Add(uint64(completed))
+	o.latency.ObserveDuration(elapsed)
+	o.reg.RecordTrace(obs.QueryTrace{
+		Path:      path,
+		Requested: requested,
+		Completed: completed,
+		Sel:       sel,
+		StdErr:    stderr,
+		LatencyNS: elapsed.Nanoseconds(),
+	})
+}
+
+// observeServed records one query served by the fault-tolerant path
+// (EstimateBatchCtx), after fallback routing has resolved the final Result.
+func (e *Estimator) observeServed(res *Result, reg *query.Region, deadline time.Duration, elapsed time.Duration) {
+	o := &e.obs
+	o.queries.Inc()
+	path := obs.PathSample
+	requested := e.samples
+	switch res.Source {
+	case SourceModel:
+		switch {
+		case reg.IsEmpty():
+			path, requested = obs.PathEmpty, 0
+			o.pathEmpty.Inc()
+		case res.Samples == 0:
+			path, requested = obs.PathEnum, 0
+			o.pathEnum.Inc()
+		default:
+			o.pathSample.Inc()
+		}
+	case SourceDegraded:
+		path = obs.PathDegraded
+		o.pathDegraded.Inc()
+	case SourceFallback:
+		path = obs.PathFallback
+		o.pathFallback.Inc()
+	case SourceFailed:
+		path = obs.PathFailed
+		o.pathFailed.Inc()
+	}
+	recovered := errors.Is(res.Err, ErrPanicked)
+	if recovered {
+		o.panicsRecovered.Inc()
+	}
+	o.samplesRequested.Add(uint64(requested))
+	o.samplesCompleted.Add(uint64(res.Samples))
+	o.latency.ObserveDuration(elapsed)
+	tr := obs.QueryTrace{
+		Path:      path,
+		Requested: requested,
+		Completed: res.Samples,
+		Sel:       res.Sel,
+		StdErr:    res.StdErr,
+		LatencyNS: elapsed.Nanoseconds(),
+		Recovered: recovered,
+	}
+	if deadline > 0 {
+		tr.DeadlineSlackNS = (deadline - elapsed).Nanoseconds()
+	}
+	if res.Err != nil {
+		tr.Err = res.Err.Error()
+	}
+	o.reg.RecordTrace(tr)
+}

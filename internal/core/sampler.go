@@ -7,7 +7,9 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
+	"repro/internal/obs"
 	"repro/internal/query"
 )
 
@@ -42,8 +44,12 @@ type Estimator struct {
 	nextQuery atomic.Uint64
 
 	// lastStdErr is Float64bits of the Monte Carlo standard error of the
-	// most recent ProgressiveSample; see LastStdErr.
+	// most recently finished query; see LastStdErr.
 	lastStdErr atomic.Uint64
+
+	// obs holds pre-resolved metric handles (see SetObserver); the zero
+	// value disables collection at the cost of one branch per query.
+	obs estObs
 
 	forkable bool
 	pool     sync.Pool  // *scratch replicas, used when forkable
@@ -78,20 +84,23 @@ func NewEstimator(m Model, samples int, seed int64) *Estimator {
 		EnumThreshold: 3000,
 	}
 	if f, ok := m.(Forkable); ok {
-		if fm, ok := f.ForkModel().(Model); ok {
-			e.forkable = true
-			e.pool.New = func() any {
-				return e.newScratch(m.(Forkable).ForkModel().(Model))
-			}
-			e.pool.Put(e.newScratch(fm))
+		// Validate the fork contract once, up front: a ForkModel whose result
+		// does not implement Model fails construction instead of panicking on
+		// the first pool miss mid-batch. The validation replica is not
+		// wasted — it becomes the pool's first scratch (replicas and the
+		// original are interchangeable at inference), so construction forks
+		// exactly once and the pool grows lazily from there.
+		fm, ok := f.ForkModel().(Model)
+		if !ok {
+			panic(fmt.Sprintf("core: %T.ForkModel result does not implement Model", m))
 		}
+		e.forkable = true
+		e.pool.New = func() any { return e.newScratch(f.ForkModel().(Model)) }
+		e.primary = e.newScratch(fm)
+		e.pool.Put(e.primary)
+		return e
 	}
 	e.primary = e.newScratch(m)
-	if e.forkable {
-		// The primary scratch (wrapping the original model) joins the pool;
-		// Fork replicas and the original are interchangeable at inference.
-		e.pool.Put(e.primary)
-	}
 	return e
 }
 
@@ -165,7 +174,8 @@ func (e *Estimator) EstimateRegion(reg *query.Region) float64 {
 	q := e.nextQuery.Add(1) - 1
 	sc := e.acquire()
 	defer e.release(sc)
-	return e.estimateAt(sc, reg, q)
+	sel, _ := e.estimateObserved(sc, reg, q)
+	return sel
 }
 
 // EstimateBatch estimates every region, fanning the queries across up to
@@ -188,7 +198,7 @@ func (e *Estimator) EstimateBatch(regions []*query.Region, workers int) []float6
 		sc := e.acquire()
 		defer e.release(sc)
 		for i, reg := range regions {
-			out[i] = e.estimateAt(sc, reg, base+uint64(i))
+			out[i], _ = e.estimateObserved(sc, reg, base+uint64(i))
 		}
 		return out
 	}
@@ -204,7 +214,7 @@ func (e *Estimator) EstimateBatch(regions []*query.Region, workers int) []float6
 					return
 				}
 				sc := e.acquire()
-				out[i] = e.estimateAt(sc, regions[i], base+uint64(i))
+				out[i], _ = e.estimateObserved(sc, regions[i], base+uint64(i))
 				e.release(sc)
 			}
 		}()
@@ -213,22 +223,42 @@ func (e *Estimator) EstimateBatch(regions []*query.Region, workers int) []float6
 	return out
 }
 
+// estimateObserved runs one query and, when a registry is attached, records
+// its latency, path, and trace. The timing never touches the query's seeded
+// RNG stream, so the estimate is bit-identical with observability on or off.
+func (e *Estimator) estimateObserved(sc *scratch, reg *query.Region, q uint64) (sel, stderr float64) {
+	if e.obs.reg == nil {
+		sel, stderr, _, _ = e.estimateAt(sc, reg, q)
+		return sel, stderr
+	}
+	start := time.Now()
+	sel, stderr, path, completed := e.estimateAt(sc, reg, q)
+	e.observeDirect(path, sel, stderr, completed, time.Since(start))
+	return sel, stderr
+}
+
 // estimateAt runs one query, already assigned global index q, on scratch sc.
-func (e *Estimator) estimateAt(sc *scratch, reg *query.Region, q uint64) float64 {
+// It returns the estimate together with its Monte Carlo standard error (0 on
+// the exact paths), the path taken (obs.Path* constant), and the number of
+// sample paths run — the per-query attribution that EstimateWithError and
+// the trace records rely on. The last-finished stderr is also mirrored into
+// the LastStdErr convenience slot.
+func (e *Estimator) estimateAt(sc *scratch, reg *query.Region, q uint64) (sel, stderr float64, path string, completed int) {
 	if len(reg.Cols) != sc.model.NumCols() {
 		panic(fmt.Sprintf("core: region over %d columns, model has %d",
 			len(reg.Cols), sc.model.NumCols()))
 	}
 	if reg.IsEmpty() {
 		e.storeStdErr(0)
-		return 0
+		return 0, 0, obs.PathEmpty, 0
 	}
 	if size := e.regionSizeRestricted(reg); size <= e.EnumThreshold {
-		sel := e.enumerate(sc, reg)
+		sel = e.enumerate(sc, reg)
 		e.storeStdErr(0) // enumeration is exact with respect to the model
-		return sel
+		return sel, 0, obs.PathEnum, 0
 	}
-	return e.progressiveSample(sc, reg, e.samples, q)
+	sel, stderr = e.progressiveSample(sc, reg, e.samples, q)
+	return sel, stderr, obs.PathSample, e.samples
 }
 
 // regionSizeRestricted is the number of model evaluations enumeration would
@@ -401,13 +431,19 @@ func (e *Estimator) ProgressiveSample(reg *query.Region, s int) float64 {
 	q := e.nextQuery.Add(1) - 1
 	sc := e.acquire()
 	defer e.release(sc)
-	return e.progressiveSample(sc, reg, s, q)
+	sel, _ := e.progressiveSample(sc, reg, s, q)
+	return sel
 }
 
-func (e *Estimator) progressiveSample(sc *scratch, reg *query.Region, s int, q uint64) float64 {
+// progressiveSample returns the estimate and its Monte Carlo standard error,
+// computed from the spread of the per-path density estimates (the w_i are
+// i.i.d. unbiased estimates). The stderr travels back through the return
+// path so concurrent queries cannot mis-attribute each other's errors; the
+// shared LastStdErr slot is only the last-finished convenience mirror.
+func (e *Estimator) progressiveSample(sc *scratch, reg *query.Region, s int, q uint64) (sel, stderr float64) {
 	if reg.IsEmpty() {
 		e.storeStdErr(0)
-		return 0 // an empty range has no valid code to steer toward
+		return 0, 0 // an empty range has no valid code to steer toward
 	}
 	if s > e.samples {
 		s = e.samples
@@ -420,8 +456,6 @@ func (e *Estimator) progressiveSample(sc *scratch, reg *query.Region, s int, q u
 	for _, w := range weights {
 		sum += w
 	}
-	// Record the spread of the per-path density estimates so callers can ask
-	// for a standard error (the w_i are i.i.d. unbiased estimates).
 	mean := sum / float64(s)
 	var sq float64
 	for _, w := range weights {
@@ -429,11 +463,10 @@ func (e *Estimator) progressiveSample(sc *scratch, reg *query.Region, s int, q u
 		sq += d * d
 	}
 	if s > 1 {
-		e.storeStdErr(math.Sqrt(sq / float64(s-1) / float64(s)))
-	} else {
-		e.storeStdErr(0)
+		stderr = math.Sqrt(sq / float64(s-1) / float64(s))
 	}
-	return clampProb(mean)
+	e.storeStdErr(stderr)
+	return clampProb(mean), stderr
 }
 
 // restrictedPrefix finds the last restricted model position and materializes
@@ -514,22 +547,29 @@ func (e *Estimator) walkPaths(sc *scratch, reg *query.Region, s, last int, valid
 	}
 }
 
-// LastStdErr returns the Monte Carlo standard error of the most recent
-// ProgressiveSample call: the sample standard deviation of the per-path
-// importance-weighted densities divided by √S. Zero after enumeration (which
-// is exact with respect to the model) or before any call. Under EstimateBatch
-// "most recent" is whichever query finished last; per-query errors need
-// sequential EstimateWithError calls.
+// LastStdErr returns the Monte Carlo standard error of the most recently
+// *finished* query on this estimator: the sample standard deviation of the
+// per-path importance-weighted densities divided by √S. Zero after
+// enumeration or uniform-sampling degenerate cases (exact or reset) and
+// before any call. It is a single shared slot kept as a convenience for
+// sequential, single-goroutine use; under concurrent serving "most recent"
+// is whichever query finished last, so per-query attribution must go through
+// EstimateWithError (or EstimateBatchCtx Results), which thread the error
+// through the query's own return path.
 func (e *Estimator) LastStdErr() float64 {
 	return math.Float64frombits(e.lastStdErr.Load())
 }
 
-// EstimateWithError runs EstimateRegion and returns the estimate together
-// with its Monte Carlo standard error (0 when the enumeration path ran).
+// EstimateWithError runs one estimate and returns it together with its own
+// Monte Carlo standard error (0 when the enumeration path ran). The pair is
+// computed on the query's private scratch and returned directly, so it stays
+// correctly attributed under concurrent use from many goroutines — unlike
+// LastStdErr, which is a shared last-finished slot.
 func (e *Estimator) EstimateWithError(reg *query.Region) (sel, stderr float64) {
-	e.storeStdErr(0)
-	sel = e.EstimateRegion(reg)
-	return sel, e.LastStdErr()
+	q := e.nextQuery.Add(1) - 1
+	sc := e.acquire()
+	defer e.release(sc)
+	return e.estimateObserved(sc, reg, q)
 }
 
 // UniformRegionSample is the §5.1 "first attempt" baseline: draw points
@@ -538,6 +578,7 @@ func (e *Estimator) EstimateWithError(reg *query.Region) (sel, stderr float64) {
 // data and exists to reproduce that failure mode (Figure 3, left).
 func (e *Estimator) UniformRegionSample(reg *query.Region, s int) float64 {
 	if reg.IsEmpty() {
+		e.storeStdErr(0)
 		return 0
 	}
 	q := e.nextQuery.Add(1) - 1
@@ -564,6 +605,22 @@ func (e *Estimator) UniformRegionSample(reg *query.Region, s int) float64 {
 	for _, v := range lp {
 		sum += math.Exp(v)
 	}
+	// This is a Monte Carlo estimate like the progressive path, so it keeps
+	// the same LastStdErr contract: the per-point estimates are the i.i.d.
+	// values |R|·P̂(x^(i)), and their spread over √s is the standard error.
+	// (Previously this path never touched the slot, silently leaving the
+	// previous query's error behind.)
+	var stderr float64
+	if s > 1 {
+		mean := sum / float64(s)
+		var sq float64
+		for _, v := range lp {
+			d := math.Exp(v) - mean
+			sq += d * d
+		}
+		stderr = reg.Size() * math.Sqrt(sq/float64(s-1)/float64(s))
+	}
+	e.storeStdErr(stderr)
 	return clampProb(reg.Size() * sum / float64(s))
 }
 

@@ -76,6 +76,12 @@ var ErrBudgetExhausted = errors.New("core: deadline expired before any sample pa
 // estimate (NaN weights from a poisoned model, for example).
 var ErrNonFinite = errors.New("core: model produced a non-finite estimate")
 
+// ErrPanicked reports that the model path panicked and the panic was
+// contained to its query. Check with errors.Is; the wrapped message carries
+// the query index and panic value. Trace records flag these queries with
+// Recovered, and naru_query_panics_recovered_total counts them.
+var ErrPanicked = errors.New("core: query panicked")
+
 // ServeOptions configures fault-tolerant batch serving.
 type ServeOptions struct {
 	// Workers caps the serving goroutines (NumCPU when <= 0).
@@ -134,6 +140,10 @@ func (e *Estimator) EstimateBatchCtx(ctx context.Context, regions []*query.Regio
 		workers = len(regions)
 	}
 	serve := func(i int) {
+		var start time.Time
+		if e.obs.reg != nil {
+			start = time.Now()
+		}
 		res := e.serveOne(ctx, regions[i], base+uint64(i), i, &opts)
 		if res.Err != nil && opts.Fallback != nil {
 			if v, ferr := safeFallback(opts.Fallback, regions[i]); ferr == nil {
@@ -144,6 +154,9 @@ func (e *Estimator) EstimateBatchCtx(ctx context.Context, regions []*query.Regio
 			}
 		}
 		out[i] = res
+		if e.obs.reg != nil {
+			e.observeServed(&res, regions[i], opts.Deadline, time.Since(start))
+		}
 	}
 	if workers == 1 {
 		for i := range regions {
@@ -176,7 +189,7 @@ func (e *Estimator) EstimateBatchCtx(ctx context.Context, regions []*query.Regio
 func (e *Estimator) serveOne(ctx context.Context, reg *query.Region, q uint64, i int, opts *ServeOptions) (res Result) {
 	defer func() {
 		if r := recover(); r != nil {
-			res = Result{Source: SourceFailed, Err: fmt.Errorf("core: query %d panicked: %v", i, r)}
+			res = Result{Source: SourceFailed, Err: fmt.Errorf("%w: query %d: %v", ErrPanicked, i, r)}
 		}
 	}()
 	if opts.BeforeQuery != nil {

@@ -6,10 +6,56 @@ import (
 	"math"
 	"math/rand"
 	"os"
+	"time"
 
 	"repro/internal/nn"
+	"repro/internal/obs"
 	"repro/internal/table"
 )
+
+// Training metric families (Prometheus names).
+const (
+	metricTrainSteps       = "naru_train_steps_total"
+	metricTrainEpochs      = "naru_train_epochs_total"
+	metricTrainRollbacks   = "naru_train_divergence_rollbacks_total"
+	metricTrainCkptWrites  = "naru_train_checkpoint_writes_total"
+	metricTrainStepLoss    = "naru_train_step_loss"
+	metricTrainGradNorm    = "naru_train_grad_norm"
+	metricTrainEpochNLL    = "naru_train_epoch_nll"
+	metricTrainLR          = "naru_train_learning_rate"
+	metricTrainCkptLatency = "naru_train_checkpoint_write_seconds"
+)
+
+// trainObs bundles the training loop's pre-resolved metric handles; the zero
+// value (from a nil registry) makes every update a no-op.
+type trainObs struct {
+	steps       *obs.Counter
+	epochs      *obs.Counter
+	rollbacks   *obs.Counter
+	ckptWrites  *obs.Counter
+	stepLoss    *obs.Gauge
+	gradNorm    *obs.Gauge
+	epochNLL    *obs.Gauge
+	lr          *obs.Gauge
+	ckptLatency *obs.Histogram
+}
+
+func newTrainObs(r *obs.Registry) trainObs {
+	if r == nil {
+		return trainObs{}
+	}
+	return trainObs{
+		steps:       r.Counter(metricTrainSteps),
+		epochs:      r.Counter(metricTrainEpochs),
+		rollbacks:   r.Counter(metricTrainRollbacks),
+		ckptWrites:  r.Counter(metricTrainCkptWrites),
+		stepLoss:    r.Gauge(metricTrainStepLoss),
+		gradNorm:    r.Gauge(metricTrainGradNorm),
+		epochNLL:    r.Gauge(metricTrainEpochNLL),
+		lr:          r.Gauge(metricTrainLR),
+		ckptLatency: r.Histogram(metricTrainCkptLatency, obs.LatencyBuckets),
+	}
+}
 
 // Trainable is a Model that supports maximum-likelihood gradient training
 // (both MADE and the per-column architecture implement it).
@@ -69,6 +115,13 @@ type TrainConfig struct {
 	// (default 1e6; <0 disables the norm check — non-finite losses are
 	// always guarded).
 	MaxGradNorm float64
+
+	// Obs, when non-nil, receives training telemetry: step/epoch counters,
+	// loss and gradient-norm gauges, divergence-guard trips, and checkpoint
+	// write latency (the naru_train_* metric families). Telemetry reads the
+	// same loss and gradient norm the divergence guard already computes, so
+	// attaching a registry never changes the training trajectory.
+	Obs *obs.Registry
 }
 
 // DefaultTrainConfig matches the scaled-down evaluation defaults.
@@ -113,6 +166,19 @@ func TrainRun(m Trainable, t *table.Table, cfg TrainConfig) ([]float64, error) {
 		cfg.MaxGradNorm = 1e6
 	}
 	opt := nn.NewAdam(cfg.LR)
+	to := newTrainObs(cfg.Obs)
+	to.lr.Set(opt.LR)
+	// writeCkpt wraps the atomic checkpoint write with telemetry: write
+	// count and fsync+rename latency.
+	writeCkpt := func(st *trainState) error {
+		start := time.Now()
+		if err := writeCheckpoint(cfg.CheckpointPath, st); err != nil {
+			return err
+		}
+		to.ckptWrites.Inc()
+		to.ckptLatency.ObserveDuration(time.Since(start))
+		return nil
+	}
 	n := t.NumRows()
 	nc := t.NumCols()
 	stepsPerEpoch := n / cfg.BatchSize
@@ -157,7 +223,7 @@ func TrainRun(m Trainable, t *table.Table, cfg TrainConfig) ([]float64, error) {
 		if cfg.CheckpointPath == "" {
 			return nil
 		}
-		return writeCheckpoint(cfg.CheckpointPath, st)
+		return writeCkpt(st)
 	}
 
 	for epoch < cfg.Epochs {
@@ -178,8 +244,12 @@ func TrainRun(m Trainable, t *table.Table, cfg TrainConfig) ([]float64, error) {
 			// be discarded before it poisons the weights; the guard inspects
 			// loss and gradient norm, then the optimizer step is applied.
 			loss := m.TrainStep(batch, cfg.BatchSize, nil)
-			if !isFinite(loss) || gradExplodes(m.Params(), cfg.MaxGradNorm) {
+			norm := gradNorm(m.Params())
+			to.stepLoss.Set(loss)
+			to.gradNorm.Set(norm)
+			if !isFinite(loss) || normExplodes(norm, cfg.MaxGradNorm) {
 				retries++
+				to.rollbacks.Inc()
 				if retries > cfg.MaxRetries {
 					return history, fmt.Errorf("%w: step %d of epoch %d (loss %v) after %d rollbacks",
 						ErrDiverged, step, epoch, loss, cfg.MaxRetries)
@@ -193,11 +263,12 @@ func TrainRun(m Trainable, t *table.Table, cfg TrainConfig) ([]float64, error) {
 				opt.LR /= 2
 				good.LR = opt.LR
 				good.Retries = retries
+				to.lr.Set(opt.LR)
 				epoch, step = good.Epoch, good.Step
 				history = append(history[:0], good.History...)
 				epochSum, epochSteps = good.EpochSum, good.EpochSteps
 				if cfg.CheckpointPath != "" {
-					if err := writeCheckpoint(cfg.CheckpointPath, good); err != nil {
+					if err := writeCkpt(good); err != nil {
 						return history, err
 					}
 				}
@@ -207,6 +278,7 @@ func TrainRun(m Trainable, t *table.Table, cfg TrainConfig) ([]float64, error) {
 			epochSum += loss
 			epochSteps++
 			step++
+			to.steps.Inc()
 			if cfg.OnStep != nil {
 				if err := cfg.OnStep(epoch*stepsPerEpoch+step-1, loss); err != nil {
 					return history, err
@@ -223,6 +295,8 @@ func TrainRun(m Trainable, t *table.Table, cfg TrainConfig) ([]float64, error) {
 		}
 		nll := epochSum / math.Max(1, float64(epochSteps))
 		history = append(history, nll)
+		to.epochNLL.Set(nll)
+		to.epochs.Inc()
 		epoch, step = epoch+1, 0
 		epochSum, epochSteps = 0, 0
 		if err := snapshot(); err != nil {
@@ -249,18 +323,32 @@ func mixSeed(seed, k int64) int64 {
 
 func isFinite(x float64) bool { return !math.IsNaN(x) && !math.IsInf(x, 0) }
 
-// gradExplodes reports whether the global L2 gradient norm is non-finite or
-// above the threshold (maxNorm < 0 disables the magnitude check but still
-// catches non-finite gradients).
-func gradExplodes(params []*nn.Param, maxNorm float64) bool {
+// gradNorm returns the global L2 gradient norm over all parameters
+// (NaN/+Inf propagate, which normExplodes treats as an explosion). The loop
+// computes it once per step and shares it between the divergence guard and
+// the naru_train_grad_norm gauge.
+func gradNorm(params []*nn.Param) float64 {
 	var sq float64
 	for _, p := range params {
 		for _, g := range p.Grad.Data {
 			sq += float64(g) * float64(g)
 		}
 	}
-	if !isFinite(sq) {
+	return math.Sqrt(sq)
+}
+
+// normExplodes reports whether a gradient norm is non-finite or above the
+// threshold (maxNorm < 0 disables the magnitude check but still catches
+// non-finite gradients).
+func normExplodes(norm, maxNorm float64) bool {
+	if !isFinite(norm) {
 		return true
 	}
-	return maxNorm >= 0 && math.Sqrt(sq) > maxNorm
+	return maxNorm >= 0 && norm > maxNorm
+}
+
+// gradExplodes combines gradNorm and normExplodes (kept for tests and
+// callers that do not need the norm itself).
+func gradExplodes(params []*nn.Param, maxNorm float64) bool {
+	return normExplodes(gradNorm(params), maxNorm)
 }

@@ -1,0 +1,52 @@
+package estimator
+
+import (
+	"strings"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/query"
+)
+
+// Instrument wraps an estimator so every EstimateRegion call is counted and
+// timed in reg, under metric names derived from the estimator's Name():
+//
+//	estimator_<name>_calls_total
+//	estimator_<name>_latency_seconds
+//
+// The serving layer uses it to audit fallback routing — when core degrades a
+// failed model query to a baseline, the baseline's call counter is the
+// number of queries answered off the model path. A nil registry returns the
+// estimator unchanged, so callers can wrap unconditionally.
+func Instrument(inner Interface, reg *obs.Registry) Interface {
+	if reg == nil {
+		return inner
+	}
+	base := "estimator_" + obs.Sanitize(strings.ToLower(inner.Name()))
+	return &instrumented{
+		inner: inner,
+		calls: reg.Counter(base + "_calls_total"),
+		lat:   reg.Histogram(base+"_latency_seconds", obs.LatencyBuckets),
+	}
+}
+
+type instrumented struct {
+	inner Interface
+	calls *obs.Counter
+	lat   *obs.Histogram
+}
+
+// Name implements Interface, delegating to the wrapped estimator.
+func (e *instrumented) Name() string { return e.inner.Name() }
+
+// SizeBytes implements Interface, delegating to the wrapped estimator.
+func (e *instrumented) SizeBytes() int64 { return e.inner.SizeBytes() }
+
+// EstimateRegion counts and times the wrapped estimator's call.
+func (e *instrumented) EstimateRegion(reg *query.Region) float64 {
+	start := time.Now()
+	sel := e.inner.EstimateRegion(reg)
+	e.calls.Inc()
+	e.lat.ObserveDuration(time.Since(start))
+	return sel
+}

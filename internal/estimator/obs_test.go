@@ -1,0 +1,62 @@
+package estimator
+
+import (
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/query"
+	"repro/internal/table"
+)
+
+func TestInstrumentCountsAndPreservesEstimates(t *testing.T) {
+	tbl := testTable(t, 2000)
+	ind := NewIndep(tbl)
+	reg := obs.New()
+	wrapped := Instrument(ind, reg)
+	if wrapped.Name() != ind.Name() || wrapped.SizeBytes() != ind.SizeBytes() {
+		t.Fatal("Instrument changed identity metadata")
+	}
+	q, err := query.Compile(query.Query{Preds: []query.Predicate{
+		{Col: 0, Op: query.OpLe, Code: 3}}}, tbl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if got, want := wrapped.EstimateRegion(q), ind.EstimateRegion(q); got != want {
+			t.Fatalf("instrumented estimate %v != %v", got, want)
+		}
+	}
+	snap := reg.Snapshot()
+	if got := snap.Counters["estimator_indep_calls_total"]; got != 5 {
+		t.Fatalf("calls counter = %d, want 5 (counters: %v)", got, snap.Counters)
+	}
+	if h := snap.Histograms["estimator_indep_latency_seconds"]; h.Count != 5 {
+		t.Fatalf("latency histogram count = %d, want 5", h.Count)
+	}
+}
+
+func TestInstrumentNilRegistryIsIdentity(t *testing.T) {
+	tbl := testTable(t, 500)
+	ind := NewIndep(tbl)
+	if got := Instrument(ind, nil); got != Interface(ind) {
+		t.Fatal("nil registry should return the estimator unchanged")
+	}
+}
+
+// testTable builds a small correlated table for instrumentation tests.
+func testTable(t *testing.T, rows int) *table.Table {
+	t.Helper()
+	codes := make([][]int32, 2)
+	for c := range codes {
+		codes[c] = make([]int32, rows)
+	}
+	for r := 0; r < rows; r++ {
+		codes[0][r] = int32(r % 8)
+		codes[1][r] = int32((r * r) % 8)
+	}
+	tbl, err := table.FromCodes("inst", []string{"a", "b"}, []int{8, 8}, codes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tbl
+}

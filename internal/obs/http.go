@@ -1,0 +1,100 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sort"
+)
+
+// WritePrometheus writes the registry in the Prometheus text exposition
+// format (version 0.0.4), metrics sorted by name for stable scrapes.
+func (r *Registry) WritePrometheus(w io.Writer) {
+	s := r.Snapshot()
+	for _, name := range sortedKeys(s.Counters) {
+		fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", name, name, s.Counters[name])
+	}
+	for _, name := range sortedKeys(s.Gauges) {
+		fmt.Fprintf(w, "# TYPE %s gauge\n%s %g\n", name, name, s.Gauges[name])
+	}
+	for _, name := range sortedKeys(s.Histograms) {
+		h := s.Histograms[name]
+		fmt.Fprintf(w, "# TYPE %s histogram\n", name)
+		var cum uint64
+		for i, bound := range h.Bounds {
+			cum += h.Counts[i]
+			fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, formatBound(bound), cum)
+		}
+		fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, h.Count)
+		fmt.Fprintf(w, "%s_sum %g\n", name, h.Sum)
+		fmt.Fprintf(w, "%s_count %d\n", name, h.Count)
+	}
+}
+
+func formatBound(b float64) string { return fmt.Sprintf("%g", b) }
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Handler returns the observability endpoint:
+//
+//	/metrics        Prometheus text exposition
+//	/metrics.json   expvar-style JSON snapshot (counters, gauges, histograms,
+//	                trace ring) — the Snapshot type, marshaled
+//	/traces         JSON array of retained query trace records, oldest first
+//	/debug/pprof/*  net/http/pprof (profile, heap, goroutine, trace, ...)
+//
+// The handler is safe with a nil registry (it serves empty snapshots), so a
+// process can expose pprof even with metric collection disabled.
+func Handler(r *Registry) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		r.WritePrometheus(w)
+	})
+	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, r.Snapshot())
+	})
+	mux.HandleFunc("/traces", func(w http.ResponseWriter, _ *http.Request) {
+		traces := r.Traces()
+		if traces == nil {
+			traces = []QueryTrace{}
+		}
+		writeJSON(w, traces)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+// Serve starts the observability endpoint on addr (":0" picks a free port)
+// in a background goroutine. It returns the bound address and a shutdown
+// function that closes the listener and in-flight connections.
+func Serve(addr string, r *Registry) (bound string, shutdown func() error, err error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, fmt.Errorf("obs: listen %s: %w", addr, err)
+	}
+	srv := &http.Server{Handler: Handler(r)}
+	go func() { _ = srv.Serve(ln) }()
+	return ln.Addr().String(), srv.Close, nil
+}

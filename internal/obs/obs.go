@@ -1,0 +1,353 @@
+// Package obs is the serving and training observability layer: sharded
+// counters, gauges, fixed-bucket histograms, and per-query trace records,
+// exposed over HTTP as Prometheus text exposition, expvar-style JSON, and
+// net/http/pprof (see Handler).
+//
+// The package is stdlib-only and allocation-light by design. Metric handles
+// are resolved from a Registry once (at estimator construction, not per
+// query) and updated with atomics; counters stripe their hot field across
+// cache lines so concurrent serving workers do not contend. A nil *Registry
+// hands out nil handles, and every handle method short-circuits on a nil
+// receiver, so instrumented code pays one predictable branch when
+// observability is disabled — nothing is computed, recorded, or allocated.
+//
+// Instrumentation must never perturb results: no handle touches the
+// estimator's seeded RNG streams, so estimates are bit-identical with and
+// without a registry attached (asserted by internal/core's regression tests).
+package obs
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// counterShards stripes each counter across this many cache-line-padded
+// slots; Add picks a slot with the runtime's per-thread fast RNG, so
+// concurrent workers rarely collide on a line. Must be a power of two.
+const counterShards = 16
+
+type counterShard struct {
+	n atomic.Uint64
+	_ [56]byte // pad to a 64-byte cache line against false sharing
+}
+
+// Counter is a monotonically increasing, concurrency-safe counter. All
+// methods are no-ops on a nil receiver.
+type Counter struct {
+	shards [counterShards]counterShard
+}
+
+// Add increments the counter by n.
+func (c *Counter) Add(n uint64) {
+	if c == nil {
+		return
+	}
+	c.shards[rand.Uint64()&(counterShards-1)].n.Add(n)
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value sums the shards. It is eventually consistent with concurrent Adds.
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	var total uint64
+	for i := range c.shards {
+		total += c.shards[i].n.Load()
+	}
+	return total
+}
+
+// Gauge is a concurrency-safe float64 cell (last-write-wins). All methods
+// are no-ops on a nil receiver.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// Add adds delta with a CAS loop.
+func (g *Gauge) Add(delta float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + delta)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value returns the current value (0 before any Set).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// Histogram is a fixed-bucket histogram with Prometheus "le" semantics: an
+// observation lands in the first bucket whose upper bound is >= the value,
+// or in the implicit +Inf overflow bucket. Buckets are chosen at
+// registration and never change, so Observe is two atomic adds plus a CAS
+// for the running sum. All methods are no-ops on a nil receiver.
+type Histogram struct {
+	bounds  []float64 // ascending upper bounds; +Inf bucket is implicit
+	buckets []atomic.Uint64
+	count   atomic.Uint64
+	sumBits atomic.Uint64
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	h.buckets[sort.SearchFloat64s(h.bounds, v)].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// ObserveDuration records a latency in seconds.
+func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(d.Seconds()) }
+
+// HistogramSnapshot is a point-in-time copy of a histogram.
+type HistogramSnapshot struct {
+	// Bounds are the ascending bucket upper bounds; Counts has one extra
+	// trailing entry for the +Inf overflow bucket.
+	Bounds []float64 `json:"bounds"`
+	Counts []uint64  `json:"counts"`
+	Count  uint64    `json:"count"`
+	Sum    float64   `json:"sum"`
+}
+
+// snapshot copies the live histogram.
+func (h *Histogram) snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{
+		Bounds: append([]float64(nil), h.bounds...),
+		Counts: make([]uint64, len(h.buckets)),
+		Count:  h.count.Load(),
+		Sum:    math.Float64frombits(h.sumBits.Load()),
+	}
+	for i := range h.buckets {
+		s.Counts[i] = h.buckets[i].Load()
+	}
+	return s
+}
+
+// Quantile estimates the q-th quantile (0 ≤ q ≤ 1) by nearest rank over the
+// buckets, linearly interpolated inside the containing bucket. Values in the
+// overflow bucket report the largest finite bound. Returns NaN when empty.
+func (s HistogramSnapshot) Quantile(q float64) float64 {
+	if s.Count == 0 {
+		return math.NaN()
+	}
+	rank := uint64(math.Ceil(q * float64(s.Count)))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum uint64
+	for i, c := range s.Counts {
+		if cum+c < rank {
+			cum += c
+			continue
+		}
+		if i >= len(s.Bounds) { // overflow bucket: no finite upper bound
+			if len(s.Bounds) == 0 {
+				return math.Inf(1)
+			}
+			return s.Bounds[len(s.Bounds)-1]
+		}
+		lo := 0.0
+		if i > 0 {
+			lo = s.Bounds[i-1]
+		}
+		frac := float64(rank-cum) / float64(c)
+		return lo + frac*(s.Bounds[i]-lo)
+	}
+	return s.Bounds[len(s.Bounds)-1]
+}
+
+// LatencyBuckets is the default per-query latency bucketing in seconds:
+// exponential from 50µs to ~26s, wide enough for both the enumeration fast
+// path and deadline-degraded sampling.
+var LatencyBuckets = expBuckets(50e-6, 2, 20)
+
+// expBuckets returns n ascending bounds start, start*factor, ...
+func expBuckets(start, factor float64, n int) []float64 {
+	out := make([]float64, n)
+	v := start
+	for i := range out {
+		out[i] = v
+		v *= factor
+	}
+	return out
+}
+
+// Registry names and owns metrics. The zero value is not usable; call New.
+// A nil *Registry is valid everywhere and disables collection.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+	traces   traceRing
+}
+
+// New creates an empty registry with a trace ring of the default capacity.
+func New() *Registry {
+	r := &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+	}
+	r.traces.init(defaultTraceCap)
+	return r
+}
+
+// Counter returns the named counter, registering it on first use. Returns
+// nil (a valid no-op handle) on a nil registry.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c := r.counters[name]
+	if c == nil {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, registering it on first use. Returns nil
+// (a valid no-op handle) on a nil registry.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g := r.gauges[name]
+	if g == nil {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, registering it with the given
+// bucket bounds on first use (bounds must be ascending; later calls reuse
+// the first registration's buckets). Returns nil on a nil registry.
+func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h := r.hists[name]
+	if h == nil {
+		if len(bounds) == 0 {
+			bounds = LatencyBuckets
+		}
+		if !sort.Float64sAreSorted(bounds) {
+			panic(fmt.Sprintf("obs: histogram %q bounds not ascending", name))
+		}
+		h = &Histogram{
+			bounds:  append([]float64(nil), bounds...),
+			buckets: make([]atomic.Uint64, len(bounds)+1),
+		}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Snapshot is a point-in-time copy of everything the registry holds,
+// JSON-marshalable as-is (the expvar-style /metrics.json payload).
+type Snapshot struct {
+	Counters   map[string]uint64            `json:"counters"`
+	Gauges     map[string]float64           `json:"gauges"`
+	Histograms map[string]HistogramSnapshot `json:"histograms"`
+	// Traces are the most recent query trace records, oldest first.
+	Traces []QueryTrace `json:"traces"`
+	// TraceTotal counts every trace ever recorded, including ones that have
+	// rotated out of the ring.
+	TraceTotal uint64 `json:"trace_total"`
+}
+
+// Snapshot copies the registry. Safe (and empty) on a nil registry.
+func (r *Registry) Snapshot() Snapshot {
+	s := Snapshot{
+		Counters:   map[string]uint64{},
+		Gauges:     map[string]float64{},
+		Histograms: map[string]HistogramSnapshot{},
+	}
+	if r == nil {
+		return s
+	}
+	r.mu.Lock()
+	counters := make(map[string]*Counter, len(r.counters))
+	for k, v := range r.counters {
+		counters[k] = v
+	}
+	gauges := make(map[string]*Gauge, len(r.gauges))
+	for k, v := range r.gauges {
+		gauges[k] = v
+	}
+	hists := make(map[string]*Histogram, len(r.hists))
+	for k, v := range r.hists {
+		hists[k] = v
+	}
+	r.mu.Unlock()
+	for k, v := range counters {
+		s.Counters[k] = v.Value()
+	}
+	for k, v := range gauges {
+		s.Gauges[k] = v.Value()
+	}
+	for k, v := range hists {
+		s.Histograms[k] = v.snapshot()
+	}
+	s.Traces, s.TraceTotal = r.traces.snapshot()
+	return s
+}
+
+// Sanitize maps an arbitrary string onto the Prometheus metric-name
+// alphabet [a-zA-Z0-9_:], replacing every other rune with '_'.
+func Sanitize(name string) string {
+	out := []byte(name)
+	for i, b := range out {
+		switch {
+		case b >= 'a' && b <= 'z', b >= 'A' && b <= 'Z', b == '_', b == ':':
+		case b >= '0' && b <= '9':
+			if i == 0 {
+				out[i] = '_'
+			}
+		default:
+			out[i] = '_'
+		}
+	}
+	return string(out)
+}

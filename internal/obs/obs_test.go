@@ -1,0 +1,244 @@
+package obs
+
+import (
+	"encoding/json"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterConcurrentSum(t *testing.T) {
+	r := New()
+	c := r.Counter("hits")
+	const workers, per = 8, 10000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Value(); got != workers*per {
+		t.Fatalf("counter = %d, want %d", got, workers*per)
+	}
+	// Same name returns the same counter.
+	if r.Counter("hits") != c {
+		t.Fatal("re-registration returned a different counter")
+	}
+}
+
+func TestGaugeSetAddValue(t *testing.T) {
+	r := New()
+	g := r.Gauge("temp")
+	g.Set(1.5)
+	g.Add(-0.25)
+	if got := g.Value(); got != 1.25 {
+		t.Fatalf("gauge = %v, want 1.25", got)
+	}
+}
+
+func TestHistogramBucketsAndQuantiles(t *testing.T) {
+	r := New()
+	h := r.Histogram("lat", []float64{1, 10, 100})
+	for _, v := range []float64{0.5, 0.7, 5, 50, 5000} {
+		h.Observe(v)
+	}
+	s := r.Snapshot().Histograms["lat"]
+	if s.Count != 5 {
+		t.Fatalf("count = %d", s.Count)
+	}
+	wantCounts := []uint64{2, 1, 1, 1} // (..1], (1..10], (10..100], +Inf
+	for i, want := range wantCounts {
+		if s.Counts[i] != want {
+			t.Fatalf("bucket %d = %d, want %d (all %v)", i, s.Counts[i], want, s.Counts)
+		}
+	}
+	if math.Abs(s.Sum-5056.2) > 1e-9 {
+		t.Fatalf("sum = %v", s.Sum)
+	}
+	// The median observation (5) lands in the (1, 10] bucket; p99 in the
+	// overflow bucket, which reports the largest finite bound.
+	if q := s.Quantile(0.5); q <= 1 || q > 10 {
+		t.Fatalf("p50 = %v, want in (1, 10]", q)
+	}
+	if q := s.Quantile(0.99); q != 100 {
+		t.Fatalf("p99 = %v, want 100 (largest finite bound)", q)
+	}
+	if !math.IsNaN((HistogramSnapshot{}).Quantile(0.5)) {
+		t.Fatal("empty histogram quantile should be NaN")
+	}
+}
+
+func TestHistogramObserveDuration(t *testing.T) {
+	r := New()
+	h := r.Histogram("lat_s", LatencyBuckets)
+	h.ObserveDuration(200 * time.Microsecond)
+	s := r.Snapshot().Histograms["lat_s"]
+	if s.Count != 1 || s.Sum != 0.0002 {
+		t.Fatalf("count=%d sum=%v", s.Count, s.Sum)
+	}
+}
+
+func TestNilRegistryAndHandlesAreNoops(t *testing.T) {
+	var r *Registry
+	r.Counter("x").Add(3)
+	r.Gauge("y").Set(1)
+	r.Histogram("z", nil).Observe(2)
+	r.RecordTrace(QueryTrace{Path: PathEnum})
+	if got := r.Traces(); got != nil {
+		t.Fatalf("nil registry traces = %v", got)
+	}
+	s := r.Snapshot()
+	if len(s.Counters)+len(s.Gauges)+len(s.Histograms)+len(s.Traces) != 0 {
+		t.Fatalf("nil registry snapshot not empty: %+v", s)
+	}
+	var sb strings.Builder
+	r.WritePrometheus(&sb) // must not panic
+}
+
+func TestTraceRingWrapsAndOrders(t *testing.T) {
+	r := New()
+	total := defaultTraceCap + 10
+	for i := 0; i < total; i++ {
+		r.RecordTrace(QueryTrace{Path: PathSample, Completed: i})
+	}
+	traces, n := r.traces.snapshot()
+	if n != uint64(total) {
+		t.Fatalf("trace total = %d, want %d", n, total)
+	}
+	if len(traces) != defaultTraceCap {
+		t.Fatalf("ring holds %d, want %d", len(traces), defaultTraceCap)
+	}
+	for i, tr := range traces {
+		if want := uint64(10 + i); tr.Seq != want {
+			t.Fatalf("trace %d seq = %d, want %d", i, tr.Seq, want)
+		}
+		if tr.Completed != 10+i {
+			t.Fatalf("trace %d out of order: %+v", i, tr)
+		}
+	}
+}
+
+func TestPrometheusExposition(t *testing.T) {
+	r := New()
+	r.Counter("naru_queries_total").Add(7)
+	r.Gauge("naru_train_epoch_nll").Set(3.25)
+	h := r.Histogram("naru_query_latency_seconds", []float64{0.001, 0.01})
+	h.Observe(0.0005)
+	h.Observe(0.5)
+	var sb strings.Builder
+	r.WritePrometheus(&sb)
+	out := sb.String()
+	for _, want := range []string{
+		"# TYPE naru_queries_total counter\nnaru_queries_total 7\n",
+		"# TYPE naru_train_epoch_nll gauge\nnaru_train_epoch_nll 3.25\n",
+		"# TYPE naru_query_latency_seconds histogram\n",
+		"naru_query_latency_seconds_bucket{le=\"0.001\"} 1\n",
+		"naru_query_latency_seconds_bucket{le=\"0.01\"} 1\n",
+		"naru_query_latency_seconds_bucket{le=\"+Inf\"} 2\n",
+		"naru_query_latency_seconds_sum 0.5005\n",
+		"naru_query_latency_seconds_count 2\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestHandlerEndpoints(t *testing.T) {
+	r := New()
+	r.Counter("naru_queries_total").Add(2)
+	r.RecordTrace(QueryTrace{Path: PathEnum, Sel: 0.5, LatencyNS: 1000})
+	srv := httptest.NewServer(Handler(r))
+	defer srv.Close()
+
+	get := func(path string) (int, string) {
+		t.Helper()
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var sb strings.Builder
+		buf := make([]byte, 64<<10)
+		for {
+			n, err := resp.Body.Read(buf)
+			sb.Write(buf[:n])
+			if err != nil {
+				break
+			}
+		}
+		return resp.StatusCode, sb.String()
+	}
+
+	if code, body := get("/metrics"); code != 200 || !strings.Contains(body, "naru_queries_total 2") {
+		t.Fatalf("/metrics: code %d body %q", code, body)
+	}
+	code, body := get("/metrics.json")
+	if code != 200 {
+		t.Fatalf("/metrics.json: code %d", code)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal([]byte(body), &snap); err != nil {
+		t.Fatalf("/metrics.json not valid JSON: %v\n%s", err, body)
+	}
+	if snap.Counters["naru_queries_total"] != 2 || snap.TraceTotal != 1 {
+		t.Fatalf("snapshot = %+v", snap)
+	}
+	code, body = get("/traces")
+	var traces []QueryTrace
+	if code != 200 || json.Unmarshal([]byte(body), &traces) != nil || len(traces) != 1 {
+		t.Fatalf("/traces: code %d body %q", code, body)
+	}
+	if traces[0].Path != PathEnum || traces[0].Sel != 0.5 {
+		t.Fatalf("trace = %+v", traces[0])
+	}
+	if code, body := get("/debug/pprof/"); code != 200 || !strings.Contains(body, "goroutine") {
+		t.Fatalf("/debug/pprof/: code %d", code)
+	}
+}
+
+func TestServeBindsAndShutsDown(t *testing.T) {
+	r := New()
+	r.Counter("up").Inc()
+	addr, shutdown, err := Serve("127.0.0.1:0", r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get("http://" + addr + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if err := shutdown(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := http.Get("http://" + addr + "/metrics"); err == nil {
+		t.Fatal("endpoint still reachable after shutdown")
+	}
+}
+
+func TestSanitize(t *testing.T) {
+	cases := map[string]string{
+		"Naru-2000":    "Naru_2000",
+		"postgres 1d":  "postgres_1d",
+		"9lives":       "_lives",
+		"ok_name:sub9": "ok_name:sub9",
+	}
+	for in, want := range cases {
+		if got := Sanitize(in); got != want {
+			t.Fatalf("Sanitize(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

@@ -1,0 +1,100 @@
+package obs
+
+import "sync"
+
+// Query paths recorded in trace records and path counters: which arm of the
+// estimator answered (§5's enumeration vs. progressive sampling, plus the
+// serving layer's degraded/fallback/failed outcomes from internal/core).
+const (
+	PathEnum     = "enum"     // exact enumeration (small restricted region)
+	PathSample   = "sample"   // full-budget progressive sampling
+	PathDegraded = "degraded" // deadline cut the sample budget short
+	PathFallback = "fallback" // model path failed; fallback estimator answered
+	PathFailed   = "failed"   // model path failed with no (working) fallback
+	PathEmpty    = "empty"    // provably empty region, answered without the model
+)
+
+// QueryTrace is one served query's record: which path answered, how much of
+// the progressive-sampling budget ran, the Monte Carlo standard error, how
+// much of the per-query deadline was left, and whether a panic was contained.
+type QueryTrace struct {
+	// Seq is the trace's global sequence number, assigned by RecordTrace.
+	Seq uint64 `json:"seq"`
+	// Path is one of the Path* constants.
+	Path string `json:"path"`
+	// Requested and Completed are the progressive-sampling budget asked for
+	// and actually run (both 0 for enumeration and empty regions).
+	Requested int `json:"requested"`
+	Completed int `json:"completed"`
+	// Sel is the returned selectivity estimate.
+	Sel float64 `json:"sel"`
+	// StdErr is the Monte Carlo standard error of Sel (0 when exact).
+	StdErr float64 `json:"stderr"`
+	// LatencyNS is the query's wall-clock service time.
+	LatencyNS int64 `json:"latency_ns"`
+	// DeadlineSlackNS is the per-query budget remaining at completion
+	// (negative when the deadline was overrun; 0 when no deadline was set).
+	DeadlineSlackNS int64 `json:"deadline_slack_ns,omitempty"`
+	// Recovered marks a contained model-path panic.
+	Recovered bool `json:"recovered,omitempty"`
+	// Err is the model-path failure, if any (set for fallback and failed).
+	Err string `json:"err,omitempty"`
+}
+
+// defaultTraceCap bounds the trace ring: big enough to cover a scrape
+// interval of queries, small enough to stay off the allocator's radar.
+const defaultTraceCap = 256
+
+// traceRing is a fixed-capacity overwrite-oldest ring of trace records. A
+// mutex is fine here: one record per query is orders of magnitude colder
+// than the per-sample-path work it summarizes.
+type traceRing struct {
+	mu   sync.Mutex
+	buf  []QueryTrace
+	next uint64 // total records ever written
+}
+
+func (t *traceRing) init(capacity int) { t.buf = make([]QueryTrace, 0, capacity) }
+
+// RecordTrace appends one record to the ring, assigning its sequence
+// number. Safe (a no-op) on a nil registry.
+func (r *Registry) RecordTrace(tr QueryTrace) {
+	if r == nil {
+		return
+	}
+	t := &r.traces
+	t.mu.Lock()
+	tr.Seq = t.next
+	if len(t.buf) < cap(t.buf) {
+		t.buf = append(t.buf, tr)
+	} else {
+		t.buf[t.next%uint64(cap(t.buf))] = tr
+	}
+	t.next++
+	t.mu.Unlock()
+}
+
+// snapshot returns the ring's records oldest-first plus the total recorded.
+func (t *traceRing) snapshot() ([]QueryTrace, uint64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]QueryTrace, 0, len(t.buf))
+	if len(t.buf) < cap(t.buf) || t.next == 0 {
+		out = append(out, t.buf...)
+	} else {
+		start := t.next % uint64(cap(t.buf))
+		out = append(out, t.buf[start:]...)
+		out = append(out, t.buf[:start]...)
+	}
+	return out, t.next
+}
+
+// Traces returns the retained trace records, oldest first. Safe (and empty)
+// on a nil registry.
+func (r *Registry) Traces() []QueryTrace {
+	if r == nil {
+		return nil
+	}
+	out, _ := r.traces.snapshot()
+	return out
+}

@@ -1,0 +1,49 @@
+package naru
+
+import (
+	"net/http"
+
+	"repro/internal/estimator"
+	"repro/internal/obs"
+)
+
+// Metrics is the observability registry: sharded counters, gauges, and
+// fixed-bucket latency histograms, plus a ring of recent per-query trace
+// records. A nil *Metrics disables collection everywhere it is accepted, at
+// the cost of one branch per query — estimates are bit-identical either way.
+type Metrics = obs.Registry
+
+// NewMetrics creates an empty registry. Attach it via Config.Metrics (train
+// and serve telemetry for Build) or Estimator.SetMetrics (serving only), and
+// expose it with MetricsHandler or ServeMetrics.
+func NewMetrics() *Metrics { return obs.New() }
+
+// MetricsHandler returns the HTTP endpoint for a registry:
+//
+//	/metrics        Prometheus text exposition
+//	/metrics.json   expvar-style JSON snapshot (counters, gauges, histograms)
+//	/traces         recent per-query trace records, oldest first
+//	/debug/pprof/   the standard net/http/pprof profiles
+func MetricsHandler(m *Metrics) http.Handler { return obs.Handler(m) }
+
+// ServeMetrics starts the observability endpoint on addr (":0" picks a free
+// port), returning the bound address and a shutdown func.
+func ServeMetrics(addr string, m *Metrics) (bound string, shutdown func() error, err error) {
+	return obs.Serve(addr, m)
+}
+
+// SetMetrics attaches (or, with nil, detaches) a registry to the serving
+// path: every subsequent estimate increments the naru_query_* families and
+// leaves a trace record. Attach before serving; the registry is read by the
+// estimator's workers.
+func (e *Estimator) SetMetrics(m *Metrics) { e.sampler.SetObserver(m) }
+
+// Metrics returns the attached registry (nil when observability is off).
+func (e *Estimator) Metrics() *Metrics { return e.sampler.Observer() }
+
+// FallbackObserved is Fallback with its calls counted and timed in m (metric
+// family estimator_postgres_*), so operators can audit how much traffic is
+// being answered off the model path. A nil registry degrades to Fallback.
+func FallbackObserved(t *Table, m *Metrics) func(*Region) float64 {
+	return estimator.Instrument(estimator.NewPostgres(t, 100, 100), m).EstimateRegion
+}

@@ -1,0 +1,79 @@
+package naru
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// TestConfigMetricsEndToEnd wires a registry through the facade: Build feeds
+// it training telemetry, the estimator feeds it serving telemetry, and
+// MetricsHandler exposes both families over HTTP.
+func TestConfigMetricsEndToEnd(t *testing.T) {
+	tbl := facadeTable(t, 800)
+	cfg := DefaultConfig()
+	cfg.HiddenSizes = []int{16, 16}
+	cfg.Epochs = 1
+	cfg.Samples = 100
+	cfg.Seed = 9
+	cfg.Metrics = NewMetrics()
+	est, err := Build(tbl, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.Metrics() != cfg.Metrics {
+		t.Fatal("Build did not attach Config.Metrics to the estimator")
+	}
+	if _, err := est.Selectivity(Query{Preds: []Predicate{{Col: 0, Op: OpLe, Code: 3}}}); err != nil {
+		t.Fatal(err)
+	}
+
+	srv := httptest.NewServer(MetricsHandler(cfg.Metrics))
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, family := range []string{
+		"naru_train_steps_total", "naru_train_epoch_nll",
+		"naru_queries_total", "naru_query_latency_seconds_count",
+	} {
+		if !strings.Contains(string(body), family) {
+			t.Fatalf("/metrics missing %s:\n%s", family, body)
+		}
+	}
+
+	snap := cfg.Metrics.Snapshot()
+	if snap.Counters["naru_queries_total"] != 1 {
+		t.Fatalf("naru_queries_total = %d, want 1", snap.Counters["naru_queries_total"])
+	}
+	if snap.Counters["naru_train_steps_total"] == 0 {
+		t.Fatal("training recorded no steps")
+	}
+}
+
+// TestFallbackObservedCounts: the instrumented fallback reports its calls
+// under the estimator_postgres_* family and estimates like the plain one.
+func TestFallbackObservedCounts(t *testing.T) {
+	tbl := facadeTable(t, 600)
+	m := NewMetrics()
+	fb := FallbackObserved(tbl, m)
+	plain := Fallback(tbl)
+	reg, err := Compile(Query{Preds: []Predicate{{Col: 1, Op: OpGe, Code: 2}}}, tbl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := fb(reg), plain(reg); got != want {
+		t.Fatalf("observed fallback %v != plain %v", got, want)
+	}
+	if got := m.Snapshot().Counters["estimator_postgres_calls_total"]; got != 1 {
+		t.Fatalf("estimator_postgres_calls_total = %d, want 1", got)
+	}
+}

@@ -141,6 +141,13 @@ type Config struct {
 	// run is bit-identical to an uninterrupted one. A corrupt checkpoint is
 	// an error; a missing one starts fresh.
 	Resume bool
+
+	// Metrics, when non-nil, receives training telemetry (naru_train_*)
+	// during Build and is attached to the resulting estimator's serving path
+	// (naru_query_* plus per-query traces). Expose it with MetricsHandler or
+	// ServeMetrics. Collection never changes estimates or the training
+	// trajectory; nil (the default) disables it.
+	Metrics *Metrics
 }
 
 // DefaultConfig returns sensible defaults for medium-size tables.
@@ -228,7 +235,7 @@ func Build(t *Table, cfg Config) (*Estimator, error) {
 	if _, err := core.TrainRun(m, t, core.TrainConfig{
 		Epochs: cfg.Epochs, BatchSize: cfg.BatchSize, LR: cfg.LR, Seed: cfg.Seed + 1,
 		CheckpointPath: cfg.CheckpointPath, CheckpointEvery: cfg.CheckpointEvery,
-		Resume: cfg.Resume,
+		Resume: cfg.Resume, Obs: cfg.Metrics,
 	}); err != nil {
 		return nil, fmt.Errorf("naru: training: %w", err)
 	}
@@ -236,13 +243,15 @@ func Build(t *Table, cfg Config) (*Estimator, error) {
 }
 
 func newEstimator(m core.Trainable, cfg Config, t *Table) *Estimator {
-	return &Estimator{
+	e := &Estimator{
 		cfg:     cfg,
 		model:   m,
 		sampler: core.NewEstimator(m, cfg.Samples, cfg.Seed+2),
 		domains: m.DomainSizes(),
 		numRows: int64(t.NumRows()),
 	}
+	e.sampler.SetObserver(cfg.Metrics)
+	return e
 }
 
 // Selectivity estimates the fraction of rows satisfying the conjunction.
@@ -460,6 +469,7 @@ func LoadEstimator(r io.Reader, cfg Config) (*Estimator, error) {
 		domains: m.DomainSizes(),
 		numRows: rows,
 	}
+	e.sampler.SetObserver(cfg.Metrics)
 	return e, nil
 }
 

@@ -10,6 +10,11 @@
 # resume, divergence-guard, corruption-rejection, and disrupted-serving tests
 # under the race detector, followed by a short fuzz pass over each fuzz
 # target (model deserialization, envelope framing, WHERE parsing).
+#
+# `check.sh obs` is an end-to-end observability smoke test: it trains a tiny
+# model, starts `naru serve` with -metrics-addr, drives a few estimates over
+# HTTP, and asserts the core metric families show up in the /metrics scrape —
+# then double-checks that -metrics-addr leaves estimate output byte-identical.
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -26,6 +31,81 @@ if [ "${1:-}" = "fault" ]; then
     go test -run xxx -fuzz 'FuzzParseWhere' -fuzztime "$fuzztime" ./internal/query
 
     echo "check fault: OK"
+    exit 0
+fi
+
+if [ "${1:-}" = "obs" ]; then
+    echo "== observability smoke test"
+    tmp="$(mktemp -d)"
+    trap 'kill "${serve_pid:-}" 2>/dev/null || true; rm -rf "$tmp"' EXIT INT TERM
+
+    go build -o "$tmp/naru" ./cmd/naru
+
+    cat > "$tmp/data.csv" <<'EOF'
+state,qty
+NY,10
+NY,20
+CA,10
+CA,30
+WA,20
+TX,40
+NY,30
+CA,20
+WA,10
+TX,20
+NY,40
+CA,40
+EOF
+
+    echo "-- train"
+    "$tmp/naru" train -csv "$tmp/data.csv" -out "$tmp/model.naru" \
+        -epochs 1 -hidden 8,8 -samples 64 > "$tmp/train.log"
+
+    echo "-- serve"
+    "$tmp/naru" serve -csv "$tmp/data.csv" -model "$tmp/model.naru" \
+        -samples 64 -fallback -addr 127.0.0.1:0 -metrics-addr 127.0.0.1:0 \
+        > "$tmp/serve.out" 2> "$tmp/serve.err" &
+    serve_pid=$!
+
+    # Both listeners announce their bound addresses; wait for them.
+    for _ in $(seq 1 50); do
+        grep -q "serving on" "$tmp/serve.out" && grep -q "metrics on" "$tmp/serve.err" && break
+        kill -0 "$serve_pid" || { echo "serve exited early"; cat "$tmp/serve.err"; exit 1; }
+        sleep 0.1
+    done
+    serve_url="$(sed -n 's/^serving on \(http:\/\/[^/]*\).*/\1/p' "$tmp/serve.out")"
+    metrics_url="$(sed -n 's/^metrics on \(http:\/\/[^/]*\).*/\1/p' "$tmp/serve.err")"
+    [ -n "$serve_url" ] && [ -n "$metrics_url" ] || { echo "could not parse bound addresses"; exit 1; }
+
+    echo "-- estimates via $serve_url"
+    curl -fsS --get "$serve_url/estimate" --data-urlencode "where=state=NY" | grep -q '"source":"model"'
+    curl -fsS --get "$serve_url/estimate" --data-urlencode "where=qty<=20 AND state=CA" > /dev/null
+    # A malformed query must 400 without polluting the query metrics.
+    curl -s --get "$serve_url/estimate" --data-urlencode "where=nope=1" -o /dev/null -w '%{http_code}' | grep -q 400
+
+    echo "-- scrape $metrics_url"
+    scrape="$tmp/metrics.txt"
+    curl -fsS "$metrics_url/metrics" > "$scrape"
+    for family in naru_queries_total naru_query_path_enum_total \
+        naru_query_latency_seconds_bucket naru_query_latency_seconds_count; do
+        grep -q "^$family" "$scrape" || { echo "missing metric family $family"; cat "$scrape"; exit 1; }
+    done
+    [ "$(sed -n 's/^naru_queries_total //p' "$scrape")" = "2" ] || { echo "expected 2 served queries"; cat "$scrape"; exit 1; }
+    curl -fsS "$metrics_url/metrics.json" | grep -q '"counters"'
+    curl -fsS "$metrics_url/traces" | grep -q '"path"'
+    curl -fsS "$metrics_url/debug/pprof/cmdline" > /dev/null
+
+    kill "$serve_pid"; wait "$serve_pid" 2>/dev/null || true
+    serve_pid=""
+
+    echo "-- determinism: estimate output with and without -metrics-addr"
+    "$tmp/naru" estimate -csv "$tmp/data.csv" -model "$tmp/model.naru" \
+        -samples 64 -where "state=NY" > "$tmp/plain.out"
+    "$tmp/naru" estimate -csv "$tmp/data.csv" -model "$tmp/model.naru" \
+        -samples 64 -where "state=NY" -metrics-addr 127.0.0.1:0 > "$tmp/obs.out" 2>/dev/null
+    diff "$tmp/plain.out" "$tmp/obs.out" || { echo "-metrics-addr perturbed estimates"; exit 1; }
+
+    echo "check obs: OK"
     exit 0
 fi
 
