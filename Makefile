@@ -1,6 +1,6 @@
 # Convenience entry points; everything is plain `go` underneath.
 
-.PHONY: build test check check-fault check-obs bench inference
+.PHONY: build test check check-fault check-obs check-train bench inference training
 
 build:
 	go build ./...
@@ -28,6 +28,17 @@ check-obs:
 bench:
 	go test -bench . -benchtime 1x -run xxx .
 
+# check-train is the end-to-end training-determinism gate: two sharded runs
+# must write byte-identical models, and an interrupted-then-resumed run must
+# match the uninterrupted model byte-for-byte.
+check-train:
+	./scripts/check.sh train
+
 # inference regenerates BENCH_inference.json (github-action-benchmark format).
 inference:
 	go run ./cmd/narubench -quiet inference
+
+# training regenerates BENCH_training.json: baseline vs batched vs sharded
+# training throughput, step latency quantiles, and epoch-NLL agreement.
+training:
+	go run ./cmd/narubench -quiet training

@@ -16,10 +16,17 @@
 // after a crash; `estimate -timeout D` bounds each query's latency by
 // degrading its sample budget (anytime estimates, tagged in the output), and
 // `-fallback` answers failed queries from 1D statistics instead of erroring.
+//
+// Training performance: `train -train-workers W` shards each batch's
+// gradient across W deterministic data-parallel workers (the count is
+// recorded in checkpoints so resumed runs stay bit-identical), and
+// `-stop-after N` halts after N gradient steps without saving a model, the
+// scripted interruption point for the interrupt/resume check.
 package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -72,6 +79,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 func usage(w io.Writer) {
 	fmt.Fprintln(w, `usage:
   naru train    -csv data.csv -out model.naru [-epochs N] [-hidden 128,128,128,128] [-samples S]
+                [-batch N] [-train-workers W] [-stop-after N]
                 [-checkpoint train.ckpt] [-checkpoint-every N] [-resume] [-metrics-addr :8080]
   naru estimate -csv data.csv -model model.naru -where "a<=5 AND b=x"
   naru estimate -csv data.csv -model model.naru -queries workload.txt [-workers N]
@@ -144,6 +152,9 @@ func cmdTrain(args []string, stdout, stderr io.Writer) error {
 	ckpt := fs.String("checkpoint", "", "checkpoint file (enables periodic atomic checkpoints)")
 	ckptEvery := fs.Int("checkpoint-every", 100, "steps between checkpoints")
 	resume := fs.Bool("resume", false, "resume from -checkpoint if it exists")
+	batchSize := fs.Int("batch", 0, "tuples per gradient step (0 = default 512)")
+	trainWorkers := fs.Int("train-workers", 0, "data-parallel gradient shards per step (0/1 = sequential; recorded in checkpoints)")
+	stopAfter := fs.Int("stop-after", 0, "stop after N gradient steps without saving a model (for scripted interrupt/resume testing)")
 	metricsAddr := fs.String("metrics-addr", "", "serve /metrics, /traces, /debug/pprof on this address while training")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -169,6 +180,9 @@ func cmdTrain(args []string, stdout, stderr io.Writer) error {
 	cfg.CheckpointPath = *ckpt
 	cfg.CheckpointEvery = *ckptEvery
 	cfg.Resume = *resume
+	cfg.BatchSize = *batchSize
+	cfg.TrainWorkers = *trainWorkers
+	cfg.StopAfterSteps = *stopAfter
 	metrics, stopMetrics, err := startMetrics(*metricsAddr, stderr)
 	if err != nil {
 		return err
@@ -178,6 +192,17 @@ func cmdTrain(args []string, stdout, stderr io.Writer) error {
 	fmt.Fprintf(stdout, "training on %q: %d rows × %d cols (joint %.3g)\n",
 		t.Name, t.NumRows(), t.NumCols(), t.JointSize())
 	est, err := naru.Build(t, cfg)
+	if errors.Is(err, naru.ErrTrainingStopped) {
+		// The scripted interruption point: no model is saved, but the
+		// checkpoint (when configured) lets a -resume run pick up exactly
+		// where this one stopped.
+		fmt.Fprintf(stdout, "training stopped after %d steps", *stopAfter)
+		if *ckpt != "" {
+			fmt.Fprintf(stdout, "; checkpoint at %s", *ckpt)
+		}
+		fmt.Fprintln(stdout)
+		return nil
+	}
 	if err != nil {
 		return err
 	}

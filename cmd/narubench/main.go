@@ -7,7 +7,9 @@
 //	narubench [flags] <experiment>...
 //
 // Experiments: fig4, table3 (includes fig6a), table4 (includes fig6b),
-// table5, fig5, table6, table7, fig7, fig8, table8, all.
+// table5, fig5, table6, table7, fig7, fig8, table8, all; plus the
+// engineering benchmarks inference (serving fast path vs reference) and
+// training (batched/sharded training fast path vs the sequential baseline).
 //
 // Defaults are scaled down so every experiment finishes in CPU minutes; use
 // the flags to approach paper scale (-dmv-rows 11500000 -queries 2000 ...).
@@ -32,11 +34,11 @@ func main() {
 	flag.Int64Var(&cfg.Seed, "seed", 1, "random seed")
 	flag.BoolVar(&cfg.Quiet, "quiet", false, "suppress progress lines")
 	flag.IntVar(&cfg.Workers, "workers", 0, "concurrent query workers for batch serving (0 = NumCPU)")
-	flag.StringVar(&cfg.BenchOut, "bench-out", "", "benchmark JSON output path (default BENCH_inference.json)")
+	flag.StringVar(&cfg.BenchOut, "bench-out", "", "benchmark JSON output path (default BENCH_<experiment>.json)")
 	metricsAddr := flag.String("metrics-addr", "", "serve /metrics, /traces, /debug/pprof on this address during the run")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: narubench [flags] <experiment>...\n")
-		fmt.Fprintf(os.Stderr, "experiments: fig4 table3 table4 table5 fig5 table6 table7 fig7 fig8 table8 arch uniform inference all\n\n")
+		fmt.Fprintf(os.Stderr, "experiments: fig4 table3 table4 table5 fig5 table6 table7 fig7 fig8 table8 arch uniform inference training all\n\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -88,6 +90,8 @@ func main() {
 			bench.UniformVsProgressive(out, cfg)
 		case "inference":
 			bench.Inference(out, cfg)
+		case "training":
+			bench.Training(out, cfg)
 		default:
 			fmt.Fprintf(os.Stderr, "narubench: unknown experiment %q\n", name)
 			os.Exit(2)

@@ -40,6 +40,9 @@ type fullForward struct{ core.Model }
 // agreement between fast and reference estimates.
 func Inference(out io.Writer, cfg Config) {
 	cfg = cfg.withDefaults()
+	if cfg.BenchOut == "" {
+		cfg.BenchOut = "BENCH_inference.json"
+	}
 	start := time.Now()
 	t := datagen.DMV(cfg.DMVRows, cfg.Seed)
 	progress(out, cfg.Quiet, "inference: generated %d rows in %v", t.NumRows(), time.Since(start).Round(time.Millisecond))

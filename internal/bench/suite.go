@@ -59,9 +59,8 @@ func (c Config) withDefaults() Config {
 	if c.Workers <= 0 {
 		c.Workers = runtime.NumCPU()
 	}
-	if c.BenchOut == "" {
-		c.BenchOut = "BENCH_inference.json"
-	}
+	// BenchOut has no global default: each benchmark entry point fills in its
+	// own file name (BENCH_inference.json, BENCH_training.json) when empty.
 	return c
 }
 

@@ -41,6 +41,12 @@ type trainState struct {
 	EpochSum   float64   // partial NLL sum of the in-flight epoch
 	EpochSteps int       // steps contributing to EpochSum
 
+	// Workers is the data-parallel shard count the run was using; resumption
+	// adopts it so the float32 summation grouping — and hence the bits — of
+	// the trajectory are preserved. 0 (checkpoints from before sharding)
+	// means sequential.
+	Workers int
+
 	Names  []string
 	Shapes [][2]int
 	Data   [][]float32
@@ -141,6 +147,9 @@ func decodeCheckpoint(r io.Reader) (*trainState, error) {
 	}
 	if st.Epoch < 0 || st.Step < 0 || st.EpochSteps < 0 {
 		return nil, fmt.Errorf("core: checkpoint has negative schedule position")
+	}
+	if st.Workers < 0 {
+		return nil, fmt.Errorf("core: checkpoint has negative worker count")
 	}
 	return &st, nil
 }

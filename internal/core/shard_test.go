@@ -1,0 +1,159 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/faultinject"
+)
+
+// TestShardedTrainDeterministic: two runs with the same (Seed, Workers) must
+// produce bit-identical epoch histories and final weights — the contract that
+// makes data-parallel training debuggable. Running under -race also exercises
+// the replica isolation (shared Val, private Grad/scratch).
+func TestShardedTrainDeterministic(t *testing.T) {
+	tbl := corrTable(t, 1200, 31)
+	cfg := TrainConfig{Epochs: 2, BatchSize: 128, LR: 5e-3, Seed: 11, Workers: 3}
+
+	a := ckptModel(6, tbl)
+	histA, err := TrainRun(a, tbl, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := ckptModel(6, tbl)
+	histB, err := TrainRun(b, tbl, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(histA) != len(histB) {
+		t.Fatalf("histories %v vs %v", histA, histB)
+	}
+	for i := range histA {
+		if histA[i] != histB[i] {
+			t.Fatalf("epoch %d NLL %v vs %v (want bit-exact)", i, histA[i], histB[i])
+		}
+	}
+	if !paramsEqual(a, b) {
+		t.Fatal("same (Seed, Workers) runs produced different weights")
+	}
+}
+
+// TestShardedWorkersOneIsSequential: Workers == 1 must take the exact legacy
+// sequential path, bit-identical to leaving Workers unset.
+func TestShardedWorkersOneIsSequential(t *testing.T) {
+	tbl := corrTable(t, 800, 32)
+	base := TrainConfig{Epochs: 2, BatchSize: 128, LR: 5e-3, Seed: 12}
+
+	seq := ckptModel(7, tbl)
+	histSeq, err := TrainRun(seq, tbl, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	one := base
+	one.Workers = 1
+	m := ckptModel(7, tbl)
+	histOne, err := TrainRun(m, tbl, one)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range histSeq {
+		if histSeq[i] != histOne[i] {
+			t.Fatalf("epoch %d: Workers=1 NLL %v, sequential %v (want bit-exact)", i, histOne[i], histSeq[i])
+		}
+	}
+	if !paramsEqual(seq, m) {
+		t.Fatal("Workers=1 weights differ from sequential run")
+	}
+}
+
+// TestShardedMatchesSequentialWithinNoise: sharding regroups float32 sums, so
+// the trajectories are not bit-equal across worker counts — but they must
+// agree to float precision at the scale of an epoch's mean NLL.
+func TestShardedMatchesSequentialWithinNoise(t *testing.T) {
+	tbl := corrTable(t, 1200, 33)
+	cfg := TrainConfig{Epochs: 2, BatchSize: 128, LR: 5e-3, Seed: 13}
+
+	seq := ckptModel(8, tbl)
+	histSeq, err := TrainRun(seq, tbl, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Workers = 4
+	sh := ckptModel(8, tbl)
+	histSh, err := TrainRun(sh, tbl, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range histSeq {
+		if rel := math.Abs(histSh[i]-histSeq[i]) / math.Abs(histSeq[i]); rel > 1e-2 {
+			t.Fatalf("epoch %d: sharded NLL %v vs sequential %v (rel %v)", i, histSh[i], histSeq[i], rel)
+		}
+	}
+}
+
+// TestShardedResumeMatchesUninterrupted is the sharded variant of the
+// checkpoint bit-identity test, with a twist: the resume config asks for a
+// different worker count, and the checkpoint's recorded count must win —
+// otherwise the regrouped float32 sums would silently fork the trajectory.
+func TestShardedResumeMatchesUninterrupted(t *testing.T) {
+	tbl := corrTable(t, 1200, 34)
+	cfg := TrainConfig{Epochs: 3, BatchSize: 128, LR: 5e-3, Seed: 14, Workers: 3, CheckpointEvery: 3}
+
+	ref := ckptModel(9, tbl)
+	wantHist, err := TrainRun(ref, tbl, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, crashAt := range []int{1, 7, 16} {
+		dir := t.TempDir()
+		ckpt := filepath.Join(dir, "train.ckpt")
+		crashCfg := cfg
+		crashCfg.CheckpointPath = ckpt
+		crashCfg.OnStep = faultinject.CrashAfter(crashAt)
+		m := ckptModel(9, tbl)
+		if _, err := TrainRun(m, tbl, crashCfg); !errors.Is(err, faultinject.ErrCrash) {
+			t.Fatalf("crash at %d: err = %v, want ErrCrash", crashAt, err)
+		}
+
+		resumed := ckptModel(9, tbl)
+		resumeCfg := cfg
+		if crashAt > cfg.CheckpointEvery {
+			// A checkpoint exists by now, so its recorded worker count must
+			// override whatever the resume config asks for. (Before the first
+			// checkpoint write, resume is a fresh start and the config's own
+			// Workers applies — keep it unchanged there.)
+			resumeCfg.Workers = 0
+		}
+		resumeCfg.CheckpointPath = ckpt
+		resumeCfg.Resume = true
+		gotHist, err := TrainRun(resumed, tbl, resumeCfg)
+		if err != nil {
+			t.Fatalf("crash at %d: resume: %v", crashAt, err)
+		}
+		if len(gotHist) != len(wantHist) {
+			t.Fatalf("crash at %d: history %v, want %v", crashAt, gotHist, wantHist)
+		}
+		for i := range gotHist {
+			if gotHist[i] != wantHist[i] {
+				t.Fatalf("crash at %d: epoch %d NLL %v, want %v (bit-exact)", crashAt, i, gotHist[i], wantHist[i])
+			}
+		}
+		if !paramsEqual(resumed, ref) {
+			t.Fatalf("crash at %d: resumed weights differ from uninterrupted run", crashAt)
+		}
+	}
+}
+
+// TestShardedWorkersClampedToBatch: more workers than batch rows must not
+// create empty shards that break training (they degenerate to batch-size
+// workers).
+func TestShardedWorkersClampedToBatch(t *testing.T) {
+	tbl := corrTable(t, 200, 35)
+	cfg := TrainConfig{Epochs: 1, BatchSize: 16, LR: 5e-3, Seed: 15, Workers: 64}
+	if _, err := TrainRun(ckptModel(10, tbl), tbl, cfg); err != nil {
+		t.Fatal(err)
+	}
+}

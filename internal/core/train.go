@@ -6,6 +6,7 @@ import (
 	"math"
 	"math/rand"
 	"os"
+	"sync"
 	"time"
 
 	"repro/internal/nn"
@@ -24,6 +25,9 @@ const (
 	metricTrainEpochNLL    = "naru_train_epoch_nll"
 	metricTrainLR          = "naru_train_learning_rate"
 	metricTrainCkptLatency = "naru_train_checkpoint_write_seconds"
+	metricTrainRowsPerSec  = "naru_train_rows_per_sec"
+	metricTrainStepSecs    = "naru_train_step_seconds"
+	metricTrainWorkers     = "naru_train_workers"
 )
 
 // trainObs bundles the training loop's pre-resolved metric handles; the zero
@@ -38,6 +42,9 @@ type trainObs struct {
 	epochNLL    *obs.Gauge
 	lr          *obs.Gauge
 	ckptLatency *obs.Histogram
+	rowsPerSec  *obs.Gauge
+	stepLatency *obs.Histogram
+	workers     *obs.Gauge
 }
 
 func newTrainObs(r *obs.Registry) trainObs {
@@ -54,6 +61,9 @@ func newTrainObs(r *obs.Registry) trainObs {
 		epochNLL:    r.Gauge(metricTrainEpochNLL),
 		lr:          r.Gauge(metricTrainLR),
 		ckptLatency: r.Histogram(metricTrainCkptLatency, obs.LatencyBuckets),
+		rowsPerSec:  r.Gauge(metricTrainRowsPerSec),
+		stepLatency: r.Histogram(metricTrainStepSecs, obs.LatencyBuckets),
+		workers:     r.Gauge(metricTrainWorkers),
 	}
 }
 
@@ -68,6 +78,109 @@ type Trainable interface {
 	Params() []*nn.Param
 }
 
+// ShardTrainable is a Trainable that supports deterministic data-parallel
+// gradient sharding: the trainer forks one gradient-private replica per
+// worker, runs GradStep on fixed contiguous shards of each batch
+// concurrently, and reduces the shard gradients in fixed worker order.
+type ShardTrainable interface {
+	Trainable
+	// GradStep zeroes the receiver's gradients, accumulates the unaveraged
+	// gradient of a batch of n full tuples, and returns the total (summed)
+	// NLL in nats. No optimizer step, no 1/n scaling.
+	GradStep(codes []int32, n int) float64
+	// ForkTrain returns a replica sharing parameter values with the receiver
+	// but owning private gradients and scratch. The result must satisfy
+	// shardReplica with parameters index-aligned to the receiver's (declared
+	// any to keep model packages free of a core dependency).
+	ForkTrain() any
+}
+
+// shardReplica is what the trainer needs from a forked training replica.
+type shardReplica interface {
+	GradStep(codes []int32, n int) float64
+	Params() []*nn.Param
+}
+
+// shardStepper drives one data-parallel gradient step: replica 0 is the
+// primary model itself, replicas 1..W-1 are ForkTrain clones. Shard bounds
+// are a pure function of (batch size, workers), and both the gradient reduce
+// and the loss sum walk shards in ascending order, so for a fixed (Seed,
+// Workers) the whole trajectory is bit-reproducible; changing Workers changes
+// float32 summation grouping and therefore the bits.
+type shardStepper struct {
+	replicas []shardReplica
+	params   [][]*nn.Param // params[w] aligned index-for-index across w
+	nlls     []float64
+	bounds   []int // len(replicas)+1 row boundaries of each batch
+	nc       int   // columns per tuple
+}
+
+// newShardStepper forks workers-1 replicas of m and fixes the shard bounds
+// for batches of batch rows.
+func newShardStepper(m ShardTrainable, workers, batch, nc int) (*shardStepper, error) {
+	s := &shardStepper{nc: nc}
+	s.replicas = append(s.replicas, m)
+	for w := 1; w < workers; w++ {
+		rep, ok := m.ForkTrain().(shardReplica)
+		if !ok {
+			return nil, fmt.Errorf("core: %T.ForkTrain result cannot shard-train", m)
+		}
+		s.replicas = append(s.replicas, rep)
+	}
+	want := len(m.Params())
+	for w, r := range s.replicas {
+		ps := r.Params()
+		if len(ps) != want {
+			return nil, fmt.Errorf("core: training replica %d has %d parameters, primary has %d", w, len(ps), want)
+		}
+		s.params = append(s.params, ps)
+	}
+	s.nlls = make([]float64, workers)
+	per, rem := batch/workers, batch%workers
+	s.bounds = make([]int, workers+1)
+	for w := 0; w < workers; w++ {
+		sz := per
+		if w < rem {
+			sz++
+		}
+		s.bounds[w+1] = s.bounds[w] + sz
+	}
+	return s, nil
+}
+
+// step runs one sharded gradient accumulation over a batch of n tuples,
+// leaving the batch-averaged gradient in the primary's parameters, and
+// returns the mean NLL. The caller applies the optimizer step.
+func (s *shardStepper) step(batch []int32, n int) float64 {
+	var wg sync.WaitGroup
+	for w := range s.replicas {
+		lo, hi := s.bounds[w], s.bounds[w+1]
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			s.nlls[w] = s.replicas[w].GradStep(batch[lo*s.nc:hi*s.nc], hi-lo)
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	// Fixed-order reduce: primary += replicas 1..W-1, ascending, then the
+	// single 1/n averaging the sequential path would apply.
+	primary := s.params[0]
+	for pi, p := range primary {
+		for w := 1; w < len(s.replicas); w++ {
+			p.Grad.Add(s.params[w][pi].Grad)
+		}
+	}
+	inv := 1 / float32(n)
+	var total float64
+	for _, p := range primary {
+		p.Grad.Scale(inv)
+	}
+	for _, v := range s.nlls {
+		total += v
+	}
+	return total / float64(n)
+}
+
 // TrainConfig controls the unsupervised training loop of §4.1: batches of
 // random tuples are read from the table and used for gradient updates, with
 // no supervised queries or feedback anywhere.
@@ -76,6 +189,17 @@ type TrainConfig struct {
 	BatchSize int     // tuples per gradient step
 	LR        float64 // Adam learning rate
 	Seed      int64   // shuffling seed
+
+	// Workers is the number of data-parallel gradient shards per step.
+	// Values <= 1 (and models that do not implement ShardTrainable) run the
+	// classic sequential step. With W > 1, each batch is split into W fixed
+	// contiguous shards, replicas accumulate shard gradients concurrently,
+	// and the reduce walks shards in ascending order — so a run is
+	// bit-reproducible given (Seed, Workers), while different Workers values
+	// regroup float32 sums and may differ in final bits. Workers is recorded
+	// in checkpoints and a resumed run adopts the checkpoint's value, keeping
+	// resumption bit-identical to the uninterrupted run.
+	Workers int
 
 	// OnEpoch, when non-nil, is invoked after each epoch with the epoch
 	// index (0-based) and that epoch's mean NLL in nats; returning false
@@ -183,6 +307,15 @@ func TrainRun(m Trainable, t *table.Table, cfg TrainConfig) ([]float64, error) {
 	nc := t.NumCols()
 	stepsPerEpoch := n / cfg.BatchSize
 
+	sm, shardable := m.(ShardTrainable)
+	workers := cfg.Workers
+	if workers <= 1 || !shardable {
+		workers = 1
+	}
+	if workers > cfg.BatchSize {
+		workers = cfg.BatchSize
+	}
+
 	// good is the rollback target of the divergence guard and the image of
 	// the last durable checkpoint. It always exists (the pre-training state
 	// is good), so a first-step divergence can still roll back.
@@ -195,6 +328,17 @@ func TrainRun(m Trainable, t *table.Table, cfg TrainConfig) ([]float64, error) {
 				return nil, err
 			}
 			good = st
+			// The checkpoint's worker count wins over the config: the shard
+			// grouping of float32 sums is part of the trajectory, so resuming
+			// with a different count would silently fork it. Checkpoints from
+			// before sharding carry Workers == 0, meaning sequential.
+			workers = st.Workers
+			if workers < 1 {
+				workers = 1
+			}
+			if workers > 1 && !shardable {
+				return nil, fmt.Errorf("core: checkpoint was trained with %d workers but %T cannot shard-train", workers, m)
+			}
 		case os.IsNotExist(err):
 			// First run: nothing to resume.
 		default:
@@ -203,13 +347,49 @@ func TrainRun(m Trainable, t *table.Table, cfg TrainConfig) ([]float64, error) {
 	}
 	if good == nil {
 		good = captureState(m, opt)
+		good.Workers = workers
+	}
+	to.workers.Set(float64(workers))
+
+	var stepper *shardStepper
+	if workers > 1 {
+		var err error
+		if stepper, err = newShardStepper(sm, workers, cfg.BatchSize, nc); err != nil {
+			return nil, err
+		}
 	}
 
 	history := append([]float64(nil), good.History...)
 	epoch, step := good.Epoch, good.Step
 	epochSum, epochSteps := good.EpochSum, good.EpochSteps
 	retries := good.Retries
-	batch := make([]int32, cfg.BatchSize*nc)
+
+	// Double-buffered batch gather: while the model computes step s, a
+	// goroutine copies step s+1's rows into the spare buffer, hiding the
+	// strided column reads behind the GEMMs. The gather is a pure function of
+	// (order, step), so overlapping it never changes what a step sees.
+	cur := make([]int32, cfg.BatchSize*nc)
+	next := make([]int32, cfg.BatchSize*nc)
+	gather := func(dst []int32, order []int, step int) {
+		off := step * cfg.BatchSize
+		for bi := 0; bi < cfg.BatchSize; bi++ {
+			row := order[off+bi]
+			for c := 0; c < nc; c++ {
+				dst[bi*nc+c] = t.Cols[c].Codes[row]
+			}
+		}
+	}
+	var pfDone chan struct{} // non-nil while a prefetch into next is in flight
+	pfStep := -1             // step the in-flight prefetch is gathering
+	joinPrefetch := func() {
+		if pfDone != nil {
+			<-pfDone
+			pfDone = nil
+		}
+	}
+	// Joins the in-flight prefetch on every exit path; the rollback path
+	// additionally discards it inline (the epoch order may change).
+	defer joinPrefetch()
 
 	// snapshot records the current position as the new good state and, when
 	// configured, persists it durably.
@@ -219,6 +399,7 @@ func TrainRun(m Trainable, t *table.Table, cfg TrainConfig) ([]float64, error) {
 		st.History = append([]float64(nil), history...)
 		st.EpochSum, st.EpochSteps = epochSum, epochSteps
 		st.Retries = retries
+		st.Workers = workers
 		good = st
 		if cfg.CheckpointPath == "" {
 			return nil
@@ -233,18 +414,39 @@ func TrainRun(m Trainable, t *table.Table, cfg TrainConfig) ([]float64, error) {
 		// schedule without replaying earlier epochs.
 		order := rand.New(rand.NewSource(mixSeed(cfg.Seed, int64(epoch)))).Perm(n)
 		for step < stepsPerEpoch {
-			off := step * cfg.BatchSize
-			for bi := 0; bi < cfg.BatchSize; bi++ {
-				row := order[off+bi]
-				for c := 0; c < nc; c++ {
-					batch[bi*nc+c] = t.Cols[c].Codes[row]
-				}
+			if pfDone != nil && pfStep == step {
+				<-pfDone
+				pfDone = nil
+				cur, next = next, cur
+			} else {
+				joinPrefetch() // discard a stale prefetch (defensive; rollback already joins)
+				gather(cur, order, step)
+			}
+			pfStep = -1
+			if step+1 < stepsPerEpoch {
+				pfStep = step + 1
+				pfDone = make(chan struct{})
+				go func(dst []int32, ord []int, s int, done chan struct{}) {
+					gather(dst, ord, s)
+					close(done)
+				}(next, order, pfStep, pfDone)
 			}
 			// Accumulate gradients without stepping so a diverged batch can
 			// be discarded before it poisons the weights; the guard inspects
 			// loss and gradient norm, then the optimizer step is applied.
-			loss := m.TrainStep(batch, cfg.BatchSize, nil)
+			stepStart := time.Now()
+			var loss float64
+			if stepper != nil {
+				loss = stepper.step(cur, cfg.BatchSize)
+			} else {
+				loss = m.TrainStep(cur, cfg.BatchSize, nil)
+			}
 			norm := gradNorm(m.Params())
+			stepDur := time.Since(stepStart)
+			to.stepLatency.ObserveDuration(stepDur)
+			if secs := stepDur.Seconds(); secs > 0 {
+				to.rowsPerSec.Set(float64(cfg.BatchSize) / secs)
+			}
 			to.stepLoss.Set(loss)
 			to.gradNorm.Set(norm)
 			if !isFinite(loss) || normExplodes(norm, cfg.MaxGradNorm) {
@@ -272,6 +474,10 @@ func TrainRun(m Trainable, t *table.Table, cfg TrainConfig) ([]float64, error) {
 						return history, err
 					}
 				}
+				// The in-flight prefetch gathered against an order that may no
+				// longer apply after the position moved; discard it.
+				joinPrefetch()
+				pfStep = -1
 				break // re-derive the epoch's order (epoch may have moved back)
 			}
 			opt.Step(m.Params())

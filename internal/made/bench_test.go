@@ -31,6 +31,17 @@ func BenchmarkTrainStep512(b *testing.B) {
 	}
 }
 
+func BenchmarkTrainStepReference512(b *testing.B) {
+	// The pre-batching scalar-loop step, kept as the speedup baseline.
+	m := New(dmvLikeDomains, Config{HiddenSizes: []int{256, 128, 256}, EmbedThreshold: 64, EmbedDim: 64, Seed: 1})
+	codes := benchBatch(dmvLikeDomains, 512, 2)
+	opt := nn.NewAdam(2e-3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.TrainStepReference(codes, 512, opt)
+	}
+}
+
 func BenchmarkCondBatch1000(b *testing.B) {
 	m := New(dmvLikeDomains, Config{HiddenSizes: []int{256, 128, 256}, EmbedThreshold: 64, EmbedDim: 64, Seed: 1})
 	codes := benchBatch(dmvLikeDomains, 1000, 3)

@@ -91,6 +91,33 @@ type Model struct {
 
 	samp  sampState    // delta-forward cache for sequential sampling (infer.go)
 	infer inferScratch // inference buffers reused across CondBatch calls
+	train trainScratch // batched-loss buffers reused across TrainStep calls
+}
+
+// trainScratch holds the batched training path's reusable buffers: the
+// gathered head block, the logit/gradient matrix (gradients overwrite logits
+// in place), the back-projected block gradient, and per-row targets/losses.
+type trainScratch struct {
+	block   *tensor.Matrix // n×h slice of the head output for one column
+	logits  *tensor.Matrix // n×|Ai| logits, overwritten by dLogits
+	dBlock  *tensor.Matrix // n×h dBlock = dLogits·E
+	targets []int32
+	rowLoss []float64
+}
+
+// resizeMat reshapes m to rows×cols reusing its backing storage when the
+// capacity allows; contents after the call are unspecified.
+func resizeMat(m *tensor.Matrix, rows, cols int) *tensor.Matrix {
+	if m == nil {
+		return tensor.New(rows, cols)
+	}
+	need := rows * cols
+	if cap(m.Data) < need {
+		m.Data = make([]float32, need)
+	}
+	m.Data = m.Data[:need]
+	m.Rows, m.Cols = rows, cols
+	return m
 }
 
 // New builds a MADE model for the given per-column domain sizes.
@@ -310,6 +337,131 @@ func (m *Model) TrainStep(codes []int32, n int, opt *nn.Adam) float64 {
 	if n == 0 {
 		return 0
 	}
+	totalNLL := m.GradStep(codes, n)
+	// Average gradients over the batch.
+	inv := 1 / float32(n)
+	for _, p := range m.params {
+		p.Grad.Scale(inv)
+	}
+	if opt != nil {
+		opt.Step(m.params)
+	}
+	return totalNLL / float64(n)
+}
+
+// GradStep zeroes the model's gradients, then accumulates the UNAVERAGED
+// maximum-likelihood gradient of a batch of n full tuples and returns the
+// total (summed, not mean) negative log-likelihood in nats. It applies no
+// optimizer step and no 1/n scaling — data-parallel sharding calls it on each
+// replica's shard and divides by the full batch size once, after the
+// fixed-order reduce, so the sharded gradient is the same sum of per-tuple
+// terms the sequential path computes.
+//
+// Losses are batched per column: an embedded column's decode runs as three
+// GEMMs (logits = Block·Eᵀ, dBlock = dLogits·E, dE += dLogitsᵀ·Block) plus a
+// row-parallel softmax-CE, replacing the per-row scalar loop of
+// TrainStepReference. Every kernel partitions output cells disjointly and the
+// NLL is summed sequentially column-then-row, so the result is
+// bit-deterministic for fixed inputs regardless of worker count.
+func (m *Model) GradStep(codes []int32, n int) float64 {
+	if n == 0 {
+		for _, p := range m.params {
+			p.ZeroGrad()
+		}
+		return 0
+	}
+	m.samp.active = false // parameters are about to change; drop the delta cache
+	for _, p := range m.params {
+		p.ZeroGrad()
+	}
+	m.encode(codes, n, len(m.domains))
+	headOut := m.forward()
+
+	nc := len(m.domains)
+	ts := &m.train
+	if cap(ts.targets) < n {
+		ts.targets = make([]int32, n)
+		ts.rowLoss = make([]float64, n)
+	}
+	targets := ts.targets[:n]
+	rowLoss := ts.rowLoss[:n]
+
+	var totalNLL float64
+	for i := range m.codecs {
+		c := &m.codecs[i]
+		for r := 0; r < n; r++ {
+			targets[r] = codes[r*nc+i]
+		}
+		if c.dec == nil {
+			// Direct block: per-row loss and gradient in place, rows in
+			// parallel. Every head cell of this block is written exactly once,
+			// so dHead needs no prior zeroing.
+			tensor.ParallelFor(n, func(s, e int) {
+				for r := s; r < e; r++ {
+					block := headOut.Row(r)[c.headOff : c.headOff+c.headW]
+					dBlock := m.dHead.Row(r)[c.headOff : c.headOff+c.headW]
+					rowLoss[r] = nn.SoftmaxCE(block, int(targets[r]), dBlock)
+				}
+			})
+			for r := 0; r < n; r++ {
+				totalNLL += rowLoss[r]
+			}
+			continue
+		}
+		// Embedding-reuse block, batched: gather the n×h block, decode all n
+		// rows with one GEMM, take the softmax-CE row-wise (gradients
+		// overwrite the logits), then back-project.
+		block := resizeMat(ts.block, n, c.headW)
+		ts.block = block
+		tensor.ParallelFor(n, func(s, e int) {
+			for r := s; r < e; r++ {
+				copy(block.Row(r), headOut.Row(r)[c.headOff:c.headOff+c.headW])
+			}
+		})
+		logits := resizeMat(ts.logits, n, c.domain)
+		ts.logits = logits
+		tensor.MatMulTransB(logits, block, c.dec.Val, false) // logits = Block·Eᵀ
+		nn.SoftmaxCERows(logits, targets, logits, rowLoss)   // logits now hold dLogits
+		for r := 0; r < n; r++ {
+			totalNLL += rowLoss[r]
+		}
+		dBlock := resizeMat(ts.dBlock, n, c.headW)
+		ts.dBlock = dBlock
+		tensor.MatMul(dBlock, logits, c.dec.Val, false)    // dBlock = dLogits·E
+		tensor.MatMulTransA(c.dec.Grad, logits, block, true) // dE += dLogitsᵀ·Block
+		tensor.ParallelFor(n, func(s, e int) {
+			for r := s; r < e; r++ {
+				copy(m.dHead.Row(r)[c.headOff:c.headOff+c.headW], dBlock.Row(r))
+			}
+		})
+	}
+
+	dHidden := m.head.Backward(m.dHead)
+	dx := m.trunk.Backward(dHidden)
+	// Scatter input gradients into embeddings (one-hot blocks have no params).
+	// Sequential: distinct rows may hit the same embedding row.
+	for i := range m.codecs {
+		c := &m.codecs[i]
+		if !c.embedded {
+			continue
+		}
+		for r := 0; r < n; r++ {
+			id := int(codes[r*nc+i])
+			tensor.Axpy(1, dx.Row(r)[c.inOff:c.inOff+c.inW], c.emb.W.Grad.Row(id))
+		}
+	}
+	return totalNLL
+}
+
+// TrainStepReference is the pre-batching training step: per-row scalar
+// softmax-CE and axpy-based embedding-reuse gradients. It computes the same
+// gradient as TrainStep up to float summation order and is retained as the
+// correctness oracle for the batched kernels and as the measured baseline for
+// the training benchmark's speedup claim.
+func (m *Model) TrainStepReference(codes []int32, n int, opt *nn.Adam) float64 {
+	if n == 0 {
+		return 0
+	}
 	m.samp.active = false // parameters are about to change; drop the delta cache
 	for _, p := range m.params {
 		p.ZeroGrad()
@@ -383,6 +535,57 @@ func (m *Model) TrainStep(codes []int32, n int, opt *nn.Adam) float64 {
 	}
 	return totalNLL / float64(n)
 }
+
+// TrainFork returns a replica that shares every parameter VALUE with m but
+// owns private gradients, activation caches, and scratch — the training
+// counterpart of Fork. Data-parallel sharding runs GradStep on one replica per
+// worker; the trainer then reduces replica gradients in a fixed order and
+// steps the primary's optimizer. Replica parameters line up index-for-index
+// with m.Params(), including the embedding-reuse aliasing of decode matrices
+// onto embedding tables.
+func (m *Model) TrainFork() *Model {
+	f := &Model{
+		cfg:      m.cfg,
+		domains:  m.domains,
+		codecs:   append([]colCodec(nil), m.codecs...),
+		inDim:    m.inDim,
+		headDim:  m.headDim,
+		trunk:    m.trunk.ForkGrad(),
+		head:     m.head.ForkGrad(),
+		hidStart: m.hidStart,
+	}
+	for i := range f.codecs {
+		c := &f.codecs[i]
+		if c.emb != nil {
+			c.emb = c.emb.ForkGrad()
+			if c.dec != nil {
+				c.dec = c.emb.W // embedding reuse: decode IS the (forked) table
+			}
+		}
+	}
+	// Rebuild the parameter list in New's exact order so reduction can pair
+	// replica and primary parameters by index.
+	f.params = append(f.params, f.trunk.Params()...)
+	f.params = append(f.params, f.head.Params()...)
+	seen := map[*nn.Param]bool{}
+	for i := range f.codecs {
+		c := &f.codecs[i]
+		if c.emb != nil && !seen[c.emb.W] {
+			f.params = append(f.params, c.emb.W)
+			seen[c.emb.W] = true
+		}
+		if c.dec != nil && !seen[c.dec] {
+			f.params = append(f.params, c.dec)
+			seen[c.dec] = true
+		}
+	}
+	return f
+}
+
+// ForkTrain implements core.ShardTrainable (returning any keeps this package
+// from importing core; the trainer asserts the replica back to its shard
+// interface).
+func (m *Model) ForkTrain() any { return m.TrainFork() }
 
 // CondBatch computes P̂(X_col | x_<col) for each of the n tuples in codes
 // (row-major, stride NumCols), writing one probability vector per tuple into

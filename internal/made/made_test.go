@@ -142,7 +142,11 @@ func TestLogProbMatchesChainRule(t *testing.T) {
 		m.CondBatch(codes, 1, col, out)
 		chain += math.Log(out[0][codes[col]])
 	}
-	if math.Abs(lp[0]-chain) > 1e-9 {
+	// The two paths route the same products through differently shaped
+	// kernels (full-head forward vs per-column windows), and the FMA
+	// micro-kernel contracts rounding per multiply-add, so agreement is to
+	// float32 accuracy rather than bit-exact.
+	if math.Abs(lp[0]-chain) > 1e-6 {
 		t.Fatalf("LogProb %v vs chain-rule sum %v", lp[0], chain)
 	}
 }

@@ -1,0 +1,268 @@
+package made
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/nn"
+)
+
+// trainCodes draws n uniform tuples for the given domains (row-major).
+func trainCodes(rng *rand.Rand, domains []int, n int) []int32 {
+	codes := make([]int32, n*len(domains))
+	for r := 0; r < n; r++ {
+		for c, d := range domains {
+			codes[r*len(domains)+c] = int32(rng.Intn(d))
+		}
+	}
+	return codes
+}
+
+// TestBatchedMatchesReferenceGradients: the batched TrainStep must produce
+// the same loss and (up to float reassociation) the same averaged gradients
+// as the retained scalar-loop reference, on a schema mixing one-hot and
+// embedded columns with embedding reuse.
+func TestBatchedMatchesReferenceGradients(t *testing.T) {
+	domains := []int{4, 100, 7, 200}
+	rng := rand.New(rand.NewSource(21))
+	codes := trainCodes(rng, domains, 64)
+
+	batched := New(domains, tinyConfig(3))
+	reference := New(domains, tinyConfig(3)) // identical init: same seed
+
+	lossB := batched.TrainStep(codes, 64, nil)
+	lossR := reference.TrainStepReference(codes, 64, nil)
+	if math.Abs(lossB-lossR) > 1e-9*math.Max(1, math.Abs(lossR)) {
+		t.Fatalf("loss: batched %v reference %v", lossB, lossR)
+	}
+	pb, pr := batched.Params(), reference.Params()
+	if len(pb) != len(pr) {
+		t.Fatalf("param count: %d vs %d", len(pb), len(pr))
+	}
+	for i := range pb {
+		if pb[i].Name != pr[i].Name {
+			t.Fatalf("param %d name %q vs %q", i, pb[i].Name, pr[i].Name)
+		}
+		gb, gr := pb[i].Grad.Data, pr[i].Grad.Data
+		for j := range gb {
+			diff := math.Abs(float64(gb[j] - gr[j]))
+			scale := math.Max(1, math.Abs(float64(gr[j])))
+			if diff > 1e-4*scale {
+				t.Fatalf("param %s grad[%d]: batched %v reference %v",
+					pb[i].Name, j, gb[j], gr[j])
+			}
+		}
+	}
+}
+
+// TestBatchedNoReuseMatchesReference covers the NoEmbedReuse ablation, where
+// embedded columns decode through direct wide blocks.
+func TestBatchedNoReuseMatchesReference(t *testing.T) {
+	domains := []int{4, 100, 7}
+	cfg := tinyConfig(5)
+	cfg.NoEmbedReuse = true
+	rng := rand.New(rand.NewSource(22))
+	codes := trainCodes(rng, domains, 32)
+
+	batched := New(domains, cfg)
+	reference := New(domains, cfg)
+	lossB := batched.TrainStep(codes, 32, nil)
+	lossR := reference.TrainStepReference(codes, 32, nil)
+	if math.Abs(lossB-lossR) > 1e-9*math.Max(1, math.Abs(lossR)) {
+		t.Fatalf("loss: batched %v reference %v", lossB, lossR)
+	}
+	pb, pr := batched.Params(), reference.Params()
+	for i := range pb {
+		gb, gr := pb[i].Grad.Data, pr[i].Grad.Data
+		for j := range gb {
+			if diff := math.Abs(float64(gb[j] - gr[j])); diff > 1e-4 {
+				t.Fatalf("param %s grad[%d]: batched %v reference %v",
+					pb[i].Name, j, gb[j], gr[j])
+			}
+		}
+	}
+}
+
+// TestTrainGradCheck verifies the full batched backward pass — trunk, head,
+// embedding-reuse decode, and embedding input gradients — against numeric
+// differentiation of the mean NLL.
+func TestTrainGradCheck(t *testing.T) {
+	domains := []int{3, 70}
+	cfg := Config{HiddenSizes: []int{16}, EmbedThreshold: 64, EmbedDim: 4, Seed: 7}
+	m := New(domains, cfg)
+	rng := rand.New(rand.NewSource(23))
+	codes := trainCodes(rng, domains, 8)
+
+	m.GradStep(codes, 8)
+	inv := 1 / float32(8)
+	for _, p := range m.Params() {
+		p.Grad.Scale(inv)
+	}
+
+	nll := func() float64 {
+		dst := make([]float64, 8)
+		m.LogProbBatch(codes, 8, dst)
+		var s float64
+		for _, lp := range dst {
+			s -= lp
+		}
+		return s / 8
+	}
+	const eps = 1e-2
+	for _, p := range m.Params() {
+		// Spot-check a spread of entries per parameter to keep runtime sane.
+		stride := len(p.Val.Data)/7 + 1
+		for j := 0; j < len(p.Val.Data); j += stride {
+			if p.Mask != nil && p.Mask.Data[j] == 0 {
+				continue
+			}
+			orig := p.Val.Data[j]
+			p.Val.Data[j] = orig + eps
+			lp := nll()
+			p.Val.Data[j] = orig - eps
+			lm := nll()
+			p.Val.Data[j] = orig
+			numeric := (lp - lm) / (2 * eps)
+			analytic := float64(p.Grad.Data[j])
+			if math.Abs(numeric-analytic) > 1e-2*math.Max(1, math.Abs(numeric)) {
+				t.Fatalf("%s[%d]: analytic %v numeric %v", p.Name, j, analytic, numeric)
+			}
+		}
+	}
+}
+
+// TestTrainStepDeterministic: two identical models fed the same batch must
+// produce bit-identical weights — the kernels must be pure functions of the
+// operands regardless of the parallel worker count.
+func TestTrainStepDeterministic(t *testing.T) {
+	domains := []int{4, 100, 7, 200}
+	rng := rand.New(rand.NewSource(31))
+	codes := trainCodes(rng, domains, 48)
+	a, b := New(domains, tinyConfig(9)), New(domains, tinyConfig(9))
+	optA, optB := nn.NewAdam(1e-3), nn.NewAdam(1e-3)
+	for s := 0; s < 3; s++ {
+		la := a.TrainStep(codes, 48, optA)
+		lb := b.TrainStep(codes, 48, optB)
+		if la != lb {
+			t.Fatalf("step %d loss %v vs %v", s, la, lb)
+		}
+	}
+	pa, pb := a.Params(), b.Params()
+	for i := range pa {
+		for j := range pa[i].Val.Data {
+			if pa[i].Val.Data[j] != pb[i].Val.Data[j] {
+				t.Fatalf("param %s val[%d] differs", pa[i].Name, j)
+			}
+		}
+	}
+}
+
+// TestTrainForkShardSumMatchesFullBatch: GradStep on concurrent shard
+// replicas, summed in shard order, must be (a) bit-reproducible across runs
+// — each tuple's gradient term is a pure function of the shard it sits in,
+// and the shard boundaries are fixed — and (b) equal to the full-batch
+// gradient up to float reassociation, since both compute the same sum of
+// per-tuple terms grouped differently.
+func TestTrainForkShardSumMatchesFullBatch(t *testing.T) {
+	domains := []int{4, 100, 7}
+	rng := rand.New(rand.NewSource(41))
+	const n, workers = 30, 3
+	codes := trainCodes(rng, domains, n)
+	nc := len(domains)
+
+	m := New(domains, tinyConfig(11))
+	full := New(domains, tinyConfig(11))
+	fullNLL := full.GradStep(codes, n)
+
+	shardRun := func() (float64, [][]float32) {
+		reps := make([]*Model, workers)
+		for w := range reps {
+			reps[w] = m.TrainFork()
+		}
+		per := n / workers
+		nlls := make([]float64, workers)
+		done := make(chan int, workers)
+		for w := 0; w < workers; w++ {
+			go func(w int) {
+				lo := w * per
+				nlls[w] = reps[w].GradStep(codes[lo*nc:(lo+per)*nc], per)
+				done <- w
+			}(w)
+		}
+		for i := 0; i < workers; i++ {
+			<-done
+		}
+		var nll float64
+		for _, v := range nlls {
+			nll += v
+		}
+		sums := make([][]float32, len(m.Params()))
+		for pi := range m.Params() {
+			g := make([]float32, len(m.Params()[pi].Grad.Data))
+			for w := 0; w < workers; w++ {
+				rg := reps[w].Params()[pi].Grad.Data
+				for j := range g {
+					g[j] += rg[j]
+				}
+			}
+			sums[pi] = g
+		}
+		return nll, sums
+	}
+
+	nll1, sums1 := shardRun()
+	nll2, sums2 := shardRun()
+	if nll1 != nll2 {
+		t.Fatalf("sharded NLL not reproducible: %v vs %v", nll1, nll2)
+	}
+	for pi := range sums1 {
+		for j := range sums1[pi] {
+			if sums1[pi][j] != sums2[pi][j] {
+				t.Fatalf("sharded grad %s[%d] not reproducible", m.Params()[pi].Name, j)
+			}
+		}
+	}
+	if math.Abs(nll1-fullNLL) > 1e-6*math.Max(1, math.Abs(fullNLL)) {
+		t.Fatalf("sharded NLL %v vs full-batch %v", nll1, fullNLL)
+	}
+	fp := full.Params()
+	for pi := range sums1 {
+		for j := range sums1[pi] {
+			diff := math.Abs(float64(sums1[pi][j] - fp[pi].Grad.Data[j]))
+			if diff > 1e-3*math.Max(1, math.Abs(float64(fp[pi].Grad.Data[j]))) {
+				t.Fatalf("param %s grad[%d]: sharded %v full %v",
+					fp[pi].Name, j, sums1[pi][j], fp[pi].Grad.Data[j])
+			}
+		}
+	}
+}
+
+// TestTrainForkAlignment: replica parameters must pair index-for-index with
+// the primary's, share Val storage, and own private Grad storage; the
+// embedding-reuse decode alias must survive the fork.
+func TestTrainForkAlignment(t *testing.T) {
+	m := New([]int{4, 100, 7, 200}, tinyConfig(13))
+	f := m.TrainFork()
+	pm, pf := m.Params(), f.Params()
+	if len(pm) != len(pf) {
+		t.Fatalf("param count %d vs %d", len(pm), len(pf))
+	}
+	for i := range pm {
+		if pm[i].Name != pf[i].Name {
+			t.Fatalf("param %d: %q vs %q", i, pm[i].Name, pf[i].Name)
+		}
+		if &pm[i].Val.Data[0] != &pf[i].Val.Data[0] {
+			t.Fatalf("param %s: fork does not share Val", pm[i].Name)
+		}
+		if &pm[i].Grad.Data[0] == &pf[i].Grad.Data[0] {
+			t.Fatalf("param %s: fork shares Grad", pm[i].Name)
+		}
+	}
+	for i := range f.codecs {
+		c := &f.codecs[i]
+		if c.dec != nil && c.dec != c.emb.W {
+			t.Fatalf("codec %d: decode alias broken by fork", i)
+		}
+	}
+}

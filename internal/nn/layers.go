@@ -72,7 +72,7 @@ func (l *Linear) Forward(x *tensor.Matrix) *tensor.Matrix {
 // Backward accumulates dW = Xᵀ·dY and db = Σ_rows dY, and returns dX = dY·Wᵀ.
 func (l *Linear) Backward(dOut *tensor.Matrix) *tensor.Matrix {
 	tensor.MatMulTransA(l.W.Grad, l.x, dOut, true)
-	l.W.ApplyMask() // masked entries carry no gradient
+	l.W.MaskGrad() // masked entries carry no gradient
 	db := l.B.Grad.Data
 	for r := 0; r < dOut.Rows; r++ {
 		tensor.Axpy(1, dOut.Row(r), db)
@@ -106,6 +106,14 @@ func (l *Linear) InferForward(x *tensor.Matrix, relu bool) *tensor.Matrix {
 // replicas are for inference, not concurrent training.
 func (l *Linear) ShareWeights() *Linear {
 	return &Linear{W: l.W, B: l.B, name: l.name}
+}
+
+// ForkGrad returns a Linear sharing l's weight/bias values and mask but
+// owning private gradients and fresh activation scratch, so data-parallel
+// shard replicas can run Forward+Backward concurrently while the trainer
+// reduces their gradients deterministically.
+func (l *Linear) ForkGrad() *Linear {
+	return &Linear{W: l.W.ForkGrad(), B: l.B.ForkGrad(), name: l.name}
 }
 
 // ReLU is the rectified-linear activation.
@@ -182,6 +190,24 @@ func (s *Sequential) ShareWeights() *Sequential {
 	return &Sequential{Layers: out}
 }
 
+// ForkGrad returns a Sequential whose layers share parameter values with s
+// but own private gradients and activation scratch — the training counterpart
+// of ShareWeights, for data-parallel gradient sharding.
+func (s *Sequential) ForkGrad() *Sequential {
+	out := make([]Layer, len(s.Layers))
+	for i, l := range s.Layers {
+		switch l := l.(type) {
+		case *Linear:
+			out[i] = l.ForkGrad()
+		case *ReLU:
+			out[i] = &ReLU{}
+		default:
+			panic(fmt.Sprintf("nn: ForkGrad does not support %T", l))
+		}
+	}
+	return &Sequential{Layers: out}
+}
+
 // Params concatenates the parameters of every layer.
 func (s *Sequential) Params() []*Param {
 	var ps []*Param
@@ -231,6 +257,12 @@ func (e *Embedding) BackwardRows(dOut *tensor.Matrix, colOff int) {
 	for r, id := range e.ids {
 		tensor.Axpy(1, dOut.Row(r)[colOff:colOff+dim], e.W.Grad.Row(int(id)))
 	}
+}
+
+// ForkGrad returns an Embedding sharing e's table values but owning a private
+// gradient, for data-parallel shard replicas.
+func (e *Embedding) ForkGrad() *Embedding {
+	return &Embedding{W: e.W.ForkGrad()}
 }
 
 // Params returns the embedding table.

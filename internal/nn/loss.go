@@ -1,6 +1,10 @@
 package nn
 
-import "math"
+import (
+	"math"
+
+	"repro/internal/tensor"
+)
 
 // Softmax writes the softmax of logits into out (float64, since downstream
 // probability arithmetic in progressive sampling accumulates in float64) and
@@ -42,19 +46,43 @@ func SoftmaxCE(logits []float32, target int, dLogits []float32) float64 {
 			mx = fv
 		}
 	}
+	lt := float64(logits[target])
+	// One exp per element: stash e in dLogits (index-aligned, so aliasing
+	// logits is still safe), normalize in a second cheap pass.
+	dl := dLogits[:len(logits)]
 	var sum float64
-	for _, v := range logits {
-		sum += math.Exp(float64(v) - mx)
-	}
-	logZ := mx + math.Log(sum)
-	loss := logZ - float64(logits[target])
-	invSum := 1 / sum
 	for i, v := range logits {
-		p := math.Exp(float64(v)-mx) * invSum
-		dLogits[i] = float32(p)
+		e := math.Exp(float64(v) - mx)
+		sum += e
+		dl[i] = float32(e)
 	}
-	dLogits[target] -= 1
+	loss := mx + math.Log(sum) - lt
+	invSum := 1 / sum
+	for i, e := range dl {
+		dl[i] = float32(float64(e) * invSum)
+	}
+	dl[target] -= 1
 	return loss
+}
+
+// SoftmaxCERows computes softmax cross-entropy independently over each row of
+// logits against the per-row targets, writing gradients into dLogits and each
+// row's loss (nats) into rowLoss. logits and dLogits may be the same matrix:
+// the gradient overwrites the logits, which is what the batched training path
+// wants. Rows are processed in parallel, but every output cell is owned by
+// exactly one row and no cross-row reduction happens here, so the results are
+// bit-deterministic regardless of worker count; callers that need a total
+// loss sum rowLoss sequentially.
+func SoftmaxCERows(logits *tensor.Matrix, targets []int32, dLogits *tensor.Matrix, rowLoss []float64) {
+	n := logits.Rows
+	if dLogits.Rows != n || dLogits.Cols != logits.Cols || len(targets) < n || len(rowLoss) < n {
+		panic("nn: SoftmaxCERows size mismatch")
+	}
+	tensor.ParallelFor(n, func(start, end int) {
+		for r := start; r < end; r++ {
+			rowLoss[r] = SoftmaxCE(logits.Row(r), int(targets[r]), dLogits.Row(r))
+		}
+	})
 }
 
 // LogProb returns log softmax(logits)[target] in nats without computing

@@ -381,3 +381,31 @@ func TestSoftmaxLengthMismatchPanics(t *testing.T) {
 	}()
 	Softmax([]float32{1, 2}, make([]float64, 3))
 }
+
+func TestSoftmaxCERowsMatchesScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	logits := tensor.New(17, 23)
+	logits.Randn(rng, 1)
+	targets := make([]int32, 17)
+	for i := range targets {
+		targets[i] = int32(rng.Intn(23))
+	}
+	wantGrad := tensor.New(17, 23)
+	wantLoss := make([]float64, 17)
+	for r := 0; r < 17; r++ {
+		wantLoss[r] = SoftmaxCE(logits.Row(r), int(targets[r]), wantGrad.Row(r))
+	}
+	// Batched, in place: gradients overwrite the logits.
+	rowLoss := make([]float64, 17)
+	SoftmaxCERows(logits, targets, logits, rowLoss)
+	for r := 0; r < 17; r++ {
+		if rowLoss[r] != wantLoss[r] {
+			t.Fatalf("row %d loss %v want %v", r, rowLoss[r], wantLoss[r])
+		}
+		for c := 0; c < 23; c++ {
+			if logits.At(r, c) != wantGrad.At(r, c) {
+				t.Fatalf("grad (%d,%d) mismatch", r, c)
+			}
+		}
+	}
+}

@@ -54,8 +54,37 @@ func (p *Param) ApplyMask() {
 	}
 }
 
+// MaskGrad zeroes masked entries of the gradient only, leaving Val untouched.
+// Backward passes use it instead of ApplyMask: the value matrix is already
+// masked (init, optimizer step, and restore all re-apply the mask), and
+// data-parallel training replicas share Val while owning Grad, so backward
+// must never write the shared value storage.
+func (p *Param) MaskGrad() {
+	if p.Mask == nil {
+		return
+	}
+	for i, m := range p.Mask.Data {
+		if m == 0 {
+			p.Grad.Data[i] = 0
+		}
+	}
+}
+
 // ZeroGrad clears the accumulated gradient.
 func (p *Param) ZeroGrad() { p.Grad.Zero() }
+
+// ForkGrad returns a parameter sharing p's value matrix and mask but owning a
+// private zeroed gradient and no optimizer moments — the building block for
+// data-parallel training replicas whose gradients the trainer reduces in a
+// fixed order before the (single, shared) optimizer step.
+func (p *Param) ForkGrad() *Param {
+	return &Param{
+		Name: p.Name,
+		Val:  p.Val,
+		Grad: tensor.New(p.Val.Rows, p.Val.Cols),
+		Mask: p.Mask,
+	}
+}
 
 // OptState returns the parameter's live Adam moment matrices (nil, nil
 // before the first optimizer step). Training checkpoints persist them so a

@@ -69,6 +69,64 @@ func BenchmarkMatMulTransB(b *testing.B) {
 	}
 }
 
+func BenchmarkMatMulTransAAccumulate(b *testing.B) {
+	// The weight-gradient shape of a 256-wide hidden layer over a 512-row
+	// batch, accumulate mode — the exact call Linear.Backward makes. Dense A
+	// routes through the packed kernel.
+	rng := rand.New(rand.NewSource(5))
+	x := New(512, 256)
+	x.Randn(rng, 1)
+	dy := New(512, 256)
+	dy.Randn(rng, 1)
+	dw := New(256, 256)
+	for i := 0; i < b.N; i++ {
+		MatMulTransA(dw, x, dy, true)
+	}
+}
+
+func BenchmarkMatMulTransAOneHot(b *testing.B) {
+	// First-layer weight gradient: A is the one-hot/embedded encoding, very
+	// sparse, so dispatch must keep the zero-skipping kernel.
+	rng := rand.New(rand.NewSource(6))
+	x := New(512, 530)
+	for r := 0; r < 512; r++ {
+		for j := 0; j < 11; j++ {
+			x.Set(r, rng.Intn(530), 1)
+		}
+	}
+	dy := New(512, 256)
+	dy.Randn(rng, 1)
+	dw := New(530, 256)
+	for i := 0; i < b.N; i++ {
+		MatMulTransA(dw, x, dy, true)
+	}
+}
+
+func BenchmarkMatMulTransAEmbedGrad(b *testing.B) {
+	// dE += dLogitsᵀ·Block for a 1900-value embedded column: the dominant
+	// gradient product of batched embedding-reuse decoding.
+	rng := rand.New(rand.NewSource(7))
+	dlg := New(512, 1900)
+	dlg.Randn(rng, 1)
+	blk := New(512, 64)
+	blk.Randn(rng, 1)
+	de := New(1900, 64)
+	for i := 0; i < b.N; i++ {
+		MatMulTransA(de, dlg, blk, true)
+	}
+}
+
+func BenchmarkDensity(b *testing.B) {
+	rng := rand.New(rand.NewSource(8))
+	a := New(512, 722)
+	a.Randn(rng, 1)
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink += density(a)
+	}
+	_ = sink
+}
+
 func BenchmarkDot(b *testing.B) {
 	x := make([]float32, 1024)
 	y := make([]float32, 1024)

@@ -50,6 +50,37 @@ const packedMinWork = 1 << 15
 // batches sit far below it; hidden activations sit above.
 const packedDensityCutoff = 0.25
 
+// simdDensityCutoff replaces packedDensityCutoff when the FMA micro-kernel is
+// active: the vector kernel moves ~4× more elements per cycle than the scalar
+// axpy, so skipping zeros only pays below a much smaller density. ReLU
+// activations (~50% zero) land between the two cutoffs — naive for the scalar
+// kernel, packed for the vector one.
+const simdDensityCutoff = 1.0 / 16
+
+// accelEnabled gates the kernel acceleration added with the training fast
+// path: the FMA micro-kernels, the lowered density cutoff, and the packed
+// MatMulTransA route. It exists so benchmarks can measure the legacy
+// (pre-fast-path) kernel configuration in the same binary; it is not meant to
+// be toggled while kernels are running.
+var accelEnabled = true
+
+// SetAccel enables or disables the accelerated kernel configuration and
+// returns the previous setting. Only benchmarks measuring the sequential
+// baseline should turn it off.
+func SetAccel(on bool) bool {
+	prev := accelEnabled
+	accelEnabled = on
+	return prev
+}
+
+// densityCutoff is the dispatch threshold matching the active micro-kernel.
+func densityCutoff() float64 {
+	if useFMA && accelEnabled {
+		return simdDensityCutoff
+	}
+	return packedDensityCutoff
+}
+
 // MatMul computes C = A·B, or C += A·B when accumulate is true. A is m×k,
 // B is k×n, C must be m×n. Large dense products are routed through the
 // packed register-tiled kernel (packed.go); sparse or tiny ones fall back to
@@ -60,7 +91,7 @@ func MatMul(c, a, b *Matrix, accumulate bool) {
 		panic(fmt.Sprintf("tensor: MatMul shape mismatch (%d×%d)·(%d×%d)→(%d×%d)",
 			a.Rows, a.Cols, b.Rows, b.Cols, c.Rows, c.Cols))
 	}
-	if a.Rows >= packMR && a.Rows*a.Cols*b.Cols >= packedMinWork && density(a) >= packedDensityCutoff {
+	if a.Rows >= packMR && a.Rows*a.Cols*b.Cols >= packedMinWork && density(a) >= densityCutoff() {
 		pb := packPool.Get().(*PackedB)
 		pb.Pack(b)
 		MatMulPacked(c, a, pb, nil, false, accumulate)
@@ -135,12 +166,25 @@ func MatMulTransB(c, a, b *Matrix, accumulate bool) {
 
 // MatMulTransA computes C = Aᵀ·B, or C += Aᵀ·B when accumulate is true.
 // A is m×k, B is m×n, C must be k×n. This is the weight-gradient product
-// (dW = Xᵀ·dY); it parallelises over row-bands of C so workers never write
-// the same cache line.
+// (dW = Xᵀ·dY). Dense products route through the packed register-tiled
+// kernel (one transpose of A, amortized over the O(m·k·n) product); sparse
+// ones — the first layer's one-hot input against its output gradient — keep
+// the zero-skipping kernel, parallelised over row-bands of C so workers never
+// write the same cache line.
 func MatMulTransA(c, a, b *Matrix, accumulate bool) {
 	if a.Rows != b.Rows || c.Rows != a.Cols || c.Cols != b.Cols {
 		panic(fmt.Sprintf("tensor: MatMulTransA shape mismatch (%d×%d)ᵀ·(%d×%d)→(%d×%d)",
 			a.Rows, a.Cols, b.Rows, b.Cols, c.Rows, c.Cols))
+	}
+	if accelEnabled && a.Cols >= packMR && a.Rows*a.Cols*b.Cols >= packedMinWork && density(a) >= densityCutoff() {
+		at := transPool.Get().(*Matrix)
+		transposeInto(at, a)
+		pb := packPool.Get().(*PackedB)
+		pb.Pack(b)
+		MatMulPacked(c, at, pb, nil, false, accumulate)
+		packPool.Put(pb)
+		transPool.Put(at)
+		return
 	}
 	body := func(start, end int) {
 		if !accumulate {
@@ -168,11 +212,38 @@ func MatMulTransA(c, a, b *Matrix, accumulate bool) {
 	ParallelFor(a.Cols, body)
 }
 
-// axpy computes y += a*x for equal-length slices. The four-way unroll gives
-// the compiler independent chains to schedule.
+// transPool recycles the Aᵀ scratch for MatMulTransA's packed route.
+var transPool = sync.Pool{New: func() any { return new(Matrix) }}
+
+// transposeInto writes srcᵀ into dst, resizing dst's storage as needed while
+// reusing its capacity. It streams src row-major (sequential reads) and
+// scatters down dst's columns, which is the cheaper direction for the
+// row-major layout when src has many more rows than columns.
+func transposeInto(dst, src *Matrix) {
+	dst.Rows, dst.Cols = src.Cols, src.Rows
+	need := src.Rows * src.Cols
+	if cap(dst.Data) < need {
+		dst.Data = make([]float32, need)
+	}
+	dst.Data = dst.Data[:need]
+	for i := 0; i < src.Rows; i++ {
+		row := src.Data[i*src.Cols : (i+1)*src.Cols]
+		for j, v := range row {
+			dst.Data[j*dst.Cols+i] = v
+		}
+	}
+}
+
+// axpy computes y += a*x for equal-length slices. Long vectors go through the
+// FMA kernel when available; the four-way unroll below gives the compiler
+// independent chains to schedule otherwise.
 func axpy(a float32, x, y []float32) {
 	n := len(x)
 	_ = y[n-1]
+	if useFMA && accelEnabled && n >= 8 {
+		axpyFMA(a, &x[0], &y[0], n)
+		return
+	}
 	i := 0
 	for ; i+4 <= n; i += 4 {
 		y[i] += a * x[i]

@@ -17,8 +17,8 @@ import (
 // of Linear→bias→ReLU into one.
 
 const (
-	packMR = 4 // rows of A per micro-kernel invocation
-	packNR = 4 // columns of B per panel
+	packMR = 8 // rows of A per micro-kernel invocation
+	packNR = 8 // columns of B per panel: one YMM register on amd64
 )
 
 // PackedB is matrix B repacked for the micro-kernel: column panels of width
@@ -145,60 +145,41 @@ func matMulPackedAt(c, a *Matrix, pb *PackedB, bias []float32, relu, accumulate 
 	ParallelFor(a.Rows, body)
 }
 
-// packedBody runs the micro-kernel over rows [start, end) of A.
+// packedBody runs the micro-kernel over rows [start, end) of A. On amd64 with
+// AVX2+FMA the tile inner product runs in assembly (simd_amd64.s); elsewhere a
+// portable Go tile computes the same sums without fused rounding.
 func packedBody(c, a *Matrix, pb *PackedB, bias []float32, relu, accumulate bool, cOff, start, end int) {
 	k, n := pb.K, pb.N
 	nPanels := pb.panels()
+	var tile [packMR * packNR]float32
 	i := start
-	for ; i+packMR <= end; i += packMR {
-		a0 := a.Data[i*k : (i+1)*k]
-		a1 := a.Data[(i+1)*k : (i+2)*k]
-		a2 := a.Data[(i+2)*k : (i+3)*k]
-		a3 := a.Data[(i+3)*k : (i+4)*k]
-		for p := 0; p < nPanels; p++ {
-			j0 := p * packNR
-			nj := n - j0
-			if nj > packNR {
-				nj = packNR
+	if useFMA && accelEnabled && k > 0 {
+		for ; i+packMR <= end; i += packMR {
+			aBand := &a.Data[i*k]
+			for p := 0; p < nPanels; p++ {
+				j0 := p * packNR
+				nj := n - j0
+				if nj > packNR {
+					nj = packNR
+				}
+				fmaTile8x8(aBand, k, &pb.data[p*k*packNR], k, &tile[0])
+				storeTile(c, tile[:], i, packMR, cOff+j0, j0, nj, bias, relu, accumulate)
 			}
-			panel := pb.data[p*k*packNR : (p*k+k)*packNR]
-			// 4×4 register tile.
-			var c00, c01, c02, c03 float32
-			var c10, c11, c12, c13 float32
-			var c20, c21, c22, c23 float32
-			var c30, c31, c32, c33 float32
-			for kk := 0; kk < k; kk++ {
-				b0 := panel[kk*packNR]
-				b1 := panel[kk*packNR+1]
-				b2 := panel[kk*packNR+2]
-				b3 := panel[kk*packNR+3]
-				v0, v1, v2, v3 := a0[kk], a1[kk], a2[kk], a3[kk]
-				c00 += v0 * b0
-				c01 += v0 * b1
-				c02 += v0 * b2
-				c03 += v0 * b3
-				c10 += v1 * b0
-				c11 += v1 * b1
-				c12 += v1 * b2
-				c13 += v1 * b3
-				c20 += v2 * b0
-				c21 += v2 * b1
-				c22 += v2 * b2
-				c23 += v2 * b3
-				c30 += v3 * b0
-				c31 += v3 * b1
-				c32 += v3 * b2
-				c33 += v3 * b3
-			}
-			var tile [packMR * packNR]float32
-			tile[0], tile[1], tile[2], tile[3] = c00, c01, c02, c03
-			tile[4], tile[5], tile[6], tile[7] = c10, c11, c12, c13
-			tile[8], tile[9], tile[10], tile[11] = c20, c21, c22, c23
-			tile[12], tile[13], tile[14], tile[15] = c30, c31, c32, c33
-			storeTile(c, tile[:], i, packMR, cOff+j0, j0, nj, bias, relu, accumulate)
 		}
+		for ; i < end; i++ {
+			ai := &a.Data[i*k]
+			for p := 0; p < nPanels; p++ {
+				j0 := p * packNR
+				nj := n - j0
+				if nj > packNR {
+					nj = packNR
+				}
+				fmaTile1x8(ai, &pb.data[p*k*packNR], k, &tile[0])
+				storeTile(c, tile[:], i, 1, cOff+j0, j0, nj, bias, relu, accumulate)
+			}
+		}
+		return
 	}
-	// Remainder rows: 1×4 kernel.
 	for ; i < end; i++ {
 		ai := a.Data[i*k : (i+1)*k]
 		for p := 0; p < nPanels; p++ {
@@ -208,16 +189,20 @@ func packedBody(c, a *Matrix, pb *PackedB, bias []float32, relu, accumulate bool
 				nj = packNR
 			}
 			panel := pb.data[p*k*packNR : (p*k+k)*packNR]
-			var c0, c1, c2, c3 float32
+			var acc [packNR]float32
 			for kk := 0; kk < k; kk++ {
 				v := ai[kk]
-				c0 += v * panel[kk*packNR]
-				c1 += v * panel[kk*packNR+1]
-				c2 += v * panel[kk*packNR+2]
-				c3 += v * panel[kk*packNR+3]
+				pr := panel[kk*packNR : kk*packNR+packNR]
+				acc[0] += v * pr[0]
+				acc[1] += v * pr[1]
+				acc[2] += v * pr[2]
+				acc[3] += v * pr[3]
+				acc[4] += v * pr[4]
+				acc[5] += v * pr[5]
+				acc[6] += v * pr[6]
+				acc[7] += v * pr[7]
 			}
-			var tile [packNR]float32
-			tile[0], tile[1], tile[2], tile[3] = c0, c1, c2, c3
+			copy(tile[:packNR], acc[:])
 			storeTile(c, tile[:], i, 1, cOff+j0, j0, nj, bias, relu, accumulate)
 		}
 	}
@@ -294,17 +279,35 @@ func LinearReLUCols(c, a, b *Matrix, bias []float32, relu bool, j0 int) {
 	packPool.Put(pb)
 }
 
-// density returns the fraction of nonzero entries of A, the dispatch signal
-// between the sparse-skipping naive kernel and the packed dense kernel.
+// densitySamples bounds how many elements density inspects, so the dispatch
+// decision costs O(1) instead of scaling with the operand.
+const densitySamples = 2048
+
+// density estimates the fraction of nonzero entries of A, the dispatch signal
+// between the sparse-skipping naive kernel and the packed dense kernel. Large
+// matrices are probed at a fixed stride derived only from the shape, so the
+// decision is deterministic for a given operand and its cost stops growing
+// with A's size. The stride is nudged off multiples of the row length:
+// structured sparsity (one-hot blocks at fixed column offsets) would
+// otherwise be sampled column-aligned and misread.
 func density(a *Matrix) float64 {
-	if len(a.Data) == 0 {
+	n := len(a.Data)
+	if n == 0 {
 		return 0
 	}
-	nz := 0
-	for _, v := range a.Data {
-		if v != 0 {
+	stride := 1
+	if n > densitySamples {
+		stride = n / densitySamples
+		if a.Cols > 1 && stride%a.Cols == 0 {
+			stride++
+		}
+	}
+	nz, seen := 0, 0
+	for i := 0; i < n; i += stride {
+		seen++
+		if a.Data[i] != 0 {
 			nz++
 		}
 	}
-	return float64(nz) / float64(len(a.Data))
+	return float64(nz) / float64(seen)
 }

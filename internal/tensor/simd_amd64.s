@@ -1,0 +1,145 @@
+//go:build amd64
+
+#include "textflag.h"
+
+// func fmaTile8x8(a *float32, lda int, panel *float32, k int, tile *float32)
+//
+// tile[r*8+j] = sum over kk of a[r*lda+kk] * panel[kk*8+j], r,j in 0..7.
+// Accumulators Y0..Y7 (one YMM per output row), panel row in Y8, broadcast
+// scalar in Y9. Row pointers live in R8..R15 and are indexed by kk*4.
+TEXT ·fmaTile8x8(SB), NOSPLIT, $0-40
+	MOVQ a+0(FP), AX
+	MOVQ lda+8(FP), BX
+	SHLQ $2, BX // row stride in bytes
+	MOVQ panel+16(FP), SI
+	MOVQ k+24(FP), DX
+	MOVQ tile+32(FP), DI
+
+	MOVQ AX, R8
+	LEAQ (AX)(BX*1), R9
+	LEAQ (R9)(BX*1), R10
+	LEAQ (R10)(BX*1), R11
+	LEAQ (R11)(BX*1), R12
+	LEAQ (R12)(BX*1), R13
+	LEAQ (R13)(BX*1), R14
+	LEAQ (R14)(BX*1), R15
+
+	VXORPS Y0, Y0, Y0
+	VXORPS Y1, Y1, Y1
+	VXORPS Y2, Y2, Y2
+	VXORPS Y3, Y3, Y3
+	VXORPS Y4, Y4, Y4
+	VXORPS Y5, Y5, Y5
+	VXORPS Y6, Y6, Y6
+	VXORPS Y7, Y7, Y7
+
+	XORQ CX, CX
+loop8:
+	CMPQ CX, DX
+	JGE  done8
+	VMOVUPS (SI), Y8
+	VBROADCASTSS (R8)(CX*4), Y9
+	VFMADD231PS Y8, Y9, Y0
+	VBROADCASTSS (R9)(CX*4), Y9
+	VFMADD231PS Y8, Y9, Y1
+	VBROADCASTSS (R10)(CX*4), Y9
+	VFMADD231PS Y8, Y9, Y2
+	VBROADCASTSS (R11)(CX*4), Y9
+	VFMADD231PS Y8, Y9, Y3
+	VBROADCASTSS (R12)(CX*4), Y9
+	VFMADD231PS Y8, Y9, Y4
+	VBROADCASTSS (R13)(CX*4), Y9
+	VFMADD231PS Y8, Y9, Y5
+	VBROADCASTSS (R14)(CX*4), Y9
+	VFMADD231PS Y8, Y9, Y6
+	VBROADCASTSS (R15)(CX*4), Y9
+	VFMADD231PS Y8, Y9, Y7
+	ADDQ $32, SI
+	INCQ CX
+	JMP  loop8
+done8:
+	VMOVUPS Y0, (DI)
+	VMOVUPS Y1, 32(DI)
+	VMOVUPS Y2, 64(DI)
+	VMOVUPS Y3, 96(DI)
+	VMOVUPS Y4, 128(DI)
+	VMOVUPS Y5, 160(DI)
+	VMOVUPS Y6, 192(DI)
+	VMOVUPS Y7, 224(DI)
+	VZEROUPPER
+	RET
+
+// func fmaTile1x8(a *float32, panel *float32, k int, tile *float32)
+//
+// tile[j] = sum over kk of a[kk] * panel[kk*8+j]. Single-row remainder kernel.
+TEXT ·fmaTile1x8(SB), NOSPLIT, $0-32
+	MOVQ a+0(FP), R8
+	MOVQ panel+8(FP), SI
+	MOVQ k+16(FP), DX
+	MOVQ tile+24(FP), DI
+	VXORPS Y0, Y0, Y0
+	XORQ CX, CX
+loop1:
+	CMPQ CX, DX
+	JGE  done1
+	VBROADCASTSS (R8)(CX*4), Y9
+	VFMADD231PS (SI), Y9, Y0
+	ADDQ $32, SI
+	INCQ CX
+	JMP  loop1
+done1:
+	VMOVUPS Y0, (DI)
+	VZEROUPPER
+	RET
+
+// func axpyFMA(alpha float32, x, y *float32, n int)
+//
+// y[i] += alpha * x[i]. 8-wide FMA main loop with a scalar tail.
+TEXT ·axpyFMA(SB), NOSPLIT, $0-32
+	VBROADCASTSS alpha+0(FP), Y2
+	MOVQ x+8(FP), SI
+	MOVQ y+16(FP), DI
+	MOVQ n+24(FP), DX
+	XORQ CX, CX
+	MOVQ DX, BX
+	ANDQ $-8, BX // n rounded down to a multiple of 8
+axloop:
+	CMPQ CX, BX
+	JGE  axtail
+	VMOVUPS (SI)(CX*4), Y0
+	VMOVUPS (DI)(CX*4), Y1
+	VFMADD231PS Y0, Y2, Y1
+	VMOVUPS Y1, (DI)(CX*4)
+	ADDQ $8, CX
+	JMP  axloop
+axtail:
+	CMPQ CX, DX
+	JGE  axdone
+	VMOVSS (SI)(CX*4), X0
+	VMOVSS (DI)(CX*4), X1
+	VFMADD231SS X0, X2, X1
+	VMOVSS X1, (DI)(CX*4)
+	INCQ CX
+	JMP  axtail
+axdone:
+	VZEROUPPER
+	RET
+
+// func cpuid(eaxArg, ecxArg uint32) (eax, ebx, ecx, edx uint32)
+TEXT ·cpuid(SB), NOSPLIT, $0-24
+	MOVL eaxArg+0(FP), AX
+	MOVL ecxArg+4(FP), CX
+	CPUID
+	MOVL AX, eax+8(FP)
+	MOVL BX, ebx+12(FP)
+	MOVL CX, ecx+16(FP)
+	MOVL DX, edx+20(FP)
+	RET
+
+// func xgetbv() (eax, edx uint32)
+TEXT ·xgetbv(SB), NOSPLIT, $0-8
+	XORL CX, CX
+	XGETBV
+	MOVL AX, eax+0(FP)
+	MOVL DX, edx+4(FP)
+	RET

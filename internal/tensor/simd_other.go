@@ -1,0 +1,18 @@
+//go:build !amd64
+
+package tensor
+
+// Non-amd64 builds use the portable Go micro-kernel exclusively.
+const useFMA = false
+
+func fmaTile8x8(a *float32, lda int, panel *float32, k int, tile *float32) {
+	panic("tensor: fmaTile8x8 without amd64")
+}
+
+func fmaTile1x8(a *float32, panel *float32, k int, tile *float32) {
+	panic("tensor: fmaTile1x8 without amd64")
+}
+
+func axpyFMA(alpha float32, x, y *float32, n int) {
+	panic("tensor: axpyFMA without amd64")
+}

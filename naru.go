@@ -27,6 +27,7 @@ package naru
 import (
 	"bufio"
 	"context"
+	"errors"
 	"fmt"
 	"io"
 
@@ -142,6 +143,22 @@ type Config struct {
 	// an error; a missing one starts fresh.
 	Resume bool
 
+	// TrainWorkers enables deterministic data-parallel gradient sharding
+	// during training: each batch is split into TrainWorkers fixed shards
+	// whose gradients are accumulated concurrently and reduced in a fixed
+	// order. Results are bit-reproducible for a given (Seed, TrainWorkers);
+	// the worker count is recorded in checkpoints and a resumed run adopts
+	// the recorded value. 0 or 1 trains sequentially; architectures without
+	// sharding support fall back to sequential.
+	TrainWorkers int
+
+	// StopAfterSteps, when positive, halts training after that many gradient
+	// steps with ErrTrainingStopped, leaving the checkpoint (if configured)
+	// behind for a later -resume. It exists to script interruption: the
+	// check tooling uses it to prove a stopped-and-resumed run is
+	// bit-identical to an uninterrupted one.
+	StopAfterSteps int
+
 	// Metrics, when non-nil, receives training telemetry (naru_train_*)
 	// during Build and is attached to the resulting estimator's serving path
 	// (naru_query_* plus per-query traces). Expose it with MetricsHandler or
@@ -198,6 +215,12 @@ type Estimator struct {
 	numRows int64
 }
 
+// ErrTrainingStopped is returned (wrapped) by Build when Config.
+// StopAfterSteps halted training before completion. The run is not a
+// failure: the configured checkpoint holds the stopping point and a Resume
+// run continues bit-identically.
+var ErrTrainingStopped = errors.New("training stopped by StopAfterSteps")
+
 // Build trains a Naru estimator on the table: unsupervised maximum
 // likelihood over the tuples, exactly as a classical synopsis would be built
 // from a scan.
@@ -232,11 +255,28 @@ func Build(t *Table, cfg Config) (*Estimator, error) {
 	default:
 		return nil, fmt.Errorf("naru: unknown architecture %d", cfg.Architecture)
 	}
-	if _, err := core.TrainRun(m, t, core.TrainConfig{
+	tc := core.TrainConfig{
 		Epochs: cfg.Epochs, BatchSize: cfg.BatchSize, LR: cfg.LR, Seed: cfg.Seed + 1,
 		CheckpointPath: cfg.CheckpointPath, CheckpointEvery: cfg.CheckpointEvery,
-		Resume: cfg.Resume, Obs: cfg.Metrics,
-	}); err != nil {
+		Resume: cfg.Resume, Workers: cfg.TrainWorkers, Obs: cfg.Metrics,
+	}
+	if cfg.StopAfterSteps > 0 {
+		// Count steps run in THIS process (not the global step index, which a
+		// resumed run inherits), so "-stop-after N" always does N steps of
+		// work before halting.
+		steps := 0
+		tc.OnStep = func(int, float64) error {
+			steps++
+			if steps >= cfg.StopAfterSteps {
+				return ErrTrainingStopped
+			}
+			return nil
+		}
+	}
+	if _, err := core.TrainRun(m, t, tc); err != nil {
+		if errors.Is(err, ErrTrainingStopped) {
+			return nil, fmt.Errorf("naru: %w", err)
+		}
 		return nil, fmt.Errorf("naru: training: %w", err)
 	}
 	return newEstimator(m, cfg, t), nil

@@ -15,6 +15,13 @@
 # model, starts `naru serve` with -metrics-addr, drives a few estimates over
 # HTTP, and asserts the core metric families show up in the /metrics scrape —
 # then double-checks that -metrics-addr leaves estimate output byte-identical.
+#
+# `check.sh train` is the end-to-end training-determinism gate: with
+# data-parallel sharding (-train-workers > 1), two identical runs must write
+# byte-identical model files, and a run interrupted with -stop-after and then
+# resumed from its checkpoint must also match the uninterrupted model
+# byte-for-byte — including when the resume omits -train-workers, proving the
+# checkpoint's recorded worker count is adopted.
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -106,6 +113,44 @@ EOF
     diff "$tmp/plain.out" "$tmp/obs.out" || { echo "-metrics-addr perturbed estimates"; exit 1; }
 
     echo "check obs: OK"
+    exit 0
+fi
+
+if [ "${1:-}" = "train" ]; then
+    echo "== training determinism (sharded, interrupt/resume)"
+    tmp="$(mktemp -d)"
+    trap 'rm -rf "$tmp"' EXIT INT TERM
+
+    go build -o "$tmp/naru" ./cmd/naru
+
+    # A correlated 3-column table, big enough for 20 steps/epoch at -batch 128.
+    awk 'BEGIN{
+        srand(7); print "a,b,c";
+        for (i = 0; i < 2560; i++) {
+            x = int(rand()*8); y = (x*3 + int(rand()*2)) % 10; z = (x+y) % 5;
+            print x "," y "," z
+        }
+    }' > "$tmp/data.csv"
+
+    train_flags="-csv $tmp/data.csv -epochs 2 -batch 128 -hidden 16,16 -samples 64 -seed 3"
+
+    echo "-- two sharded runs must write byte-identical models"
+    "$tmp/naru" train $train_flags -train-workers 3 -out "$tmp/modelA.naru" > /dev/null
+    "$tmp/naru" train $train_flags -train-workers 3 -out "$tmp/modelB.naru" > /dev/null
+    cmp "$tmp/modelA.naru" "$tmp/modelB.naru" || { echo "sharded runs differ"; exit 1; }
+
+    echo "-- interrupted (+ resumed without -train-workers) must match byte-for-byte"
+    "$tmp/naru" train $train_flags -train-workers 3 -checkpoint "$tmp/train.ckpt" \
+        -checkpoint-every 5 -stop-after 7 -out "$tmp/modelC.naru" > "$tmp/stop.log"
+    grep -q "training stopped after 7 steps" "$tmp/stop.log" || { echo "missing stop message"; cat "$tmp/stop.log"; exit 1; }
+    [ ! -f "$tmp/modelC.naru" ] || { echo "stopped run should not save a model"; exit 1; }
+    # Resume deliberately omits -train-workers: the checkpoint's recorded
+    # worker count must be adopted for the trajectory to stay bit-identical.
+    "$tmp/naru" train $train_flags -checkpoint "$tmp/train.ckpt" -resume \
+        -out "$tmp/modelC.naru" > /dev/null
+    cmp "$tmp/modelA.naru" "$tmp/modelC.naru" || { echo "resumed model differs from uninterrupted"; exit 1; }
+
+    echo "check train: OK"
     exit 0
 fi
 
