@@ -1,6 +1,6 @@
 # Convenience entry points; everything is plain `go` underneath.
 
-.PHONY: build test check check-fault check-obs check-train bench inference training
+.PHONY: build test check check-fault check-obs check-train check-lifecycle bench inference training
 
 build:
 	go build ./...
@@ -27,6 +27,13 @@ check-obs:
 
 bench:
 	go test -bench . -benchtime 1x -run xxx .
+
+# check-lifecycle runs the model-lifecycle suite under -race (ingestion,
+# drift, refresh/resume, registry corruption rejection, hot-swap bit-identity)
+# plus a fuzz pass over the manifest loader and an online-ingestion smoke test
+# against a live `naru serve` with lifecycle flags.
+check-lifecycle:
+	./scripts/check.sh lifecycle
 
 # check-train is the end-to-end training-determinism gate: two sharded runs
 # must write byte-identical models, and an interrupted-then-resumed run must

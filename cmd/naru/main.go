@@ -86,10 +86,18 @@ func usage(w io.Writer) {
                 [-timeout 50ms] [-fallback] [-metrics-addr :8080]
   naru serve    -csv data.csv -model model.naru -addr :8081 [-metrics-addr :8080]
                 [-samples S] [-timeout 50ms] [-fallback]
+                [-refresh-after N] [-drift-threshold NATS] [-tvd-threshold D]
+                [-refresh-epochs N] [-registry DIR] [-lifecycle-checkpoint ckpt]
   naru entropy  -csv data.csv -model model.naru
 
 The -metrics-addr endpoint exposes /metrics (Prometheus), /metrics.json,
-/traces, and /debug/pprof/ for whatever the command is doing.`)
+/traces, /debug/pprof/, and /healthz for whatever the command is doing.
+
+Serve lifecycle: with any of -refresh-after/-drift-threshold/-tvd-threshold/
+-registry set, POST /append ingests header-less CSV rows online, GET /drift
+and /models report staleness and registered versions, and a background
+refresh fine-tunes and hot-swaps the model when thresholds trip. SIGTERM
+drains in-flight queries and checkpoints an in-progress refresh.`)
 }
 
 // startMetrics starts the observability endpoint when addr is non-empty and

@@ -3,6 +3,7 @@ package main
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -10,28 +11,47 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"sync"
 	"syscall"
 	"time"
 
 	naru "repro"
+	"repro/internal/lifecycle"
 	"repro/internal/query"
 	"repro/internal/table"
 )
 
 // cmdServe runs a long-lived estimation service: GET /estimate?where=...
 // answers single queries as JSON through the fault-tolerant serving path,
-// and -metrics-addr exposes the observability endpoint alongside it. The
-// process runs until SIGINT/SIGTERM.
+// and -metrics-addr exposes the observability endpoint alongside it.
+//
+// With any lifecycle flag set (-refresh-after, -drift-threshold,
+// -tvd-threshold, -registry) the service also ingests data online:
+// POST /append takes header-less CSV rows, GET /drift reports staleness,
+// GET /models lists registered versions, and a background refresh fine-tunes
+// and hot-swaps the model when drift or row-count thresholds trip. /healthz
+// (on both the service and metrics muxes) reports the serving version and
+// returns 503 only when no model is loaded — never during a hot-swap.
+//
+// The process runs until SIGINT/SIGTERM, then drains in-flight queries and
+// cancels any in-progress refresh, which flushes a final checkpoint (when
+// -lifecycle-checkpoint is set) so the next start resumes the fine-tune.
 func cmdServe(args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("serve", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	csvPath := fs.String("csv", "", "input CSV (for schema + fallback statistics)")
 	modelPath := fs.String("model", "model.naru", "trained model path")
 	addr := fs.String("addr", "127.0.0.1:8081", "estimation service address (use :0 for a free port)")
-	metricsAddr := fs.String("metrics-addr", "", "serve /metrics, /traces, /debug/pprof on this address")
+	metricsAddr := fs.String("metrics-addr", "", "serve /metrics, /traces, /debug/pprof, /healthz on this address")
 	samples := fs.Int("samples", 2000, "progressive samples per query")
 	timeout := fs.Duration("timeout", 0, "per-query deadline (0 = none); expiring degrades the sample budget")
 	fallback := fs.Bool("fallback", false, "answer failed queries from 1D statistics")
+	refreshAfter := fs.Int("refresh-after", 0, "refresh after this many appended rows (0 = only on drift)")
+	driftThreshold := fs.Float64("drift-threshold", 0, "mark the model stale when appended rows' mean NLL exceeds the training baseline by this many nats")
+	tvdThreshold := fs.Float64("tvd-threshold", 0, "mark the model stale when any column's marginal TV distance exceeds this")
+	refreshEpochs := fs.Int("refresh-epochs", 0, "fine-tuning epochs per refresh (0 = default 4)")
+	registryDir := fs.String("registry", "", "persist model versions under this directory")
+	lcCkpt := fs.String("lifecycle-checkpoint", "", "checkpoint file for interrupted refreshes (resumed on the next refresh)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -44,29 +64,51 @@ func cmdServe(args []string, stdout, stderr io.Writer) error {
 	}
 	cfg := naru.DefaultConfig()
 	cfg.Samples = *samples
-	metrics, stopMetrics, err := startMetrics(*metricsAddr, stderr)
+	metrics, stopMetrics, err := startServeMetrics(*metricsAddr, stderr)
 	if err != nil {
 		return err
 	}
 	defer stopMetrics()
-	cfg.Metrics = metrics
+	cfg.Metrics = metrics.reg
 	est, err := openModel(*modelPath, cfg)
 	if err != nil {
 		return err
 	}
+	metrics.setEstimator(est)
+	if *refreshAfter > 0 || *driftThreshold > 0 || *tvdThreshold > 0 || *registryDir != "" {
+		err := est.EnableLifecycle(t, naru.LifecycleConfig{
+			NLLThreshold:   *driftThreshold,
+			TVDThreshold:   *tvdThreshold,
+			RefreshAfter:   *refreshAfter,
+			RefreshEpochs:  *refreshEpochs,
+			CheckpointPath: *lcCkpt,
+			RegistryDir:    *registryDir,
+		})
+		if err != nil {
+			return fmt.Errorf("serve: %w", err)
+		}
+		fmt.Fprintf(stderr, "lifecycle: ingestion enabled (version %d)\n", est.ModelVersion())
+	}
 	opts := naru.ServeOptions{Deadline: *timeout}
 	if *fallback {
-		opts.Fallback = naru.FallbackObserved(t, metrics)
+		opts.Fallback = naru.FallbackObserved(t, metrics.reg)
 	}
+
+	// refreshCtx is cancelled at shutdown so an in-progress refresh aborts
+	// between gradient steps and flushes its final checkpoint; refreshWG is
+	// then waited on so the flush completes before the process exits.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	h := &serveHandler{est: est, t: t, opts: opts}
+	var refreshWG sync.WaitGroup
+	h.onAppend = func() { kickRefresh(ctx, est, &refreshWG, stderr) }
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		return fmt.Errorf("serve: %w", err)
 	}
-	srv := &http.Server{Handler: newEstimateHandler(est, t, opts)}
+	srv := &http.Server{Handler: h.mux()}
 	fmt.Fprintf(stdout, "serving on http://%s/estimate\n", ln.Addr())
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stop()
 	errc := make(chan error, 1)
 	go func() { errc <- srv.Serve(ln) }()
 	select {
@@ -74,71 +116,265 @@ func cmdServe(args []string, stdout, stderr io.Writer) error {
 		return err
 	case <-ctx.Done():
 	}
+	// Drain: in-flight queries finish on the version they loaded, then the
+	// cancelled refresh (if any) checkpoints and exits.
 	shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 	defer cancel()
-	return srv.Shutdown(shutCtx)
+	err = srv.Shutdown(shutCtx)
+	refreshWG.Wait()
+	return err
+}
+
+// kickRefresh starts a background refresh when the lifecycle manager says one
+// is warranted and none is running. The refresh inherits the serve context:
+// SIGINT/SIGTERM cancels it and its final checkpoint is flushed before
+// cmdServe returns.
+func kickRefresh(ctx context.Context, est *naru.Estimator, wg *sync.WaitGroup, stderr io.Writer) {
+	lc := est.Lifecycle()
+	if lc == nil || lc.Refreshing() || !lc.ShouldRefresh() {
+		return
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		res, err := est.RefreshCtx(ctx)
+		switch {
+		case errors.Is(err, lifecycle.ErrRefreshRunning):
+		case err != nil:
+			fmt.Fprintf(stderr, "lifecycle: refresh: %v\n", err)
+		default:
+			fmt.Fprintf(stderr, "lifecycle: swapped in version %d (nll %.4f, %d rows)\n",
+				res.Version, res.NLL, res.Rows)
+		}
+	}()
+}
+
+// serveMetrics is the metrics endpoint plus the /healthz probe; the estimator
+// is attached after loading so the probe can report the serving version.
+type serveMetrics struct {
+	reg *naru.Metrics
+	mu  sync.Mutex
+	est *naru.Estimator
+}
+
+func (m *serveMetrics) setEstimator(e *naru.Estimator) {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	m.est = e
+	m.mu.Unlock()
+}
+
+func (m *serveMetrics) estimator() *naru.Estimator {
+	if m == nil {
+		return nil
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.est
+}
+
+// startServeMetrics is startMetrics plus /healthz on the same mux (so
+// orchestrators probing the metrics port see model liveness too). addr ""
+// disables the endpoint; the returned registry is then nil.
+func startServeMetrics(addr string, stderr io.Writer) (*serveMetrics, func(), error) {
+	m := &serveMetrics{}
+	if addr == "" {
+		return m, func() {}, nil
+	}
+	m.reg = naru.NewMetrics()
+	mux := http.NewServeMux()
+	mux.Handle("/", naru.MetricsHandler(m.reg))
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		healthz(w, m.estimator())
+	})
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, nil, fmt.Errorf("metrics endpoint: %w", err)
+	}
+	srv := &http.Server{Handler: mux}
+	go func() { _ = srv.Serve(ln) }()
+	fmt.Fprintf(stderr, "metrics on http://%s/metrics\n", ln.Addr())
+	return m, func() { _ = srv.Close() }, nil
+}
+
+// healthResponse is the JSON shape of the /healthz probe.
+type healthResponse struct {
+	Status       string `json:"status"`
+	ModelVersion uint64 `json:"model_version,omitempty"`
+	Refreshing   bool   `json:"refreshing,omitempty"`
+	StaleModel   bool   `json:"stale_model,omitempty"`
+}
+
+// healthz reports serving liveness: 503 only when no model is loaded. A
+// refresh or hot-swap in progress is healthy (in-flight queries keep their
+// version; new ones get the swapped one), as is a stale model — staleness is
+// advisory, reported in the body for operators.
+func healthz(w http.ResponseWriter, est *naru.Estimator) {
+	w.Header().Set("Content-Type", "application/json")
+	if est == nil {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		_ = json.NewEncoder(w).Encode(healthResponse{Status: "no model loaded"})
+		return
+	}
+	resp := healthResponse{Status: "ok", ModelVersion: est.ModelVersion()}
+	if lc := est.Lifecycle(); lc != nil {
+		resp.Refreshing = lc.Refreshing()
+		resp.StaleModel = lc.Stale()
+	}
+	_ = json.NewEncoder(w).Encode(resp)
 }
 
 // estimateResponse is the JSON shape of one served estimate.
 type estimateResponse struct {
-	Query   string  `json:"query"`
-	Sel     float64 `json:"sel"`
-	Card    float64 `json:"card"`
-	Source  string  `json:"source"`
-	StdErr  float64 `json:"stderr,omitempty"`
-	Samples int     `json:"samples,omitempty"`
-	Err     string  `json:"err,omitempty"`
+	Query        string  `json:"query"`
+	Sel          float64 `json:"sel"`
+	Card         float64 `json:"card"`
+	Source       string  `json:"source"`
+	ModelVersion uint64  `json:"model_version,omitempty"`
+	StdErr       float64 `json:"stderr,omitempty"`
+	Samples      int     `json:"samples,omitempty"`
+	Err          string  `json:"err,omitempty"`
 }
 
-// newEstimateHandler builds the estimation service mux: /estimate answers
-// ?where= conjunctions, / documents the endpoint. Split from cmdServe so
-// tests can drive it with httptest without binding a port.
+// appendResponse is the JSON shape of one POST /append.
+type appendResponse struct {
+	Appended  int              `json:"appended"`
+	TotalRows int              `json:"total_rows"`
+	Drift     naru.DriftStatus `json:"drift"`
+}
+
+// serveHandler carries the estimation service's shared state. onAppend (when
+// non-nil) runs after every successful ingest, kicking the background refresh.
+type serveHandler struct {
+	est      *naru.Estimator
+	t        *table.Table // boot-time snapshot, used when lifecycle is off
+	opts     naru.ServeOptions
+	onAppend func()
+}
+
+// snapshot returns the table queries parse against: the lifecycle manager's
+// committed snapshot when ingestion is live (appended values and extended
+// dictionaries become queryable immediately), the boot table otherwise.
+func (h *serveHandler) snapshot() *table.Table {
+	if lc := h.est.Lifecycle(); lc != nil {
+		return lc.Snapshot()
+	}
+	return h.t
+}
+
+// newEstimateHandler builds the estimation service mux for a static (no
+// ingestion) service; tests drive it with httptest without binding a port.
 func newEstimateHandler(est *naru.Estimator, t *table.Table, opts naru.ServeOptions) http.Handler {
+	return (&serveHandler{est: est, t: t, opts: opts}).mux()
+}
+
+// mux builds the estimation service routes: /estimate answers ?where=
+// conjunctions, /append ingests rows, /drift, /models, and /healthz report
+// lifecycle state, / documents the endpoint.
+func (h *serveHandler) mux() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
 		if r.URL.Path != "/" {
 			http.NotFound(w, r)
 			return
 		}
-		fmt.Fprintf(w, "naru estimation service for %q\nGET /estimate?where=a<=5 AND b=x\n", t.Name)
+		fmt.Fprintf(w, "naru estimation service for %q\nGET /estimate?where=a<=5 AND b=x\nPOST /append (text/csv body, no header)\nGET /drift | /models | /healthz\n", h.snapshot().Name)
 	})
-	mux.HandleFunc("/estimate", func(w http.ResponseWriter, r *http.Request) {
-		where := r.FormValue("where")
-		if where == "" {
-			http.Error(w, "missing ?where= conjunction", http.StatusBadRequest)
-			return
-		}
-		q, err := query.ParseWhere(where, t)
-		if err != nil {
-			http.Error(w, fmt.Sprintf("bad query %q: %v", where, err), http.StatusBadRequest)
-			return
-		}
-		// One query per request: the per-request deadline and fallback come
-		// from the service options, cancellation from the client connection.
-		perReq := opts
-		perReq.Workers = 1
-		results, err := est.SelectivityBatchCtx(r.Context(), []naru.Query{q}, perReq)
-		if err != nil {
-			http.Error(w, err.Error(), http.StatusInternalServerError)
-			return
-		}
-		res := results[0]
-		resp := estimateResponse{
-			Query:   q.String(t),
-			Sel:     res.Sel,
-			Card:    res.Sel * float64(t.NumRows()),
-			Source:  res.Source.String(),
-			StdErr:  res.StdErr,
-			Samples: res.Samples,
-		}
-		if res.Err != nil {
-			resp.Err = res.Err.Error()
-		}
-		w.Header().Set("Content-Type", "application/json")
-		if res.Source == naru.SourceFailed {
-			w.WriteHeader(http.StatusInternalServerError)
-		}
-		_ = json.NewEncoder(w).Encode(resp)
+	mux.HandleFunc("/estimate", h.handleEstimate)
+	mux.HandleFunc("/append", h.handleAppend)
+	mux.HandleFunc("/drift", h.handleDrift)
+	mux.HandleFunc("/models", h.handleModels)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		healthz(w, h.est)
 	})
 	return mux
+}
+
+func (h *serveHandler) handleEstimate(w http.ResponseWriter, r *http.Request) {
+	where := r.FormValue("where")
+	if where == "" {
+		http.Error(w, "missing ?where= conjunction", http.StatusBadRequest)
+		return
+	}
+	// One snapshot per request: literal-to-code mapping and the row count
+	// for cardinality come from the same table version.
+	t := h.snapshot()
+	q, err := query.ParseWhere(where, t)
+	if err != nil {
+		http.Error(w, fmt.Sprintf("bad query %q: %v", where, err), http.StatusBadRequest)
+		return
+	}
+	// One query per request: the per-request deadline and fallback come
+	// from the service options, cancellation from the client connection.
+	perReq := h.opts
+	perReq.Workers = 1
+	results, err := h.est.SelectivityBatchCtx(r.Context(), []naru.Query{q}, perReq)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	res := results[0]
+	resp := estimateResponse{
+		Query:        q.String(t),
+		Sel:          res.Sel,
+		Card:         res.Sel * float64(t.NumRows()),
+		Source:       res.Source.String(),
+		ModelVersion: res.ModelVersion,
+		StdErr:       res.StdErr,
+		Samples:      res.Samples,
+	}
+	if res.Err != nil {
+		resp.Err = res.Err.Error()
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if res.Source == naru.SourceFailed {
+		w.WriteHeader(http.StatusInternalServerError)
+	}
+	_ = json.NewEncoder(w).Encode(resp)
+}
+
+func (h *serveHandler) handleAppend(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST CSV rows (no header) to /append", http.StatusMethodNotAllowed)
+		return
+	}
+	added, err := h.est.AppendCSV(r.Body)
+	if err != nil {
+		status := http.StatusBadRequest
+		if errors.Is(err, naru.ErrLifecycleDisabled) {
+			status = http.StatusNotImplemented
+		}
+		http.Error(w, err.Error(), status)
+		return
+	}
+	drift, _ := h.est.Drift()
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(appendResponse{
+		Appended:  added,
+		TotalRows: h.snapshot().NumRows(),
+		Drift:     drift,
+	})
+	if h.onAppend != nil {
+		h.onAppend()
+	}
+}
+
+func (h *serveHandler) handleDrift(w http.ResponseWriter, r *http.Request) {
+	drift, err := h.est.Drift()
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusNotImplemented)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(drift)
+}
+
+func (h *serveHandler) handleModels(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(struct {
+		Active   uint64             `json:"active"`
+		Versions []naru.VersionMeta `json:"versions,omitempty"`
+	}{Active: h.est.ModelVersion(), Versions: h.est.Versions()})
 }

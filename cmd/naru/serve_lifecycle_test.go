@@ -1,0 +1,178 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"strings"
+	"testing"
+
+	naru "repro"
+)
+
+// TestHealthz: the probe is 503 only when no model is loaded; with one it
+// reports ok plus the serving version.
+func TestHealthz(t *testing.T) {
+	rec := httptest.NewRecorder()
+	healthz(rec, nil)
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("no model: status %d, want 503", rec.Code)
+	}
+	var down healthResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &down); err != nil {
+		t.Fatal(err)
+	}
+	if down.Status == "ok" {
+		t.Fatalf("no model reported healthy: %+v", down)
+	}
+
+	est, _, _ := buildServeFixture(t)
+	rec = httptest.NewRecorder()
+	healthz(rec, est)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d, want 200", rec.Code)
+	}
+	var up healthResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &up); err != nil {
+		t.Fatal(err)
+	}
+	if up.Status != "ok" || up.ModelVersion != 1 {
+		t.Fatalf("health %+v, want ok at version 1", up)
+	}
+}
+
+// TestServeLifecycleEndpoints drives the ingestion endpoints end to end:
+// without a lifecycle manager they answer 501; with one, POST /append grows
+// the snapshot (the drift report rides along and onAppend fires), /models
+// lists the registry, /estimate reflects the new rows, and /healthz stays 200
+// throughout.
+func TestServeLifecycleEndpoints(t *testing.T) {
+	est, tbl, _ := buildServeFixture(t)
+	kicked := 0
+	h := &serveHandler{est: est, t: tbl, opts: naru.ServeOptions{},
+		onAppend: func() { kicked++ }}
+	srv := httptest.NewServer(h.mux())
+	defer srv.Close()
+
+	// Lifecycle off: ingestion endpoints say "not implemented", health is fine.
+	resp, err := http.Post(srv.URL+"/append", "text/csv", strings.NewReader("NY,20\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotImplemented {
+		t.Fatalf("/append without lifecycle: status %d, want 501", resp.StatusCode)
+	}
+	if resp, err = http.Get(srv.URL + "/drift"); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotImplemented {
+		t.Fatalf("/drift without lifecycle: status %d, want 501", resp.StatusCode)
+	}
+
+	if err := est.EnableLifecycle(tbl, naru.LifecycleConfig{
+		NLLThreshold: 0.1, MinDriftRows: 4, RegistryDir: t.TempDir(),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	base := tbl.NumRows()
+
+	// GET on /append is rejected; a bad row is a 400 with line context.
+	if resp, err = http.Get(srv.URL + "/append"); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /append: status %d, want 405", resp.StatusCode)
+	}
+	resp, err = http.Post(srv.URL+"/append", "text/csv", strings.NewReader("NY,20\nCA,not-a-qty\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad row: status %d, want 400", resp.StatusCode)
+	}
+	if kicked != 0 {
+		t.Fatal("failed append kicked a refresh")
+	}
+
+	// A good batch lands: count, total, drift, and the refresh hook.
+	resp, err = http.Post(srv.URL+"/append", "text/csv",
+		strings.NewReader("NY,20\nCA,30\nTX,0\nWA,50\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var app appendResponse
+	if err := json.NewDecoder(resp.Body).Decode(&app); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || app.Appended != 4 || app.TotalRows != base+4 {
+		t.Fatalf("append response %+v (status %d), want 4 rows onto %d", app, resp.StatusCode, base)
+	}
+	if app.Drift.AppendedRows != 4 {
+		t.Fatalf("drift in append response %+v, want 4 appended rows", app.Drift)
+	}
+	if kicked != 1 {
+		t.Fatalf("onAppend ran %d times, want 1", kicked)
+	}
+
+	// /drift agrees; /models lists the bootstrap version from the registry.
+	if resp, err = http.Get(srv.URL + "/drift"); err != nil {
+		t.Fatal(err)
+	}
+	var drift naru.DriftStatus
+	if err := json.NewDecoder(resp.Body).Decode(&drift); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if drift.AppendedRows != 4 {
+		t.Fatalf("/drift %+v, want 4 appended rows", drift)
+	}
+	if resp, err = http.Get(srv.URL + "/models"); err != nil {
+		t.Fatal(err)
+	}
+	var models struct {
+		Active   uint64             `json:"active"`
+		Versions []naru.VersionMeta `json:"versions"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&models); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if models.Active != 1 || len(models.Versions) != 1 || models.Versions[0].ID != 1 {
+		t.Fatalf("/models %+v, want bootstrap version 1", models)
+	}
+
+	// Estimates parse against the grown snapshot and carry the version.
+	resp, err = http.Get(srv.URL + "/estimate?where=" + url.QueryEscape("state=NY AND qty<=30"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var estResp estimateResponse
+	if err := json.NewDecoder(resp.Body).Decode(&estResp); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || estResp.ModelVersion != 1 {
+		t.Fatalf("estimate %+v (status %d), want model_version 1", estResp, resp.StatusCode)
+	}
+	if estResp.Card > float64(base+4) {
+		t.Fatalf("card %v exceeds grown table of %d rows", estResp.Card, base+4)
+	}
+
+	if resp, err = http.Get(srv.URL + "/healthz"); err != nil {
+		t.Fatal(err)
+	}
+	var health healthResponse
+	if err := json.NewDecoder(resp.Body).Decode(&health); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || health.Status != "ok" || health.ModelVersion != 1 {
+		t.Fatalf("/healthz %+v (status %d)", health, resp.StatusCode)
+	}
+}

@@ -1,0 +1,17 @@
+package colnet
+
+import "bytes"
+
+// Clone returns a deep copy of the model via a serialization round-trip; see
+// made.Model.Clone for the contract. Used by the lifecycle refresh worker to
+// fine-tune in the background without touching the serving replica.
+func (m *Model) Clone() (*Model, error) {
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		return nil, err
+	}
+	return Load(&buf)
+}
+
+// CloneModel implements the lifecycle clone contract.
+func (m *Model) CloneModel() (any, error) { return m.Clone() }

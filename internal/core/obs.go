@@ -92,12 +92,13 @@ func (e *Estimator) observeDirect(path string, sel, stderr float64, completed in
 	o.samplesCompleted.Add(uint64(completed))
 	o.latency.ObserveDuration(elapsed)
 	o.reg.RecordTrace(obs.QueryTrace{
-		Path:      path,
-		Requested: requested,
-		Completed: completed,
-		Sel:       sel,
-		StdErr:    stderr,
-		LatencyNS: elapsed.Nanoseconds(),
+		Path:         path,
+		Requested:    requested,
+		Completed:    completed,
+		Sel:          sel,
+		StdErr:       stderr,
+		LatencyNS:    elapsed.Nanoseconds(),
+		ModelVersion: e.version.Load(),
 	})
 }
 
@@ -138,13 +139,14 @@ func (e *Estimator) observeServed(res *Result, reg *query.Region, deadline time.
 	o.samplesCompleted.Add(uint64(res.Samples))
 	o.latency.ObserveDuration(elapsed)
 	tr := obs.QueryTrace{
-		Path:      path,
-		Requested: requested,
-		Completed: res.Samples,
-		Sel:       res.Sel,
-		StdErr:    res.StdErr,
-		LatencyNS: elapsed.Nanoseconds(),
-		Recovered: recovered,
+		Path:         path,
+		Requested:    requested,
+		Completed:    res.Samples,
+		Sel:          res.Sel,
+		StdErr:       res.StdErr,
+		LatencyNS:    elapsed.Nanoseconds(),
+		Recovered:    recovered,
+		ModelVersion: res.ModelVersion,
 	}
 	if deadline > 0 {
 		tr.DeadlineSlackNS = (deadline - elapsed).Nanoseconds()

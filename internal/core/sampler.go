@@ -43,6 +43,11 @@ type Estimator struct {
 	// per-query RNG.
 	nextQuery atomic.Uint64
 
+	// version is the lifecycle model-version id stamped into every Result and
+	// trace this estimator produces (0 when versioning is not in use). It is
+	// set once at construction/installation time, before the estimator serves.
+	version atomic.Uint64
+
 	// lastStdErr is Float64bits of the Monte Carlo standard error of the
 	// most recently finished query; see LastStdErr.
 	lastStdErr atomic.Uint64
@@ -103,6 +108,16 @@ func NewEstimator(m Model, samples int, seed int64) *Estimator {
 	e.primary = e.newScratch(m)
 	return e
 }
+
+// SetVersion stamps the lifecycle model-version id this estimator serves;
+// every Result and trace it produces afterwards carries the id. Versioned
+// estimators are immutable bundles behind an atomic swap point, so this is
+// called once before the estimator starts serving.
+func (e *Estimator) SetVersion(v uint64) { e.version.Store(v) }
+
+// Version returns the lifecycle model-version id (0 when versioning is not
+// in use).
+func (e *Estimator) Version() uint64 { return e.version.Load() }
 
 // newScratch allocates the per-query buffers around a model instance.
 func (e *Estimator) newScratch(m Model) *scratch {

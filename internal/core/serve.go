@@ -65,6 +65,11 @@ type Result struct {
 	// and preserved alongside SourceFallback results so callers can log the
 	// original failure.
 	Err error
+	// ModelVersion is the lifecycle version id of the model that served (or
+	// attempted) this query — provenance for hot-swapped serving, 0 when
+	// versioning is not in use. Fallback results keep the version of the
+	// model that failed.
+	ModelVersion uint64
 }
 
 // ErrBudgetExhausted reports that a query's deadline expired before a single
@@ -153,6 +158,7 @@ func (e *Estimator) EstimateBatchCtx(ctx context.Context, regions []*query.Regio
 				res.Err = errors.Join(res.Err, ferr)
 			}
 		}
+		res.ModelVersion = e.version.Load()
 		out[i] = res
 		if e.obs.reg != nil {
 			e.observeServed(&res, regions[i], opts.Deadline, time.Since(start))

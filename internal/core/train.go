@@ -222,6 +222,14 @@ type TrainConfig struct {
 	CheckpointPath  string
 	CheckpointEvery int // steps between checkpoints (default 100)
 
+	// CheckpointOnStop, when set (and CheckpointPath is configured), writes a
+	// final checkpoint before returning when an OnStep hook aborts training.
+	// The lifecycle refresh worker uses it so a cancelled fine-tune leaves its
+	// exact stopping point durable for the next refresh to resume from; the
+	// default (off) preserves the crash-simulation semantics of the fault
+	// suite, where an aborted run must look like a process death.
+	CheckpointOnStop bool
+
 	// Resume continues a run from CheckpointPath if the file exists: the
 	// epoch/step schedule picks up exactly where the checkpoint stopped and,
 	// because batch order is derived deterministically from (Seed, epoch),
@@ -487,6 +495,11 @@ func TrainRun(m Trainable, t *table.Table, cfg TrainConfig) ([]float64, error) {
 			to.steps.Inc()
 			if cfg.OnStep != nil {
 				if err := cfg.OnStep(epoch*stepsPerEpoch+step-1, loss); err != nil {
+					if cfg.CheckpointOnStop && cfg.CheckpointPath != "" {
+						if serr := snapshot(); serr != nil {
+							err = errors.Join(err, serr)
+						}
+					}
 					return history, err
 				}
 			}

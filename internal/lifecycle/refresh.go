@@ -1,0 +1,204 @@
+package lifecycle
+
+import (
+	"context"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+)
+
+// cloneableModel is the deep-copy contract the refresh worker needs: a
+// private parameter set the background fine-tune can mutate while the
+// receiver keeps serving (made and colnet implement it via a serialization
+// round-trip; ForkModel/ForkTrain deliberately share parameter storage and
+// cannot be used here).
+type cloneableModel interface {
+	CloneModel() (any, error)
+}
+
+func cloneTrainable(m core.Trainable) (core.Trainable, error) {
+	c, ok := m.(cloneableModel)
+	if !ok {
+		return nil, fmt.Errorf("lifecycle: %T cannot be cloned for background fine-tuning", m)
+	}
+	v, err := c.CloneModel()
+	if err != nil {
+		return nil, fmt.Errorf("lifecycle: cloning %T: %w", m, err)
+	}
+	t, ok := v.(core.Trainable)
+	if !ok {
+		return nil, fmt.Errorf("lifecycle: %T.CloneModel result is not trainable", m)
+	}
+	return t, nil
+}
+
+// RefreshResult reports a completed refresh.
+type RefreshResult struct {
+	// Version is the id of the swapped-in model version.
+	Version uint64
+	// NLL is the refreshed model's mean NLL in nats on the grown snapshot
+	// (the new drift baseline).
+	NLL float64
+	// History is the fine-tune's per-epoch mean NLL trajectory (including
+	// epochs restored from a resumed checkpoint).
+	History []float64
+	// Rows is the snapshot row count the refreshed model covers.
+	Rows int64
+	// Rebuilt reports a fresh retrain over grown domains instead of a warm
+	// fine-tune (dictionary extension outgrew the old model).
+	Rebuilt bool
+}
+
+// Refresh fine-tunes a private clone of the active model on the current
+// snapshot, registers the result, and hot-swaps it into the target. It runs
+// synchronously — call it from a background goroutine for non-blocking
+// operation; a second concurrent call returns ErrRefreshRunning.
+//
+// Cancellation (ctx, or an OnStep error such as an injected fault) aborts
+// between gradient steps and leaves the registry and serving model exactly as
+// they were; with CheckpointPath configured the interrupted fine-tune's state
+// is flushed durably and the next Refresh resumes from it.
+func (m *Manager) Refresh(ctx context.Context) (*RefreshResult, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if !m.refreshing.CompareAndSwap(false, true) {
+		return nil, ErrRefreshRunning
+	}
+	defer m.refreshing.Store(false)
+	m.o.refreshActive.Set(1)
+	defer m.o.refreshActive.Set(0)
+	m.o.refreshes.Inc()
+
+	m.mu.Lock()
+	snap := m.snap.Load()
+	active := m.active
+	m.mu.Unlock()
+
+	domains := snap.DomainSizes()
+	rebuilt := !equalInts(domains, active.DomainSizes())
+	var cand core.Trainable
+	var err error
+	if rebuilt {
+		// Appends extended the dictionaries past the model's domains: warm
+		// fine-tuning is shape-impossible, fall back to a fresh retrain (and
+		// drop any checkpoint from the old shape lineage).
+		if m.cfg.Rebuild == nil {
+			m.o.refreshFailed.Inc()
+			return nil, fmt.Errorf("lifecycle: dictionaries grew beyond the model's domains and no Rebuild hook is configured")
+		}
+		if cand, err = m.cfg.Rebuild(domains); err != nil {
+			m.o.refreshFailed.Inc()
+			return nil, fmt.Errorf("lifecycle: rebuilding model for grown domains: %w", err)
+		}
+		if m.cfg.CheckpointPath != "" {
+			_ = os.Remove(m.cfg.CheckpointPath)
+		}
+	} else if cand, err = cloneTrainable(active); err != nil {
+		m.o.refreshFailed.Inc()
+		return nil, err
+	}
+
+	tc := core.TrainConfig{
+		Epochs:          m.cfg.RefreshEpochs,
+		BatchSize:       m.cfg.BatchSize,
+		LR:              m.cfg.LR,
+		Seed:            m.cfg.Seed,
+		Workers:         m.cfg.TrainWorkers,
+		CheckpointPath:  m.cfg.CheckpointPath,
+		CheckpointEvery: m.cfg.CheckpointEvery,
+		Resume:          m.cfg.CheckpointPath != "",
+		// A cancelled refresh must leave its exact stopping point durable so
+		// the next refresh resumes instead of restarting.
+		CheckpointOnStop: true,
+		Obs:              m.cfg.Obs,
+		OnStep: func(step int, loss float64) error {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			if m.cfg.OnStep != nil {
+				return m.cfg.OnStep(step, loss)
+			}
+			return nil
+		},
+		OnEpoch: func(epoch int, nll float64) bool {
+			m.o.refreshEpoch.Set(float64(epoch + 1))
+			m.o.refreshNLL.Set(nll)
+			return true
+		},
+	}
+	history, err := core.TrainRun(cand, snap, tc)
+	if err != nil {
+		m.o.refreshFailed.Inc()
+		return nil, fmt.Errorf("lifecycle: refresh aborted: %w", err)
+	}
+
+	// Re-baseline drift on the refreshed model so post-swap appends are
+	// compared against the model that now serves. Scoring uses the same
+	// methodology as the appended-row NLL signal, keeping excesses in the
+	// same units.
+	mon := newDriftMonitor(cand, snap)
+	nll := mon.baseNLL
+	if mon.scorer == nil && len(history) > 0 {
+		nll = history[len(history)-1]
+	}
+
+	id := uint64(0)
+	if m.cfg.Registry != nil {
+		meta, err := m.cfg.Registry.Register(cand, int64(snap.NumRows()), nll)
+		if err != nil {
+			m.o.refreshFailed.Inc()
+			return nil, fmt.Errorf("lifecycle: registering refreshed model: %w", err)
+		}
+		id = meta.ID
+	}
+
+	// The completed fine-tune's checkpoint must not leak into the next
+	// refresh (resuming a finished schedule would train zero steps).
+	if m.cfg.CheckpointPath != "" {
+		_ = os.Remove(m.cfg.CheckpointPath)
+	}
+
+	m.mu.Lock()
+	if id == 0 {
+		id = m.version + 1
+	}
+	m.active = cand
+	m.version = id
+	m.drift = mon
+	m.snapRows = snap.NumRows()
+	// Rows appended while the fine-tune ran are new drift evidence for the
+	// refreshed model; fold them in so they are not silently forgiven.
+	if cur := m.snap.Load(); cur.NumRows() > snap.NumRows() {
+		m.drift.observe(cur, snap.NumRows(), cur.NumRows())
+	}
+	m.publishDriftLocked()
+	m.mu.Unlock()
+
+	if m.target != nil {
+		m.target.InstallVersion(cand, int64(snap.NumRows()), id)
+	}
+	m.o.swaps.Inc()
+	m.o.modelVersion.Set(float64(id))
+
+	return &RefreshResult{
+		Version: id,
+		NLL:     nll,
+		History: history,
+		Rows:    int64(snap.NumRows()),
+		Rebuilt: rebuilt,
+	}, nil
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

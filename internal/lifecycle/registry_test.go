@@ -1,0 +1,270 @@
+package lifecycle
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"os"
+	"path/filepath"
+	"strconv"
+	"testing"
+
+	"repro/internal/envelope"
+	"repro/internal/made"
+	"repro/internal/table"
+)
+
+// tinyModel builds a small untrained MADE model over the given domains.
+func tinyModel(domains []int, seed int64) *made.Model {
+	return made.New(domains, made.Config{
+		HiddenSizes: []int{8, 8}, EmbedThreshold: 64, EmbedDim: 8, Seed: seed,
+	})
+}
+
+// tinyTable builds a two-column table with a correlated skew: col b equals
+// a%2 with high probability, so even a briefly trained model learns structure
+// a shifted distribution will violate.
+func tinyTable(tb testing.TB, rows int, flip func(i int) bool) *table.Table {
+	tb.Helper()
+	b := table.NewBuilder("t", []string{"a", "b"})
+	for i := 0; i < rows; i++ {
+		a := i % 4
+		v := a % 2
+		if flip != nil && flip(i) {
+			v = 1 - v
+		}
+		if err := b.AppendRow([]string{strconv.Itoa(a), strconv.Itoa(v)}); err != nil {
+			tb.Fatal(err)
+		}
+	}
+	t, err := b.Build()
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return t
+}
+
+func TestRegistryRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	reg, err := OpenRegistry(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m1 := tinyModel([]int{4, 2}, 1)
+	meta1, err := reg.Register(m1, 100, 1.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meta1.ID != 1 || meta1.Arch != "made" || meta1.TrainRows != 100 {
+		t.Fatalf("meta1 = %+v", meta1)
+	}
+	m2 := tinyModel([]int{4, 2}, 2)
+	meta2, err := reg.Register(m2, 150, 1.10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meta2.ID != 2 || reg.Active() != 2 {
+		t.Fatalf("meta2 = %+v active = %d", meta2, reg.Active())
+	}
+
+	// Reopen from disk: same versions, same active, models load back.
+	reg2, err := OpenRegistry(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vs := reg2.Versions()
+	if len(vs) != 2 || vs[0].ID != 1 || vs[1].ID != 2 || reg2.Active() != 2 {
+		t.Fatalf("reopened: %+v active %d", vs, reg2.Active())
+	}
+	loaded, meta, err := reg2.LoadActive()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meta.ID != 2 {
+		t.Fatalf("active meta %+v", meta)
+	}
+	// The loaded model is bit-identical to what was registered: same log
+	// probs on a probe tuple.
+	probe := []int32{1, 0}
+	var a, b [1]float64
+	m2.LogProbBatch(probe, 1, a[:])
+	loaded.(*made.Model).LogProbBatch(probe, 1, b[:])
+	if a != b {
+		t.Fatalf("loaded model diverges: %v vs %v", a, b)
+	}
+	if _, _, err := reg2.LoadVersion(1); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := reg2.LoadVersion(99); err == nil {
+		t.Fatal("missing version loaded")
+	}
+}
+
+func TestRegistryRejectsUnpersistableArch(t *testing.T) {
+	reg, err := OpenRegistry(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := reg.Register(nil, 0, 0); err == nil {
+		t.Fatal("nil model registered")
+	}
+}
+
+// validManifestBytes builds an on-disk manifest with two versions for
+// corruption testing.
+func validManifestBytes(tb testing.TB) []byte {
+	tb.Helper()
+	man := &manifest{Active: 2, Versions: []VersionMeta{
+		{ID: 1, Arch: "made", File: "v00000001.model", TrainRows: 10, NLL: 1.5, CreatedUnix: 1700000000},
+		{ID: 2, Arch: "colnet", File: "v00000002.model", TrainRows: 20, NLL: 1.2, CreatedUnix: 1700000100},
+	}}
+	data, err := encodeManifest(man)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return data
+}
+
+// TestLoadManifestRejectsCorruptionCorpus drives loadManifest over the same
+// hostile corpus style as the model loaders: every truncation and a sweep of
+// bit flips must be rejected with an error — zero panics, zero silent loads.
+func TestLoadManifestRejectsCorruptionCorpus(t *testing.T) {
+	data := validManifestBytes(t)
+	for n := 0; n < len(data); n++ {
+		if _, err := loadManifest(data[:n]); err == nil {
+			t.Fatalf("truncation to %d of %d bytes loaded silently", n, len(data))
+		}
+	}
+	for off := 0; off < len(data); off++ {
+		for bit := uint(0); bit < 8; bit++ {
+			bad := append([]byte(nil), data...)
+			bad[off] ^= 1 << bit
+			man, err := loadManifest(bad)
+			if err != nil {
+				continue
+			}
+			// A flip inside JSON string content (a file name, say) can still
+			// decode; it must never produce a manifest that violates the
+			// invariants the registry relies on.
+			if verr := revalidate(man); verr != nil {
+				t.Fatalf("bit flip at %d.%d loaded an invalid manifest: %v", off, bit, verr)
+			}
+		}
+	}
+}
+
+// revalidate re-checks the invariants loadManifest promises.
+func revalidate(man *manifest) error {
+	var prev uint64
+	activeFound := man.Active == 0
+	for _, v := range man.Versions {
+		if v.ID == 0 || v.ID <= prev {
+			return errors.New("ids not strictly increasing")
+		}
+		prev = v.ID
+		if v.Arch != "made" && v.Arch != "colnet" {
+			return errors.New("bad arch")
+		}
+		if !safeFileName(v.File) {
+			return errors.New("unsafe file name")
+		}
+		if v.TrainRows < 0 {
+			return errors.New("negative rows")
+		}
+		if math.IsNaN(v.NLL) || math.IsInf(v.NLL, 0) {
+			return errors.New("non-finite NLL")
+		}
+		if v.ID == man.Active {
+			activeFound = true
+		}
+	}
+	if !activeFound {
+		return errors.New("dangling active")
+	}
+	return nil
+}
+
+// TestLoadManifestRejectsHostilePayload frames syntactically valid JSON with
+// hostile contents: correct envelope, correct checksum, manifest semantics
+// that would make the registry load a wrong or out-of-tree version.
+func TestLoadManifestRejectsHostilePayload(t *testing.T) {
+	frame := func(payload string) []byte {
+		var buf bytes.Buffer
+		if err := envelope.Write(&buf, manifestMagic, manifestVersion, []byte(payload)); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	cases := map[string]string{
+		"duplicate ids":    `{"active":1,"versions":[{"id":1,"arch":"made","file":"a.model","train_rows":1,"nll":1,"created_unix":1},{"id":1,"arch":"made","file":"b.model","train_rows":1,"nll":1,"created_unix":1}]}`,
+		"descending ids":   `{"active":1,"versions":[{"id":2,"arch":"made","file":"a.model","train_rows":1,"nll":1,"created_unix":1},{"id":1,"arch":"made","file":"b.model","train_rows":1,"nll":1,"created_unix":1}]}`,
+		"zero id":          `{"active":0,"versions":[{"id":0,"arch":"made","file":"a.model","train_rows":1,"nll":1,"created_unix":1}]}`,
+		"traversal file":   `{"active":1,"versions":[{"id":1,"arch":"made","file":"../../etc/passwd","train_rows":1,"nll":1,"created_unix":1}]}`,
+		"hidden file":      `{"active":1,"versions":[{"id":1,"arch":"made","file":".secret","train_rows":1,"nll":1,"created_unix":1}]}`,
+		"manifest as file": `{"active":1,"versions":[{"id":1,"arch":"made","file":"MANIFEST","train_rows":1,"nll":1,"created_unix":1}]}`,
+		"dangling active":  `{"active":7,"versions":[{"id":1,"arch":"made","file":"a.model","train_rows":1,"nll":1,"created_unix":1}]}`,
+		"unknown arch":     `{"active":1,"versions":[{"id":1,"arch":"pickle","file":"a.model","train_rows":1,"nll":1,"created_unix":1}]}`,
+		"negative rows":    `{"active":1,"versions":[{"id":1,"arch":"made","file":"a.model","train_rows":-5,"nll":1,"created_unix":1}]}`,
+		"unknown fields":   `{"active":1,"exec":"rm -rf /","versions":[{"id":1,"arch":"made","file":"a.model","train_rows":1,"nll":1,"created_unix":1}]}`,
+		"not json":         `]]]`,
+	}
+	for name, payload := range cases {
+		if _, err := loadManifest(frame(payload)); err == nil {
+			t.Errorf("%s: hostile manifest loaded silently", name)
+		} else if !errors.Is(err, envelope.ErrCorrupt) {
+			t.Errorf("%s: error %v does not wrap envelope.ErrCorrupt", name, err)
+		}
+	}
+}
+
+// TestOpenRegistryRejectsCorruptManifest: a registry directory with a
+// damaged manifest must refuse to open rather than serve wrong versions.
+func TestOpenRegistryRejectsCorruptManifest(t *testing.T) {
+	dir := t.TempDir()
+	reg, err := OpenRegistry(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := reg.Register(tinyModel([]int{4, 2}, 1), 10, 1.0); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, manifestName)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0x40
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenRegistry(dir); err == nil {
+		t.Fatal("corrupt manifest opened silently")
+	}
+}
+
+// FuzzLoadManifest: whatever bytes are fed in, loadManifest never panics and
+// never yields a manifest violating the registry's invariants.
+func FuzzLoadManifest(f *testing.F) {
+	valid := validManifestBytes(f)
+	f.Add(valid)
+	f.Add([]byte{})
+	f.Add([]byte("narumani"))
+	f.Add(valid[:len(valid)/2])
+	// A hostile seed with a traversal file name, correctly framed.
+	var hostile bytes.Buffer
+	_ = envelope.Write(&hostile, manifestMagic, manifestVersion,
+		[]byte(`{"active":1,"versions":[{"id":1,"arch":"made","file":"../x","train_rows":1,"nll":1,"created_unix":1}]}`))
+	f.Add(hostile.Bytes())
+	f.Fuzz(func(t *testing.T, data []byte) {
+		man, err := loadManifest(data)
+		if err != nil {
+			if man != nil {
+				t.Fatal("error with non-nil manifest")
+			}
+			return
+		}
+		if err := revalidate(man); err != nil {
+			t.Fatalf("accepted manifest violates invariants: %v", err)
+		}
+	})
+}

@@ -1,0 +1,22 @@
+package made
+
+import "bytes"
+
+// Clone returns a deep copy of the model — private parameters, gradients,
+// and scratch — by round-tripping through the serialized form, which is
+// already shape-validated and covers exactly the trainable state. It is the
+// fine-tune entry point of the lifecycle subsystem: the clone can train on
+// grown data in the background while the receiver keeps serving, with no
+// shared tensors between them (unlike ForkModel/ForkTrain, which share
+// parameter storage or values by design).
+func (m *Model) Clone() (*Model, error) {
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		return nil, err
+	}
+	return Load(&buf)
+}
+
+// CloneModel implements the lifecycle clone contract (declared any to keep
+// model packages free of a core dependency, mirroring ForkModel).
+func (m *Model) CloneModel() (any, error) { return m.Clone() }

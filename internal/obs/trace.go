@@ -39,6 +39,9 @@ type QueryTrace struct {
 	Recovered bool `json:"recovered,omitempty"`
 	// Err is the model-path failure, if any (set for fallback and failed).
 	Err string `json:"err,omitempty"`
+	// ModelVersion is the lifecycle version id of the model that served the
+	// query (0 when versioned serving is not in use).
+	ModelVersion uint64 `json:"model_version,omitempty"`
 }
 
 // defaultTraceCap bounds the trace ring: big enough to cover a scrape

@@ -129,13 +129,24 @@ type Region struct {
 // Compile lowers a conjunction onto per-column valid sets for t. Unfiltered
 // columns get full-domain wildcards, matching the paper's treatment
 // ("unfiltered columns are treated as having a wildcard, Ri = [0, Di)").
+//
+// Unlike CompileDomains, Compile consults the table's dictionaries: on
+// columns whose dictionary has been extended by online appends (code order no
+// longer value order past Column.Ext), range predicates are evaluated by
+// value comparison so arrival-ordered tail codes land on the correct side.
 func Compile(q Query, t *table.Table) (*Region, error) {
-	return CompileDomains(q, t.DomainSizes())
+	return compile(q, t.DomainSizes(), t)
 }
 
 // CompileDomains is Compile given only per-column domain sizes — enough for
-// an estimator loaded from disk without its training table.
+// an estimator loaded from disk without its training table. Range predicates
+// are interpreted purely in code space, which is exact while dictionaries are
+// fully sorted.
 func CompileDomains(q Query, domains []int) (*Region, error) {
+	return compile(q, domains, nil)
+}
+
+func compile(q Query, domains []int, t *table.Table) (*Region, error) {
 	reg := &Region{Cols: make([]ColumnRange, len(domains))}
 	for i, d := range domains {
 		valid := make([]bool, d)
@@ -151,7 +162,11 @@ func CompileDomains(q Query, domains []int) (*Region, error) {
 		if err := checkLiteral(p, int32(domains[p.Col])); err != nil {
 			return nil, err
 		}
-		applyPredicate(&reg.Cols[p.Col], p)
+		var less func(a, b int32) bool
+		if t != nil && t.Cols[p.Col].Extended() {
+			less = t.Cols[p.Col].Less
+		}
+		applyPredicate(&reg.Cols[p.Col], p, less)
 	}
 	for i := range reg.Cols {
 		reg.Cols[i].recount()
@@ -180,8 +195,14 @@ func checkLiteral(p Predicate, d int32) error {
 	return nil
 }
 
-// applyPredicate intersects one predicate into a column range.
-func applyPredicate(r *ColumnRange, p Predicate) {
+// applyPredicate intersects one predicate into a column range. less, when
+// non-nil, supplies the value order for range operators (needed once a
+// dictionary carries an arrival-ordered tail); nil means code order is value
+// order and plain code comparison applies.
+func applyPredicate(r *ColumnRange, p Predicate, less func(a, b int32) bool) {
+	if less == nil {
+		less = func(a, b int32) bool { return a < b }
+	}
 	keep := func(code int32) bool {
 		switch p.Op {
 		case OpEq:
@@ -189,15 +210,15 @@ func applyPredicate(r *ColumnRange, p Predicate) {
 		case OpNe:
 			return code != p.Code
 		case OpLt:
-			return code < p.Code
+			return less(code, p.Code)
 		case OpLe:
-			return code <= p.Code
+			return !less(p.Code, code)
 		case OpGt:
-			return code > p.Code
+			return less(p.Code, code)
 		case OpGe:
-			return code >= p.Code
+			return !less(code, p.Code)
 		case OpBetween:
-			return code >= p.Code && code <= p.Code2
+			return !less(code, p.Code) && !less(p.Code2, code)
 		case OpIn:
 			for _, c := range p.Set {
 				if c == code {

@@ -1,0 +1,262 @@
+package table
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// The online ingestion path. All appends are copy-on-write: they return a NEW
+// *Table and never mutate the receiver, so a snapshot handed to a serving
+// estimator stays internally consistent for as long as it is referenced.
+// Dictionaries are shared until a column actually needs a new value, at which
+// point that column's dictionary is copied and extended with an
+// arrival-ordered tail (Column.Ext) — existing codes keep their meaning, which
+// is what lets a model trained on the old snapshot keep serving the new one.
+
+// RowError locates an ingestion failure: Line is the 1-based CSV line number
+// (0 when the row did not come from a CSV stream), Col the column name
+// (empty for arity failures, which concern the whole row).
+type RowError struct {
+	Line int
+	Col  string
+	Err  error
+}
+
+func (e *RowError) Error() string {
+	switch {
+	case e.Line > 0 && e.Col != "":
+		return fmt.Sprintf("table: line %d, column %q: %v", e.Line, e.Col, e.Err)
+	case e.Line > 0:
+		return fmt.Sprintf("table: line %d: %v", e.Line, e.Err)
+	case e.Col != "":
+		return fmt.Sprintf("table: column %q: %v", e.Col, e.Err)
+	}
+	return fmt.Sprintf("table: %v", e.Err)
+}
+
+func (e *RowError) Unwrap() error { return e.Err }
+
+// AppendCodes returns a new table with n additional rows given in row-major
+// dictionary-code order: row r's value for column i is codes[r*NumCols()+i].
+// Every code must lie inside the column's current domain; use AppendValues or
+// Concat to ingest values the dictionaries have not seen.
+func (t *Table) AppendCodes(codes []int32, n int) (*Table, error) {
+	k := len(t.Cols)
+	if n < 0 || len(codes) != n*k {
+		return nil, fmt.Errorf("table %q: AppendCodes got %d codes for %d rows × %d columns",
+			t.Name, len(codes), n, k)
+	}
+	for r := 0; r < n; r++ {
+		for i, c := range t.Cols {
+			d := c.DomainSize()
+			if code := codes[r*k+i]; code < 0 || int(code) >= d {
+				return nil, &RowError{Col: c.Name,
+					Err: fmt.Errorf("appended row %d: code %d outside domain [0,%d)", r, code, d)}
+			}
+		}
+	}
+	cols := make([]*Column, k)
+	for i, c := range t.Cols {
+		cc := *c
+		cc.Codes = make([]int32, t.rows+n)
+		copy(cc.Codes, c.Codes)
+		for r := 0; r < n; r++ {
+			cc.Codes[t.rows+r] = codes[r*k+i]
+		}
+		cols[i] = &cc
+	}
+	return &Table{Name: t.Name, Cols: cols, rows: t.rows + n}, nil
+}
+
+// AppendValues returns a new table with the given string-rendered rows
+// appended. Values must parse under each column's existing Kind; values the
+// dictionary has not seen extend it in place of failing (see Column.Ext).
+func (t *Table) AppendValues(rows [][]string) (*Table, error) {
+	return t.appendValues(rows, nil)
+}
+
+func (t *Table) appendValues(rows [][]string, lines []int) (*Table, error) {
+	if len(rows) == 0 {
+		return nil, fmt.Errorf("table %q: no rows to append", t.Name)
+	}
+	k := len(t.Cols)
+	cols := make([]*Column, k)
+	copied := make([]bool, k)
+	for i, c := range t.Cols {
+		cc := *c
+		cc.Codes = make([]int32, t.rows, t.rows+len(rows))
+		copy(cc.Codes, c.Codes)
+		cols[i] = &cc
+	}
+	for r, row := range rows {
+		line := 0
+		if lines != nil {
+			line = lines[r]
+		}
+		if len(row) != k {
+			return nil, &RowError{Line: line,
+				Err: fmt.Errorf("row %d has %d values, want %d", r, len(row), k)}
+		}
+		for i, c := range cols {
+			code, err := c.encodeAppend(row[i], &copied[i])
+			if err != nil {
+				return nil, &RowError{Line: line, Col: c.Name, Err: err}
+			}
+			c.Codes = append(c.Codes, code)
+		}
+	}
+	return &Table{Name: t.Name, Cols: cols, rows: t.rows + len(rows)}, nil
+}
+
+// AppendCSV reads header-less CSV records and appends them via AppendValues.
+// Failures report the 1-based line number and the column name involved.
+func (t *Table) AppendCSV(r io.Reader) (*Table, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = len(t.Cols)
+	var rows [][]string
+	var lines []int
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			// csv.ParseError already reports the 1-based line number.
+			return nil, fmt.Errorf("table %q: reading CSV: %w", t.Name, err)
+		}
+		line, _ := cr.FieldPos(0)
+		rows = append(rows, rec)
+		lines = append(lines, line)
+	}
+	if len(rows) == 0 {
+		return nil, fmt.Errorf("table %q: AppendCSV: no rows", t.Name)
+	}
+	return t.appendValues(rows, lines)
+}
+
+// Concat returns a new table holding the receiver's rows followed by other's,
+// remapping other's codes through the value dictionaries. Columns must agree
+// on count and kind (names need not match); values unseen by the receiver
+// extend its dictionaries with arrival-ordered tail codes.
+func (t *Table) Concat(other *Table) (*Table, error) {
+	k := len(t.Cols)
+	if other.NumCols() != k {
+		return nil, fmt.Errorf("table %q: Concat with %d columns, want %d", t.Name, other.NumCols(), k)
+	}
+	cols := make([]*Column, k)
+	for i, c := range t.Cols {
+		oc := other.Cols[i]
+		if oc.Kind != c.Kind {
+			return nil, fmt.Errorf("table %q: Concat column %q is %v, want %v",
+				t.Name, oc.Name, oc.Kind, c.Kind)
+		}
+		cc := *c
+		copied := false
+		remap := make([]int32, oc.DomainSize())
+		for code := range remap {
+			remap[code] = cc.adoptValue(oc, int32(code), &copied)
+		}
+		cc.Codes = make([]int32, t.rows+other.rows)
+		copy(cc.Codes, c.Codes)
+		for r, code := range oc.Codes {
+			cc.Codes[t.rows+r] = remap[code]
+		}
+		cols[i] = &cc
+	}
+	return &Table{Name: t.Name, Cols: cols, rows: t.rows + other.rows}, nil
+}
+
+// encodeAppend parses one value under the column's Kind and returns its code,
+// extending the dictionary when the value is unseen. copied tracks whether
+// this column's dictionary has already been privatized during this append.
+func (c *Column) encodeAppend(v string, copied *bool) (int32, error) {
+	switch c.Kind {
+	case KindInt:
+		x, err := strconv.ParseInt(v, 10, 64)
+		if err != nil {
+			return 0, fmt.Errorf("cannot parse %q as int", v)
+		}
+		if code, ok := c.CodeOfInt(x); ok {
+			return code, nil
+		}
+		return c.extendInt(x, copied), nil
+	case KindFloat:
+		x, err := strconv.ParseFloat(v, 64)
+		if err != nil {
+			return 0, fmt.Errorf("cannot parse %q as float", v)
+		}
+		if code, ok := c.CodeOfFloat(x); ok {
+			return code, nil
+		}
+		return c.extendFloat(x, copied), nil
+	default:
+		if code, ok := c.CodeOfString(v); ok {
+			return code, nil
+		}
+		return c.extendString(v, copied), nil
+	}
+}
+
+// adoptValue maps src's code onto the receiver's dictionary, extending it
+// when the value is unseen.
+func (c *Column) adoptValue(src *Column, code int32, copied *bool) int32 {
+	switch c.Kind {
+	case KindInt:
+		v := src.Ints[code]
+		if nc, ok := c.CodeOfInt(v); ok {
+			return nc
+		}
+		return c.extendInt(v, copied)
+	case KindFloat:
+		v := src.Floats[code]
+		if nc, ok := c.CodeOfFloat(v); ok {
+			return nc
+		}
+		return c.extendFloat(v, copied)
+	default:
+		v := src.Strs[code]
+		if nc, ok := c.CodeOfString(v); ok {
+			return nc
+		}
+		return c.extendString(v, copied)
+	}
+}
+
+// markTail privatizes the dictionary on first extension (so shared snapshots
+// are never mutated) and records where the arrival-ordered tail begins.
+func (c *Column) markTail(copied *bool) {
+	if !*copied {
+		switch c.Kind {
+		case KindInt:
+			c.Ints = append([]int64(nil), c.Ints...)
+		case KindFloat:
+			c.Floats = append([]float64(nil), c.Floats...)
+		default:
+			c.Strs = append([]string(nil), c.Strs...)
+		}
+		*copied = true
+	}
+	if c.Ext == 0 {
+		c.Ext = c.DomainSize()
+	}
+}
+
+func (c *Column) extendInt(v int64, copied *bool) int32 {
+	c.markTail(copied)
+	c.Ints = append(c.Ints, v)
+	return int32(len(c.Ints) - 1)
+}
+
+func (c *Column) extendFloat(v float64, copied *bool) int32 {
+	c.markTail(copied)
+	c.Floats = append(c.Floats, v)
+	return int32(len(c.Floats) - 1)
+}
+
+func (c *Column) extendString(v string, copied *bool) int32 {
+	c.markTail(copied)
+	c.Strs = append(c.Strs, v)
+	return int32(len(c.Strs) - 1)
+}

@@ -1,0 +1,206 @@
+package table
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestAppendCodes(t *testing.T) {
+	tbl := testTable(t)
+	grown, err := tbl.AppendCodes([]int32{
+		1, 0, 0, // (SF, 2016, 3)
+		2, 2, 2, // (Waikiki, 2018, 10)
+	}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if grown.NumRows() != 7 || tbl.NumRows() != 5 {
+		t.Fatalf("rows: grown %d (want 7), original %d (want 5)", grown.NumRows(), tbl.NumRows())
+	}
+	var row [3]int32
+	grown.Row(5, row[:])
+	if row != [3]int32{1, 0, 0} {
+		t.Fatalf("appended row codes = %v", row)
+	}
+	// Dictionaries are shared, not copied: no value was new.
+	if &grown.Cols[0].Strs[0] != &tbl.Cols[0].Strs[0] {
+		t.Fatal("AppendCodes copied an unchanged dictionary")
+	}
+	if grown.Cols[0].Extended() {
+		t.Fatal("AppendCodes must not extend dictionaries")
+	}
+}
+
+func TestAppendCodesRejectsBadInput(t *testing.T) {
+	tbl := testTable(t)
+	if _, err := tbl.AppendCodes([]int32{0, 0}, 1); err == nil {
+		t.Fatal("arity mismatch accepted")
+	}
+	_, err := tbl.AppendCodes([]int32{0, 0, 99}, 1)
+	if err == nil {
+		t.Fatal("out-of-domain code accepted")
+	}
+	var re *RowError
+	if !errors.As(err, &re) || re.Col != "stars" {
+		t.Fatalf("error %v does not locate column stars", err)
+	}
+}
+
+func TestAppendValuesExtendsDictionary(t *testing.T) {
+	tbl := testTable(t)
+	grown, err := tbl.AppendValues([][]string{
+		{"Austin", "2019", "10"},
+		{"SF", "2015", "3"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	city, year := grown.Cols[0], grown.Cols[1]
+	// New values got arrival-ordered tail codes; old codes kept their meaning.
+	if !city.Extended() || city.DomainSize() != 4 || city.Strs[3] != "Austin" {
+		t.Fatalf("city dict = %v ext=%d", city.Strs, city.Ext)
+	}
+	if !year.Extended() || year.DomainSize() != 5 || year.Ints[3] != 2019 || year.Ints[4] != 2015 {
+		t.Fatalf("year dict = %v ext=%d", year.Ints, year.Ext)
+	}
+	for code, want := range []string{"Portland", "SF", "Waikiki"} {
+		if city.Strs[code] != want {
+			t.Fatalf("old city code %d now %q, want %q", code, city.Strs[code], want)
+		}
+	}
+	// Lookups reach the tail.
+	if c, ok := city.CodeOfString("Austin"); !ok || c != 3 {
+		t.Fatalf("CodeOfString(Austin) = %d, %v", c, ok)
+	}
+	if c, ok := year.CodeOfInt(2015); !ok || c != 4 {
+		t.Fatalf("CodeOfInt(2015) = %d, %v", c, ok)
+	}
+	// Less gives value order even across the unsorted tail: 2015 < 2016.
+	if !year.Less(4, 0) || year.Less(0, 4) {
+		t.Fatal("Less does not order the extended tail by value")
+	}
+	// The original table's dictionary was privatized before extension.
+	if tbl.Cols[0].DomainSize() != 3 || tbl.Cols[0].Extended() {
+		t.Fatalf("original city dict mutated: %v", tbl.Cols[0].Strs)
+	}
+}
+
+func TestAppendValuesRejectsWholeBatch(t *testing.T) {
+	tbl := testTable(t)
+	_, err := tbl.AppendValues([][]string{
+		{"Austin", "2019", "10"},
+		{"SF", "not-a-year", "3"},
+	})
+	if err == nil {
+		t.Fatal("unparsable value accepted")
+	}
+	var re *RowError
+	if !errors.As(err, &re) || re.Col != "year" {
+		t.Fatalf("error %v does not locate column year", err)
+	}
+	// The failed batch must not have leaked into the receiver.
+	if tbl.NumRows() != 5 || tbl.Cols[0].DomainSize() != 3 {
+		t.Fatal("failed append mutated the receiver")
+	}
+}
+
+func TestAppendCSVErrorContext(t *testing.T) {
+	tbl := testTable(t)
+	// Line 2 has an unparsable year.
+	_, err := tbl.AppendCSV(strings.NewReader("Austin,2019,10\nSF,bad,3\n"))
+	if err == nil {
+		t.Fatal("bad CSV accepted")
+	}
+	var re *RowError
+	if !errors.As(err, &re) {
+		t.Fatalf("error %T is not a RowError", err)
+	}
+	if re.Line != 2 || re.Col != "year" {
+		t.Fatalf("error %v, want line 2 column year", err)
+	}
+	if msg := err.Error(); !strings.Contains(msg, "line 2") || !strings.Contains(msg, `"year"`) {
+		t.Fatalf("message %q lacks line/column context", msg)
+	}
+	// Arity failures are caught by the CSV reader with a line number too.
+	if _, err := tbl.AppendCSV(strings.NewReader("Austin,2019,10\nSF,3\n")); err == nil ||
+		!strings.Contains(err.Error(), "line 2") {
+		t.Fatalf("arity error %v lacks line context", err)
+	}
+}
+
+func TestLoadCSVErrorContext(t *testing.T) {
+	// Row 3 of the stream (line 3, counting the header) breaks the int
+	// inference established by earlier rows... but LoadCSV infers types after
+	// reading, so force a hard failure instead: ragged arity.
+	_, err := LoadCSV(strings.NewReader("city,year\nSF,2018\nPortland\n"), "bad")
+	if err == nil {
+		t.Fatal("ragged CSV accepted")
+	}
+	if !strings.Contains(err.Error(), "line 3") {
+		t.Fatalf("error %q lacks the 1-based line number", err)
+	}
+}
+
+func TestConcatRemapsCodes(t *testing.T) {
+	tbl := testTable(t)
+	b := NewBuilder("more", []string{"city", "year", "stars"})
+	for _, r := range [][]string{
+		{"SF", "2019", "10"},
+		{"Austin", "2017", "3"},
+	} {
+		if err := b.AppendRow(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	other, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	grown, err := tbl.Concat(other)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if grown.NumRows() != 7 {
+		t.Fatalf("rows = %d", grown.NumRows())
+	}
+	city := grown.Cols[0]
+	// Row 5 is (SF, 2019, 10): SF keeps its original code 1 even though the
+	// other table encoded it differently.
+	var row [3]int32
+	grown.Row(5, row[:])
+	if city.Strs[row[0]] != "SF" || row[0] != 1 {
+		t.Fatalf("SF remapped to code %d (%q)", row[0], city.Strs[row[0]])
+	}
+	grown.Row(6, row[:])
+	if city.Strs[row[0]] != "Austin" || grown.Cols[1].Ints[row[1]] != 2017 {
+		t.Fatalf("row 6 decoded to (%q, %d)", city.Strs[row[0]], grown.Cols[1].Ints[row[1]])
+	}
+	// Kind mismatch is rejected.
+	b2 := NewBuilder("bad", []string{"a", "b", "c"})
+	if err := b2.AppendRow([]string{"x", "y", "z"}); err != nil {
+		t.Fatal(err)
+	}
+	bad, err := b2.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tbl.Concat(bad); err == nil {
+		t.Fatal("kind mismatch accepted")
+	}
+}
+
+// TestAppendKeepsSortedPrefixInvariant: an appended table still passes the
+// builder's validation rules (sorted prefix + bounded Ext).
+func TestAppendKeepsSortedPrefixInvariant(t *testing.T) {
+	tbl := testTable(t)
+	grown, err := tbl.AppendValues([][]string{{"Aurora", "1999", "10"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range grown.Cols {
+		if err := validateColumn(c); err != nil {
+			t.Fatalf("column %q: %v", c.Name, err)
+		}
+	}
+}

@@ -126,7 +126,8 @@ func encodeColumn(name string, vals []string) *Column {
 }
 
 // LoadCSV reads a CSV stream (with a header row naming the columns) into a
-// dictionary-encoded Table.
+// dictionary-encoded Table. Malformed records are rejected with their 1-based
+// line number (and the column name, where one is implicated).
 func LoadCSV(r io.Reader, name string) (*Table, error) {
 	cr := csv.NewReader(r)
 	cr.ReuseRecord = true
@@ -143,10 +144,12 @@ func LoadCSV(r io.Reader, name string) (*Table, error) {
 			break
 		}
 		if err != nil {
-			return nil, fmt.Errorf("table: reading CSV row: %w", err)
+			// csv.ParseError already reports the 1-based line number.
+			return nil, fmt.Errorf("table: reading CSV: %w", err)
 		}
 		if err := b.AppendRow(rec); err != nil {
-			return nil, err
+			line, _ := cr.FieldPos(0)
+			return nil, &RowError{Line: line, Err: err}
 		}
 	}
 	return b.Build()

@@ -39,8 +39,14 @@ func (k Kind) String() string {
 }
 
 // Column is one dictionary-encoded attribute. Exactly one of Ints, Floats, or
-// Strs is populated (per Kind) and holds the sorted distinct domain values;
-// Codes holds the per-row dictionary codes.
+// Strs is populated (per Kind) and holds the distinct domain values; Codes
+// holds the per-row dictionary codes.
+//
+// Freshly built dictionaries are fully sorted so code order is value order.
+// Online appends may encounter values outside the dictionary; re-sorting
+// would renumber codes already stored in tables and trained into models, so
+// unseen values are instead assigned the next free code and kept in an
+// arrival-ordered tail starting at index Ext (see AppendValues/Concat).
 type Column struct {
 	Name   string
 	Kind   Kind
@@ -48,6 +54,37 @@ type Column struct {
 	Floats []float64
 	Strs   []string
 	Codes  []int32
+	// Ext is the index where the arrival-ordered dictionary tail begins;
+	// values below it are sorted. 0 means the dictionary is fully sorted
+	// (domains are never empty, so index 0 can never start a tail).
+	Ext int
+}
+
+// sortedLen returns the length of the sorted dictionary prefix.
+func (c *Column) sortedLen() int {
+	if c.Ext == 0 {
+		return c.DomainSize()
+	}
+	return c.Ext
+}
+
+// Extended reports whether the dictionary carries an arrival-ordered tail of
+// appended values, i.e. code order no longer coincides with value order.
+func (c *Column) Extended() bool { return c.Ext > 0 }
+
+// Less reports whether code a's value orders strictly before code b's value.
+// On fully sorted dictionaries this coincides with a < b; on extended
+// dictionaries it consults the values, which query compilation needs to
+// evaluate range predicates over tail codes.
+func (c *Column) Less(a, b int32) bool {
+	switch c.Kind {
+	case KindInt:
+		return c.Ints[a] < c.Ints[b]
+	case KindFloat:
+		return c.Floats[a] < c.Floats[b]
+	default:
+		return c.Strs[a] < c.Strs[b]
+	}
 }
 
 // DomainSize returns |Ai|, the number of distinct values in the column.
@@ -74,48 +111,69 @@ func (c *Column) ValueString(code int32) string {
 	}
 }
 
-// CodeOfInt returns the code of an exact int64 domain value.
+// CodeOfInt returns the code of an exact int64 domain value: binary search
+// over the sorted prefix, then a linear scan of the arrival-ordered tail.
 func (c *Column) CodeOfInt(v int64) (int32, bool) {
-	i := sort.Search(len(c.Ints), func(i int) bool { return c.Ints[i] >= v })
-	if i < len(c.Ints) && c.Ints[i] == v {
+	s := c.sortedLen()
+	i := sort.Search(s, func(i int) bool { return c.Ints[i] >= v })
+	if i < s && c.Ints[i] == v {
 		return int32(i), true
+	}
+	for j := s; j < len(c.Ints); j++ {
+		if c.Ints[j] == v {
+			return int32(j), true
+		}
 	}
 	return 0, false
 }
 
 // CodeOfFloat returns the code of an exact float64 domain value.
 func (c *Column) CodeOfFloat(v float64) (int32, bool) {
-	i := sort.Search(len(c.Floats), func(i int) bool { return c.Floats[i] >= v })
-	if i < len(c.Floats) && c.Floats[i] == v {
+	s := c.sortedLen()
+	i := sort.Search(s, func(i int) bool { return c.Floats[i] >= v })
+	if i < s && c.Floats[i] == v {
 		return int32(i), true
+	}
+	for j := s; j < len(c.Floats); j++ {
+		if c.Floats[j] == v {
+			return int32(j), true
+		}
 	}
 	return 0, false
 }
 
 // CodeOfString returns the code of an exact string domain value.
 func (c *Column) CodeOfString(v string) (int32, bool) {
-	i := sort.SearchStrings(c.Strs, v)
-	if i < len(c.Strs) && c.Strs[i] == v {
+	s := c.sortedLen()
+	i := sort.Search(s, func(i int) bool { return c.Strs[i] >= v })
+	if i < s && c.Strs[i] == v {
 		return int32(i), true
+	}
+	for j := s; j < len(c.Strs); j++ {
+		if c.Strs[j] == v {
+			return int32(j), true
+		}
 	}
 	return 0, false
 }
 
-// LowerBoundInt returns the first code whose value is >= v (possibly
-// DomainSize() when every value is smaller). Because dictionaries are sorted,
-// this maps value-space range predicates onto half-open code ranges.
+// LowerBoundInt returns the first sorted-prefix code whose value is >= v
+// (possibly sortedLen() when every prefix value is smaller). Because the
+// prefix is sorted, this maps value-space range predicates onto half-open
+// code ranges; tail codes of extended dictionaries are not covered and must
+// be handled by value comparison (see Less).
 func (c *Column) LowerBoundInt(v int64) int32 {
-	return int32(sort.Search(len(c.Ints), func(i int) bool { return c.Ints[i] >= v }))
+	return int32(sort.Search(c.sortedLen(), func(i int) bool { return c.Ints[i] >= v }))
 }
 
 // LowerBoundFloat is LowerBoundInt for float domains.
 func (c *Column) LowerBoundFloat(v float64) int32 {
-	return int32(sort.Search(len(c.Floats), func(i int) bool { return c.Floats[i] >= v }))
+	return int32(sort.Search(c.sortedLen(), func(i int) bool { return c.Floats[i] >= v }))
 }
 
 // LowerBoundString is LowerBoundInt for string domains.
 func (c *Column) LowerBoundString(v string) int32 {
-	return int32(sort.SearchStrings(c.Strs, v))
+	return int32(sort.Search(c.sortedLen(), func(i int) bool { return c.Strs[i] >= v }))
 }
 
 // Table is a finite relation stored column-wise.
@@ -148,18 +206,23 @@ func validateColumn(c *Column) error {
 	if n == 0 {
 		return fmt.Errorf("column %q: empty domain", c.Name)
 	}
+	if c.Ext < 0 || c.Ext > n {
+		return fmt.Errorf("column %q: dictionary tail marker %d outside [0,%d]", c.Name, c.Ext, n)
+	}
+	s := c.sortedLen()
 	switch c.Kind {
 	case KindInt:
-		if !sort.SliceIsSorted(c.Ints, func(i, j int) bool { return c.Ints[i] < c.Ints[j] }) {
-			return fmt.Errorf("column %q: int domain not sorted", c.Name)
+		ints := c.Ints[:s]
+		if !sort.SliceIsSorted(ints, func(i, j int) bool { return ints[i] < ints[j] }) {
+			return fmt.Errorf("column %q: int domain prefix not sorted", c.Name)
 		}
 	case KindFloat:
-		if !sort.Float64sAreSorted(c.Floats) {
-			return fmt.Errorf("column %q: float domain not sorted", c.Name)
+		if !sort.Float64sAreSorted(c.Floats[:s]) {
+			return fmt.Errorf("column %q: float domain prefix not sorted", c.Name)
 		}
 	case KindString:
-		if !sort.StringsAreSorted(c.Strs) {
-			return fmt.Errorf("column %q: string domain not sorted", c.Name)
+		if !sort.StringsAreSorted(c.Strs[:s]) {
+			return fmt.Errorf("column %q: string domain prefix not sorted", c.Name)
 		}
 	}
 	for i, code := range c.Codes {

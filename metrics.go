@@ -35,11 +35,17 @@ func ServeMetrics(addr string, m *Metrics) (bound string, shutdown func() error,
 // SetMetrics attaches (or, with nil, detaches) a registry to the serving
 // path: every subsequent estimate increments the naru_query_* families and
 // leaves a trace record. Attach before serving; the registry is read by the
-// estimator's workers.
-func (e *Estimator) SetMetrics(m *Metrics) { e.sampler.SetObserver(m) }
+// estimator's workers, and follows the serving bundle across lifecycle
+// hot-swaps.
+func (e *Estimator) SetMetrics(m *Metrics) {
+	e.obsMu.Lock()
+	defer e.obsMu.Unlock()
+	e.obsReg = m
+	e.cur.Load().sampler.SetObserver(m)
+}
 
 // Metrics returns the attached registry (nil when observability is off).
-func (e *Estimator) Metrics() *Metrics { return e.sampler.Observer() }
+func (e *Estimator) Metrics() *Metrics { return e.cur.Load().sampler.Observer() }
 
 // FallbackObserved is Fallback with its calls counted and timed in m (metric
 // family estimator_postgres_*), so operators can audit how much traffic is

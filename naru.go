@@ -30,10 +30,13 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/colnet"
 	"repro/internal/core"
 	"repro/internal/estimator"
+	"repro/internal/lifecycle"
 	"repro/internal/made"
 	"repro/internal/query"
 	"repro/internal/table"
@@ -62,6 +65,14 @@ type (
 	ServeOptions = core.ServeOptions
 	// Source tags where a served estimate came from.
 	Source = core.Source
+	// DriftStatus is a point-in-time staleness reading of the lifecycle
+	// drift monitor (see Estimator.Drift).
+	DriftStatus = lifecycle.DriftStatus
+	// RefreshResult reports a completed lifecycle refresh (see RefreshCtx).
+	RefreshResult = lifecycle.RefreshResult
+	// VersionMeta describes one immutable model version in the lifecycle
+	// registry.
+	VersionMeta = lifecycle.VersionMeta
 )
 
 // Result provenance tags, re-exported from internal/core.
@@ -165,6 +176,47 @@ type Config struct {
 	// ServeMetrics. Collection never changes estimates or the training
 	// trajectory; nil (the default) disables it.
 	Metrics *Metrics
+
+	// Lifecycle, when non-nil, attaches a model-lifecycle manager to the
+	// built estimator: online row ingestion, drift detection against the
+	// training snapshot, checkpoint-resumable background refresh, and
+	// versioned hot-swap serving. Equivalent to calling EnableLifecycle on
+	// the estimator Build returns.
+	Lifecycle *LifecycleConfig
+}
+
+// LifecycleConfig tunes the model-lifecycle manager (Config.Lifecycle or
+// Estimator.EnableLifecycle). The zero value ingests and counts rows but
+// never marks the model stale; training hyperparameters for refreshes are
+// derived from the estimator's Config (half LR, a shifted seed).
+type LifecycleConfig struct {
+	// NLLThreshold marks the model Stale when appended rows' mean NLL
+	// exceeds the training-snapshot baseline by more than this many nats
+	// (<= 0 disables the signal).
+	NLLThreshold float64
+	// TVDThreshold marks the model Stale when any column's marginal
+	// total-variation distance between snapshot and appended rows exceeds
+	// it (<= 0 disables the signal).
+	TVDThreshold float64
+	// MinDriftRows is how many appended rows must accumulate before the
+	// thresholds are consulted (default 64).
+	MinDriftRows int
+	// RefreshAfter makes ShouldRefresh true once this many rows have been
+	// appended since the last refresh, drift or not (0 disables).
+	RefreshAfter int
+	// RefreshEpochs is the fine-tuning epoch budget per refresh (default 4).
+	RefreshEpochs int
+	// CheckpointPath, when set, makes refreshes durable and resumable: a
+	// cancelled refresh flushes its stopping point here and the next refresh
+	// resumes from it. Use a path private to the lifecycle.
+	CheckpointPath string
+	// CheckpointEvery is the refresh checkpoint cadence in steps (default
+	// 100, as in training).
+	CheckpointEvery int
+	// RegistryDir, when set, persists every swapped-in model version (and
+	// the bootstrap version) under this directory with an envelope-framed
+	// manifest.
+	RegistryDir string
 }
 
 // DefaultConfig returns sensible defaults for medium-size tables.
@@ -206,14 +258,56 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// Estimator is a trained Naru estimator bound to a table schema.
-type Estimator struct {
-	cfg     Config
+// estimatorVersion is one immutable serving bundle: a model, the sampler
+// wrapping it, and the schema facts queries need. Hot-swap replaces the whole
+// bundle through one atomic pointer, so a query that loaded a bundle keeps
+// model, sampler, domains, and row count mutually consistent for its entire
+// execution even while a new version is being installed.
+type estimatorVersion struct {
 	model   core.Trainable
 	sampler *core.Estimator
 	domains []int
 	numRows int64
+	id      uint64
 }
+
+// Estimator is a trained Naru estimator bound to a table schema. All query
+// methods are safe to call concurrently with InstallVersion (the lifecycle
+// hot-swap): readers run lock-free against the version bundle they loaded.
+type Estimator struct {
+	cfg Config
+	cur atomic.Pointer[estimatorVersion]
+
+	// obsMu serializes observer attachment against version installs so a
+	// freshly installed sampler never misses the registry.
+	obsMu  sync.Mutex
+	obsReg *Metrics
+
+	lc *lifecycle.Manager
+}
+
+// InstallVersion atomically replaces the serving bundle (the lifecycle.Target
+// contract). In-flight queries finish on the version they loaded; new queries
+// pick up the installed one. No lock is taken on the query path.
+func (e *Estimator) InstallVersion(m core.Trainable, rows int64, version uint64) {
+	s := core.NewEstimator(m, e.cfg.Samples, e.cfg.Seed+2)
+	e.obsMu.Lock()
+	defer e.obsMu.Unlock()
+	s.SetObserver(e.obsReg)
+	s.SetVersion(version)
+	e.cur.Store(&estimatorVersion{
+		model:   m,
+		sampler: s,
+		domains: m.DomainSizes(),
+		numRows: rows,
+		id:      version,
+	})
+}
+
+// ModelVersion returns the serving model's version id (1 for estimators
+// without a lifecycle manager; the registry id otherwise). Every Result and
+// query trace carries the id of the version that answered it.
+func (e *Estimator) ModelVersion() uint64 { return e.cur.Load().id }
 
 // ErrTrainingStopped is returned (wrapped) by Build when Config.
 // StopAfterSteps halted training before completion. The run is not a
@@ -229,31 +323,9 @@ func Build(t *Table, cfg Config) (*Estimator, error) {
 	if t.NumRows() == 0 {
 		return nil, fmt.Errorf("naru: empty table")
 	}
-	var m core.Trainable
-	switch cfg.Architecture {
-	case ArchMADE:
-		m = made.New(t.DomainSizes(), made.Config{
-			HiddenSizes:    cfg.HiddenSizes,
-			EmbedThreshold: cfg.EmbedThreshold,
-			EmbedDim:       cfg.EmbedDim,
-			Seed:           cfg.Seed,
-		})
-	case ArchColumnNet:
-		m = colnet.New(t.DomainSizes(), colnet.Config{
-			Hidden:         cfg.HiddenSizes[0],
-			Layers:         len(cfg.HiddenSizes),
-			EmbedThreshold: cfg.EmbedThreshold,
-			EmbedDim:       cfg.EmbedDim,
-			Seed:           cfg.Seed,
-		})
-	case ArchTransformer:
-		m = transformer.New(t.DomainSizes(), transformer.Config{
-			DModel: cfg.HiddenSizes[0],
-			Layers: len(cfg.HiddenSizes),
-			Seed:   cfg.Seed,
-		})
-	default:
-		return nil, fmt.Errorf("naru: unknown architecture %d", cfg.Architecture)
+	m, err := newModel(t.DomainSizes(), cfg)
+	if err != nil {
+		return nil, err
 	}
 	tc := core.TrainConfig{
 		Epochs: cfg.Epochs, BatchSize: cfg.BatchSize, LR: cfg.LR, Seed: cfg.Seed + 1,
@@ -279,28 +351,59 @@ func Build(t *Table, cfg Config) (*Estimator, error) {
 		}
 		return nil, fmt.Errorf("naru: training: %w", err)
 	}
-	return newEstimator(m, cfg, t), nil
+	e := newEstimator(m, cfg, int64(t.NumRows()))
+	if cfg.Lifecycle != nil {
+		if err := e.EnableLifecycle(t, *cfg.Lifecycle); err != nil {
+			return nil, err
+		}
+	}
+	return e, nil
 }
 
-func newEstimator(m core.Trainable, cfg Config, t *Table) *Estimator {
-	e := &Estimator{
-		cfg:     cfg,
-		model:   m,
-		sampler: core.NewEstimator(m, cfg.Samples, cfg.Seed+2),
-		domains: m.DomainSizes(),
-		numRows: int64(t.NumRows()),
+// newModel constructs an untrained model of the configured architecture over
+// the given domain sizes. The lifecycle Rebuild hook reuses it when appends
+// have grown the dictionaries beyond the active model's domains.
+func newModel(domains []int, cfg Config) (core.Trainable, error) {
+	switch cfg.Architecture {
+	case ArchMADE:
+		return made.New(domains, made.Config{
+			HiddenSizes:    cfg.HiddenSizes,
+			EmbedThreshold: cfg.EmbedThreshold,
+			EmbedDim:       cfg.EmbedDim,
+			Seed:           cfg.Seed,
+		}), nil
+	case ArchColumnNet:
+		return colnet.New(domains, colnet.Config{
+			Hidden:         cfg.HiddenSizes[0],
+			Layers:         len(cfg.HiddenSizes),
+			EmbedThreshold: cfg.EmbedThreshold,
+			EmbedDim:       cfg.EmbedDim,
+			Seed:           cfg.Seed,
+		}), nil
+	case ArchTransformer:
+		return transformer.New(domains, transformer.Config{
+			DModel: cfg.HiddenSizes[0],
+			Layers: len(cfg.HiddenSizes),
+			Seed:   cfg.Seed,
+		}), nil
 	}
-	e.sampler.SetObserver(cfg.Metrics)
+	return nil, fmt.Errorf("naru: unknown architecture %d", cfg.Architecture)
+}
+
+func newEstimator(m core.Trainable, cfg Config, rows int64) *Estimator {
+	e := &Estimator{cfg: cfg, obsReg: cfg.Metrics}
+	e.InstallVersion(m, rows, 1)
 	return e
 }
 
 // Selectivity estimates the fraction of rows satisfying the conjunction.
 func (e *Estimator) Selectivity(q Query) (float64, error) {
-	reg, err := e.compile(q)
+	v := e.cur.Load()
+	reg, err := compileFor(v, q)
 	if err != nil {
 		return 0, err
 	}
-	return e.sampler.EstimateRegion(reg), nil
+	return v.sampler.EstimateRegion(reg), nil
 }
 
 // SelectivityBatch estimates every query's selectivity, fanning the work
@@ -308,21 +411,22 @@ func (e *Estimator) Selectivity(q Query) (float64, error) {
 // positionally with qs and are bit-identical to sequential Selectivity calls
 // on a freshly built estimator with the same seed.
 func (e *Estimator) SelectivityBatch(qs []Query, workers int) ([]float64, error) {
+	v := e.cur.Load()
 	regs := make([]*Region, len(qs))
 	for i, q := range qs {
-		reg, err := e.compile(q)
+		reg, err := compileFor(v, q)
 		if err != nil {
 			return nil, fmt.Errorf("naru: query %d: %w", i, err)
 		}
 		regs[i] = reg
 	}
-	return e.sampler.EstimateBatch(regs, workers), nil
+	return v.sampler.EstimateBatch(regs, workers), nil
 }
 
 // EstimateBatch estimates pre-compiled regions concurrently; see
 // SelectivityBatch.
 func (e *Estimator) EstimateBatch(regs []*Region, workers int) []float64 {
-	return e.sampler.EstimateBatch(regs, workers)
+	return e.cur.Load().sampler.EstimateBatch(regs, workers)
 }
 
 // SelectivityBatchCtx is the fault-tolerant batch entry point: each query
@@ -333,21 +437,23 @@ func (e *Estimator) EstimateBatch(regs []*Region, workers int) []float64 {
 // query gets a Result tagged with its provenance; queries that complete their
 // full model budget are bit-identical to a sequential serve.
 func (e *Estimator) SelectivityBatchCtx(ctx context.Context, qs []Query, opts ServeOptions) ([]Result, error) {
+	v := e.cur.Load()
 	regs := make([]*Region, len(qs))
 	for i, q := range qs {
-		reg, err := e.compile(q)
+		reg, err := compileFor(v, q)
 		if err != nil {
 			return nil, fmt.Errorf("naru: query %d: %w", i, err)
 		}
 		regs[i] = reg
 	}
-	return e.sampler.EstimateBatchCtx(ctx, regs, opts), nil
+	return v.sampler.EstimateBatchCtx(ctx, regs, opts), nil
 }
 
 // EstimateBatchCtx serves pre-compiled regions with per-query fault
-// containment; see SelectivityBatchCtx.
+// containment; see SelectivityBatchCtx. The whole batch runs on one model
+// version — a hot-swap during the batch does not split it.
 func (e *Estimator) EstimateBatchCtx(ctx context.Context, regs []*Region, opts ServeOptions) []Result {
-	return e.sampler.EstimateBatchCtx(ctx, regs, opts)
+	return e.cur.Load().sampler.EstimateBatchCtx(ctx, regs, opts)
 }
 
 // Fallback builds a degradation target for ServeOptions.Fallback from the
@@ -360,13 +466,16 @@ func Fallback(t *Table) func(*Region) float64 {
 	return pg.EstimateRegion
 }
 
-// Cardinality estimates the number of rows satisfying the conjunction.
+// Cardinality estimates the number of rows satisfying the conjunction. The
+// selectivity and row count come from one bundle load, so a concurrent
+// hot-swap can never pair one version's selectivity with another's rows.
 func (e *Estimator) Cardinality(q Query) (float64, error) {
-	sel, err := e.Selectivity(q)
+	v := e.cur.Load()
+	reg, err := compileFor(v, q)
 	if err != nil {
 		return 0, err
 	}
-	return sel * float64(e.numRows), nil
+	return v.sampler.EstimateRegion(reg) * float64(v.numRows), nil
 }
 
 // SelectivityDisjunction estimates P(q1 ∨ q2 ∨ ...) for conjunctive queries
@@ -379,9 +488,10 @@ func (e *Estimator) SelectivityDisjunction(qs []Query) (float64, error) {
 	if len(qs) > 16 {
 		return 0, fmt.Errorf("naru: disjunction of %d branches needs 2^%d terms", len(qs), len(qs))
 	}
+	v := e.cur.Load()
 	regions := make([]*Region, len(qs))
 	for i, q := range qs {
-		reg, err := e.compile(q)
+		reg, err := compileFor(v, q)
 		if err != nil {
 			return 0, err
 		}
@@ -402,7 +512,7 @@ func (e *Estimator) SelectivityDisjunction(qs []Query) (float64, error) {
 				inter = inter.Intersect(regions[i])
 			}
 		}
-		sel := e.sampler.EstimateRegion(inter)
+		sel := v.sampler.EstimateRegion(inter)
 		if bits%2 == 1 {
 			total += sel
 		} else {
@@ -420,46 +530,76 @@ func (e *Estimator) SelectivityDisjunction(qs []Query) (float64, error) {
 
 // EstimateRegion estimates a pre-compiled region (the low-level entry point
 // shared with the benchmark harness).
-func (e *Estimator) EstimateRegion(reg *Region) float64 { return e.sampler.EstimateRegion(reg) }
+func (e *Estimator) EstimateRegion(reg *Region) float64 {
+	return e.cur.Load().sampler.EstimateRegion(reg)
+}
 
 // Name implements the benchmark estimator interface.
-func (e *Estimator) Name() string { return e.sampler.Name() }
+func (e *Estimator) Name() string { return e.cur.Load().sampler.Name() }
 
 // SizeBytes reports the model's uncompressed storage footprint.
-func (e *Estimator) SizeBytes() int64 { return e.model.SizeBytes() }
+func (e *Estimator) SizeBytes() int64 { return e.cur.Load().model.SizeBytes() }
 
 // EntropyGapBits reports the goodness-of-fit of §3.3 against a table:
 // H(P, P̂) − H(P) in bits (0 = perfect fit). Pass the training table, or
 // fresh data to measure staleness.
 func (e *Estimator) EntropyGapBits(t *Table) float64 {
-	return core.EntropyGap(e.model, t, 50000)
+	return core.EntropyGap(e.cur.Load().model, t, 50000)
 }
 
 // Refresh fine-tunes the model on (new) data for the given number of epochs,
-// the paper's answer to data drift (§6.7.3).
+// the paper's answer to data drift (§6.7.3). Cloneable architectures (MADE,
+// ColumnNet) fine-tune a private copy and hot-swap it in, so concurrent
+// queries never observe half-tuned weights; the Transformer tunes in place.
+// With a lifecycle manager attached, prefer RefreshCtx — it keeps the drift
+// baseline, registry, and version ids in step.
 func (e *Estimator) Refresh(t *Table, epochs int) {
 	if epochs <= 0 {
 		epochs = 1
 	}
-	core.Train(e.model, t, core.TrainConfig{
+	v := e.cur.Load()
+	m := v.model
+	if c, err := cloneModel(m); err == nil {
+		m = c
+	}
+	core.Train(m, t, core.TrainConfig{
 		Epochs: epochs, BatchSize: e.cfg.BatchSize, LR: e.cfg.LR / 2, Seed: e.cfg.Seed + 3,
 	})
-	e.numRows = int64(t.NumRows())
+	e.InstallVersion(m, int64(t.NumRows()), v.id+1)
+}
+
+// cloneModel deep-copies a model's parameters when the architecture supports
+// it (a serialization round-trip; see made.Clone / colnet.Clone).
+func cloneModel(m core.Trainable) (core.Trainable, error) {
+	c, ok := m.(interface{ CloneModel() (any, error) })
+	if !ok {
+		return nil, fmt.Errorf("naru: %T cannot be cloned", m)
+	}
+	v, err := c.CloneModel()
+	if err != nil {
+		return nil, err
+	}
+	t, ok := v.(core.Trainable)
+	if !ok {
+		return nil, fmt.Errorf("naru: %T.CloneModel result is not trainable", m)
+	}
+	return t, nil
 }
 
 // Save serializes the trained model to w. MADE and ColumnNet models are
 // persistable; the Transformer variant is an in-memory research architecture
 // and returns an error.
 func (e *Estimator) Save(w io.Writer) error {
+	v := e.cur.Load()
 	var arch Architecture
 	var save func(io.Writer) error
-	switch m := e.model.(type) {
+	switch m := v.model.(type) {
 	case *made.Model:
 		arch, save = ArchMADE, m.Save
 	case *colnet.Model:
 		arch, save = ArchColumnNet, m.Save
 	default:
-		return fmt.Errorf("naru: %T does not support Save", e.model)
+		return fmt.Errorf("naru: %T does not support Save", v.model)
 	}
 	if _, err := fmt.Fprintf(w, "naruv1 %d\n", arch); err != nil {
 		return err
@@ -468,7 +608,7 @@ func (e *Estimator) Save(w io.Writer) error {
 		return err
 	}
 	// Row count travels alongside the weights so Cardinality keeps working.
-	_, err := fmt.Fprintf(w, "%d\n", e.numRows)
+	_, err := fmt.Fprintf(w, "%d\n", v.numRows)
 	return err
 }
 
@@ -501,16 +641,7 @@ func LoadEstimator(r io.Reader, cfg Config) (*Estimator, error) {
 	if _, err := fmt.Fscanf(br, "%d\n", &rows); err != nil {
 		return nil, fmt.Errorf("naru: reading row count: %w", err)
 	}
-	cfg = cfg.withDefaults()
-	e := &Estimator{
-		cfg:     cfg,
-		model:   m,
-		sampler: core.NewEstimator(m, cfg.Samples, cfg.Seed+2),
-		domains: m.DomainSizes(),
-		numRows: rows,
-	}
-	e.sampler.SetObserver(cfg.Metrics)
-	return e, nil
+	return newEstimator(m, cfg.withDefaults(), rows), nil
 }
 
 // SampleTuples draws n tuples from the learned joint distribution,
@@ -518,18 +649,18 @@ func LoadEstimator(r io.Reader, cfg Config) (*Estimator, error) {
 // approximate-query-processing direction. The result is row-major with
 // stride NumCols.
 func (e *Estimator) SampleTuples(reg *Region, n int) []int32 {
-	return core.SampleTuples(e.model, reg, n, e.cfg.Seed+4)
+	return core.SampleTuples(e.cur.Load().model, reg, n, e.cfg.Seed+4)
 }
 
 // OutlierScores returns -log2 P̂(x) in bits for each of n row-major tuples:
 // high scores mark tuples the model finds unlikely (§8 outlier detection).
 func (e *Estimator) OutlierScores(codes []int32, n int) []float64 {
-	return core.OutlierScores(e.model, codes, n)
+	return core.OutlierScores(e.cur.Load().model, codes, n)
 }
 
-// compile lowers a query onto the estimator's schema.
-func (e *Estimator) compile(q Query) (*Region, error) {
-	return query.CompileDomains(q, e.domains)
+// compileFor lowers a query onto one version bundle's schema.
+func compileFor(v *estimatorVersion, q Query) (*Region, error) {
+	return query.CompileDomains(q, v.domains)
 }
 
 // Compile lowers a query against a table into a Region (exposed for use with

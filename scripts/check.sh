@@ -16,6 +16,13 @@
 # HTTP, and asserts the core metric families show up in the /metrics scrape —
 # then double-checks that -metrics-addr leaves estimate output byte-identical.
 #
+# `check.sh lifecycle` runs the model-lifecycle suite under the race
+# detector (ingestion/append, drift detection, refresh with resume, registry
+# corruption rejection, hot-swap bit-identity, serve endpoints), a short fuzz
+# pass over the registry manifest loader, and an online-ingestion smoke test:
+# serve with lifecycle flags, POST /append over HTTP until the background
+# refresh hot-swaps in version 2, then SIGTERM and require a clean exit.
+#
 # `check.sh train` is the end-to-end training-determinism gate: with
 # data-parallel sharding (-train-workers > 1), two identical runs must write
 # byte-identical model files, and a run interrupted with -stop-after and then
@@ -113,6 +120,81 @@ EOF
     diff "$tmp/plain.out" "$tmp/obs.out" || { echo "-metrics-addr perturbed estimates"; exit 1; }
 
     echo "check obs: OK"
+    exit 0
+fi
+
+if [ "${1:-}" = "lifecycle" ]; then
+    echo "== lifecycle suite (-race)"
+    go test -race -count=1 ./internal/lifecycle
+    go test -race -count=1 -run 'TestAppend|TestLoadCSVErrorContext|TestConcat' ./internal/table
+    go test -race -count=1 -run 'TestMaterializePropertyVsOracle|TestAppendThenJoinMatchesOracle' ./internal/join
+    go test -race -count=1 -run 'TestHotSwapConcurrentServing|TestFacadeLifecycleEndToEnd' .
+    go test -race -count=1 -run 'TestHealthz|TestServeLifecycleEndpoints' ./cmd/naru
+
+    fuzztime="${FUZZTIME:-10s}"
+    echo "== fuzz pass (${fuzztime})"
+    go test -run xxx -fuzz 'FuzzLoadManifest' -fuzztime "$fuzztime" ./internal/lifecycle
+
+    echo "== online ingestion smoke test"
+    tmp="$(mktemp -d)"
+    trap 'kill "${serve_pid:-}" 2>/dev/null || true; rm -rf "$tmp"' EXIT INT TERM
+
+    go build -o "$tmp/naru" ./cmd/naru
+
+    # A correlated table the appended rows will contradict.
+    awk 'BEGIN{
+        print "state,qty";
+        s[0]="NY"; s[1]="CA"; s[2]="WA"; s[3]="TX";
+        for (i = 0; i < 64; i++) print s[i%4] "," (i%4)*10
+    }' > "$tmp/data.csv"
+
+    echo "-- train"
+    "$tmp/naru" train -csv "$tmp/data.csv" -out "$tmp/model.naru" \
+        -epochs 2 -hidden 8,8 -samples 64 > /dev/null
+
+    echo "-- serve with online ingestion"
+    "$tmp/naru" serve -csv "$tmp/data.csv" -model "$tmp/model.naru" \
+        -samples 64 -addr 127.0.0.1:0 \
+        -refresh-after 8 -drift-threshold 0.05 -refresh-epochs 1 \
+        -registry "$tmp/registry" -lifecycle-checkpoint "$tmp/lc.ckpt" \
+        > "$tmp/serve.out" 2> "$tmp/serve.err" &
+    serve_pid=$!
+    for _ in $(seq 1 50); do
+        grep -q "serving on" "$tmp/serve.out" && break
+        kill -0 "$serve_pid" || { echo "serve exited early"; cat "$tmp/serve.err"; exit 1; }
+        sleep 0.1
+    done
+    serve_url="$(sed -n 's/^serving on \(http:\/\/[^/]*\).*/\1/p' "$tmp/serve.out")"
+    [ -n "$serve_url" ] || { echo "could not parse bound address"; exit 1; }
+    grep -q "lifecycle: ingestion enabled" "$tmp/serve.err" || { echo "lifecycle not enabled"; cat "$tmp/serve.err"; exit 1; }
+
+    echo "-- healthz, bootstrap registry"
+    curl -fsS "$serve_url/healthz" | grep -q '"status":"ok"'
+    curl -fsS "$serve_url/models" | grep -q '"active":1'
+
+    echo "-- append shifted rows until the refresh hot-swaps"
+    printf 'NY,30\nCA,0\nWA,10\nTX,20\nNY,30\nCA,0\nWA,10\nTX,20\n' > "$tmp/rows.csv"
+    # The append response carries the drift reading taken at ingest time; the
+    # live /drift endpoint may already be re-baselined by the refresh it kicks.
+    curl -fsS -X POST --data-binary @"$tmp/rows.csv" "$serve_url/append" \
+        | grep -q '"appended":8.*"appended_rows":8'
+    curl -fsS "$serve_url/drift" | grep -q '"stale":'
+    for _ in $(seq 1 100); do
+        grep -q "swapped in version 2" "$tmp/serve.err" && break
+        kill -0 "$serve_pid" || { echo "serve died mid-refresh"; cat "$tmp/serve.err"; exit 1; }
+        sleep 0.1
+    done
+    grep -q "swapped in version 2" "$tmp/serve.err" || { echo "refresh never swapped"; cat "$tmp/serve.err"; exit 1; }
+    curl -fsS "$serve_url/healthz" | grep -q '"model_version":2'
+    curl -fsS "$serve_url/models" | grep -q '"active":2'
+    curl -fsS --get "$serve_url/estimate" --data-urlencode "where=state=NY" | grep -q '"model_version":2'
+
+    echo "-- graceful shutdown on SIGTERM"
+    kill -TERM "$serve_pid"
+    wait "$serve_pid" || { echo "serve did not exit cleanly"; cat "$tmp/serve.err"; exit 1; }
+    serve_pid=""
+
+    echo "check lifecycle: OK"
     exit 0
 fi
 
