@@ -49,7 +49,9 @@ func main() {
 		}
 		ingested := full.SliceRows(0, hi)
 		if p > 1 {
-			refreshed.Refresh(ingested, 3)
+			if err := refreshed.Refresh(ingested, 3); err != nil {
+				log.Fatal(err)
+			}
 		}
 		staleErrs := evalAll(stale, queries, ingested)
 		freshErrs := evalAll(refreshed, queries, ingested)

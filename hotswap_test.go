@@ -64,7 +64,7 @@ func TestHotSwapConcurrentServing(t *testing.T) {
 		models[v] = c
 	}
 	for v, m := range models {
-		ref := newEstimator(m, cfg, rows)
+		ref := newEstimator(m, tbl, cfg, rows)
 		sels, err := ref.SelectivityBatch(qs, 1)
 		if err != nil {
 			t.Fatal(err)
@@ -134,7 +134,7 @@ func TestHotSwapConcurrentServing(t *testing.T) {
 	}
 	for v := uint64(2); v <= 4; v++ {
 		time.Sleep(5 * time.Millisecond)
-		est.InstallVersion(models[v], rows, v)
+		est.InstallVersion(models[v], tbl, rows, v)
 	}
 	time.Sleep(5 * time.Millisecond)
 	close(stop)
@@ -153,6 +153,81 @@ func TestHotSwapConcurrentServing(t *testing.T) {
 		t.Fatalf("post-swap version %d (estimator says %d)", post[0].ModelVersion, est.ModelVersion())
 	}
 	if err := checkBatch(post); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRangeQueryValueOrderAfterExtension is the append-then-query regression:
+// appended rows introduce an unseen value that sorts BEFORE the whole existing
+// domain, a rebuild refresh grows the model over the extended dictionary, and
+// range predicates on the serving path must then compare by value — in pure
+// code order the arrival-ordered tail code (numerically the largest) would
+// land on the wrong side of every range.
+func TestRangeQueryValueOrderAfterExtension(t *testing.T) {
+	tbl := facadeTable(t, 1000)
+	cfg := hotswapConfig()
+	cfg.Epochs = 1
+	cfg.Lifecycle = &LifecycleConfig{RefreshEpochs: 1}
+	est, err := Build(tbl, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// a = -1 is unseen and sorts before every existing a ∈ [0,6).
+	rows := make([][]string, 96)
+	for i := range rows {
+		rows[i] = []string{"-1", strconv.Itoa(i % 9), strconv.Itoa(i % 4)}
+	}
+	if _, err := est.Append(rows); err != nil {
+		t.Fatal(err)
+	}
+	res, err := est.RefreshCtx(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Rebuilt {
+		t.Fatal("dictionary extension did not force a rebuild refresh")
+	}
+
+	snap := est.Lifecycle().Snapshot()
+	tail, ok := snap.Cols[0].CodeOfInt(-1)
+	if !ok {
+		t.Fatal("appended value -1 missing from the dictionary")
+	}
+	if !snap.Cols[0].Extended() || int(tail) < snap.Cols[0].Ext {
+		t.Fatalf("value -1 got code %d, want an arrival-ordered tail code (Ext %d)", tail, snap.Cols[0].Ext)
+	}
+
+	// a <= 2 (literal code 2 = value 2) must admit the tail code; a >= 2 must
+	// not. Both are checked against the table-aware reference compiler.
+	le := Query{Preds: []Predicate{{Col: 0, Op: OpLe, Code: 2}}}
+	ge := Query{Preds: []Predicate{{Col: 0, Op: OpGe, Code: 2}}}
+	for _, tc := range []struct {
+		q        Query
+		wantTail bool
+	}{{le, true}, {ge, false}} {
+		reg, err := compileFor(est.cur.Load(), tc.q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := reg.Cols[0].Valid[tail]; got != tc.wantTail {
+			t.Fatalf("%s: tail code %d (value -1) valid=%v, want %v",
+				tc.q.String(snap), tail, got, tc.wantTail)
+		}
+		want, err := Compile(tc.q, snap)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for c := range reg.Cols[0].Valid {
+			if reg.Cols[0].Valid[c] != want.Cols[0].Valid[c] {
+				t.Fatalf("%s: serving compile disagrees with table compile at code %d",
+					tc.q.String(snap), c)
+			}
+		}
+	}
+
+	// The full serving path answers on the extended schema without error.
+	if _, err := est.Selectivity(le); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -230,6 +305,15 @@ func TestFacadeLifecycleEndToEnd(t *testing.T) {
 	}
 	if want := float64(tbl.NumRows()); card <= want {
 		t.Fatalf("cardinality %v does not reflect the %d appended rows", card, added)
+	}
+
+	// Legacy Refresh must refuse rather than install a version id behind the
+	// registry's back and strand the drift baseline.
+	if err := est.Refresh(tbl, 1); err == nil {
+		t.Fatal("legacy Refresh on a lifecycle estimator did not error")
+	}
+	if est.ModelVersion() != 2 {
+		t.Fatalf("refused Refresh still moved the version to %d", est.ModelVersion())
 	}
 
 	// Lifecycle disabled: the facade methods say so.

@@ -29,9 +29,12 @@ import (
 // version they loaded, new queries pick up the installed one, and no lock
 // ever appears on the query path.
 type Target interface {
-	// InstallVersion atomically replaces the serving model bundle. rows is
-	// the row count of the snapshot the model covers; version its registry id.
-	InstallVersion(m core.Trainable, rows int64, version uint64)
+	// InstallVersion atomically replaces the serving model bundle. snap is
+	// the table snapshot the model was trained on — the serving side compiles
+	// range predicates against its dictionaries, so value order survives
+	// online dictionary extension; rows is the snapshot's row count and
+	// version the model's registry id.
+	InstallVersion(m core.Trainable, snap *table.Table, rows int64, version uint64)
 }
 
 // Config tunes a lifecycle Manager. The zero value disables drift thresholds
@@ -158,7 +161,7 @@ func NewManager(model core.Trainable, t *table.Table, cfg Config, target Target)
 		m.version = meta.ID
 	}
 	if target != nil {
-		target.InstallVersion(model, int64(t.NumRows()), m.version)
+		target.InstallVersion(model, t, int64(t.NumRows()), m.version)
 	}
 	m.o.modelVersion.Set(float64(m.version))
 	m.o.snapshotRows.Set(float64(t.NumRows()))
@@ -230,9 +233,10 @@ func (m *Manager) StagedRows() int {
 
 // Flush applies every staged batch in arrival order and publishes the grown
 // snapshot atomically, then folds the new rows into the drift monitor. On
-// error nothing is published and the staged buffer is preserved for
-// inspection (a bad batch rejects the whole flush — appends are transactional
-// at flush granularity). Returns the number of rows appended.
+// error nothing is published, the offending batch is dropped from the staged
+// buffer, and the healthy batches around it stay staged for the next Flush —
+// keeping a bad batch would make every later flush re-apply it and fail,
+// permanently poisoning ingestion. Returns the number of rows appended.
 func (m *Manager) Flush() (int, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -246,14 +250,21 @@ func (m *Manager) flushLocked() (int, error) {
 	cur := m.snap.Load()
 	nt := cur
 	var err error
-	for _, b := range m.staged {
+	for i, b := range m.staged {
 		if b.codes != nil {
 			nt, err = nt.AppendCodes(b.codes, b.n)
 		} else {
 			nt, err = nt.AppendValues(b.vals)
 		}
 		if err != nil {
-			return 0, err
+			bad := b.n
+			if b.codes == nil {
+				bad = len(b.vals)
+			}
+			m.staged = append(m.staged[:i], m.staged[i+1:]...)
+			m.nStaged -= bad
+			m.o.stagedRows.Set(float64(m.nStaged))
+			return 0, fmt.Errorf("lifecycle: flush: batch of %d rows rejected (dropped from the staged buffer): %w", bad, err)
 		}
 	}
 	added := nt.NumRows() - cur.NumRows()

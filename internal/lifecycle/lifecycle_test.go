@@ -19,14 +19,16 @@ type testTarget struct {
 	mu       sync.Mutex
 	installs []uint64
 	model    core.Trainable
+	snap     *table.Table
 	rows     int64
 }
 
-func (t *testTarget) InstallVersion(m core.Trainable, rows int64, version uint64) {
+func (t *testTarget) InstallVersion(m core.Trainable, snap *table.Table, rows int64, version uint64) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	t.installs = append(t.installs, version)
 	t.model = m
+	t.snap = snap
 	t.rows = rows
 }
 
@@ -93,7 +95,9 @@ func TestManagerIngestAndSnapshotIsolation(t *testing.T) {
 		t.Fatalf("pre-flush snapshot grew to %d rows", served.NumRows())
 	}
 
-	// A bad batch rejects the whole flush and publishes nothing.
+	// A bad batch rejects the flush, publishes nothing, and is dropped from
+	// the staged buffer — keeping it would make every later flush re-apply it
+	// and fail, poisoning ingestion permanently.
 	if err := mgr.StageValues([][]string{{"3", "1"}, {"zzz", "0"}}); err != nil {
 		t.Fatal(err)
 	}
@@ -103,8 +107,32 @@ func TestManagerIngestAndSnapshotIsolation(t *testing.T) {
 	if mgr.Snapshot().NumRows() != 131 {
 		t.Fatal("failed flush published rows")
 	}
-	if mgr.StagedRows() == 0 {
-		t.Fatal("failed flush dropped the staged buffer")
+	if mgr.StagedRows() != 0 {
+		t.Fatalf("failed flush kept %d poisoned rows staged", mgr.StagedRows())
+	}
+
+	// Healthy batches staged alongside a poisoned one survive it, and the
+	// next flush applies them.
+	if err := mgr.StageCodes([]int32{1, 1}, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := mgr.StageCodes([]int32{99, 99}, 1); err != nil { // outside both domains
+		t.Fatal(err)
+	}
+	if _, err := mgr.Flush(); err == nil {
+		t.Fatal("out-of-domain codes flushed")
+	}
+	if mgr.StagedRows() != 1 || mgr.Snapshot().NumRows() != 131 {
+		t.Fatalf("after poisoned flush: staged %d, snapshot %d rows",
+			mgr.StagedRows(), mgr.Snapshot().NumRows())
+	}
+	added, err = mgr.Flush()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if added != 1 || mgr.Snapshot().NumRows() != 132 || mgr.StagedRows() != 0 {
+		t.Fatalf("recovery flush: added %d, snapshot %d rows, staged %d",
+			added, mgr.Snapshot().NumRows(), mgr.StagedRows())
 	}
 }
 

@@ -177,7 +177,7 @@ func (m *Manager) Refresh(ctx context.Context) (*RefreshResult, error) {
 	m.mu.Unlock()
 
 	if m.target != nil {
-		m.target.InstallVersion(cand, int64(snap.NumRows()), id)
+		m.target.InstallVersion(cand, snap, int64(snap.NumRows()), id)
 	}
 	m.o.swaps.Inc()
 	m.o.modelVersion.Set(float64(id))

@@ -146,6 +146,22 @@ func CompileDomains(q Query, domains []int) (*Region, error) {
 	return compile(q, domains, nil)
 }
 
+// CompileSnapshot lowers a conjunction onto the model's domain sizes while
+// taking value order from t's dictionaries. It is the serving-path compiler
+// for lifecycle estimators: domains is the model's view (literals past it are
+// rejected — the model assigns those codes no mass), while t may carry
+// arrival-ordered dictionary tails from online appends, where range operators
+// must compare by value rather than by code position.
+func CompileSnapshot(q Query, domains []int, t *table.Table) (*Region, error) {
+	if t == nil {
+		return compile(q, domains, nil)
+	}
+	if len(domains) != t.NumCols() {
+		return nil, fmt.Errorf("query: %d model domains over a %d-column snapshot", len(domains), t.NumCols())
+	}
+	return compile(q, domains, t)
+}
+
 func compile(q Query, domains []int, t *table.Table) (*Region, error) {
 	reg := &Region{Cols: make([]ColumnRange, len(domains))}
 	for i, d := range domains {

@@ -267,6 +267,11 @@ type estimatorVersion struct {
 	model   core.Trainable
 	sampler *core.Estimator
 	domains []int
+	// snap is the table snapshot the model was trained on (nil for estimators
+	// loaded from disk without their table). compileFor consults its
+	// dictionaries so range predicates keep their value order even after
+	// online appends have extended a dictionary with an arrival-ordered tail.
+	snap    *Table
 	numRows int64
 	id      uint64
 }
@@ -287,9 +292,13 @@ type Estimator struct {
 }
 
 // InstallVersion atomically replaces the serving bundle (the lifecycle.Target
-// contract). In-flight queries finish on the version they loaded; new queries
-// pick up the installed one. No lock is taken on the query path.
-func (e *Estimator) InstallVersion(m core.Trainable, rows int64, version uint64) {
+// contract). snap is the table snapshot the model was trained on — queries
+// compile range predicates against its dictionaries, so extended-dictionary
+// columns keep their value order (nil falls back to pure code-order
+// compilation, exact while dictionaries are fully sorted). In-flight queries
+// finish on the version they loaded; new queries pick up the installed one.
+// No lock is taken on the query path.
+func (e *Estimator) InstallVersion(m core.Trainable, snap *Table, rows int64, version uint64) {
 	s := core.NewEstimator(m, e.cfg.Samples, e.cfg.Seed+2)
 	e.obsMu.Lock()
 	defer e.obsMu.Unlock()
@@ -299,6 +308,7 @@ func (e *Estimator) InstallVersion(m core.Trainable, rows int64, version uint64)
 		model:   m,
 		sampler: s,
 		domains: m.DomainSizes(),
+		snap:    snap,
 		numRows: rows,
 		id:      version,
 	})
@@ -351,7 +361,7 @@ func Build(t *Table, cfg Config) (*Estimator, error) {
 		}
 		return nil, fmt.Errorf("naru: training: %w", err)
 	}
-	e := newEstimator(m, cfg, int64(t.NumRows()))
+	e := newEstimator(m, t, cfg, int64(t.NumRows()))
 	if cfg.Lifecycle != nil {
 		if err := e.EnableLifecycle(t, *cfg.Lifecycle); err != nil {
 			return nil, err
@@ -390,9 +400,9 @@ func newModel(domains []int, cfg Config) (core.Trainable, error) {
 	return nil, fmt.Errorf("naru: unknown architecture %d", cfg.Architecture)
 }
 
-func newEstimator(m core.Trainable, cfg Config, rows int64) *Estimator {
+func newEstimator(m core.Trainable, snap *Table, cfg Config, rows int64) *Estimator {
 	e := &Estimator{cfg: cfg, obsReg: cfg.Metrics}
-	e.InstallVersion(m, rows, 1)
+	e.InstallVersion(m, snap, rows, 1)
 	return e
 }
 
@@ -551,9 +561,18 @@ func (e *Estimator) EntropyGapBits(t *Table) float64 {
 // the paper's answer to data drift (§6.7.3). Cloneable architectures (MADE,
 // ColumnNet) fine-tune a private copy and hot-swap it in, so concurrent
 // queries never observe half-tuned weights; the Transformer tunes in place.
-// With a lifecycle manager attached, prefer RefreshCtx — it keeps the drift
-// baseline, registry, and version ids in step.
-func (e *Estimator) Refresh(t *Table, epochs int) {
+//
+// With a lifecycle manager attached, Refresh refuses and returns an error:
+// installing a version id outside the registry's control would collide with
+// registry-assigned ids and leave the manager's drift baseline pointing at
+// the pre-refresh model (a later lifecycle refresh would then clone the stale
+// weights and silently discard this fine-tune). Ingest through Append and
+// refresh through RefreshCtx instead — they keep the snapshot, registry, and
+// version ids in step.
+func (e *Estimator) Refresh(t *Table, epochs int) error {
+	if e.lc != nil {
+		return errors.New("naru: estimator has a lifecycle manager; ingest with Append and refresh with RefreshCtx")
+	}
 	if epochs <= 0 {
 		epochs = 1
 	}
@@ -565,7 +584,8 @@ func (e *Estimator) Refresh(t *Table, epochs int) {
 	core.Train(m, t, core.TrainConfig{
 		Epochs: epochs, BatchSize: e.cfg.BatchSize, LR: e.cfg.LR / 2, Seed: e.cfg.Seed + 3,
 	})
-	e.InstallVersion(m, int64(t.NumRows()), v.id+1)
+	e.InstallVersion(m, t, int64(t.NumRows()), v.id+1)
+	return nil
 }
 
 // cloneModel deep-copies a model's parameters when the architecture supports
@@ -641,7 +661,7 @@ func LoadEstimator(r io.Reader, cfg Config) (*Estimator, error) {
 	if _, err := fmt.Fscanf(br, "%d\n", &rows); err != nil {
 		return nil, fmt.Errorf("naru: reading row count: %w", err)
 	}
-	return newEstimator(m, cfg.withDefaults(), rows), nil
+	return newEstimator(m, nil, cfg.withDefaults(), rows), nil
 }
 
 // SampleTuples draws n tuples from the learned joint distribution,
@@ -658,9 +678,14 @@ func (e *Estimator) OutlierScores(codes []int32, n int) []float64 {
 	return core.OutlierScores(e.cur.Load().model, codes, n)
 }
 
-// compileFor lowers a query onto one version bundle's schema.
+// compileFor lowers a query onto one version bundle's schema. With the
+// bundle's training snapshot at hand, range predicates are compared in value
+// order via the snapshot's dictionaries — required once online appends have
+// extended a dictionary with an arrival-ordered tail, where code order is no
+// longer value order. Snapshot-less bundles (estimators loaded from disk)
+// compile in pure code space, exact while dictionaries are fully sorted.
 func compileFor(v *estimatorVersion, q Query) (*Region, error) {
-	return query.CompileDomains(q, v.domains)
+	return query.CompileSnapshot(q, v.domains, v.snap)
 }
 
 // Compile lowers a query against a table into a Region (exposed for use with

@@ -191,7 +191,9 @@ func TestRefreshImprovesOnNewData(t *testing.T) {
 		t.Fatal(err)
 	}
 	before := est.EntropyGapBits(full)
-	est.Refresh(full, 10)
+	if err := est.Refresh(full, 10); err != nil {
+		t.Fatal(err)
+	}
 	after := est.EntropyGapBits(full)
 	if after >= before {
 		t.Fatalf("refresh did not reduce staleness: %.3f → %.3f bits", before, after)
