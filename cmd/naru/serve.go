@@ -46,6 +46,9 @@ func cmdServe(args []string, stdout, stderr io.Writer) error {
 	samples := fs.Int("samples", 2000, "progressive samples per query")
 	timeout := fs.Duration("timeout", 0, "per-query deadline (0 = none); expiring degrades the sample budget")
 	fallback := fs.Bool("fallback", false, "answer failed queries from 1D statistics")
+	batchWindow := fs.Duration("batch-window", 0, "coalesce concurrent requests arriving within this window into fused batches (0 = serve each request alone)")
+	maxInflight := fs.Int("max-inflight", 2, "concurrent fused dispatches when coalescing; excess batches queue, and a full queue sheds to the fallback")
+	targetStderr := fs.Float64("target-stderr", 0, "stop sampling early once the relative standard error reaches this target (0 = always run the full budget)")
 	refreshAfter := fs.Int("refresh-after", 0, "refresh after this many appended rows (0 = only on drift)")
 	driftThreshold := fs.Float64("drift-threshold", 0, "mark the model stale when appended rows' mean NLL exceeds the training baseline by this many nats")
 	tvdThreshold := fs.Float64("tvd-threshold", 0, "mark the model stale when any column's marginal TV distance exceeds this")
@@ -89,7 +92,7 @@ func cmdServe(args []string, stdout, stderr io.Writer) error {
 		}
 		fmt.Fprintf(stderr, "lifecycle: ingestion enabled (version %d)\n", est.ModelVersion())
 	}
-	opts := naru.ServeOptions{Deadline: *timeout}
+	opts := naru.ServeOptions{Deadline: *timeout, TargetRelStdErr: *targetStderr}
 	if *fallback {
 		opts.Fallback = naru.FallbackObserved(t, metrics.reg)
 	}
@@ -100,6 +103,15 @@ func cmdServe(args []string, stdout, stderr io.Writer) error {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	h := &serveHandler{est: est, t: t, opts: opts}
+	if *batchWindow > 0 {
+		h.coal = est.NewCoalescer(naru.CoalesceOptions{
+			Window:      *batchWindow,
+			MaxInFlight: *maxInflight,
+			Serve:       opts,
+		})
+		defer h.coal.Close()
+		fmt.Fprintf(stderr, "coalescing: window %v, max in-flight %d\n", *batchWindow, *maxInflight)
+	}
 	var refreshWG sync.WaitGroup
 	h.onAppend = func() { kickRefresh(ctx, est, &refreshWG, stderr) }
 
@@ -235,6 +247,7 @@ type estimateResponse struct {
 	ModelVersion uint64  `json:"model_version,omitempty"`
 	StdErr       float64 `json:"stderr,omitempty"`
 	Samples      int     `json:"samples,omitempty"`
+	StopReason   string  `json:"stop_reason,omitempty"`
 	Err          string  `json:"err,omitempty"`
 }
 
@@ -251,6 +264,7 @@ type serveHandler struct {
 	est      *naru.Estimator
 	t        *table.Table // boot-time snapshot, used when lifecycle is off
 	opts     naru.ServeOptions
+	coal     *naru.Coalescer // non-nil routes /estimate through fused batching
 	onAppend func()
 }
 
@@ -306,16 +320,24 @@ func (h *serveHandler) handleEstimate(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, fmt.Sprintf("bad query %q: %v", where, err), http.StatusBadRequest)
 		return
 	}
-	// One query per request: the per-request deadline and fallback come
-	// from the service options, cancellation from the client connection.
-	perReq := h.opts
-	perReq.Workers = 1
-	results, err := h.est.SelectivityBatchCtx(r.Context(), []naru.Query{q}, perReq)
-	if err != nil {
-		http.Error(w, err.Error(), http.StatusInternalServerError)
-		return
+	var res naru.Result
+	if h.coal != nil {
+		// Coalesced: the request joins whatever fused batch is forming. The
+		// answer is bit-identical to serving it alone (the fused scheduler's
+		// determinism contract), only the scheduling changes.
+		res = h.coal.Estimate(r.Context(), q)
+	} else {
+		// One query per request: the per-request deadline and fallback come
+		// from the service options, cancellation from the client connection.
+		perReq := h.opts
+		perReq.Workers = 1
+		results, err := h.est.SelectivityBatchCtx(r.Context(), []naru.Query{q}, perReq)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		res = results[0]
 	}
-	res := results[0]
 	resp := estimateResponse{
 		Query:        q.String(t),
 		Sel:          res.Sel,
@@ -324,6 +346,7 @@ func (h *serveHandler) handleEstimate(w http.ResponseWriter, r *http.Request) {
 		ModelVersion: res.ModelVersion,
 		StdErr:       res.StdErr,
 		Samples:      res.Samples,
+		StopReason:   res.Stop.String(),
 	}
 	if res.Err != nil {
 		resp.Err = res.Err.Error()

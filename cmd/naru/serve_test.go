@@ -9,6 +9,7 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 
 	naru "repro"
 )
@@ -93,6 +94,50 @@ func TestEstimateHandler(t *testing.T) {
 	}
 	if snap.TraceTotal != 1 {
 		t.Fatalf("trace total = %d, want 1", snap.TraceTotal)
+	}
+}
+
+// TestEstimateHandlerCoalesced: routing /estimate through the request
+// coalescer returns the same JSON answer (bit-identical estimate fields) as
+// the direct per-request path on an identically trained model.
+func TestEstimateHandlerCoalesced(t *testing.T) {
+	where := "/estimate?where=" + url.QueryEscape("state=NY AND qty<=30")
+	fetch := func(h http.Handler) estimateResponse {
+		t.Helper()
+		srv := httptest.NewServer(h)
+		defer srv.Close()
+		resp, err := http.Get(srv.URL + where)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("status %d", resp.StatusCode)
+		}
+		var got estimateResponse
+		if err := json.NewDecoder(resp.Body).Decode(&got); err != nil {
+			t.Fatal(err)
+		}
+		return got
+	}
+
+	est, tbl, _ := buildServeFixture(t)
+	want := fetch(newEstimateHandler(est, tbl, naru.ServeOptions{}))
+
+	est2, tbl2, _ := buildServeFixture(t)
+	h := &serveHandler{est: est2, t: tbl2, opts: naru.ServeOptions{}}
+	h.coal = est2.NewCoalescer(naru.CoalesceOptions{Window: time.Millisecond})
+	defer h.coal.Close()
+	got := fetch(h.mux())
+
+	if got.Source != "model" || got.Err != "" {
+		t.Fatalf("coalesced response %+v", got)
+	}
+	if got.Sel != want.Sel || got.StdErr != want.StdErr || got.Samples != want.Samples {
+		t.Fatalf("coalesced answer %+v differs from direct %+v", got, want)
+	}
+	if got.StopReason != "" {
+		t.Fatalf("full-budget answer carries stop reason %q", got.StopReason)
 	}
 }
 

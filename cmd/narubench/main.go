@@ -35,6 +35,9 @@ func main() {
 	flag.BoolVar(&cfg.Quiet, "quiet", false, "suppress progress lines")
 	flag.IntVar(&cfg.Workers, "workers", 0, "concurrent query workers for batch serving (0 = NumCPU)")
 	flag.StringVar(&cfg.BenchOut, "bench-out", "", "benchmark JSON output path (default BENCH_<experiment>.json)")
+	history := flag.String("history", "", "append each experiment's benchmark entries (with commit + timestamp) to this JSON history file")
+	checkRegression := flag.Bool("check-regression", false, "with -history: fail if any gated metric regressed more than -regression-tol vs the last recorded entry")
+	regressionTol := flag.Float64("regression-tol", 0.10, "maximum tolerated fractional regression for -check-regression")
 	metricsAddr := flag.String("metrics-addr", "", "serve /metrics, /traces, /debug/pprof on this address during the run")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: narubench [flags] <experiment>...\n")
@@ -99,6 +102,27 @@ func main() {
 		if !cfg.Quiet {
 			fmt.Fprintf(out, "# %s finished in %v\n", name, time.Since(start).Round(time.Second))
 		}
+		if *history == "" {
+			return
+		}
+		benchPath := cfg.BenchOut
+		if benchPath == "" {
+			benchPath = "BENCH_" + name + ".json"
+		}
+		if _, err := os.Stat(benchPath); err != nil {
+			return // experiment wrote no benchmark JSON; nothing to record
+		}
+		if *checkRegression {
+			if err := bench.CheckRegression(*history, benchPath, name, *regressionTol); err != nil {
+				fmt.Fprintf(os.Stderr, "narubench: %v\n", err)
+				os.Exit(1)
+			}
+		}
+		if err := bench.AppendHistory(*history, benchPath, name); err != nil {
+			fmt.Fprintf(os.Stderr, "narubench: recording history: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(out, "recorded %s in %s\n", benchPath, *history)
 	}
 	for _, name := range args {
 		if name == "all" {

@@ -1,0 +1,213 @@
+package naru
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"time"
+)
+
+// ErrShed tags a query rejected by the coalescer's admission control: the
+// backlog exceeded CoalesceOptions.MaxQueue, so the query was answered by the
+// 1D-statistics fallback (or failed, when none is configured) without ever
+// reaching the model.
+var ErrShed = errors.New("naru: backlog full, query shed")
+
+// ErrCoalescerClosed is returned for queries submitted after Close.
+var ErrCoalescerClosed = errors.New("naru: coalescer closed")
+
+// CoalesceOptions tunes the request coalescer (Estimator.NewCoalescer).
+type CoalesceOptions struct {
+	// Window is the micro-batch window: the first query to arrive at an empty
+	// queue waits at most this long for peers before dispatch (default 2ms).
+	Window time.Duration
+	// MaxBatch dispatches a batch immediately once this many queries are
+	// queued, without waiting out the window (default 64).
+	MaxBatch int
+	// MaxInFlight caps concurrent fused dispatches; batches beyond the cap
+	// queue for a slot (default 2).
+	MaxInFlight int
+	// MaxQueue is the admission-control threshold: once this many queries are
+	// enqueued-but-not-yet-executing, new arrivals are shed to the fallback
+	// (default 256).
+	MaxQueue int
+	// Serve configures each fused dispatch: target stderr, per-query
+	// deadline, fallback. Workers is ignored (the fused scheduler replaces
+	// worker fan-out); Serve.Fallback also answers shed queries.
+	Serve ServeOptions
+}
+
+func (o CoalesceOptions) withDefaults() CoalesceOptions {
+	if o.Window <= 0 {
+		o.Window = 2 * time.Millisecond
+	}
+	if o.MaxBatch <= 0 {
+		o.MaxBatch = 64
+	}
+	if o.MaxInFlight <= 0 {
+		o.MaxInFlight = 2
+	}
+	if o.MaxQueue <= 0 {
+		o.MaxQueue = 256
+	}
+	return o
+}
+
+type coalesceReq struct {
+	q  Query
+	ch chan Result // buffered(1): dispatch never blocks on an abandoned caller
+}
+
+// Coalescer batches concurrent single-query requests into fused cross-query
+// dispatches: requests arriving within a micro-batch window are compiled and
+// served together through EstimateFused, so their progressive-sampling chunks
+// share tall model batches instead of each paying the per-column fixed costs
+// alone. Results are bit-identical to serving each query alone (the fused
+// scheduler's determinism contract), so coalescing changes latency and
+// throughput, never answers.
+//
+// Each dispatch loads the serving bundle once, so every query in a batch is
+// compiled and estimated against the same model version even across a
+// concurrent hot-swap. Safe for concurrent use.
+type Coalescer struct {
+	e    *Estimator
+	opts CoalesceOptions
+	sem  chan struct{} // MaxInFlight slots
+
+	mu      sync.Mutex
+	queue   []coalesceReq
+	timer   *time.Timer
+	pending int // enqueued or waiting for an in-flight slot
+	closed  bool
+}
+
+// NewCoalescer builds a request coalescer over the estimator. Close it when
+// done to flush the last partial batch.
+func (e *Estimator) NewCoalescer(opts CoalesceOptions) *Coalescer {
+	opts = opts.withDefaults()
+	return &Coalescer{
+		e:    e,
+		opts: opts,
+		sem:  make(chan struct{}, opts.MaxInFlight),
+	}
+}
+
+// Estimate submits one query and blocks until its batch is served, the
+// context is cancelled, or admission control sheds it. The returned Result
+// carries the same provenance tags as EstimateBatchCtx, plus Stop == StopShed
+// (with ErrShed) for shed queries.
+func (c *Coalescer) Estimate(ctx context.Context, q Query) Result {
+	start := time.Now()
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return Result{Source: SourceFailed, Err: ErrCoalescerClosed}
+	}
+	if c.pending >= c.opts.MaxQueue {
+		c.mu.Unlock()
+		return c.shed(q, start)
+	}
+	req := coalesceReq{q: q, ch: make(chan Result, 1)}
+	c.queue = append(c.queue, req)
+	c.pending++
+	switch {
+	case len(c.queue) >= c.opts.MaxBatch:
+		c.flushLocked()
+	case c.timer == nil:
+		c.timer = time.AfterFunc(c.opts.Window, c.flush)
+	}
+	c.mu.Unlock()
+
+	select {
+	case res := <-req.ch:
+		return res
+	case <-ctx.Done():
+		// The batch still runs; this caller just stops waiting for it.
+		return Result{Source: SourceFailed, Err: ctx.Err(), Stop: StopCancel}
+	}
+}
+
+// shed answers a rejected query from the fallback (when configured) without
+// touching the model, and records it in the estimator's metrics and trace
+// ring as a shed.
+func (c *Coalescer) shed(q Query, start time.Time) Result {
+	v := c.e.cur.Load()
+	res := Result{Source: SourceFailed, Err: ErrShed, Stop: StopShed, ModelVersion: v.id}
+	if fb := c.opts.Serve.Fallback; fb != nil {
+		if reg, err := compileFor(v, q); err == nil {
+			res.Sel = fb(reg)
+			res.Source = SourceFallback
+		}
+	}
+	v.sampler.ObserveShed(&res, time.Since(start))
+	return res
+}
+
+// flush dispatches whatever is queued (the window expiring).
+func (c *Coalescer) flush() {
+	c.mu.Lock()
+	c.flushLocked()
+	c.mu.Unlock()
+}
+
+// flushLocked drains the queue into batches of at most MaxBatch, each served
+// by its own dispatch goroutine (bounded by the in-flight semaphore).
+func (c *Coalescer) flushLocked() {
+	if c.timer != nil {
+		c.timer.Stop()
+		c.timer = nil
+	}
+	for len(c.queue) > 0 {
+		n := len(c.queue)
+		if n > c.opts.MaxBatch {
+			n = c.opts.MaxBatch
+		}
+		batch := make([]coalesceReq, n)
+		copy(batch, c.queue[:n])
+		c.queue = c.queue[n:]
+		if len(c.queue) == 0 {
+			c.queue = nil
+		}
+		go c.dispatch(batch)
+	}
+}
+
+// dispatch serves one batch through the fused scheduler. The serving bundle
+// is loaded exactly once, so compilation and estimation agree on the model
+// version for the whole batch.
+func (c *Coalescer) dispatch(batch []coalesceReq) {
+	c.sem <- struct{}{}
+	defer func() { <-c.sem }()
+	c.mu.Lock()
+	c.pending -= len(batch)
+	c.mu.Unlock()
+
+	v := c.e.cur.Load()
+	regs := make([]*Region, 0, len(batch))
+	idx := make([]int, 0, len(batch))
+	for i, req := range batch {
+		reg, err := compileFor(v, req.q)
+		if err != nil {
+			req.ch <- Result{Source: SourceFailed, Err: err, ModelVersion: v.id}
+			continue
+		}
+		regs = append(regs, reg)
+		idx = append(idx, i)
+	}
+	if len(regs) == 0 {
+		return
+	}
+	results := v.sampler.EstimateFused(context.Background(), regs, c.opts.Serve)
+	for j, res := range results {
+		batch[idx[j]].ch <- res
+	}
+}
+
+// Close flushes the last partial batch and rejects future submissions.
+// In-flight batches complete; their callers still receive results.
+func (c *Coalescer) Close() {
+	c.mu.Lock()
+	c.closed = true
+	c.flushLocked()
+	c.mu.Unlock()
+}

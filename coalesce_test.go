@@ -1,0 +1,199 @@
+package naru
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/made"
+)
+
+// fusedModel builds a small untrained MADE over the table's schema —
+// determinism and routing contracts don't need trained weights.
+func fusedModel(tbl *Table) *made.Model {
+	return made.New(tbl.DomainSizes(), made.Config{
+		HiddenSizes: []int{32, 32}, EmbedThreshold: 64, EmbedDim: 8, Seed: 5,
+	})
+}
+
+func fusedConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Samples = 300
+	cfg.Seed = 3
+	return cfg
+}
+
+// coalesceQueries mixes sampling-heavy, point, interior-wildcard, and
+// unrestricted queries over facadeTable's 3 columns (domains 6, 9, 4).
+func coalesceQueries() []Query {
+	return []Query{
+		{Preds: []Predicate{{Col: 0, Op: OpGe, Code: 1}, {Col: 2, Op: OpLt, Code: 3}}},
+		{Preds: []Predicate{{Col: 1, Op: OpBetween, Code: 2, Code2: 7}}},
+		{Preds: []Predicate{{Col: 0, Op: OpGt, Code: 0}, {Col: 1, Op: OpGt, Code: 0}, {Col: 2, Op: OpGt, Code: 0}}},
+		{Preds: []Predicate{{Col: 1, Op: OpEq, Code: 4}}},
+		{},
+		{Preds: []Predicate{{Col: 0, Op: OpLe, Code: 4}, {Col: 1, Op: OpNe, Code: 3}}},
+	}
+}
+
+// TestCoalescerSequentialBitIdentity: one client submitting queries one at a
+// time through the coalescer gets bit-identical results to a sequential
+// ctx-serve of the same workload — coalescing changes scheduling, never
+// answers.
+func TestCoalescerSequentialBitIdentity(t *testing.T) {
+	tbl := facadeTable(t, 1200)
+	qs := coalesceQueries()
+
+	ref := NewFromModel(fusedModel(tbl), tbl, fusedConfig())
+	want, err := ref.SelectivityBatchCtx(context.Background(), qs, ServeOptions{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	est := NewFromModel(fusedModel(tbl), tbl, fusedConfig())
+	c := est.NewCoalescer(CoalesceOptions{Window: time.Millisecond})
+	defer c.Close()
+	for i, q := range qs {
+		got := c.Estimate(context.Background(), q)
+		w := want[i]
+		if got.Sel != w.Sel || got.StdErr != w.StdErr || got.Samples != w.Samples ||
+			got.Source != w.Source || got.Stop != w.Stop {
+			t.Fatalf("query %d: coalesced %+v != sequential %+v", i, got, w)
+		}
+	}
+}
+
+// TestCoalescerConcurrentClients hammers one coalescer from many goroutines;
+// every request must come back as a well-formed full-budget model answer.
+// Under -race this is the coalescer's data-race check.
+func TestCoalescerConcurrentClients(t *testing.T) {
+	tbl := facadeTable(t, 1200)
+	qs := coalesceQueries()
+	est := NewFromModel(fusedModel(tbl), tbl, fusedConfig())
+	c := est.NewCoalescer(CoalesceOptions{Window: 3 * time.Millisecond, MaxBatch: 16})
+	defer c.Close()
+
+	const clients = 32
+	var wg sync.WaitGroup
+	for g := 0; g < clients; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			res := c.Estimate(context.Background(), qs[g%len(qs)])
+			if res.Source != SourceModel || res.Err != nil {
+				t.Errorf("client %d: %+v", g, res)
+				return
+			}
+			if res.Sel < 0 || res.Sel > 1 {
+				t.Errorf("client %d: selectivity %v outside [0,1]", g, res.Sel)
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+// TestCoalescerSheds: once the backlog reaches MaxQueue, new arrivals are
+// answered by the fallback with StopShed/ErrShed instead of queueing, and the
+// queued query still completes on the model path.
+func TestCoalescerSheds(t *testing.T) {
+	tbl := facadeTable(t, 1200)
+	qs := coalesceQueries()
+	est := NewFromModel(fusedModel(tbl), tbl, fusedConfig())
+	c := est.NewCoalescer(CoalesceOptions{
+		Window:   time.Hour, // flush only via Close: keeps the backlog pinned
+		MaxQueue: 1,
+		Serve:    ServeOptions{Fallback: Fallback(tbl)},
+	})
+
+	queued := make(chan Result, 1)
+	go func() { queued <- c.Estimate(context.Background(), qs[2]) }()
+	for i := 0; ; i++ {
+		c.mu.Lock()
+		p := c.pending
+		c.mu.Unlock()
+		if p >= 1 {
+			break
+		}
+		if i > 5000 {
+			t.Fatal("queued query never registered")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	shed := c.Estimate(context.Background(), qs[0])
+	if shed.Stop != StopShed || !errors.Is(shed.Err, ErrShed) {
+		t.Fatalf("overflow query not shed: %+v", shed)
+	}
+	if shed.Source != SourceFallback || shed.Sel <= 0 || shed.Sel > 1 {
+		t.Fatalf("shed query not answered by fallback: %+v", shed)
+	}
+
+	c.Close()
+	res := <-queued
+	if res.Source != SourceModel || res.Err != nil {
+		t.Fatalf("queued query after shed: %+v", res)
+	}
+	if after := c.Estimate(context.Background(), qs[0]); !errors.Is(after.Err, ErrCoalescerClosed) {
+		t.Fatalf("estimate after close: %+v", after)
+	}
+}
+
+// TestCoalescerHotSwapSingleVersionPerBatch: a hot-swap landing while a batch
+// is queued never splits the batch — every query in one dispatch is compiled
+// and served against the same version bundle, and later queries pick up the
+// new version.
+func TestCoalescerHotSwapSingleVersionPerBatch(t *testing.T) {
+	tbl := facadeTable(t, 1200)
+	qs := coalesceQueries()
+	est := NewFromModel(fusedModel(tbl), tbl, fusedConfig())
+	c := est.NewCoalescer(CoalesceOptions{Window: 30 * time.Millisecond, MaxBatch: 64})
+	defer c.Close()
+
+	const clients = 8
+	results := make(chan Result, clients)
+	var wg sync.WaitGroup
+	for g := 0; g < clients; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			results <- c.Estimate(context.Background(), qs[g%len(qs)])
+		}(g)
+	}
+	for i := 0; ; i++ {
+		c.mu.Lock()
+		p := c.pending
+		c.mu.Unlock()
+		if p == clients {
+			break
+		}
+		if i > 5000 {
+			t.Fatal("clients never queued")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	m2 := made.New(tbl.DomainSizes(), made.Config{
+		HiddenSizes: []int{32, 32}, EmbedThreshold: 64, EmbedDim: 8, Seed: 7,
+	})
+	est.InstallVersion(m2, tbl, int64(tbl.NumRows()), 2)
+	wg.Wait()
+	close(results)
+
+	var v uint64
+	for res := range results {
+		if res.Err != nil {
+			t.Fatalf("mid-swap query failed: %+v", res)
+		}
+		if v == 0 {
+			v = res.ModelVersion
+		}
+		if res.ModelVersion != v {
+			t.Fatalf("batch split across versions %d and %d", v, res.ModelVersion)
+		}
+	}
+	post := c.Estimate(context.Background(), qs[0])
+	if post.ModelVersion != 2 {
+		t.Fatalf("post-swap query served by version %d", post.ModelVersion)
+	}
+}

@@ -1,0 +1,157 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"os/exec"
+	"strings"
+	"time"
+)
+
+// Benchmark history: narubench appends one HistoryEntry per run to a JSON
+// file, keyed by commit, so per-commit throughput/latency/allocation trends
+// are recorded in-repo (the github-action-benchmark model, without the
+// action). CheckRegression gates a new result file against the most recent
+// recorded entry.
+
+// HistoryEntry is one benchmark run: the commit it ran at and the entries it
+// produced.
+type HistoryEntry struct {
+	Commit  string       `json:"commit"`
+	Date    string       `json:"date"`
+	Bench   string       `json:"bench"`
+	Entries []BenchEntry `json:"entries"`
+}
+
+// readHistory loads the history file; a missing file is an empty history.
+func readHistory(path string) ([]HistoryEntry, error) {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var hist []HistoryEntry
+	if err := json.Unmarshal(data, &hist); err != nil {
+		return nil, fmt.Errorf("bench: parsing history %s: %w", path, err)
+	}
+	return hist, nil
+}
+
+// gitCommit returns the working tree's HEAD hash, or "unknown" outside a git
+// checkout.
+func gitCommit() string {
+	out, err := exec.Command("git", "rev-parse", "--short", "HEAD").Output()
+	if err != nil {
+		return "unknown"
+	}
+	return strings.TrimSpace(string(out))
+}
+
+// AppendHistory reads a benchmark result file (the BenchEntry array shape)
+// and appends it to the history file as one per-commit entry.
+func AppendHistory(historyPath, benchPath, benchName string) error {
+	entries, err := readBenchJSON(benchPath)
+	if err != nil {
+		return err
+	}
+	hist, err := readHistory(historyPath)
+	if err != nil {
+		return err
+	}
+	hist = append(hist, HistoryEntry{
+		Commit:  gitCommit(),
+		Date:    time.Now().UTC().Format(time.RFC3339),
+		Bench:   benchName,
+		Entries: entries,
+	})
+	data, err := json.MarshalIndent(hist, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(historyPath, append(data, '\n'), 0o644)
+}
+
+// betterDirection classifies a benchmark unit: +1 higher-is-better, -1
+// lower-is-better, 0 not gated (counts like bitwise mismatches are asserted
+// exactly elsewhere; ratios near zero make percentages meaningless).
+func betterDirection(unit string) int {
+	switch unit {
+	case "queries/sec", "x", "rows/sec", "steps/sec":
+		return +1
+	case "ms", "allocs/query", "s", "bytes":
+		return -1
+	}
+	return 0
+}
+
+// CheckRegression compares a fresh benchmark result file against the most
+// recent same-named entry in the history file and returns an error listing
+// every gated metric that regressed by more than tol (e.g. 0.10 = 10%).
+// Metrics absent from the baseline are skipped; an empty history passes (no
+// baseline has been recorded yet).
+func CheckRegression(historyPath, benchPath, benchName string, tol float64) error {
+	entries, err := readBenchJSON(benchPath)
+	if err != nil {
+		return err
+	}
+	hist, err := readHistory(historyPath)
+	if err != nil {
+		return err
+	}
+	var base *HistoryEntry
+	for i := len(hist) - 1; i >= 0; i-- {
+		if hist[i].Bench == benchName {
+			base = &hist[i]
+			break
+		}
+	}
+	if base == nil {
+		return nil
+	}
+	baseline := make(map[string]BenchEntry, len(base.Entries))
+	for _, e := range base.Entries {
+		baseline[e.Name] = e
+	}
+	var regressions []string
+	for _, e := range entries {
+		dir := betterDirection(e.Unit)
+		if dir == 0 {
+			continue
+		}
+		b, ok := baseline[e.Name]
+		if !ok || b.Value <= 0 {
+			continue
+		}
+		var loss float64 // fraction of the baseline lost
+		if dir > 0 {
+			loss = (b.Value - e.Value) / b.Value
+		} else {
+			loss = (e.Value - b.Value) / b.Value
+		}
+		if loss > tol {
+			regressions = append(regressions, fmt.Sprintf("%s: %.4g -> %.4g %s (%.1f%% worse, baseline commit %s)",
+				e.Name, b.Value, e.Value, e.Unit, loss*100, base.Commit))
+		}
+	}
+	if len(regressions) > 0 {
+		return fmt.Errorf("bench: %d metric(s) regressed more than %.0f%% vs recorded baseline:\n  %s",
+			len(regressions), tol*100, strings.Join(regressions, "\n  "))
+	}
+	return nil
+}
+
+// readBenchJSON loads a benchmark result file (array of BenchEntry).
+func readBenchJSON(path string) ([]BenchEntry, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var entries []BenchEntry
+	if err := json.Unmarshal(data, &entries); err != nil {
+		return nil, fmt.Errorf("bench: parsing %s: %w", path, err)
+	}
+	return entries, nil
+}

@@ -1,13 +1,17 @@
 package bench
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
 	"math"
 	"os"
+	"runtime"
+	"sync"
 	"time"
 
+	naru "repro"
 	"repro/internal/core"
 	"repro/internal/datagen"
 	"repro/internal/metrics"
@@ -66,21 +70,70 @@ func Inference(out io.Writer, cfg Config) {
 	seqRes := RunWorkload(seq, w)
 	seqTotal := sumLatency(seqRes.Latencies)
 
-	// Fast path, concurrent batch on a fresh estimator (same seeds again, so
-	// the batch must reproduce the sequential fast-path answers bitwise).
-	// Telemetry, when enabled, watches this configuration — the mismatch
-	// check below doubles as proof that observing it is free of perturbation.
+	// Fused cross-query batch on a fresh estimator (same seeds again, so the
+	// fused scheduler must reproduce the sequential fast-path answers
+	// bitwise). Telemetry, when enabled, watches this configuration — the
+	// mismatch check below doubles as proof that observing it is free of
+	// perturbation. The Mallocs delta around the run prices the scheduler's
+	// allocation overhead per query.
 	batch := core.NewEstimator(model, samples, qseed)
 	batch.SetObserver(cfg.Obs)
-	batchRes, batchTotal := RunWorkloadParallel(batch, w, cfg.Workers)
+	var ms0, ms1 runtime.MemStats
+	runtime.ReadMemStats(&ms0)
+	fusedStart := time.Now()
+	fusedRes := batch.EstimateFused(context.Background(), w.Regions, core.ServeOptions{})
+	batchTotal := time.Since(fusedStart)
+	runtime.ReadMemStats(&ms1)
+	batchEsts := make([]float64, len(fusedRes))
+	for i, r := range fusedRes {
+		batchEsts[i] = r.Sel
+	}
 
 	mismatches := 0
 	for i := range seqRes.Estimates {
-		if batchRes.Estimates[i] != seqRes.Estimates[i] {
+		if batchEsts[i] != seqRes.Estimates[i] {
 			mismatches++
 		}
 	}
 	maxRel := maxRelDiff(seqRes.Estimates, refRes.Estimates)
+	allocsPerQuery := float64(ms1.Mallocs-ms0.Mallocs) / float64(len(w.Regions))
+
+	// Concurrent load through the request coalescer: 32 clients each submit
+	// single queries, which the coalescer packs into fused dispatches. This is
+	// the serving-path configuration (naru serve -batch-window) and records
+	// client-observed latency quantiles under saturation.
+	const clients = 32
+	coalEst := naru.NewFromModel(model, t, naru.Config{Samples: samples, Seed: qseed - 2})
+	coal := coalEst.NewCoalescer(naru.CoalesceOptions{})
+	var (
+		latMu    sync.Mutex
+		coalLats = make([]time.Duration, 0, len(w.Queries))
+		coalErrs int
+		wg       sync.WaitGroup
+	)
+	loadStart := time.Now()
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := c; i < len(w.Queries); i += clients {
+				qStart := time.Now()
+				res := coal.Estimate(context.Background(), w.Queries[i])
+				d := time.Since(qStart)
+				latMu.Lock()
+				coalLats = append(coalLats, d)
+				if res.Err != nil {
+					coalErrs++
+				}
+				latMu.Unlock()
+			}
+		}(c)
+	}
+	wg.Wait()
+	loadTotal := time.Since(loadStart)
+	coal.Close()
+	coalQPS := float64(len(w.Queries)) / loadTotal.Seconds()
+	coalP50, coalP99, _ := LatencySummary(coalLats)
 
 	nq := float64(len(w.Regions))
 	refQPS := nq / refTotal.Seconds()
@@ -90,15 +143,18 @@ func Inference(out io.Writer, cfg Config) {
 	refErr := metrics.Summarize(refRes.Errors(w))
 	seqErr := metrics.Summarize(seqRes.Errors(w))
 
-	fmt.Fprintf(out, "\nInference fast path (DMV %d rows, %d queries, Naru-%d, workers=%d)\n",
-		t.NumRows(), len(w.Regions), samples, cfg.Workers)
+	fmt.Fprintf(out, "\nInference fast path (DMV %d rows, %d queries, Naru-%d)\n",
+		t.NumRows(), len(w.Regions), samples)
 	fmt.Fprintf(out, "%-28s %12s %14s\n", "configuration", "queries/sec", "total")
 	fmt.Fprintf(out, "%-28s %12.2f %14v\n", "reference (full forward)", refQPS, refTotal.Round(time.Millisecond))
 	fmt.Fprintf(out, "%-28s %12.2f %14v\n", "fast path, sequential", seqQPS, seqTotal.Round(time.Millisecond))
-	fmt.Fprintf(out, "%-28s %12.2f %14v\n", "fast path, batch", batchQPS, batchTotal.Round(time.Millisecond))
-	fmt.Fprintf(out, "speedup: sequential %.2fx, batch %.2fx\n", seqQPS/refQPS, batchQPS/refQPS)
+	fmt.Fprintf(out, "%-28s %12.2f %14v\n", "fast path, fused batch", batchQPS, batchTotal.Round(time.Millisecond))
+	fmt.Fprintf(out, "%-28s %12.2f %14v\n", fmt.Sprintf("coalesced, %d clients", clients), coalQPS, loadTotal.Round(time.Millisecond))
+	fmt.Fprintf(out, "speedup: sequential %.2fx, fused batch %.2fx\n", seqQPS/refQPS, batchQPS/refQPS)
 	fmt.Fprintf(out, "fast-path latency ms: p50=%.2f p99=%.2f max=%.2f\n", p50, p99, pmax)
-	fmt.Fprintf(out, "batch vs sequential fast path: %d/%d mismatched estimates (must be 0)\n",
+	fmt.Fprintf(out, "coalesced client latency ms: p50=%.2f p99=%.2f (%d errors)\n", coalP50, coalP99, coalErrs)
+	fmt.Fprintf(out, "fused allocations: %.0f allocs/query\n", allocsPerQuery)
+	fmt.Fprintf(out, "fused batch vs sequential fast path: %d/%d mismatched estimates (must be 0)\n",
 		mismatches, len(w.Regions))
 	fmt.Fprintf(out, "fast vs reference estimates: max relative diff %.3g (MC re-draws at float-identical boundaries)\n", maxRel)
 	fmt.Fprintf(out, "q-error median/p99: reference %.3f/%.3f, fast %.3f/%.3f\n",
@@ -110,15 +166,23 @@ func Inference(out io.Writer, cfg Config) {
 		{Name: "dmv_queries_per_sec_sequential", Value: seqQPS, Unit: "queries/sec",
 			Extra: "delta-forward + packed GEMM, sequential"},
 		{Name: "dmv_queries_per_sec_batch", Value: batchQPS, Unit: "queries/sec",
-			Extra: fmt.Sprintf("delta-forward + packed GEMM, EstimateBatch workers=%d", cfg.Workers)},
+			Extra: "fused cross-query scheduler (EstimateFused), whole workload in flight"},
 		{Name: "dmv_speedup_vs_full_forward", Value: batchQPS / refQPS, Unit: "x",
-			Extra: fmt.Sprintf("batch fast path over reference; sequential alone %.2fx", seqQPS/refQPS)},
+			Extra: fmt.Sprintf("fused batch over reference; sequential alone %.2fx", seqQPS/refQPS)},
 		{Name: "dmv_latency_p50", Value: p50, Unit: "ms", Extra: "fast path, sequential"},
 		{Name: "dmv_latency_p99", Value: p99, Unit: "ms", Extra: "fast path, sequential"},
 		{Name: "dmv_batch_mismatches", Value: float64(mismatches), Unit: "queries",
-			Extra: "batch vs sequential fast path, bitwise"},
+			Extra: "fused batch vs sequential fast path, bitwise"},
 		{Name: "dmv_max_rel_diff_vs_reference", Value: maxRel, Unit: "fraction",
 			Extra: "fast path vs full forward selectivities"},
+		{Name: "dmv_batch_allocs_per_query", Value: allocsPerQuery, Unit: "allocs/query",
+			Extra: "Mallocs delta around the fused batch run"},
+		{Name: "dmv_coalesced_queries_per_sec", Value: coalQPS, Unit: "queries/sec",
+			Extra: fmt.Sprintf("request coalescer, %d concurrent clients, %d shed/errors", clients, coalErrs)},
+		{Name: "dmv_coalesced_latency_p50", Value: coalP50, Unit: "ms",
+			Extra: "client-observed, includes batch-window wait"},
+		{Name: "dmv_coalesced_latency_p99", Value: coalP99, Unit: "ms",
+			Extra: "client-observed, includes batch-window wait"},
 	}
 	entries = append(entries, obsEntries(cfg.Obs, out)...)
 	if err := writeBenchJSON(cfg.BenchOut, entries); err != nil {

@@ -1,0 +1,440 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"time"
+
+	"repro/internal/query"
+)
+
+// This file implements fused cross-query serving: the unit of model work is
+// a *sample block* — chunks of many concurrent queries' progressive-sampling
+// paths stacked into one tall batch that flows through the trunk and head
+// GEMMs together. Per-column fixed costs (band refresh bookkeeping, packed
+// weight lookups, kernel dispatch) amortize over every in-flight query
+// instead of being paid once per query per column.
+//
+// Determinism is the load-bearing wall: each query's chunk k draws from the
+// stream seeded by mixSeed(seedFor(q), k) — exactly the streams the
+// sequential anytime path uses — and the model's block decode is
+// row-independent, so a query's estimate is bit-identical no matter which
+// queries it shared blocks with, how tall the blocks were, or whether it was
+// served fused at all.
+
+// maxFusedRows caps the height of one fused block. Taller blocks amortize
+// more fixed cost but grow the activation and probability buffers linearly;
+// past a couple thousand rows the GEMMs are fully amortized and the extra
+// height only costs memory.
+const maxFusedRows = 2048
+
+// fusedQuery is one sampling query's accumulation state across waves.
+type fusedQuery struct {
+	i    int // position in the batch
+	q    uint64
+	reg  *query.Region
+	last int       // last restricted model position
+	valid [][]int32 // per-position valid-code lists, privately owned
+
+	sum, sumsq   float64
+	done, chunks int
+
+	res      Result
+	finished bool
+	retireAt time.Time
+}
+
+// fusedLane is one chunk of one query inside a block walk.
+type fusedLane struct {
+	fq    *fusedQuery
+	chunk int // chunk index within the query (seeds the lane RNG)
+	n     int // rows
+	r0    int // row offset within its block, assigned at pack time
+}
+
+// fusedState holds one block walk's tall buffers, pooled per estimator so
+// concurrent EstimateFused calls (coalescer dispatches overlapping) don't
+// reallocate them per call.
+type fusedState struct {
+	codes   []int32
+	weights []float64
+	probs   [][]float64
+	lanes   []*fusedLane
+	rngs    []*rand.Rand
+}
+
+func (e *Estimator) getFusedState() *fusedState {
+	if st, ok := e.fusedPool.Get().(*fusedState); ok {
+		return st
+	}
+	maxDom := 0
+	for _, d := range e.model.DomainSizes() {
+		if d > maxDom {
+			maxDom = d
+		}
+	}
+	st := &fusedState{
+		codes:   make([]int32, maxFusedRows*e.model.NumCols()),
+		weights: make([]float64, maxFusedRows),
+		probs:   make([][]float64, maxFusedRows),
+	}
+	for i := range st.probs {
+		st.probs[i] = make([]float64, maxDom)
+	}
+	return st
+}
+
+// fusedWaves are the per-query chunk ranges of the three scheduling waves:
+// every active query contributes 2 chunks, then 4 more, then everything
+// left. The first two boundaries are where the adaptive budget
+// (ServeOptions.TargetRelStdErr) may retire a query — the same boundaries
+// targetWaveBoundary pins for the sequential path.
+var fusedWaves = [3][2]int{{0, 2}, {2, 6}, {6, math.MaxInt32}}
+
+// EstimateFused serves the whole batch through the fused cross-query
+// scheduler on a single goroutine: every query's sample chunks are packed
+// with its peers' into shared tall blocks. Results align positionally with
+// regions and are bit-identical to EstimateBatchCtx (any worker count) with
+// the same options — including adaptive-budget early stops — because both
+// paths consume identical per-(query, chunk) RNG streams and check
+// TargetRelStdErr at identical boundaries. Deadline and cancellation are
+// honored between blocks; affected queries degrade exactly like the
+// sequential anytime path (timing-dependent, so degraded budgets — unlike
+// full-budget and target-stopped results — are not bit-reproducible).
+//
+// Models that don't implement BlockModel (through their serving forks) fall
+// back to EstimateBatchCtx. opts.Workers is ignored on the fused path.
+func (e *Estimator) EstimateFused(ctx context.Context, regions []*query.Region, opts ServeOptions) []Result {
+	out := make([]Result, len(regions))
+	if len(regions) == 0 {
+		return out
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	sc := e.acquire()
+	bm, ok := sc.model.(BlockModel)
+	if !ok {
+		e.release(sc)
+		return e.EstimateBatchCtx(ctx, regions, opts)
+	}
+	defer e.release(sc)
+
+	base := e.nextQuery.Add(uint64(len(regions))) - uint64(len(regions))
+	start := time.Now()
+	var deadline time.Time
+	if opts.Deadline > 0 {
+		deadline = start.Add(opts.Deadline)
+	}
+	if dl, ok := ctx.Deadline(); ok && (deadline.IsZero() || dl.Before(deadline)) {
+		deadline = dl
+	}
+
+	// Classify: empty and enumerable queries are answered inline (their work
+	// is bounded and fusion buys nothing); sampling queries join the fused
+	// walk.
+	pend := make([]*fusedQuery, 0, len(regions))
+	for i, reg := range regions {
+		fq := e.classifyFused(ctx, sc, reg, base+uint64(i), i, &opts, &out[i])
+		if fq != nil {
+			pend = append(pend, fq)
+		} else {
+			out[i].ModelVersion = e.version.Load()
+			if e.obs.reg != nil {
+				e.observeServed(&out[i], regions[i], opts.Deadline, time.Since(start))
+			}
+		}
+	}
+
+	if len(pend) > 0 {
+		st := e.getFusedState()
+		e.runFusedWaves(ctx, sc, bm, st, pend, deadline, &opts)
+		e.fusedPool.Put(st)
+	}
+	for _, fq := range pend {
+		res := e.routeFallback(fq.res, fq.reg, &opts)
+		out[fq.i] = res
+		if e.obs.reg != nil {
+			e.observeServed(&res, fq.reg, opts.Deadline, fq.retireAt.Sub(start))
+		}
+	}
+	return out
+}
+
+// classifyFused dispatches one query: inline answers (empty, enumeration,
+// errors) land in *res and return nil; sampling queries return their fused
+// state. Panics in the hook or enumeration are contained per query.
+func (e *Estimator) classifyFused(ctx context.Context, sc *scratch, reg *query.Region, q uint64, i int, opts *ServeOptions, res *Result) (fq *fusedQuery) {
+	defer func() {
+		if r := recover(); r != nil {
+			fq = nil
+			*res = Result{Source: SourceFailed, Err: fmt.Errorf("%w: query %d: %v", ErrPanicked, i, r)}
+		}
+	}()
+	if opts.BeforeQuery != nil {
+		opts.BeforeQuery(i)
+	}
+	if err := ctx.Err(); err != nil {
+		*res = Result{Source: SourceFailed, Err: err}
+		return nil
+	}
+	if len(reg.Cols) != sc.model.NumCols() {
+		*res = Result{Source: SourceFailed, Err: fmt.Errorf("core: region over %d columns, model has %d",
+			len(reg.Cols), sc.model.NumCols())}
+		return nil
+	}
+	if reg.IsEmpty() {
+		*res = Result{Source: SourceModel}
+		return nil
+	}
+	if size := e.regionSizeRestricted(reg); size <= e.EnumThreshold {
+		*res = Result{Sel: e.enumerate(sc, reg), Source: SourceModel}
+		return nil
+	}
+	fq = &fusedQuery{i: i, q: q, reg: reg, last: -1}
+	for p := 0; p < len(reg.Cols); p++ {
+		if !reg.Cols[e.colAt(p)].IsAll() {
+			fq.last = p
+		}
+	}
+	// Privately owned valid lists: many queries are in flight at once, so
+	// the scratch's shared per-column lists cannot be reused here.
+	fq.valid = make([][]int32, fq.last+1)
+	for p := 0; p <= fq.last; p++ {
+		cr := &reg.Cols[e.colAt(p)]
+		vs := make([]int32, 0, cr.Count)
+		for c, ok := range cr.Valid {
+			if ok {
+				vs = append(vs, int32(c))
+			}
+		}
+		fq.valid[p] = vs
+	}
+	return fq
+}
+
+// runFusedWaves drives the pending sampling queries to completion: three
+// admission waves, each packed into blocks of at most maxFusedRows rows. A
+// panic inside a block poisons the whole block's model state, so every
+// still-unfinished query is re-served individually (same query indices →
+// same chunk streams → same answers), keeping the failure contained to the
+// query that caused it.
+func (e *Estimator) runFusedWaves(ctx context.Context, sc *scratch, bm BlockModel, st *fusedState, pend []*fusedQuery, deadline time.Time, opts *ServeOptions) {
+	skip := e.skipEnabled(sc.model)
+	nc := sc.model.NumCols()
+	for _, wave := range fusedWaves {
+		// Gather this wave's lanes: per unfinished query, its chunks in
+		// [wave start, wave end), clamped to the budget.
+		lanes := st.lanes[:0]
+		for _, fq := range pend {
+			if fq.finished {
+				continue
+			}
+			total := (e.samples + anytimeChunk - 1) / anytimeChunk
+			hi := wave[1]
+			if hi > total {
+				hi = total
+			}
+			for c := wave[0]; c < hi; c++ {
+				n := e.samples - c*anytimeChunk
+				if n > anytimeChunk {
+					n = anytimeChunk
+				}
+				lanes = append(lanes, &fusedLane{fq: fq, chunk: c, n: n})
+			}
+		}
+		st.lanes = lanes
+		// Pack lanes into height-capped blocks, preserving lane order so a
+		// query's chunks accumulate in chunk order.
+		for len(lanes) > 0 {
+			if err := ctx.Err(); err != nil {
+				e.stopFused(pend, StopCancel, err)
+				return
+			}
+			if !deadline.IsZero() && !time.Now().Before(deadline) {
+				e.stopFused(pend, StopDeadline, ErrBudgetExhausted)
+				return
+			}
+			rows, k := 0, 0
+			for k < len(lanes) && rows+lanes[k].n <= maxFusedRows {
+				rows += lanes[k].n
+				k++
+			}
+			if k == 0 {
+				k = 1 // a single over-tall lane cannot happen (chunk ≤ block), but never stall
+			}
+			if err := e.walkBlock(bm, st, lanes[:k], nc, skip); err != nil {
+				e.reserveIndividually(ctx, sc, pend, opts)
+				return
+			}
+			lanes = lanes[k:]
+		}
+		// Wave boundary: retire completed queries; consult the adaptive
+		// budget at the same chunk counts the sequential path does.
+		alive := false
+		for _, fq := range pend {
+			if fq.finished {
+				continue
+			}
+			switch {
+			case fq.done >= e.samples:
+				fq.finish(e.finalizeSample(fq.sum, fq.sumsq, fq.done, StopNone))
+			case opts.TargetRelStdErr > 0 && targetWaveBoundary(fq.chunks) &&
+				targetMet(fq.sum, fq.sumsq, fq.done, opts.TargetRelStdErr):
+				fq.finish(e.finalizeSample(fq.sum, fq.sumsq, fq.done, StopTargetStdErr))
+			default:
+				alive = true
+			}
+		}
+		if !alive {
+			return
+		}
+	}
+}
+
+func (fq *fusedQuery) finish(res Result) {
+	fq.res = res
+	fq.finished = true
+	fq.retireAt = time.Now()
+}
+
+// stopFused finalizes every unfinished query after a batch-wide stop
+// (deadline or cancellation): queries with completed chunks degrade to the
+// anytime estimate, queries with none fail.
+func (e *Estimator) stopFused(pend []*fusedQuery, stop StopReason, err error) {
+	for _, fq := range pend {
+		if fq.finished {
+			continue
+		}
+		if fq.done == 0 {
+			fq.finish(Result{Source: SourceFailed, Err: err})
+			continue
+		}
+		fq.finish(e.finalizeSample(fq.sum, fq.sumsq, fq.done, stop))
+	}
+}
+
+// reserveIndividually re-runs every unfinished query through the sequential
+// per-query path after a block panic. Chunk streams are keyed by (query,
+// chunk), so restarting a query from chunk 0 reproduces exactly what the
+// fused walk would have produced; the panicking query fails alone with
+// ErrPanicked.
+func (e *Estimator) reserveIndividually(ctx context.Context, sc *scratch, pend []*fusedQuery, opts *ServeOptions) {
+	// The hook already ran once per query during classification; don't
+	// re-trigger fault injection on the retry.
+	retry := *opts
+	retry.BeforeQuery = nil
+	for _, fq := range pend {
+		if fq.finished {
+			continue
+		}
+		fq.sum, fq.sumsq, fq.done, fq.chunks = 0, 0, 0, 0
+		fq.finish(e.serveOne(ctx, sc, fq.reg, fq.q, fq.i, &retry))
+	}
+}
+
+// walkBlock runs one fused sample block: the lanes' chunks stacked into a
+// single tall walk. Lanes are (stably) ordered by their query's last
+// restricted column, descending, so lanes done sampling are always a suffix
+// — the active batch stays a prefix and only ever shrinks, which is the
+// model's AdvanceBlock contract. Returns a wrapped ErrPanicked if the model
+// panicked (block state is then poisoned; see reserveIndividually).
+func (e *Estimator) walkBlock(bm BlockModel, st *fusedState, lanes []*fusedLane, nc int, skip bool) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("%w: fused block: %v", ErrPanicked, r)
+		}
+	}()
+	sort.SliceStable(lanes, func(a, b int) bool { return lanes[a].fq.last > lanes[b].fq.last })
+	n := 0
+	for _, ln := range lanes {
+		ln.r0 = n
+		n += ln.n
+	}
+	codes := st.codes[:n*nc]
+	fill := int32(0)
+	if skip {
+		fill = -1
+	}
+	for i := range codes {
+		codes[i] = fill
+	}
+	weights := st.weights[:n]
+	for i := range weights {
+		weights[i] = 1
+	}
+	// One RNG per lane, seeded exactly like the sequential path's chunk:
+	// the draws a lane consumes are its own stream regardless of packing.
+	rngs := st.rngs[:0]
+	for _, ln := range lanes {
+		rngs = append(rngs, rand.New(rand.NewSource(mixSeed(e.seedFor(ln.fq.q), int64(ln.chunk)))))
+	}
+	st.rngs = rngs
+
+	bm.BeginSampling(n)
+	nActive, act := n, len(lanes)
+	for col := 0; col <= lanes[0].fq.last; col++ {
+		for act > 0 && lanes[act-1].fq.last < col {
+			act--
+			nActive -= lanes[act].n
+		}
+		if act == 0 {
+			break
+		}
+		if !skip {
+			// Every active lane decodes and draws through every column —
+			// wildcards have mass 1 but still consume a draw, matching the
+			// default sequential walk.
+			bm.AdvanceBlock(codes, nActive, col)
+			bm.DecodeBlock(col, 0, nActive, st.probs[:nActive])
+			for j := 0; j < act; j++ {
+				ln := lanes[j]
+				isAll := ln.fq.reg.Cols[e.colAt(col)].IsAll()
+				drawRows(rngs[j], isAll, ln.fq.valid[col], codes, nc, col, st.probs, weights, ln.r0, ln.r0+ln.n)
+			}
+			continue
+		}
+		// Skip mode: only lanes restricting this column decode it; if none
+		// do, the whole block jumps the column (the model treats it as
+		// absent). Decodes run per maximal contiguous run of needing lanes.
+		j := 0
+		advanced := false
+		for j < act {
+			if ln := lanes[j]; ln.fq.reg.Cols[e.colAt(col)].IsAll() {
+				j++
+				continue
+			}
+			k := j
+			for k < act && !lanes[k].fq.reg.Cols[e.colAt(col)].IsAll() {
+				k++
+			}
+			if !advanced {
+				bm.AdvanceBlock(codes, nActive, col)
+				advanced = true
+			}
+			r0, r1 := lanes[j].r0, lanes[k-1].r0+lanes[k-1].n
+			bm.DecodeBlock(col, r0, r1, st.probs[r0:r1])
+			for ; j < k; j++ {
+				ln := lanes[j]
+				drawRows(rngs[j], false, ln.fq.valid[col], codes, nc, col, st.probs, weights, ln.r0, ln.r0+ln.n)
+			}
+		}
+	}
+	// Fold the lanes' weights back into their queries. Lane order within a
+	// query is chunk order (the stable sort keeps it), so the accumulation
+	// order — and therefore every bit of sum and sumsq — matches the
+	// sequential chunk loop.
+	for _, ln := range lanes {
+		for _, w := range weights[ln.r0 : ln.r0+ln.n] {
+			ln.fq.sum += w
+			ln.fq.sumsq += w * w
+		}
+		ln.fq.done += ln.n
+		ln.fq.chunks++
+	}
+	return nil
+}
+

@@ -1,0 +1,208 @@
+package core
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/made"
+	"repro/internal/query"
+	"repro/internal/table"
+)
+
+// fusedWorkload widens batchRegions with extra interior-wildcard and point
+// queries so one fused batch mixes every query shape: point, range, IN,
+// leading/trailing/interior wildcards, enumerable-small, and empty.
+func fusedWorkload(t *testing.T, tbl *table.Table) []*query.Region {
+	t.Helper()
+	regs := batchRegions(t, tbl)
+	extra := []query.Query{
+		// Interior wildcards: only the first and last columns restricted.
+		{Preds: []query.Predicate{{Col: 0, Op: query.OpGt, Code: 1}, {Col: 3, Op: query.OpLt, Code: 9}}},
+		// Single restricted column in the middle.
+		{Preds: []query.Predicate{{Col: 2, Op: query.OpBetween, Code: 1, Code2: 4}}},
+		// Point query on two non-adjacent columns.
+		{Preds: []query.Predicate{{Col: 1, Op: query.OpEq, Code: 3}, {Col: 3, Op: query.OpEq, Code: 2}}},
+	}
+	for _, q := range extra {
+		regs = append(regs, mustRegion(t, q, tbl))
+	}
+	return regs
+}
+
+func requireFusedMatch(t *testing.T, got, want []Result) {
+	t.Helper()
+	for i := range want {
+		if !resultEqual(got[i], want[i]) || got[i].Stop != want[i].Stop {
+			t.Fatalf("query %d: fused %+v (stop %q) != sequential %+v (stop %q)",
+				i, got[i], got[i].Stop, want[i], want[i].Stop)
+		}
+	}
+}
+
+// TestEstimateFusedMatchesSequential is the tentpole determinism contract: a
+// mixed workload served through the fused cross-query scheduler is
+// bit-identical to a fresh estimator serving it sequentially, because both
+// consume the same per-(query, chunk) RNG streams.
+func TestEstimateFusedMatchesSequential(t *testing.T) {
+	tbl := corrTable(t, 1500, 3)
+	regs := fusedWorkload(t, tbl)
+	domains := tbl.DomainSizes()
+	const samples, seed = 300, 42 // 3 chunks: crosses the first wave boundary
+
+	seq := NewEstimator(testMADE(domains), samples, seed)
+	seq.EnumThreshold = 40
+	want := seq.EstimateBatchCtx(context.Background(), regs, ServeOptions{Workers: 1})
+
+	fused := NewEstimator(testMADE(domains), samples, seed)
+	fused.EnumThreshold = 40
+	got := fused.EstimateFused(context.Background(), regs, ServeOptions{})
+	requireFusedMatch(t, got, want)
+
+	sampled := 0
+	for _, r := range got {
+		if r.Samples == samples {
+			sampled++
+		}
+	}
+	if sampled < 3 {
+		t.Fatalf("only %d queries took the sampling path; workload too small to exercise fusion", sampled)
+	}
+}
+
+// TestEstimateFusedAdaptiveBudget: with a target relative standard error set,
+// fused and sequential serving stop the same queries at the same wave
+// boundaries with bit-identical estimates, and early-stopped answers stay
+// SourceModel (they met their accuracy target) with the stop reason recorded.
+func TestEstimateFusedAdaptiveBudget(t *testing.T) {
+	tbl := corrTable(t, 1500, 3)
+	regs := fusedWorkload(t, tbl)
+	domains := tbl.DomainSizes()
+	const samples, seed = 2048, 42
+	opts := ServeOptions{TargetRelStdErr: 0.05}
+
+	seq := NewEstimator(testMADE(domains), samples, seed)
+	seq.EnumThreshold = 40
+	sopts := opts
+	sopts.Workers = 1
+	want := seq.EstimateBatchCtx(context.Background(), regs, sopts)
+
+	fused := NewEstimator(testMADE(domains), samples, seed)
+	fused.EnumThreshold = 40
+	got := fused.EstimateFused(context.Background(), regs, opts)
+	requireFusedMatch(t, got, want)
+
+	early := 0
+	for i, r := range got {
+		if r.Stop != StopTargetStdErr {
+			continue
+		}
+		early++
+		if r.Source != SourceModel {
+			t.Fatalf("query %d stopped at target but tagged %v", i, r.Source)
+		}
+		if r.Samples != 2*anytimeChunk && r.Samples != 6*anytimeChunk {
+			t.Fatalf("query %d stopped at %d samples, not a wave boundary", i, r.Samples)
+		}
+		if r.StdErr > opts.TargetRelStdErr*r.Sel {
+			t.Fatalf("query %d stopped early without meeting target: stderr %v sel %v", i, r.StdErr, r.Sel)
+		}
+	}
+	if early == 0 {
+		t.Fatal("no query stopped at the accuracy target; loosen the target or widen the workload")
+	}
+}
+
+// TestEstimateFusedSkipWildcards: with wildcard skipping enabled on both
+// paths, fused and sequential serving stay bit-identical, and skipping
+// actually changes the RNG consumption (so results differ from non-skip) for
+// queries with absent columns.
+func TestEstimateFusedSkipWildcards(t *testing.T) {
+	tbl := corrTable(t, 1500, 3)
+	regs := fusedWorkload(t, tbl)
+	domains := tbl.DomainSizes()
+	const samples, seed = 300, 42
+
+	seq := NewEstimator(testMADE(domains), samples, seed)
+	seq.EnumThreshold = 40
+	seq.SkipWildcards = true
+	want := seq.EstimateBatchCtx(context.Background(), regs, ServeOptions{Workers: 1})
+
+	fused := NewEstimator(testMADE(domains), samples, seed)
+	fused.EnumThreshold = 40
+	fused.SkipWildcards = true
+	got := fused.EstimateFused(context.Background(), regs, ServeOptions{})
+	requireFusedMatch(t, got, want)
+
+	noskip := NewEstimator(testMADE(domains), samples, seed)
+	noskip.EnumThreshold = 40
+	plain := noskip.EstimateFused(context.Background(), regs, ServeOptions{})
+	differs := false
+	for i := range got {
+		if got[i].Samples == samples && got[i].Sel != plain[i].Sel {
+			differs = true
+			break
+		}
+	}
+	if !differs {
+		t.Fatal("skip-wildcards results identical to non-skip; skipping never engaged")
+	}
+}
+
+// TestEstimateFusedNonBlockModelDelegates: a model that doesn't expose the
+// block walk is served through the sequential ctx path transparently.
+func TestEstimateFusedNonBlockModelDelegates(t *testing.T) {
+	tbl := corrTable(t, 1500, 3)
+	regs := fusedWorkload(t, tbl)
+	domains := tbl.DomainSizes()
+	const samples, seed = 128, 42
+
+	seq := NewEstimator(noFork{testMADE(domains)}, samples, seed)
+	seq.EnumThreshold = 40
+	want := seq.EstimateBatchCtx(context.Background(), regs, ServeOptions{Workers: 1})
+
+	fused := NewEstimator(noFork{testMADE(domains)}, samples, seed)
+	fused.EnumThreshold = 40
+	got := fused.EstimateFused(context.Background(), regs, ServeOptions{})
+	requireFusedMatch(t, got, want)
+}
+
+// panicBlock panics on its first AdvanceBlock call, poisoning the fused
+// block mid-walk. It forks to itself so the estimator's scratch sees the
+// wrapper (and its panic) rather than a clean replica.
+type panicBlock struct {
+	*made.Model
+	fired bool
+}
+
+func (p *panicBlock) ForkModel() any { return p }
+func (p *panicBlock) AdvanceBlock(codes []int32, n, col int) {
+	if !p.fired {
+		p.fired = true
+		panic("fused block bug")
+	}
+	p.Model.AdvanceBlock(codes, n, col)
+}
+
+// TestEstimateFusedBlockPanicReserved: a panic inside a fused block is
+// contained — every query in the poisoned block is re-served individually
+// and, because chunk streams are keyed by (query, chunk), still returns the
+// bit-identical sequential answer.
+func TestEstimateFusedBlockPanicReserved(t *testing.T) {
+	tbl := corrTable(t, 1500, 3)
+	regs := fusedWorkload(t, tbl)
+	domains := tbl.DomainSizes()
+	const samples, seed = 300, 42
+
+	seq := NewEstimator(testMADE(domains), samples, seed)
+	seq.EnumThreshold = 40
+	want := seq.EstimateBatchCtx(context.Background(), regs, ServeOptions{Workers: 1})
+
+	pb := &panicBlock{Model: testMADE(domains)}
+	fused := NewEstimator(pb, samples, seed)
+	fused.EnumThreshold = 40
+	got := fused.EstimateFused(context.Background(), regs, ServeOptions{})
+	if !pb.fired {
+		t.Fatal("block panic never triggered; fused path not taken")
+	}
+	requireFusedMatch(t, got, want)
+}

@@ -61,3 +61,37 @@ type SequentialModel interface {
 	// columns 0..NumCols()-1 in order over a batch of n tuples.
 	BeginSampling(n int)
 }
+
+// BlockModel is an optional extension for models whose sampling walk is
+// separable into a trunk advance and a head readout — the hooks the fused
+// cross-query scheduler drives. One BeginSampling/AdvanceBlock/DecodeBlock
+// walk carries sample chunks of many queries stacked into one tall batch:
+// the trunk refresh and the per-column GEMMs run once over all rows, while
+// each query keeps its own RNG stream, so the fused result is bit-identical
+// to serving the queries one at a time.
+type BlockModel interface {
+	SequentialModel
+
+	// AdvanceBlock folds the previously decoded column's codes (those with
+	// code -1 are treated as absent) and brings the trunk state current for
+	// decoding col. n may shrink between calls — retired tail rows drop out
+	// of the batch — but never grow; col must be strictly greater than the
+	// last advanced column (skipped intermediate columns are treated as
+	// absent for every row).
+	AdvanceBlock(codes []int32, n, col int)
+
+	// DecodeBlock writes P̂(X_col | x_<col) for rows [r0, r1) of the current
+	// block into out (out[i] holds row r0+i). AdvanceBlock(_, _, col) must
+	// have run first.
+	DecodeBlock(col, r0, r1 int, out [][]float64)
+}
+
+// WildcardSkipper is an optional extension for models that accept code -1 as
+// "column absent" in CondBatch/AdvanceBlock inputs, letting the sampler skip
+// the sampling step for interior wildcard columns entirely instead of
+// drawing through them. Estimators only take the skip path when the model
+// opts in AND Estimator.SkipWildcards is set.
+type WildcardSkipper interface {
+	// SkipsWildcards reports whether absent-column (-1) codes are supported.
+	SkipsWildcards() bool
+}

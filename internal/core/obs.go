@@ -19,6 +19,7 @@ const (
 	metricPathDegraded     = "naru_query_path_degraded_total"
 	metricPathFallback     = "naru_query_path_fallback_total"
 	metricPathFailed       = "naru_query_path_failed_total"
+	metricPathShed         = "naru_query_path_shed_total"
 	metricPanicsRecovered  = "naru_query_panics_recovered_total"
 	metricSamplesRequested = "naru_sample_paths_requested_total"
 	metricSamplesCompleted = "naru_sample_paths_completed_total"
@@ -39,6 +40,7 @@ type estObs struct {
 	pathDegraded     *obs.Counter
 	pathFallback     *obs.Counter
 	pathFailed       *obs.Counter
+	pathShed         *obs.Counter
 	panicsRecovered  *obs.Counter
 	samplesRequested *obs.Counter
 	samplesCompleted *obs.Counter
@@ -63,6 +65,7 @@ func (e *Estimator) SetObserver(r *obs.Registry) {
 		pathDegraded:     r.Counter(metricPathDegraded),
 		pathFallback:     r.Counter(metricPathFallback),
 		pathFailed:       r.Counter(metricPathFailed),
+		pathShed:         r.Counter(metricPathShed),
 		panicsRecovered:  r.Counter(metricPanicsRecovered),
 		samplesRequested: r.Counter(metricSamplesRequested),
 		samplesCompleted: r.Counter(metricSamplesCompleted),
@@ -146,10 +149,37 @@ func (e *Estimator) observeServed(res *Result, reg *query.Region, deadline time.
 		StdErr:       res.StdErr,
 		LatencyNS:    elapsed.Nanoseconds(),
 		Recovered:    recovered,
+		StopReason:   res.Stop.String(),
 		ModelVersion: res.ModelVersion,
 	}
 	if deadline > 0 {
 		tr.DeadlineSlackNS = (deadline - elapsed).Nanoseconds()
+	}
+	if res.Err != nil {
+		tr.Err = res.Err.Error()
+	}
+	o.reg.RecordTrace(tr)
+}
+
+// ObserveShed records a query that admission control rejected before it
+// reached the model (the request coalescer's queue-depth shedding), so shed
+// load shows up in the same metric families and trace ring as served load.
+// res carries the answer the caller produced instead (the fallback estimate,
+// or a failure). A no-op without an attached registry.
+func (e *Estimator) ObserveShed(res *Result, elapsed time.Duration) {
+	o := &e.obs
+	if o.reg == nil {
+		return
+	}
+	o.queries.Inc()
+	o.pathShed.Inc()
+	o.latency.ObserveDuration(elapsed)
+	tr := obs.QueryTrace{
+		Path:         obs.PathShed,
+		Sel:          res.Sel,
+		LatencyNS:    elapsed.Nanoseconds(),
+		StopReason:   res.Stop.String(),
+		ModelVersion: res.ModelVersion,
 	}
 	if res.Err != nil {
 		tr.Err = res.Err.Error()

@@ -34,6 +34,17 @@ type Estimator struct {
 	// up to which exact enumeration is used instead of sampling.
 	EnumThreshold float64
 
+	// SkipWildcards, on models that support absent-column codes (see
+	// WildcardSkipper), makes the sampling walk skip interior wildcard
+	// columns entirely: no conditional is decoded and no code drawn, the
+	// trunk treats the column as absent. This trades per-query model passes
+	// for a zero-input approximation of the marginal — exact only for models
+	// trained with wildcard input masking — so it is off by default; the
+	// default walk draws through wildcards, which marginalizes them without
+	// bias. Changing it changes the RNG consumption pattern, so flip it only
+	// between batches, never while comparing against a run made without it.
+	SkipWildcards bool
+
 	// order, when non-nil, maps model positions to original column indices
 	// for models trained under a column permutation (see
 	// NewEstimatorWithOrder).
@@ -60,6 +71,10 @@ type Estimator struct {
 	pool     sync.Pool  // *scratch replicas, used when forkable
 	mu       sync.Mutex // guards primary otherwise
 	primary  *scratch
+
+	// fusedPool recycles the tall block buffers of the fused cross-query
+	// scheduler (see fused.go) across EstimateFused calls.
+	fusedPool sync.Pool
 }
 
 // scratch bundles everything one in-flight query needs: a model (the shared
@@ -223,14 +238,18 @@ func (e *Estimator) EstimateBatch(regions []*query.Region, workers int) []float6
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			// One scratch per worker for its whole run: acquiring per query
+			// costs a pool round-trip (and, for forkable models, rebroadcast
+			// of the replica's sampling state) on every iteration, which at
+			// small per-query cost erases the batching win.
+			sc := e.acquire()
+			defer e.release(sc)
 			for {
 				i := int(next.Add(1)) - 1
 				if i >= len(regions) {
 					return
 				}
-				sc := e.acquire()
 				out[i], _ = e.estimateObserved(sc, regions[i], base+uint64(i))
-				e.release(sc)
 			}
 		}()
 	}
@@ -455,6 +474,11 @@ func (e *Estimator) ProgressiveSample(reg *query.Region, s int) float64 {
 // i.i.d. unbiased estimates). The stderr travels back through the return
 // path so concurrent queries cannot mis-attribute each other's errors; the
 // shared LastStdErr slot is only the last-finished convenience mirror.
+//
+// The walk runs in independently seeded chunks keyed by (query, chunk) —
+// the same streams the anytime serving path and the fused cross-query
+// scheduler use — so a query's estimate is bit-identical across all three
+// entry points and never depends on how its samples were scheduled.
 func (e *Estimator) progressiveSample(sc *scratch, reg *query.Region, s int, q uint64) (sel, stderr float64) {
 	if reg.IsEmpty() {
 		e.storeStdErr(0)
@@ -463,22 +487,26 @@ func (e *Estimator) progressiveSample(sc *scratch, reg *query.Region, s int, q u
 	if s > e.samples {
 		s = e.samples
 	}
-	sc.rng.Seed(e.seedFor(q))
 	last, valid := e.restrictedPrefix(sc, reg)
-	e.walkPaths(sc, reg, s, last, valid)
-	weights := sc.weights[:s]
-	var sum float64
-	for _, w := range weights {
-		sum += w
+	var sum, sumsq float64
+	for done := 0; done < s; {
+		cn := s - done
+		if cn > anytimeChunk {
+			cn = anytimeChunk
+		}
+		sc.rng.Seed(mixSeed(e.seedFor(q), int64(done/anytimeChunk)))
+		e.walkPaths(sc, reg, cn, last, valid)
+		for _, w := range sc.weights[:cn] {
+			sum += w
+			sumsq += w * w
+		}
+		done += cn
 	}
 	mean := sum / float64(s)
-	var sq float64
-	for _, w := range weights {
-		d := w - mean
-		sq += d * d
-	}
 	if s > 1 {
-		stderr = math.Sqrt(sq / float64(s-1) / float64(s))
+		if variance := (sumsq - sum*sum/float64(s)) / float64(s-1); variance > 0 {
+			stderr = math.Sqrt(variance / float64(s))
+		}
 	}
 	e.storeStdErr(stderr)
 	return clampProb(mean), stderr
@@ -500,6 +528,16 @@ func (e *Estimator) restrictedPrefix(sc *scratch, reg *query.Region) (last int, 
 	return last, e.materializeValid(sc, reg, last+1)
 }
 
+// skipEnabled reports whether the walk may skip interior wildcard columns:
+// the estimator opted in AND the model accepts absent-column codes.
+func (e *Estimator) skipEnabled(m Model) bool {
+	if !e.SkipWildcards {
+		return false
+	}
+	ws, ok := m.(WildcardSkipper)
+	return ok && ws.SkipsWildcards()
+}
+
 // walkPaths advances s progressive-sampling paths through model positions
 // 0..last (Algorithm 1), leaving the per-path importance weights in
 // sc.weights[:s]. The caller owns RNG seeding, so one query can run as a
@@ -507,9 +545,14 @@ func (e *Estimator) restrictedPrefix(sc *scratch, reg *query.Region) (last int, 
 // seeded chunks (the anytime serving path in serve.go).
 func (e *Estimator) walkPaths(sc *scratch, reg *query.Region, s, last int, valid [][]int32) {
 	n := sc.model.NumCols()
+	skip := e.skipEnabled(sc.model)
 	codes := sc.codes[:s*n]
+	fill := int32(0)
+	if skip {
+		fill = -1 // unvisited columns read as absent, not as code 0
+	}
 	for i := range codes {
-		codes[i] = 0
+		codes[i] = fill
 	}
 	weights := sc.weights[:s]
 	for i := range weights {
@@ -520,45 +563,61 @@ func (e *Estimator) walkPaths(sc *scratch, reg *query.Region, s, last int, valid
 	}
 	for col := 0; col <= last; col++ {
 		cr := &reg.Cols[e.colAt(col)]
-		vs := valid[col]
-		sc.model.CondBatch(codes, s, col, sc.probs[:s])
-		for r := 0; r < s; r++ {
-			if weights[r] == 0 {
-				// Dead path: keep its codes valid so later CondBatch calls
-				// stay well-defined, but it contributes nothing.
-				codes[r*n+col] = vs[0]
-				continue
-			}
-			p := sc.probs[r]
-			var mass float64
-			if cr.IsAll() {
-				mass = 1
-			} else {
-				for _, v := range vs {
-					mass += p[v]
-				}
-			}
-			if mass <= 0 || math.IsNaN(mass) {
-				weights[r] = 0
-				codes[r*n+col] = vs[0]
-				continue
-			}
-			weights[r] *= mass
-			// Draw x_col ~ P̂(X_col | X_col ∈ R_col, x_<col): inverse-CDF
-			// over the re-normalized in-range slice (Alg. 1 lines 12-15),
-			// falling back to the last valid code on numerical slack.
-			u := sc.rng.Float64() * mass
-			var cum float64
-			pick := vs[len(vs)-1]
-			for _, v := range vs {
-				cum += p[v]
-				if cum >= u {
-					pick = v
-					break
-				}
-			}
-			codes[r*n+col] = pick
+		if skip && cr.IsAll() {
+			// Interior wildcard: no conditional, no draw — the model treats
+			// the column as absent when later folds see its -1 codes.
+			continue
 		}
+		sc.model.CondBatch(codes, s, col, sc.probs[:s])
+		drawRows(sc.rng, cr.IsAll(), valid[col], codes, n, col, sc.probs, weights, 0, s)
+	}
+}
+
+// drawRows runs the per-row mass/draw step of Algorithm 1 for rows [r0, r1)
+// of one decoded column: multiply each live path's weight by the in-range
+// mass P̂(X_col ∈ R_col | x_<col) and draw its next code by inverse CDF over
+// the valid list. It is shared between the sequential walk (one rng, all
+// rows) and the fused scheduler (one rng per query-chunk lane, that lane's
+// row range) — rows are advanced in index order either way, so a lane's
+// draws depend only on its own rng stream and its rows' decoded
+// conditionals, never on where the lane sits in a block.
+func drawRows(rng *rand.Rand, isAll bool, vs []int32, codes []int32, nc, col int, probs [][]float64, weights []float64, r0, r1 int) {
+	for r := r0; r < r1; r++ {
+		if weights[r] == 0 {
+			// Dead path: keep its codes valid so later CondBatch calls
+			// stay well-defined, but it contributes nothing.
+			codes[r*nc+col] = vs[0]
+			continue
+		}
+		p := probs[r]
+		var mass float64
+		if isAll {
+			mass = 1
+		} else {
+			for _, v := range vs {
+				mass += p[v]
+			}
+		}
+		if mass <= 0 || math.IsNaN(mass) {
+			weights[r] = 0
+			codes[r*nc+col] = vs[0]
+			continue
+		}
+		weights[r] *= mass
+		// Draw x_col ~ P̂(X_col | X_col ∈ R_col, x_<col): inverse-CDF
+		// over the re-normalized in-range slice (Alg. 1 lines 12-15),
+		// falling back to the last valid code on numerical slack.
+		u := rng.Float64() * mass
+		var cum float64
+		pick := vs[len(vs)-1]
+		for _, v := range vs {
+			cum += p[v]
+			if cum >= u {
+				pick = v
+				break
+			}
+		}
+		codes[r*nc+col] = pick
 	}
 }
 

@@ -49,6 +49,46 @@ func (s Source) String() string {
 	return fmt.Sprintf("Source(%d)", int(s))
 }
 
+// StopReason records why a sampling query stopped where it did, so degraded
+// and early-stopped answers are distinguishable from full-budget ones in
+// Results and query traces.
+type StopReason int
+
+const (
+	// StopNone: the full sample budget ran (or the query never sampled —
+	// enumeration, empty region, failure before sampling).
+	StopNone StopReason = iota
+	// StopTargetStdErr: the adaptive budget retired the query early because
+	// its relative standard error reached ServeOptions.TargetRelStdErr.
+	StopTargetStdErr
+	// StopDeadline: the per-query deadline expired mid-walk; the estimate
+	// covers only the completed chunks.
+	StopDeadline
+	// StopCancel: the context was cancelled mid-walk.
+	StopCancel
+	// StopShed: admission control rejected the query before sampling (see
+	// the request coalescer's queue-depth shedding).
+	StopShed
+)
+
+// String implements fmt.Stringer; the empty string for StopNone keeps it out
+// of JSON traces via omitempty.
+func (s StopReason) String() string {
+	switch s {
+	case StopNone:
+		return ""
+	case StopTargetStdErr:
+		return "target_stderr"
+	case StopDeadline:
+		return "deadline"
+	case StopCancel:
+		return "cancel"
+	case StopShed:
+		return "shed"
+	}
+	return fmt.Sprintf("StopReason(%d)", int(s))
+}
+
 // Result is one served estimate with provenance.
 type Result struct {
 	// Sel is the estimated selectivity in [0, 1].
@@ -61,6 +101,9 @@ type Result struct {
 	// Samples is the number of progressive-sampling paths that contributed
 	// (0 when enumeration answered, or for fallback/failed results).
 	Samples int
+	// Stop records why sampling stopped short of the full budget (StopNone
+	// for full-budget, enumeration, and empty-region results).
+	Stop StopReason
 	// Err records why the model path failed. It is non-nil for SourceFailed
 	// and preserved alongside SourceFallback results so callers can log the
 	// original failure.
@@ -99,6 +142,17 @@ type ServeOptions struct {
 	// tagged SourceDegraded. A context deadline composes with it — whichever
 	// is sooner wins.
 	Deadline time.Duration
+
+	// TargetRelStdErr, when positive, enables adaptive per-query sample
+	// budgets: a sampling query whose relative standard error
+	// (StdErr / estimate) has reached the target retires early instead of
+	// running its full budget. The check runs at fixed wave boundaries
+	// (after 2 and after 6 completed chunks — see anytimeChunk), the same
+	// boundaries the fused scheduler uses, so the early-stop decision and
+	// the resulting estimate are bit-identical across serving entry points.
+	// Early-stopped results keep Source == SourceModel and carry
+	// Stop == StopTargetStdErr with Samples showing the spent budget.
+	TargetRelStdErr float64
 
 	// Fallback, when non-nil, answers queries whose model path failed
 	// (panic, cancellation, exhausted budget, non-finite estimate). The
@@ -144,29 +198,23 @@ func (e *Estimator) EstimateBatchCtx(ctx context.Context, regions []*query.Regio
 	if workers > len(regions) {
 		workers = len(regions)
 	}
-	serve := func(i int) {
+	serve := func(sc *scratch, i int) {
 		var start time.Time
 		if e.obs.reg != nil {
 			start = time.Now()
 		}
-		res := e.serveOne(ctx, regions[i], base+uint64(i), i, &opts)
-		if res.Err != nil && opts.Fallback != nil {
-			if v, ferr := safeFallback(opts.Fallback, regions[i]); ferr == nil {
-				res = Result{Sel: clampProb(v), Source: SourceFallback, Err: res.Err}
-			} else {
-				res.Source = SourceFailed
-				res.Err = errors.Join(res.Err, ferr)
-			}
-		}
-		res.ModelVersion = e.version.Load()
+		res := e.serveOne(ctx, sc, regions[i], base+uint64(i), i, &opts)
+		res = e.routeFallback(res, regions[i], &opts)
 		out[i] = res
 		if e.obs.reg != nil {
 			e.observeServed(&res, regions[i], opts.Deadline, time.Since(start))
 		}
 	}
 	if workers == 1 {
+		sc := e.acquire()
+		defer e.release(sc)
 		for i := range regions {
-			serve(i)
+			serve(sc, i)
 		}
 		return out
 	}
@@ -176,12 +224,17 @@ func (e *Estimator) EstimateBatchCtx(ctx context.Context, regions []*query.Regio
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			// One scratch per worker (not per query): the checkout is cheap
+			// but not free, and per-query round-trips through the fork pool
+			// were measurable against the per-query serving cost.
+			sc := e.acquire()
+			defer e.release(sc)
 			for {
 				i := int(next.Add(1)) - 1
 				if i >= len(regions) {
 					return
 				}
-				serve(i)
+				serve(sc, i)
 			}
 		}()
 	}
@@ -189,10 +242,28 @@ func (e *Estimator) EstimateBatchCtx(ctx context.Context, regions []*query.Regio
 	return out
 }
 
+// routeFallback applies the fallback/version bookkeeping that turns a raw
+// serve result into the batch's final answer; shared by the per-query
+// workers above and the fused scheduler.
+func (e *Estimator) routeFallback(res Result, reg *query.Region, opts *ServeOptions) Result {
+	if res.Err != nil && opts.Fallback != nil {
+		if v, ferr := safeFallback(opts.Fallback, reg); ferr == nil {
+			res = Result{Sel: clampProb(v), Source: SourceFallback, Err: res.Err, Stop: res.Stop}
+		} else {
+			res.Source = SourceFailed
+			res.Err = errors.Join(res.Err, ferr)
+		}
+	}
+	res.ModelVersion = e.version.Load()
+	return res
+}
+
 // serveOne runs one query with panic isolation: a panic anywhere in the
 // model, sampler, or injected hooks is converted into a per-query error so
-// the rest of the batch is untouched.
-func (e *Estimator) serveOne(ctx context.Context, reg *query.Region, q uint64, i int, opts *ServeOptions) (res Result) {
+// the rest of the batch is untouched. The caller owns the scratch; a panic
+// may leave its sampling state mid-walk, but the next walk's BeginSampling
+// resets it.
+func (e *Estimator) serveOne(ctx context.Context, sc *scratch, reg *query.Region, q uint64, i int, opts *ServeOptions) (res Result) {
 	defer func() {
 		if r := recover(); r != nil {
 			res = Result{Source: SourceFailed, Err: fmt.Errorf("%w: query %d: %v", ErrPanicked, i, r)}
@@ -211,16 +282,15 @@ func (e *Estimator) serveOne(ctx context.Context, reg *query.Region, q uint64, i
 	if dl, ok := ctx.Deadline(); ok && (deadline.IsZero() || dl.Before(deadline)) {
 		deadline = dl
 	}
-	sc := e.acquire()
-	defer e.release(sc)
-	return e.estimateAnytime(ctx, sc, reg, q, deadline)
+	return e.estimateAnytime(ctx, sc, reg, q, deadline, opts.TargetRelStdErr)
 }
 
 // estimateAnytime mirrors estimateAt's enumeration/sampling dispatch, but
 // the sampling arm runs in independently seeded chunks with deadline and
 // cancellation checks at chunk boundaries: an expired budget returns the
-// anytime estimate over the chunks that did complete.
-func (e *Estimator) estimateAnytime(ctx context.Context, sc *scratch, reg *query.Region, q uint64, deadline time.Time) Result {
+// anytime estimate over the chunks that did complete, and a met
+// TargetRelStdErr retires the query at the next wave boundary.
+func (e *Estimator) estimateAnytime(ctx context.Context, sc *scratch, reg *query.Region, q uint64, deadline time.Time, targetRel float64) Result {
 	if len(reg.Cols) != sc.model.NumCols() {
 		return Result{Source: SourceFailed, Err: fmt.Errorf("core: region over %d columns, model has %d",
 			len(reg.Cols), sc.model.NumCols())}
@@ -236,15 +306,18 @@ func (e *Estimator) estimateAnytime(ctx context.Context, sc *scratch, reg *query
 	}
 	last, valid := e.restrictedPrefix(sc, reg)
 	var sum, sumsq float64
-	done := 0
+	done, chunks := 0, 0
+	stop := StopNone
 	for done < e.samples {
 		if err := ctx.Err(); err != nil {
 			if done == 0 {
 				return Result{Source: SourceFailed, Err: err}
 			}
+			stop = StopCancel
 			break
 		}
 		if !deadline.IsZero() && !time.Now().Before(deadline) {
+			stop = StopDeadline
 			break
 		}
 		cn := e.samples - done
@@ -260,25 +333,63 @@ func (e *Estimator) estimateAnytime(ctx context.Context, sc *scratch, reg *query
 			sumsq += w * w
 		}
 		done += cn
+		chunks++
+		if targetRel > 0 && done < e.samples && targetWaveBoundary(chunks) &&
+			targetMet(sum, sumsq, done, targetRel) {
+			stop = StopTargetStdErr
+			break
+		}
 	}
 	if done == 0 {
 		return Result{Source: SourceFailed, Err: ErrBudgetExhausted}
 	}
-	mean := sum / float64(done)
-	if !isFinite(mean) {
-		return Result{Source: SourceFailed, Err: ErrNonFinite}
-	}
-	var stderr float64
+	return e.finalizeSample(sum, sumsq, done, stop)
+}
+
+// targetWaveBoundary reports whether the adaptive budget is consulted after
+// this many completed chunks. The boundaries (2 chunks, then 6) are the
+// fused scheduler's wave sizes; checking at exactly these points — rather
+// than every chunk — keeps early-stop decisions bit-identical between
+// sequential and fused serving, since both see the same accumulated sums at
+// the same points.
+func targetWaveBoundary(chunksDone int) bool {
+	return chunksDone == 2 || chunksDone == 6
+}
+
+// meanStdErr turns running sums of the per-path weights into the Monte
+// Carlo mean and standard error.
+func meanStdErr(sum, sumsq float64, done int) (mean, stderr float64) {
+	mean = sum / float64(done)
 	if done > 1 {
 		if variance := (sumsq - sum*sum/float64(done)) / float64(done-1); variance > 0 {
 			stderr = math.Sqrt(variance / float64(done))
 		}
 	}
+	return mean, stderr
+}
+
+// targetMet reports whether the relative standard error has reached the
+// adaptive-budget target. An all-zero accumulation (mean 0, stderr 0) counts
+// as met: more chunks of zeros cannot move the estimate.
+func targetMet(sum, sumsq float64, done int, target float64) bool {
+	mean, stderr := meanStdErr(sum, sumsq, done)
+	return isFinite(mean) && stderr <= target*mean
+}
+
+// finalizeSample turns accumulated chunk sums into a sampling Result.
+// Deadline and cancellation stops are SourceDegraded (the budget was cut
+// short of the query's accuracy contract); an adaptive-budget stop keeps
+// SourceModel — it met the requested accuracy, just cheaper.
+func (e *Estimator) finalizeSample(sum, sumsq float64, done int, stop StopReason) Result {
+	mean, stderr := meanStdErr(sum, sumsq, done)
+	if !isFinite(mean) {
+		return Result{Source: SourceFailed, Err: ErrNonFinite}
+	}
 	src := SourceModel
-	if done < e.samples {
+	if done < e.samples && stop != StopTargetStdErr {
 		src = SourceDegraded
 	}
-	return Result{Sel: clampProb(mean), StdErr: stderr, Source: src, Samples: done}
+	return Result{Sel: clampProb(mean), StdErr: stderr, Source: src, Samples: done, Stop: stop}
 }
 
 // safeFallback runs the fallback estimator with its own panic isolation: a

@@ -1,0 +1,296 @@
+package made
+
+import (
+	"fmt"
+
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// Block-granular sampling. The fused serving engine (internal/core) walks many
+// queries' sample rows through the network as one tall batch, column by
+// column. Two things distinguish that walk from the strict sequential one the
+// delta-forward cache (infer.go) was built for:
+//
+//   - columns may be skipped: a query with an interior wildcard never samples
+//     the column, so its code stays -1 and the input block stays zero — the
+//     autoregressive state must advance across the gap without a decode;
+//   - only a row range of the batch may need a column's conditionals, and the
+//     active batch shrinks as finished queries retire from the tail.
+//
+// AdvanceBlock/DecodeBlock split CondBatch into those two halves, and the
+// suffix refresh of the old walk tightens into *degree bands*: revealing
+// column c dirties units of degree ≥ c+1, but decoding column col only reads
+// units of degree ≤ col, so the walk lazily refreshes each layer's band
+// [refreshed[l], hidStart[l][col+1]) exactly once — over a whole walk every
+// hidden unit is recomputed once instead of once per remaining column, an
+// ~ncols/2× reduction in trunk work. Band results are bit-identical to the
+// eager suffix refresh: a band GEMM reads only the (current) prefix of the
+// previous layer admitted by its degree, and the masked weights above that
+// prefix are exactly zero.
+//
+// All weight windows the walk replays — degree bands, per-column head
+// prefixes, decode transposes, and the first layer's embedded-fold blocks —
+// are packed once and cached on the model (invalidated by training), so the
+// per-step GEMMs skip the pack pass entirely.
+
+// packCache holds pre-packed weight windows for the block sampling path. It
+// is per-model state (forks build their own) and is dropped whenever a
+// training step changes the parameters.
+type packCache struct {
+	band [][]*tensor.PackedB // [layer][degree]: W_l rows [:Kprev], cols = degree band
+	head []*tensor.PackedB   // [col]: head.W rows [:Kc], cols = col's head block
+	dec  []*tensor.PackedB   // [col]: PackTrans of the column's decode matrix
+	w1   []*tensor.PackedB   // [col]: W1 rows = col's input block, cols [s0:)
+}
+
+// invalidatePacks drops every cached packing; the next block walk repacks
+// lazily from the updated weights.
+func (m *Model) invalidatePacks() { m.packs = packCache{} }
+
+// bandPack returns (building if needed) the packed window of hidden layer l's
+// weights covering degree band d: output columns [hidStart[l][d],
+// hidStart[l][d+1]), input rows limited to the prefix of the previous layer
+// the band's mask admits (degree ≤ d). l counts hidden layers (l ≥ 1; layer 0
+// is maintained by the fold itself).
+func (m *Model) bandPack(l, d int) *tensor.PackedB {
+	pc := &m.packs
+	if pc.band == nil {
+		pc.band = make([][]*tensor.PackedB, len(m.hidStart))
+	}
+	if pc.band[l] == nil {
+		pc.band[l] = make([]*tensor.PackedB, len(m.domains)+1)
+	}
+	pb := pc.band[l][d]
+	if pb == nil {
+		lin := m.trunk.Layers[2*l].(*nn.Linear)
+		b0, b1 := m.hidStart[l][d], m.hidStart[l][d+1]
+		kPrev := m.hidStart[l-1][d+1] // first prev-layer unit the mask zeroes
+		pb = new(tensor.PackedB)
+		pb.PackRange(lin.W.Val, 0, kPrev, b0, b1)
+		pc.band[l][d] = pb
+	}
+	return pb
+}
+
+// headPack returns the packed K-prefix window of the head weights for col:
+// rows limited to the last-layer units of degree ≤ col (all others are
+// masked to zero), columns = the column's head block.
+func (m *Model) headPack(col int) *tensor.PackedB {
+	pc := &m.packs
+	if pc.head == nil {
+		pc.head = make([]*tensor.PackedB, len(m.domains))
+	}
+	pb := pc.head[col]
+	if pb == nil {
+		c := &m.codecs[col]
+		kc := m.hidStart[len(m.hidStart)-1][col+1]
+		pb = new(tensor.PackedB)
+		pb.PackRange(m.head.W.Val, 0, kc, c.headOff, c.headOff+c.headW)
+		pc.head[col] = pb
+	}
+	return pb
+}
+
+// decPack returns the packed transpose of col's decode matrix (embedding
+// reuse: logits = block·Eᵀ).
+func (m *Model) decPack(col int) *tensor.PackedB {
+	pc := &m.packs
+	if pc.dec == nil {
+		pc.dec = make([]*tensor.PackedB, len(m.domains))
+	}
+	pb := pc.dec[col]
+	if pb == nil {
+		pb = new(tensor.PackedB)
+		pb.PackTrans(m.codecs[col].dec.Val)
+		pc.dec[col] = pb
+	}
+	return pb
+}
+
+// w1Pack returns the packed window of the first layer's weights for folding
+// an embedded column col: rows = the column's input block, columns = the
+// suffix its degree can reach.
+func (m *Model) w1Pack(col int) *tensor.PackedB {
+	pc := &m.packs
+	if pc.w1 == nil {
+		pc.w1 = make([]*tensor.PackedB, len(m.domains))
+	}
+	pb := pc.w1[col]
+	if pb == nil {
+		c := &m.codecs[col]
+		w1 := m.firstLinear().W.Val
+		s0 := m.hidStart[0][col+1]
+		pb = new(tensor.PackedB)
+		pb.PackRange(w1, c.inOff, c.inOff+c.inW, s0, w1.Cols)
+		pc.w1[col] = pb
+	}
+	return pb
+}
+
+// foldColumn folds the freshly sampled codes of column cc into the first
+// layer's caches for rows [0, n): h1pre's suffix [hidStart[0][cc+1]:)
+// accumulates the column's input-block contribution and post[0] re-clamps the
+// same window, exactly as the eager walk did. Rows whose code is negative
+// (wildcard-skipped or already-retired lanes whose column never sampled)
+// contribute nothing — their input block stays zero. Deeper layers are only
+// marked stale; AdvanceBlock refreshes them band-by-band on demand.
+func (m *Model) foldColumn(codes []int32, n, cc int) {
+	s := &m.samp
+	c := &m.codecs[cc]
+	nc := len(m.domains)
+	s0 := m.hidStart[0][cc+1]
+	w1 := m.firstLinear().W.Val
+	if s0 < s.h1pre.Cols {
+		pre, post0 := s.h1pre, s.post[0]
+		if c.embedded {
+			// Gather the embedding rows and fold them with one accumulating
+			// GEMM against the cached weight window; zero rows (negative
+			// codes) add exact zeros.
+			embA := resizeMat(m.infer.embA, n, c.inW)
+			m.infer.embA = embA
+			for r := 0; r < n; r++ {
+				dst := embA.Row(r)
+				if code := codes[r*nc+cc]; code >= 0 {
+					c.emb.Lookup(code, dst)
+				} else {
+					for j := range dst {
+						dst[j] = 0
+					}
+				}
+			}
+			preView := tensor.FromSlice(n, pre.Cols, pre.Data[:n*pre.Cols])
+			tensor.MatMulPackedWindow(preView, embA, m.w1Pack(cc), nil, false, true, s0)
+			tensor.ParallelFor(n, func(start, end int) {
+				for r := start; r < end; r++ {
+					dst := pre.Row(r)[s0:]
+					po := post0.Row(r)[s0:]
+					for j, v := range dst {
+						if v > 0 {
+							po[j] = v
+						} else {
+							po[j] = 0
+						}
+					}
+				}
+			})
+		} else {
+			tensor.ParallelFor(n, func(start, end int) {
+				for r := start; r < end; r++ {
+					dst := pre.Row(r)[s0:]
+					if code := codes[r*nc+cc]; code >= 0 {
+						tensor.Axpy(1, w1.Row(c.inOff+int(code))[s0:], dst)
+					}
+					po := post0.Row(r)[s0:]
+					for j, v := range dst {
+						if v > 0 {
+							po[j] = v
+						} else {
+							po[j] = 0
+						}
+					}
+				}
+			})
+		}
+	}
+	// Deeper layers: revealing a column of input degree cc+1 dirties units of
+	// degree ≥ cc+1. Layer 0 was fully re-clamped above.
+	for l := 1; l < len(s.post); l++ {
+		if t := m.hidStart[l][cc+1]; t < s.refreshed[l] {
+			s.refreshed[l] = t
+		}
+	}
+}
+
+// AdvanceBlock moves the walk's autoregressive state to column col over rows
+// [0, n): it folds the codes of the last decoded column (reading only columns
+// < col; negative codes contribute nothing) and refreshes each hidden layer's
+// stale degree bands up to what decoding col reads. Columns may be skipped —
+// their codes stay -1 — and n may shrink between calls as finished lanes
+// retire from the batch's tail; it must never grow within one walk.
+func (m *Model) AdvanceBlock(codes []int32, n, col int) {
+	s := &m.samp
+	if !s.active || n > s.n || col < 0 || col >= len(m.domains) {
+		panic(fmt.Sprintf("made: AdvanceBlock(n=%d, col=%d) outside active walk (n=%d, active=%v)",
+			n, col, s.n, s.active))
+	}
+	if s.lastDecoded >= col {
+		panic(fmt.Sprintf("made: AdvanceBlock col %d after col %d", col, s.lastDecoded))
+	}
+	if s.lastDecoded >= 0 {
+		m.foldColumn(codes, n, s.lastDecoded)
+	}
+	for l := 1; l < len(s.post); l++ {
+		hi := m.hidStart[l][col+1]
+		lo := s.refreshed[l]
+		if hi <= lo {
+			continue
+		}
+		cur := s.post[l]
+		prev := s.post[l-1]
+		curView := tensor.FromSlice(n, cur.Cols, cur.Data[:n*cur.Cols])
+		prevView := tensor.FromSlice(n, prev.Cols, prev.Data[:n*prev.Cols])
+		bias := m.trunk.Layers[2*l].(*nn.Linear).B.Val.Data
+		for d := 1; d <= len(m.domains); d++ {
+			b0, b1 := m.hidStart[l][d], m.hidStart[l][d+1]
+			if b1 <= lo || b0 >= hi || b0 == b1 {
+				continue // outside the stale window, or an empty band
+			}
+			tensor.MatMulPackedPrefix(curView, prevView, m.bandPack(l, d), bias[b0:b1], true, false, b0)
+		}
+		s.refreshed[l] = hi
+	}
+	s.lastDecoded = col
+	s.nextCol = col + 1
+}
+
+// DecodeBlock writes P̂(X_col | x_<col) for rows [r0, r1) of the walk into
+// out (one probability vector per row, out[j] for row r0+j). The walk must
+// have been advanced to col; the decode itself is read-only, so disjoint row
+// ranges of the same column can be decoded in any order.
+func (m *Model) DecodeBlock(col, r0, r1 int, out [][]float64) {
+	s := &m.samp
+	if !s.active || s.lastDecoded != col {
+		panic(fmt.Sprintf("made: DecodeBlock(col=%d) without AdvanceBlock (at %d)", col, s.lastDecoded))
+	}
+	if r0 < 0 || r1 < r0 || r1 > s.n {
+		panic(fmt.Sprintf("made: DecodeBlock rows [%d:%d) of %d", r0, r1, s.n))
+	}
+	if r0 == r1 {
+		return
+	}
+	last := s.post[len(s.post)-1]
+	h := tensor.FromSlice(r1-r0, last.Cols, last.Data[r0*last.Cols:r1*last.Cols])
+	m.decodeHidden(h, r1-r0, col, out)
+}
+
+// decodeHidden decodes column col's conditionals from final hidden
+// activations h (n rows): the cached K-prefix head product, the cached
+// embedding-reuse product when the column has one, and the fast row softmax.
+// The head reads only last-layer units of degree ≤ col — a prefix under
+// degree sorting — so rows of h beyond that prefix may hold stale values; the
+// masked weights there are exactly zero and the prefix kernel never reads
+// them.
+func (m *Model) decodeHidden(h *tensor.Matrix, n, col int, out [][]float64) {
+	c := &m.codecs[col]
+	block := resizeMat(m.infer.head, n, c.headW)
+	m.infer.head = block
+	bias := m.head.B.Val.Data[c.headOff : c.headOff+c.headW]
+	tensor.MatMulPackedPrefix(block, h, m.headPack(col), bias, false, false, 0)
+	if c.dec == nil {
+		for r := 0; r < n; r++ {
+			nn.SoftmaxProb(block.Row(r), out[r][:c.domain])
+		}
+		return
+	}
+	logits := resizeMat(m.infer.logits, n, c.domain)
+	m.infer.logits = logits
+	tensor.MatMulPacked(logits, block, m.decPack(col), nil, false, false)
+	for r := 0; r < n; r++ {
+		nn.SoftmaxProb(logits.Row(r), out[r][:c.domain])
+	}
+}
+
+// SkipsWildcards implements core.WildcardSkipper: the walk tolerates skipped
+// columns (codes left at -1 advance the state with a zero input block).
+func (m *Model) SkipsWildcards() bool { return true }

@@ -1,0 +1,95 @@
+package made
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestBlockWalkMatchesReference drives the AdvanceBlock/DecodeBlock API the
+// way the fused serving engine does — interior wildcard skips, row-ranged
+// decodes, and a batch that shrinks as tail lanes retire — and checks every
+// decoded conditional against the training-path forward over the same
+// -1-marked codes.
+func TestBlockWalkMatchesReference(t *testing.T) {
+	domains := []int{5, 80, 3, 100, 7, 64}
+	m := New(domains, tinyConfig(21))
+	ref := New(domains, tinyConfig(21))
+	rng := rand.New(rand.NewSource(31))
+	nc := len(domains)
+	n := 13
+	codes := randomCodes(rng, domains, n)
+	// Rows [0,7) skip columns 1 and 4; rows [7,13) skip column 2. A column is
+	// decoded for the row range that wants it and left -1 elsewhere.
+	skips := func(r, col int) bool {
+		if r < 7 {
+			return col == 1 || col == 4
+		}
+		return col == 2
+	}
+	for r := 0; r < n; r++ {
+		for col := 0; col < nc; col++ {
+			if skips(r, col) {
+				codes[r*nc+col] = -1
+			}
+		}
+	}
+
+	out := allocOut(domains, n)
+	want := allocOut(domains, n)
+	m.BeginSampling(n)
+	active := n
+	for col := 0; col < nc; col++ {
+		if col == 5 {
+			active = 7 // rows [7,13) retire from the tail mid-walk
+			for r := active; r < n; r++ {
+				codes[r*nc+col] = -1
+			}
+		}
+		// Row ranges wanting this column, in order.
+		var ranges [][2]int
+		switch {
+		case col == 1 || col == 4:
+			if active > 7 {
+				ranges = [][2]int{{7, active}}
+			}
+		case col == 2:
+			ranges = [][2]int{{0, 7}}
+		default:
+			ranges = [][2]int{{0, active}}
+		}
+		if len(ranges) == 0 {
+			continue // no active row samples this column
+		}
+		m.AdvanceBlock(codes, active, col)
+		condReference(ref, codes, active, col, want)
+		for _, rr := range ranges {
+			m.DecodeBlock(col, rr[0], rr[1], out[rr[0]:rr[1]])
+			if d := maxCondDiff(domains, out[rr[0]:rr[1]], want[rr[0]:rr[1]], col); d > 1e-5 {
+				t.Fatalf("col %d rows %v differ by %g", col, rr, d)
+			}
+		}
+	}
+}
+
+// TestBlockWalkGuards checks the contract panics: decode without advance and
+// backward advances must fail loudly rather than serve stale state.
+func TestBlockWalkGuards(t *testing.T) {
+	m := New([]int{5, 9, 4}, tinyConfig(22))
+	m.BeginSampling(4)
+	codes := make([]int32, 4*3)
+	mustPanic := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s did not panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("DecodeBlock before AdvanceBlock", func() {
+		out := allocOut([]int{5, 9, 4}, 4)
+		m.DecodeBlock(0, 0, 4, out)
+	})
+	m.AdvanceBlock(codes, 4, 1)
+	mustPanic("backward AdvanceBlock", func() { m.AdvanceBlock(codes, 4, 0) })
+	mustPanic("growing batch", func() { m.AdvanceBlock(codes, 6, 2) })
+}

@@ -29,14 +29,22 @@ import (
 // forward path is kept verbatim as the reference (and the fallback for
 // out-of-sequence calls); tests assert the two agree.
 
-// sampState tracks one in-flight sequential sampling walk.
+// sampState tracks one in-flight sampling walk (strictly sequential via
+// CondBatch, or block-granular with skips and tail retirement via
+// AdvanceBlock/DecodeBlock in block.go).
 type sampState struct {
-	active  bool
-	n       int // batch size announced by BeginSampling
-	nextCol int // next column the walk must ask for
+	active      bool
+	n           int // batch size announced by BeginSampling
+	nextCol     int // lowest column the walk will accept next
+	lastDecoded int // column decoded but not yet folded; -1 when none
 
 	h1pre *tensor.Matrix   // n × W1 first-layer pre-activations (bias included)
 	post  []*tensor.Matrix // n × Wl post-ReLU activations, one per hidden layer
+
+	// refreshed[l] is the first unit of hidden layer l (l ≥ 1) whose cached
+	// activation is stale; units below it are current for the folds applied
+	// so far. Layer 0 is kept fully current by the fold itself.
+	refreshed []int
 }
 
 // inferScratch holds buffers reused across CondBatch calls. Everything here
@@ -44,6 +52,7 @@ type sampState struct {
 type inferScratch struct {
 	head   *tensor.Matrix // column head-slice output
 	logits *tensor.Matrix // decoded logits for embedded columns
+	embA   *tensor.Matrix // gathered embedding rows for the fold GEMM
 }
 
 // BeginSampling implements core.SequentialModel: it arms the delta-forward
@@ -86,6 +95,15 @@ func (m *Model) BeginSampling(n int) {
 	m.samp.active = true
 	m.samp.n = n
 	m.samp.nextCol = 0
+	m.samp.lastDecoded = -1
+	// Everything is current for the zero-fold state the broadcast just built.
+	if cap(m.samp.refreshed) < L {
+		m.samp.refreshed = make([]int, L)
+	}
+	m.samp.refreshed = m.samp.refreshed[:L]
+	for l := 0; l < L; l++ {
+		m.samp.refreshed[l] = m.samp.post[l].Cols
+	}
 }
 
 // rowView wraps row 0 of mat as a 1×Cols matrix sharing its storage.
@@ -104,58 +122,6 @@ func broadcastRow0(mat *tensor.Matrix) {
 // firstLinear returns the trunk's first masked layer.
 func (m *Model) firstLinear() *nn.Linear { return m.trunk.Layers[0].(*nn.Linear) }
 
-// condIncremental advances the cached walk to col and writes the conditional
-// distributions. Caller guarantees col == m.samp.nextCol and n == m.samp.n.
-func (m *Model) condIncremental(codes []int32, n, col int, out [][]float64) {
-	L := len(m.samp.post)
-	if col > 0 {
-		// Fold the newly visible column col-1 (input degree col) into the
-		// layer-1 cache: only units with degree >= col can change, and the
-		// masked weights below s0 are exactly zero, so the suffix Axpy is
-		// bit-identical to the full-row one.
-		nc := len(m.domains)
-		c := &m.codecs[col-1]
-		w1 := m.firstLinear().W.Val
-		s0 := m.hidStart[0][col]
-		if s0 < m.samp.h1pre.Cols {
-			pre, post0 := m.samp.h1pre, m.samp.post[0]
-			tensor.ParallelFor(n, func(start, end int) {
-				for r := start; r < end; r++ {
-					dst := pre.Row(r)[s0:]
-					code := int(codes[r*nc+col-1])
-					if c.embedded {
-						e := c.emb.W.Val.Row(code)
-						for k := 0; k < c.inW; k++ {
-							if ek := e[k]; ek != 0 {
-								tensor.Axpy(ek, w1.Row(c.inOff+k)[s0:], dst)
-							}
-						}
-					} else {
-						tensor.Axpy(1, w1.Row(c.inOff+code)[s0:], dst)
-					}
-					po := post0.Row(r)[s0:]
-					for j, v := range dst {
-						if v > 0 {
-							po[j] = v
-						} else {
-							po[j] = 0
-						}
-					}
-				}
-			})
-		}
-		// Deeper layers: rerun just the changed window densely from the
-		// (already current) previous layer's activations.
-		for l := 1; l < L; l++ {
-			lin := m.trunk.Layers[2*l].(*nn.Linear)
-			tensor.LinearReLUCols(m.samp.post[l], m.samp.post[l-1],
-				lin.W.Val, lin.B.Val.Data, true, m.hidStart[l][col])
-		}
-	}
-	m.condFromHidden(m.samp.post[L-1], n, col, out)
-	m.samp.nextCol = col + 1
-}
-
 // trunkTail runs trunk layers after the first Linear+ReLU pair with the
 // fused inference kernels.
 func (m *Model) trunkTail(h *tensor.Matrix) *tensor.Matrix {
@@ -170,29 +136,6 @@ func (m *Model) trunkTail(h *tensor.Matrix) *tensor.Matrix {
 func (m *Model) inferTrunk(x *tensor.Matrix) *tensor.Matrix {
 	h := m.firstLinear().InferForward(x, true)
 	return m.trunkTail(h)
-}
-
-// condFromHidden decodes column col's conditionals from the final hidden
-// activations: the column's head slice, the embedding-reuse product when the
-// column has one, and a row softmax.
-func (m *Model) condFromHidden(h *tensor.Matrix, n, col int, out [][]float64) {
-	c := &m.codecs[col]
-	block := m.headBlock(h, n, col)
-	if c.dec == nil {
-		for r := 0; r < n; r++ {
-			nn.Softmax(block.Row(r), out[r][:c.domain])
-		}
-		return
-	}
-	// logits = block · Eᵀ  (n×h by h×|Ai|), batched through the packed GEMM
-	// instead of per-row dot products.
-	if m.infer.logits == nil || m.infer.logits.Rows != n || m.infer.logits.Cols != c.domain {
-		m.infer.logits = tensor.New(n, c.domain)
-	}
-	tensor.MatMulTransB(m.infer.logits, block, c.dec.Val, false)
-	for r := 0; r < n; r++ {
-		nn.Softmax(m.infer.logits.Row(r), out[r][:c.domain])
-	}
 }
 
 // Fork returns a replica that shares every parameter with m but owns its own

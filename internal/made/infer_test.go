@@ -112,9 +112,41 @@ func TestIncrementalSecondWalkIsClean(t *testing.T) {
 	}
 }
 
+// TestJumpSkipsWildcardColumns checks the in-walk forward jump: columns the
+// walk never sampled (codes -1) are treated as absent, and the conditional
+// matches the full forward pass over the same -1-marked codes.
+func TestJumpSkipsWildcardColumns(t *testing.T) {
+	domains := []int{5, 80, 3, 60, 7}
+	m := New(domains, tinyConfig(5))
+	ref := New(domains, tinyConfig(5))
+	rng := rand.New(rand.NewSource(13))
+	n := 8
+	codes := randomCodes(rng, domains, n)
+	// Columns 1 (embedded) and 3 (embedded) are wildcard-skipped.
+	for r := 0; r < n; r++ {
+		codes[r*len(domains)+1] = -1
+		codes[r*len(domains)+3] = -1
+	}
+	out := allocOut(domains, n)
+	want := allocOut(domains, n)
+
+	m.BeginSampling(n)
+	m.CondBatch(codes, n, 0, out)
+	for _, col := range []int{2, 4} { // jump over the skipped columns
+		m.CondBatch(codes, n, col, out)
+		condReference(ref, codes, n, col, want)
+		if d := maxCondDiff(domains, out, want, col); d > 1e-5 {
+			t.Fatalf("jump to col %d differs by %g", col, d)
+		}
+	}
+	if !m.samp.active {
+		t.Fatal("delta cache disarmed by an in-contract jump")
+	}
+}
+
 // TestOutOfSequenceFallsBackToFull checks that a CondBatch call breaking the
-// sequential contract (wrong column or batch size) silently takes the full
-// path and still returns correct conditionals.
+// walk contract (batch-size change) silently takes the full path and still
+// returns correct conditionals.
 func TestOutOfSequenceFallsBackToFull(t *testing.T) {
 	domains := []int{5, 80, 3}
 	m := New(domains, tinyConfig(5))
@@ -127,10 +159,11 @@ func TestOutOfSequenceFallsBackToFull(t *testing.T) {
 
 	m.BeginSampling(n)
 	m.CondBatch(codes, n, 0, out)
-	// Skip straight to column 2: out of sequence.
-	m.CondBatch(codes, n, 2, out)
-	condReference(ref, codes, n, 2, want)
-	if d := maxCondDiff(domains, out, want, 2); d > 1e-5 {
+	// Shrink the batch below the announced size through CondBatch (only the
+	// block entry points accept shrinking batches): full-path fallback.
+	m.CondBatch(codes, n-2, 2, out)
+	condReference(ref, codes, n-2, 2, want)
+	if d := maxCondDiff(domains, out[:n-2], want[:n-2], 2); d > 1e-5 {
 		t.Fatalf("out-of-sequence call differs by %g", d)
 	}
 	if m.samp.active {

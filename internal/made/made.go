@@ -90,6 +90,7 @@ type Model struct {
 	dHead *tensor.Matrix
 
 	samp  sampState    // delta-forward cache for sequential sampling (infer.go)
+	packs packCache    // pre-packed weight windows for the block path (block.go)
 	infer inferScratch // inference buffers reused across CondBatch calls
 	train trainScratch // batched-loss buffers reused across TrainStep calls
 }
@@ -288,7 +289,9 @@ func (m *Model) ensureScratch(batch int) {
 
 // encode writes the network input for n tuples (row-major codes with stride
 // NumCols) into m.x, encoding only columns < limit and zeroing the rest.
-// Passing limit = NumCols encodes full tuples.
+// Passing limit = NumCols encodes full tuples. Negative codes mark absent
+// (wildcard-skipped) columns: their input block stays zero, matching the
+// block walk's treatment of unsampled columns.
 func (m *Model) encode(codes []int32, n int, limit int) {
 	m.ensureScratch(n)
 	m.x.Zero()
@@ -297,11 +300,15 @@ func (m *Model) encode(codes []int32, n int, limit int) {
 		c := &m.codecs[i]
 		if c.embedded {
 			for r := 0; r < n; r++ {
-				c.emb.Lookup(codes[r*nc+i], m.x.Row(r)[c.inOff:c.inOff+c.inW])
+				if code := codes[r*nc+i]; code >= 0 {
+					c.emb.Lookup(code, m.x.Row(r)[c.inOff:c.inOff+c.inW])
+				}
 			}
 		} else {
 			for r := 0; r < n; r++ {
-				m.x.Row(r)[c.inOff+int(codes[r*nc+i])] = 1
+				if code := codes[r*nc+i]; code >= 0 {
+					m.x.Row(r)[c.inOff+int(code)] = 1
+				}
 			}
 		}
 	}
@@ -371,6 +378,7 @@ func (m *Model) GradStep(codes []int32, n int) float64 {
 		return 0
 	}
 	m.samp.active = false // parameters are about to change; drop the delta cache
+	m.invalidatePacks()   // ...and every pre-packed weight window
 	for _, p := range m.params {
 		p.ZeroGrad()
 	}
@@ -463,6 +471,7 @@ func (m *Model) TrainStepReference(codes []int32, n int, opt *nn.Adam) float64 {
 		return 0
 	}
 	m.samp.active = false // parameters are about to change; drop the delta cache
+	m.invalidatePacks()   // ...and every pre-packed weight window
 	for _, p := range m.params {
 		p.ZeroGrad()
 	}
@@ -595,45 +604,30 @@ func (m *Model) ForkTrain() any { return m.TrainFork() }
 // Unlike TrainStep, which needs every column's head block, this computes
 // only column col's slice of the head projection — a large saving when the
 // concatenated head is wide.
+//
+// Within an active sampling walk (BeginSampling), col may jump FORWARD past
+// columns the walk never sampled: those columns are treated as absent
+// (wildcard-skipped), exactly as if their codes were -1 — their input blocks
+// stay zero and the conditional is P̂(X_col | sampled x_<col). Callers that
+// jump must leave skipped columns' codes negative so the later fold agrees.
+// Any other out-of-contract call (batch-size change, backward column) falls
+// back to the stateless full forward pass.
 func (m *Model) CondBatch(codes []int32, n int, col int, out [][]float64) {
 	if col < 0 || col >= len(m.domains) {
 		panic(fmt.Sprintf("made: CondBatch column %d of %d", col, len(m.domains)))
 	}
-	if m.samp.active && n == m.samp.n && col == m.samp.nextCol {
-		m.condIncremental(codes, n, col, out)
+	if m.samp.active && n == m.samp.n && col >= m.samp.nextCol {
+		// In-walk call, possibly jumping over skipped (wildcard) columns: the
+		// block path folds the last decoded column and refreshes only the
+		// degree bands the decode reads.
+		m.AdvanceBlock(codes, n, col)
+		m.DecodeBlock(col, 0, n, out)
 		return
 	}
 	m.samp.active = false // out-of-sequence call: the delta cache is stale
 	m.encode(codes, n, col)
 	h := m.inferTrunk(m.x)
-	m.condFromHidden(h, n, col, out)
-}
-
-// headBlock computes only column col's slice of the head layer over the
-// hidden batch: Y = H·W[:, off:off+w] + b[off:off+w].
-func (m *Model) headBlock(h *tensor.Matrix, n, col int) *tensor.Matrix {
-	c := &m.codecs[col]
-	w, off := c.headW, c.headOff
-	if m.infer.head == nil || m.infer.head.Rows != n || m.infer.head.Cols != w {
-		m.infer.head = tensor.New(n, w)
-	}
-	out := m.infer.head
-	wVal := m.head.W.Val
-	bias := m.head.B.Val.Data[off : off+w]
-	tensor.ParallelFor(n, func(s, e int) {
-		for r := s; r < e; r++ {
-			hr := h.Row(r)
-			or := out.Row(r)
-			copy(or, bias)
-			for k, hk := range hr {
-				if hk == 0 {
-					continue // ReLU output is sparse
-				}
-				tensor.Axpy(hk, wVal.Row(k)[off:off+w], or)
-			}
-		}
-	})
-	return out
+	m.decodeHidden(h, n, col, out)
 }
 
 // LogProbBatch writes log P̂(x) (nats) for each of n full tuples into dst.

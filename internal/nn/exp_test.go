@@ -1,0 +1,74 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestExpfAccuracy sweeps the argument range the decode path produces
+// (max-subtracted logits, so mostly ≤ 0, but positive values are checked too)
+// and bounds the relative error against float64 math.Exp.
+func TestExpfAccuracy(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	check := func(x float32) {
+		got := float64(Expf(x))
+		want := math.Exp(float64(x))
+		if want < 2e-38 { // below float32 normal range: flush-to-zero is in-contract
+			if got > 2e-38 {
+				t.Fatalf("Expf(%g) = %g, want (near-)underflow", x, got)
+			}
+			return
+		}
+		if rel := math.Abs(got-want) / want; rel > 5e-7 {
+			t.Fatalf("Expf(%g) = %g, want %g (rel err %g)", x, got, want, rel)
+		}
+	}
+	for _, x := range []float32{0, 1, -1, 0.5, -0.5, 20, -20, 80, -80, -86.9,
+		float32(math.Ln2) / 2, -float32(math.Ln2) / 2} {
+		check(x)
+	}
+	for i := 0; i < 20000; i++ {
+		check(float32(rng.Float64()*160 - 140)) // [-140, 20], decode-heavy range
+	}
+	if v := Expf(-200); v != 0 {
+		t.Fatalf("Expf(-200) = %g, want 0", v)
+	}
+	if v := Expf(200); !math.IsInf(float64(v), 1) {
+		t.Fatalf("Expf(200) = %g, want +Inf", v)
+	}
+	if v := Expf(float32(math.NaN())); v == v {
+		t.Fatalf("Expf(NaN) = %g, want NaN", v)
+	}
+}
+
+// TestSoftmaxProbMatchesSoftmax checks the fast softmax against the float64
+// reference: normalization is exact by construction, per-element relative
+// error bounded by the Expf error.
+func TestSoftmaxProbMatchesSoftmax(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(700)
+		logits := make([]float32, n)
+		for i := range logits {
+			logits[i] = float32(rng.NormFloat64() * 8)
+		}
+		want := make([]float64, n)
+		got := make([]float64, n)
+		Softmax(logits, want)
+		SoftmaxProb(logits, got)
+		var sum float64
+		for i := range got {
+			sum += got[i]
+			if want[i] == 0 {
+				continue
+			}
+			if rel := math.Abs(got[i]-want[i]) / want[i]; rel > 2e-6 {
+				t.Fatalf("trial %d: p[%d] = %g, want %g (rel %g)", trial, i, got[i], want[i], rel)
+			}
+		}
+		if math.Abs(sum-1) > 1e-12 {
+			t.Fatalf("trial %d: probabilities sum to %g", trial, sum)
+		}
+	}
+}

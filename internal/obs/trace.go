@@ -12,6 +12,7 @@ const (
 	PathFallback = "fallback" // model path failed; fallback estimator answered
 	PathFailed   = "failed"   // model path failed with no (working) fallback
 	PathEmpty    = "empty"    // provably empty region, answered without the model
+	PathShed     = "shed"     // admission control rejected the query before the model ran
 )
 
 // QueryTrace is one served query's record: which path answered, how much of
@@ -35,6 +36,11 @@ type QueryTrace struct {
 	// DeadlineSlackNS is the per-query budget remaining at completion
 	// (negative when the deadline was overrun; 0 when no deadline was set).
 	DeadlineSlackNS int64 `json:"deadline_slack_ns,omitempty"`
+	// StopReason, when non-empty, records why sampling stopped short of the
+	// full budget ("target_stderr", "deadline", "cancel", "shed") — the
+	// distinction between a degraded answer and an early-stopped one that
+	// met its accuracy target.
+	StopReason string `json:"stop_reason,omitempty"`
 	// Recovered marks a contained model-path panic.
 	Recovered bool `json:"recovered,omitempty"`
 	// Err is the model-path failure, if any (set for fallback and failed).

@@ -1,0 +1,60 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestExpRowMatchesMathExp checks the vector exp kernel (when active) against
+// float64 math.Exp over softmax-shaped inputs: max-subtracted, so arguments
+// are ≤ 0 down to deep underflow.
+func TestExpRowMatchesMathExp(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for _, n := range []int{8, 16, 64, 256} {
+		src := make([]float32, n)
+		for i := range src {
+			src[i] = float32(rng.NormFloat64() * 30)
+		}
+		mx := src[0]
+		for _, v := range src[1:] {
+			if v > mx {
+				mx = v
+			}
+		}
+		dst := make([]float64, n)
+		sum, head := ExpRow(dst, src, mx)
+		if head == 0 {
+			t.Skip("no vector exp kernel on this machine")
+		}
+		if head != n {
+			t.Fatalf("n=%d: processed %d", n, head)
+		}
+		var wantSum float64
+		for i, v := range src {
+			want := math.Exp(float64(v - mx))
+			if want < 2e-38 { // kernel flushes below float32 normal range
+				want = 0
+			}
+			wantSum += dst[i]
+			if d := math.Abs(dst[i] - want); want != 0 && d/want > 1e-6 {
+				t.Fatalf("n=%d i=%d: got %g want %g", n, i, dst[i], want)
+			} else if want == 0 && dst[i] != 0 {
+				t.Fatalf("n=%d i=%d: got %g want flush to 0", n, i, dst[i])
+			}
+		}
+		if d := math.Abs(sum - wantSum); d > 1e-9*math.Abs(wantSum) {
+			t.Fatalf("n=%d: sum %g, elements add to %g", n, sum, wantSum)
+		}
+	}
+}
+
+// TestExpRowRejectsMismatch pins the length contract.
+func TestExpRowRejectsMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("length mismatch did not panic")
+		}
+	}()
+	ExpRow(make([]float64, 8), make([]float32, 9), 0)
+}

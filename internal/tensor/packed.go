@@ -50,12 +50,21 @@ func (pb *PackedB) Pack(b *Matrix) { pb.PackCols(b, 0) }
 // degree-sorted masked layers change only a suffix of their units per
 // sampling step, and packing just that suffix keeps the per-step GEMM
 // proportional to the changed width.
-func (pb *PackedB) PackCols(b *Matrix, j0 int) {
-	if j0 < 0 || j0 > b.Cols {
-		panic(fmt.Sprintf("tensor: PackCols offset %d of %d columns", j0, b.Cols))
+func (pb *PackedB) PackCols(b *Matrix, j0 int) { pb.PackRange(b, 0, b.Rows, j0, b.Cols) }
+
+// PackRange fills pb from the sub-block B[i0:i1, j0:j1). A product against the
+// result consumes a K = i1-i0 operand and yields N = j1-j0 output columns.
+// Row windows pack the K-prefix of a masked weight matrix (a head block whose
+// mask admits only low-degree hidden units); column windows pack one
+// degree band of a hidden layer. Both are packed once and cached by the model,
+// which is what makes band-granular delta-forward refreshes cheap at any
+// batch height.
+func (pb *PackedB) PackRange(b *Matrix, i0, i1, j0, j1 int) {
+	if i0 < 0 || i1 < i0 || i1 > b.Rows || j0 < 0 || j1 < j0 || j1 > b.Cols {
+		panic(fmt.Sprintf("tensor: PackRange window [%d:%d,%d:%d) of %d×%d", i0, i1, j0, j1, b.Rows, b.Cols))
 	}
-	pb.reserve(b.Rows, b.Cols-j0)
-	k, stride, n := b.Rows, b.Cols, pb.N
+	pb.reserve(i1-i0, j1-j0)
+	k, stride, n := pb.K, b.Cols, pb.N
 	for p := 0; p < pb.panels(); p++ {
 		pj := p * packNR
 		nj := n - pj
@@ -64,7 +73,7 @@ func (pb *PackedB) PackCols(b *Matrix, j0 int) {
 		}
 		dst := pb.data[p*k*packNR:]
 		for r := 0; r < k; r++ {
-			src := b.Data[r*stride+j0+pj:]
+			src := b.Data[(i0+r)*stride+j0+pj:]
 			d := dst[r*packNR : r*packNR+packNR]
 			for j := 0; j < nj; j++ {
 				d[j] = src[j]
@@ -136,7 +145,7 @@ func matMulPackedAt(c, a *Matrix, pb *PackedB, bias []float32, relu, accumulate 
 		panic(fmt.Sprintf("tensor: MatMulPacked bias length %d for %d columns", len(bias), pb.N))
 	}
 	body := func(start, end int) {
-		packedBody(c, a, pb, bias, relu, accumulate, cOff, start, end)
+		packedBody(c, a, a.Cols, pb, bias, relu, accumulate, cOff, start, end)
 	}
 	if a.Rows*a.Cols*pb.N < parallelThreshold {
 		body(0, a.Rows)
@@ -145,29 +154,97 @@ func matMulPackedAt(c, a *Matrix, pb *PackedB, bias []float32, relu, accumulate 
 	ParallelFor(a.Rows, body)
 }
 
-// packedBody runs the micro-kernel over rows [start, end) of A. On amd64 with
-// AVX2+FMA the tile inner product runs in assembly (simd_amd64.s); elsewhere a
-// portable Go tile computes the same sums without fused rounding.
-func packedBody(c, a *Matrix, pb *PackedB, bias []float32, relu, accumulate bool, cOff, start, end int) {
+// MatMulPackedWindow exposes the column-window product C[:, cOff:cOff+pb.N] =
+// A·B (or += with accumulate) against a caller-held packed operand. It is the
+// cached-pack counterpart of LinearReLUCols: the model packs a weight band
+// once and replays it every sampling step without the per-call pack pass.
+func MatMulPackedWindow(c, a *Matrix, pb *PackedB, bias []float32, relu, accumulate bool, cOff int) {
+	matMulPackedAt(c, a, pb, bias, relu, accumulate, cOff)
+}
+
+// MatMulPackedPrefix computes C[:, cOff:cOff+pb.N] = A[:, :pb.K]·B from a
+// pre-packed B whose K dimension is a prefix of A's columns (pb.K ≤ A.Cols).
+// Masked output heads read only the hidden units whose degree admits their
+// column — a prefix under degree sorting — so packing just those pb.K weight
+// rows and walking A with its full row stride skips the provably-zero tail of
+// the dot product while producing bit-identical sums (the skipped terms are
+// exact zeros appended after the same-order prefix accumulation).
+func MatMulPackedPrefix(c, a *Matrix, pb *PackedB, bias []float32, relu, accumulate bool, cOff int) {
+	if a.Cols < pb.K || c.Rows != a.Rows || cOff < 0 || cOff+pb.N > c.Cols {
+		panic(fmt.Sprintf("tensor: MatMulPackedPrefix shape mismatch (%d×%d)·(%d×%d)→(%d×%d)+%d",
+			a.Rows, a.Cols, pb.K, pb.N, c.Rows, c.Cols, cOff))
+	}
+	if accumulate && (bias != nil || relu) {
+		panic("tensor: MatMulPackedPrefix cannot combine accumulate with a bias/ReLU epilogue")
+	}
+	if bias != nil && len(bias) != pb.N {
+		panic(fmt.Sprintf("tensor: MatMulPackedPrefix bias length %d for %d columns", len(bias), pb.N))
+	}
+	if pb.K == 0 {
+		// Degenerate prefix: the product contributes nothing; only the
+		// epilogue (bias broadcast, ReLU clamp, or nothing for accumulate)
+		// remains.
+		for i := 0; i < c.Rows; i++ {
+			dst := c.Data[i*c.Cols+cOff : i*c.Cols+cOff+pb.N]
+			switch {
+			case accumulate:
+			case bias != nil && relu:
+				for j := range dst {
+					v := bias[j]
+					if v < 0 {
+						v = 0
+					}
+					dst[j] = v
+				}
+			case bias != nil:
+				copy(dst, bias)
+			case relu:
+				for j := range dst {
+					dst[j] = 0
+				}
+			default:
+				for j := range dst {
+					dst[j] = 0
+				}
+			}
+		}
+		return
+	}
+	body := func(start, end int) {
+		packedBody(c, a, a.Cols, pb, bias, relu, accumulate, cOff, start, end)
+	}
+	if a.Rows*pb.K*pb.N < parallelThreshold {
+		body(0, a.Rows)
+		return
+	}
+	ParallelFor(a.Rows, body)
+}
+
+// packedBody runs the micro-kernel over rows [start, end) of A, reading the
+// first pb.K entries of each lda-strided row (lda = A.Cols for full-width
+// products, larger K-prefix reads otherwise). On amd64 with AVX2+FMA the tile
+// inner product runs in assembly (simd_amd64.s); elsewhere a portable Go tile
+// computes the same sums without fused rounding.
+func packedBody(c, a *Matrix, lda int, pb *PackedB, bias []float32, relu, accumulate bool, cOff, start, end int) {
 	k, n := pb.K, pb.N
 	nPanels := pb.panels()
 	var tile [packMR * packNR]float32
 	i := start
 	if useFMA && accelEnabled && k > 0 {
 		for ; i+packMR <= end; i += packMR {
-			aBand := &a.Data[i*k]
+			aBand := &a.Data[i*lda]
 			for p := 0; p < nPanels; p++ {
 				j0 := p * packNR
 				nj := n - j0
 				if nj > packNR {
 					nj = packNR
 				}
-				fmaTile8x8(aBand, k, &pb.data[p*k*packNR], k, &tile[0])
+				fmaTile8x8(aBand, lda, &pb.data[p*k*packNR], k, &tile[0])
 				storeTile(c, tile[:], i, packMR, cOff+j0, j0, nj, bias, relu, accumulate)
 			}
 		}
 		for ; i < end; i++ {
-			ai := &a.Data[i*k]
+			ai := &a.Data[i*lda]
 			for p := 0; p < nPanels; p++ {
 				j0 := p * packNR
 				nj := n - j0
@@ -181,7 +258,7 @@ func packedBody(c, a *Matrix, pb *PackedB, bias []float32, relu, accumulate bool
 		return
 	}
 	for ; i < end; i++ {
-		ai := a.Data[i*k : (i+1)*k]
+		ai := a.Data[i*lda : i*lda+k]
 		for p := 0; p < nPanels; p++ {
 			j0 := p * packNR
 			nj := n - j0
@@ -274,6 +351,25 @@ func LinearReLUCols(c, a, b *Matrix, bias []float32, relu bool, j0 int) {
 	var bw []float32
 	if bias != nil {
 		bw = bias[j0:]
+	}
+	matMulPackedAt(c, a, pb, bw, relu, false, j0)
+	packPool.Put(pb)
+}
+
+// LinearReLUBand computes only the column band C[:, j0:j1) = A·B[:, j0:j1) +
+// bias[j0:j1) (optionally ReLU-fused), leaving columns outside the band
+// untouched. Unlike LinearReLUCols this refreshes an interior window, which is
+// what a degree band of a masked hidden layer is: the units whose degree sits
+// strictly between two adjacent sampling steps.
+func LinearReLUBand(c, a, b *Matrix, bias []float32, relu bool, j0, j1 int) {
+	if j0 >= j1 {
+		return
+	}
+	pb := packPool.Get().(*PackedB)
+	pb.PackRange(b, 0, b.Rows, j0, j1)
+	var bw []float32
+	if bias != nil {
+		bw = bias[j0:j1]
 	}
 	matMulPackedAt(c, a, pb, bw, relu, false, j0)
 	packPool.Put(pb)

@@ -213,3 +213,112 @@ func TestLinearReLUCols(t *testing.T) {
 		}
 	}
 }
+
+// subMatrix copies the block src[i0:i1, j0:j1) into a fresh matrix.
+func subMatrix(src *Matrix, i0, i1, j0, j1 int) *Matrix {
+	out := New(i1-i0, j1-j0)
+	for r := i0; r < i1; r++ {
+		copy(out.Row(r-i0), src.Row(r)[j0:j1])
+	}
+	return out
+}
+
+// TestPackRangeMatchesPackedFull checks that a product against a PackRange
+// window equals (bitwise) the plain packed product of the equivalent copied
+// sub-operands, across offsets that exercise panel remainders.
+func TestPackRangeMatchesPackedFull(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	b := randomMatrix(rng, 37, 53)
+	windows := [][4]int{
+		{0, 37, 0, 53}, {0, 37, 8, 24}, {3, 20, 5, 53}, {0, 12, 13, 14},
+		{36, 37, 0, 8}, {0, 0, 0, 0}, {5, 5, 7, 19},
+	}
+	for _, w := range windows {
+		i0, i1, j0, j1 := w[0], w[1], w[2], w[3]
+		a := randomMatrix(rng, 9, i1-i0)
+		var pb PackedB
+		pb.PackRange(b, i0, i1, j0, j1)
+		got := New(9, j1-j0)
+		if j1 > j0 {
+			MatMulPacked(got, a, &pb, nil, false, false)
+		}
+		var full PackedB
+		bw := subMatrix(b, i0, i1, j0, j1)
+		full.Pack(bw)
+		want := New(9, j1-j0)
+		if j1 > j0 {
+			MatMulPacked(want, a, &full, nil, false, false)
+		}
+		for i := range want.Data {
+			if got.Data[i] != want.Data[i] {
+				t.Fatalf("window %v: element %d differs: %g vs %g", w, i, got.Data[i], want.Data[i])
+			}
+		}
+	}
+}
+
+// TestMatMulPackedPrefixBitwise checks the K-prefix product against the full
+// packed product where the weight tail is exactly zero: masked head blocks
+// guarantee zero tail weights, and appending exact-zero fused terms to the
+// same-order prefix accumulation must not change a single bit.
+func TestMatMulPackedPrefixBitwise(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	const m, kFull, n = 21, 47, 29
+	for _, kc := range []int{0, 1, 8, 17, 47} {
+		a := randomMatrix(rng, m, kFull)
+		b := New(kFull, n) // zero tail below row kc, like a masked head block
+		for r := 0; r < kc; r++ {
+			for j := 0; j < n; j++ {
+				b.Set(r, j, float32(rng.NormFloat64()))
+			}
+		}
+		bias := make([]float32, n)
+		for j := range bias {
+			bias[j] = float32(rng.NormFloat64())
+		}
+
+		var full PackedB
+		full.Pack(b)
+		want := New(m, n)
+		MatMulPacked(want, a, &full, bias, false, false)
+
+		var pref PackedB
+		pref.PackRange(b, 0, kc, 0, n)
+		got := New(m, n)
+		MatMulPackedPrefix(got, a, &pref, bias, false, false, 0)
+
+		for i := range want.Data {
+			if got.Data[i] != want.Data[i] {
+				t.Fatalf("kc=%d: element %d differs: %g vs %g", kc, i, got.Data[i], want.Data[i])
+			}
+		}
+	}
+}
+
+// TestLinearReLUBandMatchesCols checks that refreshing adjacent interior bands
+// reproduces (bitwise) the suffix refresh of LinearReLUCols over their union.
+func TestLinearReLUBandMatchesCols(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	const m, k, n = 19, 31, 41
+	a := randomMatrix(rng, m, k)
+	b := randomMatrix(rng, k, n)
+	bias := make([]float32, n)
+	for j := range bias {
+		bias[j] = float32(rng.NormFloat64())
+	}
+	const j0 = 11
+	want := New(m, n)
+	want.Fill(-7)
+	LinearReLUCols(want, a, b, bias, true, j0)
+
+	got := New(m, n)
+	got.Fill(-7)
+	for _, band := range [][2]int{{j0, 18}, {18, 18}, {18, 33}, {33, n}} {
+		LinearReLUBand(got, a, b, bias, true, band[0], band[1])
+	}
+	for i := range want.Data {
+		if got.Data[i] != want.Data[i] {
+			t.Fatalf("element %d differs: %g vs %g", i, got.Data[i], want.Data[i])
+		}
+	}
+}

@@ -23,6 +23,9 @@ func fmaTile1x8(a *float32, panel *float32, k int, tile *float32)
 //go:noescape
 func axpyFMA(alpha float32, x, y *float32, n int)
 
+//go:noescape
+func expRowSumAVX2(src *float32, n int, mx float32, dst *float64) float64
+
 func cpuid(eaxArg, ecxArg uint32) (eax, ebx, ecx, edx uint32)
 
 func xgetbv() (eax, edx uint32)

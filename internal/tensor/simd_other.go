@@ -16,3 +16,7 @@ func fmaTile1x8(a *float32, panel *float32, k int, tile *float32) {
 func axpyFMA(alpha float32, x, y *float32, n int) {
 	panic("tensor: axpyFMA without amd64")
 }
+
+func expRowSumAVX2(src *float32, n int, mx float32, dst *float64) float64 {
+	panic("tensor: expRowSumAVX2 without amd64")
+}

@@ -65,6 +65,9 @@ type (
 	ServeOptions = core.ServeOptions
 	// Source tags where a served estimate came from.
 	Source = core.Source
+	// StopReason records why progressive sampling stopped short of the full
+	// budget (empty for full-budget answers).
+	StopReason = core.StopReason
 	// DriftStatus is a point-in-time staleness reading of the lifecycle
 	// drift monitor (see Estimator.Drift).
 	DriftStatus = lifecycle.DriftStatus
@@ -85,6 +88,21 @@ const (
 	SourceFallback = core.SourceFallback
 	// SourceFailed: the model path failed and no fallback was available.
 	SourceFailed = core.SourceFailed
+)
+
+// Sampling stop reasons, re-exported from internal/core.
+const (
+	// StopNone: the full sample budget ran.
+	StopNone = core.StopNone
+	// StopTargetStdErr: the adaptive budget met ServeOptions.TargetRelStdErr
+	// early (the answer still counts as SourceModel).
+	StopTargetStdErr = core.StopTargetStdErr
+	// StopDeadline: the per-query deadline cut the budget short.
+	StopDeadline = core.StopDeadline
+	// StopCancel: the serving context was cancelled mid-query.
+	StopCancel = core.StopCancel
+	// StopShed: admission control rejected the query before the model ran.
+	StopShed = core.StopShed
 )
 
 // Predicate operators, re-exported from internal/query.
@@ -464,6 +482,29 @@ func (e *Estimator) SelectivityBatchCtx(ctx context.Context, qs []Query, opts Se
 // version — a hot-swap during the batch does not split it.
 func (e *Estimator) EstimateBatchCtx(ctx context.Context, regs []*Region, opts ServeOptions) []Result {
 	return e.cur.Load().sampler.EstimateBatchCtx(ctx, regs, opts)
+}
+
+// EstimateFused serves pre-compiled regions through the fused cross-query
+// scheduler: every query's progressive-sampling chunks are packed with its
+// peers' into shared tall model batches, amortizing per-column fixed costs
+// across the whole in-flight set. Results are bit-identical to
+// EstimateBatchCtx with the same options (both consume the same per-query
+// RNG streams); models without block-walk support fall back to it
+// transparently. The whole batch runs on one model version.
+func (e *Estimator) EstimateFused(ctx context.Context, regs []*Region, opts ServeOptions) []Result {
+	return e.cur.Load().sampler.EstimateFused(ctx, regs, opts)
+}
+
+// NewFromModel wraps an already-trained model (and the table snapshot it was
+// trained on) in an estimator without running Build's training loop. The
+// benchmark harness uses it to serve one trained model through several entry
+// points; cfg supplies the querying budget (Samples, Seed).
+func NewFromModel(m core.Trainable, snap *Table, cfg Config) *Estimator {
+	rows := int64(0)
+	if snap != nil {
+		rows = int64(snap.NumRows())
+	}
+	return newEstimator(m, snap, cfg.withDefaults(), rows)
 }
 
 // Fallback builds a degradation target for ServeOptions.Fallback from the

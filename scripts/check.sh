@@ -23,6 +23,13 @@
 # serve with lifecycle flags, POST /append over HTTP until the background
 # refresh hot-swaps in version 2, then SIGTERM and require a clean exit.
 #
+# `check.sh bench` is the serving-performance gate: it runs the fused
+# bit-identity and coalescer suites under the race detector, then a
+# small-scale inference benchmark twice through narubench's history recorder —
+# the first run records the baseline, the second must stay within 10% of it on
+# every gated metric (queries/sec down, latency/allocations up = failure) and
+# must report zero fused-vs-sequential mismatches.
+#
 # `check.sh train` is the end-to-end training-determinism gate: with
 # data-parallel sharding (-train-workers > 1), two identical runs must write
 # byte-identical model files, and a run interrupted with -stop-after and then
@@ -195,6 +202,45 @@ if [ "${1:-}" = "lifecycle" ]; then
     serve_pid=""
 
     echo "check lifecycle: OK"
+    exit 0
+fi
+
+if [ "${1:-}" = "bench" ]; then
+    echo "== serving determinism (-race)"
+    go test -race -count=1 -run 'TestEstimateFused|TestHistory' ./internal/core ./internal/bench
+    go test -race -count=1 -run 'TestCoalescer' .
+
+    echo "== benchmark regression gate (small-scale inference, 2 runs)"
+    tmp="$(mktemp -d)"
+    trap 'rm -rf "$tmp"' EXIT INT TERM
+    bench_flags="-dmv-rows 12000 -queries 48 -epochs 1 -quiet
+        -bench-out $tmp/BENCH_inference.json -history $tmp/history.json"
+
+    echo "-- baseline run"
+    go run ./cmd/narubench $bench_flags inference > "$tmp/run1.out"
+    grep -q "0/48 mismatched" "$tmp/run1.out" || { echo "fused batch mismatched sequential"; cat "$tmp/run1.out"; exit 1; }
+    grep -q "recorded .* in" "$tmp/run1.out" || { echo "history entry not recorded"; cat "$tmp/run1.out"; exit 1; }
+
+    echo "-- gated re-run (must stay within 10% of the baseline)"
+    go run ./cmd/narubench $bench_flags -check-regression inference > "$tmp/run2.out" \
+        || { echo "regression gate tripped"; cat "$tmp/run2.out"; exit 1; }
+    grep -q "0/48 mismatched" "$tmp/run2.out" || { echo "fused batch mismatched sequential"; cat "$tmp/run2.out"; exit 1; }
+
+    echo "-- gate must trip on a doctored baseline"
+    # Inflate the recorded batch throughput 1000x; the gate (checked against
+    # the last entry, i.e. the doctored one) must now report a regression.
+    awk '
+        /"name": "dmv_queries_per_sec_batch"/ { hit = 1 }
+        hit && /"value":/ { sub(/"value": [0-9.eE+-]+/, "\"value\": 1000000"); hit = 0 }
+        { print }
+    ' "$tmp/history.json" > "$tmp/doctored.json"
+    if go run ./cmd/narubench -history "$tmp/doctored.json" -check-regression \
+        -bench-out "$tmp/BENCH_inference.json" -dmv-rows 12000 -queries 48 -epochs 1 -quiet \
+        inference >/dev/null 2>&1; then
+        echo "regression gate failed to trip on doctored baseline"; exit 1
+    fi
+
+    echo "check bench: OK"
     exit 0
 fi
 
