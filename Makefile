@@ -1,6 +1,6 @@
 # Convenience entry points; everything is plain `go` underneath.
 
-.PHONY: build test check check-fault check-obs check-train check-lifecycle bench inference training
+.PHONY: build test check check-fault check-obs check-train check-lifecycle check-chaos bench inference training
 
 build:
 	go build ./...
@@ -34,6 +34,15 @@ bench:
 # against a live `naru serve` with lifecycle flags.
 check-lifecycle:
 	./scripts/check.sh lifecycle
+
+# check-chaos is the fault-injection gate: breaker/recovery/heal suites under
+# -race, then a live kill matrix over every registered fault site (crash with
+# NARU_FAULTS="<site>=exit@1", restart, require self-heal + serving), an
+# error matrix (recoverable injected errors must not kill the server), a
+# breaker trip/auto-recover cycle over HTTP, a loud-failure negative test for
+# unrecoverable registries, and a startup temp-file GC check.
+check-chaos:
+	./scripts/check.sh chaos
 
 # check-train is the end-to-end training-determinism gate: two sharded runs
 # must write byte-identical models, and an interrupted-then-resumed run must

@@ -1,0 +1,250 @@
+package naru
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+func breakerFixture(t *testing.T) (*Estimator, *Table, *Metrics) {
+	t.Helper()
+	tbl := facadeTable(t, 1200)
+	cfg := fusedConfig()
+	reg := NewMetrics()
+	cfg.Metrics = reg
+	return NewFromModel(fusedModel(tbl), tbl, cfg), tbl, reg
+}
+
+// failed builds a model-path failure result (the kind that must extend the
+// breaker's streak).
+func failed(err error) Result {
+	return Result{Source: SourceFailed, Err: err}
+}
+
+// TestBreakerTripsAtThreshold: exactly Threshold consecutive model-path
+// failures open the breaker; one fewer does not.
+func TestBreakerTripsAtThreshold(t *testing.T) {
+	est, _, reg := breakerFixture(t)
+	b := est.NewBreaker(BreakerOptions{Threshold: 3})
+	defer b.Close()
+
+	b.Observe(failed(errors.New("boom")))
+	b.Observe(failed(errors.New("boom")))
+	if !b.Allow() || b.State() != StateHealthy {
+		t.Fatalf("tripped below threshold: state %v", b.State())
+	}
+	b.Observe(failed(errors.New("boom")))
+	if b.Allow() || b.State() != StateFallbackOnly {
+		t.Fatalf("did not trip at threshold: state %v", b.State())
+	}
+	if got := reg.Counter("naru_breaker_trips_total").Value(); got != 1 {
+		t.Fatalf("trips counter %d, want 1", got)
+	}
+	if got := reg.Gauge("naru_serve_state").Value(); got != float64(StateFallbackOnly) {
+		t.Fatalf("state gauge %v, want %v", got, float64(StateFallbackOnly))
+	}
+}
+
+// TestBreakerModelAnswerResetsStreak: a model answer between failures resets
+// the consecutive count — only an unbroken streak trips.
+func TestBreakerModelAnswerResetsStreak(t *testing.T) {
+	est, _, _ := breakerFixture(t)
+	b := est.NewBreaker(BreakerOptions{Threshold: 3})
+	defer b.Close()
+	for i := 0; i < 5; i++ {
+		b.Observe(failed(errors.New("boom")))
+		b.Observe(failed(errors.New("boom")))
+		b.Observe(Result{Source: SourceModel})
+	}
+	if b.State() != StateHealthy {
+		t.Fatalf("interleaved failures tripped: state %v", b.State())
+	}
+}
+
+// TestBreakerIgnoresNonModelFailures: sheds, breaker rejections, and client
+// cancellations are back-pressure or client behavior, never evidence the
+// model is broken — an unbounded run of them must not trip.
+func TestBreakerIgnoresNonModelFailures(t *testing.T) {
+	est, _, _ := breakerFixture(t)
+	b := est.NewBreaker(BreakerOptions{Threshold: 2})
+	defer b.Close()
+	for i := 0; i < 20; i++ {
+		b.Observe(failed(ErrShed))
+		b.Observe(failed(ErrBreakerOpen))
+		b.Observe(failed(context.Canceled))
+		b.Observe(failed(errors.Join(ErrShed, errors.New("compile"))))
+	}
+	if b.State() != StateHealthy {
+		t.Fatalf("non-model failures tripped: state %v", b.State())
+	}
+}
+
+// TestBreakerDegradedTransitions: degraded answers mark Degraded without
+// touching the streak; a full model answer restores Healthy. Both states are
+// Ready — the replica keeps taking traffic.
+func TestBreakerDegradedTransitions(t *testing.T) {
+	est, _, _ := breakerFixture(t)
+	b := est.NewBreaker(BreakerOptions{Threshold: 3})
+	defer b.Close()
+	b.Observe(Result{Source: SourceDegraded})
+	if b.State() != StateDegraded || !b.State().Ready() || !b.Allow() {
+		t.Fatalf("degraded answer: state %v", b.State())
+	}
+	b.Observe(Result{Source: SourceModel})
+	if b.State() != StateHealthy {
+		t.Fatalf("model answer did not restore Healthy: state %v", b.State())
+	}
+}
+
+// TestBreakerProbeRecovery: a tripped breaker probes its way back — failures
+// back off, the first success closes the breaker to Healthy and counts a
+// recovery.
+func TestBreakerProbeRecovery(t *testing.T) {
+	est, _, reg := breakerFixture(t)
+	b := est.NewBreaker(BreakerOptions{
+		Threshold:        1,
+		ProbeInterval:    2 * time.Millisecond,
+		MaxProbeInterval: 10 * time.Millisecond,
+		Seed:             7,
+	})
+	defer b.Close()
+	var mu sync.Mutex
+	attempts := 0
+	b.Start(func(ctx context.Context) error {
+		mu.Lock()
+		defer mu.Unlock()
+		attempts++
+		if attempts < 3 {
+			return errors.New("still broken")
+		}
+		return nil
+	})
+	b.Observe(failed(errors.New("boom")))
+	if b.Allow() {
+		t.Fatal("threshold 1 did not trip on first failure")
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for b.State() != StateHealthy {
+		if time.Now().After(deadline) {
+			t.Fatalf("breaker never recovered (state %v, %d probe attempts)", b.State(), attempts)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if !b.Allow() {
+		t.Fatal("recovered breaker still rejects")
+	}
+	if got := reg.Counter("naru_breaker_recoveries_total").Value(); got != 1 {
+		t.Fatalf("recoveries counter %d, want 1", got)
+	}
+	if got := reg.Counter("naru_breaker_probes_total").Value(); got < 3 {
+		t.Fatalf("probes counter %d, want >= 3", got)
+	}
+
+	// Trip again: the probe loop must wake for subsequent trips too.
+	b.Observe(failed(errors.New("boom")))
+	deadline = time.Now().Add(5 * time.Second)
+	for b.State() != StateHealthy {
+		if time.Now().After(deadline) {
+			t.Fatalf("second trip never recovered (state %v)", b.State())
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestBreakerDrainIsTerminal: Draining wins over every other transition —
+// model answers, probe successes, and new trips cannot resurrect a draining
+// replica, and readiness is false.
+func TestBreakerDrainIsTerminal(t *testing.T) {
+	est, _, _ := breakerFixture(t)
+	b := est.NewBreaker(BreakerOptions{Threshold: 1, ProbeInterval: time.Millisecond})
+	defer b.Close()
+	b.Start(func(ctx context.Context) error { return nil })
+	b.Drain()
+	if b.State() != StateDraining || b.Allow() || b.State().Ready() {
+		t.Fatalf("drain: state %v", b.State())
+	}
+	b.Observe(Result{Source: SourceModel})
+	b.Observe(failed(errors.New("boom")))
+	time.Sleep(10 * time.Millisecond) // give a stray probe success the chance to misbehave
+	if b.State() != StateDraining {
+		t.Fatalf("draining not terminal: state %v", b.State())
+	}
+}
+
+// TestBreakerReject: rejected queries carry full provenance — the fallback
+// answers with ErrBreakerOpen preserved, or SourceFailed without one — and
+// land in the breaker path counter and trace ring.
+func TestBreakerReject(t *testing.T) {
+	est, tbl, reg := breakerFixture(t)
+	b := est.NewBreaker(BreakerOptions{Threshold: 1})
+	defer b.Close()
+	q := Query{Preds: []Predicate{{Col: 0, Op: OpGe, Code: 1}}}
+
+	res := b.Reject(q, Fallback(tbl))
+	if res.Source != SourceFallback {
+		t.Fatalf("reject with fallback: source %v (%v)", res.Source, res.Err)
+	}
+	if !errors.Is(res.Err, ErrBreakerOpen) {
+		t.Fatalf("reject lost provenance: err %v", res.Err)
+	}
+	if res.Sel < 0 || res.Sel > 1 {
+		t.Fatalf("reject selectivity %v outside [0,1]", res.Sel)
+	}
+
+	res = b.Reject(q, nil)
+	if res.Source != SourceFailed || !errors.Is(res.Err, ErrBreakerOpen) {
+		t.Fatalf("reject without fallback: %+v", res)
+	}
+
+	if got := reg.Counter("naru_query_path_breaker_total").Value(); got != 2 {
+		t.Fatalf("breaker path counter %d, want 2", got)
+	}
+	traces := reg.Traces()
+	found := 0
+	for _, tr := range traces {
+		if tr.Path == "breaker" {
+			found++
+		}
+	}
+	if found != 2 {
+		t.Fatalf("breaker traces %d, want 2", found)
+	}
+}
+
+// TestBreakerConcurrentObserve hammers Observe and State from many
+// goroutines while the probe loop runs — the -race check for the state
+// machine's atomics.
+func TestBreakerConcurrentObserve(t *testing.T) {
+	est, _, _ := breakerFixture(t)
+	b := est.NewBreaker(BreakerOptions{Threshold: 5, ProbeInterval: time.Millisecond, Seed: 3})
+	defer b.Close()
+	b.Start(func(ctx context.Context) error { return nil })
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				switch i % 3 {
+				case 0:
+					b.Observe(failed(errors.New("boom")))
+				case 1:
+					b.Observe(Result{Source: SourceModel})
+				default:
+					b.Allow()
+					_ = b.State()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	deadline := time.Now().Add(5 * time.Second)
+	for b.State() == StateFallbackOnly {
+		if time.Now().After(deadline) {
+			t.Fatalf("breaker stuck open after concurrent load")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

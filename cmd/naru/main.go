@@ -36,6 +36,7 @@ import (
 	"time"
 
 	naru "repro"
+	"repro/internal/faultinject"
 	"repro/internal/query"
 	"repro/internal/table"
 )
@@ -52,6 +53,17 @@ func run(args []string, stdout, stderr io.Writer) int {
 		usage(stderr)
 		return 2
 	}
+	// Chaos harness hook: NARU_FAULTS arms named fault-injection sites for
+	// this process ("site=mode[:arg][@after[xcount]]", comma-separated; see
+	// `naru faults` for the site list). Unset means zero injection — the
+	// sites stay dormant behind one atomic load.
+	if spec := os.Getenv("NARU_FAULTS"); spec != "" {
+		if err := faultinject.ArmString(spec); err != nil {
+			fmt.Fprintln(stderr, "naru: NARU_FAULTS:", err)
+			return 2
+		}
+		fmt.Fprintf(stderr, "fault injection armed: %s\n", spec)
+	}
 	var err error
 	switch args[0] {
 	case "train":
@@ -62,6 +74,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		err = cmdServe(args[1:], stdout, stderr)
 	case "entropy":
 		err = cmdEntropy(args[1:], stdout, stderr)
+	case "faults":
+		err = cmdFaults(stdout)
 	default:
 		usage(stderr)
 		return 2
@@ -88,7 +102,9 @@ func usage(w io.Writer) {
                 [-samples S] [-timeout 50ms] [-fallback]
                 [-refresh-after N] [-drift-threshold NATS] [-tvd-threshold D]
                 [-refresh-epochs N] [-registry DIR] [-lifecycle-checkpoint ckpt]
+                [-breaker-threshold N] [-probe-interval D]
   naru entropy  -csv data.csv -model model.naru
+  naru faults   (list fault-injection site names for NARU_FAULTS)
 
 The -metrics-addr endpoint exposes /metrics (Prometheus), /metrics.json,
 /traces, /debug/pprof/, and /healthz for whatever the command is doing.
@@ -97,7 +113,23 @@ Serve lifecycle: with any of -refresh-after/-drift-threshold/-tvd-threshold/
 -registry set, POST /append ingests header-less CSV rows online, GET /drift
 and /models report staleness and registered versions, and a background
 refresh fine-tunes and hot-swaps the model when thresholds trip. SIGTERM
-drains in-flight queries and checkpoints an in-progress refresh.`)
+drains in-flight queries and checkpoints an in-progress refresh.
+
+Serve resilience: -breaker-threshold N arms a circuit breaker that trips to
+fallback-only serving after N consecutive model-path failures and probes its
+way back on -probe-interval backoff; /livez and /readyz split liveness from
+readiness. NARU_FAULTS="site=mode[:arg][@after[xcount]],..." injects faults
+at the named sites (modes: error, delay:D, panic, exit, partial:N) for chaos
+testing — see 'naru faults' for sites.`)
+}
+
+// cmdFaults lists the registered fault-injection site names, one per line —
+// the vocabulary NARU_FAULTS accepts and the chaos harness's kill matrix.
+func cmdFaults(stdout io.Writer) error {
+	for _, s := range faultinject.Sites() {
+		fmt.Fprintln(stdout, s)
+	}
+	return nil
 }
 
 // startMetrics starts the observability endpoint when addr is non-empty and

@@ -16,10 +16,17 @@ import (
 	"time"
 
 	naru "repro"
+	"repro/internal/faultinject"
 	"repro/internal/lifecycle"
 	"repro/internal/query"
 	"repro/internal/table"
 )
+
+// siteServeRequest is the chaos fault point at the front door of /estimate:
+// before parsing, before the model, before the coalescer. Error mode maps to
+// a 503 (the request never reached the estimator), exit mode kills the
+// process mid-request — the kill-matrix restart scenario.
+var siteServeRequest = faultinject.Site("serve.request")
 
 // cmdServe runs a long-lived estimation service: GET /estimate?where=...
 // answers single queries as JSON through the fault-tolerant serving path,
@@ -31,7 +38,16 @@ import (
 // GET /models lists registered versions, and a background refresh fine-tunes
 // and hot-swaps the model when drift or row-count thresholds trip. /healthz
 // (on both the service and metrics muxes) reports the serving version and
-// returns 503 only when no model is loaded — never during a hot-swap.
+// returns 503 only when no model is loaded — never during a hot-swap; /livez
+// and /readyz split that into pure process liveness and load-balancer
+// readiness (readiness follows the degradation state machine when
+// -breaker-threshold arms the circuit breaker: Healthy/Degraded ready,
+// FallbackOnly/Draining not).
+//
+// With -registry the server also adopts the registry's active version on
+// restart — after the registry self-heals from any crash debris (stale temp
+// files swept, corrupt artifacts quarantined, newest loadable version rolled
+// back to) — so a chaos-killed server comes back serving its last good model.
 //
 // The process runs until SIGINT/SIGTERM, then drains in-flight queries and
 // cancels any in-progress refresh, which flushes a final checkpoint (when
@@ -55,6 +71,8 @@ func cmdServe(args []string, stdout, stderr io.Writer) error {
 	refreshEpochs := fs.Int("refresh-epochs", 0, "fine-tuning epochs per refresh (0 = default 4)")
 	registryDir := fs.String("registry", "", "persist model versions under this directory")
 	lcCkpt := fs.String("lifecycle-checkpoint", "", "checkpoint file for interrupted refreshes (resumed on the next refresh)")
+	breakerThreshold := fs.Int("breaker-threshold", 0, "trip to fallback-only serving after this many consecutive model-path failures (0 = breaker off)")
+	probeInterval := fs.Duration("probe-interval", time.Second, "initial recovery-probe delay after the breaker trips (doubles up to 30x with jitter)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -86,11 +104,16 @@ func cmdServe(args []string, stdout, stderr io.Writer) error {
 			RefreshEpochs:  *refreshEpochs,
 			CheckpointPath: *lcCkpt,
 			RegistryDir:    *registryDir,
+			AdoptRegistry:  *registryDir != "",
 		})
 		if err != nil {
 			return fmt.Errorf("serve: %w", err)
 		}
 		fmt.Fprintf(stderr, "lifecycle: ingestion enabled (version %d)\n", est.ModelVersion())
+		if rep := est.Lifecycle().Recovery(); rep.Dirty() {
+			fmt.Fprintf(stderr, "registry: self-healed: %d temp files swept, %d artifacts quarantined, manifest rebuilt=%v, active %d -> %d\n",
+				rep.TempFilesRemoved, rep.Quarantined, rep.ManifestRebuilt, rep.ActiveBefore, rep.ActiveAfter)
+		}
 	}
 	opts := naru.ServeOptions{Deadline: *timeout, TargetRelStdErr: *targetStderr}
 	if *fallback {
@@ -103,6 +126,33 @@ func cmdServe(args []string, stdout, stderr io.Writer) error {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	h := &serveHandler{est: est, t: t, opts: opts}
+	if *breakerThreshold > 0 {
+		h.brk = est.NewBreaker(naru.BreakerOptions{
+			Threshold:     *breakerThreshold,
+			ProbeInterval: *probeInterval,
+		})
+		// The recovery probe runs a real unrestricted-region estimate through
+		// the serving path (no fallback configured, so a broken model cannot
+		// masquerade as recovered) and demands a model-path answer.
+		h.brk.Start(func(ctx context.Context) error {
+			results, err := est.SelectivityBatchCtx(ctx, []naru.Query{{}}, naru.ServeOptions{Workers: 1})
+			if err != nil {
+				return err
+			}
+			r := results[0]
+			if r.Source != naru.SourceModel && r.Source != naru.SourceDegraded {
+				if r.Err != nil {
+					return r.Err
+				}
+				return fmt.Errorf("probe answered by %s", r.Source)
+			}
+			return nil
+		})
+		defer h.brk.Close()
+		h.retryAfter = fmt.Sprintf("%d", maxInt(1, int(probeInterval.Seconds())))
+		metrics.setBreaker(h.brk)
+		fmt.Fprintf(stderr, "circuit breaker: threshold %d, probe interval %v\n", *breakerThreshold, *probeInterval)
+	}
 	if *batchWindow > 0 {
 		h.coal = est.NewCoalescer(naru.CoalesceOptions{
 			Window:      *batchWindow,
@@ -128,13 +178,24 @@ func cmdServe(args []string, stdout, stderr io.Writer) error {
 		return err
 	case <-ctx.Done():
 	}
-	// Drain: in-flight queries finish on the version they loaded, then the
-	// cancelled refresh (if any) checkpoints and exits.
+	// Drain: readiness goes false first (the state machine's terminal state),
+	// in-flight queries finish on the version they loaded, then the cancelled
+	// refresh (if any) checkpoints and exits.
+	if h.brk != nil {
+		h.brk.Drain()
+	}
 	shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 	defer cancel()
 	err = srv.Shutdown(shutCtx)
 	refreshWG.Wait()
 	return err
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
 }
 
 // kickRefresh starts a background refresh when the lifecycle manager says one
@@ -161,12 +222,14 @@ func kickRefresh(ctx context.Context, est *naru.Estimator, wg *sync.WaitGroup, s
 	}()
 }
 
-// serveMetrics is the metrics endpoint plus the /healthz probe; the estimator
-// is attached after loading so the probe can report the serving version.
+// serveMetrics is the metrics endpoint plus the health probes; the estimator
+// and breaker are attached after loading so the probes can report the serving
+// version and degradation state.
 type serveMetrics struct {
 	reg *naru.Metrics
 	mu  sync.Mutex
 	est *naru.Estimator
+	brk *naru.Breaker
 }
 
 func (m *serveMetrics) setEstimator(e *naru.Estimator) {
@@ -178,13 +241,22 @@ func (m *serveMetrics) setEstimator(e *naru.Estimator) {
 	m.mu.Unlock()
 }
 
-func (m *serveMetrics) estimator() *naru.Estimator {
+func (m *serveMetrics) setBreaker(b *naru.Breaker) {
 	if m == nil {
-		return nil
+		return
+	}
+	m.mu.Lock()
+	m.brk = b
+	m.mu.Unlock()
+}
+
+func (m *serveMetrics) state() (*naru.Estimator, *naru.Breaker) {
+	if m == nil {
+		return nil, nil
 	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	return m.est
+	return m.est, m.brk
 }
 
 // startServeMetrics is startMetrics plus /healthz on the same mux (so
@@ -199,7 +271,13 @@ func startServeMetrics(addr string, stderr io.Writer) (*serveMetrics, func(), er
 	mux := http.NewServeMux()
 	mux.Handle("/", naru.MetricsHandler(m.reg))
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
-		healthz(w, m.estimator())
+		est, brk := m.state()
+		healthz(w, est, brk)
+	})
+	mux.HandleFunc("/livez", livez)
+	mux.HandleFunc("/readyz", func(w http.ResponseWriter, r *http.Request) {
+		est, brk := m.state()
+		readyz(w, est, brk)
 	})
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
@@ -211,19 +289,49 @@ func startServeMetrics(addr string, stderr io.Writer) (*serveMetrics, func(), er
 	return m, func() { _ = srv.Close() }, nil
 }
 
-// healthResponse is the JSON shape of the /healthz probe.
+// healthResponse is the JSON shape of the /healthz probe:
+//
+//	{"status":"ok","state":"healthy","model_version":3,
+//	 "refreshing":false,"stale_model":false}
+//
+// status is "ok" whenever a model is loaded (back-compat: pre-breaker
+// clients keyed on it); state is the degradation state-machine reading
+// (healthy | degraded | fallback_only | draining), present when the breaker
+// is enabled.
 type healthResponse struct {
 	Status       string `json:"status"`
+	State        string `json:"state,omitempty"`
 	ModelVersion uint64 `json:"model_version,omitempty"`
 	Refreshing   bool   `json:"refreshing,omitempty"`
 	StaleModel   bool   `json:"stale_model,omitempty"`
 }
 
-// healthz reports serving liveness: 503 only when no model is loaded. A
+// readyResponse is the JSON shape of the /readyz probe:
+//
+//	{"ready":true,"state":"degraded"}
+func readyResponse(est *naru.Estimator, brk *naru.Breaker) (int, any) {
+	state := naru.StateHealthy
+	if brk != nil {
+		state = brk.State()
+	}
+	ready := est != nil && state.Ready()
+	status := http.StatusOK
+	if !ready {
+		status = http.StatusServiceUnavailable
+	}
+	return status, struct {
+		Ready bool   `json:"ready"`
+		State string `json:"state"`
+	}{ready, state.String()}
+}
+
+// healthz reports serving health: 503 only when no model is loaded. A
 // refresh or hot-swap in progress is healthy (in-flight queries keep their
 // version; new ones get the swapped one), as is a stale model — staleness is
-// advisory, reported in the body for operators.
-func healthz(w http.ResponseWriter, est *naru.Estimator) {
+// advisory, reported in the body for operators. The breaker's degradation
+// state rides along in "state" but never changes the status code: /healthz
+// is the legacy combined probe, /livez + /readyz the split pair.
+func healthz(w http.ResponseWriter, est *naru.Estimator, brk *naru.Breaker) {
 	w.Header().Set("Content-Type", "application/json")
 	if est == nil {
 		w.WriteHeader(http.StatusServiceUnavailable)
@@ -231,11 +339,35 @@ func healthz(w http.ResponseWriter, est *naru.Estimator) {
 		return
 	}
 	resp := healthResponse{Status: "ok", ModelVersion: est.ModelVersion()}
+	if brk != nil {
+		resp.State = brk.State().String()
+	}
 	if lc := est.Lifecycle(); lc != nil {
 		resp.Refreshing = lc.Refreshing()
 		resp.StaleModel = lc.Stale()
 	}
 	_ = json.NewEncoder(w).Encode(resp)
+}
+
+// livez is pure process liveness: if this handler runs, the process is up.
+// Restarting a FallbackOnly replica doesn't fix a broken model, so liveness
+// never consults the state machine — that's readiness's job.
+func livez(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	_, _ = w.Write([]byte("{\"alive\":true}\n"))
+}
+
+// readyz reports whether this replica should receive traffic: a model is
+// loaded AND the degradation state is Healthy or Degraded. FallbackOnly and
+// Draining return 503 so load balancers drain the replica while it probes
+// its way back (or shuts down) — without killing it.
+func readyz(w http.ResponseWriter, est *naru.Estimator, brk *naru.Breaker) {
+	w.Header().Set("Content-Type", "application/json")
+	status, body := readyResponse(est, brk)
+	if status != http.StatusOK {
+		w.WriteHeader(status)
+	}
+	_ = json.NewEncoder(w).Encode(body)
 }
 
 // estimateResponse is the JSON shape of one served estimate.
@@ -261,11 +393,13 @@ type appendResponse struct {
 // serveHandler carries the estimation service's shared state. onAppend (when
 // non-nil) runs after every successful ingest, kicking the background refresh.
 type serveHandler struct {
-	est      *naru.Estimator
-	t        *table.Table // boot-time snapshot, used when lifecycle is off
-	opts     naru.ServeOptions
-	coal     *naru.Coalescer // non-nil routes /estimate through fused batching
-	onAppend func()
+	est        *naru.Estimator
+	t          *table.Table // boot-time snapshot, used when lifecycle is off
+	opts       naru.ServeOptions
+	coal       *naru.Coalescer // non-nil routes /estimate through fused batching
+	brk        *naru.Breaker   // non-nil gates /estimate through the circuit breaker
+	retryAfter string          // Retry-After header value for 503 responses
+	onAppend   func()
 }
 
 // snapshot returns the table queries parse against: the lifecycle manager's
@@ -301,12 +435,21 @@ func (h *serveHandler) mux() http.Handler {
 	mux.HandleFunc("/drift", h.handleDrift)
 	mux.HandleFunc("/models", h.handleModels)
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
-		healthz(w, h.est)
+		healthz(w, h.est, h.brk)
+	})
+	mux.HandleFunc("/livez", livez)
+	mux.HandleFunc("/readyz", func(w http.ResponseWriter, r *http.Request) {
+		readyz(w, h.est, h.brk)
 	})
 	return mux
 }
 
 func (h *serveHandler) handleEstimate(w http.ResponseWriter, r *http.Request) {
+	if err := faultinject.Point(siteServeRequest); err != nil {
+		h.setRetryAfter(w)
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+		return
+	}
 	where := r.FormValue("where")
 	if where == "" {
 		http.Error(w, "missing ?where= conjunction", http.StatusBadRequest)
@@ -321,7 +464,11 @@ func (h *serveHandler) handleEstimate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	var res naru.Result
-	if h.coal != nil {
+	if h.brk != nil && !h.brk.Allow() {
+		// Breaker open (or draining): the model path is bypassed and the
+		// fallback answers, with ErrBreakerOpen preserved as provenance.
+		res = h.brk.Reject(q, h.opts.Fallback)
+	} else if h.coal != nil {
 		// Coalesced: the request joins whatever fused batch is forming. The
 		// answer is bit-identical to serving it alone (the fused scheduler's
 		// determinism contract), only the scheduling changes.
@@ -338,6 +485,11 @@ func (h *serveHandler) handleEstimate(w http.ResponseWriter, r *http.Request) {
 		}
 		res = results[0]
 	}
+	if h.brk != nil {
+		// Every served result feeds the state machine (breaker rejections and
+		// sheds classify as non-failures inside Observe).
+		h.brk.Observe(res)
+	}
 	resp := estimateResponse{
 		Query:        q.String(t),
 		Sel:          res.Sel,
@@ -353,9 +505,27 @@ func (h *serveHandler) handleEstimate(w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set("Content-Type", "application/json")
 	if res.Source == naru.SourceFailed {
-		w.WriteHeader(http.StatusInternalServerError)
+		// Shed and breaker-open failures are back-pressure, not server bugs:
+		// 503 + Retry-After tells well-behaved clients to ease off; everything
+		// else failing with no fallback is a genuine 500.
+		if errors.Is(res.Err, naru.ErrShed) || errors.Is(res.Err, naru.ErrBreakerOpen) {
+			h.setRetryAfter(w)
+			w.WriteHeader(http.StatusServiceUnavailable)
+		} else {
+			w.WriteHeader(http.StatusInternalServerError)
+		}
 	}
 	_ = json.NewEncoder(w).Encode(resp)
+}
+
+// setRetryAfter stamps the 503 back-pressure header (breaker probe interval
+// when configured, 1s otherwise).
+func (h *serveHandler) setRetryAfter(w http.ResponseWriter) {
+	ra := h.retryAfter
+	if ra == "" {
+		ra = "1"
+	}
+	w.Header().Set("Retry-After", ra)
 }
 
 func (h *serveHandler) handleAppend(w http.ResponseWriter, r *http.Request) {

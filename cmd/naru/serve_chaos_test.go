@@ -1,0 +1,233 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"strings"
+	"testing"
+	"time"
+
+	naru "repro"
+	"repro/internal/faultinject"
+)
+
+// getJSON fetches a URL and decodes the JSON body into out, returning the
+// status code.
+func getJSON(t *testing.T, rawURL string, out any) int {
+	t.Helper()
+	resp, err := http.Get(rawURL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("decoding %s: %v", rawURL, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+// TestLivezReadyzSplit: /livez is pure process liveness (200 no matter
+// what), /readyz follows the degradation state machine — Healthy and
+// Degraded are ready, FallbackOnly and Draining are not — and /healthz
+// reports the state without changing its status code.
+func TestLivezReadyzSplit(t *testing.T) {
+	est, tbl, _ := buildServeFixture(t)
+	h := &serveHandler{est: est, t: tbl, opts: naru.ServeOptions{}}
+	h.brk = est.NewBreaker(naru.BreakerOptions{Threshold: 3})
+	defer h.brk.Close()
+	srv := httptest.NewServer(h.mux())
+	defer srv.Close()
+
+	if code := getJSON(t, srv.URL+"/livez", nil); code != http.StatusOK {
+		t.Fatalf("livez %d, want 200", code)
+	}
+	var ready struct {
+		Ready bool   `json:"ready"`
+		State string `json:"state"`
+	}
+	if code := getJSON(t, srv.URL+"/readyz", &ready); code != http.StatusOK || !ready.Ready || ready.State != "healthy" {
+		t.Fatalf("healthy readyz: %d %+v", code, ready)
+	}
+
+	h.brk.Trip()
+	if code := getJSON(t, srv.URL+"/readyz", &ready); code != http.StatusServiceUnavailable || ready.Ready || ready.State != "fallback_only" {
+		t.Fatalf("tripped readyz: %d %+v", code, ready)
+	}
+	if code := getJSON(t, srv.URL+"/livez", nil); code != http.StatusOK {
+		t.Fatalf("tripped livez %d, want 200 (liveness never follows the breaker)", code)
+	}
+	var health healthResponse
+	if code := getJSON(t, srv.URL+"/healthz", &health); code != http.StatusOK || health.State != "fallback_only" {
+		t.Fatalf("tripped healthz: %d %+v (healthz keeps its legacy 200 contract)", code, health)
+	}
+
+	h.brk.Drain()
+	if code := getJSON(t, srv.URL+"/readyz", &ready); code != http.StatusServiceUnavailable || ready.State != "draining" {
+		t.Fatalf("draining readyz: %d %+v", code, ready)
+	}
+}
+
+// TestBreakerTripAndRecoverOverHTTP drives the full chaos loop through the
+// serve mux: injected model-path faults trip the breaker, open-breaker
+// requests come back 503 with Retry-After and fallback provenance, the
+// recovery probe closes the breaker once the fault schedule is exhausted,
+// and service returns to model answers.
+func TestBreakerTripAndRecoverOverHTTP(t *testing.T) {
+	est, tbl, _ := buildServeFixture(t)
+	h := &serveHandler{est: est, t: tbl, opts: naru.ServeOptions{Fallback: naru.Fallback(tbl)}, retryAfter: "1"}
+	h.brk = est.NewBreaker(naru.BreakerOptions{
+		Threshold:        3,
+		ProbeInterval:    10 * time.Millisecond,
+		MaxProbeInterval: 50 * time.Millisecond,
+		Seed:             11,
+	})
+	defer h.brk.Close()
+	h.brk.Start(func(ctx context.Context) error { return probeModel(ctx, est) })
+	srv := httptest.NewServer(h.mux())
+	defer srv.Close()
+
+	// 5 injected failures: 3 trip the breaker, the rest are absorbed by
+	// probes so recovery succeeds only after the window drains.
+	if err := faultinject.ArmString("core.serve.query=error@1x5"); err != nil {
+		t.Fatal(err)
+	}
+	defer faultinject.Reset()
+
+	estimateURL := srv.URL + "/estimate?where=" + url.QueryEscape("qty<=30")
+	for i := 0; i < 3; i++ {
+		var er estimateResponse
+		getJSON(t, estimateURL, &er)
+		if er.Source != "fallback" || !strings.Contains(er.Err, "injected") {
+			t.Fatalf("injected request %d: %+v, want fallback with injected err", i, er)
+		}
+	}
+	if h.brk.Allow() {
+		t.Fatal("3 injected failures did not trip threshold-3 breaker")
+	}
+
+	// Open breaker: requests bypass the model, answered by the fallback with
+	// breaker provenance, still 200 (an answer was produced).
+	var er estimateResponse
+	if code := getJSON(t, estimateURL, &er); code != http.StatusOK || er.Source != "fallback" || !strings.Contains(er.Err, "circuit breaker") {
+		t.Fatalf("open-breaker request: %d %+v", code, er)
+	}
+
+	// Recovery: probes burn the remaining injection window, then succeed.
+	deadline := time.Now().Add(10 * time.Second)
+	for h.brk.State() != naru.StateHealthy {
+		if time.Now().After(deadline) {
+			t.Fatalf("breaker never recovered: state %v", h.brk.State())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if code := getJSON(t, estimateURL, &er); code != http.StatusOK || er.Source != "model" {
+		t.Fatalf("post-recovery request: %d %+v, want model answer", code, er)
+	}
+}
+
+// TestBreakerOpenWithoutFallbackIs503: with no fallback configured, an open
+// breaker turns requests away with 503 + Retry-After — back-pressure, not a
+// 500 server bug.
+func TestBreakerOpenWithoutFallbackIs503(t *testing.T) {
+	est, tbl, _ := buildServeFixture(t)
+	h := &serveHandler{est: est, t: tbl, opts: naru.ServeOptions{}, retryAfter: "2"}
+	h.brk = est.NewBreaker(naru.BreakerOptions{Threshold: 1})
+	defer h.brk.Close()
+	h.brk.Trip()
+	srv := httptest.NewServer(h.mux())
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/estimate?where=" + url.QueryEscape("qty<=30"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status %d, want 503", resp.StatusCode)
+	}
+	if got := resp.Header.Get("Retry-After"); got != "2" {
+		t.Fatalf("Retry-After %q, want \"2\"", got)
+	}
+	var er estimateResponse
+	if err := json.NewDecoder(resp.Body).Decode(&er); err != nil {
+		t.Fatal(err)
+	}
+	if er.Source != "failed" || !strings.Contains(er.Err, "circuit breaker") {
+		t.Fatalf("body %+v, want failed with breaker provenance", er)
+	}
+}
+
+// TestServeRequestFaultSite: an injected error at serve.request answers 503
+// with Retry-After before the estimator runs; the next request is untouched.
+func TestServeRequestFaultSite(t *testing.T) {
+	est, tbl, _ := buildServeFixture(t)
+	h := &serveHandler{est: est, t: tbl, opts: naru.ServeOptions{}}
+	srv := httptest.NewServer(h.mux())
+	defer srv.Close()
+
+	if err := faultinject.ArmString("serve.request=error@1"); err != nil {
+		t.Fatal(err)
+	}
+	defer faultinject.Reset()
+
+	estimateURL := srv.URL + "/estimate?where=" + url.QueryEscape("qty<=30")
+	resp, err := http.Get(estimateURL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable || resp.Header.Get("Retry-After") == "" {
+		t.Fatalf("injected request: status %d Retry-After %q", resp.StatusCode, resp.Header.Get("Retry-After"))
+	}
+	var er estimateResponse
+	if code := getJSON(t, estimateURL, &er); code != http.StatusOK || er.Source != "model" {
+		t.Fatalf("post-fault request: %d %+v", code, er)
+	}
+}
+
+// TestFaultsSubcommand: `naru faults` enumerates the registered sites — the
+// chaos harness builds its kill matrix from this list, so the serving and
+// persistence sites must all be present.
+func TestFaultsSubcommand(t *testing.T) {
+	code, stdout, stderr := runCLI("faults")
+	if code != 0 {
+		t.Fatalf("faults exited %d: %s", code, stderr)
+	}
+	for _, want := range []string{
+		"core.fused.walk",
+		"core.serve.query",
+		"lifecycle.append.flush",
+		"lifecycle.manifest.write",
+		"lifecycle.version.load",
+		"lifecycle.version.write",
+		"serve.request",
+		"train.checkpoint.flush",
+	} {
+		if !strings.Contains(stdout, want) {
+			t.Fatalf("site %q missing from faults output:\n%s", want, stdout)
+		}
+	}
+}
+
+// probeModel is the serve command's recovery probe shape, factored for tests:
+// an unrestricted estimate that must come back on the model path.
+func probeModel(ctx context.Context, est *naru.Estimator) error {
+	results, err := est.SelectivityBatchCtx(ctx, []naru.Query{{}}, naru.ServeOptions{Workers: 1})
+	if err != nil {
+		return err
+	}
+	r := results[0]
+	if r.Source != naru.SourceModel && r.Source != naru.SourceDegraded {
+		if r.Err != nil {
+			return r.Err
+		}
+		return fmt.Errorf("probe answered by %s", r.Source)
+	}
+	return nil
+}

@@ -15,7 +15,7 @@ import (
 // reports ok plus the serving version.
 func TestHealthz(t *testing.T) {
 	rec := httptest.NewRecorder()
-	healthz(rec, nil)
+	healthz(rec, nil, nil)
 	if rec.Code != http.StatusServiceUnavailable {
 		t.Fatalf("no model: status %d, want 503", rec.Code)
 	}
@@ -29,7 +29,7 @@ func TestHealthz(t *testing.T) {
 
 	est, _, _ := buildServeFixture(t)
 	rec = httptest.NewRecorder()
-	healthz(rec, est)
+	healthz(rec, est, nil)
 	if rec.Code != http.StatusOK {
 		t.Fatalf("status %d, want 200", rec.Code)
 	}

@@ -137,6 +137,8 @@ func (c *Coalescer) shed(q Query, start time.Time) Result {
 		if reg, err := compileFor(v, q); err == nil {
 			res.Sel = fb(reg)
 			res.Source = SourceFallback
+		} else {
+			res.Err = errors.Join(ErrShed, err)
 		}
 	}
 	v.sampler.ObserveShed(&res, time.Since(start))

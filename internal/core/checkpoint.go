@@ -9,9 +9,14 @@ import (
 	"path/filepath"
 
 	"repro/internal/envelope"
+	"repro/internal/faultinject"
 	"repro/internal/nn"
 	"repro/internal/tensor"
 )
+
+// siteCheckpointFlush is the chaos fault point on the checkpoint write path
+// (training and lifecycle-refresh checkpoints both land through it).
+var siteCheckpointFlush = faultinject.Site("train.checkpoint.flush")
 
 // Checkpoint wire format: a gob-encoded trainState inside a CRC32-protected,
 // versioned envelope (internal/envelope), written atomically via
@@ -163,7 +168,12 @@ func writeCheckpoint(path string, st *trainState) error {
 		return fmt.Errorf("core: creating checkpoint temp: %w", err)
 	}
 	defer os.Remove(tmp.Name()) // no-op after a successful rename
-	if err := encodeCheckpoint(tmp, st); err != nil {
+	w, err := faultinject.WrapWriter(siteCheckpointFlush, tmp)
+	if err != nil {
+		tmp.Close()
+		return fmt.Errorf("core: writing checkpoint: %w", err)
+	}
+	if err := encodeCheckpoint(w, st); err != nil {
 		tmp.Close()
 		return err
 	}

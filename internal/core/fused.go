@@ -8,8 +8,15 @@ import (
 	"sort"
 	"time"
 
+	"repro/internal/faultinject"
 	"repro/internal/query"
 )
+
+// siteFusedWalk is the chaos fault point inside the fused block walk. It sits
+// under walkBlock's recover, so an injected panic or error exercises the
+// containment path: the unfinished lanes are re-served individually with
+// bit-identical answers.
+var siteFusedWalk = faultinject.Site("core.fused.walk")
 
 // This file implements fused cross-query serving: the unit of model work is
 // a *sample block* — chunks of many concurrent queries' progressive-sampling
@@ -176,6 +183,10 @@ func (e *Estimator) classifyFused(ctx context.Context, sc *scratch, reg *query.R
 	}()
 	if opts.BeforeQuery != nil {
 		opts.BeforeQuery(i)
+	}
+	if err := faultinject.Point(siteServeQuery); err != nil {
+		*res = Result{Source: SourceFailed, Err: err}
+		return nil
 	}
 	if err := ctx.Err(); err != nil {
 		*res = Result{Source: SourceFailed, Err: err}
@@ -348,6 +359,9 @@ func (e *Estimator) walkBlock(bm BlockModel, st *fusedState, lanes []*fusedLane,
 			err = fmt.Errorf("%w: fused block: %v", ErrPanicked, r)
 		}
 	}()
+	if err := faultinject.Point(siteFusedWalk); err != nil {
+		return err
+	}
 	sort.SliceStable(lanes, func(a, b int) bool { return lanes[a].fq.last > lanes[b].fq.last })
 	n := 0
 	for _, ln := range lanes {

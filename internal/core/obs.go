@@ -20,6 +20,7 @@ const (
 	metricPathFallback     = "naru_query_path_fallback_total"
 	metricPathFailed       = "naru_query_path_failed_total"
 	metricPathShed         = "naru_query_path_shed_total"
+	metricPathBreaker      = "naru_query_path_breaker_total"
 	metricPanicsRecovered  = "naru_query_panics_recovered_total"
 	metricSamplesRequested = "naru_sample_paths_requested_total"
 	metricSamplesCompleted = "naru_sample_paths_completed_total"
@@ -41,6 +42,7 @@ type estObs struct {
 	pathFallback     *obs.Counter
 	pathFailed       *obs.Counter
 	pathShed         *obs.Counter
+	pathBreaker      *obs.Counter
 	panicsRecovered  *obs.Counter
 	samplesRequested *obs.Counter
 	samplesCompleted *obs.Counter
@@ -66,6 +68,7 @@ func (e *Estimator) SetObserver(r *obs.Registry) {
 		pathFallback:     r.Counter(metricPathFallback),
 		pathFailed:       r.Counter(metricPathFailed),
 		pathShed:         r.Counter(metricPathShed),
+		pathBreaker:      r.Counter(metricPathBreaker),
 		panicsRecovered:  r.Counter(metricPanicsRecovered),
 		samplesRequested: r.Counter(metricSamplesRequested),
 		samplesCompleted: r.Counter(metricSamplesCompleted),
@@ -176,6 +179,30 @@ func (e *Estimator) ObserveShed(res *Result, elapsed time.Duration) {
 	o.latency.ObserveDuration(elapsed)
 	tr := obs.QueryTrace{
 		Path:         obs.PathShed,
+		Sel:          res.Sel,
+		LatencyNS:    elapsed.Nanoseconds(),
+		StopReason:   res.Stop.String(),
+		ModelVersion: res.ModelVersion,
+	}
+	if res.Err != nil {
+		tr.Err = res.Err.Error()
+	}
+	o.reg.RecordTrace(tr)
+}
+
+// ObserveBreakerReject records a query the open circuit breaker turned away
+// from the model path (res carries the fallback answer or failure), the
+// breaker's analogue of ObserveShed. A no-op without an attached registry.
+func (e *Estimator) ObserveBreakerReject(res *Result, elapsed time.Duration) {
+	o := &e.obs
+	if o.reg == nil {
+		return
+	}
+	o.queries.Inc()
+	o.pathBreaker.Inc()
+	o.latency.ObserveDuration(elapsed)
+	tr := obs.QueryTrace{
+		Path:         obs.PathBreaker,
 		Sel:          res.Sel,
 		LatencyNS:    elapsed.Nanoseconds(),
 		StopReason:   res.Stop.String(),

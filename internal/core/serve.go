@@ -10,8 +10,14 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/faultinject"
 	"repro/internal/query"
 )
+
+// siteServeQuery is the chaos fault point on the per-query model path. It
+// sits inside serveOne's recover scope, so an injected panic here exercises
+// the same containment as a real model bug.
+var siteServeQuery = faultinject.Site("core.serve.query")
 
 // Source tags where a served estimate came from, so operators can audit
 // degraded operation instead of discovering it in a quality regression.
@@ -271,6 +277,9 @@ func (e *Estimator) serveOne(ctx context.Context, sc *scratch, reg *query.Region
 	}()
 	if opts.BeforeQuery != nil {
 		opts.BeforeQuery(i)
+	}
+	if err := faultinject.Point(siteServeQuery); err != nil {
+		return Result{Source: SourceFailed, Err: err}
 	}
 	if err := ctx.Err(); err != nil {
 		return Result{Source: SourceFailed, Err: err}

@@ -1,13 +1,19 @@
-// Package faultinject supplies deterministic failure machinery for the
-// resilience test suites: writers that fail or short-write after a byte
-// budget, readers that flip bits or truncate, training hooks that "crash"
-// after N steps, and serving hooks that panic on or cancel at chosen query
-// indices. Everything is deterministic and safe under the race detector, so
-// the same disruption schedule reproduces bit-identically across runs.
+// Package faultinject supplies deterministic failure machinery in two
+// layers. The primitives in this file — writers that fail or short-write
+// after a byte budget, readers that flip bits or truncate, training hooks
+// that "crash" after N steps, serving hooks that panic on or cancel at
+// chosen query indices — are imported by the resilience test suites and
+// plugged into plain hook points (TrainConfig.OnStep,
+// ServeOptions.BeforeQuery). Everything is deterministic and safe under the
+// race detector, so the same disruption schedule reproduces bit-identically
+// across runs.
 //
-// The package is imported only by tests; production code paths expose plain
-// hook points (TrainConfig.OnStep, ServeOptions.BeforeQuery) and stay
-// unaware of it.
+// The site registry in site.go is the second layer: production code declares
+// named fault points (faultinject.Site / faultinject.Point) at the exact
+// instructions where a crash or disk fault would bite — manifest writes,
+// checkpoint flushes, the fused sampling walk — and the chaos harness arms
+// schedules against them by name (NARU_FAULTS). Disarmed, a fault point
+// costs one atomic load.
 package faultinject
 
 import (

@@ -1,0 +1,363 @@
+package faultinject
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Site-based fault injection: production code declares named fault points
+// (`var siteX = faultinject.Site("pkg.thing.op")`) and consults them with
+// Point / WrapWriter at the exact instruction where a crash, disk fault, or
+// bug would bite. The whole machinery sits behind one global atomic flag:
+// until something is Armed, every Point call is a single atomic load and a
+// predicted branch — no map lookup, no lock, no allocation — so the
+// injection sites can stay in the hot serving and persistence paths
+// permanently, the way assertions do.
+//
+// Schedules are deterministic: a fault fires on an exact window of hits
+// ([After, After+Count) in per-site hit order), optionally thinned by a
+// seeded coin (Prob, Seed), so a chaos run reproduces bit-identically from
+// its spec string. The chaos harness arms specs from the NARU_FAULTS
+// environment variable via ArmString; tests use Enable/Reset directly.
+
+// ExitCode is the process exit status of ModeExit faults, distinct from the
+// CLI's 1 (runtime error) and 2 (usage) so the chaos harness can tell an
+// injected kill from an ordinary failure.
+const ExitCode = 3
+
+// Mode selects what a triggered fault does at its site.
+type Mode int
+
+const (
+	// ModeError makes Point return ErrInjected (and WrapWriter fail), the
+	// shape of an I/O error or a failed syscall.
+	ModeError Mode = iota
+	// ModeDelay makes Point sleep Spec.Delay, the shape of a stalled disk or
+	// a scheduling hiccup.
+	ModeDelay
+	// ModePanic makes Point panic, the shape of a bug in the model or
+	// sampler. Serving sites sit inside recover scopes; persistence sites do
+	// not, so a panic there is a crash.
+	ModePanic
+	// ModeExit terminates the process with ExitCode immediately — no
+	// deferred functions run, like a kill -9 at the site. Only reachable
+	// through an armed spec (normally NARU_FAULTS in the chaos harness).
+	ModeExit
+	// ModePartial makes WrapWriter return a short-writing Writer with
+	// Spec.Limit bytes of budget, the shape of a full disk or a process
+	// killed mid-write. Point ignores it (partial writes need a writer).
+	ModePartial
+)
+
+// String implements fmt.Stringer; the names double as the ArmString grammar.
+func (m Mode) String() string {
+	switch m {
+	case ModeError:
+		return "error"
+	case ModeDelay:
+		return "delay"
+	case ModePanic:
+		return "panic"
+	case ModeExit:
+		return "exit"
+	case ModePartial:
+		return "partial"
+	}
+	return fmt.Sprintf("Mode(%d)", int(m))
+}
+
+// Spec schedules one fault at one site. The zero value is "error on the
+// first hit, once".
+type Spec struct {
+	Mode Mode
+	// After is the 1-based hit index at which the fault starts firing
+	// (default 1: the first hit).
+	After int
+	// Count is how many hits fire once the window opens (default 1;
+	// negative = every hit from After on).
+	Count int
+	// Delay is the ModeDelay sleep.
+	Delay time.Duration
+	// Limit is the ModePartial byte budget before the wrapped writer fails.
+	Limit int
+	// Prob, when in (0, 1), thins the firing window with a coin drawn from a
+	// rand.Rand seeded with Seed — a deterministic "flaky" schedule.
+	Prob float64
+	// Seed seeds the Prob coin stream.
+	Seed int64
+}
+
+// armedFault is one site's live schedule plus its hit bookkeeping.
+type armedFault struct {
+	spec  Spec
+	hits  int
+	fired int
+	rng   *rand.Rand
+}
+
+var (
+	armed    atomic.Bool
+	siteMu   sync.Mutex
+	sites    = map[string]bool{}
+	faultMu  sync.Mutex
+	faults   = map[string]*armedFault{}
+	hitCount = map[string]int{}
+	// exit is swapped out by tests of ModeExit.
+	exit = func(site string) {
+		fmt.Fprintf(os.Stderr, "faultinject: exiting at site %s\n", site)
+		os.Exit(ExitCode)
+	}
+)
+
+// Site registers a fault point name and returns it, so call sites read as
+// `faultinject.Point(siteX)` with siteX declared once per package:
+//
+//	var siteManifestWrite = faultinject.Site("lifecycle.manifest.write")
+//
+// Registration is how the chaos harness enumerates the injection matrix
+// (`naru faults`); it has no effect on behavior until a spec is armed.
+func Site(name string) string {
+	siteMu.Lock()
+	sites[name] = true
+	siteMu.Unlock()
+	return name
+}
+
+// Sites returns every registered fault point, sorted.
+func Sites() []string {
+	siteMu.Lock()
+	defer siteMu.Unlock()
+	out := make([]string, 0, len(sites))
+	for s := range sites {
+		out = append(out, s)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Enable arms a spec at a site (registering the site if needed) and turns
+// the global injection flag on.
+func Enable(site string, s Spec) {
+	Site(site)
+	if s.After <= 0 {
+		s.After = 1
+	}
+	if s.Count == 0 {
+		s.Count = 1
+	}
+	af := &armedFault{spec: s}
+	if s.Prob > 0 && s.Prob < 1 {
+		af.rng = rand.New(rand.NewSource(s.Seed))
+	}
+	faultMu.Lock()
+	faults[site] = af
+	faultMu.Unlock()
+	armed.Store(true)
+}
+
+// Disable removes the spec at a site; the global flag stays on while any
+// other spec is armed.
+func Disable(site string) {
+	faultMu.Lock()
+	delete(faults, site)
+	n := len(faults)
+	faultMu.Unlock()
+	if n == 0 {
+		armed.Store(false)
+	}
+}
+
+// Reset disarms everything and zeroes the hit counters.
+func Reset() {
+	faultMu.Lock()
+	faults = map[string]*armedFault{}
+	hitCount = map[string]int{}
+	faultMu.Unlock()
+	armed.Store(false)
+}
+
+// Hits reports how many times a site was reached while injection was armed
+// (faulted or not) — the way tests assert a chaos schedule actually
+// exercised its target.
+func Hits(site string) int {
+	faultMu.Lock()
+	defer faultMu.Unlock()
+	return hitCount[site]
+}
+
+// strike records a hit and returns the spec if this hit fires.
+func strike(site string) *Spec {
+	faultMu.Lock()
+	defer faultMu.Unlock()
+	hitCount[site]++
+	af := faults[site]
+	if af == nil {
+		return nil
+	}
+	af.hits++
+	if af.hits < af.spec.After {
+		return nil
+	}
+	if af.spec.Count > 0 && af.fired >= af.spec.Count {
+		return nil
+	}
+	if af.rng != nil && af.rng.Float64() >= af.spec.Prob {
+		return nil
+	}
+	af.fired++
+	return &af.spec
+}
+
+// Point consults the fault schedule at a site: nil when nothing fires, an
+// ErrInjected-wrapping error for ModeError; ModeDelay sleeps, ModePanic
+// panics, ModeExit terminates the process. Disarmed cost is one atomic load.
+func Point(site string) error {
+	if !armed.Load() {
+		return nil
+	}
+	sp := strike(site)
+	if sp == nil {
+		return nil
+	}
+	switch sp.Mode {
+	case ModeError:
+		return fmt.Errorf("%w at %s", ErrInjected, site)
+	case ModeDelay:
+		time.Sleep(sp.Delay)
+	case ModePanic:
+		panic(fmt.Sprintf("faultinject: scheduled panic at site %s", site))
+	case ModeExit:
+		exit(site)
+	}
+	return nil
+}
+
+// WrapWriter is Point for write paths: in addition to the Point modes it
+// honors ModePartial by wrapping w in a short-writing Writer with the spec's
+// byte budget, so the caller's very next Write sees a torn write.
+func WrapWriter(site string, w io.Writer) (io.Writer, error) {
+	if !armed.Load() {
+		return w, nil
+	}
+	sp := strike(site)
+	if sp == nil {
+		return w, nil
+	}
+	switch sp.Mode {
+	case ModeError:
+		return nil, fmt.Errorf("%w at %s", ErrInjected, site)
+	case ModeDelay:
+		time.Sleep(sp.Delay)
+	case ModePanic:
+		panic(fmt.Sprintf("faultinject: scheduled panic at site %s", site))
+	case ModeExit:
+		exit(site)
+	case ModePartial:
+		limit := sp.Limit
+		if limit <= 0 {
+			limit = 1
+		}
+		return &Writer{W: w, Limit: limit}, nil
+	}
+	return w, nil
+}
+
+// ArmString parses and arms a comma-separated fault schedule, the NARU_FAULTS
+// grammar:
+//
+//	site=mode[:arg][@after[xcount]]
+//
+// where mode is error|delay|panic|exit|partial, arg is the delay duration
+// (delay:50ms) or the partial-write byte budget (partial:16), after is the
+// 1-based hit index the fault starts firing at (default 1), and count is how
+// many hits fire (default 1, "*" = unbounded). Examples:
+//
+//	lifecycle.manifest.write=exit@1
+//	core.serve.query=panic@1x10,lifecycle.append.flush=error@2
+func ArmString(s string) error {
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		site, rest, ok := strings.Cut(part, "=")
+		if !ok || site == "" {
+			return fmt.Errorf("faultinject: bad fault %q (want site=mode[:arg][@after[xcount]])", part)
+		}
+		spec, err := parseSpec(rest)
+		if err != nil {
+			return fmt.Errorf("faultinject: %s: %w", site, err)
+		}
+		Enable(site, spec)
+	}
+	return nil
+}
+
+// parseSpec parses the mode[:arg][@after[xcount]] portion of ArmString.
+func parseSpec(s string) (Spec, error) {
+	var sp Spec
+	modeArg := s
+	if head, window, ok := strings.Cut(s, "@"); ok {
+		modeArg = head
+		after, count, hasCount := strings.Cut(window, "x")
+		n, err := strconv.Atoi(after)
+		if err != nil || n < 1 {
+			return sp, fmt.Errorf("bad hit index %q", after)
+		}
+		sp.After = n
+		if hasCount {
+			if count == "*" {
+				sp.Count = -1
+			} else {
+				c, err := strconv.Atoi(count)
+				if err != nil || c < 1 {
+					return sp, fmt.Errorf("bad count %q", count)
+				}
+				sp.Count = c
+			}
+		}
+	}
+	mode, arg, hasArg := strings.Cut(modeArg, ":")
+	switch mode {
+	case "error":
+		sp.Mode = ModeError
+	case "panic":
+		sp.Mode = ModePanic
+	case "exit":
+		sp.Mode = ModeExit
+	case "delay":
+		sp.Mode = ModeDelay
+		if !hasArg {
+			return sp, fmt.Errorf("delay needs a duration (delay:50ms)")
+		}
+		d, err := time.ParseDuration(arg)
+		if err != nil {
+			return sp, fmt.Errorf("bad delay %q: %v", arg, err)
+		}
+		sp.Delay = d
+	case "partial":
+		sp.Mode = ModePartial
+		if !hasArg {
+			return sp, fmt.Errorf("partial needs a byte budget (partial:16)")
+		}
+		n, err := strconv.Atoi(arg)
+		if err != nil || n < 0 {
+			return sp, fmt.Errorf("bad byte budget %q", arg)
+		}
+		sp.Limit = n
+	default:
+		return sp, fmt.Errorf("unknown mode %q", mode)
+	}
+	if (sp.Mode != ModeDelay && sp.Delay != 0) || (sp.Mode != ModePartial && sp.Limit != 0) {
+		return sp, fmt.Errorf("argument does not match mode %s", sp.Mode)
+	}
+	return sp, nil
+}

@@ -1,0 +1,277 @@
+package faultinject
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestPointDisarmedIsNil(t *testing.T) {
+	Reset()
+	if err := Point(Site("test.disarmed")); err != nil {
+		t.Fatalf("disarmed Point: %v", err)
+	}
+}
+
+func TestPointErrorWindow(t *testing.T) {
+	Reset()
+	defer Reset()
+	site := Site("test.window")
+	Enable(site, Spec{Mode: ModeError, After: 2, Count: 2})
+	var got []bool
+	for i := 0; i < 5; i++ {
+		got = append(got, Point(site) != nil)
+	}
+	want := []bool{false, true, true, false, false}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("hit %d: faulted=%v, want %v (all: %v)", i+1, got[i], want[i], got)
+		}
+	}
+	if Hits(site) != 5 {
+		t.Fatalf("Hits = %d, want 5", Hits(site))
+	}
+}
+
+func TestPointUnboundedCount(t *testing.T) {
+	Reset()
+	defer Reset()
+	site := Site("test.unbounded")
+	Enable(site, Spec{Mode: ModeError, Count: -1})
+	for i := 0; i < 10; i++ {
+		if err := Point(site); !errors.Is(err, ErrInjected) {
+			t.Fatalf("hit %d: %v, want ErrInjected", i+1, err)
+		}
+	}
+}
+
+func TestPointPanicAndDelay(t *testing.T) {
+	Reset()
+	defer Reset()
+	site := Site("test.panic")
+	Enable(site, Spec{Mode: ModePanic})
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("ModePanic did not panic")
+			}
+		}()
+		_ = Point(site)
+	}()
+	// Second hit is past the window: no panic.
+	if err := Point(site); err != nil {
+		t.Fatalf("post-window Point: %v", err)
+	}
+
+	dsite := Site("test.delay")
+	Enable(dsite, Spec{Mode: ModeDelay, Delay: 10 * time.Millisecond})
+	start := time.Now()
+	if err := Point(dsite); err != nil {
+		t.Fatalf("ModeDelay returned error: %v", err)
+	}
+	if d := time.Since(start); d < 10*time.Millisecond {
+		t.Fatalf("ModeDelay slept %v, want >= 10ms", d)
+	}
+}
+
+func TestPointExitUsesHook(t *testing.T) {
+	Reset()
+	defer Reset()
+	old := exit
+	defer func() { exit = old }()
+	var exited string
+	exit = func(site string) { exited = site }
+	site := Site("test.exit")
+	Enable(site, Spec{Mode: ModeExit})
+	_ = Point(site)
+	if exited != site {
+		t.Fatalf("exit hook saw %q, want %q", exited, site)
+	}
+}
+
+func TestWrapWriterPartial(t *testing.T) {
+	Reset()
+	defer Reset()
+	site := Site("test.partial")
+	Enable(site, Spec{Mode: ModePartial, Limit: 4})
+	var buf bytes.Buffer
+	w, err := WrapWriter(site, &buf)
+	if err != nil {
+		t.Fatalf("WrapWriter: %v", err)
+	}
+	n, err := w.Write([]byte("hello world"))
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("partial write err = %v, want ErrInjected", err)
+	}
+	if n != 4 || buf.String() != "hell" {
+		t.Fatalf("partial write wrote %d bytes %q, want 4 %q", n, buf.String(), "hell")
+	}
+	// Past the window: pass-through.
+	w2, err := WrapWriter(site, &buf)
+	if err != nil {
+		t.Fatalf("post-window WrapWriter: %v", err)
+	}
+	if _, ok := w2.(*bytes.Buffer); !ok {
+		t.Fatalf("post-window WrapWriter returned %T, want pass-through", w2)
+	}
+}
+
+func TestProbSeedDeterministic(t *testing.T) {
+	run := func() []bool {
+		Reset()
+		site := Site("test.prob")
+		Enable(site, Spec{Mode: ModeError, Count: -1, Prob: 0.5, Seed: 42})
+		var out []bool
+		for i := 0; i < 32; i++ {
+			out = append(out, Point(site) != nil)
+		}
+		return out
+	}
+	a, b := run(), run()
+	Reset()
+	fired := 0
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("seeded schedule diverged at hit %d", i+1)
+		}
+		if a[i] {
+			fired++
+		}
+	}
+	if fired == 0 || fired == len(a) {
+		t.Fatalf("Prob=0.5 fired %d/%d times; coin not thinning", fired, len(a))
+	}
+}
+
+func TestDisableRearmsFastPath(t *testing.T) {
+	Reset()
+	defer Reset()
+	a, b := Site("test.disable.a"), Site("test.disable.b")
+	Enable(a, Spec{Mode: ModeError, Count: -1})
+	Enable(b, Spec{Mode: ModeError, Count: -1})
+	Disable(a)
+	if err := Point(a); err != nil {
+		t.Fatalf("disabled site still faults: %v", err)
+	}
+	if err := Point(b); err == nil {
+		t.Fatal("sibling site disarmed by Disable")
+	}
+	Disable(b)
+	if armed.Load() {
+		t.Fatal("global flag still armed after last Disable")
+	}
+}
+
+func TestSitesSortedAndRegistered(t *testing.T) {
+	Site("test.zz")
+	Site("test.aa")
+	all := Sites()
+	ia, iz := -1, -1
+	for i, s := range all {
+		if s == "test.aa" {
+			ia = i
+		}
+		if s == "test.zz" {
+			iz = i
+		}
+	}
+	if ia < 0 || iz < 0 || ia > iz {
+		t.Fatalf("Sites() = %v: want test.aa before test.zz", all)
+	}
+}
+
+func TestArmString(t *testing.T) {
+	Reset()
+	defer Reset()
+	err := ArmString("test.arm.a=error@2x3, test.arm.b=delay:5ms, test.arm.c=partial:16@1x*, test.arm.d=panic")
+	if err != nil {
+		t.Fatalf("ArmString: %v", err)
+	}
+	faultMu.Lock()
+	a, b, c, d := faults["test.arm.a"], faults["test.arm.b"], faults["test.arm.c"], faults["test.arm.d"]
+	faultMu.Unlock()
+	if a == nil || a.spec.Mode != ModeError || a.spec.After != 2 || a.spec.Count != 3 {
+		t.Fatalf("a spec = %+v", a)
+	}
+	if b == nil || b.spec.Mode != ModeDelay || b.spec.Delay != 5*time.Millisecond {
+		t.Fatalf("b spec = %+v", b)
+	}
+	if c == nil || c.spec.Mode != ModePartial || c.spec.Limit != 16 || c.spec.Count != -1 {
+		t.Fatalf("c spec = %+v", c)
+	}
+	if d == nil || d.spec.Mode != ModePanic || d.spec.After != 1 || d.spec.Count != 1 {
+		t.Fatalf("d spec = %+v", d)
+	}
+}
+
+func TestArmStringRejectsGarbage(t *testing.T) {
+	defer Reset()
+	for _, bad := range []string{
+		"nosite",
+		"=error",
+		"s=flood",
+		"s=delay",
+		"s=delay:xyz",
+		"s=partial",
+		"s=partial:-3",
+		"s=error@0",
+		"s=error@1x0",
+		"s=error@1xq",
+	} {
+		Reset()
+		if err := ArmString(bad); err == nil {
+			t.Fatalf("ArmString(%q) accepted", bad)
+		}
+	}
+	Reset()
+	if err := ArmString(""); err != nil {
+		t.Fatalf("ArmString(\"\") = %v, want nil", err)
+	}
+}
+
+func TestPointConcurrent(t *testing.T) {
+	Reset()
+	defer Reset()
+	site := Site("test.race")
+	Enable(site, Spec{Mode: ModeError, After: 50, Count: 10})
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	faulted := 0
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 25; i++ {
+				if Point(site) != nil {
+					mu.Lock()
+					faulted++
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if faulted != 10 {
+		t.Fatalf("faulted %d times across goroutines, want exactly 10", faulted)
+	}
+	if Hits(site) != 200 {
+		t.Fatalf("Hits = %d, want 200", Hits(site))
+	}
+}
+
+func TestModeString(t *testing.T) {
+	for m, want := range map[Mode]string{
+		ModeError: "error", ModeDelay: "delay", ModePanic: "panic",
+		ModeExit: "exit", ModePartial: "partial", Mode(99): "Mode(99)",
+	} {
+		if got := m.String(); got != want {
+			t.Fatalf("Mode(%d).String() = %q, want %q", int(m), got, want)
+		}
+	}
+	if !strings.Contains(ModeError.String(), "error") {
+		t.Fatal("unreachable")
+	}
+}

@@ -26,6 +26,9 @@ const (
 	metricStagedRows     = "naru_lifecycle_staged_rows"
 	metricIngestedTotal  = "naru_lifecycle_ingested_rows_total"
 	metricDriftScoreRows = "naru_lifecycle_drift_scored_rows"
+	metricGCTotal        = "naru_lifecycle_gc_total"
+	metricQuarantined    = "naru_lifecycle_quarantined_total"
+	metricRecoveries     = "naru_lifecycle_recoveries_total"
 )
 
 // lcObs bundles the manager's pre-resolved metric handles; the zero value
@@ -47,6 +50,12 @@ type lcObs struct {
 	stagedRows    *obs.Gauge
 	ingestedTotal *obs.Counter
 	scoredRows    *obs.Gauge
+	// Registry crash-recovery accounting (satellite of the chaos layer):
+	// swept temp files, quarantined artifacts, healing passes that changed
+	// anything.
+	gcTotal          *obs.Counter
+	quarantinedTotal *obs.Counter
+	recoveries       *obs.Counter
 }
 
 func newLcObs(r *obs.Registry) lcObs {
@@ -66,10 +75,13 @@ func newLcObs(r *obs.Registry) lcObs {
 		refreshActive: r.Gauge(metricRefreshActive),
 		refreshEpoch:  r.Gauge(metricRefreshEpoch),
 		refreshNLL:    r.Gauge(metricRefreshNLL),
-		snapshotRows:  r.Gauge(metricSnapshotRows),
-		stagedRows:    r.Gauge(metricStagedRows),
-		ingestedTotal: r.Counter(metricIngestedTotal),
-		scoredRows:    r.Gauge(metricDriftScoreRows),
+		snapshotRows:     r.Gauge(metricSnapshotRows),
+		stagedRows:       r.Gauge(metricStagedRows),
+		ingestedTotal:    r.Counter(metricIngestedTotal),
+		scoredRows:       r.Gauge(metricDriftScoreRows),
+		gcTotal:          r.Counter(metricGCTotal),
+		quarantinedTotal: r.Counter(metricQuarantined),
+		recoveries:       r.Counter(metricRecoveries),
 	}
 }
 

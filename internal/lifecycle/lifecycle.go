@@ -18,11 +18,17 @@ import (
 	"io"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/core"
+	"repro/internal/faultinject"
 	"repro/internal/obs"
 	"repro/internal/table"
 )
+
+// siteAppendFlush is the chaos fault point on the ingest commit path (both
+// staged flushes and direct CSV appends).
+var siteAppendFlush = faultinject.Site("lifecycle.append.flush")
 
 // Target is the serving-side swap point the manager drives. naru.Estimator
 // implements it with an atomic pointer swap: in-flight queries finish on the
@@ -89,6 +95,16 @@ type Config struct {
 	// bootstrap version at attach).
 	Registry *Registry
 
+	// AdoptActive, with a Registry configured, makes NewManager serve the
+	// registry's active version instead of re-registering the boot model:
+	// after a restart the server comes back on the exact artifact it was
+	// serving before (including a version healed back from a crash), rather
+	// than resetting the lineage. Load failures retry with bounded backoff,
+	// then heal the registry and try once more; if the registry is empty or
+	// the adopted model does not fit the boot table, the boot model is
+	// registered as usual.
+	AdoptActive bool
+
 	// Obs, when non-nil, receives the naru_lifecycle_* metric families and
 	// the refresh TrainRun's naru_train_* telemetry.
 	Obs *obs.Registry
@@ -149,16 +165,31 @@ func NewManager(model core.Trainable, t *table.Table, cfg Config, target Target)
 	}
 	m := &Manager{cfg: cfg, target: target, o: newLcObs(cfg.Obs)}
 	m.snap.Store(t)
+
+	adopted := false
+	if cfg.Registry != nil {
+		m.publishRecovery(cfg.Registry.Recovery())
+		if cfg.AdoptActive {
+			if am, meta, ok := adoptActive(cfg.Registry, t); ok {
+				model = am
+				m.version = meta.ID
+				adopted = true
+			}
+		}
+	}
+
 	m.drift = newDriftMonitor(model, t)
 	m.active = model
 	m.snapRows = t.NumRows()
-	m.version = 1
-	if cfg.Registry != nil {
-		meta, err := cfg.Registry.Register(model, int64(t.NumRows()), m.drift.baseNLL)
-		if err != nil {
-			return nil, err
+	if !adopted {
+		m.version = 1
+		if cfg.Registry != nil {
+			meta, err := cfg.Registry.Register(model, int64(t.NumRows()), m.drift.baseNLL)
+			if err != nil {
+				return nil, err
+			}
+			m.version = meta.ID
 		}
-		m.version = meta.ID
 	}
 	if target != nil {
 		target.InstallVersion(model, t, int64(t.NumRows()), m.version)
@@ -166,6 +197,60 @@ func NewManager(model core.Trainable, t *table.Table, cfg Config, target Target)
 	m.o.modelVersion.Set(float64(m.version))
 	m.o.snapshotRows.Set(float64(t.NumRows()))
 	return m, nil
+}
+
+// adoptActive loads the registry's active version for serving, retrying
+// transient load failures with bounded backoff and falling back to a healing
+// pass before the last attempt. ok=false (registry empty, shape mismatch, or
+// every attempt failed) means the caller should register its boot model.
+func adoptActive(reg *Registry, t *table.Table) (core.Trainable, VersionMeta, bool) {
+	if reg.Active() == 0 {
+		return nil, VersionMeta{}, false
+	}
+	fits := func(m core.Trainable) bool { return len(m.DomainSizes()) == t.NumCols() }
+	var lastErr error
+	for attempt := 0; attempt < 3; attempt++ {
+		if attempt > 0 {
+			time.Sleep(time.Duration(attempt) * 50 * time.Millisecond)
+		}
+		am, meta, err := reg.LoadActive()
+		if err == nil {
+			if !fits(am) {
+				return nil, VersionMeta{}, false
+			}
+			return am, meta, true
+		}
+		lastErr = err
+	}
+	// Persistent failure: the active artifact may have rotted since the
+	// registry opened. Heal (quarantine + rollback) and try whatever is
+	// active now, once.
+	if _, err := reg.Heal(); err == nil && reg.Active() != 0 {
+		if am, meta, err := reg.LoadActive(); err == nil && fits(am) {
+			return am, meta, true
+		}
+	}
+	_ = lastErr
+	return nil, VersionMeta{}, false
+}
+
+// publishRecovery folds a healing report into the lifecycle counters.
+func (m *Manager) publishRecovery(rep RecoveryReport) {
+	m.o.gcTotal.Add(uint64(rep.TempFilesRemoved))
+	m.o.quarantinedTotal.Add(uint64(rep.Quarantined))
+	if rep.Dirty() {
+		m.o.recoveries.Inc()
+	}
+}
+
+// Recovery returns the registry's self-healing report from when it was
+// opened (or last healed): temp files swept, artifacts quarantined, rollback
+// provenance. Zero without a registry.
+func (m *Manager) Recovery() RecoveryReport {
+	if m.cfg.Registry == nil {
+		return RecoveryReport{}
+	}
+	return m.cfg.Registry.Recovery()
 }
 
 // Snapshot returns the committed table snapshot (lock-free; safe to read
@@ -247,6 +332,12 @@ func (m *Manager) flushLocked() (int, error) {
 	if len(m.staged) == 0 {
 		return 0, nil
 	}
+	// An injected infrastructure fault is not a bad batch: the staged buffer
+	// stays intact (unlike the data-error path below, which drops the
+	// offending batch) and the next Flush retries everything.
+	if err := faultinject.Point(siteAppendFlush); err != nil {
+		return 0, fmt.Errorf("lifecycle: flush: %w", err)
+	}
 	cur := m.snap.Load()
 	nt := cur
 	var err error
@@ -300,6 +391,9 @@ func (m *Manager) AppendValues(rows [][]string) (int, error) {
 func (m *Manager) AppendCSV(r io.Reader) (int, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	if err := faultinject.Point(siteAppendFlush); err != nil {
+		return 0, fmt.Errorf("lifecycle: flush: %w", err)
+	}
 	// Applied directly rather than staged: the CSV stream is already one
 	// atomic batch, and parsing against the current snapshot gives errors
 	// their column context.

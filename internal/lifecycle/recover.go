@@ -1,0 +1,350 @@
+package lifecycle
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Crash recovery for the registry. The invariant it enforces: after a crash
+// at ANY point — mid version write, between version and manifest, mid
+// manifest write, or bit rot discovered later — opening the registry either
+// yields a servable registry whose Active version loads, or fails loudly
+// because every version is gone. Nothing in between, and never a silently
+// empty registry where data used to be.
+//
+// Recovery never destroys evidence: corrupt manifests and version files are
+// moved into quarantine/ with a timestamp suffix, and every action is
+// appended to RECOVERY.log as a JSON line so an operator can reconstruct
+// what happened and why.
+
+const (
+	// quarantineDirName holds corrupt artifacts moved aside by healing.
+	quarantineDirName = "quarantine"
+	// recoveryLogName is the append-only JSON-lines provenance record.
+	recoveryLogName = "RECOVERY.log"
+)
+
+// versionFilePat matches the registry's own version file names (Register
+// writes fmt.Sprintf("v%08d.model", id)); healing never touches files it
+// would not have written itself, so foreign files (say, a checkpoint the
+// operator pointed into the directory) survive untouched.
+var versionFilePat = regexp.MustCompile(`^v(\d{8})\.model$`)
+
+// RecoveryEvent is one healing action, as persisted to RECOVERY.log.
+type RecoveryEvent struct {
+	// TimeUnix is when the action happened (Unix seconds).
+	TimeUnix int64 `json:"time_unix"`
+	// Action is one of gc-temp, quarantine-manifest, quarantine-version,
+	// quarantine-orphan, drop-missing, rebuild-manifest, rollback.
+	Action string `json:"action"`
+	// Path is the artifact acted on (base name, or quarantine destination).
+	Path string `json:"path,omitempty"`
+	// Detail carries the triggering error or the rollback's id transition.
+	Detail string `json:"detail,omitempty"`
+}
+
+// RecoveryReport summarizes one healing pass.
+type RecoveryReport struct {
+	// Events lists every action in order.
+	Events []RecoveryEvent `json:"events,omitempty"`
+	// TempFilesRemoved counts swept atomicWrite leftovers.
+	TempFilesRemoved int `json:"temp_files_removed"`
+	// Quarantined counts artifacts moved to quarantine/.
+	Quarantined int `json:"quarantined"`
+	// ManifestRebuilt reports the manifest was reconstructed from version
+	// files (it was missing or quarantined).
+	ManifestRebuilt bool `json:"manifest_rebuilt"`
+	// ActiveBefore/ActiveAfter record the serving-version rollback (equal
+	// when no rollback happened; 0 = none).
+	ActiveBefore uint64 `json:"active_before"`
+	ActiveAfter  uint64 `json:"active_after"`
+}
+
+// Dirty reports whether healing had to change anything.
+func (rep *RecoveryReport) Dirty() bool {
+	return len(rep.Events) > 0
+}
+
+func (rep *RecoveryReport) add(action, path, detail string) {
+	rep.Events = append(rep.Events, RecoveryEvent{
+		TimeUnix: time.Now().Unix(),
+		Action:   action,
+		Path:     path,
+		Detail:   detail,
+	})
+}
+
+// Recovery returns the report of the last healing pass (zero when the
+// registry opened clean).
+func (r *Registry) Recovery() RecoveryReport {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	rep := r.recovery
+	rep.Events = append([]RecoveryEvent(nil), r.recovery.Events...)
+	return rep
+}
+
+// Heal re-runs the crash-recovery pass — callers invoke it after a failed
+// swap or load so the next attempt starts from a verified-servable state —
+// and returns the resulting report.
+func (r *Registry) Heal() (RecoveryReport, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	err := r.healLocked()
+	rep := r.recovery
+	rep.Events = append([]RecoveryEvent(nil), r.recovery.Events...)
+	return rep, err
+}
+
+// healLocked is the recovery pass: sweep temp files, quarantine a corrupt
+// manifest (rebuilding it from surviving version files), drop entries whose
+// files vanished, roll Active back to the newest version that actually
+// loads (quarantining the ones that do not), and quarantine orphaned
+// version files the manifest never adopted. Exactly one load probe runs on
+// a healthy registry (the active version), so a clean open stays cheap.
+func (r *Registry) healLocked() error {
+	var rep RecoveryReport
+
+	entries, err := os.ReadDir(r.dir)
+	if err != nil {
+		return fmt.Errorf("lifecycle: scanning registry %s: %w", r.dir, err)
+	}
+	onDisk := map[string]bool{}
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		name := e.Name()
+		if strings.Contains(name, ".tmp") {
+			// A crash between atomicWrite's create and rename strands the
+			// temp file; it was never published, so removal loses nothing.
+			if err := os.Remove(filepath.Join(r.dir, name)); err == nil {
+				rep.TempFilesRemoved++
+				rep.add("gc-temp", name, "")
+			}
+			continue
+		}
+		if versionFilePat.MatchString(name) {
+			onDisk[name] = true
+		}
+	}
+
+	var man manifest
+	manifestOK := false
+	manifestExisted := false
+	data, err := os.ReadFile(filepath.Join(r.dir, manifestName))
+	switch {
+	case err == nil:
+		manifestExisted = true
+		if m, lerr := loadManifest(data); lerr == nil {
+			man = *m
+			manifestOK = true
+		} else if q, qerr := r.quarantineFile(manifestName); qerr == nil {
+			rep.Quarantined++
+			rep.add("quarantine-manifest", q, lerr.Error())
+		} else {
+			return fmt.Errorf("lifecycle: quarantining corrupt manifest: %v (corruption: %w)", qerr, lerr)
+		}
+	case os.IsNotExist(err):
+	default:
+		return fmt.Errorf("lifecycle: reading manifest: %w", err)
+	}
+	rep.ActiveBefore = man.Active
+
+	if !manifestOK && len(onDisk) > 0 {
+		// Version files without a usable manifest: a crash between the
+		// version write and the manifest write (or manifest rot). Rebuild
+		// the index from the files themselves — ids from the names, archs
+		// from the headers; training provenance is gone, so entries are
+		// marked Recovered with zero TrainRows/NLL.
+		man = manifest{}
+		names := make([]string, 0, len(onDisk))
+		for name := range onDisk {
+			names = append(names, name)
+		}
+		sort.Strings(names) // zero-padded ids: name order == id order
+		for _, name := range names {
+			id, arch, herr := versionFileHeader(filepath.Join(r.dir, name))
+			if herr != nil {
+				if q, qerr := r.quarantineFile(name); qerr == nil {
+					delete(onDisk, name)
+					rep.Quarantined++
+					rep.add("quarantine-version", q, herr.Error())
+				}
+				continue
+			}
+			info, _ := os.Stat(filepath.Join(r.dir, name))
+			created := time.Now().Unix()
+			if info != nil {
+				created = info.ModTime().Unix()
+			}
+			man.Versions = append(man.Versions, VersionMeta{
+				ID: id, Arch: arch, File: name,
+				CreatedUnix: created, Recovered: true,
+			})
+		}
+		if len(man.Versions) > 0 {
+			man.Active = man.Versions[len(man.Versions)-1].ID
+		}
+		rep.ManifestRebuilt = true
+		rep.add("rebuild-manifest", manifestName, fmt.Sprintf("%d versions adopted from disk", len(man.Versions)))
+	}
+
+	// Drop manifest entries whose files are gone: the file is the version;
+	// an entry without one can never serve and would wedge a rollback walk.
+	changed := rep.ManifestRebuilt
+	kept := man.Versions[:0]
+	for _, v := range man.Versions {
+		if _, serr := os.Stat(filepath.Join(r.dir, v.File)); serr != nil {
+			changed = true
+			rep.add("drop-missing", v.File, fmt.Sprintf("version %d", v.ID))
+			continue
+		}
+		kept = append(kept, v)
+	}
+	man.Versions = kept
+
+	// Roll back to the newest version that loads, quarantining the ones
+	// that do not. The probe is a real load — CRC, shape validation, the
+	// works — so "Active" after healing means "servable", not "listed".
+	active := uint64(0)
+	for len(man.Versions) > 0 {
+		v := man.Versions[len(man.Versions)-1]
+		if _, lerr := r.loadVersionFile(v); lerr == nil {
+			active = v.ID
+			break
+		} else if q, qerr := r.quarantineFile(v.File); qerr == nil {
+			delete(onDisk, v.File)
+			rep.Quarantined++
+			rep.add("quarantine-version", q, lerr.Error())
+		} else {
+			return fmt.Errorf("lifecycle: quarantining corrupt version %d: %v (corruption: %w)", v.ID, qerr, lerr)
+		}
+		man.Versions = man.Versions[:len(man.Versions)-1]
+		changed = true
+	}
+	if active != man.Active {
+		rep.add("rollback", "", fmt.Sprintf("active %d -> %d", man.Active, active))
+		man.Active = active
+		changed = true
+	}
+	rep.ActiveAfter = man.Active
+
+	// Version files the manifest does not reference are a crash's leavings
+	// (a Register whose manifest write never landed). The manifest is the
+	// source of truth — adopting an unvetted file could serve a half-trained
+	// model — so they move to quarantine as evidence instead.
+	referenced := map[string]bool{}
+	for _, v := range man.Versions {
+		referenced[v.File] = true
+	}
+	for name := range onDisk {
+		if referenced[name] {
+			continue
+		}
+		if q, qerr := r.quarantineFile(name); qerr == nil {
+			rep.Quarantined++
+			rep.add("quarantine-orphan", q, "version file not referenced by manifest")
+		}
+	}
+
+	if (manifestExisted || len(onDisk) > 0 || rep.Quarantined > 0) && len(man.Versions) == 0 {
+		// There WAS a registry here and nothing survived. Serving an empty
+		// registry would silently discard the model lineage; fail loudly and
+		// leave the quarantined evidence for the operator.
+		r.recovery = rep
+		_ = r.appendRecoveryLog(rep.Events)
+		return fmt.Errorf("lifecycle: registry %s is unrecoverable: no version loads (evidence preserved in %s/)", r.dir, quarantineDirName)
+	}
+
+	if changed && len(man.Versions) > 0 {
+		data, err := encodeManifest(&man)
+		if err != nil {
+			return fmt.Errorf("lifecycle: encoding healed manifest: %w", err)
+		}
+		if err := atomicWrite(filepath.Join(r.dir, manifestName), data, siteManifestWrite); err != nil {
+			return fmt.Errorf("lifecycle: writing healed manifest: %w", err)
+		}
+	}
+
+	if err := r.appendRecoveryLog(rep.Events); err != nil {
+		return err
+	}
+	r.man = man
+	r.recovery = rep
+	return nil
+}
+
+// quarantineFile moves a registry artifact into quarantine/ with a
+// nanosecond suffix (repeat quarantines of a recreated name never collide).
+func (r *Registry) quarantineFile(name string) (string, error) {
+	qdir := filepath.Join(r.dir, quarantineDirName)
+	if err := os.MkdirAll(qdir, 0o755); err != nil {
+		return "", err
+	}
+	dest := filepath.Join(qdir, fmt.Sprintf("%s.%d", name, time.Now().UnixNano()))
+	if err := os.Rename(filepath.Join(r.dir, name), dest); err != nil {
+		return "", err
+	}
+	return dest, nil
+}
+
+// appendRecoveryLog appends healing events to RECOVERY.log, one JSON object
+// per line. Best-effort durability (O_APPEND + sync); the log is provenance,
+// not state — healing is idempotent without it.
+func (r *Registry) appendRecoveryLog(events []RecoveryEvent) error {
+	if len(events) == 0 {
+		return nil
+	}
+	f, err := os.OpenFile(filepath.Join(r.dir, recoveryLogName), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("lifecycle: opening %s: %w", recoveryLogName, err)
+	}
+	defer f.Close()
+	for _, ev := range events {
+		line, err := json.Marshal(ev)
+		if err != nil {
+			return fmt.Errorf("lifecycle: encoding recovery event: %w", err)
+		}
+		if _, err := f.Write(append(line, '\n')); err != nil {
+			return fmt.Errorf("lifecycle: writing %s: %w", recoveryLogName, err)
+		}
+	}
+	return f.Sync()
+}
+
+// versionFileHeader reads a version file's id (from its name) and arch (from
+// its first line) for manifest reconstruction. It does NOT validate the model
+// payload — the newest-loadable probe does that afterwards.
+func versionFileHeader(path string) (uint64, string, error) {
+	m := versionFilePat.FindStringSubmatch(filepath.Base(path))
+	if m == nil {
+		return 0, "", fmt.Errorf("not a version file name")
+	}
+	id, err := strconv.ParseUint(m[1], 10, 64)
+	if err != nil || id == 0 {
+		return 0, "", fmt.Errorf("bad version id in %q", filepath.Base(path))
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, "", err
+	}
+	defer f.Close()
+	arch, err := bufio.NewReader(f).ReadString('\n')
+	if err != nil {
+		return 0, "", fmt.Errorf("reading arch header: %w", err)
+	}
+	arch = strings.TrimSuffix(arch, "\n")
+	if arch != "made" && arch != "colnet" {
+		return 0, "", fmt.Errorf("unknown architecture %q", arch)
+	}
+	return id, arch, nil
+}

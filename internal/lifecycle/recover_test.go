@@ -1,0 +1,426 @@
+package lifecycle
+
+import (
+	"context"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/faultinject"
+)
+
+// seedRegistry creates a registry directory with n registered versions and
+// returns its path (the Registry handle is discarded — tests reopen to drive
+// the healing pass).
+func seedRegistry(t *testing.T, n int) string {
+	t.Helper()
+	dir := t.TempDir()
+	reg, err := OpenRegistry(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		if _, err := reg.Register(tinyModel([]int{4, 2}, int64(i+1)), int64(10*(i+1)), 1.0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+// damage is one way an artifact can rot: a flipped bit, a truncation, or the
+// file vanishing entirely.
+var damage = map[string]func(t *testing.T, path string){
+	"bitflip": func(t *testing.T, path string) {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data[len(data)/2] ^= 0x04
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	},
+	"truncate": func(t *testing.T, path string) {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, data[:len(data)/3], 0o644); err != nil {
+			t.Fatal(err)
+		}
+	},
+	"remove": func(t *testing.T, path string) {
+		if err := os.Remove(path); err != nil {
+			t.Fatal(err)
+		}
+	},
+}
+
+// TestHealMatrixManifest: every damage mode applied to the manifest of a
+// two-version registry heals on reopen — the registry boots, the active
+// version loads, and (except for plain removal, which leaves nothing to
+// preserve) the damaged manifest is quarantined as evidence.
+func TestHealMatrixManifest(t *testing.T) {
+	for name, hurt := range damage {
+		t.Run(name, func(t *testing.T) {
+			dir := seedRegistry(t, 2)
+			hurt(t, filepath.Join(dir, manifestName))
+			reg, err := OpenRegistry(dir)
+			if err != nil {
+				t.Fatalf("reopen after manifest %s: %v", name, err)
+			}
+			rep := reg.Recovery()
+			if !rep.ManifestRebuilt {
+				t.Fatalf("manifest %s: report %+v, want rebuild", name, rep)
+			}
+			if name != "remove" && rep.Quarantined == 0 {
+				t.Fatalf("manifest %s: nothing quarantined", name)
+			}
+			if reg.Active() != 2 {
+				t.Fatalf("manifest %s: active %d, want newest (2)", name, reg.Active())
+			}
+			m, meta, err := reg.LoadActive()
+			if err != nil || m == nil {
+				t.Fatalf("manifest %s: active does not load: %v", name, err)
+			}
+			if !meta.Recovered {
+				t.Fatalf("manifest %s: rebuilt entry lacks Recovered provenance: %+v", name, meta)
+			}
+		})
+	}
+}
+
+// TestHealMatrixVersion: every damage mode applied to the NEWEST version file
+// of a two-version registry rolls Active back to version 1, which still
+// loads; corrupt files are quarantined, removed ones dropped.
+func TestHealMatrixVersion(t *testing.T) {
+	for name, hurt := range damage {
+		t.Run(name, func(t *testing.T) {
+			dir := seedRegistry(t, 2)
+			hurt(t, filepath.Join(dir, "v00000002.model"))
+			reg, err := OpenRegistry(dir)
+			if err != nil {
+				t.Fatalf("reopen after version %s: %v", name, err)
+			}
+			if reg.Active() != 1 {
+				t.Fatalf("version %s: active %d, want rollback to 1", name, reg.Active())
+			}
+			if _, _, err := reg.LoadActive(); err != nil {
+				t.Fatalf("version %s: rolled-back version does not load: %v", name, err)
+			}
+			rep := reg.Recovery()
+			if rep.ActiveBefore != 2 || rep.ActiveAfter != 1 {
+				t.Fatalf("version %s: rollback provenance %+v", name, rep)
+			}
+			if name != "remove" && rep.Quarantined == 0 {
+				t.Fatalf("version %s: corrupt file not quarantined", name)
+			}
+			vs := reg.Versions()
+			if len(vs) != 1 || vs[0].ID != 1 {
+				t.Fatalf("version %s: surviving versions %+v", name, vs)
+			}
+		})
+	}
+}
+
+// TestHealMatrixCheckpoint: every damage mode applied to a refresh checkpoint
+// is survived by the NEXT refresh — the rotted checkpoint is quarantined (for
+// corruption; removal just means a cold start) and the fine-tune completes
+// from scratch. The checkpoint is an optimization, never load-bearing state.
+func TestHealMatrixCheckpoint(t *testing.T) {
+	for name, hurt := range damage {
+		t.Run(name, func(t *testing.T) {
+			tbl := tinyTable(t, 64, nil)
+			ckpt := filepath.Join(t.TempDir(), "refresh.ckpt")
+			// Plant a checkpoint-shaped file and damage it. (Plain garbage is
+			// the post-bitflip/truncate state regardless of original content.)
+			if err := os.WriteFile(ckpt, []byte("naruckptgarbage-not-an-envelope-frame-0123456789"), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			hurt(t, ckpt)
+			m, err := NewManager(tinyModel(tbl.DomainSizes(), 1), tbl, Config{
+				RefreshEpochs:  1,
+				CheckpointPath: ckpt,
+			}, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := m.Refresh(context.Background())
+			if err != nil {
+				t.Fatalf("checkpoint %s: refresh did not recover: %v", name, err)
+			}
+			if res.Version == 0 {
+				t.Fatalf("checkpoint %s: no version produced", name)
+			}
+			if name != "remove" {
+				// The rotted checkpoint must survive as evidence.
+				matches, _ := filepath.Glob(ckpt + ".quarantined.*")
+				if len(matches) == 0 {
+					t.Fatalf("checkpoint %s: corrupt checkpoint not quarantined", name)
+				}
+			}
+		})
+	}
+}
+
+// TestHealSweepsTempFiles: atomicWrite leftovers (a crash between create and
+// rename) are garbage-collected on open and counted.
+func TestHealSweepsTempFiles(t *testing.T) {
+	dir := seedRegistry(t, 1)
+	for _, name := range []string{"MANIFEST.tmp123", "v00000002.model.tmp9"} {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte("partial"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	reg, err := OpenRegistry(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := reg.Recovery()
+	if rep.TempFilesRemoved != 2 {
+		t.Fatalf("swept %d temp files, want 2 (%+v)", rep.TempFilesRemoved, rep)
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range ents {
+		if strings.Contains(e.Name(), ".tmp") {
+			t.Fatalf("temp file %s survived the sweep", e.Name())
+		}
+	}
+	if reg.Active() != 1 {
+		t.Fatalf("active %d after sweep, want 1", reg.Active())
+	}
+}
+
+// TestHealQuarantinesOrphanVersion: a version file the manifest never adopted
+// (a Register whose manifest write never landed) is quarantined, not served —
+// the manifest is the source of truth.
+func TestHealQuarantinesOrphanVersion(t *testing.T) {
+	dir := seedRegistry(t, 1)
+	src, err := os.ReadFile(filepath.Join(dir, "v00000001.model"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "v00000002.model"), src, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	reg, err := OpenRegistry(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reg.Active() != 1 || len(reg.Versions()) != 1 {
+		t.Fatalf("orphan adopted: active %d, versions %+v", reg.Active(), reg.Versions())
+	}
+	rep := reg.Recovery()
+	if rep.Quarantined != 1 {
+		t.Fatalf("orphan not quarantined: %+v", rep)
+	}
+	matches, _ := filepath.Glob(filepath.Join(dir, quarantineDirName, "v00000002.model.*"))
+	if len(matches) != 1 {
+		t.Fatalf("quarantine evidence missing: %v", matches)
+	}
+}
+
+// TestHealUnrecoverableFailsLoudly: version evidence exists but nothing
+// loads — opening must error rather than serve an empty registry, and the
+// evidence must be preserved in quarantine.
+func TestHealUnrecoverableFailsLoudly(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, manifestName), []byte("garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "v00000001.model"), []byte("also garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenRegistry(dir); err == nil {
+		t.Fatal("unrecoverable registry opened silently")
+	}
+	ents, err := os.ReadDir(filepath.Join(dir, quarantineDirName))
+	if err != nil || len(ents) == 0 {
+		t.Fatalf("evidence not preserved: %d entries, err %v", len(ents), err)
+	}
+}
+
+// TestHealEmptyDirIsClean: a brand-new registry directory heals to a clean
+// report — no events, no log, no error.
+func TestHealEmptyDirIsClean(t *testing.T) {
+	reg, err := OpenRegistry(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep := reg.Recovery(); rep.Dirty() {
+		t.Fatalf("clean open produced recovery events: %+v", rep)
+	}
+}
+
+// TestRecoveryLogProvenance: healing appends parseable JSON lines to
+// RECOVERY.log, and repeated heals append rather than overwrite.
+func TestRecoveryLogProvenance(t *testing.T) {
+	dir := seedRegistry(t, 2)
+	damage["bitflip"](t, filepath.Join(dir, "v00000002.model"))
+	if _, err := OpenRegistry(dir); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, recoveryLogName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	if len(lines) == 0 {
+		t.Fatal("empty recovery log")
+	}
+	actions := map[string]bool{}
+	for _, line := range lines {
+		var ev RecoveryEvent
+		if err := json.Unmarshal([]byte(line), &ev); err != nil {
+			t.Fatalf("unparseable log line %q: %v", line, err)
+		}
+		actions[ev.Action] = true
+	}
+	if !actions["quarantine-version"] || !actions["rollback"] {
+		t.Fatalf("log actions %v, want quarantine-version and rollback", actions)
+	}
+}
+
+// TestAdoptActive: AdoptActive makes NewManager serve the registry's active
+// version instead of registering the boot model; an empty registry falls back
+// to the bootstrap path.
+func TestAdoptActive(t *testing.T) {
+	tbl := tinyTable(t, 64, nil)
+	dir := seedRegistry(t, 2)
+	reg, err := OpenRegistry(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewManager(tinyModel(tbl.DomainSizes(), 99), tbl, Config{
+		Registry: reg, AdoptActive: true,
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Version() != 2 {
+		t.Fatalf("adopted version %d, want registry active 2", m.Version())
+	}
+	if n := len(reg.Versions()); n != 2 {
+		t.Fatalf("adoption registered a new version: %d listed", n)
+	}
+
+	// Empty registry: AdoptActive has nothing to adopt; the boot model is
+	// registered as version 1 exactly as without the flag.
+	reg2, err := OpenRegistry(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := NewManager(tinyModel(tbl.DomainSizes(), 1), tbl, Config{
+		Registry: reg2, AdoptActive: true,
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m2.Version() != 1 || reg2.Active() != 1 {
+		t.Fatalf("bootstrap path broken: version %d, active %d", m2.Version(), reg2.Active())
+	}
+}
+
+// TestAdoptActiveHealsRottenActive: the active version rots after the
+// registry opened; adoption's retry path heals (quarantine + rollback) and
+// adopts the older good version rather than failing.
+func TestAdoptActiveHealsRottenActive(t *testing.T) {
+	tbl := tinyTable(t, 64, nil)
+	dir := seedRegistry(t, 2)
+	reg, err := OpenRegistry(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rot v2 AFTER open: the startup heal saw it healthy, adoption discovers
+	// the corruption at load time.
+	damage["truncate"](t, filepath.Join(dir, "v00000002.model"))
+	m, err := NewManager(tinyModel(tbl.DomainSizes(), 99), tbl, Config{
+		Registry: reg, AdoptActive: true,
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Version() != 1 {
+		t.Fatalf("adopted version %d, want healed rollback to 1", m.Version())
+	}
+	if reg.Active() != 1 {
+		t.Fatalf("registry active %d after heal, want 1", reg.Active())
+	}
+}
+
+// TestRegisterFaultInjection: injected faults on the persistence sites leave
+// the registry consistent — a failed Register changes nothing, and the next
+// (uninjected) Register succeeds.
+func TestRegisterFaultInjection(t *testing.T) {
+	for _, site := range []string{"lifecycle.version.write=partial:8@1", "lifecycle.manifest.write=error@1"} {
+		t.Run(site, func(t *testing.T) {
+			dir := seedRegistry(t, 1)
+			reg, err := OpenRegistry(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := faultinject.ArmString(site); err != nil {
+				t.Fatal(err)
+			}
+			defer faultinject.Reset()
+			if _, err := reg.Register(tinyModel([]int{4, 2}, 7), 20, 0.9); err == nil {
+				t.Fatal("injected Register succeeded")
+			}
+			if reg.Active() != 1 || len(reg.Versions()) != 1 {
+				t.Fatalf("failed Register mutated state: active %d, %d versions", reg.Active(), len(reg.Versions()))
+			}
+			// The fault window (@1x1) has passed: the retry must land as v2.
+			meta, err := reg.Register(tinyModel([]int{4, 2}, 8), 20, 0.9)
+			if err != nil {
+				t.Fatalf("post-fault Register: %v", err)
+			}
+			if meta.ID != 2 || reg.Active() != 2 {
+				t.Fatalf("retry meta %+v active %d", meta, reg.Active())
+			}
+			// No stray files: reopening heals nothing.
+			reg2, err := OpenRegistry(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rep := reg2.Recovery(); rep.Dirty() {
+				t.Fatalf("failed Register left debris: %+v", rep)
+			}
+		})
+	}
+}
+
+// TestFlushFaultKeepsStagedRows: an injected infrastructure fault on the
+// append-flush path fails the flush WITHOUT dropping the staged batches — an
+// infra fault is not a bad batch, and the retry must see the same rows.
+func TestFlushFaultKeepsStagedRows(t *testing.T) {
+	tbl := tinyTable(t, 64, nil)
+	m, err := NewManager(tinyModel(tbl.DomainSizes(), 1), tbl, Config{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.StageValues([][]string{{"1", "1"}, {"2", "0"}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := faultinject.ArmString("lifecycle.append.flush=error@1"); err != nil {
+		t.Fatal(err)
+	}
+	defer faultinject.Reset()
+	if _, err := m.Flush(); err == nil {
+		t.Fatal("injected flush succeeded")
+	}
+	if got := m.StagedRows(); got != 2 {
+		t.Fatalf("staged rows after injected flush: %d, want 2 (batch must survive)", got)
+	}
+	added, err := m.Flush()
+	if err != nil {
+		t.Fatalf("retry flush: %v", err)
+	}
+	if added != 2 {
+		t.Fatalf("retry appended %d rows, want 2", added)
+	}
+}

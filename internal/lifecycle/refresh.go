@@ -2,10 +2,13 @@ package lifecycle
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"os"
+	"time"
 
 	"repro/internal/core"
+	"repro/internal/envelope"
 )
 
 // cloneableModel is the deep-copy contract the refresh worker needs: a
@@ -129,6 +132,17 @@ func (m *Manager) Refresh(ctx context.Context) (*RefreshResult, error) {
 		},
 	}
 	history, err := core.TrainRun(cand, snap, tc)
+	if err != nil && tc.Resume && errors.Is(err, envelope.ErrCorrupt) {
+		// The previous refresh's checkpoint rotted (or was torn by a crash the
+		// atomic writer could not mask). The checkpoint is an optimization,
+		// not state: quarantine it as evidence and fine-tune from scratch.
+		q := fmt.Sprintf("%s.quarantined.%d", m.cfg.CheckpointPath, time.Now().UnixNano())
+		if rerr := os.Rename(m.cfg.CheckpointPath, q); rerr == nil {
+			m.o.quarantinedTotal.Inc()
+			m.o.recoveries.Inc()
+			history, err = core.TrainRun(cand, snap, tc)
+		}
+	}
 	if err != nil {
 		m.o.refreshFailed.Inc()
 		return nil, fmt.Errorf("lifecycle: refresh aborted: %w", err)
@@ -148,6 +162,12 @@ func (m *Manager) Refresh(ctx context.Context) (*RefreshResult, error) {
 	if m.cfg.Registry != nil {
 		meta, err := m.cfg.Registry.Register(cand, int64(snap.NumRows()), nll)
 		if err != nil {
+			// The swap failed mid-persist; heal so the registry is back to a
+			// verified-servable state (sweeping the failed write's leavings)
+			// before anyone retries.
+			if rep, herr := m.cfg.Registry.Heal(); herr == nil {
+				m.publishRecovery(rep)
+			}
 			m.o.refreshFailed.Inc()
 			return nil, fmt.Errorf("lifecycle: registering refreshed model: %w", err)
 		}

@@ -15,7 +15,17 @@ import (
 	"repro/internal/colnet"
 	"repro/internal/core"
 	"repro/internal/envelope"
+	"repro/internal/faultinject"
 	"repro/internal/made"
+)
+
+// Chaos fault points on the registry's persistence path. Disarmed they cost
+// one atomic load each; the chaos harness (scripts/check.sh chaos) kills or
+// faults the process at every one of them and asserts the registry heals.
+var (
+	siteManifestWrite = faultinject.Site("lifecycle.manifest.write")
+	siteVersionWrite  = faultinject.Site("lifecycle.version.write")
+	siteVersionLoad   = faultinject.Site("lifecycle.version.load")
 )
 
 // manifestMagic frames the registry manifest (8 bytes, like every other
@@ -51,6 +61,10 @@ type VersionMeta struct {
 	NLL float64 `json:"nll"`
 	// CreatedUnix is the registration time (Unix seconds).
 	CreatedUnix int64 `json:"created_unix"`
+	// Recovered marks an entry reconstructed by crash recovery (manifest
+	// rebuilt from version files); TrainRows and NLL are unknown (zero) for
+	// such entries.
+	Recovered bool `json:"recovered,omitempty"`
 }
 
 // manifest is the registry's persisted index.
@@ -66,31 +80,30 @@ type manifest struct {
 // (write-temp + fsync + rename) so a crash can never leave a half-written
 // version looking valid.
 type Registry struct {
-	dir string
-	mu  sync.Mutex
-	man manifest
+	dir      string
+	mu       sync.Mutex
+	man      manifest
+	recovery RecoveryReport
 }
 
-// OpenRegistry opens (creating if needed) a registry directory and loads its
-// manifest. A corrupt manifest is an error — the caller decides whether to
-// blow the directory away, never this code.
+// OpenRegistry opens (creating if needed) a registry directory, heals it, and
+// loads its manifest. Healing is the crash-recovery pass in recover.go: stale
+// temp files are swept, corrupt manifests and versions are quarantined (moved
+// to quarantine/, never deleted), the manifest is rebuilt from surviving
+// version files when necessary, and Active rolls back to the newest loadable
+// version. The only unrecoverable state — version evidence exists but not one
+// version loads — is a loud error, because serving would otherwise silently
+// lose the model. Recovery() reports what healing did.
 func OpenRegistry(dir string) (*Registry, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("lifecycle: opening registry: %w", err)
 	}
 	r := &Registry{dir: dir}
-	data, err := os.ReadFile(filepath.Join(dir, manifestName))
-	switch {
-	case err == nil:
-		man, err := loadManifest(data)
-		if err != nil {
-			return nil, fmt.Errorf("lifecycle: registry %s: %w", dir, err)
-		}
-		r.man = *man
-	case os.IsNotExist(err):
-		// Fresh registry.
-	default:
-		return nil, fmt.Errorf("lifecycle: reading manifest: %w", err)
+	r.mu.Lock()
+	err := r.healLocked()
+	r.mu.Unlock()
+	if err != nil {
+		return nil, err
 	}
 	return r, nil
 }
@@ -241,7 +254,7 @@ func (r *Registry) Register(m core.Trainable, trainRows int64, nll float64) (Ver
 	if err != nil {
 		return VersionMeta{}, fmt.Errorf("lifecycle: serializing version %d: %w", meta.ID, err)
 	}
-	if err := atomicWrite(filepath.Join(r.dir, meta.File), body.Bytes()); err != nil {
+	if err := atomicWrite(filepath.Join(r.dir, meta.File), body.Bytes(), siteVersionWrite); err != nil {
 		return VersionMeta{}, err
 	}
 
@@ -250,7 +263,11 @@ func (r *Registry) Register(m core.Trainable, trainRows int64, nll float64) (Ver
 	if err != nil {
 		return VersionMeta{}, err
 	}
-	if err := atomicWrite(filepath.Join(r.dir, manifestName), data); err != nil {
+	if err := atomicWrite(filepath.Join(r.dir, manifestName), data, siteManifestWrite); err != nil {
+		// The version file published but the manifest did not: remove our own
+		// unreferenced file so a retry (or the startup healer) does not find
+		// an orphan. This is our write from seconds ago, not crash evidence.
+		_ = os.Remove(filepath.Join(r.dir, meta.File))
 		return VersionMeta{}, err
 	}
 	r.man = man
@@ -272,20 +289,38 @@ func (r *Registry) LoadVersion(id uint64) (core.Trainable, VersionMeta, error) {
 	if !found {
 		return nil, VersionMeta{}, fmt.Errorf("lifecycle: version %d not in registry", id)
 	}
+	// The fault point sits here, not in loadVersionFile: injected load faults
+	// must exercise the caller-side retry/breaker machinery, while the
+	// healer's loadability probe sees only genuine corruption (an injected
+	// error there would quarantine a perfectly good version).
+	if err := faultinject.Point(siteVersionLoad); err != nil {
+		return nil, VersionMeta{}, fmt.Errorf("lifecycle: loading version %d: %w", id, err)
+	}
+	m, err := r.loadVersionFile(meta)
+	if err != nil {
+		return nil, VersionMeta{}, err
+	}
+	return m, meta, nil
+}
+
+// loadVersionFile reads one version's model file back, validating the arch
+// header against the manifest entry. Shared by LoadVersion and the healer's
+// newest-loadable probe.
+func (r *Registry) loadVersionFile(meta VersionMeta) (core.Trainable, error) {
 	f, err := os.Open(filepath.Join(r.dir, meta.File))
 	if err != nil {
-		return nil, VersionMeta{}, fmt.Errorf("lifecycle: opening version %d: %w", id, err)
+		return nil, fmt.Errorf("lifecycle: opening version %d: %w", meta.ID, err)
 	}
 	defer f.Close()
 	// Buffered so the gob stream below sees exactly the bytes Save wrote.
 	br := bufio.NewReader(f)
 	arch, err := br.ReadString('\n')
 	if err != nil {
-		return nil, VersionMeta{}, fmt.Errorf("lifecycle: reading version %d header: %w", id, err)
+		return nil, fmt.Errorf("lifecycle: reading version %d header: %w", meta.ID, err)
 	}
 	arch = strings.TrimSuffix(arch, "\n")
 	if arch != meta.Arch {
-		return nil, VersionMeta{}, fmt.Errorf("lifecycle: version %d: file architecture %q does not match manifest %q", id, arch, meta.Arch)
+		return nil, fmt.Errorf("lifecycle: version %d: file architecture %q does not match manifest %q", meta.ID, arch, meta.Arch)
 	}
 	var m core.Trainable
 	switch arch {
@@ -297,9 +332,9 @@ func (r *Registry) LoadVersion(id uint64) (core.Trainable, VersionMeta, error) {
 		err = fmt.Errorf("unknown architecture %q", arch)
 	}
 	if err != nil {
-		return nil, VersionMeta{}, fmt.Errorf("lifecycle: loading version %d: %w", id, err)
+		return nil, fmt.Errorf("lifecycle: loading version %d: %w", meta.ID, err)
 	}
-	return m, meta, nil
+	return m, nil
 }
 
 // LoadActive loads the registered serving version.
@@ -312,8 +347,11 @@ func (r *Registry) LoadActive() (core.Trainable, VersionMeta, error) {
 }
 
 // atomicWrite lands data at path via write-temp + fsync + rename + dir fsync,
-// mirroring the checkpoint writer's durability discipline.
-func atomicWrite(path string, data []byte) error {
+// mirroring the checkpoint writer's durability discipline. site is the fault
+// point consulted mid-write: an injected exit here leaves the temp file
+// stranded (a crash between create and rename), an injected partial write
+// leaves the destination untouched.
+func atomicWrite(path string, data []byte, site string) error {
 	dir := filepath.Dir(path)
 	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
 	if err != nil {
@@ -321,7 +359,12 @@ func atomicWrite(path string, data []byte) error {
 	}
 	tmpName := tmp.Name()
 	defer os.Remove(tmpName) // no-op after a successful rename
-	if _, err := tmp.Write(data); err != nil {
+	w, err := faultinject.WrapWriter(site, tmp)
+	if err != nil {
+		tmp.Close()
+		return fmt.Errorf("lifecycle: writing %s: %w", path, err)
+	}
+	if _, err := w.Write(data); err != nil {
 		tmp.Close()
 		return fmt.Errorf("lifecycle: writing %s: %w", path, err)
 	}

@@ -217,9 +217,12 @@ func TestLoadManifestRejectsHostilePayload(t *testing.T) {
 	}
 }
 
-// TestOpenRegistryRejectsCorruptManifest: a registry directory with a
-// damaged manifest must refuse to open rather than serve wrong versions.
-func TestOpenRegistryRejectsCorruptManifest(t *testing.T) {
+// TestOpenRegistryHealsCorruptManifest: a registry directory with a damaged
+// manifest but intact version artifacts self-heals on open — the manifest is
+// quarantined as evidence, rebuilt from the version files on disk, and the
+// newest loadable version becomes active. Serving wrong versions silently is
+// still impossible: the rebuilt entries carry Recovered=true provenance.
+func TestOpenRegistryHealsCorruptManifest(t *testing.T) {
 	dir := t.TempDir()
 	reg, err := OpenRegistry(dir)
 	if err != nil {
@@ -237,8 +240,28 @@ func TestOpenRegistryRejectsCorruptManifest(t *testing.T) {
 	if err := os.WriteFile(path, data, 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := OpenRegistry(dir); err == nil {
-		t.Fatal("corrupt manifest opened silently")
+	reg2, err := OpenRegistry(dir)
+	if err != nil {
+		t.Fatalf("corrupt manifest with intact versions failed to heal: %v", err)
+	}
+	rep := reg2.Recovery()
+	if !rep.ManifestRebuilt || rep.Quarantined == 0 {
+		t.Fatalf("recovery report %+v: want manifest quarantined and rebuilt", rep)
+	}
+	vs := reg2.Versions()
+	if len(vs) != 1 || vs[0].ID != 1 || !vs[0].Recovered {
+		t.Fatalf("healed versions %+v, want one recovered v1", vs)
+	}
+	if reg2.Active() != 1 {
+		t.Fatalf("active %d after heal, want 1", reg2.Active())
+	}
+	if _, _, err := reg2.LoadActive(); err != nil {
+		t.Fatalf("healed active version does not load: %v", err)
+	}
+	// The quarantined manifest is preserved as evidence, never deleted.
+	ents, err := os.ReadDir(filepath.Join(dir, quarantineDirName))
+	if err != nil || len(ents) == 0 {
+		t.Fatalf("quarantine dir: %v entries, err %v", len(ents), err)
 	}
 }
 

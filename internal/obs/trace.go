@@ -13,6 +13,7 @@ const (
 	PathFailed   = "failed"   // model path failed with no (working) fallback
 	PathEmpty    = "empty"    // provably empty region, answered without the model
 	PathShed     = "shed"     // admission control rejected the query before the model ran
+	PathBreaker  = "breaker"  // circuit breaker open: model path bypassed, fallback answered
 )
 
 // QueryTrace is one served query's record: which path answered, how much of

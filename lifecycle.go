@@ -49,8 +49,9 @@ func (e *Estimator) EnableLifecycle(t *Table, lc LifecycleConfig) error {
 		Rebuild: func(domains []int) (core.Trainable, error) {
 			return newModel(domains, cfg)
 		},
-		Registry: reg,
-		Obs:      obsReg,
+		Registry:    reg,
+		AdoptActive: lc.AdoptRegistry,
+		Obs:         obsReg,
 	}, e)
 	if err != nil {
 		return err

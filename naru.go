@@ -235,6 +235,13 @@ type LifecycleConfig struct {
 	// the bootstrap version) under this directory with an envelope-framed
 	// manifest.
 	RegistryDir string
+	// AdoptRegistry, with RegistryDir set, makes the lifecycle adopt the
+	// registry's active version for serving at attach time instead of
+	// registering the in-memory model as a fresh bootstrap — the restart
+	// path: a server that crashed (or was chaos-killed) comes back serving
+	// the newest loadable persisted version, after the registry has
+	// self-healed (orphan temp files swept, corrupt artifacts quarantined).
+	AdoptRegistry bool
 }
 
 // DefaultConfig returns sensible defaults for medium-size tables.

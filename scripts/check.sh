@@ -30,6 +30,17 @@
 # every gated metric (queries/sec down, latency/allocations up = failure) and
 # must report zero fused-vs-sequential mismatches.
 #
+# `check.sh chaos` is the fault-injection gate: the breaker/recovery/heal
+# suites under the race detector, then a live kill matrix — for every
+# registered fault site (`naru faults`), a serve process is started with
+# NARU_FAULTS="<site>=exit@1", driven with traffic until the injected crash
+# fires, and restarted without faults; the restart must self-heal the registry
+# and serve. An error matrix re-runs every site with a recoverable injected
+# error (the server must survive and return to model answers), a breaker cycle
+# proves trip -> fallback-only -> probed auto-recovery over HTTP, a negative
+# test proves an unrecoverable registry fails loudly instead of serving
+# garbage, and a GC check proves stale temp files are swept and counted.
+#
 # `check.sh train` is the end-to-end training-determinism gate: with
 # data-parallel sharding (-train-workers > 1), two identical runs must write
 # byte-identical model files, and a run interrupted with -stop-after and then
@@ -241,6 +252,194 @@ if [ "${1:-}" = "bench" ]; then
     fi
 
     echo "check bench: OK"
+    exit 0
+fi
+
+if [ "${1:-}" = "chaos" ]; then
+    echo "== chaos suite (-race)"
+    go test -race -count=1 ./internal/faultinject
+    go test -race -count=1 \
+        -run 'TestHeal|TestAdopt|TestRecoveryLog|TestRegisterFault|TestFlushFault|TestOpenRegistryHeals' \
+        ./internal/lifecycle
+    go test -race -count=1 -run 'TestBreaker|TestCoalescerShed' .
+    go test -race -count=1 \
+        -run 'TestLivezReadyz|TestBreaker|TestServeRequestFault|TestFaults|TestHealthz' \
+        ./cmd/naru
+
+    echo "== chaos smoke: kill matrix, error matrix, breaker cycle"
+    tmp="$(mktemp -d)"
+    trap 'kill "${serve_pid:-}" 2>/dev/null || true; rm -rf "$tmp"' EXIT INT TERM
+    go build -o "$tmp/naru" ./cmd/naru
+
+    # Three correlated columns spanning a 32x32x10 domain. The probe queries
+    # below restrict all three columns without covering any of them, so the
+    # region (31*31*9 ~ 8600 points) exceeds the enumeration threshold in any
+    # sampling order and estimates exercise the sampling (and, with
+    # -batch-window, fused-walk) fault sites.
+    awk 'BEGIN{
+        print "a,b,c";
+        for (i = 0; i < 2048; i++) {
+            a = i % 32; b = int(i/32) % 32;
+            print a "," b "," (a+b)%10
+        }
+    }' > "$tmp/data.csv"
+    q1="a>=1 AND b>=1 AND c>=1"
+    q2="a>=2 AND b>=2 AND c>=1"
+    # Appended rows contradict the c=(a+b)%10 correlation -> drift -> refresh,
+    # which drives the checkpoint-flush and registry-write fault sites.
+    awk 'BEGIN{ for (i = 0; i < 8; i++) { a = i%32; print a "," (i*7)%32 "," (a+5)%10 } }' > "$tmp/rows.csv"
+
+    "$tmp/naru" train -csv "$tmp/data.csv" -out "$tmp/model.naru" \
+        -epochs 1 -hidden 8,8 -samples 64 > /dev/null
+
+    serve_flags="-csv $tmp/data.csv -model $tmp/model.naru -samples 64
+        -addr 127.0.0.1:0 -batch-window 2ms
+        -refresh-after 8 -drift-threshold 0.001 -refresh-epochs 1
+        -registry $tmp/registry -lifecycle-checkpoint $tmp/lc.ckpt"
+
+    # wait_serving <prefix>: 0 once "serving on" appears, 1 if the process
+    # exits first (startup-firing fault sites die before listening).
+    wait_serving() {
+        for _ in $(seq 1 150); do
+            grep -q "serving on" "$tmp/$1.out" 2>/dev/null && return 0
+            kill -0 "$serve_pid" 2>/dev/null || return 1
+            sleep 0.1
+        done
+        echo "serve ($1) never started listening"; cat "$tmp/$1.err"; exit 1
+    }
+    serve_url() { sed -n 's/^serving on \(http:\/\/[^/]*\).*/\1/p' "$tmp/$1.out"; }
+
+    echo "-- seed registry"
+    "$tmp/naru" serve $serve_flags > "$tmp/seed.out" 2> "$tmp/seed.err" &
+    serve_pid=$!
+    wait_serving seed || { echo "seed serve exited early"; cat "$tmp/seed.err"; exit 1; }
+    curl -fsS "$(serve_url seed)/models" | grep -q '"active":1' || { echo "registry did not bootstrap"; exit 1; }
+    kill -TERM "$serve_pid"; wait "$serve_pid" || { echo "seed serve unclean exit"; cat "$tmp/seed.err"; exit 1; }
+    serve_pid=""
+
+    echo "-- kill matrix: every site armed with exit@1, crash, heal, serve"
+    for site in $("$tmp/naru" faults); do
+        echo "   $site"
+        rm -f "$tmp/kill.out" "$tmp/kill.err"
+        # A completed-refresh checkpoint left by an earlier crash-at-Register
+        # iteration would be resumed (correctly) without retraining, so the
+        # checkpoint-flush site would never be crossed; start each fresh.
+        rm -f "$tmp/lc.ckpt"
+        NARU_FAULTS="$site=exit@1" "$tmp/naru" serve $serve_flags \
+            > "$tmp/kill.out" 2> "$tmp/kill.err" &
+        serve_pid=$!
+        if wait_serving kill; then
+            url="$(serve_url kill)"
+            # Traffic sweep hitting every serving + persistence site; the
+            # process dies mid-request, so failures here are expected.
+            curl -s --get "$url/estimate" --data-urlencode "where=$q1" > /dev/null 2>&1 || true
+            curl -s -X POST --data-binary @"$tmp/rows.csv" "$url/append" > /dev/null 2>&1 || true
+            curl -s --get "$url/estimate" --data-urlencode "where=$q2" > /dev/null 2>&1 || true
+        fi
+        dead=""
+        for _ in $(seq 1 600); do
+            kill -0 "$serve_pid" 2>/dev/null || { dead=1; break; }
+            sleep 0.1
+        done
+        [ -n "$dead" ] || { echo "site $site: exit fault never fired"; kill "$serve_pid"; cat "$tmp/kill.err"; exit 1; }
+        if wait "$serve_pid" 2>/dev/null; then
+            echo "site $site: exited 0 under an exit fault"; exit 1
+        fi
+        serve_pid=""
+
+        # Whatever the crash left on disk, a faultless restart must heal the
+        # registry and serve.
+        rm -f "$tmp/recover.out" "$tmp/recover.err"
+        "$tmp/naru" serve $serve_flags > "$tmp/recover.out" 2> "$tmp/recover.err" &
+        serve_pid=$!
+        wait_serving recover || { echo "site $site: restart died"; cat "$tmp/recover.err"; exit 1; }
+        url="$(serve_url recover)"
+        curl -fsS "$url/healthz" | grep -q '"status":"ok"' || { echo "site $site: unhealthy after recovery"; exit 1; }
+        curl -fsS "$url/readyz" | grep -q '"ready":true' || { echo "site $site: not ready after recovery"; exit 1; }
+        curl -fsS --get "$url/estimate" --data-urlencode "where=$q1" | grep -q '"sel"' \
+            || { echo "site $site: estimate failed after recovery"; exit 1; }
+        curl -fsS "$url/models" | grep -q '"active":' || { echo "site $site: registry unservable"; exit 1; }
+        kill -TERM "$serve_pid"
+        wait "$serve_pid" || { echo "site $site: unclean exit after recovery"; cat "$tmp/recover.err"; exit 1; }
+        serve_pid=""
+    done
+
+    echo "-- error matrix: every site armed with error@1, server survives"
+    for site in $("$tmp/naru" faults); do
+        echo "   $site"
+        rm -f "$tmp/err.out" "$tmp/err.err" "$tmp/lc.ckpt"
+        NARU_FAULTS="$site=error@1" "$tmp/naru" serve $serve_flags -fallback \
+            > "$tmp/err.out" 2> "$tmp/err.err" &
+        serve_pid=$!
+        wait_serving err || { echo "site $site: recoverable error killed startup"; cat "$tmp/err.err"; exit 1; }
+        url="$(serve_url err)"
+        curl -s --get "$url/estimate" --data-urlencode "where=$q1" > /dev/null || true
+        curl -s -X POST --data-binary @"$tmp/rows.csv" "$url/append" > /dev/null || true
+        kill -0 "$serve_pid" 2>/dev/null || { echo "site $site: error fault killed the server"; cat "$tmp/err.err"; exit 1; }
+        curl -fsS --get "$url/estimate" --data-urlencode "where=$q2" | grep -q '"source":"model"' \
+            || { echo "site $site: no model answer after error fault"; exit 1; }
+        kill -TERM "$serve_pid"; wait "$serve_pid" || { echo "site $site: unclean exit"; cat "$tmp/err.err"; exit 1; }
+        serve_pid=""
+    done
+
+    echo "-- breaker cycle: trip to fallback-only, probe back to healthy"
+    NARU_FAULTS="core.serve.query=panic@1x8" "$tmp/naru" serve \
+        -csv "$tmp/data.csv" -model "$tmp/model.naru" -samples 64 -addr 127.0.0.1:0 \
+        -fallback -breaker-threshold 3 -probe-interval 100ms \
+        -metrics-addr 127.0.0.1:0 > "$tmp/brk.out" 2> "$tmp/brk.err" &
+    serve_pid=$!
+    wait_serving brk || { echo "breaker serve exited early"; cat "$tmp/brk.err"; exit 1; }
+    url="$(serve_url brk)"
+    grep -q "circuit breaker: threshold 3" "$tmp/brk.err" || { echo "breaker not armed"; cat "$tmp/brk.err"; exit 1; }
+    metrics_url="$(sed -n 's/^metrics on \(http:\/\/[^/]*\).*/\1/p' "$tmp/brk.err")"
+    for i in 1 2 3; do
+        curl -fsS --get "$url/estimate" --data-urlencode "where=$q1" | grep -q '"source":"fallback"' \
+            || { echo "injected failure $i did not fall back"; exit 1; }
+    done
+    curl -s "$url/readyz" | grep -q '"state":"fallback_only"' || { echo "breaker did not trip readiness"; exit 1; }
+    curl -s -o /dev/null -w '%{http_code}' "$url/readyz" | grep -q 503 || { echo "tripped readyz not 503"; exit 1; }
+    curl -fsS "$url/livez" | grep -q '"alive":true' || { echo "livez must stay up while tripped"; exit 1; }
+    curl -fsS "$metrics_url/metrics" | grep -q '^naru_breaker_trips_total 1' || { echo "trip not counted"; exit 1; }
+    curl -fsS "$metrics_url/metrics" | grep -q '^naru_serve_state 2' || { echo "state gauge not fallback_only"; exit 1; }
+    # Probes burn the rest of the injection window, then close the breaker.
+    for _ in $(seq 1 150); do
+        curl -s -o /dev/null -w '%{http_code}' "$url/readyz" | grep -q 200 && break
+        sleep 0.1
+    done
+    curl -s "$url/readyz" | grep -q '"ready":true' || { echo "breaker never recovered"; cat "$tmp/brk.err"; exit 1; }
+    curl -fsS --get "$url/estimate" --data-urlencode "where=$q1" | grep -q '"source":"model"' \
+        || { echo "no model answer after recovery"; exit 1; }
+    curl -fsS "$metrics_url/metrics" | grep -q '^naru_breaker_recoveries_total 1' || { echo "recovery not counted"; exit 1; }
+    kill -TERM "$serve_pid"; wait "$serve_pid" || { echo "breaker serve unclean exit"; cat "$tmp/brk.err"; exit 1; }
+    serve_pid=""
+
+    echo "-- negative: an unrecoverable registry fails loudly"
+    mkdir -p "$tmp/badreg"
+    printf 'garbage' > "$tmp/badreg/MANIFEST"
+    printf 'garbage' > "$tmp/badreg/v00000001.model"
+    if "$tmp/naru" serve -csv "$tmp/data.csv" -model "$tmp/model.naru" -samples 64 \
+        -addr 127.0.0.1:0 -registry "$tmp/badreg" > "$tmp/neg.out" 2> "$tmp/neg.err"; then
+        echo "serve accepted an unrecoverable registry"; exit 1
+    fi
+    grep -q "unrecoverable" "$tmp/neg.err" || { echo "failure is not loud"; cat "$tmp/neg.err"; exit 1; }
+    [ -d "$tmp/badreg/quarantine" ] || { echo "no quarantine evidence preserved"; exit 1; }
+
+    echo "-- startup GC: stale temp files swept and counted"
+    touch "$tmp/registry/stale.manifest.tmp12345"
+    rm -f "$tmp/gc.out" "$tmp/gc.err"
+    "$tmp/naru" serve $serve_flags -metrics-addr 127.0.0.1:0 \
+        > "$tmp/gc.out" 2> "$tmp/gc.err" &
+    serve_pid=$!
+    wait_serving gc || { echo "gc serve exited early"; cat "$tmp/gc.err"; exit 1; }
+    grep -q "registry: self-healed" "$tmp/gc.err" || { echo "self-heal not announced"; cat "$tmp/gc.err"; exit 1; }
+    metrics_url="$(sed -n 's/^metrics on \(http:\/\/[^/]*\).*/\1/p' "$tmp/gc.err")"
+    curl -fsS "$metrics_url/metrics" | grep -q '^naru_lifecycle_gc_total [1-9]' \
+        || { echo "gc not counted"; curl -s "$metrics_url/metrics" | grep naru_lifecycle || true; exit 1; }
+    [ ! -e "$tmp/registry/stale.manifest.tmp12345" ] || { echo "stale temp file survived"; exit 1; }
+    kill -TERM "$serve_pid"; wait "$serve_pid" || { echo "gc serve unclean exit"; exit 1; }
+    serve_pid=""
+
+    echo "check chaos: OK"
     exit 0
 fi
 
