@@ -1,6 +1,6 @@
 # Convenience entry points; everything is plain `go` underneath.
 
-.PHONY: build test check check-fault check-obs check-train check-lifecycle check-chaos bench inference training
+.PHONY: build test check check-fault check-obs check-train check-lifecycle check-chaos check-serve bench inference training
 
 build:
 	go build ./...
@@ -43,6 +43,15 @@ check-lifecycle:
 # unrecoverable registries, and a startup temp-file GC check.
 check-chaos:
 	./scripts/check.sh chaos
+
+# check-serve is the multi-tenant serving gate: the internal/server suite and
+# the coalescer/breaker regression tests under -race, then a live two-tenant
+# `naru serve -tenants` smoke test (per-tenant routing and result caches, an
+# append -> drift -> hot-swap cycle on one tenant that must leave the other
+# untouched, tenant-labelled metrics on the shared scrape, legacy-route
+# aliasing, aggregate /readyz). Also runs as the last step of `make check`.
+check-serve:
+	./scripts/check.sh serve
 
 # check-train is the end-to-end training-determinism gate: two sharded runs
 # must write byte-identical models, and an interrupted-then-resumed run must

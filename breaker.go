@@ -122,7 +122,9 @@ type Breaker struct {
 
 	tripCh    chan struct{} // buffered(1): trip signal to the probe loop
 	done      chan struct{}
+	drained   chan struct{} // closed by Drain: cancels sleeping and in-flight probes
 	closeOnce sync.Once
+	drainOnce sync.Once
 	wg        sync.WaitGroup
 
 	stateGauge *obs.Gauge
@@ -136,10 +138,11 @@ type Breaker struct {
 func (e *Estimator) NewBreaker(opts BreakerOptions) *Breaker {
 	opts = opts.withDefaults()
 	b := &Breaker{
-		e:      e,
-		opts:   opts,
-		tripCh: make(chan struct{}, 1),
-		done:   make(chan struct{}),
+		e:       e,
+		opts:    opts,
+		tripCh:  make(chan struct{}, 1),
+		done:    make(chan struct{}),
+		drained: make(chan struct{}),
 	}
 	reg := opts.Metrics
 	if reg == nil {
@@ -256,6 +259,19 @@ func (b *Breaker) Reject(q Query, fb func(*Region) float64) Result {
 // Healthy. probe should exercise the genuine model path — the serve command
 // runs an unrestricted-region estimate and checks the answer's provenance.
 func (b *Breaker) Start(probe func(ctx context.Context) error) {
+	// base is cancelled the moment the breaker drains or closes, so a probe
+	// that is mid-estimate when shutdown starts is cut off instead of running
+	// a model query against a draining server.
+	base, baseCancel := context.WithCancel(context.Background())
+	b.wg.Add(1)
+	go func() {
+		defer b.wg.Done()
+		select {
+		case <-b.done:
+		case <-b.drained:
+		}
+		baseCancel()
+	}()
 	b.wg.Add(1)
 	go func() {
 		defer b.wg.Done()
@@ -263,6 +279,10 @@ func (b *Breaker) Start(probe func(ctx context.Context) error) {
 		for {
 			select {
 			case <-b.done:
+				return
+			case <-b.drained:
+				// Draining is terminal: no probe may fire after it, so the
+				// loop exits instead of idling for a trip that cannot recover.
 				return
 			case <-b.tripCh:
 			}
@@ -272,13 +292,17 @@ func (b *Breaker) Start(probe func(ctx context.Context) error) {
 				select {
 				case <-b.done:
 					return
+				case <-b.drained:
+					// A backoff-sleeping probe is cancelled by drain, not left
+					// to wake and estimate during shutdown.
+					return
 				case <-time.After(jittered):
 				}
 				if b.State() != StateFallbackOnly {
 					break
 				}
 				b.probes.Inc()
-				ctx, cancel := context.WithTimeout(context.Background(), delay+b.opts.ProbeInterval)
+				ctx, cancel := context.WithTimeout(base, delay+b.opts.ProbeInterval)
 				err := probe(ctx)
 				cancel()
 				if err == nil {
@@ -296,8 +320,13 @@ func (b *Breaker) Start(probe func(ctx context.Context) error) {
 }
 
 // Drain moves the state machine to its terminal Draining state (readiness
-// goes false; in-flight queries finish). Used at shutdown.
-func (b *Breaker) Drain() { b.setState(StateDraining) }
+// goes false; in-flight queries finish) and cancels the probe loop: a probe
+// sleeping out its backoff exits immediately, and one mid-estimate has its
+// context cancelled — no model estimate fires after drain. Used at shutdown.
+func (b *Breaker) Drain() {
+	b.setState(StateDraining)
+	b.drainOnce.Do(func() { close(b.drained) })
+}
 
 // Close stops the probe loop. It does not change the state; call Drain first
 // during shutdown.

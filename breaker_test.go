@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 )
@@ -246,5 +247,80 @@ func TestBreakerConcurrentObserve(t *testing.T) {
 			t.Fatalf("breaker stuck open after concurrent load")
 		}
 		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestBreakerDrainCancelsBackoffSleep: a probe loop sleeping out a long
+// backoff must exit the moment the breaker drains — Close cannot wait 30s for
+// a jittered sleep to expire, and no probe may fire after drain.
+func TestBreakerDrainCancelsBackoffSleep(t *testing.T) {
+	est, _, _ := breakerFixture(t)
+	b := est.NewBreaker(BreakerOptions{Threshold: 1, ProbeInterval: time.Hour})
+	var probes atomic.Int32
+	b.Start(func(ctx context.Context) error {
+		probes.Add(1)
+		return errors.New("still broken")
+	})
+	b.Observe(failed(errors.New("boom")))
+	if b.Allow() {
+		t.Fatal("threshold 1 did not trip")
+	}
+	// The probe loop is now asleep in its hour-long jittered backoff.
+	time.Sleep(5 * time.Millisecond)
+	b.Drain()
+	done := make(chan struct{})
+	go func() { b.Close(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close hung: drain did not cancel the backoff sleep")
+	}
+	if n := probes.Load(); n != 0 {
+		t.Fatalf("%d probes fired during an hour-long backoff", n)
+	}
+	if b.State() != StateDraining {
+		t.Fatalf("state %v after drain, want draining", b.State())
+	}
+}
+
+// TestBreakerDrainCancelsInflightProbe: a probe that is mid-estimate when the
+// breaker drains has its context cancelled instead of running a model query
+// against a shutting-down server, and no further probe fires.
+func TestBreakerDrainCancelsInflightProbe(t *testing.T) {
+	est, _, _ := breakerFixture(t)
+	b := est.NewBreaker(BreakerOptions{Threshold: 1, ProbeInterval: time.Millisecond})
+	started := make(chan struct{})
+	var startOnce sync.Once
+	var probes atomic.Int32
+	cancelled := make(chan error, 1)
+	b.Start(func(ctx context.Context) error {
+		probes.Add(1)
+		startOnce.Do(func() { close(started) })
+		// Block until drain cancels the probe context (or the generous
+		// probe timeout proves it never happened).
+		<-ctx.Done()
+		cancelled <- ctx.Err()
+		return ctx.Err()
+	})
+	b.Observe(failed(errors.New("boom")))
+	select {
+	case <-started:
+	case <-time.After(5 * time.Second):
+		t.Fatal("probe never started")
+	}
+	b.Drain()
+	select {
+	case err := <-cancelled:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("in-flight probe ended with %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("drain did not cancel the in-flight probe context")
+	}
+	b.Close()
+	after := probes.Load()
+	time.Sleep(20 * time.Millisecond)
+	if n := probes.Load(); n != after {
+		t.Fatalf("probe fired after drain+close: %d -> %d", after, n)
 	}
 }

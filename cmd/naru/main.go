@@ -99,15 +99,25 @@ func usage(w io.Writer) {
   naru estimate -csv data.csv -model model.naru -queries workload.txt [-workers N]
                 [-timeout 50ms] [-fallback] [-metrics-addr :8080]
   naru serve    -csv data.csv -model model.naru -addr :8081 [-metrics-addr :8080]
-                [-samples S] [-timeout 50ms] [-fallback]
+                [-samples S] [-timeout 50ms] [-fallback] [-cache-size N]
                 [-refresh-after N] [-drift-threshold NATS] [-tvd-threshold D]
                 [-refresh-epochs N] [-registry DIR] [-lifecycle-checkpoint ckpt]
                 [-breaker-threshold N] [-probe-interval D]
+  naru serve    -tenants tenants.json -addr :8081 [-metrics-addr :8080]
+                (multi-tenant: many tables/models in one process)
   naru entropy  -csv data.csv -model model.naru
   naru faults   (list fault-injection site names for NARU_FAULTS)
 
 The -metrics-addr endpoint exposes /metrics (Prometheus), /metrics.json,
 /traces, /debug/pprof/, and /healthz for whatever the command is doing.
+
+Multi-tenant serve: -tenants tenants.json hosts many table/model pairs, each
+routed under /v1/<name>/estimate|append|drift|models with its own coalescer,
+breaker, lifecycle budgets, and result cache; metric families carry a
+tenant="name" label on the shared scrape, legacy routes alias the file's
+default tenant, and /readyz aggregates every tenant. Estimates are served
+through a per-tenant result cache invalidated by hot-swap, stale-flag, or
+append (-cache-size / "cache_size": 0 = 1024 entries, negative disables).
 
 Serve lifecycle: with any of -refresh-after/-drift-threshold/-tvd-threshold/
 -registry set, POST /append ingests header-less CSV rows online, GET /drift

@@ -2,8 +2,6 @@ package main
 
 import (
 	"context"
-	"encoding/json"
-	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -11,50 +9,48 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
-	"sync"
+	"strings"
 	"syscall"
 	"time"
 
 	naru "repro"
-	"repro/internal/faultinject"
-	"repro/internal/lifecycle"
-	"repro/internal/query"
-	"repro/internal/table"
+	"repro/internal/server"
 )
 
-// siteServeRequest is the chaos fault point at the front door of /estimate:
-// before parsing, before the model, before the coalescer. Error mode maps to
-// a 503 (the request never reached the estimator), exit mode kills the
-// process mid-request — the kill-matrix restart scenario.
-var siteServeRequest = faultinject.Site("serve.request")
-
-// cmdServe runs a long-lived estimation service: GET /estimate?where=...
-// answers single queries as JSON through the fault-tolerant serving path,
-// and -metrics-addr exposes the observability endpoint alongside it.
+// cmdServe runs a long-lived estimation service on top of internal/server,
+// in one of two modes:
+//
+// Single-tenant (legacy): -csv and -model load one table/model pair, served
+// on the original routes (/estimate, /append, /drift, /models, /healthz,
+// /livez, /readyz) with unlabelled metric names — flag-for-flag compatible
+// with the pre-multi-tenant server.
+//
+// Multi-tenant: -tenants tenants.json loads many table/model pairs into one
+// process. Each tenant serves under /v1/{name}/... with its own coalescer,
+// circuit breaker, lifecycle budgets, and result cache, and its metric
+// families carry a tenant="name" label in the shared registry. The legacy
+// routes alias the file's default tenant, so existing clients keep working;
+// /readyz aggregates readiness across every tenant.
+//
+// In both modes /estimate answers are served through a per-tenant result
+// cache keyed by predicate fingerprint; entries are invalidated by hot-swap,
+// stale-flag, or append (-cache-size caps it, negative disables).
 //
 // With any lifecycle flag set (-refresh-after, -drift-threshold,
-// -tvd-threshold, -registry) the service also ingests data online:
-// POST /append takes header-less CSV rows, GET /drift reports staleness,
-// GET /models lists registered versions, and a background refresh fine-tunes
-// and hot-swaps the model when drift or row-count thresholds trip. /healthz
-// (on both the service and metrics muxes) reports the serving version and
-// returns 503 only when no model is loaded — never during a hot-swap; /livez
-// and /readyz split that into pure process liveness and load-balancer
-// readiness (readiness follows the degradation state machine when
-// -breaker-threshold arms the circuit breaker: Healthy/Degraded ready,
-// FallbackOnly/Draining not).
+// -tvd-threshold, -registry — or their tenants.json fields) the service also
+// ingests data online: POST /append takes header-less CSV rows, GET /drift
+// reports staleness, GET /models lists registered versions, and a background
+// refresh fine-tunes and hot-swaps the model when drift or row-count
+// thresholds trip. With -registry the server adopts the registry's active
+// version on restart, after the registry self-heals from any crash debris.
 //
-// With -registry the server also adopts the registry's active version on
-// restart — after the registry self-heals from any crash debris (stale temp
-// files swept, corrupt artifacts quarantined, newest loadable version rolled
-// back to) — so a chaos-killed server comes back serving its last good model.
-//
-// The process runs until SIGINT/SIGTERM, then drains in-flight queries and
-// cancels any in-progress refresh, which flushes a final checkpoint (when
-// -lifecycle-checkpoint is set) so the next start resumes the fine-tune.
+// The process runs until SIGINT/SIGTERM, then drains: readiness goes false,
+// in-flight queries finish on the version they loaded, and an in-progress
+// refresh cancels between gradient steps and flushes a final checkpoint.
 func cmdServe(args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("serve", flag.ContinueOnError)
 	fs.SetOutput(stderr)
+	tenantsPath := fs.String("tenants", "", "multi-tenant config file (JSON); mutually exclusive with -csv/-model")
 	csvPath := fs.String("csv", "", "input CSV (for schema + fallback statistics)")
 	modelPath := fs.String("model", "model.naru", "trained model path")
 	addr := fs.String("addr", "127.0.0.1:8081", "estimation service address (use :0 for a free port)")
@@ -65,6 +61,7 @@ func cmdServe(args []string, stdout, stderr io.Writer) error {
 	batchWindow := fs.Duration("batch-window", 0, "coalesce concurrent requests arriving within this window into fused batches (0 = serve each request alone)")
 	maxInflight := fs.Int("max-inflight", 2, "concurrent fused dispatches when coalescing; excess batches queue, and a full queue sheds to the fallback")
 	targetStderr := fs.Float64("target-stderr", 0, "stop sampling early once the relative standard error reaches this target (0 = always run the full budget)")
+	cacheSize := fs.Int("cache-size", 0, "result-cache entries per tenant (0 = default 1024, negative = disable)")
 	refreshAfter := fs.Int("refresh-after", 0, "refresh after this many appended rows (0 = only on drift)")
 	driftThreshold := fs.Float64("drift-threshold", 0, "mark the model stale when appended rows' mean NLL exceeds the training baseline by this many nats")
 	tvdThreshold := fs.Float64("tvd-threshold", 0, "mark the model stale when any column's marginal TV distance exceeds this")
@@ -76,498 +73,117 @@ func cmdServe(args []string, stdout, stderr io.Writer) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if *csvPath == "" {
-		return fmt.Errorf("serve: -csv is required")
+	logf := func(format string, a ...any) { fmt.Fprintf(stderr, format+"\n", a...) }
+
+	var reg *naru.Metrics
+	if *metricsAddr != "" {
+		reg = naru.NewMetrics()
 	}
-	t, err := loadTable(*csvPath)
-	if err != nil {
-		return err
-	}
-	cfg := naru.DefaultConfig()
-	cfg.Samples = *samples
-	metrics, stopMetrics, err := startServeMetrics(*metricsAddr, stderr)
-	if err != nil {
-		return err
-	}
-	defer stopMetrics()
-	cfg.Metrics = metrics.reg
-	est, err := openModel(*modelPath, cfg)
-	if err != nil {
-		return err
-	}
-	metrics.setEstimator(est)
-	if *refreshAfter > 0 || *driftThreshold > 0 || *tvdThreshold > 0 || *registryDir != "" {
-		err := est.EnableLifecycle(t, naru.LifecycleConfig{
-			NLLThreshold:   *driftThreshold,
-			TVDThreshold:   *tvdThreshold,
-			RefreshAfter:   *refreshAfter,
-			RefreshEpochs:  *refreshEpochs,
-			CheckpointPath: *lcCkpt,
-			RegistryDir:    *registryDir,
-			AdoptRegistry:  *registryDir != "",
-		})
+	srv := server.New(server.Options{Metrics: reg, Logf: logf})
+
+	switch {
+	case *tenantsPath != "":
+		if *csvPath != "" {
+			return fmt.Errorf("serve: -tenants and -csv are mutually exclusive")
+		}
+		cfgs, def, err := server.LoadTenantsFile(*tenantsPath)
 		if err != nil {
 			return fmt.Errorf("serve: %w", err)
 		}
-		fmt.Fprintf(stderr, "lifecycle: ingestion enabled (version %d)\n", est.ModelVersion())
-		if rep := est.Lifecycle().Recovery(); rep.Dirty() {
-			fmt.Fprintf(stderr, "registry: self-healed: %d temp files swept, %d artifacts quarantined, manifest rebuilt=%v, active %d -> %d\n",
-				rep.TempFilesRemoved, rep.Quarantined, rep.ManifestRebuilt, rep.ActiveBefore, rep.ActiveAfter)
+		for _, tc := range cfgs {
+			// Each tenant's families are labelled tenant="name" in the shared
+			// registry, so one /metrics endpoint serves the whole fleet.
+			tn, err := server.BuildTenant(tc, reg.WithLabel("tenant", tc.Name), logf)
+			if err != nil {
+				return fmt.Errorf("serve: %w", err)
+			}
+			if err := srv.Add(tn); err != nil {
+				return fmt.Errorf("serve: %w", err)
+			}
 		}
-	}
-	opts := naru.ServeOptions{Deadline: *timeout, TargetRelStdErr: *targetStderr}
-	if *fallback {
-		opts.Fallback = naru.FallbackObserved(t, metrics.reg)
+		if err := srv.SetDefault(def); err != nil {
+			return fmt.Errorf("serve: %w", err)
+		}
+	case *csvPath != "":
+		// Legacy single-tenant mode: the root (unlabelled) registry keeps the
+		// historical metric names, and every legacy route serves this tenant.
+		tc := server.TenantConfig{
+			Name:                "default",
+			CSV:                 *csvPath,
+			Model:               *modelPath,
+			Samples:             *samples,
+			Timeout:             server.Duration(*timeout),
+			Fallback:            *fallback,
+			TargetStdErr:        *targetStderr,
+			BatchWindow:         server.Duration(*batchWindow),
+			MaxInFlight:         *maxInflight,
+			CacheSize:           *cacheSize,
+			RefreshAfter:        *refreshAfter,
+			DriftThreshold:      *driftThreshold,
+			TVDThreshold:        *tvdThreshold,
+			RefreshEpochs:       *refreshEpochs,
+			RegistryDir:         *registryDir,
+			LifecycleCheckpoint: *lcCkpt,
+			BreakerThreshold:    *breakerThreshold,
+			ProbeInterval:       server.Duration(*probeInterval),
+		}
+		tn, err := server.BuildTenant(tc, reg, logf)
+		if err != nil {
+			return fmt.Errorf("serve: %w", err)
+		}
+		if err := srv.Add(tn); err != nil {
+			return fmt.Errorf("serve: %w", err)
+		}
+	default:
+		return fmt.Errorf("serve: -csv or -tenants is required")
 	}
 
-	// refreshCtx is cancelled at shutdown so an in-progress refresh aborts
-	// between gradient steps and flushes its final checkpoint; refreshWG is
-	// then waited on so the flush completes before the process exits.
+	// refreshes inherit this context: SIGINT/SIGTERM cancels them between
+	// gradient steps and srv.Close waits for their final checkpoint flush.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	h := &serveHandler{est: est, t: t, opts: opts}
-	if *breakerThreshold > 0 {
-		h.brk = est.NewBreaker(naru.BreakerOptions{
-			Threshold:     *breakerThreshold,
-			ProbeInterval: *probeInterval,
-		})
-		// The recovery probe runs a real unrestricted-region estimate through
-		// the serving path (no fallback configured, so a broken model cannot
-		// masquerade as recovered) and demands a model-path answer.
-		h.brk.Start(func(ctx context.Context) error {
-			results, err := est.SelectivityBatchCtx(ctx, []naru.Query{{}}, naru.ServeOptions{Workers: 1})
-			if err != nil {
-				return err
-			}
-			r := results[0]
-			if r.Source != naru.SourceModel && r.Source != naru.SourceDegraded {
-				if r.Err != nil {
-					return r.Err
-				}
-				return fmt.Errorf("probe answered by %s", r.Source)
-			}
-			return nil
-		})
-		defer h.brk.Close()
-		h.retryAfter = fmt.Sprintf("%d", maxInt(1, int(probeInterval.Seconds())))
-		metrics.setBreaker(h.brk)
-		fmt.Fprintf(stderr, "circuit breaker: threshold %d, probe interval %v\n", *breakerThreshold, *probeInterval)
+	srv.Start(ctx)
+	defer srv.Close()
+
+	if *metricsAddr != "" {
+		mux := http.NewServeMux()
+		mux.Handle("/", naru.MetricsHandler(reg))
+		srv.RegisterHealth(mux)
+		mln, err := net.Listen("tcp", *metricsAddr)
+		if err != nil {
+			return fmt.Errorf("metrics endpoint: %w", err)
+		}
+		msrv := &http.Server{Handler: mux}
+		go func() { _ = msrv.Serve(mln) }()
+		defer msrv.Close()
+		fmt.Fprintf(stderr, "metrics on http://%s/metrics\n", mln.Addr())
 	}
-	if *batchWindow > 0 {
-		h.coal = est.NewCoalescer(naru.CoalesceOptions{
-			Window:      *batchWindow,
-			MaxInFlight: *maxInflight,
-			Serve:       opts,
-		})
-		defer h.coal.Close()
-		fmt.Fprintf(stderr, "coalescing: window %v, max in-flight %d\n", *batchWindow, *maxInflight)
-	}
-	var refreshWG sync.WaitGroup
-	h.onAppend = func() { kickRefresh(ctx, est, &refreshWG, stderr) }
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		return fmt.Errorf("serve: %w", err)
 	}
-	srv := &http.Server{Handler: h.mux()}
-	fmt.Fprintf(stdout, "serving on http://%s/estimate\n", ln.Addr())
+	hsrv := &http.Server{Handler: srv.Handler()}
+	names := srv.Names()
+	if len(names) > 1 {
+		fmt.Fprintf(stdout, "serving tenants [%s] on http://%s/v1/{tenant}/estimate\n",
+			strings.Join(names, " "), ln.Addr())
+	} else {
+		fmt.Fprintf(stdout, "serving on http://%s/estimate\n", ln.Addr())
+	}
 	errc := make(chan error, 1)
-	go func() { errc <- srv.Serve(ln) }()
+	go func() { errc <- hsrv.Serve(ln) }()
 	select {
 	case err := <-errc:
 		return err
 	case <-ctx.Done():
 	}
-	// Drain: readiness goes false first (the state machine's terminal state),
-	// in-flight queries finish on the version they loaded, then the cancelled
-	// refresh (if any) checkpoints and exits.
-	if h.brk != nil {
-		h.brk.Drain()
-	}
+	// Drain: readiness goes false first (every tenant's state machine enters
+	// its terminal state and probe loops exit), in-flight queries finish on
+	// the version they loaded, then the deferred srv.Close waits for any
+	// cancelled refresh to checkpoint and exit.
+	srv.Drain()
 	shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 	defer cancel()
-	err = srv.Shutdown(shutCtx)
-	refreshWG.Wait()
-	return err
-}
-
-func maxInt(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
-}
-
-// kickRefresh starts a background refresh when the lifecycle manager says one
-// is warranted and none is running. The refresh inherits the serve context:
-// SIGINT/SIGTERM cancels it and its final checkpoint is flushed before
-// cmdServe returns.
-func kickRefresh(ctx context.Context, est *naru.Estimator, wg *sync.WaitGroup, stderr io.Writer) {
-	lc := est.Lifecycle()
-	if lc == nil || lc.Refreshing() || !lc.ShouldRefresh() {
-		return
-	}
-	wg.Add(1)
-	go func() {
-		defer wg.Done()
-		res, err := est.RefreshCtx(ctx)
-		switch {
-		case errors.Is(err, lifecycle.ErrRefreshRunning):
-		case err != nil:
-			fmt.Fprintf(stderr, "lifecycle: refresh: %v\n", err)
-		default:
-			fmt.Fprintf(stderr, "lifecycle: swapped in version %d (nll %.4f, %d rows)\n",
-				res.Version, res.NLL, res.Rows)
-		}
-	}()
-}
-
-// serveMetrics is the metrics endpoint plus the health probes; the estimator
-// and breaker are attached after loading so the probes can report the serving
-// version and degradation state.
-type serveMetrics struct {
-	reg *naru.Metrics
-	mu  sync.Mutex
-	est *naru.Estimator
-	brk *naru.Breaker
-}
-
-func (m *serveMetrics) setEstimator(e *naru.Estimator) {
-	if m == nil {
-		return
-	}
-	m.mu.Lock()
-	m.est = e
-	m.mu.Unlock()
-}
-
-func (m *serveMetrics) setBreaker(b *naru.Breaker) {
-	if m == nil {
-		return
-	}
-	m.mu.Lock()
-	m.brk = b
-	m.mu.Unlock()
-}
-
-func (m *serveMetrics) state() (*naru.Estimator, *naru.Breaker) {
-	if m == nil {
-		return nil, nil
-	}
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.est, m.brk
-}
-
-// startServeMetrics is startMetrics plus /healthz on the same mux (so
-// orchestrators probing the metrics port see model liveness too). addr ""
-// disables the endpoint; the returned registry is then nil.
-func startServeMetrics(addr string, stderr io.Writer) (*serveMetrics, func(), error) {
-	m := &serveMetrics{}
-	if addr == "" {
-		return m, func() {}, nil
-	}
-	m.reg = naru.NewMetrics()
-	mux := http.NewServeMux()
-	mux.Handle("/", naru.MetricsHandler(m.reg))
-	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
-		est, brk := m.state()
-		healthz(w, est, brk)
-	})
-	mux.HandleFunc("/livez", livez)
-	mux.HandleFunc("/readyz", func(w http.ResponseWriter, r *http.Request) {
-		est, brk := m.state()
-		readyz(w, est, brk)
-	})
-	ln, err := net.Listen("tcp", addr)
-	if err != nil {
-		return nil, nil, fmt.Errorf("metrics endpoint: %w", err)
-	}
-	srv := &http.Server{Handler: mux}
-	go func() { _ = srv.Serve(ln) }()
-	fmt.Fprintf(stderr, "metrics on http://%s/metrics\n", ln.Addr())
-	return m, func() { _ = srv.Close() }, nil
-}
-
-// healthResponse is the JSON shape of the /healthz probe:
-//
-//	{"status":"ok","state":"healthy","model_version":3,
-//	 "refreshing":false,"stale_model":false}
-//
-// status is "ok" whenever a model is loaded (back-compat: pre-breaker
-// clients keyed on it); state is the degradation state-machine reading
-// (healthy | degraded | fallback_only | draining), present when the breaker
-// is enabled.
-type healthResponse struct {
-	Status       string `json:"status"`
-	State        string `json:"state,omitempty"`
-	ModelVersion uint64 `json:"model_version,omitempty"`
-	Refreshing   bool   `json:"refreshing,omitempty"`
-	StaleModel   bool   `json:"stale_model,omitempty"`
-}
-
-// readyResponse is the JSON shape of the /readyz probe:
-//
-//	{"ready":true,"state":"degraded"}
-func readyResponse(est *naru.Estimator, brk *naru.Breaker) (int, any) {
-	state := naru.StateHealthy
-	if brk != nil {
-		state = brk.State()
-	}
-	ready := est != nil && state.Ready()
-	status := http.StatusOK
-	if !ready {
-		status = http.StatusServiceUnavailable
-	}
-	return status, struct {
-		Ready bool   `json:"ready"`
-		State string `json:"state"`
-	}{ready, state.String()}
-}
-
-// healthz reports serving health: 503 only when no model is loaded. A
-// refresh or hot-swap in progress is healthy (in-flight queries keep their
-// version; new ones get the swapped one), as is a stale model — staleness is
-// advisory, reported in the body for operators. The breaker's degradation
-// state rides along in "state" but never changes the status code: /healthz
-// is the legacy combined probe, /livez + /readyz the split pair.
-func healthz(w http.ResponseWriter, est *naru.Estimator, brk *naru.Breaker) {
-	w.Header().Set("Content-Type", "application/json")
-	if est == nil {
-		w.WriteHeader(http.StatusServiceUnavailable)
-		_ = json.NewEncoder(w).Encode(healthResponse{Status: "no model loaded"})
-		return
-	}
-	resp := healthResponse{Status: "ok", ModelVersion: est.ModelVersion()}
-	if brk != nil {
-		resp.State = brk.State().String()
-	}
-	if lc := est.Lifecycle(); lc != nil {
-		resp.Refreshing = lc.Refreshing()
-		resp.StaleModel = lc.Stale()
-	}
-	_ = json.NewEncoder(w).Encode(resp)
-}
-
-// livez is pure process liveness: if this handler runs, the process is up.
-// Restarting a FallbackOnly replica doesn't fix a broken model, so liveness
-// never consults the state machine — that's readiness's job.
-func livez(w http.ResponseWriter, r *http.Request) {
-	w.Header().Set("Content-Type", "application/json")
-	_, _ = w.Write([]byte("{\"alive\":true}\n"))
-}
-
-// readyz reports whether this replica should receive traffic: a model is
-// loaded AND the degradation state is Healthy or Degraded. FallbackOnly and
-// Draining return 503 so load balancers drain the replica while it probes
-// its way back (or shuts down) — without killing it.
-func readyz(w http.ResponseWriter, est *naru.Estimator, brk *naru.Breaker) {
-	w.Header().Set("Content-Type", "application/json")
-	status, body := readyResponse(est, brk)
-	if status != http.StatusOK {
-		w.WriteHeader(status)
-	}
-	_ = json.NewEncoder(w).Encode(body)
-}
-
-// estimateResponse is the JSON shape of one served estimate.
-type estimateResponse struct {
-	Query        string  `json:"query"`
-	Sel          float64 `json:"sel"`
-	Card         float64 `json:"card"`
-	Source       string  `json:"source"`
-	ModelVersion uint64  `json:"model_version,omitempty"`
-	StdErr       float64 `json:"stderr,omitempty"`
-	Samples      int     `json:"samples,omitempty"`
-	StopReason   string  `json:"stop_reason,omitempty"`
-	Err          string  `json:"err,omitempty"`
-}
-
-// appendResponse is the JSON shape of one POST /append.
-type appendResponse struct {
-	Appended  int              `json:"appended"`
-	TotalRows int              `json:"total_rows"`
-	Drift     naru.DriftStatus `json:"drift"`
-}
-
-// serveHandler carries the estimation service's shared state. onAppend (when
-// non-nil) runs after every successful ingest, kicking the background refresh.
-type serveHandler struct {
-	est        *naru.Estimator
-	t          *table.Table // boot-time snapshot, used when lifecycle is off
-	opts       naru.ServeOptions
-	coal       *naru.Coalescer // non-nil routes /estimate through fused batching
-	brk        *naru.Breaker   // non-nil gates /estimate through the circuit breaker
-	retryAfter string          // Retry-After header value for 503 responses
-	onAppend   func()
-}
-
-// snapshot returns the table queries parse against: the lifecycle manager's
-// committed snapshot when ingestion is live (appended values and extended
-// dictionaries become queryable immediately), the boot table otherwise.
-func (h *serveHandler) snapshot() *table.Table {
-	if lc := h.est.Lifecycle(); lc != nil {
-		return lc.Snapshot()
-	}
-	return h.t
-}
-
-// newEstimateHandler builds the estimation service mux for a static (no
-// ingestion) service; tests drive it with httptest without binding a port.
-func newEstimateHandler(est *naru.Estimator, t *table.Table, opts naru.ServeOptions) http.Handler {
-	return (&serveHandler{est: est, t: t, opts: opts}).mux()
-}
-
-// mux builds the estimation service routes: /estimate answers ?where=
-// conjunctions, /append ingests rows, /drift, /models, and /healthz report
-// lifecycle state, / documents the endpoint.
-func (h *serveHandler) mux() http.Handler {
-	mux := http.NewServeMux()
-	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
-		if r.URL.Path != "/" {
-			http.NotFound(w, r)
-			return
-		}
-		fmt.Fprintf(w, "naru estimation service for %q\nGET /estimate?where=a<=5 AND b=x\nPOST /append (text/csv body, no header)\nGET /drift | /models | /healthz\n", h.snapshot().Name)
-	})
-	mux.HandleFunc("/estimate", h.handleEstimate)
-	mux.HandleFunc("/append", h.handleAppend)
-	mux.HandleFunc("/drift", h.handleDrift)
-	mux.HandleFunc("/models", h.handleModels)
-	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
-		healthz(w, h.est, h.brk)
-	})
-	mux.HandleFunc("/livez", livez)
-	mux.HandleFunc("/readyz", func(w http.ResponseWriter, r *http.Request) {
-		readyz(w, h.est, h.brk)
-	})
-	return mux
-}
-
-func (h *serveHandler) handleEstimate(w http.ResponseWriter, r *http.Request) {
-	if err := faultinject.Point(siteServeRequest); err != nil {
-		h.setRetryAfter(w)
-		http.Error(w, err.Error(), http.StatusServiceUnavailable)
-		return
-	}
-	where := r.FormValue("where")
-	if where == "" {
-		http.Error(w, "missing ?where= conjunction", http.StatusBadRequest)
-		return
-	}
-	// One snapshot per request: literal-to-code mapping and the row count
-	// for cardinality come from the same table version.
-	t := h.snapshot()
-	q, err := query.ParseWhere(where, t)
-	if err != nil {
-		http.Error(w, fmt.Sprintf("bad query %q: %v", where, err), http.StatusBadRequest)
-		return
-	}
-	var res naru.Result
-	if h.brk != nil && !h.brk.Allow() {
-		// Breaker open (or draining): the model path is bypassed and the
-		// fallback answers, with ErrBreakerOpen preserved as provenance.
-		res = h.brk.Reject(q, h.opts.Fallback)
-	} else if h.coal != nil {
-		// Coalesced: the request joins whatever fused batch is forming. The
-		// answer is bit-identical to serving it alone (the fused scheduler's
-		// determinism contract), only the scheduling changes.
-		res = h.coal.Estimate(r.Context(), q)
-	} else {
-		// One query per request: the per-request deadline and fallback come
-		// from the service options, cancellation from the client connection.
-		perReq := h.opts
-		perReq.Workers = 1
-		results, err := h.est.SelectivityBatchCtx(r.Context(), []naru.Query{q}, perReq)
-		if err != nil {
-			http.Error(w, err.Error(), http.StatusInternalServerError)
-			return
-		}
-		res = results[0]
-	}
-	if h.brk != nil {
-		// Every served result feeds the state machine (breaker rejections and
-		// sheds classify as non-failures inside Observe).
-		h.brk.Observe(res)
-	}
-	resp := estimateResponse{
-		Query:        q.String(t),
-		Sel:          res.Sel,
-		Card:         res.Sel * float64(t.NumRows()),
-		Source:       res.Source.String(),
-		ModelVersion: res.ModelVersion,
-		StdErr:       res.StdErr,
-		Samples:      res.Samples,
-		StopReason:   res.Stop.String(),
-	}
-	if res.Err != nil {
-		resp.Err = res.Err.Error()
-	}
-	w.Header().Set("Content-Type", "application/json")
-	if res.Source == naru.SourceFailed {
-		// Shed and breaker-open failures are back-pressure, not server bugs:
-		// 503 + Retry-After tells well-behaved clients to ease off; everything
-		// else failing with no fallback is a genuine 500.
-		if errors.Is(res.Err, naru.ErrShed) || errors.Is(res.Err, naru.ErrBreakerOpen) {
-			h.setRetryAfter(w)
-			w.WriteHeader(http.StatusServiceUnavailable)
-		} else {
-			w.WriteHeader(http.StatusInternalServerError)
-		}
-	}
-	_ = json.NewEncoder(w).Encode(resp)
-}
-
-// setRetryAfter stamps the 503 back-pressure header (breaker probe interval
-// when configured, 1s otherwise).
-func (h *serveHandler) setRetryAfter(w http.ResponseWriter) {
-	ra := h.retryAfter
-	if ra == "" {
-		ra = "1"
-	}
-	w.Header().Set("Retry-After", ra)
-}
-
-func (h *serveHandler) handleAppend(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodPost {
-		http.Error(w, "POST CSV rows (no header) to /append", http.StatusMethodNotAllowed)
-		return
-	}
-	added, err := h.est.AppendCSV(r.Body)
-	if err != nil {
-		status := http.StatusBadRequest
-		if errors.Is(err, naru.ErrLifecycleDisabled) {
-			status = http.StatusNotImplemented
-		}
-		http.Error(w, err.Error(), status)
-		return
-	}
-	drift, _ := h.est.Drift()
-	w.Header().Set("Content-Type", "application/json")
-	_ = json.NewEncoder(w).Encode(appendResponse{
-		Appended:  added,
-		TotalRows: h.snapshot().NumRows(),
-		Drift:     drift,
-	})
-	if h.onAppend != nil {
-		h.onAppend()
-	}
-}
-
-func (h *serveHandler) handleDrift(w http.ResponseWriter, r *http.Request) {
-	drift, err := h.est.Drift()
-	if err != nil {
-		http.Error(w, err.Error(), http.StatusNotImplemented)
-		return
-	}
-	w.Header().Set("Content-Type", "application/json")
-	_ = json.NewEncoder(w).Encode(drift)
-}
-
-func (h *serveHandler) handleModels(w http.ResponseWriter, r *http.Request) {
-	w.Header().Set("Content-Type", "application/json")
-	_ = json.NewEncoder(w).Encode(struct {
-		Active   uint64             `json:"active"`
-		Versions []naru.VersionMeta `json:"versions,omitempty"`
-	}{Active: h.est.ModelVersion(), Versions: h.est.Versions()})
+	return hsrv.Shutdown(shutCtx)
 }

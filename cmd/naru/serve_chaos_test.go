@@ -1,9 +1,7 @@
 package main
 
 import (
-	"context"
 	"encoding/json"
-	"fmt"
 	"net/http"
 	"net/http/httptest"
 	"net/url"
@@ -13,6 +11,7 @@ import (
 
 	naru "repro"
 	"repro/internal/faultinject"
+	"repro/internal/server"
 )
 
 // getJSON fetches a URL and decodes the JSON body into out, returning the
@@ -38,11 +37,14 @@ func getJSON(t *testing.T, rawURL string, out any) int {
 // reports the state without changing its status code.
 func TestLivezReadyzSplit(t *testing.T) {
 	est, tbl, _ := buildServeFixture(t)
-	h := &serveHandler{est: est, t: tbl, opts: naru.ServeOptions{}}
-	h.brk = est.NewBreaker(naru.BreakerOptions{Threshold: 3})
-	defer h.brk.Close()
-	srv := httptest.NewServer(h.mux())
+	// A one-hour probe interval keeps the auto-started recovery probe from
+	// closing the breaker behind the manual Trip below.
+	tn := server.NewTenant("default", est, tbl, server.TenantOptions{
+		Breaker: &naru.BreakerOptions{Threshold: 3, ProbeInterval: time.Hour},
+	})
+	srv := httptest.NewServer(newTenantHandler(t, tn))
 	defer srv.Close()
+	brk := tn.Breaker()
 
 	if code := getJSON(t, srv.URL+"/livez", nil); code != http.StatusOK {
 		t.Fatalf("livez %d, want 200", code)
@@ -55,19 +57,19 @@ func TestLivezReadyzSplit(t *testing.T) {
 		t.Fatalf("healthy readyz: %d %+v", code, ready)
 	}
 
-	h.brk.Trip()
+	brk.Trip()
 	if code := getJSON(t, srv.URL+"/readyz", &ready); code != http.StatusServiceUnavailable || ready.Ready || ready.State != "fallback_only" {
 		t.Fatalf("tripped readyz: %d %+v", code, ready)
 	}
 	if code := getJSON(t, srv.URL+"/livez", nil); code != http.StatusOK {
 		t.Fatalf("tripped livez %d, want 200 (liveness never follows the breaker)", code)
 	}
-	var health healthResponse
+	var health server.HealthResponse
 	if code := getJSON(t, srv.URL+"/healthz", &health); code != http.StatusOK || health.State != "fallback_only" {
 		t.Fatalf("tripped healthz: %d %+v (healthz keeps its legacy 200 contract)", code, health)
 	}
 
-	h.brk.Drain()
+	brk.Drain()
 	if code := getJSON(t, srv.URL+"/readyz", &ready); code != http.StatusServiceUnavailable || ready.State != "draining" {
 		t.Fatalf("draining readyz: %d %+v", code, ready)
 	}
@@ -75,22 +77,23 @@ func TestLivezReadyzSplit(t *testing.T) {
 
 // TestBreakerTripAndRecoverOverHTTP drives the full chaos loop through the
 // serve mux: injected model-path faults trip the breaker, open-breaker
-// requests come back 503 with Retry-After and fallback provenance, the
-// recovery probe closes the breaker once the fault schedule is exhausted,
-// and service returns to model answers.
+// requests come back with fallback provenance, the auto-started recovery
+// probe closes the breaker once the fault schedule is exhausted, and service
+// returns to model answers.
 func TestBreakerTripAndRecoverOverHTTP(t *testing.T) {
 	est, tbl, _ := buildServeFixture(t)
-	h := &serveHandler{est: est, t: tbl, opts: naru.ServeOptions{Fallback: naru.Fallback(tbl)}, retryAfter: "1"}
-	h.brk = est.NewBreaker(naru.BreakerOptions{
-		Threshold:        3,
-		ProbeInterval:    10 * time.Millisecond,
-		MaxProbeInterval: 50 * time.Millisecond,
-		Seed:             11,
+	tn := server.NewTenant("default", est, tbl, server.TenantOptions{
+		Serve: naru.ServeOptions{Fallback: naru.Fallback(tbl)},
+		Breaker: &naru.BreakerOptions{
+			Threshold:        3,
+			ProbeInterval:    10 * time.Millisecond,
+			MaxProbeInterval: 50 * time.Millisecond,
+			Seed:             11,
+		},
 	})
-	defer h.brk.Close()
-	h.brk.Start(func(ctx context.Context) error { return probeModel(ctx, est) })
-	srv := httptest.NewServer(h.mux())
+	srv := httptest.NewServer(newTenantHandler(t, tn))
 	defer srv.Close()
+	brk := tn.Breaker()
 
 	// 5 injected failures: 3 trip the breaker, the rest are absorbed by
 	// probes so recovery succeeds only after the window drains.
@@ -101,28 +104,28 @@ func TestBreakerTripAndRecoverOverHTTP(t *testing.T) {
 
 	estimateURL := srv.URL + "/estimate?where=" + url.QueryEscape("qty<=30")
 	for i := 0; i < 3; i++ {
-		var er estimateResponse
+		var er server.EstimateResponse
 		getJSON(t, estimateURL, &er)
 		if er.Source != "fallback" || !strings.Contains(er.Err, "injected") {
 			t.Fatalf("injected request %d: %+v, want fallback with injected err", i, er)
 		}
 	}
-	if h.brk.Allow() {
+	if brk.Allow() {
 		t.Fatal("3 injected failures did not trip threshold-3 breaker")
 	}
 
 	// Open breaker: requests bypass the model, answered by the fallback with
 	// breaker provenance, still 200 (an answer was produced).
-	var er estimateResponse
+	var er server.EstimateResponse
 	if code := getJSON(t, estimateURL, &er); code != http.StatusOK || er.Source != "fallback" || !strings.Contains(er.Err, "circuit breaker") {
 		t.Fatalf("open-breaker request: %d %+v", code, er)
 	}
 
 	// Recovery: probes burn the remaining injection window, then succeed.
 	deadline := time.Now().Add(10 * time.Second)
-	for h.brk.State() != naru.StateHealthy {
+	for brk.State() != naru.StateHealthy {
 		if time.Now().After(deadline) {
-			t.Fatalf("breaker never recovered: state %v", h.brk.State())
+			t.Fatalf("breaker never recovered: state %v", brk.State())
 		}
 		time.Sleep(5 * time.Millisecond)
 	}
@@ -136,12 +139,14 @@ func TestBreakerTripAndRecoverOverHTTP(t *testing.T) {
 // 500 server bug.
 func TestBreakerOpenWithoutFallbackIs503(t *testing.T) {
 	est, tbl, _ := buildServeFixture(t)
-	h := &serveHandler{est: est, t: tbl, opts: naru.ServeOptions{}, retryAfter: "2"}
-	h.brk = est.NewBreaker(naru.BreakerOptions{Threshold: 1})
-	defer h.brk.Close()
-	h.brk.Trip()
-	srv := httptest.NewServer(h.mux())
+	// Retry-After is derived from the probe interval; 2s also keeps the
+	// recovery probe comfortably behind the immediate request below.
+	tn := server.NewTenant("default", est, tbl, server.TenantOptions{
+		Breaker: &naru.BreakerOptions{Threshold: 1, ProbeInterval: 2 * time.Second},
+	})
+	srv := httptest.NewServer(newTenantHandler(t, tn))
 	defer srv.Close()
+	tn.Breaker().Trip()
 
 	resp, err := http.Get(srv.URL + "/estimate?where=" + url.QueryEscape("qty<=30"))
 	if err != nil {
@@ -154,7 +159,7 @@ func TestBreakerOpenWithoutFallbackIs503(t *testing.T) {
 	if got := resp.Header.Get("Retry-After"); got != "2" {
 		t.Fatalf("Retry-After %q, want \"2\"", got)
 	}
-	var er estimateResponse
+	var er server.EstimateResponse
 	if err := json.NewDecoder(resp.Body).Decode(&er); err != nil {
 		t.Fatal(err)
 	}
@@ -167,8 +172,8 @@ func TestBreakerOpenWithoutFallbackIs503(t *testing.T) {
 // with Retry-After before the estimator runs; the next request is untouched.
 func TestServeRequestFaultSite(t *testing.T) {
 	est, tbl, _ := buildServeFixture(t)
-	h := &serveHandler{est: est, t: tbl, opts: naru.ServeOptions{}}
-	srv := httptest.NewServer(h.mux())
+	tn := server.NewTenant("default", est, tbl, server.TenantOptions{})
+	srv := httptest.NewServer(newTenantHandler(t, tn))
 	defer srv.Close()
 
 	if err := faultinject.ArmString("serve.request=error@1"); err != nil {
@@ -185,7 +190,7 @@ func TestServeRequestFaultSite(t *testing.T) {
 	if resp.StatusCode != http.StatusServiceUnavailable || resp.Header.Get("Retry-After") == "" {
 		t.Fatalf("injected request: status %d Retry-After %q", resp.StatusCode, resp.Header.Get("Retry-After"))
 	}
-	var er estimateResponse
+	var er server.EstimateResponse
 	if code := getJSON(t, estimateURL, &er); code != http.StatusOK || er.Source != "model" {
 		t.Fatalf("post-fault request: %d %+v", code, er)
 	}
@@ -213,21 +218,4 @@ func TestFaultsSubcommand(t *testing.T) {
 			t.Fatalf("site %q missing from faults output:\n%s", want, stdout)
 		}
 	}
-}
-
-// probeModel is the serve command's recovery probe shape, factored for tests:
-// an unrestricted estimate that must come back on the model path.
-func probeModel(ctx context.Context, est *naru.Estimator) error {
-	results, err := est.SelectivityBatchCtx(ctx, []naru.Query{{}}, naru.ServeOptions{Workers: 1})
-	if err != nil {
-		return err
-	}
-	r := results[0]
-	if r.Source != naru.SourceModel && r.Source != naru.SourceDegraded {
-		if r.Err != nil {
-			return r.Err
-		}
-		return fmt.Errorf("probe answered by %s", r.Source)
-	}
-	return nil
 }

@@ -9,17 +9,18 @@ import (
 	"testing"
 
 	naru "repro"
+	"repro/internal/server"
 )
 
 // TestHealthz: the probe is 503 only when no model is loaded; with one it
 // reports ok plus the serving version.
 func TestHealthz(t *testing.T) {
 	rec := httptest.NewRecorder()
-	healthz(rec, nil, nil)
+	server.Healthz(rec, nil, nil)
 	if rec.Code != http.StatusServiceUnavailable {
 		t.Fatalf("no model: status %d, want 503", rec.Code)
 	}
-	var down healthResponse
+	var down server.HealthResponse
 	if err := json.Unmarshal(rec.Body.Bytes(), &down); err != nil {
 		t.Fatal(err)
 	}
@@ -29,11 +30,11 @@ func TestHealthz(t *testing.T) {
 
 	est, _, _ := buildServeFixture(t)
 	rec = httptest.NewRecorder()
-	healthz(rec, est, nil)
+	server.Healthz(rec, est, nil)
 	if rec.Code != http.StatusOK {
 		t.Fatalf("status %d, want 200", rec.Code)
 	}
-	var up healthResponse
+	var up server.HealthResponse
 	if err := json.Unmarshal(rec.Body.Bytes(), &up); err != nil {
 		t.Fatal(err)
 	}
@@ -44,15 +45,23 @@ func TestHealthz(t *testing.T) {
 
 // TestServeLifecycleEndpoints drives the ingestion endpoints end to end:
 // without a lifecycle manager they answer 501; with one, POST /append grows
-// the snapshot (the drift report rides along and onAppend fires), /models
+// the snapshot (the drift report rides along and OnAppend fires), /models
 // lists the registry, /estimate reflects the new rows, and /healthz stays 200
 // throughout.
 func TestServeLifecycleEndpoints(t *testing.T) {
 	est, tbl, _ := buildServeFixture(t)
 	kicked := 0
-	h := &serveHandler{est: est, t: tbl, opts: naru.ServeOptions{},
-		onAppend: func() { kicked++ }}
-	srv := httptest.NewServer(h.mux())
+	tn := server.NewTenant("default", est, tbl, server.TenantOptions{
+		OnAppend: func() { kicked++ },
+	})
+	// Deliberately not Started: this test pins the serving version at 1, so
+	// the server's own refresh kick must stay unwired (OnAppend still fires).
+	s := server.New(server.Options{})
+	if err := s.Add(tn); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Close)
+	srv := httptest.NewServer(s.Handler())
 	defer srv.Close()
 
 	// Lifecycle off: ingestion endpoints say "not implemented", health is fine.
@@ -105,7 +114,7 @@ func TestServeLifecycleEndpoints(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	var app appendResponse
+	var app server.AppendResponse
 	if err := json.NewDecoder(resp.Body).Decode(&app); err != nil {
 		t.Fatal(err)
 	}
@@ -117,7 +126,7 @@ func TestServeLifecycleEndpoints(t *testing.T) {
 		t.Fatalf("drift in append response %+v, want 4 appended rows", app.Drift)
 	}
 	if kicked != 1 {
-		t.Fatalf("onAppend ran %d times, want 1", kicked)
+		t.Fatalf("OnAppend ran %d times, want 1", kicked)
 	}
 
 	// /drift agrees; /models lists the bootstrap version from the registry.
@@ -152,7 +161,7 @@ func TestServeLifecycleEndpoints(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	var estResp estimateResponse
+	var estResp server.EstimateResponse
 	if err := json.NewDecoder(resp.Body).Decode(&estResp); err != nil {
 		t.Fatal(err)
 	}
@@ -167,7 +176,7 @@ func TestServeLifecycleEndpoints(t *testing.T) {
 	if resp, err = http.Get(srv.URL + "/healthz"); err != nil {
 		t.Fatal(err)
 	}
-	var health healthResponse
+	var health server.HealthResponse
 	if err := json.NewDecoder(resp.Body).Decode(&health); err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
@@ -12,6 +13,7 @@ import (
 	"time"
 
 	naru "repro"
+	"repro/internal/server"
 )
 
 // buildServeFixture trains a tiny model and loads it back the way cmdServe
@@ -39,13 +41,29 @@ func buildServeFixture(t *testing.T) (*naru.Estimator, *naru.Table, *naru.Metric
 	return est, tbl, cfg.Metrics
 }
 
+// newTenantHandler wraps one tenant in a single-tenant server — the legacy
+// routes serve it — and returns the mux, shutting the server down with the
+// test.
+func newTenantHandler(t *testing.T, tn *server.Tenant) http.Handler {
+	t.Helper()
+	s := server.New(server.Options{})
+	if err := s.Add(tn); err != nil {
+		t.Fatal(err)
+	}
+	s.Start(context.Background())
+	t.Cleanup(s.Close)
+	return s.Handler()
+}
+
 // TestEstimateHandler drives the serve mux through httptest: good queries
 // come back as JSON with model provenance, bad ones as 400s, and every served
 // query lands in the metrics registry.
 func TestEstimateHandler(t *testing.T) {
 	est, tbl, metrics := buildServeFixture(t)
-	h := newEstimateHandler(est, tbl, naru.ServeOptions{Fallback: naru.FallbackObserved(tbl, metrics)})
-	srv := httptest.NewServer(h)
+	tn := server.NewTenant("default", est, tbl, server.TenantOptions{
+		Serve: naru.ServeOptions{Fallback: naru.FallbackObserved(tbl, metrics)},
+	})
+	srv := httptest.NewServer(newTenantHandler(t, tn))
 	defer srv.Close()
 
 	resp, err := http.Get(srv.URL + "/estimate?where=" + url.QueryEscape("state=NY AND qty<=30"))
@@ -56,7 +74,7 @@ func TestEstimateHandler(t *testing.T) {
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("status %d", resp.StatusCode)
 	}
-	var got estimateResponse
+	var got server.EstimateResponse
 	if err := json.NewDecoder(resp.Body).Decode(&got); err != nil {
 		t.Fatal(err)
 	}
@@ -102,7 +120,7 @@ func TestEstimateHandler(t *testing.T) {
 // the direct per-request path on an identically trained model.
 func TestEstimateHandlerCoalesced(t *testing.T) {
 	where := "/estimate?where=" + url.QueryEscape("state=NY AND qty<=30")
-	fetch := func(h http.Handler) estimateResponse {
+	fetch := func(h http.Handler) server.EstimateResponse {
 		t.Helper()
 		srv := httptest.NewServer(h)
 		defer srv.Close()
@@ -114,7 +132,7 @@ func TestEstimateHandlerCoalesced(t *testing.T) {
 		if resp.StatusCode != http.StatusOK {
 			t.Fatalf("status %d", resp.StatusCode)
 		}
-		var got estimateResponse
+		var got server.EstimateResponse
 		if err := json.NewDecoder(resp.Body).Decode(&got); err != nil {
 			t.Fatal(err)
 		}
@@ -122,13 +140,13 @@ func TestEstimateHandlerCoalesced(t *testing.T) {
 	}
 
 	est, tbl, _ := buildServeFixture(t)
-	want := fetch(newEstimateHandler(est, tbl, naru.ServeOptions{}))
+	want := fetch(newTenantHandler(t, server.NewTenant("default", est, tbl, server.TenantOptions{})))
 
 	est2, tbl2, _ := buildServeFixture(t)
-	h := &serveHandler{est: est2, t: tbl2, opts: naru.ServeOptions{}}
-	h.coal = est2.NewCoalescer(naru.CoalesceOptions{Window: time.Millisecond})
-	defer h.coal.Close()
-	got := fetch(h.mux())
+	coalesced := server.NewTenant("default", est2, tbl2, server.TenantOptions{
+		BatchWindow: time.Millisecond,
+	})
+	got := fetch(newTenantHandler(t, coalesced))
 
 	if got.Source != "model" || got.Err != "" {
 		t.Fatalf("coalesced response %+v", got)
@@ -138,6 +156,19 @@ func TestEstimateHandlerCoalesced(t *testing.T) {
 	}
 	if got.StopReason != "" {
 		t.Fatalf("full-budget answer carries stop reason %q", got.StopReason)
+	}
+}
+
+// TestServeTenantsFlagValidation: -tenants and -csv are mutually exclusive,
+// and serve without either is a usage error.
+func TestServeTenantsFlagValidation(t *testing.T) {
+	if err := cmdServe([]string{}, os.Stdout, os.Stderr); err == nil ||
+		!strings.Contains(err.Error(), "-csv or -tenants") {
+		t.Fatalf("no inputs: err %v, want -csv or -tenants required", err)
+	}
+	if err := cmdServe([]string{"-tenants", "x.json", "-csv", "y.csv"}, os.Stdout, os.Stderr); err == nil ||
+		!strings.Contains(err.Error(), "mutually exclusive") {
+		t.Fatalf("both inputs: err %v, want mutually-exclusive error", err)
 	}
 }
 

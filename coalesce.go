@@ -54,8 +54,9 @@ func (o CoalesceOptions) withDefaults() CoalesceOptions {
 }
 
 type coalesceReq struct {
-	q  Query
-	ch chan Result // buffered(1): dispatch never blocks on an abandoned caller
+	q     Query
+	ch    chan Result // buffered(1): dispatch never blocks on an abandoned caller
+	start time.Time   // arrival time, for the per-query latency observation
 }
 
 // Coalescer batches concurrent single-query requests into fused cross-query
@@ -79,6 +80,13 @@ type Coalescer struct {
 	timer   *time.Timer
 	pending int // enqueued or waiting for an in-flight slot
 	closed  bool
+	// timerGen numbers micro-batch windows. A window's AfterFunc callback
+	// captures the generation that scheduled it; a callback that fired while
+	// another flush held the lock (Stop returns false once the function has
+	// started) would otherwise run against the NEXT window, dispatching it
+	// before its own window elapsed and clobbering its timer. Stale callbacks
+	// compare generations and become no-ops instead.
+	timerGen uint64
 }
 
 // NewCoalescer builds a request coalescer over the estimator. Close it when
@@ -107,14 +115,16 @@ func (c *Coalescer) Estimate(ctx context.Context, q Query) Result {
 		c.mu.Unlock()
 		return c.shed(q, start)
 	}
-	req := coalesceReq{q: q, ch: make(chan Result, 1)}
+	req := coalesceReq{q: q, ch: make(chan Result, 1), start: start}
 	c.queue = append(c.queue, req)
 	c.pending++
 	switch {
 	case len(c.queue) >= c.opts.MaxBatch:
 		c.flushLocked()
 	case c.timer == nil:
-		c.timer = time.AfterFunc(c.opts.Window, c.flush)
+		c.timerGen++
+		gen := c.timerGen
+		c.timer = time.AfterFunc(c.opts.Window, func() { c.flush(gen) })
 	}
 	c.mu.Unlock()
 
@@ -145,10 +155,16 @@ func (c *Coalescer) shed(q Query, start time.Time) Result {
 	return res
 }
 
-// flush dispatches whatever is queued (the window expiring).
-func (c *Coalescer) flush() {
+// flush dispatches the window that scheduled it (gen), expiring. A stale
+// callback — one whose window was already flushed by MaxBatch or Close while
+// the callback sat blocked on the lock — finds its generation superseded (or
+// its timer already consumed) and does nothing: the current window keeps its
+// own timer and full window span.
+func (c *Coalescer) flush(gen uint64) {
 	c.mu.Lock()
-	c.flushLocked()
+	if gen == c.timerGen && c.timer != nil {
+		c.flushLocked()
+	}
 	c.mu.Unlock()
 }
 
@@ -190,7 +206,12 @@ func (c *Coalescer) dispatch(batch []coalesceReq) {
 	for i, req := range batch {
 		reg, err := compileFor(v, req.q)
 		if err != nil {
-			req.ch <- Result{Source: SourceFailed, Err: err, ModelVersion: v.id}
+			// Answered directly, but still observed: compile failures count in
+			// the failed-path metrics and trace ring exactly like queries that
+			// fail inside the sampler (EstimateBatchCtx's accounting).
+			res := Result{Source: SourceFailed, Err: err, ModelVersion: v.id}
+			v.sampler.ObserveFailure(&res, time.Since(req.start))
+			req.ch <- res
 			continue
 		}
 		regs = append(regs, reg)

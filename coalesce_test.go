@@ -197,3 +197,127 @@ func TestCoalescerHotSwapSingleVersionPerBatch(t *testing.T) {
 		t.Fatalf("post-swap query served by version %d", post.ModelVersion)
 	}
 }
+
+// TestCoalescerStaleWindowTimerIsNoOp is the regression test for the
+// stale-window-timer bug: a window's AfterFunc callback that loses the race
+// with a MaxBatch flush (Stop returns false once the callback has started)
+// used to run against the NEXT window, dispatching it before its own window
+// elapsed and clobbering its timer. With generation numbering the stale
+// callback must be a no-op: the next window keeps its queue, its timer, and
+// its full window span.
+func TestCoalescerStaleWindowTimerIsNoOp(t *testing.T) {
+	tbl := facadeTable(t, 1200)
+	qs := coalesceQueries()
+
+	ref := NewFromModel(fusedModel(tbl), tbl, fusedConfig())
+	want, err := ref.SelectivityBatchCtx(context.Background(), qs[:3], ServeOptions{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	est := NewFromModel(fusedModel(tbl), tbl, fusedConfig())
+	const window = 40 * time.Millisecond
+	c := est.NewCoalescer(CoalesceOptions{Window: window, MaxBatch: 2})
+	defer c.Close()
+
+	waitQueued := func(n int) {
+		t.Helper()
+		deadline := time.Now().Add(5 * time.Second)
+		for {
+			c.mu.Lock()
+			queued := len(c.queue)
+			c.mu.Unlock()
+			if queued == n {
+				return
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("queue never reached %d entries", n)
+			}
+			time.Sleep(100 * time.Microsecond)
+		}
+	}
+	submit := func(i int) chan Result {
+		out := make(chan Result, 1)
+		go func() { out <- c.Estimate(context.Background(), qs[i]) }()
+		return out
+	}
+
+	// Window 1: first query arms the gen-1 timer; the second hits MaxBatch and
+	// flushes the window early, consuming the timer but NOT the callback —
+	// exactly the state where the old code left a live gen-1 callback behind.
+	r0 := submit(0)
+	waitQueued(1)
+	r1 := submit(1)
+	for i, ch := range []chan Result{r0, r1} {
+		if res := <-ch; res.Sel != want[i].Sel || res.Source != SourceModel {
+			t.Fatalf("window-1 query %d: %+v, want sel %v from model", i, res, want[i].Sel)
+		}
+	}
+
+	// Window 2: a fresh query arms the gen-2 timer.
+	start := time.Now()
+	r2 := submit(2)
+	waitQueued(1)
+
+	// Replay the stale gen-1 callback, as if it had been blocked on the lock
+	// through the MaxBatch flush and only now got to run.
+	c.flush(1)
+
+	c.mu.Lock()
+	queued, timerLive := len(c.queue), c.timer != nil
+	c.mu.Unlock()
+	if queued != 1 || !timerLive {
+		t.Fatalf("stale callback dispatched window 2: %d queued, timer live %v (want 1, true)", queued, timerLive)
+	}
+
+	// The window still dispatches — by its own timer, after its full span —
+	// and the answer is bit-identical to the sequential serve.
+	res := <-r2
+	if elapsed := time.Since(start); elapsed < window {
+		t.Fatalf("window 2 dispatched after %v, before its %v window elapsed", elapsed, window)
+	}
+	if res.Sel != want[2].Sel || res.StdErr != want[2].StdErr || res.Source != SourceModel {
+		t.Fatalf("window-2 answer %+v, want %+v", res, want[2])
+	}
+}
+
+// TestCoalescerCompileErrorObserved: a query that fails compilation inside a
+// fused batch is answered directly, but must still land in the failed-path
+// metrics and the trace ring — before ObserveFailure, coalesced compile
+// errors were invisible to /metrics and /traces.
+func TestCoalescerCompileErrorObserved(t *testing.T) {
+	tbl := facadeTable(t, 1200)
+	cfg := fusedConfig()
+	reg := NewMetrics()
+	cfg.Metrics = reg
+	est := NewFromModel(fusedModel(tbl), tbl, cfg)
+	c := est.NewCoalescer(CoalesceOptions{Window: time.Millisecond})
+	defer c.Close()
+
+	bad := Query{Preds: []Predicate{{Col: 99, Op: OpEq, Code: 0}}}
+	res := c.Estimate(context.Background(), bad)
+	if res.Source != SourceFailed || res.Err == nil {
+		t.Fatalf("bad column compiled: %+v", res)
+	}
+
+	snap := reg.Snapshot()
+	if snap.Counters["naru_queries_total"] != 1 || snap.Counters["naru_query_path_failed_total"] != 1 {
+		t.Fatalf("compile error not counted: queries %d, failed %d (want 1, 1)",
+			snap.Counters["naru_queries_total"], snap.Counters["naru_query_path_failed_total"])
+	}
+	if len(snap.Traces) != 1 || snap.Traces[0].Path != "failed" || snap.Traces[0].Err == "" {
+		t.Fatalf("compile error not traced: %+v", snap.Traces)
+	}
+
+	// The batch that carried the failure still serves its good peers, and
+	// they are counted on their own path.
+	good := c.Estimate(context.Background(), Query{Preds: []Predicate{{Col: 0, Op: OpGe, Code: 1}}})
+	if good.Source != SourceModel || good.Err != nil {
+		t.Fatalf("good query after compile failure: %+v", good)
+	}
+	snap = reg.Snapshot()
+	if snap.Counters["naru_queries_total"] != 2 || snap.Counters["naru_query_path_failed_total"] != 1 {
+		t.Fatalf("good query miscounted: queries %d, failed %d (want 2, 1)",
+			snap.Counters["naru_queries_total"], snap.Counters["naru_query_path_failed_total"])
+	}
+}

@@ -190,6 +190,34 @@ func (e *Estimator) ObserveShed(res *Result, elapsed time.Duration) {
 	o.reg.RecordTrace(tr)
 }
 
+// ObserveFailure records a query that failed before its region ever reached
+// the sampling path — the coalescer's per-query compile errors — so failed
+// queries are counted and traced identically whether they die compiling or
+// estimating (EstimateBatchCtx counts its failures via observeServed; without
+// this, coalesced compile errors were invisible to /metrics and /traces).
+// res carries the failure the caller is about to return. A no-op without an
+// attached registry.
+func (e *Estimator) ObserveFailure(res *Result, elapsed time.Duration) {
+	o := &e.obs
+	if o.reg == nil {
+		return
+	}
+	o.queries.Inc()
+	o.pathFailed.Inc()
+	o.latency.ObserveDuration(elapsed)
+	tr := obs.QueryTrace{
+		Path:         obs.PathFailed,
+		Sel:          res.Sel,
+		LatencyNS:    elapsed.Nanoseconds(),
+		StopReason:   res.Stop.String(),
+		ModelVersion: res.ModelVersion,
+	}
+	if res.Err != nil {
+		tr.Err = res.Err.Error()
+	}
+	o.reg.RecordTrace(tr)
+}
+
 // ObserveBreakerReject records a query the open circuit breaker turned away
 // from the model path (res carries the fallback answer or failure), the
 // breaker's analogue of ObserveShed. A no-op without an attached registry.

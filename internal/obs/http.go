@@ -12,29 +12,75 @@ import (
 
 // WritePrometheus writes the registry in the Prometheus text exposition
 // format (version 0.0.4), metrics sorted by name for stable scrapes.
+// Labelled variants of one family (tenant views) are grouped under a single
+// TYPE line, and histogram labels are merged with the per-bucket le label.
 func (r *Registry) WritePrometheus(w io.Writer) {
 	s := r.Snapshot()
-	for _, name := range sortedKeys(s.Counters) {
-		fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", name, name, s.Counters[name])
+	typed := map[string]bool{}
+	writeType := func(base, kind string) {
+		if !typed[base] {
+			typed[base] = true
+			fmt.Fprintf(w, "# TYPE %s %s\n", base, kind)
+		}
 	}
-	for _, name := range sortedKeys(s.Gauges) {
-		fmt.Fprintf(w, "# TYPE %s gauge\n%s %g\n", name, name, s.Gauges[name])
+	for _, name := range sortedByFamily(s.Counters) {
+		base, labels := SplitName(name)
+		writeType(base, "counter")
+		fmt.Fprintf(w, "%s%s %d\n", base, braced(labels), s.Counters[name])
 	}
-	for _, name := range sortedKeys(s.Histograms) {
+	for _, name := range sortedByFamily(s.Gauges) {
+		base, labels := SplitName(name)
+		writeType(base, "gauge")
+		fmt.Fprintf(w, "%s%s %g\n", base, braced(labels), s.Gauges[name])
+	}
+	for _, name := range sortedByFamily(s.Histograms) {
 		h := s.Histograms[name]
-		fmt.Fprintf(w, "# TYPE %s histogram\n", name)
+		base, labels := SplitName(name)
+		writeType(base, "histogram")
 		var cum uint64
 		for i, bound := range h.Bounds {
 			cum += h.Counts[i]
-			fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, formatBound(bound), cum)
+			fmt.Fprintf(w, "%s_bucket%s %d\n", base, withLE(labels, formatBound(bound)), cum)
 		}
-		fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, h.Count)
-		fmt.Fprintf(w, "%s_sum %g\n", name, h.Sum)
-		fmt.Fprintf(w, "%s_count %d\n", name, h.Count)
+		fmt.Fprintf(w, "%s_bucket%s %d\n", base, withLE(labels, "+Inf"), h.Count)
+		fmt.Fprintf(w, "%s_sum%s %g\n", base, braced(labels), h.Sum)
+		fmt.Fprintf(w, "%s_count%s %d\n", base, braced(labels), h.Count)
 	}
 }
 
 func formatBound(b float64) string { return fmt.Sprintf("%g", b) }
+
+// braced wraps a non-empty label set in exposition braces.
+func braced(labels string) string {
+	if labels == "" {
+		return ""
+	}
+	return "{" + labels + "}"
+}
+
+// withLE appends the le bucket label to a (possibly empty) label set.
+func withLE(labels, bound string) string {
+	le := `le="` + bound + `"`
+	if labels == "" {
+		return "{" + le + "}"
+	}
+	return "{" + labels + "," + le + "}"
+}
+
+// sortedByFamily orders metric names by (family, label set), so every
+// labelled variant of a family lands contiguously under its TYPE line.
+func sortedByFamily[V any](m map[string]V) []string {
+	keys := sortedKeys(m)
+	sort.SliceStable(keys, func(i, j int) bool {
+		bi, li := SplitName(keys[i])
+		bj, lj := SplitName(keys[j])
+		if bi != bj {
+			return bi < bj
+		}
+		return li < lj
+	})
+	return keys
+}
 
 func sortedKeys[V any](m map[string]V) []string {
 	keys := make([]string, 0, len(m))

@@ -21,6 +21,7 @@ import (
 	"math"
 	"math/rand/v2"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -207,7 +208,25 @@ func expBuckets(start, factor float64, n int) []float64 {
 
 // Registry names and owns metrics. The zero value is not usable; call New.
 // A nil *Registry is valid everywhere and disables collection.
+//
+// WithLabel derives labelled views of a registry: handles resolved through a
+// view register under `name{key="value"}` in the SAME underlying storage, so
+// one exposition endpoint serves every view (the multi-tenant server gives
+// each tenant a tenant="..." view of one shared registry).
 type Registry struct {
+	// parent is the storage owner for labelled views (nil on a root registry
+	// created by New). Views hold no maps of their own: every handle lookup
+	// and trace record delegates to the root, so a view is just a name
+	// decorator and can be created per tenant without duplicating state.
+	parent *Registry
+	// labels is the view's label set without braces, e.g. `tenant="orders"`
+	// (empty on the root). It is appended to every metric name this view
+	// resolves; WritePrometheus re-parses it into exposition-format labels.
+	labels string
+	// tenant is the value of the view's tenant label (if any), stamped into
+	// trace records so /traces can be filtered per tenant.
+	tenant string
+
 	mu       sync.Mutex
 	counters map[string]*Counter
 	gauges   map[string]*Gauge
@@ -226,18 +245,89 @@ func New() *Registry {
 	return r
 }
 
+// root returns the storage-owning registry (itself for roots).
+func (r *Registry) root() *Registry {
+	if r.parent != nil {
+		return r.parent
+	}
+	return r
+}
+
+// WithLabel returns a view of the registry whose metric names carry an
+// additional `key="value"` label. Storage stays in the root registry, so the
+// view's families appear in the root's exposition alongside everyone else's.
+// Labels compose: a view of a view carries both pairs. The tenant key is
+// special-cased into trace records (QueryTrace.Tenant). Nil-safe: a nil
+// registry returns nil, so disabling observability disables every view too.
+func (r *Registry) WithLabel(key, value string) *Registry {
+	if r == nil {
+		return nil
+	}
+	pair := Sanitize(key) + `="` + escapeLabelValue(value) + `"`
+	labels := pair
+	if r.labels != "" {
+		labels = r.labels + "," + pair
+	}
+	v := &Registry{parent: r.root(), labels: labels, tenant: r.tenant}
+	if key == "tenant" {
+		v.tenant = value
+	}
+	return v
+}
+
+// name decorates a base metric name with the view's label set.
+func (r *Registry) name(base string) string {
+	if r.labels == "" {
+		return base
+	}
+	return base + "{" + r.labels + "}"
+}
+
+// escapeLabelValue escapes a label value per the Prometheus text format.
+func escapeLabelValue(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	var b strings.Builder
+	for _, c := range v {
+		switch c {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(c)
+		}
+	}
+	return b.String()
+}
+
+// SplitName splits a stored metric name into its base family name and its
+// brace-free label set ("" when unlabelled). The exposition writer uses it to
+// group label variants under one TYPE line.
+func SplitName(name string) (base, labels string) {
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		return name[:i], strings.TrimSuffix(name[i+1:], "}")
+	}
+	return name, ""
+}
+
 // Counter returns the named counter, registering it on first use. Returns
 // nil (a valid no-op handle) on a nil registry.
 func (r *Registry) Counter(name string) *Counter {
 	if r == nil {
 		return nil
 	}
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	c := r.counters[name]
+	rt := r.root()
+	name = r.name(name)
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	c := rt.counters[name]
 	if c == nil {
 		c = &Counter{}
-		r.counters[name] = c
+		rt.counters[name] = c
 	}
 	return c
 }
@@ -248,12 +338,14 @@ func (r *Registry) Gauge(name string) *Gauge {
 	if r == nil {
 		return nil
 	}
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	g := r.gauges[name]
+	rt := r.root()
+	name = r.name(name)
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	g := rt.gauges[name]
 	if g == nil {
 		g = &Gauge{}
-		r.gauges[name] = g
+		rt.gauges[name] = g
 	}
 	return g
 }
@@ -265,9 +357,11 @@ func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
 	if r == nil {
 		return nil
 	}
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	h := r.hists[name]
+	rt := r.root()
+	name = r.name(name)
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	h := rt.hists[name]
 	if h == nil {
 		if len(bounds) == 0 {
 			bounds = LatencyBuckets
@@ -279,7 +373,7 @@ func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
 			bounds:  append([]float64(nil), bounds...),
 			buckets: make([]atomic.Uint64, len(bounds)+1),
 		}
-		r.hists[name] = h
+		rt.hists[name] = h
 	}
 	return h
 }
@@ -297,7 +391,9 @@ type Snapshot struct {
 	TraceTotal uint64 `json:"trace_total"`
 }
 
-// Snapshot copies the registry. Safe (and empty) on a nil registry.
+// Snapshot copies the registry. A labelled view snapshots its root — the
+// whole registry, every tenant's families included. Safe (and empty) on a
+// nil registry.
 func (r *Registry) Snapshot() Snapshot {
 	s := Snapshot{
 		Counters:   map[string]uint64{},
@@ -307,6 +403,7 @@ func (r *Registry) Snapshot() Snapshot {
 	if r == nil {
 		return s
 	}
+	r = r.root()
 	r.mu.Lock()
 	counters := make(map[string]*Counter, len(r.counters))
 	for k, v := range r.counters {

@@ -49,6 +49,9 @@ type QueryTrace struct {
 	// ModelVersion is the lifecycle version id of the model that served the
 	// query (0 when versioned serving is not in use).
 	ModelVersion uint64 `json:"model_version,omitempty"`
+	// Tenant is the serving tenant that answered the query (empty for
+	// single-tenant serving). Stamped by tenant-labelled registry views.
+	Tenant string `json:"tenant,omitempty"`
 }
 
 // defaultTraceCap bounds the trace ring: big enough to cover a scrape
@@ -67,12 +70,16 @@ type traceRing struct {
 func (t *traceRing) init(capacity int) { t.buf = make([]QueryTrace, 0, capacity) }
 
 // RecordTrace appends one record to the ring, assigning its sequence
-// number. Safe (a no-op) on a nil registry.
+// number. Tenant-labelled views stamp their tenant into the record and share
+// the root's ring. Safe (a no-op) on a nil registry.
 func (r *Registry) RecordTrace(tr QueryTrace) {
 	if r == nil {
 		return
 	}
-	t := &r.traces
+	if tr.Tenant == "" {
+		tr.Tenant = r.tenant
+	}
+	t := &r.root().traces
 	t.mu.Lock()
 	tr.Seq = t.next
 	if len(t.buf) < cap(t.buf) {
@@ -99,12 +106,12 @@ func (t *traceRing) snapshot() ([]QueryTrace, uint64) {
 	return out, t.next
 }
 
-// Traces returns the retained trace records, oldest first. Safe (and empty)
-// on a nil registry.
+// Traces returns the retained trace records, oldest first (a view returns
+// its root's ring — all tenants). Safe (and empty) on a nil registry.
 func (r *Registry) Traces() []QueryTrace {
 	if r == nil {
 		return nil
 	}
-	out, _ := r.traces.snapshot()
+	out, _ := r.root().traces.snapshot()
 	return out
 }

@@ -1,0 +1,120 @@
+package server
+
+import (
+	"errors"
+	"testing"
+
+	naru "repro"
+)
+
+func TestResultCacheLRUEviction(t *testing.T) {
+	c := newResultCache(2)
+	e1 := cacheEpoch{version: 1, rows: 100}
+	c.put("a", e1, naru.Result{Sel: 0.1})
+	c.put("b", e1, naru.Result{Sel: 0.2})
+	if _, ok := c.get("a", e1); !ok {
+		t.Fatal("a missing before capacity reached")
+	}
+	// a was just touched, so inserting c evicts b (the LRU entry).
+	c.put("c", e1, naru.Result{Sel: 0.3})
+	if _, ok := c.get("b", e1); ok {
+		t.Fatal("LRU entry b survived eviction")
+	}
+	if res, ok := c.get("a", e1); !ok || res.Sel != 0.1 {
+		t.Fatalf("a after eviction: %+v ok=%v", res, ok)
+	}
+	if res, ok := c.get("c", e1); !ok || res.Sel != 0.3 {
+		t.Fatalf("c after eviction: %+v ok=%v", res, ok)
+	}
+	if c.len() != 2 {
+		t.Fatalf("len %d, want 2", c.len())
+	}
+}
+
+func TestResultCacheUpdateInPlace(t *testing.T) {
+	c := newResultCache(4)
+	e1 := cacheEpoch{version: 1, rows: 100}
+	e2 := cacheEpoch{version: 2, rows: 100}
+	c.put("a", e1, naru.Result{Sel: 0.1})
+	c.put("a", e2, naru.Result{Sel: 0.5})
+	if c.len() != 1 {
+		t.Fatalf("duplicate key grew the cache: len %d", c.len())
+	}
+	if _, ok := c.get("a", e1); ok {
+		t.Fatal("stale-epoch read served after in-place update")
+	}
+	// The epoch-mismatch get above evicted the entry; re-store and read back.
+	c.put("a", e2, naru.Result{Sel: 0.5})
+	if res, ok := c.get("a", e2); !ok || res.Sel != 0.5 {
+		t.Fatalf("updated entry: %+v ok=%v", res, ok)
+	}
+}
+
+// TestResultCacheEpochInvalidation: every component of the epoch — model
+// version, stale flag, snapshot row count — independently invalidates an
+// entry, and a mismatched entry is evicted on sight rather than aged out.
+func TestResultCacheEpochInvalidation(t *testing.T) {
+	base := cacheEpoch{version: 1, stale: false, rows: 100}
+	bumps := map[string]cacheEpoch{
+		"hot-swap":   {version: 2, stale: false, rows: 100},
+		"stale-flag": {version: 1, stale: true, rows: 100},
+		"append":     {version: 1, stale: false, rows: 104},
+	}
+	for name, bumped := range bumps {
+		c := newResultCache(8)
+		c.put("q", base, naru.Result{Sel: 0.25})
+		if _, ok := c.get("q", bumped); ok {
+			t.Fatalf("%s: pre-bump entry served across the epoch", name)
+		}
+		if c.len() != 0 {
+			t.Fatalf("%s: mismatched entry not evicted (len %d)", name, c.len())
+		}
+		// The old epoch can never come back: even re-reading under the
+		// original epoch misses now.
+		if _, ok := c.get("q", base); ok {
+			t.Fatalf("%s: evicted entry resurrected", name)
+		}
+	}
+}
+
+func TestResultCacheDisabled(t *testing.T) {
+	for _, size := range []int{0, -1} {
+		c := newResultCache(size)
+		if c != nil {
+			t.Fatalf("capacity %d: expected nil (always-miss) cache", size)
+		}
+		// The nil cache must be fully operable.
+		c.put("a", cacheEpoch{}, naru.Result{Sel: 0.1})
+		if _, ok := c.get("a", cacheEpoch{}); ok {
+			t.Fatal("nil cache served a hit")
+		}
+		if c.len() != 0 {
+			t.Fatal("nil cache has entries")
+		}
+	}
+}
+
+// TestCacheable: only clean full-quality model answers may be replayed —
+// failures, fallbacks, sheds, breaker rejections, and deadline-degraded
+// answers depend on transient conditions the epoch does not capture.
+func TestCacheable(t *testing.T) {
+	cases := []struct {
+		name string
+		res  naru.Result
+		want bool
+	}{
+		{"model full budget", naru.Result{Source: naru.SourceModel, Stop: naru.StopNone}, true},
+		{"model early stop", naru.Result{Source: naru.SourceModel, Stop: naru.StopTargetStdErr}, true},
+		{"model with error", naru.Result{Source: naru.SourceModel, Err: errors.New("x")}, false},
+		{"deadline degraded", naru.Result{Source: naru.SourceDegraded, Stop: naru.StopDeadline}, false},
+		{"fallback", naru.Result{Source: naru.SourceFallback}, false},
+		{"failed", naru.Result{Source: naru.SourceFailed, Err: errors.New("x")}, false},
+		{"shed", naru.Result{Source: naru.SourceFallback, Stop: naru.StopShed, Err: naru.ErrShed}, false},
+		{"cancelled", naru.Result{Source: naru.SourceModel, Stop: naru.StopCancel}, false},
+	}
+	for _, tc := range cases {
+		if got := cacheable(tc.res); got != tc.want {
+			t.Errorf("%s: cacheable = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+}

@@ -1,0 +1,338 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	naru "repro"
+	"repro/internal/made"
+	"repro/internal/table"
+)
+
+// makeTable builds a small correlated 3-column table; different seeds give
+// different data distributions (different tenants).
+func makeTable(t *testing.T, seed int64, rows int) *table.Table {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	b := table.NewBuilder(fmt.Sprintf("t%d", seed), []string{"a", "b", "c"})
+	for i := 0; i < rows; i++ {
+		a := rng.Intn(6)
+		bb := (a*2 + rng.Intn(2)) % 9
+		c := (a + bb) % 4
+		if err := b.AppendRow([]string{strconv.Itoa(a), strconv.Itoa(bb), strconv.Itoa(c)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tbl, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tbl
+}
+
+// makeEstimator wraps an untrained MADE over the table in an estimator —
+// determinism and routing contracts don't need trained weights. The same
+// (table, modelSeed) always yields bit-identical serving behavior.
+func makeEstimator(tbl *table.Table, modelSeed int64, reg *naru.Metrics) *naru.Estimator {
+	cfg := naru.DefaultConfig()
+	cfg.Samples = 300
+	cfg.Seed = 3
+	cfg.Metrics = reg
+	m := made.New(tbl.DomainSizes(), made.Config{
+		HiddenSizes: []int{32, 32}, EmbedThreshold: 64, EmbedDim: 8, Seed: modelSeed,
+	})
+	return naru.NewFromModel(m, tbl, cfg)
+}
+
+// startServer wraps tenants in a Server, starts it, and returns the base URL.
+func startServer(t *testing.T, opts Options, tenants ...*Tenant) (*Server, string) {
+	t.Helper()
+	s := New(opts)
+	for _, tn := range tenants {
+		if err := s.Add(tn); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Start(context.Background())
+	t.Cleanup(s.Close)
+	srv := httptest.NewServer(s.Handler())
+	t.Cleanup(srv.Close)
+	return s, srv.URL
+}
+
+// fetchJSON fetches rawURL and decodes the body into out. out is decoded
+// into fresh memory by the callers (omitempty fields would otherwise keep
+// stale values when a struct is reused across fetches).
+func fetchJSON(t *testing.T, rawURL string, out any) int {
+	t.Helper()
+	resp, err := http.Get(rawURL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("decoding %s: %v", rawURL, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+// getEstimate fetches one estimate into a FRESH response struct — Cached and
+// the other omitempty fields would silently keep stale values if a struct
+// were reused across decodes.
+func getEstimate(t *testing.T, rawURL string) (EstimateResponse, int) {
+	t.Helper()
+	var er EstimateResponse
+	code := fetchJSON(t, rawURL, &er)
+	return er, code
+}
+
+func estimateURL(base, tenant, where string) string {
+	if tenant == "" {
+		return base + "/estimate?where=" + url.QueryEscape(where)
+	}
+	return base + "/v1/" + tenant + "/estimate?where=" + url.QueryEscape(where)
+}
+
+// TestServerMultiTenantE2E is the acceptance drive: two tenants with
+// different data and models served concurrently from one process, answers
+// bit-identical to dedicated single-tenant servers, legacy routes aliasing
+// the default tenant's cache, independent hot-swaps and append-driven epoch
+// bumps, tenant-labelled metrics, and aggregate readiness.
+func TestServerMultiTenantE2E(t *testing.T) {
+	const qA, qB = "a>=1 AND c<3", "b=4"
+	reg := naru.NewMetrics()
+
+	tblA := makeTable(t, 1, 1200)
+	estA := makeEstimator(tblA, 5, reg.WithLabel("tenant", "alpha"))
+	if err := estA.EnableLifecycle(tblA, naru.LifecycleConfig{
+		RefreshAfter: 100000, RegistryDir: t.TempDir(),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	alpha := NewTenant("alpha", estA, tblA, TenantOptions{
+		Metrics: reg.WithLabel("tenant", "alpha"),
+	})
+
+	tblB := makeTable(t, 2, 900)
+	estB := makeEstimator(tblB, 9, reg.WithLabel("tenant", "beta"))
+	beta := NewTenant("beta", estB, tblB, TenantOptions{
+		Metrics: reg.WithLabel("tenant", "beta"),
+		Breaker: &naru.BreakerOptions{Threshold: 3, ProbeInterval: time.Hour},
+	})
+
+	_, multi := startServer(t, Options{Metrics: reg}, alpha, beta)
+
+	// Dedicated single-tenant servers over identically-seeded estimators: the
+	// bit-identity references.
+	_, soloA := startServer(t, Options{}, NewTenant("alpha", makeEstimator(makeTable(t, 1, 1200), 5, nil), makeTable(t, 1, 1200), TenantOptions{}))
+	_, soloB := startServer(t, Options{}, NewTenant("beta", makeEstimator(makeTable(t, 2, 900), 9, nil), makeTable(t, 2, 900), TenantOptions{}))
+
+	gotA, code := getEstimate(t, estimateURL(multi, "alpha", qA))
+	if code != http.StatusOK {
+		t.Fatalf("alpha estimate: %d", code)
+	}
+	gotB, code := getEstimate(t, estimateURL(multi, "beta", qB))
+	if code != http.StatusOK {
+		t.Fatalf("beta estimate: %d", code)
+	}
+	if gotA.Source != "model" || gotB.Source != "model" || gotA.Cached || gotB.Cached {
+		t.Fatalf("first answers: alpha %+v beta %+v", gotA, gotB)
+	}
+	want, _ := getEstimate(t, estimateURL(soloA, "", qA))
+	if want.Sel != gotA.Sel || want.StdErr != gotA.StdErr || want.Samples != gotA.Samples || want.Card != gotA.Card {
+		t.Fatalf("alpha diverges from dedicated server: multi %+v solo %+v", gotA, want)
+	}
+	want, _ = getEstimate(t, estimateURL(soloB, "", qB))
+	if want.Sel != gotB.Sel || want.StdErr != gotB.StdErr || want.Samples != gotB.Samples || want.Card != gotB.Card {
+		t.Fatalf("beta diverges from dedicated server: multi %+v solo %+v", gotB, want)
+	}
+	if gotA.Sel == gotB.Sel && gotA.Card == gotB.Card {
+		t.Fatalf("tenants answered identically — are they isolated? %+v", gotA)
+	}
+
+	// Same query again: replayed from the tenant cache, bit-identical fields.
+	hit, _ := getEstimate(t, estimateURL(multi, "alpha", qA))
+	if !hit.Cached || hit.Sel != gotA.Sel || hit.StdErr != gotA.StdErr || hit.Samples != gotA.Samples {
+		t.Fatalf("alpha cache replay: %+v, want cached copy of %+v", hit, gotA)
+	}
+
+	// Legacy routes alias the default tenant (alpha, first added) — same
+	// canonical key, same cache, so this is a hit too.
+	hit, _ = getEstimate(t, estimateURL(multi, "", qA))
+	if !hit.Cached || hit.Sel != gotA.Sel {
+		t.Fatalf("legacy route answer %+v, want alpha's cached %+v", hit, gotA)
+	}
+
+	// Hot-swap beta only: its epoch bumps (no stale cache served), alpha's
+	// cache is untouched.
+	estB.InstallVersion(made.New(tblB.DomainSizes(), made.Config{
+		HiddenSizes: []int{32, 32}, EmbedThreshold: 64, EmbedDim: 8, Seed: 77,
+	}), tblB, int64(tblB.NumRows()), 2)
+	swapped, _ := getEstimate(t, estimateURL(multi, "beta", qB))
+	if swapped.Cached || swapped.ModelVersion != 2 {
+		t.Fatalf("post-swap beta answer %+v, want uncached at version 2", swapped)
+	}
+	hit, _ = getEstimate(t, estimateURL(multi, "beta", qB))
+	if !hit.Cached || hit.Sel != swapped.Sel || hit.ModelVersion != 2 {
+		t.Fatalf("post-swap beta replay %+v, want cached copy of %+v", hit, swapped)
+	}
+	hit, _ = getEstimate(t, estimateURL(multi, "alpha", qA))
+	if !hit.Cached || hit.ModelVersion != 1 || hit.Sel != gotA.Sel {
+		t.Fatalf("beta's swap disturbed alpha: %+v", hit)
+	}
+
+	// Append to alpha: the row-count epoch component bumps, so the next
+	// estimate recomputes instead of replaying the pre-append answer.
+	resp, err := http.Post(multi+"/v1/alpha/append", "text/csv", strings.NewReader("1,2,3\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var app AppendResponse
+	if err := json.NewDecoder(resp.Body).Decode(&app); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || app.Appended != 1 || app.TotalRows != tblA.NumRows()+1 {
+		t.Fatalf("alpha append: %+v (status %d)", app, resp.StatusCode)
+	}
+	hit, _ = getEstimate(t, estimateURL(multi, "alpha", qA))
+	if hit.Cached {
+		t.Fatalf("append did not invalidate alpha's cache: %+v", hit)
+	}
+	// Beta has no lifecycle: its append answers 501, and its cache stays warm.
+	resp, err = http.Post(multi+"/v1/beta/append", "text/csv", strings.NewReader("1,2,3\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotImplemented {
+		t.Fatalf("beta append without lifecycle: %d, want 501", resp.StatusCode)
+	}
+	hit, _ = getEstimate(t, estimateURL(multi, "beta", qB))
+	if !hit.Cached {
+		t.Fatalf("alpha's append disturbed beta's cache: %+v", hit)
+	}
+
+	// Tenant-labelled metrics in the one shared registry.
+	snap := reg.Snapshot()
+	for _, name := range []string{
+		`naru_queries_total{tenant="alpha"}`,
+		`naru_queries_total{tenant="beta"}`,
+		`naru_cache_hits_total{tenant="alpha"}`,
+		`naru_cache_misses_total{tenant="beta"}`,
+	} {
+		if snap.Counters[name] == 0 {
+			t.Errorf("metric %s missing or zero; have %v", name, snap.Counters)
+		}
+	}
+	if snap.Gauges["naru_tenants"] != 2 {
+		t.Errorf("naru_tenants gauge %v, want 2", snap.Gauges["naru_tenants"])
+	}
+
+	// Listing, routing, and aggregate health.
+	var listing struct {
+		Default string       `json:"default"`
+		Tenants []tenantInfo `json:"tenants"`
+	}
+	if code := fetchJSON(t, multi+"/v1/tenants", &listing); code != http.StatusOK ||
+		listing.Default != "alpha" || len(listing.Tenants) != 2 {
+		t.Fatalf("/v1/tenants: %+v", listing)
+	}
+	if code := fetchJSON(t, estimateURL(multi, "ghost", qA), nil); code != http.StatusNotFound {
+		t.Fatalf("unknown tenant: %d, want 404", code)
+	}
+	var health HealthResponse
+	if code := fetchJSON(t, multi+"/healthz", &health); code != http.StatusOK ||
+		health.Status != "ok" || len(health.Tenants) != 2 {
+		t.Fatalf("/healthz aggregate: %d %+v", code, health)
+	}
+
+	// One tripped tenant takes process readiness down; per-tenant probes
+	// still distinguish the healthy one.
+	var ready ReadyResponse
+	if code := fetchJSON(t, multi+"/readyz", &ready); code != http.StatusOK || !ready.Ready {
+		t.Fatalf("pre-trip readyz: %d %+v", code, ready)
+	}
+	beta.Breaker().Trip()
+	if code := fetchJSON(t, multi+"/readyz", &ready); code != http.StatusServiceUnavailable ||
+		ready.Ready || ready.State != "fallback_only" ||
+		ready.Tenants["alpha"].Ready == false || ready.Tenants["beta"].Ready == true {
+		t.Fatalf("post-trip readyz: %d %+v", code, ready)
+	}
+	if code := fetchJSON(t, multi+"/v1/alpha/readyz", &ready); code != http.StatusOK || !ready.Ready {
+		t.Fatalf("alpha readyz after beta trip: %d %+v", code, ready)
+	}
+	if code := fetchJSON(t, multi+"/v1/beta/readyz", &ready); code != http.StatusServiceUnavailable {
+		t.Fatalf("beta readyz after trip: %d", code)
+	}
+}
+
+// TestServerAddValidation: unnamed and duplicate tenants are rejected; the
+// first tenant becomes the default until SetDefault overrides it.
+func TestServerAddValidation(t *testing.T) {
+	tbl := makeTable(t, 1, 200)
+	s := New(Options{})
+	if err := s.Add(NewTenant("", makeEstimator(tbl, 5, nil), tbl, TenantOptions{})); err == nil {
+		t.Fatal("unnamed tenant accepted")
+	}
+	a := NewTenant("a", makeEstimator(tbl, 5, nil), tbl, TenantOptions{})
+	if err := s.Add(a); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Add(NewTenant("a", makeEstimator(tbl, 5, nil), tbl, TenantOptions{})); err == nil {
+		t.Fatal("duplicate tenant accepted")
+	}
+	b := NewTenant("b", makeEstimator(tbl, 6, nil), tbl, TenantOptions{})
+	if err := s.Add(b); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Close)
+	if s.Default() != a {
+		t.Fatal("first-added tenant is not the default")
+	}
+	if err := s.SetDefault("ghost"); err == nil {
+		t.Fatal("unknown default accepted")
+	}
+	if err := s.SetDefault("b"); err != nil || s.Default() != b {
+		t.Fatalf("SetDefault(b): %v", err)
+	}
+}
+
+// TestServerNoTenants: an empty server serves 503s, not panics.
+func TestServerNoTenants(t *testing.T) {
+	_, base := startServer(t, Options{})
+	if code := fetchJSON(t, estimateURL(base, "", "a=1"), nil); code != http.StatusServiceUnavailable {
+		t.Fatalf("legacy estimate with no tenants: %d, want 503", code)
+	}
+	var health HealthResponse
+	if code := fetchJSON(t, base+"/healthz", &health); code != http.StatusServiceUnavailable {
+		t.Fatalf("healthz with no tenants: %d, want 503", code)
+	}
+	var ready ReadyResponse
+	if code := fetchJSON(t, base+"/readyz", &ready); code != http.StatusServiceUnavailable || ready.Ready {
+		t.Fatalf("readyz with no tenants: %d %+v", code, ready)
+	}
+	if code := fetchJSON(t, base+"/livez", nil); code != http.StatusOK {
+		t.Fatalf("livez: %d, want 200 regardless of tenants", code)
+	}
+}
+
+// TestBuildTenantErrors: config-driven construction wraps failures with the
+// tenant name and distinguishes the missing-file cases.
+func TestBuildTenantErrors(t *testing.T) {
+	_, err := BuildTenant(TenantConfig{Name: "x", CSV: "/nonexistent/t.csv", Model: "m.naru"}, nil, nil)
+	if err == nil || !strings.Contains(err.Error(), `tenant "x"`) || !strings.Contains(err.Error(), "csv file") {
+		t.Fatalf("missing csv: %v", err)
+	}
+}

@@ -1,0 +1,413 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	naru "repro"
+	"repro/internal/faultinject"
+	"repro/internal/obs"
+	"repro/internal/query"
+	"repro/internal/table"
+)
+
+// SiteServeRequest is the chaos fault point at the front door of a tenant's
+// /estimate: before parsing, before the cache, before the model. Error mode
+// maps to a 503 (the request never reached the estimator), exit mode kills
+// the process mid-request — the kill-matrix restart scenario.
+var SiteServeRequest = faultinject.Site("serve.request")
+
+// Result-cache metric families (per tenant when metrics are labelled).
+const (
+	metricCacheHits   = "naru_cache_hits_total"
+	metricCacheMisses = "naru_cache_misses_total"
+)
+
+// TenantOptions wires a Tenant directly over an already-loaded estimator and
+// table — the construction path for tests and embedders. BuildTenant is the
+// from-disk path driven by a TenantConfig.
+type TenantOptions struct {
+	// Serve configures per-query serving: deadline, target stderr, fallback.
+	Serve naru.ServeOptions
+	// BatchWindow > 0 routes /estimate through a request coalescer with this
+	// micro-batch window.
+	BatchWindow time.Duration
+	// MaxInFlight caps concurrent fused dispatches when coalescing.
+	MaxInFlight int
+	// CacheSize bounds the result cache (0 = default 1024, < 0 disables).
+	CacheSize int
+	// BreakerThreshold > 0 arms the circuit breaker at that many consecutive
+	// model-path failures.
+	BreakerThreshold int
+	// ProbeInterval is the breaker's initial recovery-probe delay.
+	ProbeInterval time.Duration
+	// Breaker, when non-nil, arms the circuit breaker with these full options
+	// instead of the BreakerThreshold/ProbeInterval pair (tests set seed and
+	// backoff cap through it). Metrics defaults to this struct's Metrics.
+	Breaker *naru.BreakerOptions
+	// OnAppend, when non-nil, runs after every successful ingest, before the
+	// server's own refresh kick.
+	OnAppend func()
+	// Metrics, when non-nil, is attached to the estimator's serving path and
+	// receives the tenant's cache/breaker families. Pass a tenant-labelled
+	// view (Registry.WithLabel("tenant", name)) for multi-tenant exposition,
+	// or the root registry for legacy unlabelled names.
+	Metrics *naru.Metrics
+}
+
+// defaultCacheSize bounds a tenant's result cache when the config does not.
+const defaultCacheSize = 1024
+
+// Tenant is one table/model pair being served: an estimator with its
+// coalescer, breaker, lifecycle manager, result cache, and metrics namespace.
+// All handler methods are safe for concurrent use.
+type Tenant struct {
+	name string
+	est  *naru.Estimator
+	t    *table.Table // boot-time snapshot, used when lifecycle is off
+	opts naru.ServeOptions
+	coal *naru.Coalescer // non-nil routes estimates through fused batching
+	brk  *naru.Breaker   // non-nil gates estimates through the circuit breaker
+	reg  *naru.Metrics   // the tenant's (possibly labelled) registry view
+
+	cache       *resultCache
+	cacheHits   *obs.Counter
+	cacheMisses *obs.Counter
+
+	retryAfter   string // Retry-After header value for 503 responses
+	onAppend     func() // set by Server.Start: kicks the background refresh
+	userOnAppend func() // TenantOptions.OnAppend, run first
+}
+
+// NewTenant builds a serving tenant over a loaded estimator and its table
+// snapshot. When opts.Metrics is non-nil it is attached to the estimator
+// (replacing any prior registry) so the tenant's query families land in it.
+// Enable the estimator's lifecycle before constructing the tenant; the
+// tenant picks it up through the estimator.
+func NewTenant(name string, est *naru.Estimator, t *table.Table, opts TenantOptions) *Tenant {
+	if opts.Metrics != nil {
+		est.SetMetrics(opts.Metrics)
+	}
+	tn := &Tenant{
+		name:         name,
+		est:          est,
+		t:            t,
+		opts:         opts.Serve,
+		reg:          opts.Metrics,
+		userOnAppend: opts.OnAppend,
+	}
+	size := opts.CacheSize
+	if size == 0 {
+		size = defaultCacheSize
+	}
+	tn.cache = newResultCache(size) // nil (always-miss) when size < 0
+	if tn.cache != nil && opts.Metrics != nil {
+		tn.cacheHits = opts.Metrics.Counter(metricCacheHits)
+		tn.cacheMisses = opts.Metrics.Counter(metricCacheMisses)
+	}
+	var bopts *naru.BreakerOptions
+	switch {
+	case opts.Breaker != nil:
+		b := *opts.Breaker
+		bopts = &b
+	case opts.BreakerThreshold > 0:
+		bopts = &naru.BreakerOptions{Threshold: opts.BreakerThreshold, ProbeInterval: opts.ProbeInterval}
+	}
+	if bopts != nil {
+		if bopts.Metrics == nil {
+			bopts.Metrics = opts.Metrics
+		}
+		probeInterval := bopts.ProbeInterval
+		if probeInterval <= 0 {
+			probeInterval = time.Second
+		}
+		bopts.ProbeInterval = probeInterval
+		tn.brk = est.NewBreaker(*bopts)
+		// The recovery probe runs a real unrestricted-region estimate through
+		// the serving path (no fallback configured, so a broken model cannot
+		// masquerade as recovered) and demands a model-path answer.
+		tn.brk.Start(func(ctx context.Context) error { return probeOnce(ctx, est) })
+		ra := int(probeInterval.Seconds())
+		if ra < 1 {
+			ra = 1
+		}
+		tn.retryAfter = fmt.Sprintf("%d", ra)
+	}
+	if opts.BatchWindow > 0 {
+		tn.coal = est.NewCoalescer(naru.CoalesceOptions{
+			Window:      opts.BatchWindow,
+			MaxInFlight: opts.MaxInFlight,
+			Serve:       opts.Serve,
+		})
+	}
+	return tn
+}
+
+// probeOnce is the breaker recovery probe: one unrestricted estimate that
+// must come back with model-path provenance.
+func probeOnce(ctx context.Context, est *naru.Estimator) error {
+	results, err := est.SelectivityBatchCtx(ctx, []naru.Query{{}}, naru.ServeOptions{Workers: 1})
+	if err != nil {
+		return err
+	}
+	r := results[0]
+	if r.Source != naru.SourceModel && r.Source != naru.SourceDegraded {
+		if r.Err != nil {
+			return r.Err
+		}
+		return fmt.Errorf("probe answered by %s", r.Source)
+	}
+	return nil
+}
+
+// Name returns the tenant's routing name.
+func (tn *Tenant) Name() string { return tn.name }
+
+// Estimator returns the tenant's estimator (tests drive hot-swaps through
+// it).
+func (tn *Tenant) Estimator() *naru.Estimator { return tn.est }
+
+// Breaker returns the tenant's circuit breaker (nil when not armed).
+func (tn *Tenant) Breaker() *naru.Breaker { return tn.brk }
+
+// snapshot returns the table queries parse against: the lifecycle manager's
+// committed snapshot when ingestion is live (appended values and extended
+// dictionaries become queryable immediately), the boot table otherwise.
+func (tn *Tenant) snapshot() *table.Table {
+	if lc := tn.est.Lifecycle(); lc != nil {
+		return lc.Snapshot()
+	}
+	return tn.t
+}
+
+// epoch reads the tenant's current cache epoch. One read per request: the
+// version, stale flag, and snapshot row count a cached answer must match to
+// be servable.
+func (tn *Tenant) epoch() cacheEpoch {
+	ep := cacheEpoch{version: tn.est.ModelVersion()}
+	if lc := tn.est.Lifecycle(); lc != nil {
+		ep.stale = lc.Stale()
+		ep.rows = lc.Snapshot().NumRows()
+	} else {
+		ep.rows = tn.t.NumRows()
+	}
+	return ep
+}
+
+// state returns the tenant's degradation state (Healthy without a breaker).
+func (tn *Tenant) state() naru.ServeState {
+	if tn.brk != nil {
+		return tn.brk.State()
+	}
+	return naru.StateHealthy
+}
+
+// drain moves the tenant's breaker to Draining (no-op without one).
+func (tn *Tenant) drain() {
+	if tn.brk != nil {
+		tn.brk.Drain()
+	}
+}
+
+// close shuts down the tenant's coalescer and breaker probe loop.
+func (tn *Tenant) close() {
+	if tn.coal != nil {
+		tn.coal.Close()
+	}
+	if tn.brk != nil {
+		tn.brk.Close()
+	}
+}
+
+// EstimateResponse is the JSON shape of one served estimate.
+type EstimateResponse struct {
+	Query        string  `json:"query"`
+	Sel          float64 `json:"sel"`
+	Card         float64 `json:"card"`
+	Source       string  `json:"source"`
+	ModelVersion uint64  `json:"model_version,omitempty"`
+	StdErr       float64 `json:"stderr,omitempty"`
+	Samples      int     `json:"samples,omitempty"`
+	StopReason   string  `json:"stop_reason,omitempty"`
+	Cached       bool    `json:"cached,omitempty"`
+	Err          string  `json:"err,omitempty"`
+}
+
+// AppendResponse is the JSON shape of one POST append.
+type AppendResponse struct {
+	Appended  int              `json:"appended"`
+	TotalRows int              `json:"total_rows"`
+	Drift     naru.DriftStatus `json:"drift"`
+}
+
+// handleEstimate answers one ?where= conjunction: cache, then breaker gate,
+// then the coalesced or direct serving path, exactly as the single-tenant
+// server did.
+func (tn *Tenant) handleEstimate(w http.ResponseWriter, r *http.Request) {
+	if err := faultinject.Point(SiteServeRequest); err != nil {
+		tn.setRetryAfter(w)
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+		return
+	}
+	where := r.FormValue("where")
+	if where == "" {
+		http.Error(w, "missing ?where= conjunction", http.StatusBadRequest)
+		return
+	}
+	// One snapshot per request: literal-to-code mapping and the row count
+	// for cardinality come from the same table version.
+	t := tn.snapshot()
+	q, err := query.ParseWhere(where, t)
+	if err != nil {
+		http.Error(w, fmt.Sprintf("bad query %q: %v", where, err), http.StatusBadRequest)
+		return
+	}
+	// The canonical query rendering is the cache key: queries that differ
+	// only in whitespace or literal spelling share one entry. The epoch is
+	// read once, before serving, so an answer computed against a version
+	// being swapped out is stored under the old epoch and never replayed.
+	key := q.String(t)
+	epoch := tn.epoch()
+	if res, ok := tn.cache.get(key, epoch); ok {
+		// A cache hit replays a deterministic model answer; it does not feed
+		// the breaker (no model path ran, so it is evidence of nothing).
+		tn.cacheHits.Inc()
+		tn.writeEstimate(w, key, t, res, true)
+		return
+	}
+	if tn.cache != nil {
+		tn.cacheMisses.Inc()
+	}
+	var res naru.Result
+	if tn.brk != nil && !tn.brk.Allow() {
+		// Breaker open (or draining): the model path is bypassed and the
+		// fallback answers, with ErrBreakerOpen preserved as provenance.
+		res = tn.brk.Reject(q, tn.opts.Fallback)
+	} else if tn.coal != nil {
+		// Coalesced: the request joins whatever fused batch is forming. The
+		// answer is bit-identical to serving it alone (the fused scheduler's
+		// determinism contract), only the scheduling changes.
+		res = tn.coal.Estimate(r.Context(), q)
+	} else {
+		// One query per request: the per-request deadline and fallback come
+		// from the tenant options, cancellation from the client connection.
+		perReq := tn.opts
+		perReq.Workers = 1
+		results, err := tn.est.SelectivityBatchCtx(r.Context(), []naru.Query{q}, perReq)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		res = results[0]
+	}
+	if tn.brk != nil {
+		// Every served result feeds the state machine (breaker rejections and
+		// sheds classify as non-failures inside Observe).
+		tn.brk.Observe(res)
+	}
+	if cacheable(res) {
+		tn.cache.put(key, epoch, res)
+	}
+	tn.writeEstimate(w, key, t, res, false)
+}
+
+// writeEstimate renders one Result as the estimate JSON, mapping shed and
+// breaker back-pressure to 503 + Retry-After and genuine failures to 500.
+func (tn *Tenant) writeEstimate(w http.ResponseWriter, canonical string, t *table.Table, res naru.Result, cached bool) {
+	resp := EstimateResponse{
+		Query:        canonical,
+		Sel:          res.Sel,
+		Card:         res.Sel * float64(t.NumRows()),
+		Source:       res.Source.String(),
+		ModelVersion: res.ModelVersion,
+		StdErr:       res.StdErr,
+		Samples:      res.Samples,
+		StopReason:   res.Stop.String(),
+		Cached:       cached,
+	}
+	if res.Err != nil {
+		resp.Err = res.Err.Error()
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if res.Source == naru.SourceFailed {
+		// Shed and breaker-open failures are back-pressure, not server bugs:
+		// 503 + Retry-After tells well-behaved clients to ease off; everything
+		// else failing with no fallback is a genuine 500.
+		if errors.Is(res.Err, naru.ErrShed) || errors.Is(res.Err, naru.ErrBreakerOpen) {
+			tn.setRetryAfter(w)
+			w.WriteHeader(http.StatusServiceUnavailable)
+		} else {
+			w.WriteHeader(http.StatusInternalServerError)
+		}
+	}
+	_ = json.NewEncoder(w).Encode(resp)
+}
+
+// setRetryAfter stamps the 503 back-pressure header (breaker probe interval
+// when configured, 1s otherwise).
+func (tn *Tenant) setRetryAfter(w http.ResponseWriter) {
+	ra := tn.retryAfter
+	if ra == "" {
+		ra = "1"
+	}
+	w.Header().Set("Retry-After", ra)
+}
+
+func (tn *Tenant) handleAppend(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST CSV rows (no header) to /append", http.StatusMethodNotAllowed)
+		return
+	}
+	added, err := tn.est.AppendCSV(r.Body)
+	if err != nil {
+		status := http.StatusBadRequest
+		if errors.Is(err, naru.ErrLifecycleDisabled) {
+			status = http.StatusNotImplemented
+		}
+		http.Error(w, err.Error(), status)
+		return
+	}
+	drift, _ := tn.est.Drift()
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(AppendResponse{
+		Appended:  added,
+		TotalRows: tn.snapshot().NumRows(),
+		Drift:     drift,
+	})
+	if tn.userOnAppend != nil {
+		tn.userOnAppend()
+	}
+	if tn.onAppend != nil {
+		tn.onAppend()
+	}
+}
+
+func (tn *Tenant) handleDrift(w http.ResponseWriter, r *http.Request) {
+	drift, err := tn.est.Drift()
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusNotImplemented)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(drift)
+}
+
+func (tn *Tenant) handleModels(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(struct {
+		Active   uint64             `json:"active"`
+		Versions []naru.VersionMeta `json:"versions,omitempty"`
+	}{Active: tn.est.ModelVersion(), Versions: tn.est.Versions()})
+}
+
+func (tn *Tenant) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	Healthz(w, tn.est, tn.brk)
+}
+
+func (tn *Tenant) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	Readyz(w, tn.est, tn.brk)
+}

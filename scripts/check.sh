@@ -41,6 +41,15 @@
 # test proves an unrecoverable registry fails loudly instead of serving
 # garbage, and a GC check proves stale temp files are swept and counted.
 #
+# `check.sh serve` is the multi-tenant serving gate: the internal/server
+# suite plus the coalescer/breaker regression tests under the race detector,
+# then a two-tenant smoke test — one `naru serve -tenants tenants.json`
+# process hosting two tables, driven per-tenant over /v1/{tenant}/... with
+# cache-replay checks, a per-tenant append -> drift -> hot-swap cycle that
+# must leave the other tenant untouched, tenant-labelled metric assertions
+# on the shared /metrics scrape, legacy-route aliasing, and an aggregate
+# /readyz. It also runs as the final step of the default `check.sh` pass.
+#
 # `check.sh train` is the end-to-end training-determinism gate: with
 # data-parallel sharding (-train-workers > 1), two identical runs must write
 # byte-identical model files, and a run interrupted with -stop-after and then
@@ -443,6 +452,132 @@ if [ "${1:-}" = "chaos" ]; then
     exit 0
 fi
 
+if [ "${1:-}" = "serve" ]; then
+    echo "== multi-tenant serve suite (-race)"
+    go test -race -count=1 ./internal/server
+    go test -race -count=1 -run 'TestCoalescerStaleWindowTimer|TestCoalescerCompileError|TestBreakerDrain' .
+
+    echo "== two-tenant serve smoke test"
+    tmp="$(mktemp -d)"
+    trap 'kill "${serve_pid:-}" 2>/dev/null || true; rm -rf "$tmp"' EXIT INT TERM
+
+    go build -o "$tmp/naru" ./cmd/naru
+
+    # Tenant alpha: a correlated table whose appended rows will contradict it
+    # (drift -> refresh -> hot-swap). Tenant beta: a different, stable table
+    # that must stay on version 1 throughout.
+    awk 'BEGIN{
+        print "state,qty";
+        s[0]="NY"; s[1]="CA"; s[2]="WA"; s[3]="TX";
+        for (i = 0; i < 64; i++) print s[i%4] "," (i%4)*10
+    }' > "$tmp/alpha.csv"
+    awk 'BEGIN{
+        print "a,b";
+        for (i = 0; i < 64; i++) print i%8 "," int(i/8)%8
+    }' > "$tmp/beta.csv"
+
+    echo "-- train both tenants"
+    "$tmp/naru" train -csv "$tmp/alpha.csv" -out "$tmp/alpha.naru" \
+        -epochs 2 -hidden 8,8 -samples 64 > /dev/null
+    "$tmp/naru" train -csv "$tmp/beta.csv" -out "$tmp/beta.naru" \
+        -epochs 1 -hidden 8,8 -samples 64 > /dev/null
+
+    cat > "$tmp/tenants.json" <<EOF
+{
+  "default": "alpha",
+  "tenants": [
+    {"name": "alpha", "csv": "$tmp/alpha.csv", "model": "$tmp/alpha.naru",
+     "samples": 64,
+     "refresh_after": 8, "drift_threshold": 0.05, "refresh_epochs": 1,
+     "registry": "$tmp/registry", "lifecycle_checkpoint": "$tmp/alpha.ckpt"},
+    {"name": "beta", "csv": "$tmp/beta.csv", "model": "$tmp/beta.naru",
+     "samples": 64, "batch_window": "2ms"}
+  ]
+}
+EOF
+
+    echo "-- serve two tenants from one process"
+    "$tmp/naru" serve -tenants "$tmp/tenants.json" -addr 127.0.0.1:0 \
+        -metrics-addr 127.0.0.1:0 > "$tmp/serve.out" 2> "$tmp/serve.err" &
+    serve_pid=$!
+    for _ in $(seq 1 50); do
+        grep -q "serving tenants" "$tmp/serve.out" && grep -q "metrics on" "$tmp/serve.err" && break
+        kill -0 "$serve_pid" || { echo "serve exited early"; cat "$tmp/serve.err"; exit 1; }
+        sleep 0.1
+    done
+    serve_url="$(sed -n 's/^serving tenants \[[^]]*\] on \(http:\/\/[^/]*\).*/\1/p' "$tmp/serve.out")"
+    metrics_url="$(sed -n 's/^metrics on \(http:\/\/[^/]*\).*/\1/p' "$tmp/serve.err")"
+    [ -n "$serve_url" ] && [ -n "$metrics_url" ] || { echo "could not parse bound addresses"; cat "$tmp/serve.out"; exit 1; }
+    grep -q "serving tenants \[alpha beta\]" "$tmp/serve.out" || { echo "tenant banner wrong"; cat "$tmp/serve.out"; exit 1; }
+    grep -q "lifecycle\[alpha\]: ingestion enabled" "$tmp/serve.err" || { echo "alpha lifecycle not enabled"; cat "$tmp/serve.err"; exit 1; }
+
+    echo "-- per-tenant estimates, cache replay, legacy aliasing"
+    curl -fsS --get "$serve_url/v1/alpha/estimate" --data-urlencode "where=state=NY" > "$tmp/a1.json"
+    grep -q '"source":"model"' "$tmp/a1.json" || { echo "alpha not answered by model"; cat "$tmp/a1.json"; exit 1; }
+    grep -q '"model_version":1' "$tmp/a1.json" || { echo "alpha not on version 1"; cat "$tmp/a1.json"; exit 1; }
+    grep -q '"cached":true' "$tmp/a1.json" && { echo "first alpha answer claims a cache hit"; exit 1; }
+    # The identical query replays from alpha's result cache...
+    curl -fsS --get "$serve_url/v1/alpha/estimate" --data-urlencode "where=state=NY" \
+        | grep -q '"cached":true' || { echo "repeat query missed the cache"; exit 1; }
+    # ...and the legacy route is an alias of the default tenant (same cache).
+    curl -fsS --get "$serve_url/estimate" --data-urlencode "where=state=NY" \
+        | grep -q '"cached":true' || { echo "legacy route did not alias alpha"; exit 1; }
+    curl -fsS --get "$serve_url/v1/beta/estimate" --data-urlencode "where=a<=3" > "$tmp/b1.json"
+    grep -q '"source":"model"' "$tmp/b1.json" || { echo "beta not answered by model"; cat "$tmp/b1.json"; exit 1; }
+    curl -s --get "$serve_url/v1/ghost/estimate" --data-urlencode "where=state=NY" \
+        -o /dev/null -w '%{http_code}' | grep -q 404 || { echo "unknown tenant not 404"; exit 1; }
+
+    echo "-- append to alpha until its refresh hot-swaps; beta must not move"
+    printf 'NY,30\nCA,0\nWA,10\nTX,20\nNY,30\nCA,0\nWA,10\nTX,20\n' > "$tmp/rows.csv"
+    curl -fsS -X POST --data-binary @"$tmp/rows.csv" "$serve_url/v1/alpha/append" \
+        | grep -q '"appended":8' || { echo "alpha append failed"; exit 1; }
+    curl -fsS "$serve_url/v1/alpha/drift" | grep -q '"stale":' || { echo "alpha drift endpoint broken"; exit 1; }
+    for _ in $(seq 1 100); do
+        grep -q "lifecycle\[alpha\]: swapped in version 2" "$tmp/serve.err" && break
+        kill -0 "$serve_pid" || { echo "serve died mid-refresh"; cat "$tmp/serve.err"; exit 1; }
+        sleep 0.1
+    done
+    grep -q "lifecycle\[alpha\]: swapped in version 2" "$tmp/serve.err" \
+        || { echo "alpha refresh never swapped"; cat "$tmp/serve.err"; exit 1; }
+    # The hot-swap bumped alpha's cache epoch: the old answer may not replay.
+    curl -fsS --get "$serve_url/v1/alpha/estimate" --data-urlencode "where=state=NY" > "$tmp/a2.json"
+    grep -q '"model_version":2' "$tmp/a2.json" || { echo "alpha not serving version 2"; cat "$tmp/a2.json"; exit 1; }
+    grep -q '"cached":true' "$tmp/a2.json" && { echo "cache served across the hot-swap epoch"; exit 1; }
+    # Beta's tenancy is untouched: still version 1, its cache still warm.
+    curl -fsS --get "$serve_url/v1/beta/estimate" --data-urlencode "where=a<=3" > "$tmp/b2.json"
+    grep -q '"model_version":1' "$tmp/b2.json" || { echo "beta moved off version 1"; cat "$tmp/b2.json"; exit 1; }
+    grep -q '"cached":true' "$tmp/b2.json" || { echo "alpha swap evicted beta cache"; cat "$tmp/b2.json"; exit 1; }
+    # Beta has no lifecycle budgets: append is 501, not silently dropped.
+    curl -s -X POST --data-binary @"$tmp/rows.csv" "$serve_url/v1/beta/append" \
+        -o /dev/null -w '%{http_code}' | grep -q 501 || { echo "beta append should be 501"; exit 1; }
+
+    echo "-- tenant-labelled metrics on the shared scrape"
+    scrape="$tmp/metrics.txt"
+    curl -fsS "$metrics_url/metrics" > "$scrape"
+    for want in 'naru_queries_total{tenant="alpha"}' 'naru_queries_total{tenant="beta"}' \
+        'naru_cache_hits_total{tenant="alpha"}' 'naru_cache_hits_total{tenant="beta"}' \
+        'naru_lifecycle_refreshes_total{tenant="alpha"}'; do
+        grep -qF "$want" "$scrape" || { echo "missing labelled metric $want"; grep naru_ "$scrape" | head -40; exit 1; }
+    done
+    grep -q '^naru_tenants 2' "$scrape" || { echo "tenant gauge not 2"; grep naru_tenants "$scrape"; exit 1; }
+
+    echo "-- aggregate probes and tenant listing"
+    curl -fsS "$serve_url/readyz" > "$tmp/ready.json"
+    grep -q '"ready":true' "$tmp/ready.json" || { echo "aggregate readyz not ready"; cat "$tmp/ready.json"; exit 1; }
+    curl -fsS "$serve_url/v1/tenants" > "$tmp/tenants.out"
+    grep -q '"default":"alpha"' "$tmp/tenants.out" || { echo "tenant listing lost the default"; cat "$tmp/tenants.out"; exit 1; }
+    grep -q '"name":"beta"' "$tmp/tenants.out" || { echo "tenant listing lost beta"; cat "$tmp/tenants.out"; exit 1; }
+    curl -fsS "$serve_url/healthz" | grep -q '"status":"ok"' || { echo "aggregate healthz not ok"; exit 1; }
+
+    echo "-- graceful shutdown on SIGTERM"
+    kill -TERM "$serve_pid"
+    wait "$serve_pid" || { echo "serve did not exit cleanly"; cat "$tmp/serve.err"; exit 1; }
+    serve_pid=""
+
+    echo "check serve: OK"
+    exit 0
+fi
+
 if [ "${1:-}" = "train" ]; then
     echo "== training determinism (sharded, interrupt/resume)"
     tmp="$(mktemp -d)"
@@ -489,5 +624,8 @@ go test ./...
 
 echo "== go test -race -short ./..."
 go test -race -short -timeout 20m ./...
+
+echo "== serve gate"
+"$0" serve
 
 echo "check: OK"
