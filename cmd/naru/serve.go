@@ -60,6 +60,7 @@ func cmdServe(args []string, stdout, stderr io.Writer) error {
 	fallback := fs.Bool("fallback", false, "answer failed queries from 1D statistics")
 	batchWindow := fs.Duration("batch-window", 0, "coalesce concurrent requests arriving within this window into fused batches (0 = serve each request alone)")
 	maxInflight := fs.Int("max-inflight", 2, "concurrent fused dispatches when coalescing; excess batches queue, and a full queue sheds to the fallback")
+	workers := fs.Int("workers", 0, "fused-scheduler parallelism per dispatch: query shards x row shards per block (0 = NumCPU); results are bit-identical at any setting")
 	targetStderr := fs.Float64("target-stderr", 0, "stop sampling early once the relative standard error reaches this target (0 = always run the full budget)")
 	cacheSize := fs.Int("cache-size", 0, "result-cache entries per tenant (0 = default 1024, negative = disable)")
 	refreshAfter := fs.Int("refresh-after", 0, "refresh after this many appended rows (0 = only on drift)")
@@ -72,6 +73,9 @@ func cmdServe(args []string, stdout, stderr io.Writer) error {
 	probeInterval := fs.Duration("probe-interval", time.Second, "initial recovery-probe delay after the breaker trips (doubles up to 30x with jitter)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *workers < 0 {
+		return fmt.Errorf("serve: -workers must be >= 0, got %d", *workers)
 	}
 	logf := func(format string, a ...any) { fmt.Fprintf(stderr, format+"\n", a...) }
 
@@ -117,6 +121,7 @@ func cmdServe(args []string, stdout, stderr io.Writer) error {
 			TargetStdErr:        *targetStderr,
 			BatchWindow:         server.Duration(*batchWindow),
 			MaxInFlight:         *maxInflight,
+			Workers:             *workers,
 			CacheSize:           *cacheSize,
 			RefreshAfter:        *refreshAfter,
 			DriftThreshold:      *driftThreshold,

@@ -32,8 +32,10 @@ type CoalesceOptions struct {
 	// (default 256).
 	MaxQueue int
 	// Serve configures each fused dispatch: target stderr, per-query
-	// deadline, fallback. Workers is ignored (the fused scheduler replaces
-	// worker fan-out); Serve.Fallback also answers shed queries.
+	// deadline, fallback, and Workers — the fused scheduler's parallelism
+	// budget (query shards × row shards per block; NumCPU when 0, results
+	// bit-identical at any setting). Serve.Fallback also answers shed
+	// queries.
 	Serve ServeOptions
 }
 

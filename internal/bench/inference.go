@@ -72,7 +72,10 @@ func Inference(out io.Writer, cfg Config) {
 
 	// Fused cross-query batch on a fresh estimator (same seeds again, so the
 	// fused scheduler must reproduce the sequential fast-path answers
-	// bitwise). Telemetry, when enabled, watches this configuration — the
+	// bitwise). Workers is pinned to 1 so this row measures the scheduler
+	// itself — cross-query amortization with no thread parallelism — and the
+	// "fused at one worker must not lose to sequential" gate has a direct
+	// reading. Telemetry, when enabled, watches this configuration — the
 	// mismatch check below doubles as proof that observing it is free of
 	// perturbation. The Mallocs delta around the run prices the scheduler's
 	// allocation overhead per query.
@@ -81,7 +84,7 @@ func Inference(out io.Writer, cfg Config) {
 	var ms0, ms1 runtime.MemStats
 	runtime.ReadMemStats(&ms0)
 	fusedStart := time.Now()
-	fusedRes := batch.EstimateFused(context.Background(), w.Regions, core.ServeOptions{})
+	fusedRes := batch.EstimateFused(context.Background(), w.Regions, core.ServeOptions{Workers: 1})
 	batchTotal := time.Since(fusedStart)
 	runtime.ReadMemStats(&ms1)
 	batchEsts := make([]float64, len(fusedRes))
@@ -97,6 +100,29 @@ func Inference(out io.Writer, cfg Config) {
 	}
 	maxRel := maxRelDiff(seqRes.Estimates, refRes.Estimates)
 	allocsPerQuery := float64(ms1.Mallocs-ms0.Mallocs) / float64(len(w.Regions))
+
+	// Parallel fused: the same scheduler with its full worker budget —
+	// pending queries sharded across pooled replicas, tall blocks row-sharded
+	// across cores. Results must still match the sequential fast path bitwise
+	// (worker count is a pure throughput knob).
+	parWorkers := cfg.Workers
+	if parWorkers <= 0 {
+		parWorkers = runtime.NumCPU()
+	}
+	par := core.NewEstimator(model, samples, qseed)
+	var pm0, pm1 runtime.MemStats
+	runtime.ReadMemStats(&pm0)
+	parStart := time.Now()
+	parRes := par.EstimateFused(context.Background(), w.Regions, core.ServeOptions{Workers: parWorkers})
+	parTotal := time.Since(parStart)
+	runtime.ReadMemStats(&pm1)
+	parMismatches := 0
+	for i := range seqRes.Estimates {
+		if parRes[i].Sel != seqRes.Estimates[i] {
+			parMismatches++
+		}
+	}
+	parAllocsPerQuery := float64(pm1.Mallocs-pm0.Mallocs) / float64(len(w.Regions))
 
 	// Concurrent load through the request coalescer: 32 clients each submit
 	// single queries, which the coalescer packs into fused dispatches. This is
@@ -139,6 +165,7 @@ func Inference(out io.Writer, cfg Config) {
 	refQPS := nq / refTotal.Seconds()
 	seqQPS := nq / seqTotal.Seconds()
 	batchQPS := nq / batchTotal.Seconds()
+	parQPS := nq / parTotal.Seconds()
 	p50, p99, pmax := LatencySummary(seqRes.Latencies)
 	refErr := metrics.Summarize(refRes.Errors(w))
 	seqErr := metrics.Summarize(seqRes.Errors(w))
@@ -149,13 +176,17 @@ func Inference(out io.Writer, cfg Config) {
 	fmt.Fprintf(out, "%-28s %12.2f %14v\n", "reference (full forward)", refQPS, refTotal.Round(time.Millisecond))
 	fmt.Fprintf(out, "%-28s %12.2f %14v\n", "fast path, sequential", seqQPS, seqTotal.Round(time.Millisecond))
 	fmt.Fprintf(out, "%-28s %12.2f %14v\n", "fast path, fused batch", batchQPS, batchTotal.Round(time.Millisecond))
+	fmt.Fprintf(out, "%-28s %12.2f %14v\n", fmt.Sprintf("fused parallel, W=%d", parWorkers), parQPS, parTotal.Round(time.Millisecond))
 	fmt.Fprintf(out, "%-28s %12.2f %14v\n", fmt.Sprintf("coalesced, %d clients", clients), coalQPS, loadTotal.Round(time.Millisecond))
-	fmt.Fprintf(out, "speedup: sequential %.2fx, fused batch %.2fx\n", seqQPS/refQPS, batchQPS/refQPS)
+	fmt.Fprintf(out, "speedup: sequential %.2fx, fused batch %.2fx, fused parallel %.2fx\n",
+		seqQPS/refQPS, batchQPS/refQPS, parQPS/refQPS)
 	fmt.Fprintf(out, "fast-path latency ms: p50=%.2f p99=%.2f max=%.2f\n", p50, p99, pmax)
 	fmt.Fprintf(out, "coalesced client latency ms: p50=%.2f p99=%.2f (%d errors)\n", coalP50, coalP99, coalErrs)
-	fmt.Fprintf(out, "fused allocations: %.0f allocs/query\n", allocsPerQuery)
+	fmt.Fprintf(out, "fused allocations: %.0f allocs/query (parallel %.0f)\n", allocsPerQuery, parAllocsPerQuery)
 	fmt.Fprintf(out, "fused batch vs sequential fast path: %d/%d mismatched estimates (must be 0)\n",
 		mismatches, len(w.Regions))
+	fmt.Fprintf(out, "fused parallel vs sequential fast path: %d/%d mismatched estimates (must be 0)\n",
+		parMismatches, len(w.Regions))
 	fmt.Fprintf(out, "fast vs reference estimates: max relative diff %.3g (MC re-draws at float-identical boundaries)\n", maxRel)
 	fmt.Fprintf(out, "q-error median/p99: reference %.3f/%.3f, fast %.3f/%.3f\n",
 		refErr.Median, refErr.P99, seqErr.Median, seqErr.P99)
@@ -166,7 +197,13 @@ func Inference(out io.Writer, cfg Config) {
 		{Name: "dmv_queries_per_sec_sequential", Value: seqQPS, Unit: "queries/sec",
 			Extra: "delta-forward + packed GEMM, sequential"},
 		{Name: "dmv_queries_per_sec_batch", Value: batchQPS, Unit: "queries/sec",
-			Extra: "fused cross-query scheduler (EstimateFused), whole workload in flight"},
+			Extra: "fused cross-query scheduler (EstimateFused), one worker, whole workload in flight"},
+		{Name: "dmv_queries_per_sec_fused_parallel", Value: parQPS, Unit: "queries/sec",
+			Extra: fmt.Sprintf("fused scheduler, shard + row parallelism, workers=%d numcpu=%d", parWorkers, runtime.NumCPU())},
+		{Name: "dmv_fused_parallel_mismatches", Value: float64(parMismatches), Unit: "queries",
+			Extra: fmt.Sprintf("parallel fused (workers=%d) vs sequential fast path, bitwise", parWorkers)},
+		{Name: "dmv_fused_parallel_allocs_per_query", Value: parAllocsPerQuery, Unit: "allocs/query",
+			Extra: fmt.Sprintf("Mallocs delta around the parallel fused run, workers=%d numcpu=%d", parWorkers, runtime.NumCPU())},
 		{Name: "dmv_speedup_vs_full_forward", Value: batchQPS / refQPS, Unit: "x",
 			Extra: fmt.Sprintf("fused batch over reference; sequential alone %.2fx", seqQPS/refQPS)},
 		{Name: "dmv_latency_p50", Value: p50, Unit: "ms", Extra: "fast path, sequential"},

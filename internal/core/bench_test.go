@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -121,5 +122,57 @@ func BenchmarkTrainEpoch(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		Train(m, t, TrainConfig{Epochs: 1, BatchSize: 512, LR: 2e-3, Seed: int64(i)})
+	}
+}
+
+// benchFusedWorkload is a small mixed batch (range scans, interior wildcards,
+// point-ish predicates) sized so the fused scheduler packs multi-query blocks.
+func benchFusedWorkload(b *testing.B, t *table.Table) []*query.Region {
+	b.Helper()
+	qs := []query.Query{
+		{Preds: []query.Predicate{{Col: 1, Op: query.OpLe, Code: 50}, {Col: 2, Op: query.OpGe, Code: 20}, {Col: 4, Op: query.OpLe, Code: 30}}},
+		{Preds: []query.Predicate{{Col: 0, Op: query.OpGe, Code: 2}, {Col: 2, Op: query.OpLe, Code: 100}}},
+		{Preds: []query.Predicate{{Col: 1, Op: query.OpGe, Code: 10}, {Col: 3, Op: query.OpLe, Code: 7}, {Col: 4, Op: query.OpGe, Code: 5}}},
+		{Preds: []query.Predicate{{Col: 2, Op: query.OpGe, Code: 40}, {Col: 2, Op: query.OpLe, Code: 140}}},
+		{Preds: []query.Predicate{{Col: 0, Op: query.OpLe, Code: 5}, {Col: 1, Op: query.OpGe, Code: 20}, {Col: 2, Op: query.OpLe, Code: 120}}},
+		{Preds: []query.Predicate{{Col: 1, Op: query.OpLe, Code: 60}, {Col: 4, Op: query.OpGe, Code: 10}}},
+		{Preds: []query.Predicate{{Col: 0, Op: query.OpGe, Code: 1}, {Col: 3, Op: query.OpGe, Code: 2}, {Col: 4, Op: query.OpLe, Code: 35}}},
+		{Preds: []query.Predicate{{Col: 2, Op: query.OpGe, Code: 10}, {Col: 2, Op: query.OpLe, Code: 60}, {Col: 1, Op: query.OpGe, Code: 5}}},
+	}
+	regs := make([]*query.Region, len(qs))
+	for i, q := range qs {
+		reg, err := query.Compile(q, t)
+		if err != nil {
+			b.Fatal(err)
+		}
+		regs[i] = reg
+	}
+	return regs
+}
+
+// BenchmarkEstimateFusedW1 is the fused cross-query path pinned to one
+// worker — the configuration the W=1 regression hunt profiles.
+func BenchmarkEstimateFusedW1(b *testing.B) {
+	t := benchTable(b, 10000)
+	est := NewEstimator(benchModel(b, t), 1000, 1)
+	est.EnumThreshold = 40
+	regs := benchFusedWorkload(b, t)
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		est.EstimateFused(ctx, regs, ServeOptions{Workers: 1})
+	}
+}
+
+// BenchmarkEstimateSequentialBatch is the per-query sequential fast path over
+// the same workload, the baseline the fused path must beat.
+func BenchmarkEstimateSequentialBatch(b *testing.B) {
+	t := benchTable(b, 10000)
+	est := NewEstimator(benchModel(b, t), 1000, 1)
+	est.EnumThreshold = 40
+	regs := benchFusedWorkload(b, t)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		est.EstimateBatch(regs, 1)
 	}
 }

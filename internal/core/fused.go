@@ -5,7 +5,9 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"runtime"
 	"sort"
+	"sync"
 	"time"
 
 	"repro/internal/faultinject"
@@ -31,6 +33,23 @@ var siteFusedWalk = faultinject.Site("core.fused.walk")
 // row-independent, so a query's estimate is bit-identical no matter which
 // queries it shared blocks with, how tall the blocks were, or whether it was
 // served fused at all.
+//
+// Parallelism layers on top of that invariant without touching it:
+//
+//   - *shard parallelism*: the pending queries are partitioned round-robin
+//     (by deterministic classification order) into up to Workers disjoint
+//     groups, each driven through the full wave schedule on its own pooled
+//     model replica. A query's chunks all live in its shard and accumulate in
+//     chunk order, so shard count never changes a single bit of any result.
+//   - *row parallelism*: inside one walk, blocks tall enough to amortize the
+//     goroutine handoff split their trunk advance and head decode over
+//     disjoint row ranges (BlockRowAdvancer / BlockRowDecoder). Both steps
+//     are row-independent, so the split is bit-identical to the full-height
+//     call.
+//   - *first-wave memoization*: the conditional decoded at a walk's first
+//     restricted position is the same for every row still in the zero-input
+//     broadcast state, so it is computed once per (serve epoch, column) and
+//     shared across every lane, block, and query (see firstWaveProbs).
 
 // maxFusedRows caps the height of one fused block. Taller blocks amortize
 // more fixed cost but grow the activation and probability buffers linearly;
@@ -38,12 +57,17 @@ var siteFusedWalk = faultinject.Site("core.fused.walk")
 // height only costs memory.
 const maxFusedRows = 2048
 
+// rowShardMin is the minimum block height worth splitting across row-shard
+// goroutines: below it the handoff overhead exceeds the per-row model work.
+const rowShardMin = 512
+
 // fusedQuery is one sampling query's accumulation state across waves.
 type fusedQuery struct {
-	i    int // position in the batch
-	q    uint64
-	reg  *query.Region
-	last int       // last restricted model position
+	i     int // position in the batch
+	q     uint64
+	reg   *query.Region
+	first int       // first restricted model position
+	last  int       // last restricted model position
 	valid [][]int32 // per-position valid-code lists, privately owned
 
 	sum, sumsq   float64
@@ -63,14 +87,41 @@ type fusedLane struct {
 }
 
 // fusedState holds one block walk's tall buffers, pooled per estimator so
-// concurrent EstimateFused calls (coalescer dispatches overlapping) don't
-// reallocate them per call.
+// concurrent EstimateFused calls (coalescer dispatches overlapping, shard
+// workers within one call) don't reallocate them per call.
 type fusedState struct {
 	codes   []int32
 	weights []float64
 	probs   [][]float64
-	lanes   []*fusedLane
-	rngs    []*rand.Rand
+
+	// laneArena backs the wave's lanes by value; lanes holds pointers into it
+	// (built only after the arena stops growing). Pooling both keeps lane
+	// gathering allocation-free across waves and calls.
+	laneArena []fusedLane
+	lanes     []*fusedLane
+
+	// rngs persists one RNG per lane slot; walkBlock re-seeds them in place
+	// (Seed reinitializes the generator exactly as a fresh NewSource would),
+	// so the steady-state walk allocates no generator state.
+	rngs []*rand.Rand
+
+	// shared aliases memoized first-wave probability vectors by row, letting
+	// drawRows read a cached conditional through its usual absolute-row
+	// indexing without copying it per row.
+	shared [][]float64
+
+	// tileProbs is a decodeTileRows-high pool of probability rows, and
+	// tileView aliases them at absolute block rows (like shared). Serial
+	// tiled decodes write here instead of st.probs so every tile of a tall
+	// block reuses the same small, cache-resident set of rows — cycling
+	// through maxFusedRows distinct probs rows per column is what made the
+	// fused softmax/draw memory-bound at W=1.
+	tileProbs [][]float64
+	tileView  [][]float64
+
+	// inner is this walk's row-shard budget: how many goroutines a single
+	// tall block may fan its advance/decode across (1 = serial).
+	inner int
 }
 
 func (e *Estimator) getFusedState() *fusedState {
@@ -84,12 +135,19 @@ func (e *Estimator) getFusedState() *fusedState {
 		}
 	}
 	st := &fusedState{
-		codes:   make([]int32, maxFusedRows*e.model.NumCols()),
-		weights: make([]float64, maxFusedRows),
-		probs:   make([][]float64, maxFusedRows),
+		codes:     make([]int32, maxFusedRows*e.model.NumCols()),
+		weights:   make([]float64, maxFusedRows),
+		probs:     make([][]float64, maxFusedRows),
+		shared:    make([][]float64, maxFusedRows),
+		tileProbs: make([][]float64, decodeTileRows),
+		tileView:  make([][]float64, maxFusedRows),
+		inner:     1,
 	}
 	for i := range st.probs {
 		st.probs[i] = make([]float64, maxDom)
+	}
+	for i := range st.tileProbs {
+		st.tileProbs[i] = make([]float64, maxDom)
 	}
 	return st
 }
@@ -102,18 +160,26 @@ func (e *Estimator) getFusedState() *fusedState {
 var fusedWaves = [3][2]int{{0, 2}, {2, 6}, {6, math.MaxInt32}}
 
 // EstimateFused serves the whole batch through the fused cross-query
-// scheduler on a single goroutine: every query's sample chunks are packed
-// with its peers' into shared tall blocks. Results align positionally with
-// regions and are bit-identical to EstimateBatchCtx (any worker count) with
-// the same options — including adaptive-budget early stops — because both
-// paths consume identical per-(query, chunk) RNG streams and check
-// TargetRelStdErr at identical boundaries. Deadline and cancellation are
-// honored between blocks; affected queries degrade exactly like the
-// sequential anytime path (timing-dependent, so degraded budgets — unlike
-// full-budget and target-stopped results — are not bit-reproducible).
+// scheduler: every query's sample chunks are packed with its peers' into
+// shared tall blocks. Results align positionally with regions and are
+// bit-identical to EstimateBatchCtx (any worker count) with the same
+// options — including adaptive-budget early stops — because both paths
+// consume identical per-(query, chunk) RNG streams and check TargetRelStdErr
+// at identical boundaries. Deadline and cancellation are honored between
+// blocks; affected queries degrade exactly like the sequential anytime path
+// (timing-dependent, so degraded budgets — unlike full-budget and
+// target-stopped results — are not bit-reproducible).
+//
+// opts.Workers (NumCPU when 0, rejected with ErrInvalidWorkers when
+// negative) is spent on two levels: pending queries are partitioned into up
+// to Workers shards walked concurrently on pooled model replicas, and any
+// leftover budget (Workers / shards) fans the tall GEMMs of each block over
+// row ranges. Both splits are bit-identical to the single-threaded walk, so
+// the worker count is purely a throughput knob. Models served behind a mutex
+// (no Forkable) always run single-threaded.
 //
 // Models that don't implement BlockModel (through their serving forks) fall
-// back to EstimateBatchCtx. opts.Workers is ignored on the fused path.
+// back to EstimateBatchCtx.
 func (e *Estimator) EstimateFused(ctx context.Context, regions []*query.Region, opts ServeOptions) []Result {
 	out := make([]Result, len(regions))
 	if len(regions) == 0 {
@@ -122,6 +188,13 @@ func (e *Estimator) EstimateFused(ctx context.Context, regions []*query.Region, 
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	if opts.Workers < 0 {
+		err := fmt.Errorf("%w: got %d", ErrInvalidWorkers, opts.Workers)
+		for i := range out {
+			out[i] = Result{Source: SourceFailed, Err: err, ModelVersion: e.version.Load()}
+		}
+		return out
+	}
 	sc := e.acquire()
 	bm, ok := sc.model.(BlockModel)
 	if !ok {
@@ -129,6 +202,17 @@ func (e *Estimator) EstimateFused(ctx context.Context, regions []*query.Region, 
 		return e.EstimateBatchCtx(ctx, regions, opts)
 	}
 	defer e.release(sc)
+
+	workers := opts.Workers
+	if workers == 0 {
+		workers = runtime.NumCPU()
+	}
+	if !e.forkable {
+		// Non-forkable models serialize on the estimator mutex; a second
+		// acquire from a shard worker would deadlock against our own hold.
+		workers = 1
+	}
+	e.obs.fusedWorkers.Set(float64(workers))
 
 	base := e.nextQuery.Add(uint64(len(regions))) - uint64(len(regions))
 	start := time.Now()
@@ -157,9 +241,22 @@ func (e *Estimator) EstimateFused(ctx context.Context, regions []*query.Region, 
 	}
 
 	if len(pend) > 0 {
-		st := e.getFusedState()
-		e.runFusedWaves(ctx, sc, bm, st, pend, deadline, &opts)
-		e.fusedPool.Put(st)
+		shards := workers
+		if shards > len(pend) {
+			shards = len(pend)
+		}
+		inner := workers / shards
+		if inner < 1 {
+			inner = 1
+		}
+		if shards <= 1 {
+			st := e.getFusedState()
+			st.inner = inner
+			e.runFusedWaves(ctx, sc, bm, st, pend, deadline, &opts)
+			e.fusedPool.Put(st)
+		} else {
+			e.runFusedShards(ctx, pend, shards, inner, deadline, &opts)
+		}
 	}
 	for _, fq := range pend {
 		res := e.routeFallback(fq.res, fq.reg, &opts)
@@ -169,6 +266,48 @@ func (e *Estimator) EstimateFused(ctx context.Context, regions []*query.Region, 
 		}
 	}
 	return out
+}
+
+// runFusedShards partitions the pending queries round-robin into shards
+// disjoint groups and walks each group through the full wave schedule on its
+// own goroutine with its own pooled model replica and block buffers. The
+// partition is deterministic (classification order) but results don't depend
+// on it: a query's chunks all run in its shard, in chunk order, on streams
+// keyed only by (query index, chunk index). A panic inside one shard is
+// contained to it — walkBlock's recover re-serves that shard's unfinished
+// queries individually, and a panic escaping the wave bookkeeping itself is
+// caught here with the same re-serve, so other shards never notice.
+func (e *Estimator) runFusedShards(ctx context.Context, pend []*fusedQuery, shards, inner int, deadline time.Time, opts *ServeOptions) {
+	groups := make([][]*fusedQuery, shards)
+	for i, fq := range pend {
+		groups[i%shards] = append(groups[i%shards], fq)
+	}
+	var wg sync.WaitGroup
+	for _, group := range groups {
+		wg.Add(1)
+		go func(group []*fusedQuery) {
+			defer wg.Done()
+			wsc := e.acquire()
+			defer e.release(wsc)
+			defer func() {
+				if r := recover(); r != nil {
+					e.reserveIndividually(ctx, wsc, group, opts)
+				}
+			}()
+			wbm, ok := wsc.model.(BlockModel)
+			if !ok {
+				// A replica that lost the block interface (shouldn't happen —
+				// forks share the parent's type) still gets correct answers.
+				e.reserveIndividually(ctx, wsc, group, opts)
+				return
+			}
+			st := e.getFusedState()
+			st.inner = inner
+			e.runFusedWaves(ctx, wsc, wbm, st, group, deadline, opts)
+			e.fusedPool.Put(st)
+		}(group)
+	}
+	wg.Wait()
 }
 
 // classifyFused dispatches one query: inline answers (empty, enumeration,
@@ -205,9 +344,12 @@ func (e *Estimator) classifyFused(ctx context.Context, sc *scratch, reg *query.R
 		*res = Result{Sel: e.enumerate(sc, reg), Source: SourceModel}
 		return nil
 	}
-	fq = &fusedQuery{i: i, q: q, reg: reg, last: -1}
+	fq = &fusedQuery{i: i, q: q, reg: reg, first: -1, last: -1}
 	for p := 0; p < len(reg.Cols); p++ {
 		if !reg.Cols[e.colAt(p)].IsAll() {
+			if fq.first < 0 {
+				fq.first = p
+			}
 			fq.last = p
 		}
 	}
@@ -238,8 +380,10 @@ func (e *Estimator) runFusedWaves(ctx context.Context, sc *scratch, bm BlockMode
 	nc := sc.model.NumCols()
 	for _, wave := range fusedWaves {
 		// Gather this wave's lanes: per unfinished query, its chunks in
-		// [wave start, wave end), clamped to the budget.
-		lanes := st.lanes[:0]
+		// [wave start, wave end), clamped to the budget. Lanes live in the
+		// pooled arena; the pointer slice is built only after the arena stops
+		// growing (appends may move it).
+		arena := st.laneArena[:0]
 		for _, fq := range pend {
 			if fq.finished {
 				continue
@@ -254,10 +398,20 @@ func (e *Estimator) runFusedWaves(ctx context.Context, sc *scratch, bm BlockMode
 				if n > anytimeChunk {
 					n = anytimeChunk
 				}
-				lanes = append(lanes, &fusedLane{fq: fq, chunk: c, n: n})
+				arena = append(arena, fusedLane{fq: fq, chunk: c, n: n})
 			}
 		}
+		st.laneArena = arena
+		lanes := st.lanes[:0]
+		for i := range arena {
+			lanes = append(lanes, &arena[i])
+		}
 		st.lanes = lanes
+		// Order the whole wave by last restricted column, descending (stable:
+		// a query's chunks keep their chunk order). Every block packed from
+		// this list inherits the order, which is the walk's retirement
+		// invariant — lanes done sampling are always a block suffix.
+		sort.SliceStable(lanes, func(a, b int) bool { return lanes[a].fq.last > lanes[b].fq.last })
 		// Pack lanes into height-capped blocks, preserving lane order so a
 		// query's chunks accumulate in chunk order.
 		for len(lanes) > 0 {
@@ -342,17 +496,154 @@ func (e *Estimator) reserveIndividually(ctx context.Context, sc *scratch, pend [
 		if fq.finished {
 			continue
 		}
+		e.obs.fusedReserved.Inc()
 		fq.sum, fq.sumsq, fq.done, fq.chunks = 0, 0, 0, 0
 		fq.finish(e.serveOne(ctx, sc, fq.reg, fq.q, fq.i, &retry))
 	}
 }
 
+// parallelRows splits rows [0, n) into up to workers contiguous ranges and
+// runs fn on each concurrently, rethrowing the first worker panic on the
+// calling goroutine so walkBlock's recover sees it exactly like a serial
+// panic. Callers gate on workers > 1, so the serial walk never pays the
+// closure or goroutine cost.
+func parallelRows(n, workers int, fn func(r0, r1 int)) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		fn(0, n)
+		return
+	}
+	chunk := (n + workers - 1) / workers
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var pv any
+	for r0 := 0; r0 < n; r0 += chunk {
+		r1 := r0 + chunk
+		if r1 > n {
+			r1 = n
+		}
+		wg.Add(1)
+		go func(r0, r1 int) {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					mu.Lock()
+					if pv == nil {
+						pv = r
+					}
+					mu.Unlock()
+				}
+			}()
+			fn(r0, r1)
+		}(r0, r1)
+	}
+	wg.Wait()
+	if pv != nil {
+		panic(pv)
+	}
+}
+
+// advanceFused advances the block's trunk state to col, fanning the
+// row-independent fold + band refresh across st.inner goroutines when the
+// model supports ranged advances and the block is tall enough to amortize
+// the handoff. Bit-identical to AdvanceBlock either way (the ranged protocol
+// guarantees it; see core.BlockRowAdvancer).
+func (e *Estimator) advanceFused(bm BlockModel, st *fusedState, codes []int32, n, col int) {
+	if st.inner > 1 && n >= rowShardMin {
+		if adv, ok := bm.(BlockRowAdvancer); ok {
+			adv.BeginAdvanceRows(n, col)
+			parallelRows(n, st.inner, func(r0, r1 int) { adv.AdvanceRows(codes, col, r0, r1) })
+			adv.FinishAdvanceRows(col)
+			return
+		}
+	}
+	bm.AdvanceBlock(codes, n, col)
+}
+
+// decodeFused decodes rows [r0, r1) of col into probs (absolute row
+// indexing), row-sharded like advanceFused when the model supports
+// concurrent range decodes.
+func (e *Estimator) decodeFused(bm BlockModel, st *fusedState, probs [][]float64, col, r0, r1 int) {
+	if st.inner > 1 && r1-r0 >= rowShardMin {
+		if dec, ok := bm.(BlockRowDecoder); ok {
+			dec.PrepareDecode(col)
+			parallelRows(r1-r0, st.inner, func(a, b int) {
+				bm.DecodeBlock(col, r0+a, r0+b, probs[r0+a:r0+b])
+			})
+			return
+		}
+	}
+	bm.DecodeBlock(col, r0, r1, probs[r0:r1])
+}
+
+// decodeTileRows caps how many rows one decode+draw pass covers when no row
+// sharding is active. A full-height decode of a wide column writes a logits
+// block far larger than L2, so the softmax and the draw that immediately
+// re-read it run memory-bound; a tile of a couple of lanes stays
+// cache-resident end to end. Ignored under row sharding, where each worker's
+// range is its own locality domain and splitting the GEMM would defeat it.
+const decodeTileRows = 256
+
+// decodeDraw decodes column col for the contiguous lanes[j:k] and immediately
+// draws their codes, tiling the decode at lane granularity (≤ decodeTileRows
+// rows per pass) when the block is not row-sharded. Tiling is invisible to
+// results: decode is row-independent given the advanced trunk state, and each
+// lane's draws consume only its own rng in row order. When store is true the
+// first decoded row's conditional is published to the first-wave cache (the
+// caller guarantees lanes[j:k] are first-wave lanes sharing it).
+func (e *Estimator) decodeDraw(bm BlockModel, st *fusedState, lanes []*fusedLane, rngs []*rand.Rand, j, k, col, nc int, store bool, codes []int32, weights []float64) {
+	tile := decodeTileRows
+	if st.inner > 1 {
+		tile = int(^uint(0) >> 1)
+	}
+	for j < k {
+		m, rows := j, 0
+		for m < k && (rows == 0 || rows+lanes[m].n <= tile) {
+			rows += lanes[m].n
+			m++
+		}
+		r0, r1 := lanes[j].r0, lanes[m-1].r0+lanes[m-1].n
+		probs := st.probs
+		if st.inner <= 1 && r1-r0 <= decodeTileRows {
+			// Serial tile: decode into the pooled tile rows so softmax and
+			// draw re-read memory that is still cache-resident.
+			for r := r0; r < r1; r++ {
+				st.tileView[r] = st.tileProbs[r-r0]
+			}
+			probs = st.tileView
+		}
+		e.decodeFused(bm, st, probs, col, r0, r1)
+		if store {
+			e.storeFirstWave(col, probs[r0])
+			store = false
+		}
+		for ; j < m; j++ {
+			ln := lanes[j]
+			isAll := ln.fq.reg.Cols[e.colAt(col)].IsAll()
+			drawRows(rngs[j], isAll, ln.fq.valid[col], codes, nc, col, probs, weights, ln.r0, ln.r0+ln.n)
+		}
+	}
+}
+
 // walkBlock runs one fused sample block: the lanes' chunks stacked into a
-// single tall walk. Lanes are (stably) ordered by their query's last
-// restricted column, descending, so lanes done sampling are always a suffix
-// — the active batch stays a prefix and only ever shrinks, which is the
-// model's AdvanceBlock contract. Returns a wrapped ErrPanicked if the model
-// panicked (block state is then poisoned; see reserveIndividually).
+// single tall walk. Lanes arrive ordered by their query's last restricted
+// column, descending (the wave sort), so lanes done sampling are always a
+// suffix — the active batch stays a prefix and only ever shrinks, which is
+// the model's AdvanceBlock contract. Returns a wrapped ErrPanicked if the
+// model panicked (block state is then poisoned; see reserveIndividually).
+//
+// The steady-state walk's scheduler machinery performs no per-block heap
+// allocations: lanes, RNGs, and every tall buffer are pooled in st, and the
+// model's own scratch reuse (capacity-preserving BeginSampling, packed-weight
+// caches, pooled view headers) covers the rest
+// (TestEstimateFusedWalkZeroAlloc pins this at exactly zero below the kernel
+// parallel thresholds). Products tall enough to cross the kernels'
+// threshold-gated fan-out (tensor.parallelThreshold, made.foldParallelMin)
+// additionally pay a bounded O(workers) goroutine-handoff allocation per
+// GEMM — profitable by construction, and tracked as allocs/query by
+// narubench.
 func (e *Estimator) walkBlock(bm BlockModel, st *fusedState, lanes []*fusedLane, nc int, skip bool) (err error) {
 	defer func() {
 		if r := recover(); r != nil {
@@ -362,7 +653,6 @@ func (e *Estimator) walkBlock(bm BlockModel, st *fusedState, lanes []*fusedLane,
 	if err := faultinject.Point(siteFusedWalk); err != nil {
 		return err
 	}
-	sort.SliceStable(lanes, func(a, b int) bool { return lanes[a].fq.last > lanes[b].fq.last })
 	n := 0
 	for _, ln := range lanes {
 		ln.r0 = n
@@ -380,13 +670,17 @@ func (e *Estimator) walkBlock(bm BlockModel, st *fusedState, lanes []*fusedLane,
 	for i := range weights {
 		weights[i] = 1
 	}
-	// One RNG per lane, seeded exactly like the sequential path's chunk:
-	// the draws a lane consumes are its own stream regardless of packing.
-	rngs := st.rngs[:0]
-	for _, ln := range lanes {
-		rngs = append(rngs, rand.New(rand.NewSource(mixSeed(e.seedFor(ln.fq.q), int64(ln.chunk)))))
+	// One RNG per lane, re-seeded in place exactly like the sequential
+	// path's chunk stream: the draws a lane consumes are its own stream
+	// regardless of packing. (Seed on the default source reinitializes the
+	// generator identically to a fresh NewSource, without the allocation.)
+	for len(st.rngs) < len(lanes) {
+		st.rngs = append(st.rngs, rand.New(rand.NewSource(0)))
 	}
-	st.rngs = rngs
+	rngs := st.rngs
+	for j, ln := range lanes {
+		rngs[j].Seed(mixSeed(e.seedFor(ln.fq.q), int64(ln.chunk)))
+	}
 
 	bm.BeginSampling(n)
 	nActive, act := n, len(lanes)
@@ -401,19 +695,37 @@ func (e *Estimator) walkBlock(bm BlockModel, st *fusedState, lanes []*fusedLane,
 		if !skip {
 			// Every active lane decodes and draws through every column —
 			// wildcards have mass 1 but still consume a draw, matching the
-			// default sequential walk.
-			bm.AdvanceBlock(codes, nActive, col)
-			bm.DecodeBlock(col, 0, nActive, st.probs[:nActive])
-			for j := 0; j < act; j++ {
-				ln := lanes[j]
-				isAll := ln.fq.reg.Cols[e.colAt(col)].IsAll()
-				drawRows(rngs[j], isAll, ln.fq.valid[col], codes, nc, col, st.probs, weights, ln.r0, ln.r0+ln.n)
+			// default sequential walk. Column 0 is decoded from the
+			// zero-input broadcast state every row shares, so its
+			// conditional is memoized per serve epoch; the advance still
+			// runs (it is the model's walk bookkeeping — a no-op refresh
+			// right after BeginSampling), only the decode GEMMs are skipped.
+			e.advanceFused(bm, st, codes, nActive, col)
+			var cached []float64
+			if col == 0 {
+				cached = e.firstWaveProbs(0)
+			}
+			if cached != nil {
+				for r := 0; r < nActive; r++ {
+					st.shared[r] = cached
+				}
+				for j := 0; j < act; j++ {
+					ln := lanes[j]
+					isAll := ln.fq.reg.Cols[e.colAt(col)].IsAll()
+					drawRows(rngs[j], isAll, ln.fq.valid[col], codes, nc, col, st.shared, weights, ln.r0, ln.r0+ln.n)
+				}
+			} else {
+				e.decodeDraw(bm, st, lanes, rngs, 0, act, col, nc, col == 0, codes, weights)
 			}
 			continue
 		}
 		// Skip mode: only lanes restricting this column decode it; if none
 		// do, the whole block jumps the column (the model treats it as
-		// absent). Decodes run per maximal contiguous run of needing lanes.
+		// absent). Decodes run per maximal contiguous run of needing lanes,
+		// split further into sub-runs of first-wave lanes (fq.first == col):
+		// those lanes skipped every earlier column, so their rows still hold
+		// the zero-input broadcast state and their conditional is the
+		// memoized first-wave vector for col.
 		j := 0
 		advanced := false
 		for j < act {
@@ -426,14 +738,35 @@ func (e *Estimator) walkBlock(bm BlockModel, st *fusedState, lanes []*fusedLane,
 				k++
 			}
 			if !advanced {
-				bm.AdvanceBlock(codes, nActive, col)
+				// The advance must run even when every decode below is
+				// served from cache: it folds the previously decoded
+				// column's codes and keeps the model's column cursor in
+				// step, so the codes drawn here get folded at the next
+				// advance.
+				e.advanceFused(bm, st, codes, nActive, col)
 				advanced = true
 			}
-			r0, r1 := lanes[j].r0, lanes[k-1].r0+lanes[k-1].n
-			bm.DecodeBlock(col, r0, r1, st.probs[r0:r1])
-			for ; j < k; j++ {
-				ln := lanes[j]
-				drawRows(rngs[j], false, ln.fq.valid[col], codes, nc, col, st.probs, weights, ln.r0, ln.r0+ln.n)
+			for j < k {
+				m := j
+				fw := lanes[j].fq.first == col
+				for m < k && (lanes[m].fq.first == col) == fw {
+					m++
+				}
+				if fw {
+					if cached := e.firstWaveProbs(col); cached != nil {
+						r0, r1 := lanes[j].r0, lanes[m-1].r0+lanes[m-1].n
+						for r := r0; r < r1; r++ {
+							st.shared[r] = cached
+						}
+						for ; j < m; j++ {
+							ln := lanes[j]
+							drawRows(rngs[j], false, ln.fq.valid[col], codes, nc, col, st.shared, weights, ln.r0, ln.r0+ln.n)
+						}
+						continue
+					}
+				}
+				e.decodeDraw(bm, st, lanes, rngs, j, m, col, nc, fw, codes, weights)
+				j = m
 			}
 		}
 	}
@@ -449,6 +782,6 @@ func (e *Estimator) walkBlock(bm BlockModel, st *fusedState, lanes []*fusedLane,
 		ln.fq.done += ln.n
 		ln.fq.chunks++
 	}
+	e.obs.fusedBlocks.Inc()
 	return nil
 }
-

@@ -2,9 +2,15 @@ package core
 
 import (
 	"context"
+	"errors"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
 	"testing"
 
 	"repro/internal/made"
+	"repro/internal/obs"
 	"repro/internal/query"
 	"repro/internal/table"
 )
@@ -197,12 +203,296 @@ func TestEstimateFusedBlockPanicReserved(t *testing.T) {
 	seq.EnumThreshold = 40
 	want := seq.EstimateBatchCtx(context.Background(), regs, ServeOptions{Workers: 1})
 
+	// Workers pinned to 1: panicBlock forks to itself, so concurrent shards
+	// would share one model state. TestEstimateFusedShardPanicContained covers
+	// the multi-shard containment path with properly forking replicas.
 	pb := &panicBlock{Model: testMADE(domains)}
 	fused := NewEstimator(pb, samples, seed)
 	fused.EnumThreshold = 40
-	got := fused.EstimateFused(context.Background(), regs, ServeOptions{})
+	got := fused.EstimateFused(context.Background(), regs, ServeOptions{Workers: 1})
 	if !pb.fired {
 		t.Fatal("block panic never triggered; fused path not taken")
 	}
 	requireFusedMatch(t, got, want)
+}
+
+// TestEstimateFusedWorkerMatrix is the parallel determinism contract: the
+// same workload served at every worker count — and so through every
+// combination of shard counts and row-shard budgets — returns bit-identical
+// results to the per-query sequential path, with and without wildcard
+// skipping. Run under -race this also exercises the shard workers, the
+// row-shard goroutines, and the first-wave cache concurrently.
+func TestEstimateFusedWorkerMatrix(t *testing.T) {
+	tbl := corrTable(t, 1500, 3)
+	regs := fusedWorkload(t, tbl)
+	domains := tbl.DomainSizes()
+	const samples, seed = 300, 42
+
+	for _, skip := range []bool{false, true} {
+		seq := NewEstimator(testMADE(domains), samples, seed)
+		seq.EnumThreshold = 40
+		seq.SkipWildcards = skip
+		want := seq.EstimateBatchCtx(context.Background(), regs, ServeOptions{Workers: 1})
+
+		for _, w := range []int{1, 2, 4, 8} {
+			fused := NewEstimator(testMADE(domains), samples, seed)
+			fused.EnumThreshold = 40
+			fused.SkipWildcards = skip
+			got := fused.EstimateFused(context.Background(), regs, ServeOptions{Workers: w})
+			for i := range want {
+				if !resultEqual(got[i], want[i]) || got[i].Stop != want[i].Stop {
+					t.Fatalf("skip=%v workers=%d query %d: fused %+v != sequential %+v",
+						skip, w, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// TestEstimateFusedInvalidWorkers: a negative worker count is a caller bug,
+// rejected for the whole batch with ErrInvalidWorkers on both batch entry
+// points instead of being silently clamped.
+func TestEstimateFusedInvalidWorkers(t *testing.T) {
+	tbl := corrTable(t, 1500, 3)
+	regs := fusedWorkload(t, tbl)
+	e := NewEstimator(testMADE(tbl.DomainSizes()), 300, 42)
+	e.EnumThreshold = 40
+
+	paths := map[string][]Result{
+		"EstimateFused":    e.EstimateFused(context.Background(), regs, ServeOptions{Workers: -3}),
+		"EstimateBatchCtx": e.EstimateBatchCtx(context.Background(), regs, ServeOptions{Workers: -3}),
+	}
+	for name, res := range paths {
+		if len(res) != len(regs) {
+			t.Fatalf("%s: %d results for %d regions", name, len(res), len(regs))
+		}
+		for i, r := range res {
+			if r.Source != SourceFailed || !errors.Is(r.Err, ErrInvalidWorkers) {
+				t.Fatalf("%s query %d: got source %v err %v; want SourceFailed with ErrInvalidWorkers",
+					name, i, r.Source, r.Err)
+			}
+		}
+	}
+}
+
+// shardPanicBlock forks real model replicas (unlike panicBlock) but shares
+// one panic trigger across them, so exactly one shard worker's walk is
+// poisoned no matter how the scheduler interleaves.
+type shardPanicBlock struct {
+	*made.Model
+	fired *atomic.Bool
+}
+
+func (p *shardPanicBlock) ForkModel() any {
+	return &shardPanicBlock{Model: p.Model.Fork(), fired: p.fired}
+}
+
+func (p *shardPanicBlock) AdvanceBlock(codes []int32, n, col int) {
+	if p.fired.CompareAndSwap(false, true) {
+		panic("shard block bug")
+	}
+	p.Model.AdvanceBlock(codes, n, col)
+}
+
+// TestEstimateFusedShardPanicContained: with multiple shards in flight, a
+// panic inside one shard's walk re-serves only that shard's queries (the
+// naru_fused_reserved_total count never exceeds one round-robin group) and
+// every answer — re-served or not — stays bit-identical to sequential.
+func TestEstimateFusedShardPanicContained(t *testing.T) {
+	tbl := corrTable(t, 1500, 3)
+	regs := fusedWorkload(t, tbl)
+	domains := tbl.DomainSizes()
+	const samples, seed, workers = 300, 42, 4
+
+	seq := NewEstimator(testMADE(domains), samples, seed)
+	seq.EnumThreshold = 40
+	want := seq.EstimateBatchCtx(context.Background(), regs, ServeOptions{Workers: 1})
+
+	pb := &shardPanicBlock{Model: testMADE(domains), fired: new(atomic.Bool)}
+	fused := NewEstimator(pb, samples, seed)
+	fused.EnumThreshold = 40
+	reg := obs.New()
+	fused.SetObserver(reg)
+	got := fused.EstimateFused(context.Background(), regs, ServeOptions{Workers: workers})
+	if !pb.fired.Load() {
+		t.Fatal("shard panic never triggered; fused path not taken")
+	}
+	requireFusedMatch(t, got, want)
+
+	sampling := 0
+	for _, r := range want {
+		if r.Samples > 0 {
+			sampling++
+		}
+	}
+	shards := workers
+	if shards > sampling {
+		shards = sampling
+	}
+	maxGroup := (sampling + shards - 1) / shards
+	reserved := int(reg.Counter(metricFusedReserved).Value())
+	if reserved == 0 || reserved > maxGroup {
+		t.Fatalf("re-served %d queries; want between 1 and %d (one shard's round-robin group of %d sampling queries)",
+			reserved, maxGroup, sampling)
+	}
+}
+
+// TestEstimateFusedFirstWaveEpoch: the memoized first-wave conditionals are
+// keyed to the serve epoch — populated by a fused serve, invalidated by
+// BumpServeEpoch and SetVersion (the in-place weight-mutation hooks), and
+// repopulated on the next serve with bit-identical answers.
+func TestEstimateFusedFirstWaveEpoch(t *testing.T) {
+	tbl := corrTable(t, 1500, 3)
+	regs := fusedWorkload(t, tbl)
+	domains := tbl.DomainSizes()
+	const samples, seed = 300, 42
+
+	// Query seeds advance with the estimator's global counter, so the
+	// reference estimator serves the batch the same number of times: round k
+	// of both estimators consumes identical per-(query, chunk) streams.
+	seq := NewEstimator(testMADE(domains), samples, seed)
+	seq.EnumThreshold = 40
+	want := seq.EstimateBatchCtx(context.Background(), regs, ServeOptions{Workers: 1})
+	want2 := seq.EstimateBatchCtx(context.Background(), regs, ServeOptions{Workers: 1})
+
+	e := NewEstimator(testMADE(domains), samples, seed)
+	e.EnumThreshold = 40
+	first := e.EstimateFused(context.Background(), regs, ServeOptions{Workers: 1})
+	requireFusedMatch(t, first, want)
+	if e.firstWaveProbs(0) == nil {
+		t.Fatal("fused serve did not memoize the column-0 first-wave conditional")
+	}
+
+	e.BumpServeEpoch()
+	if e.firstWaveProbs(0) != nil {
+		t.Fatal("BumpServeEpoch left a stale first-wave entry servable")
+	}
+
+	again := e.EstimateFused(context.Background(), regs, ServeOptions{Workers: 1})
+	requireFusedMatch(t, again, want2)
+	if e.firstWaveProbs(0) == nil {
+		t.Fatal("cache not repopulated after invalidation")
+	}
+
+	e.SetVersion(7)
+	if e.firstWaveProbs(0) != nil {
+		t.Fatal("SetVersion left a stale first-wave entry servable")
+	}
+}
+
+// TestEstimateFusedEpochRaceBitIdentical: serving fused batches at Workers=4
+// while another goroutine hammers SetVersion — the mid-batch hot-swap shape:
+// version bumps and first-wave cache invalidation racing in-flight walks —
+// never changes a bit of any estimate, because cached and freshly decoded
+// first-wave conditionals are the same vector.
+func TestEstimateFusedEpochRaceBitIdentical(t *testing.T) {
+	tbl := corrTable(t, 1500, 3)
+	regs := fusedWorkload(t, tbl)
+	domains := tbl.DomainSizes()
+	const samples, seed = 300, 42
+
+	// The reference estimator serves round-for-round so its query counter —
+	// and with it every per-(query, chunk) seed — stays in lockstep.
+	seq := NewEstimator(testMADE(domains), samples, seed)
+	seq.EnumThreshold = 40
+
+	e := NewEstimator(testMADE(domains), samples, seed)
+	e.EnumThreshold = 40
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for v := uint64(1); ; v++ {
+			select {
+			case <-stop:
+				return
+			default:
+				e.SetVersion(v)
+				runtime.Gosched()
+			}
+		}
+	}()
+	for round := 0; round < 4; round++ {
+		want := seq.EstimateBatchCtx(context.Background(), regs, ServeOptions{Workers: 1})
+		got := e.EstimateFused(context.Background(), regs, ServeOptions{Workers: 4})
+		for i := range want {
+			if !resultEqual(got[i], want[i]) || got[i].Stop != want[i].Stop {
+				t.Fatalf("round %d query %d under epoch churn: fused %+v != sequential %+v",
+					round, i, got[i], want[i])
+			}
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+// TestEstimateFusedWalkZeroAlloc asserts walkBlock's documented contract:
+// once the pooled buffers, RNGs, model scratch, and first-wave cache are
+// primed, the scheduler machinery of a block walk performs zero heap
+// allocations. The block is sized below the model kernels' parallel-dispatch
+// thresholds (tensor.parallelThreshold, made.foldParallelMin), whose
+// goroutine fan-out on taller products allocates bounded handoff objects by
+// design — this test isolates the scheduler's contribution, which must be
+// exactly zero.
+func TestEstimateFusedWalkZeroAlloc(t *testing.T) {
+	tbl := corrTable(t, 1500, 3)
+	regs := fusedWorkload(t, tbl)
+	domains := tbl.DomainSizes()
+	const samples, seed = 300, 42
+	// Narrow hidden layers keep every per-block product (fold, trunk, head
+	// decode) under the kernels' parallel thresholds at the lane sizes below.
+	model := made.New(domains, made.Config{HiddenSizes: []int{16, 16}, EmbedThreshold: 64, EmbedDim: 8, Seed: 5})
+
+	e := NewEstimator(model, samples, seed)
+	e.EnumThreshold = 40
+	// Prime every pool: model scratch capacity, packed-weight caches, the
+	// fused state, and the first-wave conditionals.
+	e.EstimateFused(context.Background(), regs, ServeOptions{Workers: 1})
+
+	sc := e.acquire()
+	defer e.release(sc)
+	bm, ok := sc.model.(BlockModel)
+	if !ok {
+		t.Fatal("test model is not a BlockModel")
+	}
+	st := e.getFusedState()
+	defer e.fusedPool.Put(st)
+
+	// Rebuild a representative block by hand: one short chunk of each of
+	// three sampling queries, wave-sorted exactly as runFusedWaves would
+	// order it. 3×48 = 144 rows: tall enough to exercise multi-lane packing,
+	// short enough that every kernel product stays serial.
+	opts := ServeOptions{}
+	var res Result
+	lanes := make([]*fusedLane, 0, len(regs))
+	for i, reg := range regs {
+		fq := e.classifyFused(context.Background(), sc, reg, uint64(1000+i), i, &opts, &res)
+		if fq == nil {
+			continue
+		}
+		lanes = append(lanes, &fusedLane{fq: fq, chunk: 0, n: 48})
+		if len(lanes) == 3 {
+			break
+		}
+	}
+	if len(lanes) < 3 {
+		t.Fatalf("only %d sampling lanes; workload too small", len(lanes))
+	}
+	sort.SliceStable(lanes, func(a, b int) bool { return lanes[a].fq.last > lanes[b].fq.last })
+	nc := sc.model.NumCols()
+
+	// One warm walk grows st.rngs to the lane count and settles any remaining
+	// lazily-built model scratch.
+	if err := e.walkBlock(bm, st, lanes, nc, false); err != nil {
+		t.Fatal(err)
+	}
+	avg := testing.AllocsPerRun(20, func() {
+		if err := e.walkBlock(bm, st, lanes, nc, false); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if avg != 0 {
+		t.Fatalf("steady-state fused block walk allocates %.1f objects per block; want 0", avg)
+	}
 }

@@ -86,6 +86,47 @@ type BlockModel interface {
 	DecodeBlock(col, r0, r1 int, out [][]float64)
 }
 
+// BlockRowAdvancer is an optional extension of BlockModel for models whose
+// trunk advance can be split over disjoint row ranges — the hook the fused
+// scheduler uses to spread one tall block's advance across cores. The
+// sequence
+//
+//	BeginAdvanceRows(n, col)
+//	AdvanceRows(codes, col, r0, r1)   // ranges covering [0, n), any order,
+//	                                  // disjoint ranges concurrently
+//	FinishAdvanceRows(col)
+//
+// must be bit-identical to one AdvanceBlock(codes, n, col) call: the fold
+// and refresh are row-independent, BeginAdvanceRows prepares any lazily
+// built shared state (so concurrent ranges never race on it), and
+// FinishAdvanceRows commits the walk bookkeeping once.
+type BlockRowAdvancer interface {
+	BlockModel
+
+	// BeginAdvanceRows validates the advance and prepares shared scratch for
+	// concurrent AdvanceRows calls over rows [0, n).
+	BeginAdvanceRows(n, col int)
+
+	// AdvanceRows performs the fold + trunk refresh for rows [r0, r1) only.
+	AdvanceRows(codes []int32, col, r0, r1 int)
+
+	// FinishAdvanceRows commits the advance after every range has run.
+	FinishAdvanceRows(col int)
+}
+
+// BlockRowDecoder is an optional extension of BlockModel for models whose
+// column decode can run concurrently over disjoint row ranges of the current
+// block. PrepareDecode(col) sizes the decode scratch for the full walk
+// height and builds any lazily packed weights; afterwards DecodeBlock calls
+// with disjoint [r0, r1) may run in parallel, each touching only its own
+// rows, until the next advance re-arms single-threaded mode.
+type BlockRowDecoder interface {
+	BlockModel
+
+	// PrepareDecode arms concurrent row-range decodes of column col.
+	PrepareDecode(col int)
+}
+
 // WildcardSkipper is an optional extension for models that accept code -1 as
 // "column absent" in CondBatch/AdvanceBlock inputs, letting the sampler skip
 // the sampling step for interior wildcard columns entirely instead of

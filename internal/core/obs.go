@@ -25,6 +25,9 @@ const (
 	metricSamplesRequested = "naru_sample_paths_requested_total"
 	metricSamplesCompleted = "naru_sample_paths_completed_total"
 	metricQueryLatency     = "naru_query_latency_seconds"
+	metricFusedWorkers     = "naru_fused_workers"
+	metricFusedBlocks      = "naru_fused_blocks_total"
+	metricFusedReserved    = "naru_fused_reserved_total"
 )
 
 // estObs bundles the estimator's pre-resolved metric handles. The zero value
@@ -47,6 +50,13 @@ type estObs struct {
 	samplesRequested *obs.Counter
 	samplesCompleted *obs.Counter
 	latency          *obs.Histogram
+
+	// Fused-scheduler instrumentation: the worker count the last EstimateFused
+	// call resolved to (gauge), tall blocks walked, and queries re-served
+	// individually after a shard panic (counters).
+	fusedWorkers  *obs.Gauge
+	fusedBlocks   *obs.Counter
+	fusedReserved *obs.Counter
 }
 
 // SetObserver attaches a metrics registry to the estimator: every query
@@ -73,6 +83,9 @@ func (e *Estimator) SetObserver(r *obs.Registry) {
 		samplesRequested: r.Counter(metricSamplesRequested),
 		samplesCompleted: r.Counter(metricSamplesCompleted),
 		latency:          r.Histogram(metricQueryLatency, obs.LatencyBuckets),
+		fusedWorkers:     r.Gauge(metricFusedWorkers),
+		fusedBlocks:      r.Counter(metricFusedBlocks),
+		fusedReserved:    r.Counter(metricFusedReserved),
 	}
 }
 

@@ -75,6 +75,20 @@ type Estimator struct {
 	// fusedPool recycles the tall block buffers of the fused cross-query
 	// scheduler (see fused.go) across EstimateFused calls.
 	fusedPool sync.Pool
+
+	// fw caches first-wave conditionals: the distribution decoded at a walk's
+	// first restricted model position depends only on that position (every
+	// earlier column is a wildcard, so the trunk still holds its zero-input
+	// broadcast state — see the bit-identity argument in DESIGN.md), so it is
+	// computed once per (serve epoch, column) and shared across every lane,
+	// sample chunk, and query. serveEpoch keys the cache: SetVersion and
+	// BumpServeEpoch advance it, orphaning stale entries.
+	fw struct {
+		mu    sync.RWMutex
+		epoch uint64
+		probs map[int][]float64
+	}
+	serveEpoch atomic.Uint64
 }
 
 // scratch bundles everything one in-flight query needs: a model (the shared
@@ -127,8 +141,48 @@ func NewEstimator(m Model, samples int, seed int64) *Estimator {
 // SetVersion stamps the lifecycle model-version id this estimator serves;
 // every Result and trace it produces afterwards carries the id. Versioned
 // estimators are immutable bundles behind an atomic swap point, so this is
-// called once before the estimator starts serving.
-func (e *Estimator) SetVersion(v uint64) { e.version.Store(v) }
+// called once before the estimator starts serving. It also bumps the serve
+// epoch, so any first-wave conditionals memoized under the previous version
+// id are orphaned.
+func (e *Estimator) SetVersion(v uint64) {
+	e.version.Store(v)
+	e.BumpServeEpoch()
+}
+
+// BumpServeEpoch invalidates the memoized first-wave conditionals. Call it
+// after anything that changes the model's weights in place (incremental
+// append training, for example); hot-swap lifecycles that install a fresh
+// Estimator per version get a fresh cache for free.
+func (e *Estimator) BumpServeEpoch() { e.serveEpoch.Add(1) }
+
+// firstWaveProbs returns the memoized first-wave conditional for model
+// position col under the current serve epoch, or nil on a miss. The returned
+// slice is shared and must be treated as read-only.
+func (e *Estimator) firstWaveProbs(col int) []float64 {
+	epoch := e.serveEpoch.Load()
+	e.fw.mu.RLock()
+	defer e.fw.mu.RUnlock()
+	if e.fw.epoch != epoch {
+		return nil
+	}
+	return e.fw.probs[col]
+}
+
+// storeFirstWave memoizes p (copied, truncated to col's domain) as the
+// first-wave conditional of model position col. The entry is keyed to the
+// epoch current at call time; a concurrent bump simply orphans it.
+func (e *Estimator) storeFirstWave(col int, p []float64) {
+	epoch := e.serveEpoch.Load()
+	dom := e.model.DomainSizes()[col]
+	cp := append([]float64(nil), p[:dom]...)
+	e.fw.mu.Lock()
+	defer e.fw.mu.Unlock()
+	if e.fw.epoch != epoch || e.fw.probs == nil {
+		e.fw.epoch = epoch
+		e.fw.probs = make(map[int][]float64)
+	}
+	e.fw.probs[col] = cp
+}
 
 // Version returns the lifecycle model-version id (0 when versioning is not
 // in use).

@@ -136,9 +136,20 @@ var ErrNonFinite = errors.New("core: model produced a non-finite estimate")
 // Recovered, and naru_query_panics_recovered_total counts them.
 var ErrPanicked = errors.New("core: query panicked")
 
+// ErrInvalidWorkers reports a negative ServeOptions.Workers. Batch entry
+// points reject the whole batch with it (every Result carries SourceFailed
+// and this error) instead of silently clamping a caller bug to a default.
+var ErrInvalidWorkers = errors.New("core: ServeOptions.Workers must be >= 0")
+
 // ServeOptions configures fault-tolerant batch serving.
 type ServeOptions struct {
-	// Workers caps the serving goroutines (NumCPU when <= 0).
+	// Workers caps the serving goroutines (NumCPU when <= 0). On the
+	// per-query path it bounds the worker pool pulling queries off the
+	// batch; on the fused path it bounds both the shard count (an admission
+	// wave's queries are partitioned into Workers disjoint lane groups, one
+	// pooled model replica each) and the row-range fan-out inside a single
+	// tall block. Results are bit-identical at every worker count. Negative
+	// values are rejected with ErrInvalidWorkers rather than clamped.
 	Workers int
 
 	// Deadline is the per-query wall-clock budget (measured from the moment
@@ -195,6 +206,13 @@ func (e *Estimator) EstimateBatchCtx(ctx context.Context, regions []*query.Regio
 	}
 	if ctx == nil {
 		ctx = context.Background()
+	}
+	if opts.Workers < 0 {
+		err := fmt.Errorf("%w: got %d", ErrInvalidWorkers, opts.Workers)
+		for i := range out {
+			out[i] = Result{Source: SourceFailed, Err: err, ModelVersion: e.version.Load()}
+		}
+		return out
 	}
 	base := e.nextQuery.Add(uint64(len(regions))) - uint64(len(regions))
 	workers := opts.Workers

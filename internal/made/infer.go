@@ -45,6 +45,34 @@ type sampState struct {
 	// activation is stale; units below it are current for the folds applied
 	// so far. Layer 0 is kept fully current by the fold itself.
 	refreshed []int
+
+	// zeroH1/zeroPost snapshot the zero-input trunk forward — the state every
+	// walk starts from. BeginSampling replays the snapshot instead of
+	// rerunning the trunk per block (bit-identical: the same values are
+	// broadcast either way). Training drops it along with the packs.
+	zeroH1   []float32
+	zeroPost [][]float32
+
+	// vFold/vCur/vPrev/vHid are pooled row-window view headers: the
+	// sequential walk mutates these in place instead of allocating a Matrix
+	// header per GEMM call, which keeps the steady-state block walk
+	// allocation-free. The concurrent row-range entries (AdvanceRows, and
+	// DecodeBlock after PrepareDecode) use stack-local headers instead, so
+	// disjoint ranges never share them.
+	vFold, vEmb, vCur, vPrev, vHid tensor.Matrix
+
+	// decodeShared is set by PrepareDecode: the decode scratch is pre-sized
+	// for the full walk height and DecodeBlock switches to offset-addressed
+	// row windows, making concurrent disjoint-range decodes safe. Cleared by
+	// the next advance or BeginSampling.
+	decodeShared bool
+}
+
+// viewRows points dst at rows [r0, r1) of src (shared storage, no copy).
+func viewRows(dst *tensor.Matrix, src *tensor.Matrix, r0, r1 int) *tensor.Matrix {
+	dst.Rows, dst.Cols = r1-r0, src.Cols
+	dst.Data = src.Data[r0*src.Cols : r1*src.Cols]
+	return dst
 }
 
 // inferScratch holds buffers reused across CondBatch calls. Everything here
@@ -59,43 +87,64 @@ type inferScratch struct {
 // cache for a walk of columns 0..NumCols()-1 over a batch of n tuples.
 func (m *Model) BeginSampling(n int) {
 	L := len(m.trunk.Layers) / 2
-	if len(m.samp.post) != L || (n > 0 && m.samp.post[0].Rows != n) {
-		m.samp.post = make([]*tensor.Matrix, L)
-		for l := 0; l < L; l++ {
-			m.samp.post[l] = tensor.New(n, m.trunk.Layers[2*l].(*nn.Linear).W.Val.Cols)
-		}
-		m.samp.h1pre = tensor.New(n, m.samp.post[0].Cols)
+	s := &m.samp
+	// Reshape the activation caches reusing their backing storage: fused
+	// serving begins walks of alternating heights (full blocks, then the
+	// batch tail), and reallocating multi-MB activation stacks per block was
+	// the dominant cost of the fused path at one worker.
+	if len(s.post) != L {
+		s.post = make([]*tensor.Matrix, L)
 	}
+	for l := 0; l < L; l++ {
+		s.post[l] = resizeMat(s.post[l], n, m.trunk.Layers[2*l].(*nn.Linear).W.Val.Cols)
+	}
+	s.h1pre = resizeMat(s.h1pre, n, s.post[0].Cols)
 	// Column 0 sees an all-zero input, so every row of the batch starts from
 	// identical activations: run the trunk once over a single zero row (views
-	// into row 0 of the caches) and broadcast the result down the batch.
+	// into row 0 of the caches), snapshot it, and broadcast the result down
+	// the batch. Later walks replay the snapshot — the trunk's zero-input
+	// forward depends only on the weights, so the replay is bit-identical and
+	// skips a pack+GEMM pass per layer per block.
 	if n > 0 {
-		h1 := m.firstLinear()
-		row := m.rowView(m.samp.h1pre)
-		copy(row.Data, h1.B.Val.Data)
-		prev := m.rowView(m.samp.post[0])
-		for j, v := range row.Data {
-			if v > 0 {
-				prev.Data[j] = v
-			} else {
-				prev.Data[j] = 0
+		if s.zeroH1 == nil {
+			h1 := m.firstLinear()
+			row := m.rowView(s.h1pre)
+			copy(row.Data, h1.B.Val.Data)
+			prev := m.rowView(s.post[0])
+			for j, v := range row.Data {
+				if v > 0 {
+					prev.Data[j] = v
+				} else {
+					prev.Data[j] = 0
+				}
+			}
+			for l := 1; l < L; l++ {
+				lin := m.trunk.Layers[2*l].(*nn.Linear)
+				cur := m.rowView(s.post[l])
+				tensor.LinearReLU(cur, prev, lin.W.Val, lin.B.Val.Data, true)
+				prev = cur
+			}
+			s.zeroH1 = append(s.zeroH1[:0], s.h1pre.Data[:s.h1pre.Cols]...)
+			s.zeroPost = s.zeroPost[:0]
+			for l := 0; l < L; l++ {
+				s.zeroPost = append(s.zeroPost, append([]float32(nil), s.post[l].Data[:s.post[l].Cols]...))
+			}
+		} else {
+			copy(s.h1pre.Data[:s.h1pre.Cols], s.zeroH1)
+			for l := 0; l < L; l++ {
+				copy(s.post[l].Data[:s.post[l].Cols], s.zeroPost[l])
 			}
 		}
-		for l := 1; l < L; l++ {
-			lin := m.trunk.Layers[2*l].(*nn.Linear)
-			cur := m.rowView(m.samp.post[l])
-			tensor.LinearReLU(cur, prev, lin.W.Val, lin.B.Val.Data, true)
-			prev = cur
-		}
-		broadcastRow0(m.samp.h1pre)
+		broadcastRow0(s.h1pre)
 		for l := 0; l < L; l++ {
-			broadcastRow0(m.samp.post[l])
+			broadcastRow0(s.post[l])
 		}
 	}
-	m.samp.active = true
-	m.samp.n = n
-	m.samp.nextCol = 0
-	m.samp.lastDecoded = -1
+	s.active = true
+	s.n = n
+	s.nextCol = 0
+	s.lastDecoded = -1
+	s.decodeShared = false
 	// Everything is current for the zero-fold state the broadcast just built.
 	if cap(m.samp.refreshed) < L {
 		m.samp.refreshed = make([]int, L)

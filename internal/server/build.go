@@ -53,7 +53,7 @@ func BuildTenant(tc TenantConfig, reg *naru.Metrics, logf func(format string, ar
 		}
 	}
 	opts := TenantOptions{
-		Serve:            naru.ServeOptions{Deadline: time.Duration(tc.Timeout), TargetRelStdErr: tc.TargetStdErr},
+		Serve:            naru.ServeOptions{Deadline: time.Duration(tc.Timeout), TargetRelStdErr: tc.TargetStdErr, Workers: tc.Workers},
 		BatchWindow:      time.Duration(tc.BatchWindow),
 		MaxInFlight:      tc.MaxInFlight,
 		CacheSize:        tc.CacheSize,

@@ -75,6 +75,10 @@ type TenantConfig struct {
 	BatchWindow Duration `json:"batch_window,omitempty"`
 	// MaxInFlight caps concurrent fused dispatches when coalescing.
 	MaxInFlight int `json:"max_inflight,omitempty"`
+	// Workers is the fused scheduler's parallelism budget per dispatch (query
+	// shards × row shards per block). 0 uses NumCPU; results are bit-identical
+	// at any setting. Negative values are rejected at load time.
+	Workers int `json:"workers,omitempty"`
 	// CacheSize bounds the tenant's predicate-fingerprint result cache
 	// (entries). 0 uses the default (1024); negative disables the cache.
 	CacheSize int `json:"cache_size,omitempty"`
@@ -140,6 +144,9 @@ func LoadTenants(r io.Reader) ([]TenantConfig, string, error) {
 		seen[tc.Name] = true
 		if tc.CSV == "" || tc.Model == "" {
 			return nil, "", fmt.Errorf("tenants file: tenant %q needs both csv and model", tc.Name)
+		}
+		if tc.Workers < 0 {
+			return nil, "", fmt.Errorf("tenants file: tenant %q: workers must be >= 0, got %d", tc.Name, tc.Workers)
 		}
 	}
 	def := file.Default

@@ -31,7 +31,9 @@ const (
 // table — the construction path for tests and embedders. BuildTenant is the
 // from-disk path driven by a TenantConfig.
 type TenantOptions struct {
-	// Serve configures per-query serving: deadline, target stderr, fallback.
+	// Serve configures per-query serving: deadline, target stderr, fallback,
+	// and Workers (the fused scheduler's parallelism budget for coalesced
+	// dispatches; direct single-query serving pins Workers to 1).
 	Serve naru.ServeOptions
 	// BatchWindow > 0 routes /estimate through a request coalescer with this
 	// micro-batch window.

@@ -144,14 +144,17 @@ func matMulPackedAt(c, a *Matrix, pb *PackedB, bias []float32, relu, accumulate 
 	if bias != nil && len(bias) != pb.N {
 		panic(fmt.Sprintf("tensor: MatMulPacked bias length %d for %d columns", len(bias), pb.N))
 	}
-	body := func(start, end int) {
-		packedBody(c, a, a.Cols, pb, bias, relu, accumulate, cOff, start, end)
-	}
+	// The serial branch calls packedBody directly: creating the closure first
+	// would heap-allocate it even when ParallelFor is never reached (it
+	// escapes into the goroutine path), and the block-sampling walk relies on
+	// sub-threshold products being allocation-free.
 	if a.Rows*a.Cols*pb.N < parallelThreshold {
-		body(0, a.Rows)
+		packedBody(c, a, a.Cols, pb, bias, relu, accumulate, cOff, 0, a.Rows)
 		return
 	}
-	ParallelFor(a.Rows, body)
+	ParallelFor(a.Rows, func(start, end int) {
+		packedBody(c, a, a.Cols, pb, bias, relu, accumulate, cOff, start, end)
+	})
 }
 
 // MatMulPackedWindow exposes the column-window product C[:, cOff:cOff+pb.N] =
@@ -210,14 +213,15 @@ func MatMulPackedPrefix(c, a *Matrix, pb *PackedB, bias []float32, relu, accumul
 		}
 		return
 	}
-	body := func(start, end int) {
-		packedBody(c, a, a.Cols, pb, bias, relu, accumulate, cOff, start, end)
-	}
+	// Serial branch first, closure only on the parallel path — same
+	// allocation-free contract as matMulPackedAt.
 	if a.Rows*pb.K*pb.N < parallelThreshold {
-		body(0, a.Rows)
+		packedBody(c, a, a.Cols, pb, bias, relu, accumulate, cOff, 0, a.Rows)
 		return
 	}
-	ParallelFor(a.Rows, body)
+	ParallelFor(a.Rows, func(start, end int) {
+		packedBody(c, a, a.Cols, pb, bias, relu, accumulate, cOff, start, end)
+	})
 }
 
 // packedBody runs the micro-kernel over rows [start, end) of A, reading the

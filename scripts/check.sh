@@ -28,7 +28,11 @@
 # small-scale inference benchmark twice through narubench's history recorder —
 # the first run records the baseline, the second must stay within 10% of it on
 # every gated metric (queries/sec down, latency/allocations up = failure) and
-# must report zero fused-vs-sequential mismatches.
+# must report zero mismatches on both the fused-batch and parallel-fused
+# paths. A scaling check then re-runs the benchmark at GOMAXPROCS=1 and
+# GOMAXPROCS=NumCPU: parallel-fused throughput must improve by more than 1.5x
+# on boxes with at least 4 cores (on smaller boxes only the bit-identity
+# lines are enforced).
 #
 # `check.sh chaos` is the fault-injection gate: the breaker/recovery/heal
 # suites under the race detector, then a live kill matrix — for every
@@ -236,15 +240,46 @@ if [ "${1:-}" = "bench" ]; then
     bench_flags="-dmv-rows 12000 -queries 48 -epochs 1 -quiet
         -bench-out $tmp/BENCH_inference.json -history $tmp/history.json"
 
+    # Both the fused-batch and the parallel-fused runs print a mismatch line;
+    # each must be 0/48 (a single grep -q would pass with one of them broken).
+    require_bit_identity() {
+        [ "$(grep -c "0/48 mismatched" "$1")" -eq 2 ] \
+            || { echo "fused serving mismatched sequential ($1)"; cat "$1"; exit 1; }
+    }
+
     echo "-- baseline run"
     go run ./cmd/narubench $bench_flags inference > "$tmp/run1.out"
-    grep -q "0/48 mismatched" "$tmp/run1.out" || { echo "fused batch mismatched sequential"; cat "$tmp/run1.out"; exit 1; }
+    require_bit_identity "$tmp/run1.out"
     grep -q "recorded .* in" "$tmp/run1.out" || { echo "history entry not recorded"; cat "$tmp/run1.out"; exit 1; }
 
     echo "-- gated re-run (must stay within 10% of the baseline)"
     go run ./cmd/narubench $bench_flags -check-regression inference > "$tmp/run2.out" \
         || { echo "regression gate tripped"; cat "$tmp/run2.out"; exit 1; }
-    grep -q "0/48 mismatched" "$tmp/run2.out" || { echo "fused batch mismatched sequential"; cat "$tmp/run2.out"; exit 1; }
+    require_bit_identity "$tmp/run2.out"
+
+    ncpu="$(nproc 2>/dev/null || getconf _NPROCESSORS_ONLN 2>/dev/null || echo 1)"
+    echo "-- parallel-fused scaling: GOMAXPROCS=1 vs GOMAXPROCS=$ncpu"
+    scale_flags="-dmv-rows 12000 -queries 48 -epochs 1 -quiet"
+    # qps <bench.json>: the parallel-fused throughput the run recorded.
+    qps() {
+        awk '/"name": "dmv_queries_per_sec_fused_parallel"/ { hit = 1 }
+             hit && /"value":/ { gsub(/[",]/, ""); print $2; exit }' "$1"
+    }
+    GOMAXPROCS=1 go run ./cmd/narubench $scale_flags -bench-out "$tmp/BENCH_p1.json" \
+        inference > "$tmp/p1.out"
+    require_bit_identity "$tmp/p1.out"
+    if [ "$ncpu" -ge 2 ]; then
+        GOMAXPROCS="$ncpu" go run ./cmd/narubench $scale_flags -bench-out "$tmp/BENCH_pN.json" \
+            inference > "$tmp/pN.out"
+        require_bit_identity "$tmp/pN.out"
+        if [ "$ncpu" -ge 4 ]; then
+            q1="$(qps "$tmp/BENCH_p1.json")"
+            qN="$(qps "$tmp/BENCH_pN.json")"
+            echo "   parallel-fused q/s: $q1 (1 proc) -> $qN ($ncpu procs)"
+            awk -v a="$q1" -v b="$qN" 'BEGIN { exit !(b > 1.5 * a) }' \
+                || { echo "parallel-fused speedup below 1.5x on $ncpu cores"; exit 1; }
+        fi
+    fi
 
     echo "-- gate must trip on a doctored baseline"
     # Inflate the recorded batch throughput 1000x; the gate (checked against
