@@ -1,6 +1,6 @@
 # Convenience entry points; everything is plain `go` underneath.
 
-.PHONY: build test check check-fault check-obs check-train check-lifecycle check-chaos check-serve bench inference training
+.PHONY: build test check check-fault check-obs check-train check-lifecycle check-chaos check-serve check-join bench inference training join
 
 build:
 	go build ./...
@@ -58,6 +58,20 @@ check-serve:
 # match the uninterrupted model byte-for-byte.
 check-train:
 	./scripts/check.sh train
+
+# check-join is the multi-table join-estimation gate: the neurocard/join/
+# scaled-estimate suites under -race, a CLI train/estimate -join smoke test,
+# and the join benchmark run twice with a pinned worker count — bit-identical
+# estimate digests, a PASS on the oracle-verified accuracy gate (median
+# q-error <= 2, max <= 10 at S=2000), and a regression check that must trip
+# on a doctored baseline.
+check-join:
+	./scripts/check.sh join
+
+# join regenerates BENCH_join.json: join-estimate accuracy vs the nested-loop
+# oracle, serving throughput, and sampler tuple rate.
+join:
+	go run ./cmd/narubench -quiet join
 
 # inference regenerates BENCH_inference.json (github-action-benchmark format).
 inference:

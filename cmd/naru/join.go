@@ -1,0 +1,231 @@
+package main
+
+// The -join path of naru train / naru estimate: one NeuroCard-style model
+// over a multi-table join schema instead of one model per CSV.
+//
+// A join spec is JSON naming the base tables (each a header-ed CSV) and the
+// acyclic equi-join edges between them, by table and column name:
+//
+//	{
+//	  "tables": [
+//	    {"name": "customers", "csv": "customers.csv"},
+//	    {"name": "orders",    "csv": "orders.csv"},
+//	    {"name": "items",     "csv": "items.csv"}
+//	  ],
+//	  "edges": [
+//	    {"parent": "customers", "child": "orders", "parent_col": "cid", "child_col": "cid"},
+//	    {"parent": "orders",    "child": "items",  "parent_col": "oid", "child_col": "oid"}
+//	  ]
+//	}
+//
+// The first table is the join root. Training streams unbiased join tuples
+// (the join is never materialized); estimates answer WHERE conjunctions over
+// table-qualified columns ("customers.region = east AND orders.amount >= 30")
+// as cardinalities of the spanned sub-join.
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	naru "repro"
+	"repro/internal/neurocard"
+	"repro/internal/query"
+)
+
+type joinSpecTable struct {
+	Name string `json:"name"`
+	CSV  string `json:"csv"`
+}
+
+type joinSpecEdge struct {
+	Parent    string `json:"parent"`
+	Child     string `json:"child"`
+	ParentCol string `json:"parent_col"`
+	ChildCol  string `json:"child_col"`
+}
+
+type joinSpecFile struct {
+	Tables []joinSpecTable `json:"tables"`
+	Edges  []joinSpecEdge  `json:"edges"`
+}
+
+// loadJoinSchema parses a join spec, loads its CSVs (paths resolve relative
+// to the spec file), and lowers the name-based description into an index-based
+// neurocard.Schema, validated.
+func loadJoinSchema(path string) (*neurocard.Schema, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("join spec: %w", err)
+	}
+	var spec joinSpecFile
+	if err := json.Unmarshal(data, &spec); err != nil {
+		return nil, fmt.Errorf("join spec %q: %w", path, err)
+	}
+	if len(spec.Tables) == 0 {
+		return nil, fmt.Errorf("join spec %q: no tables", path)
+	}
+	sch := &neurocard.Schema{}
+	index := map[string]int{}
+	dir := filepath.Dir(path)
+	for i, ts := range spec.Tables {
+		if ts.Name == "" || ts.CSV == "" {
+			return nil, fmt.Errorf("join spec %q: table %d needs both name and csv", path, i)
+		}
+		if _, dup := index[ts.Name]; dup {
+			return nil, fmt.Errorf("join spec %q: duplicate table %q", path, ts.Name)
+		}
+		csvPath := ts.CSV
+		if !filepath.IsAbs(csvPath) {
+			csvPath = filepath.Join(dir, csvPath)
+		}
+		t, err := loadTable(csvPath)
+		if err != nil {
+			return nil, err
+		}
+		t.Name = ts.Name
+		index[ts.Name] = i
+		sch.Tables = append(sch.Tables, t)
+	}
+	colIndex := func(tableName, colName string) (int, int, error) {
+		ti, ok := index[tableName]
+		if !ok {
+			return 0, 0, fmt.Errorf("join spec %q: unknown table %q", path, tableName)
+		}
+		for ci, c := range sch.Tables[ti].Cols {
+			if c.Name == colName {
+				return ti, ci, nil
+			}
+		}
+		return 0, 0, fmt.Errorf("join spec %q: table %q has no column %q", path, tableName, colName)
+	}
+	for _, es := range spec.Edges {
+		pi, pc, err := colIndex(es.Parent, es.ParentCol)
+		if err != nil {
+			return nil, err
+		}
+		ci, cc, err := colIndex(es.Child, es.ChildCol)
+		if err != nil {
+			return nil, err
+		}
+		sch.Edges = append(sch.Edges, neurocard.Edge{Parent: pi, Child: ci, ParentCol: pc, ChildCol: cc})
+	}
+	if err := sch.Validate(); err != nil {
+		return nil, fmt.Errorf("join spec %q: %w", path, err)
+	}
+	return sch, nil
+}
+
+// trainJoin is the -join branch of naru train: stream join tuples from the
+// spec's schema, train one model over base + fanout columns, save it.
+func trainJoin(specPath, outPath string, cfg neurocard.Config, stdout io.Writer) error {
+	sch, err := loadJoinSchema(specPath)
+	if err != nil {
+		return err
+	}
+	var names []string
+	for _, t := range sch.Tables {
+		names = append(names, fmt.Sprintf("%s(%d)", t.Name, t.NumRows()))
+	}
+	fmt.Fprintf(stdout, "training join %s\n", strings.Join(names, " ⋈ "))
+	est, history, err := neurocard.Train(context.Background(), sch, cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "join size %d; model over %d columns\n", est.JoinSize(), len(est.Columns()))
+	if len(history) > 0 {
+		fmt.Fprintf(stdout, "trained %d epochs, final loss %.3f nats\n", len(history), history[len(history)-1])
+	}
+	f, err := os.Create(outPath)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := est.Save(f); err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "saved to %s\n", outPath)
+	return nil
+}
+
+// estimateJoin is the -join branch of naru estimate: reload the model against
+// the spec's schema (domains and column roles are verified to match) and
+// answer one -where conjunction or a -queries workload, printing the exact
+// nested-loop truth alongside each estimate.
+func estimateJoin(specPath, modelPath, where, queriesPath string, cfg neurocard.Config, stdout io.Writer) error {
+	sch, err := loadJoinSchema(specPath)
+	if err != nil {
+		return err
+	}
+	f, err := os.Open(modelPath)
+	if err != nil {
+		return fmt.Errorf("model file: %w", err)
+	}
+	est, err := neurocard.Load(f, sch, cfg)
+	f.Close()
+	if err != nil {
+		return fmt.Errorf("model file %q: %w", modelPath, err)
+	}
+	oracle := neurocard.NewOracle(sch)
+	lt := est.LayoutTable()
+
+	one := func(line string) error {
+		q, err := query.ParseWhere(line, lt)
+		if err != nil {
+			return err
+		}
+		card, stderr, err := est.EstimateQuery(q)
+		if err != nil {
+			return err
+		}
+		truth, err := oracle.Count(est.Sampler(), q)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "query: %s\n", q.String(lt))
+		fmt.Fprintf(stdout, "estimate: card=%.1f stderr=%.3g\n", card, stderr)
+		fmt.Fprintf(stdout, "truth:    card=%d\n", truth)
+		return nil
+	}
+	if queriesPath == "" {
+		return one(where)
+	}
+	data, err := os.ReadFile(queriesPath)
+	if err != nil {
+		return fmt.Errorf("workload file: %w", err)
+	}
+	n := 0
+	for ln, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if err := one(line); err != nil {
+			return fmt.Errorf("workload %s line %d: %q: %w", queriesPath, ln+1, line, err)
+		}
+		n++
+	}
+	if n == 0 {
+		return fmt.Errorf("workload %s: no queries", queriesPath)
+	}
+	return nil
+}
+
+// joinConfig assembles the neurocard training/serving config from the shared
+// CLI flags. Zero values defer to the package defaults.
+func joinConfig(hidden []int, samples, epochs, batch, workers int, seed int64, metrics *naru.Metrics) neurocard.Config {
+	cfg := neurocard.Config{
+		Hidden:    hidden,
+		Samples:   samples,
+		Seed:      seed,
+		Epochs:    epochs,
+		BatchSize: batch,
+		Workers:   workers,
+	}
+	cfg.Obs = metrics // *naru.Metrics is the obs registry
+	return cfg
+}

@@ -1,0 +1,140 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeJoinFixture emits a 3-table join (customers ⋈ orders ⋈ items) as
+// CSVs plus the spec JSON referencing them by relative path.
+func writeJoinFixture(t *testing.T, dir string) string {
+	t.Helper()
+	var cb, ob, ib strings.Builder
+	cb.WriteString("cid,region\n")
+	ob.WriteString("oid,cid,amount\n")
+	ib.WriteString("oid,price\n")
+	regions := []string{"east", "west", "north"}
+	oid := 0
+	for cid := 0; cid < 30; cid++ {
+		fmt.Fprintf(&cb, "%d,%s\n", cid, regions[cid%3])
+		for o := 0; o < 1+cid%3; o++ {
+			fmt.Fprintf(&ob, "%d,%d,%d\n", oid, cid, 10*(1+oid%5))
+			for i := 0; i < 1+oid%2; i++ {
+				fmt.Fprintf(&ib, "%d,%d\n", oid, 5*(i+1))
+			}
+			oid++
+		}
+	}
+	for name, body := range map[string]string{
+		"customers.csv": cb.String(), "orders.csv": ob.String(), "items.csv": ib.String(),
+	} {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	spec := `{
+	  "tables": [
+	    {"name": "customers", "csv": "customers.csv"},
+	    {"name": "orders",    "csv": "orders.csv"},
+	    {"name": "items",     "csv": "items.csv"}
+	  ],
+	  "edges": [
+	    {"parent": "customers", "child": "orders", "parent_col": "cid", "child_col": "cid"},
+	    {"parent": "orders",    "child": "items",  "parent_col": "oid", "child_col": "oid"}
+	  ]
+	}`
+	specPath := filepath.Join(dir, "join.json")
+	if err := os.WriteFile(specPath, []byte(spec), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return specPath
+}
+
+// TestCLIJoin drives train -join and estimate -join end to end, plus the
+// spec-validation failure paths.
+func TestCLIJoin(t *testing.T) {
+	dir := t.TempDir()
+	spec := writeJoinFixture(t, dir)
+	model := filepath.Join(dir, "join.naru")
+
+	code, stdout, stderr := runCLI("train", "-join", spec, "-out", model,
+		"-epochs", "1", "-hidden", "8", "-samples", "200", "-seed", "3")
+	if code != 0 {
+		t.Fatalf("train -join: exit %d, stderr %q", code, stderr)
+	}
+	for _, want := range []string{"training join customers(30)", "join size", "saved to"} {
+		if !strings.Contains(stdout, want) {
+			t.Fatalf("train -join stdout missing %q: %q", want, stdout)
+		}
+	}
+
+	code, stdout, stderr = runCLI("estimate", "-join", spec, "-model", model,
+		"-where", "customers.region = east AND orders.amount >= 30", "-samples", "300")
+	if code != 0 {
+		t.Fatalf("estimate -join: exit %d, stderr %q", code, stderr)
+	}
+	for _, want := range []string{"query: customers.region", "estimate: card=", "truth:    card="} {
+		if !strings.Contains(stdout, want) {
+			t.Fatalf("estimate -join stdout missing %q: %q", want, stdout)
+		}
+	}
+
+	// Workload file over the join layout.
+	workload := filepath.Join(dir, "queries.txt")
+	if err := os.WriteFile(workload, []byte("# join workload\nitems.price >= 5\ncustomers.region = west\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, stdout, _ = runCLI("estimate", "-join", spec, "-model", model, "-queries", workload)
+	if code != 0 || strings.Count(stdout, "estimate: card=") != 2 {
+		t.Fatalf("estimate -join -queries: exit %d, stdout %q", code, stdout)
+	}
+
+	// Failure paths: need -where or -queries; bad spec contents.
+	if code, _, _ = runCLI("estimate", "-join", spec, "-model", model); code == 0 {
+		t.Fatal("estimate -join without -where/-queries succeeded")
+	}
+	badSpec := filepath.Join(dir, "bad.json")
+	for name, body := range map[string]string{
+		"no tables":      `{"tables": [], "edges": []}`,
+		"unknown table":  `{"tables": [{"name": "a", "csv": "customers.csv"}], "edges": [{"parent": "a", "child": "zz", "parent_col": "cid", "child_col": "cid"}]}`,
+		"unknown column": `{"tables": [{"name": "a", "csv": "customers.csv"}, {"name": "b", "csv": "orders.csv"}], "edges": [{"parent": "a", "child": "b", "parent_col": "nope", "child_col": "cid"}]}`,
+		"disconnected":   `{"tables": [{"name": "a", "csv": "customers.csv"}, {"name": "b", "csv": "orders.csv"}], "edges": []}`,
+	} {
+		if err := os.WriteFile(badSpec, []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if code, _, stderr = runCLI("train", "-join", badSpec, "-out", model, "-epochs", "1"); code == 0 {
+			t.Fatalf("train -join accepted bad spec (%s)", name)
+		}
+		if !strings.Contains(stderr, "join spec") && !strings.Contains(stderr, "neurocard") {
+			t.Fatalf("bad spec (%s): unhelpful error %q", name, stderr)
+		}
+	}
+
+	// A model trained over one schema refuses a drifted spec: retrain the
+	// fixture with an extra region value and reload against the original.
+	drifted := filepath.Join(dir, "drifted")
+	if err := os.MkdirAll(drifted, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	writeJoinFixture(t, drifted)
+	extra, err := os.ReadFile(filepath.Join(drifted, "customers.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(drifted, "customers.csv"),
+		append(extra, []byte("99,polar\n")...), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, _, stderr = runCLI("estimate", "-join", filepath.Join(drifted, "join.json"),
+		"-model", model, "-where", "customers.region = east")
+	if code == 0 {
+		t.Fatal("estimate -join accepted a model over a drifted schema")
+	}
+	if !strings.Contains(stderr, "domain") && !strings.Contains(stderr, "column") {
+		t.Fatalf("drifted schema: unhelpful error %q", stderr)
+	}
+}

@@ -22,6 +22,11 @@
 // recorded in checkpoints so resumed runs stay bit-identical), and
 // `-stop-after N` halts after N gradient steps without saving a model, the
 // scripted interruption point for the interrupt/resume check.
+//
+// Multi-table joins: `train -join spec.json` trains one NeuroCard-style model
+// over the join schema described by the spec (see join.go), and
+// `estimate -join spec.json -model m` answers conjunctions spanning several
+// tables as cardinalities of the spanned sub-join.
 package main
 
 import (
@@ -95,9 +100,12 @@ func usage(w io.Writer) {
   naru train    -csv data.csv -out model.naru [-epochs N] [-hidden 128,128,128,128] [-samples S]
                 [-batch N] [-train-workers W] [-stop-after N]
                 [-checkpoint train.ckpt] [-checkpoint-every N] [-resume] [-metrics-addr :8080]
+  naru train    -join spec.json -out join.naru [-epochs N] [-hidden 64,64] [-seed S]
+                (multi-table: one model over the join schema; see below)
   naru estimate -csv data.csv -model model.naru -where "a<=5 AND b=x"
   naru estimate -csv data.csv -model model.naru -queries workload.txt [-workers N]
                 [-timeout 50ms] [-fallback] [-metrics-addr :8080]
+  naru estimate -join spec.json -model join.naru -where "t1.a <= 5 AND t2.b = x"
   naru serve    -csv data.csv -model model.naru -addr :8081 [-metrics-addr :8080]
                 [-samples S] [-timeout 50ms] [-fallback] [-cache-size N]
                 [-refresh-after N] [-drift-threshold NATS] [-tvd-threshold D]
@@ -130,7 +138,15 @@ fallback-only serving after N consecutive model-path failures and probes its
 way back on -probe-interval backoff; /livez and /readyz split liveness from
 readiness. NARU_FAULTS="site=mode[:arg][@after[xcount]],..." injects faults
 at the named sites (modes: error, delay:D, panic, exit, partial:N) for chaos
-testing — see 'naru faults' for sites.`)
+testing — see 'naru faults' for sites.
+
+Join estimation: -join spec.json names the base tables (header-ed CSVs) and
+the acyclic equi-join edges between them ({"tables":[{"name":...,"csv":...}],
+"edges":[{"parent":...,"child":...,"parent_col":...,"child_col":...}]}); the
+first table is the join root. Training streams unbiased join tuples — the
+join is never materialized — and estimates answer WHERE conjunctions over
+table-qualified columns as cardinalities of the spanned sub-join, printed
+with the exact nested-loop truth.`)
 }
 
 // cmdFaults lists the registered fault-injection site names, one per line —
@@ -205,9 +221,23 @@ func cmdTrain(args []string, stdout, stderr io.Writer) error {
 	batchSize := fs.Int("batch", 0, "tuples per gradient step (0 = default 512)")
 	trainWorkers := fs.Int("train-workers", 0, "data-parallel gradient shards per step (0/1 = sequential; recorded in checkpoints)")
 	stopAfter := fs.Int("stop-after", 0, "stop after N gradient steps without saving a model (for scripted interrupt/resume testing)")
+	joinSpec := fs.String("join", "", "join spec JSON: train one model over the multi-table join instead of -csv")
 	metricsAddr := fs.String("metrics-addr", "", "serve /metrics, /traces, /debug/pprof on this address while training")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *joinSpec != "" {
+		hiddenSizes, err := parseInts(*hidden)
+		if err != nil {
+			return err
+		}
+		metrics, stopMetrics, err := startMetrics(*metricsAddr, stderr)
+		if err != nil {
+			return err
+		}
+		defer stopMetrics()
+		jcfg := joinConfig(hiddenSizes, *samples, *epochs, *batchSize, *trainWorkers, *seed, metrics)
+		return trainJoin(*joinSpec, *outPath, jcfg, stdout)
 	}
 	if *csvPath == "" {
 		return fmt.Errorf("train: -csv is required")
@@ -281,9 +311,23 @@ func cmdEstimate(args []string, stdout, stderr io.Writer) error {
 	samples := fs.Int("samples", 2000, "progressive samples")
 	timeout := fs.Duration("timeout", 0, "per-query deadline (0 = none); expiring degrades the sample budget")
 	fallback := fs.Bool("fallback", false, "answer failed queries from 1D statistics instead of erroring")
+	joinSpec := fs.String("join", "", "join spec JSON: estimate over the multi-table join instead of -csv")
+	seed := fs.Int64("seed", 1, "random seed (join estimates)")
 	metricsAddr := fs.String("metrics-addr", "", "serve /metrics, /traces, /debug/pprof on this address while estimating")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *joinSpec != "" {
+		if (*where == "") == (*queriesPath == "") {
+			return fmt.Errorf("estimate: exactly one of -where / -queries is required")
+		}
+		metrics, stopMetrics, err := startMetrics(*metricsAddr, stderr)
+		if err != nil {
+			return err
+		}
+		defer stopMetrics()
+		jcfg := joinConfig(nil, *samples, 0, 0, 0, *seed, metrics)
+		return estimateJoin(*joinSpec, *modelPath, *where, *queriesPath, jcfg, stdout)
 	}
 	if *csvPath == "" || (*where == "") == (*queriesPath == "") {
 		return fmt.Errorf("estimate: -csv and exactly one of -where / -queries are required")

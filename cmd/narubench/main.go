@@ -8,8 +8,9 @@
 //
 // Experiments: fig4, table3 (includes fig6a), table4 (includes fig6b),
 // table5, fig5, table6, table7, fig7, fig8, table8, all; plus the
-// engineering benchmarks inference (serving fast path vs reference) and
-// training (batched/sharded training fast path vs the sequential baseline).
+// engineering benchmarks inference (serving fast path vs reference),
+// training (batched/sharded training fast path vs the sequential baseline),
+// and join (NeuroCard-style multi-table estimator vs the nested-loop oracle).
 //
 // Defaults are scaled down so every experiment finishes in CPU minutes; use
 // the flags to approach paper scale (-dmv-rows 11500000 -queries 2000 ...).
@@ -41,7 +42,7 @@ func main() {
 	metricsAddr := flag.String("metrics-addr", "", "serve /metrics, /traces, /debug/pprof on this address during the run")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: narubench [flags] <experiment>...\n")
-		fmt.Fprintf(os.Stderr, "experiments: fig4 table3 table4 table5 fig5 table6 table7 fig7 fig8 table8 arch uniform inference training all\n\n")
+		fmt.Fprintf(os.Stderr, "experiments: fig4 table3 table4 table5 fig5 table6 table7 fig7 fig8 table8 arch uniform inference training join all\n\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -95,6 +96,8 @@ func main() {
 			bench.Inference(out, cfg)
 		case "training":
 			bench.Training(out, cfg)
+		case "join":
+			bench.Join(out, cfg)
 		default:
 			fmt.Fprintf(os.Stderr, "narubench: unknown experiment %q\n", name)
 			os.Exit(2)

@@ -1,120 +1,128 @@
-// Join estimation: build one Naru estimator over a joined relation (§4.1)
-// — training tuples come from an exact uniform join sampler, no
-// materialization required — then answer selectivity queries that filter
-// columns from *both* sides of the join.
+// Multi-table join cardinality, NeuroCard-style: train ONE autoregressive
+// model over the full join customers ⋈ orders ⋈ items — fed by a streaming
+// uniform join-tuple sampler, never materializing the join — then answer
+// multi-table predicates over any spanned sub-join, comparing each estimate
+// against an exact nested-loop oracle.
 //
 //	go run ./examples/join
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
+	"sort"
 	"strconv"
 
-	naru "repro"
-	"repro/internal/core"
-	"repro/internal/join"
-	"repro/internal/made"
 	"repro/internal/metrics"
-	"repro/internal/nn"
+	"repro/internal/neurocard"
 	"repro/internal/query"
 	"repro/internal/table"
 )
 
 func main() {
-	customers, orders := buildTables()
-	fmt.Printf("customers: %d rows; orders: %d rows\n", customers.NumRows(), orders.NumRows())
+	sch := buildSchema()
+	fmt.Printf("schema: customers %d ⋈ orders %d ⋈ items %d rows\n",
+		sch.Tables[0].NumRows(), sch.Tables[1].NumRows(), sch.Tables[2].NumRows())
 
-	// Option 1 (used for ground truth): materialize the join.
-	joined, err := join.Materialize("orders_customers", orders, customers, 0, 0)
+	est, history, err := neurocard.Train(context.Background(), sch, neurocard.Config{
+		Hidden: []int{64, 64}, Samples: 2000, Seed: 1,
+		Epochs: 4, BatchSize: 256, EpochTuples: 1 << 14, LR: 3e-3,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("join result: %d rows × %d cols (%v)\n",
-		joined.NumRows(), joined.NumCols(), colNames(joined))
+	fmt.Printf("join size %d; model over %d columns (%v)\n",
+		est.JoinSize(), len(est.Columns()), est.Columns())
+	fmt.Printf("trained %d epochs, final loss %.3f nats\n\n", len(history), history[len(history)-1])
 
-	// Option 2 (used for training): stream uniform join tuples.
-	sampler, err := join.NewSampler(orders, customers, 0, 0)
-	if err != nil {
-		log.Fatal(err)
+	queries := []string{
+		"customers.region = west",
+		"customers.region = west AND orders.amount <= 40",
+		"orders.amount >= 70",
+		"items.price >= 30",
+		"customers.region = east AND items.price <= 20",
+		"customers.tier = 2 AND orders.amount >= 50 AND items.price >= 25",
 	}
-	m := made.New(sampler.DomainSizes(), made.Config{
-		HiddenSizes: []int{64, 64}, EmbedThreshold: 64, EmbedDim: 16, Seed: 1})
-	rng := rand.New(rand.NewSource(2))
-	opt := nn.NewAdam(3e-3)
-	steps := 600
-	for i := 0; i < steps; i++ {
-		batch := sampler.Batch(rng, 256)
-		m.TrainStep(batch, 256, opt)
-	}
-	est := core.NewEstimator(m, 2000, 3)
-	fmt.Printf("Naru trained on sampled join tuples (%d steps, %.1f KB model)\n\n",
-		steps, float64(m.SizeBytes())/1024)
-
-	// Queries filter columns from both input tables.
-	amountIdx := joined.ColumnIndex("l.amount")
-	regionIdx := joined.ColumnIndex("r.region")
-	west, _ := joined.Cols[regionIdx].CodeOfString("west")
-	queries := []naru.Query{
-		{Preds: []naru.Predicate{{Col: regionIdx, Op: naru.OpEq, Code: west}}},
-		{Preds: []naru.Predicate{
-			{Col: regionIdx, Op: naru.OpEq, Code: west},
-			{Col: amountIdx, Op: naru.OpLe, Code: joined.Cols[amountIdx].LowerBoundInt(40)},
-		}},
-		{Preds: []naru.Predicate{
-			{Col: amountIdx, Op: naru.OpGe, Code: joined.Cols[amountIdx].LowerBoundInt(70)},
-		}},
-	}
-	n := float64(joined.NumRows())
-	for _, q := range queries {
-		reg, err := query.Compile(q, joined)
+	oracle := neurocard.NewOracle(sch)
+	var qerrs []float64
+	for _, where := range queries {
+		card, stderr, err := est.EstimateWhere(where)
 		if err != nil {
 			log.Fatal(err)
 		}
-		truth := query.Selectivity(reg, joined)
-		got := est.EstimateRegion(reg)
-		fmt.Printf("WHERE %-45s est=%.4f true=%.4f (q-err %.2f)\n",
-			q.String(joined), got, truth, metrics.QError(got*n, truth*n))
+		q, err := query.ParseWhere(where, est.LayoutTable())
+		if err != nil {
+			log.Fatal(err)
+		}
+		truth, err := oracle.Count(est.Sampler(), q)
+		if err != nil {
+			log.Fatal(err)
+		}
+		qe := metrics.QError(card, float64(truth))
+		qerrs = append(qerrs, qe)
+		fmt.Printf("WHERE %-62s est=%8.0f ±%.0f  true=%8d  (q-err %.2f)\n",
+			where, card, stderr, truth, qe)
 	}
+	sort.Float64s(qerrs)
+	fmt.Printf("\nq-error vs nested-loop oracle: median %.2f, max %.2f\n",
+		qerrs[len(qerrs)/2], qerrs[len(qerrs)-1])
 }
 
-func buildTables() (customers, orders *table.Table) {
+// buildSchema generates a skewed, referentially complete 3-table schema:
+// heavy customers place more orders with bigger amounts; bigger orders carry
+// more items.
+func buildSchema() *neurocard.Schema {
 	rng := rand.New(rand.NewSource(7))
-	cb := table.NewBuilder("customers", []string{"cid", "region"})
 	regions := []string{"east", "west", "north", "south"}
-	for cid := 0; cid < 200; cid++ {
-		if err := cb.AppendRow([]string{strconv.Itoa(cid), regions[rng.Intn(4)]}); err != nil {
-			log.Fatal(err)
-		}
-	}
-	customers, err := cb.Build()
-	if err != nil {
-		log.Fatal(err)
-	}
-	ob := table.NewBuilder("orders", []string{"cid", "amount"})
-	for i := 0; i < 30000; i++ {
-		cid := rng.Intn(200)
-		// Heavy customers buy more and bigger.
-		amount := 10 + rng.Intn(50)
-		if cid < 20 {
-			amount += 40
-		}
-		if err := ob.AppendRow([]string{strconv.Itoa(cid), strconv.Itoa(amount)}); err != nil {
-			log.Fatal(err)
-		}
-	}
-	orders, err = ob.Build()
-	if err != nil {
-		log.Fatal(err)
-	}
-	return customers, orders
-}
 
-func colNames(t *table.Table) []string {
-	out := make([]string, t.NumCols())
-	for i, c := range t.Cols {
-		out[i] = c.Name
+	cb := table.NewBuilder("customers", []string{"cid", "region", "tier"})
+	ob := table.NewBuilder("orders", []string{"oid", "cid", "amount"})
+	ib := table.NewBuilder("items", []string{"oid", "price"})
+	oid := 0
+	for cid := 0; cid < 300; cid++ {
+		region := regions[rng.Intn(4)]
+		tier := strconv.Itoa(cid % 3)
+		if err := cb.AppendRow([]string{strconv.Itoa(cid), region, tier}); err != nil {
+			log.Fatal(err)
+		}
+		orders := 1 + rng.Intn(8)
+		if cid < 30 { // heavy head
+			orders = 20 + rng.Intn(20)
+		}
+		for o := 0; o < orders; o++ {
+			amount := 10 + rng.Intn(50)
+			if cid < 30 {
+				amount += 40
+			}
+			if err := ob.AppendRow([]string{strconv.Itoa(oid), strconv.Itoa(cid), strconv.Itoa(amount)}); err != nil {
+				log.Fatal(err)
+			}
+			items := 1 + rng.Intn(3)
+			if amount >= 60 {
+				items += 2
+			}
+			for i := 0; i < items; i++ {
+				if err := ib.AppendRow([]string{strconv.Itoa(oid), strconv.Itoa(5 * rng.Intn(10))}); err != nil {
+					log.Fatal(err)
+				}
+			}
+			oid++
+		}
 	}
-	return out
+	mustBuild := func(b *table.Builder) *table.Table {
+		t, err := b.Build()
+		if err != nil {
+			log.Fatal(err)
+		}
+		return t
+	}
+	return &neurocard.Schema{
+		Tables: []*table.Table{mustBuild(cb), mustBuild(ob), mustBuild(ib)},
+		Edges: []neurocard.Edge{
+			{Parent: 0, Child: 1, ParentCol: 0, ChildCol: 1}, // customers.cid = orders.cid
+			{Parent: 1, Child: 2, ParentCol: 0, ChildCol: 0}, // orders.oid = items.oid
+		},
+	}
 }

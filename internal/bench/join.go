@@ -1,0 +1,255 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"math"
+	"math/rand"
+	"sort"
+	"strconv"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/neurocard"
+	"repro/internal/query"
+	"repro/internal/table"
+)
+
+// Join benchmarks the NeuroCard-style multi-table estimator: one model
+// trained over a skewed 3-table join answers generated multi-table queries,
+// graded against the exact nested-loop oracle. The run enforces the accuracy
+// gate (median q-error ≤ 2, max ≤ 10 at S=2000) by printing a PASS/FAIL
+// verdict line that scripts/check.sh asserts on, and prints a digest of every
+// estimate's bits so two runs can be compared for bit-identical determinism.
+const (
+	joinGateMedian = 2.0
+	joinGateMax    = 10.0
+)
+
+func Join(out io.Writer, cfg Config) {
+	cfg = cfg.withDefaults()
+	if cfg.BenchOut == "" {
+		cfg.BenchOut = "BENCH_join.json"
+	}
+	nq := cfg.NumQueries
+	if nq < 100 {
+		nq = 100
+	}
+
+	start := time.Now()
+	sch := joinSchema(cfg.DMVRows/100, cfg.Seed)
+	progress(out, cfg.Quiet, "join: customers %d ⋈ orders %d ⋈ items %d rows in %v",
+		sch.Tables[0].NumRows(), sch.Tables[1].NumRows(), sch.Tables[2].NumRows(),
+		time.Since(start).Round(time.Millisecond))
+
+	trainStart := time.Now()
+	est, _, err := neurocard.Train(context.Background(), sch, neurocard.Config{
+		Hidden: []int{64, 64}, Samples: 2000, Seed: cfg.Seed,
+		Epochs: cfg.Epochs, BatchSize: 256, EpochTuples: 1 << 14, LR: 3e-3,
+		Workers: cfg.Workers, Obs: cfg.Obs,
+	})
+	if err != nil {
+		fmt.Fprintf(out, "join: training failed: %v\n", err)
+		return
+	}
+	trainSecs := time.Since(trainStart).Seconds()
+	progress(out, cfg.Quiet, "join: model over %d columns trained in %.1fs (join size %d)",
+		len(est.Columns()), trainSecs, est.JoinSize())
+
+	// Raw sampler throughput, the training-side bottleneck.
+	smp := est.Sampler()
+	const tuples = 1 << 15
+	buf := make([]int32, tuples*smp.NumCols())
+	sampStart := time.Now()
+	smp.Fill(buf, cfg.Seed+50, tuples)
+	tupRate := tuples / time.Since(sampStart).Seconds()
+
+	oracle := neurocard.NewOracle(sch)
+	queries, truths := joinQueries(est, oracle, nq, cfg.Seed+7)
+	progress(out, cfg.Quiet, "join: %d queries labeled against the nested-loop oracle", len(queries))
+
+	ests := make([]float64, len(queries))
+	estStart := time.Now()
+	for i, q := range queries {
+		card, _, err := est.EstimateQuery(q)
+		if err != nil {
+			fmt.Fprintf(out, "join: query %d: %v\n", i, err)
+			return
+		}
+		ests[i] = card
+	}
+	estTotal := time.Since(estStart)
+	qps := float64(len(queries)) / estTotal.Seconds()
+
+	qerrs := make([]float64, len(queries))
+	digest := fnv.New64a()
+	for i, card := range ests {
+		qerrs[i] = metrics.QError(card, float64(truths[i]))
+		var bits [8]byte
+		u := math.Float64bits(card)
+		for b := 0; b < 8; b++ {
+			bits[b] = byte(u >> (8 * b))
+		}
+		digest.Write(bits[:])
+	}
+	sort.Float64s(qerrs)
+	med := qerrs[len(qerrs)/2]
+	max := qerrs[len(qerrs)-1]
+
+	fmt.Fprintf(out, "\nJoin estimation (customers ⋈ orders ⋈ items, %d queries, Naru-2000)\n", len(queries))
+	fmt.Fprintf(out, "q-error: median %.3f  p90 %.3f  p99 %.3f  max %.3f\n",
+		med, qerrs[len(qerrs)*90/100], qerrs[len(qerrs)*99/100], max)
+	fmt.Fprintf(out, "throughput: %.1f queries/sec (serving), %.0f tuples/sec (sampler)\n", qps, tupRate)
+	fmt.Fprintf(out, "join digest: %016x\n", digest.Sum64())
+	verdict := "PASS"
+	if med > joinGateMedian || max > joinGateMax {
+		verdict = "FAIL"
+	}
+	fmt.Fprintf(out, "join gate: median %.3f (limit %.1f), max %.3f (limit %.1f) -> %s\n",
+		med, joinGateMedian, max, joinGateMax, verdict)
+
+	entries := []BenchEntry{
+		{Name: "join_queries_per_sec", Value: qps, Unit: "queries/sec",
+			Extra: fmt.Sprintf("3-table join, S=2000, %d queries", len(queries))},
+		{Name: "join_sampler_tuples_per_sec", Value: tupRate, Unit: "rows/sec",
+			Extra: "streaming uniform join-tuple sampler"},
+		{Name: "join_qerror_median", Value: med, Unit: "q-error",
+			Extra: fmt.Sprintf("vs nested-loop oracle, gate %.1f", joinGateMedian)},
+		{Name: "join_qerror_max", Value: max, Unit: "q-error",
+			Extra: fmt.Sprintf("vs nested-loop oracle, gate %.1f", joinGateMax)},
+		{Name: "join_train_seconds", Value: trainSecs, Unit: "s",
+			Extra: fmt.Sprintf("%d epochs over streamed join tuples", cfg.Epochs)},
+	}
+	if err := writeBenchJSON(cfg.BenchOut, entries); err != nil {
+		fmt.Fprintf(out, "join: writing %s: %v\n", cfg.BenchOut, err)
+		return
+	}
+	fmt.Fprintf(out, "wrote %s\n", cfg.BenchOut)
+}
+
+// joinSchema generates the benchmark's skewed, referentially complete
+// 3-table schema: a heavy head of customers places most orders; big orders
+// carry more items. Sizes scale with the customer count (cfg.DMVRows/100).
+func joinSchema(customers int, seed int64) *neurocard.Schema {
+	if customers < 100 {
+		customers = 100
+	}
+	rng := rand.New(rand.NewSource(seed))
+	regions := []string{"east", "west", "north", "south", "core", "edge"}
+
+	cb := table.NewBuilder("customers", []string{"cid", "region", "tier"})
+	ob := table.NewBuilder("orders", []string{"oid", "cid", "amount"})
+	ib := table.NewBuilder("items", []string{"oid", "price"})
+	oid := 0
+	for cid := 0; cid < customers; cid++ {
+		region := regions[rng.Intn(len(regions))]
+		tier := strconv.Itoa(cid % 3)
+		mustAppend(cb, []string{strconv.Itoa(cid), region, tier})
+		orders := 1 + rng.Intn(6)
+		if cid < customers/10 { // heavy head
+			orders = 12 + rng.Intn(12)
+		}
+		for o := 0; o < orders; o++ {
+			amount := 10 + rng.Intn(50)
+			if cid < customers/10 {
+				amount += 40
+			}
+			mustAppend(ob, []string{strconv.Itoa(oid), strconv.Itoa(cid), strconv.Itoa(amount)})
+			items := 1 + rng.Intn(3)
+			if amount >= 60 {
+				items += 2
+			}
+			for i := 0; i < items; i++ {
+				mustAppend(ib, []string{strconv.Itoa(oid), strconv.Itoa(5 * rng.Intn(12))})
+			}
+			oid++
+		}
+	}
+	build := func(b *table.Builder) *table.Table {
+		t, err := b.Build()
+		if err != nil {
+			panic(err)
+		}
+		return t
+	}
+	return &neurocard.Schema{
+		Tables: []*table.Table{build(cb), build(ob), build(ib)},
+		Edges: []neurocard.Edge{
+			{Parent: 0, Child: 1, ParentCol: 0, ChildCol: 1},
+			{Parent: 1, Child: 2, ParentCol: 0, ChildCol: 0},
+		},
+	}
+}
+
+func mustAppend(b *table.Builder, row []string) {
+	if err := b.AppendRow(row); err != nil {
+		panic(err)
+	}
+}
+
+// joinQueries generates n multi-table conjunctive queries anchored at
+// sampled join tuples (so predicates land on populated regions) and labels
+// each with the oracle. Queries with oracle truth below 20 are redrawn — a
+// truth floor keeps relative error meaningful at the gate's scale.
+func joinQueries(est *neurocard.Estimator, oracle *neurocard.Oracle, n int, seed int64) ([]query.Query, []int64) {
+	smp := est.Sampler()
+	lay := smp.Layout()
+	rng := rand.New(rand.NewSource(seed))
+
+	// Predicable columns: base columns of the layout, with their table and
+	// whether equality (small domains) or ranges (large) suit them.
+	type candidate struct {
+		col    int
+		ranged bool
+	}
+	var cands []candidate
+	lt := est.LayoutTable()
+	for i, lc := range lay.Cols {
+		if lc.Edge >= 0 {
+			continue
+		}
+		cands = append(cands, candidate{col: i, ranged: lt.Cols[i].DomainSize() > 8})
+	}
+
+	anchorBatch := smp.Batch(seed, n*4)
+	nc := smp.NumCols()
+
+	var queries []query.Query
+	var truths []int64
+	for a := 0; len(queries) < n && a < n*4; a++ {
+		anchor := anchorBatch[a*nc : (a+1)*nc]
+		// 1–3 predicates over distinct columns, anchored at the tuple.
+		k := 1 + rng.Intn(3)
+		perm := rng.Perm(len(cands))
+		var preds []query.Predicate
+		for _, ci := range perm[:k] {
+			c := cands[ci]
+			code := anchor[c.col]
+			if !c.ranged {
+				preds = append(preds, query.Predicate{Col: c.col, Op: query.OpEq, Code: code})
+				continue
+			}
+			if rng.Intn(2) == 0 {
+				preds = append(preds, query.Predicate{Col: c.col, Op: query.OpLe, Code: code})
+			} else {
+				preds = append(preds, query.Predicate{Col: c.col, Op: query.OpGe, Code: code})
+			}
+		}
+		q := query.Query{Preds: preds}
+		truth, err := oracle.Count(smp, q)
+		if err != nil {
+			panic(err)
+		}
+		if truth < 20 {
+			continue
+		}
+		queries = append(queries, q)
+		truths = append(truths, truth)
+	}
+	if len(queries) < n {
+		panic(fmt.Sprintf("bench: only %d of %d join queries cleared the truth floor", len(queries), n))
+	}
+	return queries, truths
+}

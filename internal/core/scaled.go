@@ -1,0 +1,192 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/query"
+)
+
+// This file extends Algorithm 1 with NeuroCard-style fanout downscaling: the
+// progressive-sampling walk over a join-schema model multiplies each path's
+// weight by the expected inverse fanout of every scale column, so the
+// estimate is unbiased for sub-join cardinalities (Yang et al. 2020, §5.2 of
+// the NeuroCard paper; see PAPERS.md). Scale columns are ordinary model
+// columns — the virtual fanout columns a join sampler emits — that are never
+// predicated; the walk Rao-Blackwellizes over them: instead of drawing a
+// fanout value and dividing by it (high variance), the path weight absorbs
+// Σ_v P̂(v|prefix)·Inv[v] exactly, then a value is drawn from the tilted
+// distribution P̂(v|prefix)·Inv[v]/Σ so later columns are conditioned under
+// the correctly reweighted path measure.
+
+// ScaleCol attaches an importance downscale to one model column: during the
+// walk the path weight is multiplied by E[Inv[X_col] | x_<col] under the
+// model. Col is a natural (pre-permutation) column index; Inv holds one
+// strictly positive multiplier per domain code (1/fanout for join columns).
+type ScaleCol struct {
+	Col int
+	Inv []float64
+}
+
+// EstimateScaled runs one progressive-sampling estimate with fanout
+// downscaling and returns it with its Monte Carlo standard error. With no
+// scale columns it is EstimateWithError (enumeration allowed); with scales
+// the walk always samples, extending past the last restricted column to the
+// last scale column. Scale columns must be unrestricted in reg. Results are
+// bit-identical given the estimator seed and the query's global index, chunk
+// for chunk with the unscaled walk's RNG convention.
+func (e *Estimator) EstimateScaled(reg *query.Region, scales []ScaleCol) (sel, stderr float64) {
+	if len(scales) == 0 {
+		return e.EstimateWithError(reg)
+	}
+	q := e.nextQuery.Add(1) - 1
+	sc := e.acquire()
+	defer e.release(sc)
+	if len(reg.Cols) != sc.model.NumCols() {
+		panic(fmt.Sprintf("core: region over %d columns, model has %d",
+			len(reg.Cols), sc.model.NumCols()))
+	}
+	if reg.IsEmpty() {
+		e.storeStdErr(0)
+		return 0, 0
+	}
+	return e.progressiveSampleScaled(sc, reg, e.samples, q, scales)
+}
+
+// scaleByPos maps natural-order scale columns onto model positions, and
+// rejects scale columns that the region restricts (a predicated fanout column
+// has no defined downscaling semantics).
+func (e *Estimator) scaleByPos(reg *query.Region, scales []ScaleCol) [][]float64 {
+	n := len(reg.Cols)
+	byCol := make([][]float64, n)
+	for _, s := range scales {
+		if s.Col < 0 || s.Col >= n {
+			panic(fmt.Sprintf("core: scale column %d of %d", s.Col, n))
+		}
+		if len(s.Inv) != len(reg.Cols[s.Col].Valid) {
+			panic(fmt.Sprintf("core: scale column %d has %d multipliers over a %d-code domain",
+				s.Col, len(s.Inv), len(reg.Cols[s.Col].Valid)))
+		}
+		if !reg.Cols[s.Col].IsAll() {
+			panic(fmt.Sprintf("core: scale column %d is restricted", s.Col))
+		}
+		byCol[s.Col] = s.Inv
+	}
+	byPos := make([][]float64, n)
+	for pos := 0; pos < n; pos++ {
+		byPos[pos] = byCol[e.colAt(pos)]
+	}
+	return byPos
+}
+
+// progressiveSampleScaled is progressiveSample with the walk extended through
+// scale columns: identical chunk-keyed RNG streams, identical variance
+// accounting, the per-chunk walk handled by walkPathsScaled.
+func (e *Estimator) progressiveSampleScaled(sc *scratch, reg *query.Region, s int, q uint64, scales []ScaleCol) (sel, stderr float64) {
+	byPos := e.scaleByPos(reg, scales)
+	last := -1
+	for pos := range reg.Cols {
+		if !reg.Cols[e.colAt(pos)].IsAll() || byPos[pos] != nil {
+			last = pos
+		}
+	}
+	valid := e.materializeValid(sc, reg, last+1)
+	var sum, sumsq float64
+	for done := 0; done < s; {
+		cn := s - done
+		if cn > anytimeChunk {
+			cn = anytimeChunk
+		}
+		sc.rng.Seed(mixSeed(e.seedFor(q), int64(done/anytimeChunk)))
+		e.walkPathsScaled(sc, reg, cn, last, valid, byPos)
+		for _, w := range sc.weights[:cn] {
+			sum += w
+			sumsq += w * w
+		}
+		done += cn
+	}
+	mean := sum / float64(s)
+	if s > 1 {
+		if variance := (sumsq - sum*sum/float64(s)) / float64(s-1); variance > 0 {
+			stderr = math.Sqrt(variance / float64(s))
+		}
+	}
+	e.storeStdErr(stderr)
+	// The scaled mean is a selectivity against the full-join cardinality and
+	// can only shrink below the unscaled mass, so the probability clamp
+	// applies unchanged.
+	return clampProb(mean), stderr
+}
+
+// walkPathsScaled advances s paths through model positions 0..last, applying
+// the fanout downscale at scale columns and the Algorithm 1 mass/draw step
+// everywhere else.
+func (e *Estimator) walkPathsScaled(sc *scratch, reg *query.Region, s, last int, valid [][]int32, byPos [][]float64) {
+	n := sc.model.NumCols()
+	skip := e.skipEnabled(sc.model)
+	codes := sc.codes[:s*n]
+	fill := int32(0)
+	if skip {
+		fill = -1
+	}
+	for i := range codes {
+		codes[i] = fill
+	}
+	weights := sc.weights[:s]
+	for i := range weights {
+		weights[i] = 1
+	}
+	if beg, ok := sc.model.(SequentialModel); ok {
+		beg.BeginSampling(s)
+	}
+	for col := 0; col <= last; col++ {
+		if inv := byPos[col]; inv != nil {
+			sc.model.CondBatch(codes, s, col, sc.probs[:s])
+			drawScaledRows(sc.rng, inv, codes, n, col, sc.probs, weights, 0, s)
+			continue
+		}
+		cr := &reg.Cols[e.colAt(col)]
+		if skip && cr.IsAll() {
+			continue
+		}
+		sc.model.CondBatch(codes, s, col, sc.probs[:s])
+		drawRows(sc.rng, cr.IsAll(), valid[col], codes, n, col, sc.probs, weights, 0, s)
+	}
+}
+
+// drawScaledRows runs the scale-column step for rows [r0, r1): multiply each
+// live path's weight by the expected inverse fanout Σ_v p[v]·inv[v] and draw
+// the column's code from the tilted distribution p·inv/Σ, so later columns
+// condition on a value consistent with the reweighted path measure. One
+// uniform variate is consumed per live row, mirroring drawRows.
+func drawScaledRows(rng *rand.Rand, inv []float64, codes []int32, nc, col int, probs [][]float64, weights []float64, r0, r1 int) {
+	for r := r0; r < r1; r++ {
+		if weights[r] == 0 {
+			codes[r*nc+col] = 0
+			continue
+		}
+		p := probs[r]
+		var mass float64
+		for v := range inv {
+			mass += p[v] * inv[v]
+		}
+		if mass <= 0 || math.IsNaN(mass) {
+			weights[r] = 0
+			codes[r*nc+col] = 0
+			continue
+		}
+		weights[r] *= mass
+		u := rng.Float64() * mass
+		var cum float64
+		pick := int32(len(inv) - 1)
+		for v := range inv {
+			cum += p[v] * inv[v]
+			if cum >= u {
+				pick = int32(v)
+				break
+			}
+		}
+		codes[r*nc+col] = pick
+	}
+}

@@ -1,0 +1,138 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/query"
+)
+
+// condModel is an exact two-column model: P(x0) = p0[x0], P(x1|x0) =
+// p1[x0][x1]. Exact conditionals isolate the scaled walk's arithmetic from
+// model fit.
+type condModel struct {
+	p0 []float64
+	p1 [][]float64
+}
+
+func (m *condModel) NumCols() int       { return 2 }
+func (m *condModel) DomainSizes() []int { return []int{len(m.p0), len(m.p1[0])} }
+func (m *condModel) SizeBytes() int64   { return 0 }
+
+func (m *condModel) CondBatch(codes []int32, n, col int, out [][]float64) {
+	for r := 0; r < n; r++ {
+		switch col {
+		case 0:
+			out[r] = append(out[r][:0], m.p0...)
+		case 1:
+			out[r] = append(out[r][:0], m.p1[codes[r*2]]...)
+		}
+	}
+}
+
+func (m *condModel) LogProbBatch(codes []int32, n int, dst []float64) {
+	for r := 0; r < n; r++ {
+		dst[r] = math.Log(m.p0[codes[r*2]] * m.p1[codes[r*2]][codes[r*2+1]])
+	}
+}
+
+// TestEstimateScaledExactIndependent: when the scale column's conditional does
+// not depend on the path, every path carries the same weight, so the scaled
+// estimate is exact — Σ_{v0∈R} p0 · Σ_v p1(v)·inv(v) to float precision.
+func TestEstimateScaledExactIndependent(t *testing.T) {
+	p1 := []float64{0.5, 0.3, 0.2}
+	m := &condModel{
+		p0: []float64{0.1, 0.2, 0.3, 0.4},
+		p1: [][]float64{p1, p1, p1, p1},
+	}
+	e := NewEstimator(m, 64, 5)
+	reg, err := query.CompileDomains(query.Query{Preds: []query.Predicate{
+		{Col: 0, Op: query.OpLe, Code: 1}, // {0, 1}: mass 0.3
+	}}, m.DomainSizes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	inv := []float64{1, 0.5, 0.25} // fanouts 1, 2, 4
+	sel, stderr := e.EstimateScaled(reg, []ScaleCol{{Col: 1, Inv: inv}})
+	want := 0.3 * (0.5*1 + 0.3*0.5 + 0.2*0.25)
+	if math.Abs(sel-want) > 1e-12 {
+		t.Fatalf("sel = %.15f, want %.15f", sel, want)
+	}
+	if stderr > 1e-12 {
+		t.Fatalf("stderr = %v for a zero-variance walk", stderr)
+	}
+}
+
+// TestEstimateScaledDependent: the scale column's conditional depends on the
+// drawn prefix, so the walk is genuinely Monte Carlo; the mean must land on
+// Σ_{v0∈R} p0(v0) · Σ_v p1(v0,v)·inv(v) within a few standard errors.
+func TestEstimateScaledDependent(t *testing.T) {
+	m := &condModel{
+		p0: []float64{0.6, 0.3, 0.1},
+		p1: [][]float64{
+			{0.8, 0.15, 0.05},
+			{0.1, 0.6, 0.3},
+			{0.05, 0.15, 0.8},
+		},
+	}
+	e := NewEstimator(m, 20000, 11)
+	reg, err := query.CompileDomains(query.Query{Preds: []query.Predicate{
+		{Col: 0, Op: query.OpLe, Code: 1}, // {0, 1}
+	}}, m.DomainSizes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	inv := []float64{1, 0.5, 0.25}
+	sel, stderr := e.EstimateScaled(reg, []ScaleCol{{Col: 1, Inv: inv}})
+	mass := func(p []float64) float64 { return p[0]*inv[0] + p[1]*inv[1] + p[2]*inv[2] }
+	want := 0.6*mass(m.p1[0]) + 0.3*mass(m.p1[1])
+	if diff := math.Abs(sel - want); diff > 4*stderr+1e-9 {
+		t.Fatalf("sel = %.6f, want %.6f (diff %.2g > 4·stderr %.2g)", sel, want, diff, stderr)
+	}
+	if stderr <= 0 {
+		t.Fatalf("stderr = %v, want positive for a dependent walk", stderr)
+	}
+}
+
+// TestEstimateScaledNoScalesDelegates: empty scale list must behave exactly
+// like EstimateWithError (enumeration permitted for tiny regions).
+func TestEstimateScaledNoScalesDelegates(t *testing.T) {
+	m := &condModel{
+		p0: []float64{0.25, 0.75},
+		p1: [][]float64{{0.9, 0.1}, {0.2, 0.8}},
+	}
+	e := NewEstimator(m, 100, 3)
+	reg, err := query.CompileDomains(query.Query{Preds: []query.Predicate{
+		{Col: 0, Op: query.OpEq, Code: 1},
+		{Col: 1, Op: query.OpEq, Code: 0},
+	}}, m.DomainSizes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel, _ := e.EstimateScaled(reg, nil)
+	if want := 0.75 * 0.2; math.Abs(sel-want) > 1e-12 {
+		t.Fatalf("sel = %.15f, want %.15f", sel, want)
+	}
+}
+
+// TestEstimateScaledRejectsRestrictedScaleCol: downscaling a predicated
+// column has no defined semantics and must panic loudly.
+func TestEstimateScaledRejectsRestrictedScaleCol(t *testing.T) {
+	m := &condModel{
+		p0: []float64{0.5, 0.5},
+		p1: [][]float64{{0.5, 0.5}, {0.5, 0.5}},
+	}
+	e := NewEstimator(m, 16, 1)
+	reg, err := query.CompileDomains(query.Query{Preds: []query.Predicate{
+		{Col: 1, Op: query.OpEq, Code: 0},
+	}}, m.DomainSizes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for a restricted scale column")
+		}
+	}()
+	e.EstimateScaled(reg, []ScaleCol{{Col: 1, Inv: []float64{1, 0.5}}})
+}

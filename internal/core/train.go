@@ -275,10 +275,68 @@ func Train(m Trainable, t *table.Table, cfg TrainConfig) []float64 {
 	return history
 }
 
+// BatchSource feeds training batches to TrainRunSource without requiring a
+// materialized table — the §4.1 "join samplers can be used to produce batches
+// of tuples on-the-fly" path. The contract mirrors the table path's
+// determinism: Gather must be a pure function of (the state established by
+// the last BeginEpoch, step), because the trainer overlaps the next step's
+// gather with the current step's gradient computation and replays steps after
+// a divergence rollback. BeginEpoch is never called while a Gather is in
+// flight.
+type BatchSource interface {
+	// NumCols is the width of one training tuple.
+	NumCols() int
+	// NumRows is the nominal epoch size: steps per epoch = NumRows/BatchSize.
+	NumRows() int
+	// BeginEpoch establishes the epoch's batch schedule from (seed, epoch)
+	// alone, so a resumed run rebuilds the exact schedule without replaying
+	// earlier epochs.
+	BeginEpoch(seed int64, epoch int)
+	// Gather writes batch `step` of the current epoch (batchSize tuples,
+	// row-major) into dst.
+	Gather(dst []int32, step, batchSize int)
+}
+
+// tableSource adapts a materialized table to BatchSource: each epoch draws a
+// fresh permutation from (seed, epoch) and batches are contiguous windows of
+// it — exactly the schedule TrainRun has always used, so TrainRun delegating
+// through it is bit-identical to the pre-BatchSource trainer.
+type tableSource struct {
+	t     *table.Table
+	order []int
+}
+
+func (s *tableSource) NumCols() int { return s.t.NumCols() }
+func (s *tableSource) NumRows() int { return s.t.NumRows() }
+
+func (s *tableSource) BeginEpoch(seed int64, epoch int) {
+	s.order = rand.New(rand.NewSource(mixSeed(seed, int64(epoch)))).Perm(s.t.NumRows())
+}
+
+func (s *tableSource) Gather(dst []int32, step, batchSize int) {
+	nc := s.t.NumCols()
+	off := step * batchSize
+	for bi := 0; bi < batchSize; bi++ {
+		row := s.order[off+bi]
+		for c := 0; c < nc; c++ {
+			dst[bi*nc+c] = s.t.Cols[c].Codes[row]
+		}
+	}
+}
+
 // TrainRun is Train with the resilience layer surfaced: checkpoint/resume,
 // the divergence guard, and step hooks all report through the error return.
 // On error the history covers the epochs completed before the failure.
 func TrainRun(m Trainable, t *table.Table, cfg TrainConfig) ([]float64, error) {
+	return TrainRunSource(m, &tableSource{t: t}, cfg)
+}
+
+// TrainRunSource is TrainRun fed from a streaming BatchSource instead of a
+// materialized table: same divergence guard, checkpoint/resume, sharding, and
+// determinism contract (a run is bit-reproducible given (Seed, Workers), and
+// a resumed run matches the uninterrupted one) — only the batch supply
+// differs. The join-schema trainer feeds it unbiased join-tuple batches.
+func TrainRunSource(m Trainable, src BatchSource, cfg TrainConfig) ([]float64, error) {
 	if cfg.Epochs <= 0 {
 		cfg.Epochs = 1
 	}
@@ -311,8 +369,8 @@ func TrainRun(m Trainable, t *table.Table, cfg TrainConfig) ([]float64, error) {
 		to.ckptLatency.ObserveDuration(time.Since(start))
 		return nil
 	}
-	n := t.NumRows()
-	nc := t.NumCols()
+	n := src.NumRows()
+	nc := src.NumCols()
 	stepsPerEpoch := n / cfg.BatchSize
 
 	sm, shardable := m.(ShardTrainable)
@@ -378,14 +436,8 @@ func TrainRun(m Trainable, t *table.Table, cfg TrainConfig) ([]float64, error) {
 	// (order, step), so overlapping it never changes what a step sees.
 	cur := make([]int32, cfg.BatchSize*nc)
 	next := make([]int32, cfg.BatchSize*nc)
-	gather := func(dst []int32, order []int, step int) {
-		off := step * cfg.BatchSize
-		for bi := 0; bi < cfg.BatchSize; bi++ {
-			row := order[off+bi]
-			for c := 0; c < nc; c++ {
-				dst[bi*nc+c] = t.Cols[c].Codes[row]
-			}
-		}
+	gather := func(dst []int32, step int) {
+		src.Gather(dst, step, cfg.BatchSize)
 	}
 	var pfDone chan struct{} // non-nil while a prefetch into next is in flight
 	pfStep := -1             // step the in-flight prefetch is gathering
@@ -416,11 +468,11 @@ func TrainRun(m Trainable, t *table.Table, cfg TrainConfig) ([]float64, error) {
 	}
 
 	for epoch < cfg.Epochs {
-		// Fresh shuffle each epoch, derived from (Seed, epoch) alone: the
-		// paper trains on "batches of random tuples" (§4.1), and keying the
-		// permutation by epoch lets a resumed run rebuild the exact batch
-		// schedule without replaying earlier epochs.
-		order := rand.New(rand.NewSource(mixSeed(cfg.Seed, int64(epoch)))).Perm(n)
+		// Fresh batch schedule each epoch, derived from (Seed, epoch) alone:
+		// the paper trains on "batches of random tuples" (§4.1), and keying
+		// the schedule by epoch lets a resumed run rebuild the exact batches
+		// without replaying earlier epochs.
+		src.BeginEpoch(cfg.Seed, epoch)
 		for step < stepsPerEpoch {
 			if pfDone != nil && pfStep == step {
 				<-pfDone
@@ -428,16 +480,16 @@ func TrainRun(m Trainable, t *table.Table, cfg TrainConfig) ([]float64, error) {
 				cur, next = next, cur
 			} else {
 				joinPrefetch() // discard a stale prefetch (defensive; rollback already joins)
-				gather(cur, order, step)
+				gather(cur, step)
 			}
 			pfStep = -1
 			if step+1 < stepsPerEpoch {
 				pfStep = step + 1
 				pfDone = make(chan struct{})
-				go func(dst []int32, ord []int, s int, done chan struct{}) {
-					gather(dst, ord, s)
+				go func(dst []int32, s int, done chan struct{}) {
+					gather(dst, s)
 					close(done)
-				}(next, order, pfStep, pfDone)
+				}(next, pfStep, pfDone)
 			}
 			// Accumulate gradients without stepping so a diverged batch can
 			// be discarded before it poisons the weights; the guard inspects

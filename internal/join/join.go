@@ -207,12 +207,45 @@ func (s *Sampler) Draw(rng *rand.Rand, dst []int32) {
 	}
 }
 
-// Batch draws n uniform joined tuples row-major into a fresh slice.
-func (s *Sampler) Batch(rng *rand.Rand, n int) []int32 {
+// batchChunk is the number of tuples drawn per RNG stream: the same 128-row
+// granularity the estimator's anytime/fused chunking uses, so a batch's
+// content is a pure function of (seed, row index) no matter how callers
+// schedule or shard the work.
+const batchChunk = 128
+
+// Fill writes n uniform joined tuples row-major into dst, reseeding the RNG
+// every batchChunk rows from mixSeed(seed, chunk) — the repo's chunk-keyed
+// stream convention. Two Fill calls with one seed are bit-identical, and a
+// caller splitting the batch at chunk boundaries across workers reproduces
+// the sequential bytes exactly.
+func (s *Sampler) Fill(dst []int32, seed int64, n int) {
 	nc := s.NumCols()
-	out := make([]int32, n*nc)
+	rng := rand.New(rand.NewSource(0))
 	for r := 0; r < n; r++ {
-		s.Draw(rng, out[r*nc:(r+1)*nc])
+		if r%batchChunk == 0 {
+			rng.Seed(mixSeed(seed, int64(r/batchChunk)))
+		}
+		s.Draw(rng, dst[r*nc:(r+1)*nc])
 	}
+}
+
+// Batch draws n uniform joined tuples row-major into a fresh slice using the
+// chunk-keyed streams of Fill: bit-reproducible given seed, matching the
+// determinism contract of training and serving everywhere else in the repo.
+func (s *Sampler) Batch(seed int64, n int) []int32 {
+	out := make([]int32, n*s.NumCols())
+	s.Fill(out, seed, n)
 	return out
+}
+
+// mixSeed derives a well-separated stream seed from (seed, k) by a splitmix64
+// round, mirroring core's train/estimator seeding convention.
+func mixSeed(seed, k int64) int64 {
+	z := uint64(seed) + 0x9e3779b97f4a7c15*uint64(k+1)
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	z ^= z >> 31
+	return int64(z)
 }

@@ -1,0 +1,85 @@
+package lifecycle
+
+import "repro/internal/table"
+
+// TableDrift tracks distribution drift of ONE table against a baseline
+// snapshot: the maximum per-column total-variation distance between the
+// snapshot's marginals and the marginals of rows appended since. It is the
+// schema-level drift signal of the join estimator, which watches every base
+// table of a join independently — the join model scores joined tuples, not
+// base rows, so the model-NLL signal of the single-table monitor does not
+// apply and the cheap marginal comparison is used on its own.
+//
+// TableDrift is not safe for concurrent use; callers serialize access (the
+// join estimator holds its append lock).
+type TableDrift struct {
+	baseCounts [][]float64
+	baseRows   int
+	appCounts  [][]float64
+	appRows    int
+}
+
+// NewTableDrift snapshots t's per-column marginals as the baseline.
+func NewTableDrift(t *table.Table) *TableDrift {
+	d := &TableDrift{
+		baseCounts: marginals(t, 0, t.NumRows()),
+		baseRows:   t.NumRows(),
+	}
+	d.appCounts = make([][]float64, t.NumCols())
+	for i, c := range t.Cols {
+		d.appCounts[i] = make([]float64, c.DomainSize())
+	}
+	return d
+}
+
+// Observe accounts rows [lo, hi) of t (a table descended from the baseline
+// snapshot by appends) into the appended-row marginals. Codes beyond the
+// baseline domain — dictionary extensions — grow the histograms; against the
+// baseline's zero mass there they register as pure drift.
+func (d *TableDrift) Observe(t *table.Table, lo, hi int) {
+	for i, c := range t.Cols {
+		if dom := c.DomainSize(); len(d.appCounts[i]) < dom {
+			grown := make([]float64, dom)
+			copy(grown, d.appCounts[i])
+			d.appCounts[i] = grown
+		}
+		for r := lo; r < hi; r++ {
+			d.appCounts[i][c.Codes[r]]++
+		}
+	}
+	d.appRows += hi - lo
+}
+
+// AppendedRows is how many rows have been observed since the baseline.
+func (d *TableDrift) AppendedRows() int { return d.appRows }
+
+// BaseRows is the baseline snapshot's cardinality.
+func (d *TableDrift) BaseRows() int { return d.baseRows }
+
+// TVD returns the maximum per-column total-variation distance between the
+// baseline and appended-row marginals (0 before any append).
+func (d *TableDrift) TVD() float64 {
+	if d.appRows == 0 || d.baseRows == 0 {
+		return 0
+	}
+	var worst float64
+	for i := range d.appCounts {
+		var dist float64
+		for c := range d.appCounts[i] {
+			var base float64
+			if i < len(d.baseCounts) && c < len(d.baseCounts[i]) {
+				base = d.baseCounts[i][c] / float64(d.baseRows)
+			}
+			app := d.appCounts[i][c] / float64(d.appRows)
+			if diff := app - base; diff > 0 {
+				dist += diff
+			} else {
+				dist -= diff
+			}
+		}
+		if dist /= 2; dist > worst {
+			worst = dist
+		}
+	}
+	return worst
+}

@@ -44,6 +44,15 @@ type Config struct {
 
 	// Seed drives weight initialization and degree assignment.
 	Seed int64
+
+	// ColRoles, when non-empty, annotates each model column with its role in
+	// the trained layout — column-layout metadata persisted with the model so
+	// a saved artifact is self-describing. Single-table models leave it
+	// empty; the join-schema estimator stamps "base:<table.column>" and
+	// "fanout:<edge>:<name>" entries so a loaded model's virtual fanout
+	// columns can be re-identified without the training schema. Must be
+	// empty or one entry per column; the roles never affect the network.
+	ColRoles []string
 }
 
 // DefaultConfig mirrors the paper's Conviva-A architecture: a 4×128 masked
@@ -134,6 +143,9 @@ func New(domains []int, cfg Config) *Model {
 	}
 	if cfg.EmbedDim <= 0 {
 		cfg.EmbedDim = 64
+	}
+	if len(cfg.ColRoles) != 0 && len(cfg.ColRoles) != len(domains) {
+		panic(fmt.Sprintf("made: %d column roles over %d columns", len(cfg.ColRoles), len(domains)))
 	}
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	m := &Model{cfg: cfg, domains: append([]int(nil), domains...)}
@@ -255,6 +267,10 @@ func (m *Model) NumCols() int { return len(m.domains) }
 
 // DomainSizes returns a copy of the per-column domain sizes.
 func (m *Model) DomainSizes() []int { return append([]int(nil), m.domains...) }
+
+// ColumnRoles returns a copy of the column-layout metadata (empty when the
+// model was built without roles).
+func (m *Model) ColumnRoles() []string { return append([]string(nil), m.cfg.ColRoles...) }
 
 // Params returns every trainable parameter exactly once.
 func (m *Model) Params() []*nn.Param { return m.params }

@@ -1,0 +1,120 @@
+package neurocard
+
+import (
+	"repro/internal/query"
+)
+
+// Oracle is the exact nested-loop reference for join estimates: it answers
+// the same spanned sub-join question the model answers, by brute force over
+// the base tables. It shares no machinery with the sampler — join keys are
+// matched by value through the dictionaries independently — so agreement
+// between the two is evidence, not tautology. Construction is O(Σ rows);
+// Count is a full nested-loop enumeration and exists for tests, benchmarks,
+// and examples, not serving.
+type Oracle struct {
+	sch       *Schema
+	childRows [][][]int32 // per edge: parent row -> matching child rows
+}
+
+// NewOracle indexes the schema's join edges for nested-loop counting.
+func NewOracle(sch *Schema) *Oracle {
+	o := &Oracle{sch: sch, childRows: make([][][]int32, len(sch.Edges))}
+	for ei, e := range sch.Edges {
+		pt, ct := sch.Tables[e.Parent], sch.Tables[e.Child]
+		cc := ct.Cols[e.ChildCol]
+		byVal := map[string][]int32{}
+		for r := 0; r < ct.NumRows(); r++ {
+			v := cc.ValueString(cc.Codes[r])
+			byVal[v] = append(byVal[v], int32(r))
+		}
+		pc := pt.Cols[e.ParentCol]
+		rows := make([][]int32, pt.NumRows())
+		for r := 0; r < pt.NumRows(); r++ {
+			rows[r] = byVal[pc.ValueString(pc.Codes[r])]
+		}
+		o.childRows[ei] = rows
+	}
+	return o
+}
+
+// CountAll returns the exact full-join cardinality.
+func (o *Oracle) CountAll() int64 {
+	inS := make([]bool, len(o.sch.Tables))
+	for i := range inS {
+		inS[i] = true
+	}
+	return o.count(inS, nil)
+}
+
+// Count returns the exact cardinality of q's spanned sub-join — the ground
+// truth for Estimator.EstimateQuery. q's predicate columns index smp's
+// layout, exactly as for the estimator.
+func (o *Oracle) Count(smp *Sampler, q query.Query) (int64, error) {
+	lt, err := smp.LayoutTable()
+	if err != nil {
+		return 0, err
+	}
+	reg, err := query.Compile(q, lt)
+	if err != nil {
+		return 0, err
+	}
+	parentOf := make([]int, len(o.sch.Tables))
+	for i := range parentOf {
+		parentOf[i] = -1
+	}
+	for _, e := range o.sch.Edges {
+		parentOf[e.Child] = e.Parent
+	}
+	inS := make([]bool, len(o.sch.Tables))
+	inS[0] = true
+	for _, p := range q.Preds {
+		lc := smp.layout.Cols[p.Col]
+		if lc.Edge >= 0 {
+			continue // the estimator rejects these; count over base tables only
+		}
+		for ti := lc.Table; ti != -1 && !inS[ti]; ti = parentOf[ti] {
+			inS[ti] = true
+		}
+	}
+	match := func(ti int, row int32) bool {
+		for i, lc := range smp.layout.Cols {
+			if lc.Edge >= 0 || lc.Table != ti {
+				continue
+			}
+			if !reg.Cols[i].Valid[o.sch.Tables[ti].Cols[lc.Col].Codes[row]] {
+				return false
+			}
+		}
+		return true
+	}
+	return o.count(inS, match), nil
+}
+
+// count returns the number of sub-join tuples over the tables with inS set,
+// restricted to rows satisfying match (nil admits everything). inS must be
+// parent-closed and include the root.
+func (o *Oracle) count(inS []bool, match func(ti int, row int32) bool) int64 {
+	var total int64
+	for r := 0; r < o.sch.Tables[0].NumRows(); r++ {
+		total += o.sub(0, int32(r), inS, match)
+	}
+	return total
+}
+
+func (o *Oracle) sub(ti int, row int32, inS []bool, match func(ti int, row int32) bool) int64 {
+	if match != nil && !match(ti, row) {
+		return 0
+	}
+	c := int64(1)
+	for ei, e := range o.sch.Edges {
+		if e.Parent != ti || !inS[e.Child] {
+			continue
+		}
+		var s int64
+		for _, cr := range o.childRows[ei][row] {
+			s += o.sub(e.Child, cr, inS, match)
+		}
+		c *= s
+	}
+	return c
+}

@@ -1,0 +1,94 @@
+package neurocard
+
+import (
+	"repro/internal/query"
+)
+
+// Test-side extensions of the exported nested-loop Oracle: full-join
+// enumeration and the layout/region plumbing the property tests need.
+
+func newOracle(sch *Schema) *Oracle { return NewOracle(sch) }
+
+// walk enumerates every full-join tuple, invoking fn with the per-table row
+// choices (reused buffer; do not retain).
+func (o *Oracle) walk(fn func(rows []int32)) {
+	order, _ := o.sch.bfsOrder()
+	// Edges ordered so each child's parent row is assigned first.
+	pos := make([]int, len(o.sch.Tables))
+	for i, ti := range order {
+		pos[ti] = i
+	}
+	edges := make([]int, 0, len(o.sch.Edges))
+	for ei := range o.sch.Edges {
+		edges = append(edges, ei)
+	}
+	for i := 1; i < len(edges); i++ {
+		for j := i; j > 0 && pos[o.sch.Edges[edges[j]].Child] < pos[o.sch.Edges[edges[j-1]].Child]; j-- {
+			edges[j], edges[j-1] = edges[j-1], edges[j]
+		}
+	}
+	rows := make([]int32, len(o.sch.Tables))
+	var rec func(k int)
+	rec = func(k int) {
+		if k == len(edges) {
+			fn(rows)
+			return
+		}
+		ei := edges[k]
+		e := o.sch.Edges[ei]
+		for _, cr := range o.childRows[ei][rows[e.Parent]] {
+			rows[e.Child] = cr
+			rec(k + 1)
+		}
+	}
+	for r := 0; r < o.sch.Tables[0].NumRows(); r++ {
+		rows[0] = int32(r)
+		rec(0)
+	}
+}
+
+// regionMatch lifts a region compiled against the sampler's layout table into
+// a per-base-table row predicate for the oracle.
+func regionMatch(smp *Sampler, reg *query.Region) func(ti int, row int32) bool {
+	return func(ti int, row int32) bool {
+		for i, lc := range smp.layout.Cols {
+			if lc.Edge >= 0 || lc.Table != ti {
+				continue
+			}
+			if !reg.Cols[i].Valid[smp.schema.Tables[ti].Cols[lc.Col].Codes[row]] {
+				return false
+			}
+		}
+		return true
+	}
+}
+
+// subtreeOf computes the query's spanned subtree (predicated tables plus the
+// root, closed under parent links) — the test-side mirror of planScales.
+func subtreeOf(smp *Sampler, q query.Query) []bool {
+	parentOf := make([]int, len(smp.schema.Tables))
+	for i := range parentOf {
+		parentOf[i] = -1
+	}
+	for _, e := range smp.schema.Edges {
+		parentOf[e.Child] = e.Parent
+	}
+	inS := make([]bool, len(smp.schema.Tables))
+	inS[0] = true
+	for _, p := range q.Preds {
+		lc := smp.layout.Cols[p.Col]
+		for ti := lc.Table; ti != -1 && !inS[ti]; ti = parentOf[ti] {
+			inS[ti] = true
+		}
+	}
+	return inS
+}
+
+// allTables is the full-join subtree indicator.
+func allTables(sch *Schema) []bool {
+	inS := make([]bool, len(sch.Tables))
+	for i := range inS {
+		inS[i] = true
+	}
+	return inS
+}

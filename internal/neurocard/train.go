@@ -1,0 +1,137 @@
+package neurocard
+
+import (
+	"context"
+
+	"repro/internal/core"
+	"repro/internal/made"
+	"repro/internal/obs"
+)
+
+// Config selects the join model architecture, training schedule, and serving
+// parameters. The zero value is usable: withDefaults fills the scaled-down
+// evaluation defaults.
+type Config struct {
+	Hidden         []int // masked hidden widths (default [64, 64])
+	EmbedThreshold int   // one-hot vs embedding cutoff (default 64)
+	EmbedDim       int   // embedding width (default 16)
+
+	Samples   int     // progressive sample paths per query (default 2000)
+	Seed      int64   // drives init, batch schedule, and query streams (default 1)
+	Epochs    int     // training epochs (default 8)
+	BatchSize int     // tuples per gradient step (default 256)
+	LR        float64 // Adam learning rate (default 3e-3)
+	Workers   int     // data-parallel gradient shards (default 1)
+
+	// EpochTuples is the nominal epoch size: how many join tuples the
+	// streaming sampler feeds per epoch (default 1<<15). The join is sampled,
+	// never materialized, so this replaces "rows in the table".
+	EpochTuples int
+
+	// RefreshFraction is the lifecycle staleness threshold: a refresh is
+	// warranted once any base table has grown by this fraction since the
+	// serving model's snapshot, or the drift TVD of any base table exceeds
+	// it (default 0.2).
+	RefreshFraction float64
+
+	// Obs receives the naru_join_* metric families plus the training
+	// telemetry (nil disables collection).
+	Obs *obs.Registry
+}
+
+func (c Config) withDefaults() Config {
+	if len(c.Hidden) == 0 {
+		c.Hidden = []int{64, 64}
+	}
+	if c.EmbedThreshold <= 0 {
+		c.EmbedThreshold = 64
+	}
+	if c.EmbedDim <= 0 {
+		c.EmbedDim = 16
+	}
+	if c.Samples <= 0 {
+		c.Samples = 2000
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.Epochs <= 0 {
+		c.Epochs = 8
+	}
+	if c.BatchSize <= 0 {
+		c.BatchSize = 256
+	}
+	if c.LR <= 0 {
+		c.LR = 3e-3
+	}
+	if c.Workers <= 0 {
+		c.Workers = 1
+	}
+	if c.EpochTuples <= 0 {
+		c.EpochTuples = 1 << 15
+	}
+	if c.RefreshFraction <= 0 {
+		c.RefreshFraction = 0.2
+	}
+	return c
+}
+
+// sampleSource adapts the streaming join sampler to core.BatchSource: batch
+// (epoch, step) is drawn from the chunk-keyed stream seeded by
+// mixSeed(mixSeed(seed, epoch), step), so the whole training trajectory is a
+// pure function of (Seed, Workers) — resumable and bit-reproducible exactly
+// like the table-backed trainer, with no table anywhere.
+type sampleSource struct {
+	smp       *Sampler
+	rows      int
+	epochSeed int64
+}
+
+func (ss *sampleSource) NumCols() int { return ss.smp.NumCols() }
+func (ss *sampleSource) NumRows() int { return ss.rows }
+
+func (ss *sampleSource) BeginEpoch(seed int64, epoch int) {
+	ss.epochSeed = mixSeed(seed, int64(epoch))
+}
+
+func (ss *sampleSource) Gather(dst []int32, step, batchSize int) {
+	ss.smp.Fill(dst[:batchSize*ss.smp.NumCols()], mixSeed(ss.epochSeed, int64(step)), batchSize)
+}
+
+// newModel builds the MADE model over the joined layout, stamping each
+// column's role (base column or fanout edge) into the persisted column-layout
+// metadata so a saved join model is self-describing.
+func newModel(smp *Sampler, cfg Config) *made.Model {
+	return made.New(smp.DomainSizes(), made.Config{
+		HiddenSizes:    cfg.Hidden,
+		EmbedThreshold: cfg.EmbedThreshold,
+		EmbedDim:       cfg.EmbedDim,
+		Seed:           cfg.Seed,
+		ColRoles:       layoutRoles(smp),
+	})
+}
+
+// trainModel fits a fresh model over smp's layout by streaming unbiased join
+// tuples through the core training loop (divergence guard, sharding, and the
+// determinism contract all inherited). ctx cancellation aborts between
+// gradient steps.
+func trainModel(ctx context.Context, smp *Sampler, cfg Config) (*made.Model, []float64, error) {
+	m := newModel(smp, cfg)
+	tc := core.TrainConfig{
+		Epochs:    cfg.Epochs,
+		BatchSize: cfg.BatchSize,
+		LR:        cfg.LR,
+		Seed:      cfg.Seed,
+		Workers:   cfg.Workers,
+		Obs:       cfg.Obs,
+	}
+	if ctx != nil && ctx.Done() != nil {
+		tc.OnStep = func(step int, loss float64) error { return ctx.Err() }
+	}
+	src := &sampleSource{smp: smp, rows: cfg.EpochTuples}
+	history, err := core.TrainRunSource(m, src, tc)
+	if err != nil {
+		return nil, history, err
+	}
+	return m, history, nil
+}

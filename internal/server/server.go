@@ -33,6 +33,8 @@ type Server struct {
 	tenants map[string]*Tenant
 	order   []string // insertion order, for stable listings
 	def     string   // legacy-route alias target
+	joins   map[string]*JoinTenant
+	jorder  []string // join-tenant insertion order
 
 	ctx       context.Context // set by Start; scopes background refreshes
 	refreshWG sync.WaitGroup
@@ -121,8 +123,13 @@ func (s *Server) Start(ctx context.Context) {
 		tn := tn
 		tn.onAppend = func() { s.kickRefresh(tn) }
 	}
+	joins := s.snapshotJoins()
+	for _, jt := range joins {
+		jt := jt
+		jt.onAppend = func() { s.kickJoinRefresh(jt) }
+	}
 	if s.opts.Metrics != nil {
-		s.opts.Metrics.Gauge("naru_tenants").Set(float64(len(tenants)))
+		s.opts.Metrics.Gauge("naru_tenants").Set(float64(len(tenants) + len(joins)))
 	}
 }
 
@@ -198,14 +205,21 @@ func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/", s.handleIndex)
 	mux.HandleFunc("/v1/tenants", s.handleTenants)
-	forTenant := func(h func(*Tenant, http.ResponseWriter, *http.Request)) http.HandlerFunc {
+	// forTenant routes /v1/{tenant}/... by name: single-table tenants first,
+	// then join tenants (one namespace, two registries — AddJoin rejects
+	// collisions, so the precedence never decides between live tenants).
+	forTenant := func(h func(*Tenant, http.ResponseWriter, *http.Request), jh func(*JoinTenant, http.ResponseWriter, *http.Request)) http.HandlerFunc {
 		return func(w http.ResponseWriter, r *http.Request) {
-			tn := s.Tenant(r.PathValue("tenant"))
-			if tn == nil {
-				http.Error(w, fmt.Sprintf("unknown tenant %q", r.PathValue("tenant")), http.StatusNotFound)
+			name := r.PathValue("tenant")
+			if tn := s.Tenant(name); tn != nil {
+				h(tn, w, r)
 				return
 			}
-			h(tn, w, r)
+			if jt := s.JoinTenant(name); jt != nil {
+				jh(jt, w, r)
+				return
+			}
+			http.Error(w, fmt.Sprintf("unknown tenant %q", name), http.StatusNotFound)
 		}
 	}
 	forDefault := func(h func(*Tenant, http.ResponseWriter, *http.Request)) http.HandlerFunc {
@@ -218,12 +232,12 @@ func (s *Server) Handler() http.Handler {
 			h(tn, w, r)
 		}
 	}
-	mux.HandleFunc("/v1/{tenant}/estimate", forTenant((*Tenant).handleEstimate))
-	mux.HandleFunc("/v1/{tenant}/append", forTenant((*Tenant).handleAppend))
-	mux.HandleFunc("/v1/{tenant}/drift", forTenant((*Tenant).handleDrift))
-	mux.HandleFunc("/v1/{tenant}/models", forTenant((*Tenant).handleModels))
-	mux.HandleFunc("/v1/{tenant}/healthz", forTenant((*Tenant).handleHealthz))
-	mux.HandleFunc("/v1/{tenant}/readyz", forTenant((*Tenant).handleReadyz))
+	mux.HandleFunc("/v1/{tenant}/estimate", forTenant((*Tenant).handleEstimate, (*JoinTenant).handleEstimate))
+	mux.HandleFunc("/v1/{tenant}/append", forTenant((*Tenant).handleAppend, (*JoinTenant).handleAppend))
+	mux.HandleFunc("/v1/{tenant}/drift", forTenant((*Tenant).handleDrift, (*JoinTenant).handleDrift))
+	mux.HandleFunc("/v1/{tenant}/models", forTenant((*Tenant).handleModels, (*JoinTenant).handleModels))
+	mux.HandleFunc("/v1/{tenant}/healthz", forTenant((*Tenant).handleHealthz, (*JoinTenant).handleHealthz))
+	mux.HandleFunc("/v1/{tenant}/readyz", forTenant((*Tenant).handleReadyz, (*JoinTenant).handleReadyz))
 	// Legacy single-tenant routes: aliases to the default tenant, so clients
 	// of the pre-multi-tenant server keep working against the same paths.
 	mux.HandleFunc("/estimate", forDefault((*Tenant).handleEstimate))
@@ -289,6 +303,17 @@ func (s *Server) handleTenants(w http.ResponseWriter, r *http.Request) {
 			Rows:         snap.NumRows(),
 		})
 	}
+	// Join tenants list alongside: Table is the join rendering, Rows the
+	// full-join cardinality the model was trained over.
+	for _, jt := range s.snapshotJoins() {
+		infos = append(infos, tenantInfo{
+			Name:         jt.name,
+			Table:        jt.joinLabel(),
+			State:        "healthy",
+			ModelVersion: jt.est.ModelVersion(),
+			Rows:         int(jt.est.JoinSize()),
+		})
+	}
 	w.Header().Set("Content-Type", "application/json")
 	_ = json.NewEncoder(w).Encode(struct {
 		Default string       `json:"default"`
@@ -302,18 +327,27 @@ func (s *Server) handleTenants(w http.ResponseWriter, r *http.Request) {
 // is registered. 503 only when no tenants are registered.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	tenants := s.snapshotTenants()
+	joins := s.snapshotJoins()
 	def := s.Default()
 	w.Header().Set("Content-Type", "application/json")
-	if def == nil {
+	if def == nil && len(joins) == 0 {
 		w.WriteHeader(http.StatusServiceUnavailable)
 		_ = json.NewEncoder(w).Encode(HealthResponse{Status: "no model loaded"})
 		return
 	}
-	resp := healthFor(def.est, def.brk)
-	if len(tenants) > 1 {
-		resp.Tenants = make(map[string]HealthResponse, len(tenants))
+	var resp HealthResponse
+	if def != nil {
+		resp = healthFor(def.est, def.brk)
+	} else {
+		resp = joins[0].health() // join-only server: first join tenant leads
+	}
+	if len(tenants)+len(joins) > 1 {
+		resp.Tenants = make(map[string]HealthResponse, len(tenants)+len(joins))
 		for _, tn := range tenants {
 			resp.Tenants[tn.name] = healthFor(tn.est, tn.brk)
+		}
+		for _, jt := range joins {
+			resp.Tenants[jt.name] = jt.health()
 		}
 	}
 	_ = json.NewEncoder(w).Encode(resp)
@@ -325,11 +359,12 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 // and the per-tenant split alongside.
 func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 	tenants := s.snapshotTenants()
-	ready := len(tenants) > 0
+	joins := s.snapshotJoins()
+	ready := len(tenants)+len(joins) > 0
 	worst := naru.StateHealthy
 	var perTenant map[string]ReadyResponse
-	if len(tenants) > 1 {
-		perTenant = make(map[string]ReadyResponse, len(tenants))
+	if len(tenants)+len(joins) > 1 {
+		perTenant = make(map[string]ReadyResponse, len(tenants)+len(joins))
 	}
 	for _, tn := range tenants {
 		st := tn.state()
@@ -341,6 +376,13 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 		}
 		if perTenant != nil {
 			perTenant[tn.name] = ReadyResponse{Ready: st.Ready(), State: st.String()}
+		}
+	}
+	// Join tenants are ready whenever loaded: no breaker, and a refresh in
+	// progress serves the old version until the swap.
+	for _, jt := range joins {
+		if perTenant != nil {
+			perTenant[jt.name] = ReadyResponse{Ready: true, State: "healthy"}
 		}
 	}
 	w.Header().Set("Content-Type", "application/json")

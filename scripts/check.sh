@@ -54,6 +54,16 @@
 # on the shared /metrics scrape, legacy-route aliasing, and an aggregate
 # /readyz. It also runs as the final step of the default `check.sh` pass.
 #
+# `check.sh join` is the multi-table join-estimation gate: the neurocard,
+# join-sampler, and scaled-estimate suites under the race detector (plus the
+# join-tenant serving and CLI round-trip tests), a CLI smoke test (train -join
+# over generated CSVs, estimate -join against the nested-loop truth), and the
+# join benchmark run twice through the history recorder with a pinned worker
+# count — both runs must print bit-identical estimate digests and a PASS on
+# the accuracy gate (median q-error <= 2, max <= 10 vs the oracle), the
+# second must stay within tolerance of the first's recorded throughput, and
+# a doctored baseline must trip the regression check.
+#
 # `check.sh train` is the end-to-end training-determinism gate: with
 # data-parallel sharding (-train-workers > 1), two identical runs must write
 # byte-identical model files, and a run interrupted with -stop-after and then
@@ -610,6 +620,87 @@ EOF
     serve_pid=""
 
     echo "check serve: OK"
+    exit 0
+fi
+
+if [ "${1:-}" = "join" ]; then
+    echo "== join estimation suite (-race)"
+    go test -race -count=1 ./internal/neurocard ./internal/join
+    go test -race -count=1 -run 'TestEstimateScaled' ./internal/core
+    go test -race -count=1 -run 'TestServerJoinTenantE2E' ./internal/server
+    go test -race -count=1 -run 'TestCLIJoin' ./cmd/naru
+
+    tmp="$(mktemp -d)"
+    trap 'rm -rf "$tmp"' EXIT INT TERM
+
+    echo "== CLI smoke: train -join, estimate -join vs nested-loop truth"
+    go build -o "$tmp/naru" ./cmd/naru
+    awk 'BEGIN{
+        print "cid,region" > "'"$tmp"'/customers.csv"
+        print "oid,cid,amount" > "'"$tmp"'/orders.csv"
+        print "oid,price" > "'"$tmp"'/items.csv"
+        r[0]="east"; r[1]="west"; r[2]="north"; oid = 0
+        for (c = 0; c < 40; c++) {
+            print c "," r[c%3] >> "'"$tmp"'/customers.csv"
+            for (o = 0; o <= c%3; o++) {
+                print oid "," c "," 10*(1+oid%5) >> "'"$tmp"'/orders.csv"
+                for (i = 0; i <= oid%2; i++) print oid "," 5*(i+1) >> "'"$tmp"'/items.csv"
+                oid++
+            }
+        }
+    }'
+    cat > "$tmp/join.json" <<EOF
+{
+  "tables": [
+    {"name": "customers", "csv": "customers.csv"},
+    {"name": "orders",    "csv": "orders.csv"},
+    {"name": "items",     "csv": "items.csv"}
+  ],
+  "edges": [
+    {"parent": "customers", "child": "orders", "parent_col": "cid", "child_col": "cid"},
+    {"parent": "orders",    "child": "items",  "parent_col": "oid", "child_col": "oid"}
+  ]
+}
+EOF
+    "$tmp/naru" train -join "$tmp/join.json" -out "$tmp/join.naru" \
+        -epochs 2 -hidden 16 -samples 500 -seed 3 > "$tmp/train.log"
+    grep -q "saved to" "$tmp/train.log" || { echo "join training failed"; cat "$tmp/train.log"; exit 1; }
+    "$tmp/naru" estimate -join "$tmp/join.json" -model "$tmp/join.naru" \
+        -where "customers.region = east AND orders.amount >= 30" > "$tmp/est.log"
+    grep -q "truth:    card=" "$tmp/est.log" || { echo "join estimate failed"; cat "$tmp/est.log"; exit 1; }
+
+    echo "== join benchmark: accuracy gate + determinism + regression gate"
+    # The training trajectory is a pure function of (seed, workers); pin the
+    # worker count so the two runs' estimate digests must match bit-for-bit.
+    join_flags="-dmv-rows 10000 -queries 100 -epochs 2 -seed 1 -workers 2 -quiet
+        -bench-out $tmp/BENCH_join.json -history $tmp/history.json"
+
+    echo "-- baseline run"
+    go run ./cmd/narubench $join_flags join > "$tmp/run1.out"
+    grep -q "join gate: .* -> PASS" "$tmp/run1.out" || { echo "accuracy gate failed"; cat "$tmp/run1.out"; exit 1; }
+    grep -q "recorded .* in" "$tmp/run1.out" || { echo "history entry not recorded"; cat "$tmp/run1.out"; exit 1; }
+
+    echo "-- gated re-run (bit-identical digest, within 10% on throughput)"
+    go run ./cmd/narubench $join_flags -check-regression join > "$tmp/run2.out" \
+        || { echo "regression gate tripped"; cat "$tmp/run2.out"; exit 1; }
+    grep -q "join gate: .* -> PASS" "$tmp/run2.out" || { echo "accuracy gate failed on re-run"; cat "$tmp/run2.out"; exit 1; }
+    d1="$(sed -n 's/^join digest: //p' "$tmp/run1.out")"
+    d2="$(sed -n 's/^join digest: //p' "$tmp/run2.out")"
+    [ -n "$d1" ] && [ "$d1" = "$d2" ] || { echo "join runs not bit-identical: '$d1' vs '$d2'"; exit 1; }
+
+    echo "-- gate must trip on a doctored baseline"
+    awk '
+        /"name": "join_queries_per_sec"/ { hit = 1 }
+        hit && /"value":/ { sub(/"value": [0-9.eE+-]+/, "\"value\": 1000000"); hit = 0 }
+        { print }
+    ' "$tmp/history.json" > "$tmp/doctored.json"
+    if go run ./cmd/narubench -history "$tmp/doctored.json" -check-regression \
+        -bench-out "$tmp/BENCH_join.json" -dmv-rows 10000 -queries 100 -epochs 2 \
+        -seed 1 -workers 2 -quiet join >/dev/null 2>&1; then
+        echo "regression gate failed to trip on doctored baseline"; exit 1
+    fi
+
+    echo "check join: OK"
     exit 0
 fi
 
